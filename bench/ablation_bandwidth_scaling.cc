@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: the paper's forward-looking claim -- "as the aggregate
+ * bandwidth of SCM devices scales in the future, BOSS can utilize
+ * additional cores much more effectively than IIU". Sweeps SCM
+ * channel count (4 -> 8 -> 16, scaling aggregate bandwidth) together
+ * with core count and reports throughput normalized to each system's
+ * own 4-channel 8-core configuration.
+ */
+
+#include <cstdio>
+
+#include "benchutil.h"
+#include "common/logging.h"
+
+using namespace boss;
+using namespace boss::bench;
+using namespace boss::model;
+
+int
+main()
+{
+    boss::setVerbose(false);
+    std::printf("=== Ablation: future SCM bandwidth scaling "
+                "(ClueWeb12-like; normalized per system to 4ch/8 "
+                "cores) ===\n");
+
+    Dataset data = makeDataset(workload::clueWebConfig());
+    TraceSet iiu(data, SystemKind::Iiu);
+    TraceSet boss(data, SystemKind::Boss);
+
+    auto totalQps = [&](const TraceSet &ts, std::uint32_t channels,
+                        std::uint32_t cores) {
+        SystemConfig cfg;
+        cfg.kind = ts.kind();
+        cfg.cores = cores;
+        cfg.mem = mem::scmConfig();
+        cfg.mem.channels = channels;
+        // A larger device also tracks more concurrent streams.
+        cfg.mem.streamTableSize = 4 * channels;
+        double qps = 0.0;
+        for (auto type : workload::kAllQueryTypes)
+            qps += ts.replay(type, cfg).run.qps;
+        return qps;
+    };
+
+    std::printf("%-22s %12s %12s\n", "channels/cores", "IIU", "BOSS");
+    double iiuBase = totalQps(iiu, 4, 8);
+    double bossBase = totalQps(boss, 4, 8);
+    struct Point
+    {
+        std::uint32_t channels;
+        std::uint32_t cores;
+    };
+    const Point points[] = {{4, 8},  {8, 8},  {8, 16},
+                            {16, 16}, {16, 32}};
+    for (const auto &p : points) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "%u ch / %u cores",
+                      p.channels, p.cores);
+        std::printf("%-22s %11.2fx %11.2fx\n", label,
+                    totalQps(iiu, p.channels, p.cores) / iiuBase,
+                    totalQps(boss, p.channels, p.cores) / bossBase);
+    }
+    return 0;
+}

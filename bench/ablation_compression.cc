@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: the programmable decompression module's payoff. Each
+ * row forces one compression scheme for the whole index (what a
+ * fixed-function accelerator like IIU supports) vs the hybrid
+ * best-per-list selection BOSS's reconfigurable datapath enables.
+ * Reports index footprint and BOSS query throughput: smaller
+ * encodings mean fewer SCM bytes per block and higher throughput.
+ */
+
+#include <cstdio>
+
+#include "benchutil.h"
+#include "common/logging.h"
+
+using namespace boss;
+using namespace boss::bench;
+using namespace boss::model;
+
+int
+main()
+{
+    boss::setVerbose(false);
+    std::printf("=== Ablation: compression scheme vs index size and "
+                "throughput (ClueWeb12-like, BOSS 8-core) ===\n");
+
+    workload::CorpusConfig cfg = workload::clueWebConfig();
+    workload::Corpus corpus(cfg);
+    workload::QueryWorkloadConfig qcfg;
+    qcfg.vocabSize = cfg.vocabSize;
+    auto queries = workload::makeWorkload(qcfg);
+    auto terms = workload::collectTerms(queries);
+
+    std::printf("%-10s %14s %14s\n", "scheme", "index MB", "QPS");
+
+    auto evaluate = [&](const char *name,
+                        std::optional<compress::Scheme> scheme) {
+        auto index = corpus.buildIndex(terms, scheme);
+        index::MemoryLayout layout(index, 0x10000, 256);
+        SystemConfig sys;
+        sys.kind = SystemKind::Boss;
+        auto metrics =
+            runWorkload(index, layout, queries, sys);
+        std::printf("%-10s %14.2f %14.0f\n", name,
+                    static_cast<double>(index.sizeBytes()) / 1e6,
+                    metrics.run.qps);
+    };
+
+    for (compress::Scheme s : compress::kFig3Schemes)
+        evaluate(schemeName(s).data(), s);
+    evaluate("Hybrid", std::nullopt);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: per-query latency and scheduling policy. The paper
+ * reports throughput; a serving tier also cares about tail latency.
+ * This bench reports the latency distribution of the mixed 300-query
+ * batch on each system and contrasts the command queue's FIFO
+ * dispatch with shortest-job-first, which trades the long queries'
+ * completion time for a much better p50.
+ */
+
+#include <cstdio>
+
+#include "benchutil.h"
+#include "common/logging.h"
+
+using namespace boss;
+using namespace boss::bench;
+using namespace boss::model;
+
+int
+main()
+{
+    boss::setVerbose(false);
+    std::printf("=== Ablation: query latency and scheduling "
+                "(ClueWeb12-like, mixed 300-query batch, 8 cores) "
+                "===\n");
+
+    Dataset data = makeDataset(workload::clueWebConfig());
+
+    std::printf("%-22s %10s %10s %10s %10s\n", "system/policy",
+                "mean(us)", "p50(us)", "p95(us)", "p99(us)");
+    for (SystemKind kind :
+         {SystemKind::Lucene, SystemKind::Iiu, SystemKind::Boss}) {
+        // Whole mixed batch, not split per type.
+        auto traces = buildTraces(data.index, data.layout,
+                                  data.queries, kind);
+        for (SchedPolicy sched : {SchedPolicy::Fifo, SchedPolicy::Sjf}) {
+            SystemConfig cfg;
+            cfg.kind = kind;
+            cfg.cores = 8;
+            cfg.sched = sched;
+            auto m = replayTraces(traces, cfg);
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s/%s",
+                          systemName(kind).data(),
+                          sched == SchedPolicy::Fifo ? "fifo" : "sjf");
+            std::printf("%-22s %10.1f %10.1f %10.1f %10.1f\n", label,
+                        m.run.latencyMean * 1e6,
+                        m.run.latencyP50 * 1e6,
+                        m.run.latencyP95 * 1e6,
+                        m.run.latencyP99 * 1e6);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,161 @@
+#include "benchutil.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace boss::bench
+{
+
+Dataset
+makeDataset(const workload::CorpusConfig &corpusCfg,
+            std::uint32_t queriesPerBucket, std::uint64_t querySeed)
+{
+    workload::Corpus corpus(corpusCfg);
+    workload::QueryWorkloadConfig qcfg;
+    qcfg.vocabSize = corpusCfg.vocabSize;
+    qcfg.queriesPerBucket = queriesPerBucket;
+    qcfg.seed = querySeed;
+    auto queries = workload::makeWorkload(qcfg);
+    auto terms = workload::collectTerms(queries);
+
+    auto index = corpus.buildIndex(terms);
+    // The layout snapshots placements; it holds no reference to the
+    // index, so moving the index afterwards is safe.
+    index::MemoryLayout layout(index, 0x10000, 256);
+
+    Dataset data{corpusCfg, std::move(queries), std::move(index),
+                 std::move(layout), {}};
+    for (const auto &q : data.queries)
+        data.byType[q.type].push_back(q);
+    return data;
+}
+
+TraceSet::TraceSet(const Dataset &data, model::SystemKind kind,
+                   std::size_t k)
+    : kind_(kind)
+{
+    for (const auto &[type, queries] : data.byType) {
+        traces_[type] = model::buildTraces(data.index, data.layout,
+                                           queries, kind, k);
+    }
+}
+
+model::WorkloadMetrics
+TraceSet::replay(workload::QueryType type,
+                 const model::SystemConfig &config) const
+{
+    auto it = traces_.find(type);
+    BOSS_ASSERT(it != traces_.end(), "no traces for query type");
+    BOSS_ASSERT(config.kind == kind_, "system kind mismatch");
+    return model::replayTraces(it->second, config);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    BOSS_ASSERT(!values.empty(), "geomean of empty set");
+    double logSum = 0.0;
+    for (double v : values) {
+        BOSS_ASSERT(v > 0.0, "geomean needs positive values");
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+void
+printRow(const std::string &label, const std::vector<double> &perType,
+         bool withGeomean, int precision)
+{
+    std::printf("%-18s", label.c_str());
+    for (double v : perType)
+        std::printf(" %8.*f", precision, v);
+    if (withGeomean)
+        std::printf(" %8.*f", precision, geomean(perType));
+    std::printf("\n");
+}
+
+void
+printHeader(const std::string &firstColumn, bool withGeomean)
+{
+    std::printf("%-18s", firstColumn.c_str());
+    for (auto type : workload::kAllQueryTypes)
+        std::printf(" %8s", workload::queryTypeName(type).data());
+    if (withGeomean)
+        std::printf(" %8s", "GMean");
+    std::printf("\n");
+}
+
+} // namespace boss::bench
+
+namespace boss::bench
+{
+
+void
+runMulticoreBench(const workload::CorpusConfig &corpusCfg,
+                  const char *title)
+{
+    std::printf("%s\n", title);
+    Dataset data = makeDataset(corpusCfg);
+
+    TraceSet lucene(data, model::SystemKind::Lucene);
+    TraceSet iiu(data, model::SystemKind::Iiu);
+    TraceSet boss(data, model::SystemKind::Boss);
+
+    model::SystemConfig luceneCfg;
+    luceneCfg.kind = model::SystemKind::Lucene;
+    luceneCfg.cores = 8;
+    std::map<workload::QueryType, double> baselineQps;
+    for (auto type : workload::kAllQueryTypes)
+        baselineQps[type] = lucene.replay(type, luceneCfg).run.qps;
+
+    printHeader("system", true);
+    printRow("lucene-8", std::vector<double>(6, 1.0), true);
+
+    for (const auto *ts : {&iiu, &boss}) {
+        for (std::uint32_t cores : {1u, 2u, 4u, 8u}) {
+            model::SystemConfig cfg;
+            cfg.kind = ts->kind();
+            cfg.cores = cores;
+            std::vector<double> row;
+            for (auto type : workload::kAllQueryTypes)
+                row.push_back(ts->replay(type, cfg).run.qps /
+                              baselineQps[type]);
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s-%u",
+                          model::systemName(ts->kind()).data(), cores);
+            printRow(label, row, true);
+        }
+    }
+}
+
+void
+runBandwidthBench(const workload::CorpusConfig &corpusCfg,
+                  const char *title)
+{
+    std::printf("%s\n", title);
+    Dataset data = makeDataset(corpusCfg);
+
+    TraceSet iiu(data, model::SystemKind::Iiu);
+    TraceSet boss(data, model::SystemKind::Boss);
+
+    printHeader("system (GB/s)", false);
+    for (std::uint32_t cores : {1u, 2u, 4u, 8u}) {
+        for (const auto *ts : {&iiu, &boss}) {
+            model::SystemConfig cfg;
+            cfg.kind = ts->kind();
+            cfg.cores = cores;
+            std::vector<double> row;
+            for (auto type : workload::kAllQueryTypes)
+                row.push_back(
+                    ts->replay(type, cfg).run.deviceBandwidthGBs);
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s-%u",
+                          model::systemName(ts->kind()).data(), cores);
+            printRow(label, row, false);
+        }
+    }
+}
+
+} // namespace boss::bench

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared harness for the reproduction benches: dataset assembly,
+ * per-query-type runs with trace caching, and paper-style table
+ * printing.
+ */
+
+#ifndef BOSS_BENCH_BENCHUTIL_H
+#define BOSS_BENCH_BENCHUTIL_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/runner.h"
+#include "workload/corpus.h"
+#include "workload/queries.h"
+
+namespace boss::bench
+{
+
+/** A fully prepared experiment input. */
+struct Dataset
+{
+    workload::CorpusConfig corpusCfg;
+    std::vector<workload::Query> queries;
+    index::InvertedIndex index;
+    index::MemoryLayout layout;
+
+    /** The workload split per query type (Table II). */
+    std::map<workload::QueryType, std::vector<workload::Query>> byType;
+};
+
+/**
+ * Build a dataset: corpus, the 300-query TREC-like workload (paper
+ * Sec. V-A) and the hybrid-compressed index over its terms.
+ */
+Dataset makeDataset(const workload::CorpusConfig &corpusCfg,
+                    std::uint32_t queriesPerBucket = 100,
+                    std::uint64_t querySeed = 7);
+
+/**
+ * Traces for every query type under one system, built once and
+ * reused across core-count / memory-device sweeps.
+ */
+class TraceSet
+{
+  public:
+    TraceSet(const Dataset &data, model::SystemKind kind,
+             std::size_t k = engine::kDefaultTopK);
+
+    /** Replay one query type under a hardware configuration. */
+    model::WorkloadMetrics
+    replay(workload::QueryType type,
+           const model::SystemConfig &config) const;
+
+    model::SystemKind kind() const { return kind_; }
+
+  private:
+    model::SystemKind kind_;
+    std::map<workload::QueryType, std::vector<model::QueryTrace>>
+        traces_;
+};
+
+/** Geometric mean (values must be positive). */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Print one table row: label then one value per query type plus the
+ * geometric mean, matching the figures' Q1..Q6 x-axis.
+ */
+void printRow(const std::string &label,
+              const std::vector<double> &perType, bool withGeomean,
+              int precision = 2);
+
+/** Print the Q1..Q6 header line. */
+void printHeader(const std::string &firstColumn, bool withGeomean);
+
+} // namespace boss::bench
+
+namespace boss::bench
+{
+
+/** Shared body of Figs. 9/10: multi-core throughput vs Lucene-8. */
+void runMulticoreBench(const workload::CorpusConfig &corpusCfg,
+                       const char *title);
+
+/** Shared body of Figs. 11/12: device bandwidth utilization. */
+void runBandwidthBench(const workload::CorpusConfig &corpusCfg,
+                       const char *title);
+
+} // namespace boss::bench
+
+#endif // BOSS_BENCH_BENCHUTIL_H

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 3: compression ratio of BP / VB / OptPFD / S16 / S8b and
+ * the hybrid best-per-list choice, on seven synthetic integer
+ * streams and the two web-corpus stand-ins.
+ *
+ * Paper reference: the best scheme differs per stream (stars in the
+ * figure); Hybrid matches or beats every single scheme everywhere.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "benchutil.h"
+#include "common/logging.h"
+#include "workload/synthetic_streams.h"
+
+using namespace boss;
+using namespace boss::workload;
+
+namespace
+{
+
+/** Compression ratio of a whole corpus index under one scheme. */
+double
+corpusRatio(const Corpus &corpus, const std::vector<TermId> &terms,
+            const std::optional<compress::Scheme> &scheme)
+{
+    auto index = corpus.buildIndex(terms, scheme);
+    std::uint64_t raw = 0;
+    std::uint64_t compressed = 0;
+    for (TermId t : terms) {
+        raw += static_cast<std::uint64_t>(index.list(t).docCount) * 8;
+        compressed += index.list(t).sizeBytes();
+    }
+    return static_cast<double>(raw) / static_cast<double>(compressed);
+}
+
+} // namespace
+
+int
+main()
+{
+    boss::setVerbose(false);
+    std::printf("=== Fig. 3: compression ratio (raw bytes / "
+                "compressed bytes; higher is better) ===\n");
+    std::printf("%-16s", "dataset");
+    for (compress::Scheme s : compress::kFig3Schemes)
+        std::printf(" %8s", schemeName(s).data());
+    std::printf(" %8s %10s\n", "Hybrid", "best");
+
+    const std::size_t kStreamLen = 1'000'000;
+    for (StreamKind kind : kAllStreams) {
+        auto stream = makeStream(kind, kStreamLen, 2026);
+        std::printf("%-16s", streamName(kind).data());
+        double best = 0.0;
+        compress::Scheme bestScheme = compress::Scheme::BP;
+        for (compress::Scheme s : compress::kFig3Schemes) {
+            double r = compressionRatio(stream, s);
+            std::printf(" %8.2f", r);
+            if (r > best) {
+                best = r;
+                bestScheme = s;
+            }
+        }
+        std::printf(" %8.2f %9s*\n", hybridCompressionRatio(stream),
+                    schemeName(bestScheme).data());
+    }
+
+    // Real-world stand-ins: hybrid applies the best scheme per
+    // posting list across the whole dataset.
+    for (const auto &cfg : {clueWebConfig(), ccNewsConfig()}) {
+        Corpus corpus(cfg);
+        // A representative slice of the vocabulary: popular through
+        // rare terms.
+        std::vector<TermId> terms;
+        for (TermId t = 0; t < 400; ++t)
+            terms.push_back(t * (cfg.vocabSize / 400));
+        std::printf("%-16s", cfg.name.c_str());
+        double best = 0.0;
+        compress::Scheme bestScheme = compress::Scheme::BP;
+        for (compress::Scheme s : compress::kFig3Schemes) {
+            double r = corpusRatio(corpus, terms, s);
+            std::printf(" %8.2f", r);
+            if (r > best) {
+                best = r;
+                bestScheme = s;
+            }
+        }
+        std::printf(" %8.2f %9s*\n",
+                    corpusRatio(corpus, terms, std::nullopt),
+                    schemeName(bestScheme).data());
+    }
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figure 9: multi-core query throughput on the ClueWeb12-like
+ * dataset. BOSS and IIU with 1/2/4/8 cores, normalized to Lucene
+ * running with 8 threads on 8 CPU cores, per query type Q1-Q6.
+ *
+ * Paper reference points (8 cores, ClueWeb12): BOSS 7.54x average
+ * over Lucene; IIU 1.69x; BOSS scales with cores markedly better
+ * than IIU (IIU "hits the maximum performance with fewer cores").
+ */
+
+#include "benchutil.h"
+#include "common/logging.h"
+
+int
+main()
+{
+    boss::setVerbose(false);
+    boss::bench::runMulticoreBench(
+        boss::workload::clueWebConfig(),
+        "=== Fig. 9: multi-core throughput, ClueWeb12-like "
+        "(normalized to Lucene 8-core on SCM) ===");
+    return 0;
+}

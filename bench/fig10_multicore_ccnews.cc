@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 10: multi-core query throughput on the CC-News-like
+ * dataset, normalized to Lucene with 8 cores.
+ *
+ * Paper reference points (8 cores, CC-News): BOSS 8.7x average over
+ * Lucene; IIU 1.75x.
+ */
+
+#include "benchutil.h"
+#include "common/logging.h"
+
+int
+main()
+{
+    boss::setVerbose(false);
+    boss::bench::runMulticoreBench(
+        boss::workload::ccNewsConfig(),
+        "=== Fig. 10: multi-core throughput, CC-News-like "
+        "(normalized to Lucene 8-core on SCM) ===");
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 11: SCM device bandwidth utilization on the ClueWeb12-like
+ * dataset, IIU vs BOSS with 1/2/4/8 cores, per query type.
+ *
+ * Paper reference: BOSS consumes substantially less bandwidth than
+ * IIU on every query type except Q2, while sustaining ~4.7x higher
+ * throughput; both saturate as cores scale.
+ */
+
+#include "benchutil.h"
+#include "common/logging.h"
+
+int
+main()
+{
+    boss::setVerbose(false);
+    boss::bench::runBandwidthBench(
+        boss::workload::clueWebConfig(),
+        "=== Fig. 11: bandwidth utilization, ClueWeb12-like (GB/s) "
+        "===");
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Figure 12: SCM device bandwidth utilization on the CC-News-like
+ * dataset, IIU vs BOSS with 1/2/4/8 cores, per query type.
+ */
+
+#include "benchutil.h"
+#include "common/logging.h"
+
+int
+main()
+{
+    boss::setVerbose(false);
+    boss::bench::runBandwidthBench(
+        boss::workload::ccNewsConfig(),
+        "=== Fig. 12: bandwidth utilization, CC-News-like (GB/s) ===");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 13: single-core throughput of Lucene, IIU, BOSS-exhaustive
+ * (no early termination) and BOSS, normalized to Lucene with one
+ * core, per query type.
+ *
+ * Paper reference shapes: ET gains over BOSS-exhaustive shrink with
+ * term count on unions (Q1 > Q3 > Q5) and grow with term count on
+ * intersections (Q4 > Q2) thanks to the pipelined overlap check;
+ * BOSS-exhaustive beats IIU everywhere except Q1, where IIU's
+ * intra-query parallelism (all 4 decompression/scoring units on one
+ * term) wins.
+ */
+
+#include <cstdio>
+
+#include "benchutil.h"
+#include "common/logging.h"
+
+using namespace boss;
+using namespace boss::bench;
+using namespace boss::model;
+
+int
+main()
+{
+    boss::setVerbose(false);
+    std::printf("=== Fig. 13: single-core throughput, ClueWeb12-like "
+                "(normalized to Lucene 1-core on SCM) ===\n");
+
+    Dataset data = makeDataset(workload::clueWebConfig());
+
+    const SystemKind kinds[] = {
+        SystemKind::Lucene,
+        SystemKind::Iiu,
+        SystemKind::BossExhaustive,
+        SystemKind::Boss,
+    };
+
+    std::map<workload::QueryType, double> baselineQps;
+    printHeader("system", true);
+    for (SystemKind kind : kinds) {
+        TraceSet ts(data, kind);
+        SystemConfig cfg;
+        cfg.kind = kind;
+        cfg.cores = 1;
+        std::vector<double> row;
+        for (auto type : workload::kAllQueryTypes) {
+            double qps = ts.replay(type, cfg).run.qps;
+            if (kind == SystemKind::Lucene)
+                baselineQps[type] = qps;
+            row.push_back(qps / baselineQps[type]);
+        }
+        printRow(std::string(systemName(kind)) + "-1", row, true);
+    }
+    return 0;
+}

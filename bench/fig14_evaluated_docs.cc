@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 14: normalized number of evaluated (scored) documents for
+ * the single-term and union queries (Q1, Q3, Q5), comparing IIU
+ * (exhaustive: every candidate scored), BOSS-block-only (skips at
+ * the block fetch module only) and full BOSS (block fetch + union
+ * module WAND).
+ *
+ * Paper reference shape: both skip points are needed; the block
+ * fetch module's effectiveness decays as terms increase (more false
+ * positives in overlapped block selection), while the union module
+ * keeps pruning docIDs via WAND.
+ */
+
+#include <cstdio>
+
+#include "benchutil.h"
+#include "common/logging.h"
+
+using namespace boss;
+using namespace boss::bench;
+using namespace boss::model;
+
+int
+main()
+{
+    boss::setVerbose(false);
+    std::printf("=== Fig. 14: evaluated (scored) documents on union "
+                "queries (normalized to IIU) ===\n");
+
+    Dataset data = makeDataset(workload::clueWebConfig());
+
+    const workload::QueryType types[] = {
+        workload::QueryType::Q1,
+        workload::QueryType::Q3,
+        workload::QueryType::Q5,
+    };
+
+    // Evaluated docs are a property of the algorithm flags alone, so
+    // we only need the traces (no hardware replay).
+    std::printf("%-18s %8s %8s %8s\n", "system", "Q1", "Q3", "Q5");
+    std::map<workload::QueryType, double> baseline;
+    for (SystemKind kind : {SystemKind::Iiu, SystemKind::BossBlockOnly,
+                            SystemKind::Boss}) {
+        std::printf("%-18s", systemName(kind).data());
+        for (auto type : types) {
+            std::uint64_t evaluated = 0;
+            auto traces =
+                buildTraces(data.index, data.layout,
+                            data.byType.at(type), kind);
+            for (const auto &t : traces)
+                evaluated += t.evaluatedDocs;
+            if (kind == SystemKind::Iiu)
+                baseline[type] = static_cast<double>(evaluated);
+            std::printf(" %8.3f",
+                        static_cast<double>(evaluated) /
+                            baseline[type]);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 15: normalized memory access counts by traffic category
+ * (LD List, LD Score, LD Inter, ST Inter, ST Result) for IIU vs
+ * BOSS, per query type, normalized to IIU's total for that type.
+ *
+ * Paper reference shape: BOSS eliminates intermediate-data movement
+ * (LD/ST Inter) via pipelined multi-term execution, shrinks ST
+ * Result to the top-k via the hardware top-k module, and cuts LD
+ * List / LD Score through the skip mechanisms.
+ */
+
+#include <cstdio>
+
+#include "benchutil.h"
+#include "common/logging.h"
+
+using namespace boss;
+using namespace boss::bench;
+using namespace boss::model;
+
+int
+main()
+{
+    boss::setVerbose(false);
+    std::printf("=== Fig. 15: memory accesses by category, "
+                "ClueWeb12-like (normalized to IIU total per query "
+                "type; 64B access units) ===\n");
+
+    Dataset data = makeDataset(workload::clueWebConfig());
+
+    std::printf("%-6s %-8s", "type", "system");
+    for (std::size_t c = 0; c < mem::kNumCategories; ++c)
+        std::printf(" %10s",
+                    mem::categoryName(static_cast<mem::Category>(c))
+                        .data());
+    std::printf(" %10s\n", "Total");
+
+    for (auto type : workload::kAllQueryTypes) {
+        double iiuTotal = 0.0;
+        for (SystemKind kind : {SystemKind::Iiu, SystemKind::Boss}) {
+            std::array<std::uint64_t, mem::kNumCategories> acc{};
+            auto traces = buildTraces(data.index, data.layout,
+                                      data.byType.at(type), kind);
+            for (const auto &t : traces) {
+                for (std::size_t c = 0; c < mem::kNumCategories; ++c)
+                    acc[c] += t.catAccesses[c];
+            }
+            double total = 0.0;
+            for (auto v : acc)
+                total += static_cast<double>(v);
+            if (kind == SystemKind::Iiu)
+                iiuTotal = total;
+            std::printf("%-6s %-8s",
+                        workload::queryTypeName(type).data(),
+                        systemName(kind).data());
+            for (auto v : acc)
+                std::printf(" %10.4f",
+                            static_cast<double>(v) / iiuTotal);
+            std::printf(" %10.4f\n", total / iiuTotal);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 16: Lucene, IIU and BOSS with 8 cores on DRAM vs SCM,
+ * normalized to Lucene with 8 cores on SCM.
+ *
+ * Paper reference points: Lucene gains at most ~15% from DRAM
+ * (compute-bound); IIU gains ~3.29x and BOSS ~2.31x; IIU benefits
+ * more because its random accesses are much faster on DRAM.
+ */
+
+#include <cstdio>
+
+#include "benchutil.h"
+#include "common/logging.h"
+
+using namespace boss;
+using namespace boss::bench;
+using namespace boss::model;
+
+int
+main()
+{
+    boss::setVerbose(false);
+    std::printf("=== Fig. 16: DRAM vs SCM with 8 cores, "
+                "ClueWeb12-like (normalized to Lucene 8-core on SCM) "
+                "===\n");
+
+    Dataset data = makeDataset(workload::clueWebConfig());
+
+    std::map<workload::QueryType, double> baselineQps;
+    printHeader("system", true);
+
+    struct Entry
+    {
+        SystemKind kind;
+        bool dram;
+    };
+    const Entry entries[] = {
+        {SystemKind::Lucene, false}, {SystemKind::Lucene, true},
+        {SystemKind::Iiu, false},    {SystemKind::Iiu, true},
+        {SystemKind::Boss, false},   {SystemKind::Boss, true},
+    };
+
+    SystemKind prevKind = SystemKind::Lucene;
+    std::unique_ptr<TraceSet> traces;
+    for (const auto &entry : entries) {
+        if (traces == nullptr || entry.kind != prevKind) {
+            traces = std::make_unique<TraceSet>(data, entry.kind);
+            prevKind = entry.kind;
+        }
+        SystemConfig cfg;
+        cfg.kind = entry.kind;
+        cfg.cores = 8;
+        cfg.mem = entry.dram ? mem::dramConfig() : mem::scmConfig();
+        std::vector<double> row;
+        for (auto type : workload::kAllQueryTypes) {
+            double qps = traces->replay(type, cfg).run.qps;
+            if (entry.kind == SystemKind::Lucene && !entry.dram)
+                baselineQps[type] = qps;
+            row.push_back(qps / baselineQps[type]);
+        }
+        printRow(std::string(systemName(entry.kind)) +
+                     (entry.dram ? "-dram" : "-scm"),
+                 row, true);
+    }
+    return 0;
+}

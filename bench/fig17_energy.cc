@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 17: energy consumption of BOSS (8 cores) normalized to
+ * Lucene (8 cores) on SCM, per query type. Energy = average power x
+ * simulated runtime; the paper's headline is a 189x reduction
+ * (23.3x lower power compounding with ~8.1x higher throughput).
+ */
+
+#include <cstdio>
+
+#include "benchutil.h"
+#include "common/logging.h"
+#include "power/power.h"
+
+using namespace boss;
+using namespace boss::bench;
+using namespace boss::model;
+
+int
+main()
+{
+    boss::setVerbose(false);
+    std::printf("=== Fig. 17: energy consumption, ClueWeb12-like "
+                "(normalized to Lucene 8-core on SCM; lower is "
+                "better) ===\n");
+
+    Dataset data = makeDataset(workload::clueWebConfig());
+
+    TraceSet lucene(data, SystemKind::Lucene);
+    TraceSet boss(data, SystemKind::Boss);
+
+    printHeader("system", true);
+
+    std::map<workload::QueryType, double> baselineJoules;
+    std::vector<double> luceneRow;
+    std::vector<double> bossRow;
+    std::vector<double> savings;
+    for (auto type : workload::kAllQueryTypes) {
+        SystemConfig cfg;
+        cfg.kind = SystemKind::Lucene;
+        cfg.cores = 8;
+        double lsec = lucene.replay(type, cfg).run.seconds;
+        baselineJoules[type] =
+            power::energyJoules(SystemKind::Lucene, 8, lsec);
+        luceneRow.push_back(1.0);
+
+        cfg.kind = SystemKind::Boss;
+        double bsec = boss.replay(type, cfg).run.seconds;
+        double joules = power::energyJoules(SystemKind::Boss, 8, bsec);
+        bossRow.push_back(joules / baselineJoules[type]);
+        savings.push_back(baselineJoules[type] / joules);
+    }
+    printRow("lucene-8", luceneRow, true, 4);
+    printRow("boss-8", bossRow, true, 4);
+    std::printf("\nenergy savings (x): ");
+    for (std::size_t i = 0; i < savings.size(); ++i)
+        std::printf("%s=%.0f ",
+                    workload::queryTypeName(
+                        workload::kAllQueryTypes[i])
+                        .data(),
+                    savings[i]);
+    std::printf(" geomean=%.0fx\n", geomean(savings));
+    return 0;
+}

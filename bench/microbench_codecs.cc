@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the compression codecs and
+ * the programmable decompression datapath: encode/decode throughput
+ * in values/second per scheme. Not a paper figure; used to sanity-
+ * check that software decode rates are in the range the CPU cost
+ * model assumes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/types.h"
+#include "common/rng.h"
+#include "compress/codec.h"
+#include "compress/datapath.h"
+
+using namespace boss;
+using namespace boss::compress;
+
+namespace
+{
+
+std::vector<std::uint32_t>
+gapValues(std::size_t n, std::uint32_t maxBits, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint32_t> v(n);
+    for (auto &x : v)
+        x = 1 + (static_cast<std::uint32_t>(rng.next()) &
+                 maskLow(maxBits));
+    return v;
+}
+
+void
+BM_Encode(benchmark::State &state)
+{
+    auto scheme = static_cast<Scheme>(state.range(0));
+    const Codec &codec = codecFor(scheme);
+    auto values = gapValues(kBlockSize, 10, 42);
+    BlockEncoding enc;
+    for (auto _ : state) {
+        bool ok = codec.encode(values, enc);
+        benchmark::DoNotOptimize(ok);
+        benchmark::DoNotOptimize(enc.bytes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBlockSize);
+    state.SetLabel(std::string(schemeName(scheme)));
+}
+
+void
+BM_Decode(benchmark::State &state)
+{
+    auto scheme = static_cast<Scheme>(state.range(0));
+    const Codec &codec = codecFor(scheme);
+    auto values = gapValues(kBlockSize, 10, 42);
+    BlockEncoding enc;
+    codec.encode(values, enc);
+    std::vector<std::uint32_t> out(values.size());
+    for (auto _ : state) {
+        codec.decode(enc.bytes, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBlockSize);
+    state.SetLabel(std::string(schemeName(scheme)));
+}
+
+void
+BM_DatapathDecode(benchmark::State &state)
+{
+    auto scheme = static_cast<Scheme>(state.range(0));
+    const Codec &codec = codecFor(scheme);
+    ProgrammableDecompressor dp =
+        ProgrammableDecompressor::forScheme(scheme);
+    auto values = gapValues(kBlockSize, 10, 42);
+    BlockEncoding enc;
+    codec.encode(values, enc);
+    std::vector<std::uint32_t> out(values.size());
+    for (auto _ : state) {
+        dp.decodeValues(enc.bytes, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kBlockSize);
+    state.SetLabel(std::string(schemeName(scheme)));
+}
+
+void
+SchemeArgs(benchmark::internal::Benchmark *b)
+{
+    for (Scheme s : kAllSchemes)
+        b->Arg(static_cast<int>(s));
+}
+
+BENCHMARK(BM_Encode)->Apply(SchemeArgs);
+BENCHMARK(BM_Decode)->Apply(SchemeArgs);
+BENCHMARK(BM_DatapathDecode)->Apply(SchemeArgs);
+
+} // namespace
+
+BENCHMARK_MAIN();

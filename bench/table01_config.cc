@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tables I and II: the hardware methodology summary and the query
+ * type definitions, printed from the model's actual configuration
+ * constants so drift between code and documentation is impossible.
+ */
+
+#include <cstdio>
+
+#include "benchutil.h"
+#include "lucene/lucene.h"
+#include "mem/config.h"
+#include "model/cost.h"
+
+using namespace boss;
+
+int
+main()
+{
+    std::printf("=== Table I: hardware methodology ===\n\n");
+
+    lucene::HostConfig host;
+    std::printf("[Host processor]\n");
+    std::printf("  cores                 %u (Xeon-class)\n", host.cores);
+    std::printf("  frequency             %.1f GHz\n", host.frequencyGHz);
+    std::printf("  package power         %.1f W\n", host.packagePowerW);
+
+    mem::LinkConfig link;
+    std::printf("[Shared interconnect]\n");
+    std::printf("  bandwidth             %.0f GB/s (CXL-like)\n",
+                link.bandwidthGBs);
+    std::printf("  latency               %.0f ns\n", link.latency / 1e3);
+
+    model::BossCostModel boss;
+    std::printf("[BOSS configuration]\n");
+    std::printf("  cores                 8 BOSS cores @ %.1f GHz\n",
+                boss.frequencyHz() / 1e9);
+    std::printf("  per core              1 block fetch, 4 decompression,"
+                " 1 intersection,\n");
+    std::printf("                        1 union, 4 scoring, 1 top-k "
+                "module\n");
+    std::printf("  request window        %u outstanding\n",
+                boss.requestWindow());
+
+    for (const auto &cfg : {mem::scmConfig(), mem::dramConfig()}) {
+        std::printf("[%s memory system]\n",
+                    cfg.name == "scm" ? "BOSS (SCM)" : "DRAM");
+        std::printf("  channels              %u\n", cfg.channels);
+        std::printf("  seq read bandwidth    %.1f GB/s (%.2f per "
+                    "channel)\n",
+                    cfg.timing.seqReadGBs * cfg.channels,
+                    cfg.timing.seqReadGBs);
+        std::printf("  rand read bandwidth   %.1f GB/s\n",
+                    cfg.timing.randReadGBs * cfg.channels);
+        std::printf("  write bandwidth       %.1f GB/s\n",
+                    cfg.timing.writeGBs * cfg.channels);
+        std::printf("  read latency          %.0f ns seq / %.0f ns "
+                    "rand\n",
+                    cfg.timing.seqReadLatency / 1e3,
+                    cfg.timing.randReadLatency / 1e3);
+    }
+
+    std::printf("\n=== Table II: query types ===\n\n");
+    std::printf("  %-5s %-6s %s\n", "Type", "Terms", "Operation");
+    std::printf("  %-5s %-6u %s\n", "Q1", 1u, "A");
+    std::printf("  %-5s %-6u %s\n", "Q2", 2u, "A AND B");
+    std::printf("  %-5s %-6u %s\n", "Q3", 2u, "A OR B");
+    std::printf("  %-5s %-6u %s\n", "Q4", 4u, "A AND B AND C AND D");
+    std::printf("  %-5s %-6u %s\n", "Q5", 4u, "A OR B OR C OR D");
+    std::printf("  %-5s %-6u %s\n", "Q6", 4u, "A AND (B OR C OR D)");
+
+    // Confirm the workload sampler matches Table II.
+    workload::QueryWorkloadConfig qcfg;
+    auto queries = workload::makeWorkload(qcfg);
+    std::printf("\nworkload: %zu queries (100 per term-count bucket, "
+                "types randomly assigned)\n",
+                queries.size());
+    for (auto type : workload::kAllQueryTypes) {
+        std::printf("  %s: %zu queries\n",
+                    workload::queryTypeName(type).data(),
+                    workload::filterByType(queries, type).size());
+    }
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table III: area and power breakdown of BOSS at the TSMC 40 nm
+ * node. The per-module numbers are the paper's synthesis results
+ * (Chisel -> Verilog -> Synopsys DC), carried as model constants;
+ * this bench prints the table and verifies the totals.
+ */
+
+#include <cstdio>
+
+#include "model/system.h"
+#include "power/power.h"
+
+using namespace boss;
+
+int
+main()
+{
+    std::printf("=== Table III: area and power of BOSS (TSMC 40nm) "
+                "===\n\n");
+
+    std::printf("[BOSS]\n");
+    std::printf("  %-18s %6s %12s %12s\n", "Component", "Count",
+                "Area (mm^2)", "Power (mW)");
+    for (const auto &m : power::bossDeviceBreakdown()) {
+        std::printf("  %-18s %6u %12.3f %12.3f\n", m.name.data(),
+                    m.count, m.areaMm2, m.powerMw);
+    }
+    std::printf("  %-18s %6s %12.3f %12.3f\n", "Total", "",
+                power::bossDeviceAreaMm2(),
+                power::bossDevicePowerW() * 1000.0);
+
+    std::printf("\n[BOSS core]\n");
+    std::printf("  %-18s %6s %12s %12s\n", "Component", "Count",
+                "Area (mm^2)", "Power (mW)");
+    for (const auto &m : power::bossCoreBreakdown()) {
+        std::printf("  %-18s %6u %12.3f %12.3f\n", m.name.data(),
+                    m.count, m.areaMm2, m.powerMw);
+    }
+    std::printf("  %-18s %6s %12.3f %12.3f\n", "Total", "",
+                power::bossCoreAreaMm2(), power::bossCorePowerMw());
+
+    std::printf("\nBOSS vs host CPU package power: %.1f W vs %.1f W "
+                "(%.1fx lower)\n",
+                power::bossDevicePowerW(), power::kCpuPackagePowerW,
+                power::kCpuPackagePowerW /
+                    power::systemPowerW(model::SystemKind::Boss, 8));
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * News-search scenario: a CC-News-like corpus served by the three
+ * modeled systems side by side. Demonstrates the library's system
+ * comparison workflow on a realistic mixed query stream -- the
+ * workload the paper's introduction motivates (a production search
+ * tier serving interactive traffic from an SCM pool).
+ *
+ *   ./examples/news_search
+ */
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "iiu/iiu.h"
+#include "lucene/lucene.h"
+#include "model/runner.h"
+#include "power/power.h"
+#include "workload/corpus.h"
+
+using namespace boss;
+
+int
+main()
+{
+    boss::setVerbose(false);
+
+    // A scaled-down CC-News-like shard and a mixed query stream.
+    workload::CorpusConfig cfg = workload::ccNewsConfig();
+    cfg.numDocs = 400'000;
+    workload::Corpus corpus(cfg);
+
+    workload::QueryWorkloadConfig qcfg;
+    qcfg.vocabSize = cfg.vocabSize;
+    qcfg.queriesPerBucket = 30;
+    auto queries = workload::makeWorkload(qcfg);
+    auto index = corpus.buildIndex(workload::collectTerms(queries));
+    index::MemoryLayout layout(index, 0x10000, 256);
+
+    std::printf("news shard: %u docs, %.1f MB index, %zu queries\n\n",
+                index.numDocs(),
+                static_cast<double>(index.sizeBytes()) / 1e6,
+                queries.size());
+
+    std::printf("%-10s %10s %12s %12s %12s\n", "system", "QPS",
+                "p.query(us)", "SCM GB/s", "energy (J)");
+
+    struct Row
+    {
+        model::SystemKind kind;
+        model::WorkloadMetrics metrics;
+    };
+    std::vector<Row> rows;
+
+    rows.push_back({model::SystemKind::Lucene,
+                    lucene::run(index, layout, queries)});
+    rows.push_back({model::SystemKind::Iiu,
+                    iiu::run(index, layout, queries)});
+    {
+        model::SystemConfig bossCfg;
+        bossCfg.kind = model::SystemKind::Boss;
+        rows.push_back({model::SystemKind::Boss,
+                        model::runWorkload(index, layout, queries,
+                                           bossCfg)});
+    }
+
+    for (const auto &row : rows) {
+        const auto &m = row.metrics.run;
+        double energy = power::energyJoules(row.kind, 8, m.seconds);
+        std::printf("%-10s %10.0f %12.1f %12.2f %12.4f\n",
+                    model::systemName(row.kind).data(), m.qps,
+                    1e6 * m.seconds * 8 /
+                        static_cast<double>(m.queries),
+                    m.deviceBandwidthGBs, energy);
+    }
+
+    double speedup = rows[2].metrics.run.qps / rows[0].metrics.run.qps;
+    double energyRatio =
+        power::energyJoules(model::SystemKind::Lucene, 8,
+                            rows[0].metrics.run.seconds) /
+        power::energyJoules(model::SystemKind::Boss, 8,
+                            rows[2].metrics.run.seconds);
+    std::printf("\nBOSS vs Lucene on this shard: %.1fx throughput, "
+                "%.0fx less energy\n",
+                speedup, energyRatio);
+    std::printf("early termination skipped %llu of %llu candidate "
+                "documents\n",
+                static_cast<unsigned long long>(
+                    rows[2].metrics.skippedDocs),
+                static_cast<unsigned long long>(
+                    rows[2].metrics.skippedDocs +
+                    rows[2].metrics.evaluatedDocs));
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Pooled-memory scale-out scenario (paper Secs. II-C / III-A).
+ *
+ * A CXL-attached pool holds several memory nodes, each with its own
+ * shard and BOSS accelerator; all nodes share one link to the host.
+ * This example sweeps the number of nodes and contrasts the shared-
+ * interconnect traffic of (a) BOSS's hardware top-k (only k results
+ * cross the link per query) with (b) an IIU-style design whose full
+ * scored lists must cross for host-side top-k -- showing why BOSS
+ * "does not hinder scaling-out of the memory pool".
+ *
+ *   ./examples/pooled_memory_scaleout
+ */
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "model/runner.h"
+#include "workload/corpus.h"
+
+using namespace boss;
+
+int
+main()
+{
+    boss::setVerbose(false);
+
+    // One shard (memory node) worth of index and queries.
+    workload::CorpusConfig cfg = workload::clueWebConfig();
+    cfg.numDocs = 300'000;
+    workload::Corpus corpus(cfg);
+
+    workload::QueryWorkloadConfig qcfg;
+    qcfg.vocabSize = cfg.vocabSize;
+    qcfg.queriesPerBucket = 20;
+    auto queries = workload::makeWorkload(qcfg);
+    auto index = corpus.buildIndex(workload::collectTerms(queries));
+    index::MemoryLayout layout(index, 0x10000, 256);
+
+    // Per-node runs (each node serves the query stream on its own
+    // shard; nodes are independent except for the shared link).
+    auto bossTraces = model::buildTraces(index, layout, queries,
+                                         model::SystemKind::Boss);
+    auto iiuTraces = model::buildTraces(index, layout, queries,
+                                        model::SystemKind::Iiu);
+
+    auto linkBytes = [](const std::vector<model::QueryTrace> &traces) {
+        std::uint64_t bytes = 0;
+        for (const auto &t : traces)
+            bytes += t.resultStoreBytes;
+        return bytes;
+    };
+    std::uint64_t bossPerNode = linkBytes(bossTraces);
+    std::uint64_t iiuPerNode = linkBytes(iiuTraces);
+
+    mem::LinkConfig link;
+    std::printf("shared CXL-like link: %.0f GB/s\n", link.bandwidthGBs);
+    std::printf("per-node result traffic per %zu queries: BOSS %.2f "
+                "MB vs host-top-k %.2f MB (%.0fx reduction)\n\n",
+                queries.size(),
+                static_cast<double>(bossPerNode) / 1e6,
+                static_cast<double>(iiuPerNode) / 1e6,
+                static_cast<double>(iiuPerNode) /
+                    static_cast<double>(bossPerNode));
+
+    // Sweep pool size: the link saturates when aggregate result
+    // traffic approaches its bandwidth. QPS per node comes from the
+    // node-local simulation; the pool's aggregate QPS is capped by
+    // the link.
+    model::SystemConfig nodeCfg;
+    nodeCfg.kind = model::SystemKind::Boss;
+    auto bossNode = model::replayTraces(bossTraces, nodeCfg);
+    nodeCfg.kind = model::SystemKind::Iiu;
+    auto iiuNode = model::replayTraces(iiuTraces, nodeCfg);
+
+    std::printf("%-6s %16s %16s %14s %14s\n", "nodes",
+                "BOSS pool QPS", "IIU pool QPS", "BOSS link", "IIU link");
+    for (std::uint32_t nodes : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        auto poolQps = [&](double nodeQps, std::uint64_t perNode,
+                           double nodeSeconds) {
+            double aggregate = nodeQps * nodes;
+            // Link-imposed ceiling: bytes per query over link BW.
+            double bytesPerQuery = static_cast<double>(perNode) /
+                                   static_cast<double>(queries.size());
+            double linkQps = link.bandwidthGBs * 1e9 / bytesPerQuery;
+            (void)nodeSeconds;
+            return std::min(aggregate, linkQps);
+        };
+        double bossQps = poolQps(bossNode.run.qps, bossPerNode,
+                                 bossNode.run.seconds);
+        double iiuQps = poolQps(iiuNode.run.qps, iiuPerNode,
+                                iiuNode.run.seconds);
+        auto linkUse = [&](std::uint64_t perNode, double qps) {
+            double bytesPerQuery = static_cast<double>(perNode) /
+                                   static_cast<double>(queries.size());
+            return qps * bytesPerQuery / (link.bandwidthGBs * 1e9);
+        };
+        std::printf("%-6u %16.0f %16.0f %13.1f%% %13.1f%%\n", nodes,
+                    bossQps, iiuQps,
+                    100.0 * linkUse(bossPerNode, bossQps),
+                    100.0 * linkUse(iiuPerNode, iiuQps));
+    }
+    std::printf("\nBOSS's hardware top-k keeps the shared link cold, "
+                "so the pool scales until the nodes themselves "
+                "saturate;\nhost-side top-k designs hit the link "
+                "ceiling after a handful of nodes.\n");
+    return 0;
+}

@@ -1,0 +1,225 @@
+#include "api/offload.h"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "common/logging.h"
+#include "compress/datapath.h"
+#include "engine/plan.h"
+
+namespace boss::api
+{
+
+namespace
+{
+
+struct ApiState
+{
+    std::unique_ptr<accel::Device> device;
+    /** Programmed decompression datapaths, one per scheme. */
+    std::map<compress::Scheme, compress::DatapathConfig> programs;
+};
+
+ApiState &
+state()
+{
+    static ApiState s;
+    return s;
+}
+
+compress::Scheme
+schemeByName(const std::string &name)
+{
+    for (compress::Scheme s : compress::kAllSchemes) {
+        if (name == schemeName(s))
+            return s;
+    }
+    BOSS_FATAL("config file: unknown scheme '", name, "'");
+}
+
+/**
+ * Parse the device configuration file: "[scheme <NAME>]" headers,
+ * each followed by either the word "builtin" or an inline datapath
+ * program (terminated by the next section or EOF).
+ */
+std::map<compress::Scheme, compress::DatapathConfig>
+parseConfigFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        BOSS_FATAL("cannot open config file '", path, "'");
+
+    std::map<compress::Scheme, compress::DatapathConfig> programs;
+    std::string line;
+    std::optional<compress::Scheme> current;
+    std::string body;
+
+    auto flush = [&]() {
+        if (!current.has_value())
+            return;
+        // Trim to see if the body is just "builtin".
+        std::string trimmed;
+        for (char c : body) {
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                trimmed += c;
+        }
+        if (trimmed.empty() || trimmed == "builtin") {
+            programs[*current] = compress::parseDatapathConfig(
+                compress::builtinConfigText(*current));
+        } else {
+            programs[*current] = compress::parseDatapathConfig(body);
+        }
+        body.clear();
+    };
+
+    while (std::getline(is, line)) {
+        if (line.rfind("[scheme ", 0) == 0) {
+            flush();
+            auto close = line.find(']');
+            if (close == std::string::npos)
+                BOSS_FATAL("config file: malformed section '", line,
+                           "'");
+            current = schemeByName(line.substr(8, close - 8));
+            continue;
+        }
+        if (current.has_value()) {
+            body += line;
+            body += '\n';
+        }
+    }
+    flush();
+    if (programs.empty())
+        BOSS_FATAL("config file '", path,
+                   "' programs no compression scheme");
+    return programs;
+}
+
+} // namespace
+
+int
+init(const std::string &indexFile, const std::string &configFile)
+{
+    ApiState &s = state();
+    s.programs = parseConfigFile(configFile);
+    s.device = std::make_unique<accel::Device>();
+    s.device->loadIndexFile(indexFile);
+
+    // Validate that every scheme used by the index is programmed.
+    for (const auto &list : s.device->index().lists()) {
+        if (list.docCount == 0)
+            continue;
+        if (s.programs.find(list.scheme) == s.programs.end()) {
+            BOSS_FATAL("index uses scheme ", schemeName(list.scheme),
+                       " but the config file does not program it");
+        }
+    }
+    return static_cast<int>(s.programs.size());
+}
+
+void
+shutdown()
+{
+    state().device.reset();
+    state().programs.clear();
+}
+
+bool
+initialized()
+{
+    return state().device != nullptr;
+}
+
+accel::Device &
+device()
+{
+    BOSS_ASSERT(initialized(), "API used before init()");
+    return *state().device;
+}
+
+SearchArgs
+makeArgs(const workload::Query &query, ResultRecord *resultBuffer,
+         std::uint32_t resultSize)
+{
+    const accel::Device &dev = device();
+    SearchArgs args;
+    args.qExpression = query.toExpression();
+    args.nTerm = query.terms.size();
+    for (std::size_t i = 0; i < query.terms.size(); ++i) {
+        TermId t = query.terms[i];
+        args.compType[i] = dev.index().list(t).scheme;
+        args.listAddr[i] = dev.layout().list(t).metaAddr;
+    }
+    args.resultAddr = resultBuffer;
+    args.resultSize = resultSize;
+    return args;
+}
+
+int
+search(const SearchArgs &args)
+{
+    if (!initialized()) {
+        BOSS_WARN("search() before init()");
+        return -1;
+    }
+    if (args.nTerm == 0 || args.nTerm > kMaxTerms) {
+        BOSS_WARN("search(): nTerm out of range: ", args.nTerm);
+        return -1;
+    }
+    if (args.resultAddr == nullptr || args.resultSize == 0) {
+        BOSS_WARN("search(): no result buffer");
+        return -1;
+    }
+
+    accel::Device &dev = device();
+
+    // Parse the expression, resolving and validating terms.
+    std::vector<TermId> seen;
+    auto resolver = [&](std::string_view name) {
+        TermId t = engine::defaultTermResolver(name);
+        if (t >= dev.index().numTerms() ||
+            dev.index().list(t).docCount == 0) {
+            BOSS_FATAL("search(): unknown term '", std::string(name),
+                       "'");
+        }
+        seen.push_back(t);
+        return t;
+    };
+    auto expr = engine::parseExpression(args.qExpression, resolver);
+    if (seen.size() != args.nTerm) {
+        BOSS_WARN("search(): expression has ", seen.size(),
+                  " terms but nTerm=", args.nTerm);
+        return -1;
+    }
+
+    // Validate the caller-supplied per-term metadata.
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        TermId t = seen[i];
+        if (args.compType[i] != dev.index().list(t).scheme) {
+            BOSS_WARN("search(): compType[", i, "] mismatch");
+            return -1;
+        }
+        if (args.listAddr[i] != dev.layout().list(t).metaAddr) {
+            BOSS_WARN("search(): listAddr[", i, "] mismatch");
+            return -1;
+        }
+        // The decompression module must be programmed for it.
+        if (state().programs.find(args.compType[i]) ==
+            state().programs.end()) {
+            BOSS_WARN("search(): scheme not programmed");
+            return -1;
+        }
+    }
+
+    auto outcome = dev.search(args.qExpression);
+    std::uint32_t n = static_cast<std::uint32_t>(
+        std::min<std::size_t>(outcome.topk.size(), args.resultSize));
+    for (std::uint32_t i = 0; i < n; ++i) {
+        args.resultAddr[i] =
+            ResultRecord{outcome.topk[i].doc, outcome.topk[i].score};
+    }
+    return static_cast<int>(n);
+}
+
+} // namespace boss::api

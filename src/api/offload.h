@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The offloading API (paper Sec. IV-D): the two intrinsics a host
+ * application uses to drive BOSS.
+ *
+ *   void init(file indexFile, file configFile)
+ *   val  search(string qExpression, val compType[16], size_t nTerm,
+ *               addr listAddr[16], addr resultAddr, val resultSize)
+ *
+ * init() loads the inverted index file into the SCM pool, parses the
+ * decompression-module configuration file and programs the device.
+ * search() offloads one query: the expression uses quoted terms with
+ * AND/OR and parentheses; per-term compression schemes and posting-
+ * list addresses accompany it; the top-k (docID, score) pairs are
+ * written to the caller's result buffer.
+ */
+
+#ifndef BOSS_API_OFFLOAD_H
+#define BOSS_API_OFFLOAD_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "boss/device.h"
+#include "compress/scheme.h"
+
+namespace boss::api
+{
+
+/** Max query terms one search() call carries (paper: 16). */
+inline constexpr std::size_t kMaxTerms = 16;
+
+/** One (docID, score) result record in the result buffer. */
+struct ResultRecord
+{
+    DocId doc;
+    Score score;
+};
+
+/**
+ * Arguments of the search() intrinsic, matching the paper's
+ * signature field-for-field.
+ */
+struct SearchArgs
+{
+    std::string qExpression;
+    std::array<compress::Scheme, kMaxTerms> compType{};
+    std::size_t nTerm = 0;
+    std::array<Addr, kMaxTerms> listAddr{};
+    /** Caller-provided result buffer. */
+    ResultRecord *resultAddr = nullptr;
+    /** Capacity of the result buffer, in records. */
+    std::uint32_t resultSize = 0;
+};
+
+/**
+ * Initialize the device: load @p indexFile into the memory pool and
+ * program the decompression module from @p configFile.
+ *
+ * The config file holds one datapath program per compression scheme,
+ * each introduced by a "[scheme <name>]" section header; a section
+ * body of "builtin" selects the shipped program. Returns the number
+ * of schemes programmed.
+ */
+int init(const std::string &indexFile, const std::string &configFile);
+
+/** Tear down the device (tests re-init with different indexes). */
+void shutdown();
+
+/** Is the device initialized? */
+bool initialized();
+
+/**
+ * Offload one query. Returns the number of results written to
+ * args.resultAddr (<= min(k, resultSize)), or -1 on validation
+ * failure (unknown term, address mismatch, term count out of range).
+ */
+int search(const SearchArgs &args);
+
+/**
+ * Helper: assemble SearchArgs for a workload query against the
+ * initialized device (fills compType/listAddr from the index).
+ */
+SearchArgs makeArgs(const workload::Query &query,
+                    ResultRecord *resultBuffer,
+                    std::uint32_t resultSize);
+
+/** The device behind the API (for inspection in tests/examples). */
+accel::Device &device();
+
+} // namespace boss::api
+
+#endif // BOSS_API_OFFLOAD_H

@@ -1,0 +1,209 @@
+#include "boss/device.h"
+
+#include <limits>
+#include <map>
+
+#include "common/logging.h"
+#include "engine/plan.h"
+#include "engine/topk.h"
+#include "index/serialize.h"
+
+namespace boss::accel
+{
+
+namespace api_detail
+{
+/** Max terms four ganged BOSS cores handle in hardware. */
+constexpr std::size_t kMaxHwTerms = 16;
+/** Subquery width for host-managed wide unions. */
+constexpr std::size_t kSplitWidth = 16;
+} // namespace api_detail
+
+namespace
+{
+/** Index images start above the device's reserved low region. */
+constexpr Addr kImageBase = 0x10000;
+} // namespace
+
+Device::Device(DeviceConfig config) : config_(std::move(config)) {}
+
+Device::~Device() = default;
+
+void
+Device::loadIndex(index::InvertedIndex index)
+{
+    index_.emplace(std::move(index));
+    layout_.emplace(*index_, kImageBase,
+                    config_.mem.timing.granule);
+}
+
+void
+Device::loadIndexFile(const std::string &path)
+{
+    loadIndex(index::loadIndexFile(path));
+}
+
+void
+Device::loadTextIndex(index::TextIndex ti)
+{
+    loadIndex(std::move(ti.index));
+    lexicon_.emplace(std::move(ti.lexicon));
+}
+
+void
+Device::loadTextIndexFile(const std::string &path)
+{
+    loadTextIndex(index::loadTextIndexFile(path));
+}
+
+const index::Lexicon &
+Device::lexicon() const
+{
+    BOSS_ASSERT(lexicon_.has_value(), "no lexicon loaded");
+    return *lexicon_;
+}
+
+const index::InvertedIndex &
+Device::index() const
+{
+    BOSS_ASSERT(index_.has_value(), "no index loaded");
+    return *index_;
+}
+
+const index::MemoryLayout &
+Device::layout() const
+{
+    BOSS_ASSERT(layout_.has_value(), "no index loaded");
+    return *layout_;
+}
+
+namespace
+{
+
+/**
+ * Host-managed execution of a union with more than 16 terms (paper
+ * Sec. IV-D): split into <=16-term subqueries, run each without
+ * pruning or device top-k, gather the full scored lists in host
+ * memory, and merge there.
+ */
+std::vector<engine::QueryPlan>
+splitWidePlan(const engine::QueryPlan &plan)
+{
+    BOSS_ASSERT(plan.isPureUnion(),
+                "queries with more than 16 terms are host-managed "
+                "and only supported for pure unions");
+    std::vector<engine::QueryPlan> subplans;
+    engine::QueryPlan current;
+    for (TermId t : plan.allTerms) {
+        current.groups.push_back({t});
+        current.allTerms.push_back(t);
+        if (current.allTerms.size() == api_detail::kSplitWidth) {
+            subplans.push_back(std::move(current));
+            current = {};
+        }
+    }
+    if (!current.groups.empty())
+        subplans.push_back(std::move(current));
+    return subplans;
+}
+
+} // namespace
+
+SearchOutcome
+Device::runPlans(const std::vector<engine::QueryPlan> &plans)
+{
+    BOSS_ASSERT(index_.has_value(), "search() before loadIndex()");
+
+    model::TraceOptions options =
+        model::traceOptionsFor(config_.kind, config_.k);
+    // Subqueries of host-managed wide unions run without pruning and
+    // spill their full scored lists to the host.
+    model::TraceOptions wideOptions = options;
+    wideOptions.flags.blockSkip = false;
+    wideOptions.flags.wandSkip = false;
+    wideOptions.flags.storeAllResults = true;
+    wideOptions.k = std::numeric_limits<std::size_t>::max() / 2;
+
+    SearchOutcome outcome;
+    std::vector<model::QueryTrace> traces;
+    traces.reserve(plans.size());
+    for (const auto &plan : plans) {
+        if (plan.allTerms.size() > api_detail::kMaxHwTerms) {
+            // Host-managed split: gather and merge on the host.
+            std::map<DocId, Score> merged;
+            for (const auto &sub : splitWidePlan(plan)) {
+                std::vector<engine::Result> partial;
+                traces.push_back(model::buildTrace(
+                    *index_, *layout_, sub, wideOptions, &partial));
+                outcome.evaluatedDocs += traces.back().evaluatedDocs;
+                for (const auto &r : partial)
+                    merged[r.doc] += r.score;
+            }
+            engine::TopK topk(config_.k);
+            for (const auto &[doc, score] : merged)
+                topk.insert(doc, score);
+            outcome.topk = topk.sorted();
+            continue;
+        }
+        std::vector<engine::Result> results;
+        traces.push_back(model::buildTrace(*index_, *layout_, plan,
+                                           options, &results));
+        outcome.evaluatedDocs += traces.back().evaluatedDocs;
+        outcome.skippedDocs += traces.back().skippedDocs;
+        // The batch outcome carries the last query's results when
+        // batching; single-query callers get exactly their results.
+        outcome.topk = std::move(results);
+    }
+
+    model::SystemConfig sys;
+    sys.kind = config_.kind;
+    sys.cores = config_.cores;
+    sys.mem = config_.mem;
+    sys.link = config_.link;
+    auto metrics = model::replayTraces(traces, sys);
+    outcome.simSeconds = metrics.run.seconds;
+    outcome.deviceBytes = metrics.run.deviceBytes;
+
+    totalSeconds_ += outcome.simSeconds;
+    totalQueries_ += plans.size();
+    return outcome;
+}
+
+SearchOutcome
+Device::search(const std::string &qExpression)
+{
+    // With a lexicon loaded, quoted terms are words; otherwise the
+    // synthetic t<N> naming applies.
+    engine::TermResolver resolver;
+    if (lexicon_.has_value()) {
+        resolver = [this](std::string_view name) {
+            auto id = lexicon_->lookup(name);
+            if (!id.has_value())
+                BOSS_FATAL("unknown query term '", std::string(name),
+                           "'");
+            return *id;
+        };
+    } else {
+        resolver = engine::defaultTermResolver;
+    }
+    auto expr = engine::parseExpression(qExpression, resolver);
+    return runPlans({engine::planQuery(expr)});
+}
+
+SearchOutcome
+Device::search(const workload::Query &query)
+{
+    return runPlans({engine::planQuery(query)});
+}
+
+SearchOutcome
+Device::searchBatch(const std::vector<workload::Query> &queries)
+{
+    std::vector<engine::QueryPlan> plans;
+    plans.reserve(queries.size());
+    for (const auto &q : queries)
+        plans.push_back(engine::planQuery(q));
+    return runPlans(plans);
+}
+
+} // namespace boss::accel

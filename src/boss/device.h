@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The BOSS device: the library's main public entry point.
+ *
+ * A Device owns an index image placed in the modeled SCM pool and
+ * serves search queries through the full simulated accelerator
+ * (functional result + cycle-level timing). This is the programmer-
+ * facing facade; the paper-faithful init()/search() intrinsics in
+ * src/api wrap it.
+ */
+
+#ifndef BOSS_BOSS_DEVICE_H
+#define BOSS_BOSS_DEVICE_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/execute.h"
+#include "index/memory_layout.h"
+#include "index/text_builder.h"
+#include "model/runner.h"
+
+namespace boss::accel
+{
+
+/** Device configuration (paper Table I defaults). */
+struct DeviceConfig
+{
+    std::uint32_t cores = 8;
+    mem::MemConfig mem = mem::scmConfig();
+    mem::LinkConfig link;
+    std::size_t k = engine::kDefaultTopK;
+    /** Ablation switch; leave at Boss for the real device. */
+    model::SystemKind kind = model::SystemKind::Boss;
+};
+
+/** Result of one search() call. */
+struct SearchOutcome
+{
+    std::vector<engine::Result> topk;
+    double simSeconds = 0.0;      ///< simulated wall time
+    std::uint64_t deviceBytes = 0; ///< SCM traffic for this search
+    std::uint64_t evaluatedDocs = 0;
+    std::uint64_t skippedDocs = 0;
+};
+
+class Device
+{
+  public:
+    explicit Device(DeviceConfig config = {});
+    ~Device();
+
+    /** Place an index into the device's memory pool. */
+    void loadIndex(index::InvertedIndex index);
+
+    /** Load a serialized index file (the init() intrinsic's path). */
+    void loadIndexFile(const std::string &path);
+
+    /**
+     * Place a text index (index + lexicon): textual query terms then
+     * resolve through the lexicon in search().
+     */
+    void loadTextIndex(index::TextIndex ti);
+
+    /** Load a text-index file written by saveTextIndexFile(). */
+    void loadTextIndexFile(const std::string &path);
+
+    bool hasLexicon() const { return lexicon_.has_value(); }
+    const index::Lexicon &lexicon() const;
+
+    bool hasIndex() const { return index_.has_value(); }
+    const index::InvertedIndex &index() const;
+    const index::MemoryLayout &layout() const;
+
+    /** Serve one query given as an API expression string. */
+    SearchOutcome search(const std::string &qExpression);
+
+    /** Serve one workload query. */
+    SearchOutcome search(const workload::Query &query);
+
+    /** Serve a batch concurrently across the device's cores. */
+    SearchOutcome
+    searchBatch(const std::vector<workload::Query> &queries);
+
+    /** Cumulative simulated busy time across all searches. */
+    double totalSimSeconds() const { return totalSeconds_; }
+    std::uint64_t totalQueries() const { return totalQueries_; }
+
+    const DeviceConfig &config() const { return config_; }
+
+  private:
+    SearchOutcome runPlans(const std::vector<engine::QueryPlan> &plans);
+
+    DeviceConfig config_;
+    std::optional<index::InvertedIndex> index_;
+    std::optional<index::Lexicon> lexicon_;
+    std::optional<index::MemoryLayout> layout_;
+    double totalSeconds_ = 0.0;
+    std::uint64_t totalQueries_ = 0;
+};
+
+} // namespace boss::accel
+
+#endif // BOSS_BOSS_DEVICE_H

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Structural model of the top-k module's shift-register priority
+ * queue (paper Sec. IV-C, citing Moon/Rexford/Shin's scalable
+ * hardware priority queues).
+ *
+ * The queue is a linear array of k entries sorted by descending
+ * score. An inserted entry is broadcast to every slot; each slot
+ * makes a *local* decision -- keep its entry, load the incoming
+ * entry, or load its left neighbor's entry (shift) -- so insertion
+ * is O(1) cycles regardless of k. This class mirrors that per-slot
+ * decision procedure exactly; tests prove it equivalent to the
+ * software TopK heap under the same tie-breaking order.
+ */
+
+#ifndef BOSS_BOSS_TOPK_QUEUE_H
+#define BOSS_BOSS_TOPK_QUEUE_H
+
+#include <vector>
+
+#include "engine/topk.h"
+
+namespace boss::accel
+{
+
+class ShiftRegisterTopK
+{
+  public:
+    explicit ShiftRegisterTopK(std::size_t k)
+        : slots_(k), valid_(k, false)
+    {}
+
+    /**
+     * Broadcast @p candidate to all slots; each slot decides
+     * locally. Returns true if the candidate entered the queue.
+     * One hardware cycle.
+     */
+    bool
+    insert(DocId doc, Score score)
+    {
+        engine::Result cand{doc, score};
+        // Each slot's local rule, given its entry, its left
+        // neighbor's entry and the broadcast candidate:
+        //  - keep,  if the candidate does not outrank my entry;
+        //  - load,  if it outranks mine but not my left neighbor's
+        //           (this is exactly where it belongs);
+        //  - shift, if it outranks both (I take my neighbor's old
+        //           entry, everything from the insertion point moves
+        //           one slot right).
+        // Valid entries stay compacted at the left, so a slot with
+        // an empty left neighbor stays empty.
+        bool inserted = false;
+        // Evaluate right-to-left so each slot still sees its
+        // neighbor's *previous* value, as parallel hardware latches.
+        for (std::size_t i = slots_.size(); i-- > 0;) {
+            bool candBeatsMine =
+                !valid_[i] || engine::ranksAbove(cand, slots_[i]);
+            if (!candBeatsMine)
+                continue; // keep
+            bool leftValid = i > 0 && valid_[i - 1];
+            bool candBeatsLeft =
+                leftValid && engine::ranksAbove(cand, slots_[i - 1]);
+            if (candBeatsLeft) {
+                // Shift: take the left neighbor's entry.
+                slots_[i] = slots_[i - 1];
+                valid_[i] = true;
+            } else if (i == 0 || leftValid) {
+                // Load: the candidate belongs exactly here.
+                slots_[i] = cand;
+                valid_[i] = true;
+                inserted = true;
+            }
+            // else: beyond the compacted prefix -- stay empty.
+        }
+        return inserted;
+    }
+
+    /** Current cutoff: the weakest retained entry's score. */
+    Score
+    threshold() const
+    {
+        if (!valid_.back())
+            return -std::numeric_limits<Score>::infinity();
+        return slots_.back().score;
+    }
+
+    bool full() const { return valid_.back(); }
+
+    /** Contents in rank order (best first). */
+    std::vector<engine::Result>
+    sorted() const
+    {
+        std::vector<engine::Result> out;
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (valid_[i])
+                out.push_back(slots_[i]);
+        }
+        return out;
+    }
+
+    std::size_t k() const { return slots_.size(); }
+
+  private:
+    std::vector<engine::Result> slots_;
+    std::vector<bool> valid_;
+};
+
+} // namespace boss::accel
+
+#endif // BOSS_BOSS_TOPK_QUEUE_H

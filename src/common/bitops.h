@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the compression codecs and
+ * the programmable decompression datapath model.
+ */
+
+#ifndef BOSS_COMMON_BITOPS_H
+#define BOSS_COMMON_BITOPS_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace boss
+{
+
+/**
+ * Number of bits needed to represent @p v (0 needs 0 bits).
+ */
+inline constexpr std::uint32_t
+bitsFor(std::uint32_t v)
+{
+    return v == 0 ? 0u : 32u - static_cast<std::uint32_t>(std::countl_zero(v));
+}
+
+/**
+ * A mask with the low @p n bits set. @p n may be 0..32.
+ */
+inline constexpr std::uint32_t
+maskLow(std::uint32_t n)
+{
+    return n >= 32 ? 0xFFFFFFFFu : ((1u << n) - 1u);
+}
+
+/**
+ * Round @p v up to the next multiple of @p align (power of two or not).
+ */
+inline constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return align == 0 ? v : ((v + align - 1) / align) * align;
+}
+
+/** Integer ceil division. */
+inline constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Bit-granular writer into a byte buffer, LSB-first within each
+ * 32-bit word. Used by BitPacking and PForDelta encoders.
+ */
+class BitWriter
+{
+  public:
+    explicit BitWriter(std::vector<std::uint8_t> &out)
+        : out_(out), acc_(0), bits_(0)
+    {}
+
+    /** Append the low @p width bits of @p value. */
+    void
+    put(std::uint32_t value, std::uint32_t width)
+    {
+        acc_ |= static_cast<std::uint64_t>(value & maskLow(width)) << bits_;
+        bits_ += width;
+        while (bits_ >= 8) {
+            out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+            acc_ >>= 8;
+            bits_ -= 8;
+        }
+    }
+
+    /** Flush any partial byte (zero padded). */
+    void
+    flush()
+    {
+        if (bits_ > 0) {
+            out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+            acc_ = 0;
+            bits_ = 0;
+        }
+    }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+    std::uint64_t acc_;
+    std::uint32_t bits_;
+};
+
+/**
+ * Bit-granular reader matching BitWriter's layout.
+ */
+class BitReader
+{
+  public:
+    BitReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size), pos_(0), acc_(0), bits_(0)
+    {}
+
+    /** Read @p width bits (width <= 32). Returns 0 past the end. */
+    std::uint32_t
+    get(std::uint32_t width)
+    {
+        while (bits_ < width) {
+            std::uint64_t byte = pos_ < size_ ? data_[pos_] : 0u;
+            acc_ |= byte << bits_;
+            ++pos_;
+            bits_ += 8;
+        }
+        auto v = static_cast<std::uint32_t>(acc_ & maskLow(width));
+        acc_ >>= width;
+        bits_ -= width;
+        return v;
+    }
+
+    /** Bytes consumed so far (rounded up to whole bytes). */
+    std::size_t consumed() const { return pos_ > size_ ? size_ : pos_; }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_;
+    std::uint64_t acc_;
+    std::uint32_t bits_;
+};
+
+} // namespace boss
+
+#endif // BOSS_COMMON_BITOPS_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Q16.16 fixed-point arithmetic.
+ *
+ * The BOSS scoring module uses fixed-point dividers/multipliers/adders
+ * (paper Sec. IV-C, "Scoring Module"). We model the same precision so
+ * that hardware-side scores can differ slightly from the float oracle,
+ * exactly as real RTL would; tests bound that error.
+ */
+
+#ifndef BOSS_COMMON_FIXED_POINT_H
+#define BOSS_COMMON_FIXED_POINT_H
+
+#include <cstdint>
+#include <limits>
+
+namespace boss
+{
+
+/**
+ * Signed Q16.16 fixed-point value with saturating conversions.
+ */
+class Fixed
+{
+  public:
+    static constexpr int kFracBits = 16;
+    static constexpr std::int64_t kOne = std::int64_t{1} << kFracBits;
+
+    constexpr Fixed() : raw_(0) {}
+
+    static constexpr Fixed
+    fromRaw(std::int64_t raw)
+    {
+        Fixed f;
+        f.raw_ = saturate(raw);
+        return f;
+    }
+
+    static constexpr Fixed
+    fromInt(std::int32_t v)
+    {
+        return fromRaw(static_cast<std::int64_t>(v) << kFracBits);
+    }
+
+    static Fixed
+    fromDouble(double v)
+    {
+        return fromRaw(static_cast<std::int64_t>(
+            v * static_cast<double>(kOne)));
+    }
+
+    double
+    toDouble() const
+    {
+        return static_cast<double>(raw_) / static_cast<double>(kOne);
+    }
+
+    std::int64_t raw() const { return raw_; }
+
+    friend constexpr Fixed
+    operator+(Fixed a, Fixed b)
+    {
+        return fromRaw(a.raw_ + b.raw_);
+    }
+
+    friend constexpr Fixed
+    operator-(Fixed a, Fixed b)
+    {
+        return fromRaw(a.raw_ - b.raw_);
+    }
+
+    friend constexpr Fixed
+    operator*(Fixed a, Fixed b)
+    {
+        // 32.32 intermediate then renormalize to Q16.16.
+        __int128 p = static_cast<__int128>(a.raw_) * b.raw_;
+        return fromRaw(static_cast<std::int64_t>(p >> kFracBits));
+    }
+
+    friend constexpr Fixed
+    operator/(Fixed a, Fixed b)
+    {
+        if (b.raw_ == 0)
+            return fromRaw(std::numeric_limits<std::int32_t>::max());
+        __int128 n = static_cast<__int128>(a.raw_) << kFracBits;
+        return fromRaw(static_cast<std::int64_t>(n / b.raw_));
+    }
+
+    friend constexpr bool
+    operator<(Fixed a, Fixed b) { return a.raw_ < b.raw_; }
+    friend constexpr bool
+    operator<=(Fixed a, Fixed b) { return a.raw_ <= b.raw_; }
+    friend constexpr bool
+    operator>(Fixed a, Fixed b) { return a.raw_ > b.raw_; }
+    friend constexpr bool
+    operator>=(Fixed a, Fixed b) { return a.raw_ >= b.raw_; }
+    friend constexpr bool
+    operator==(Fixed a, Fixed b) { return a.raw_ == b.raw_; }
+
+  private:
+    static constexpr std::int64_t
+    saturate(std::int64_t raw)
+    {
+        // Keep 32 integer bits + 16 fraction bits of headroom.
+        constexpr std::int64_t kMax = (std::int64_t{1} << 47) - 1;
+        constexpr std::int64_t kMin = -(std::int64_t{1} << 47);
+        if (raw > kMax)
+            return kMax;
+        if (raw < kMin)
+            return kMin;
+        return raw;
+    }
+
+    std::int64_t raw_;
+};
+
+} // namespace boss
+
+#endif // BOSS_COMMON_FIXED_POINT_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Status/error reporting in the gem5 style.
+ *
+ * Severity model (mirrors gem5's logging.hh conventions):
+ *  - panic():  an internal invariant was violated -- a simulator bug.
+ *              Aborts so a debugger/core dump can capture state.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, malformed input). Exits with code 1.
+ *  - warn():   something is suspicious but the run can continue.
+ *  - inform(): plain status output.
+ */
+
+#ifndef BOSS_COMMON_LOGGING_H
+#define BOSS_COMMON_LOGGING_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace boss
+{
+
+namespace detail
+{
+
+/** Renders "prefix: message" to stderr with source location. */
+void emitLog(std::string_view prefix, std::string_view msg,
+             const char *file, int line);
+
+/** Concatenate all arguments through an ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(std::string msg, const char *file, int line);
+[[noreturn]] void fatalImpl(std::string msg, const char *file, int line);
+void warnImpl(std::string msg, const char *file, int line);
+void informImpl(std::string msg);
+
+/** Global verbosity switch: when false, inform() is suppressed. */
+bool verboseEnabled();
+void setVerbose(bool enabled);
+
+} // namespace detail
+
+/** Enable or disable inform() output (benchmarks silence it). */
+inline void setVerbose(bool enabled) { detail::setVerbose(enabled); }
+
+} // namespace boss
+
+#define BOSS_PANIC(...)                                                    \
+    ::boss::detail::panicImpl(::boss::detail::concat(__VA_ARGS__),         \
+                              __FILE__, __LINE__)
+
+#define BOSS_FATAL(...)                                                    \
+    ::boss::detail::fatalImpl(::boss::detail::concat(__VA_ARGS__),         \
+                              __FILE__, __LINE__)
+
+#define BOSS_WARN(...)                                                     \
+    ::boss::detail::warnImpl(::boss::detail::concat(__VA_ARGS__),          \
+                             __FILE__, __LINE__)
+
+#define BOSS_INFORM(...)                                                   \
+    ::boss::detail::informImpl(::boss::detail::concat(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG builds (unlike assert). */
+#define BOSS_ASSERT(cond, ...)                                             \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::boss::detail::panicImpl(                                     \
+                ::boss::detail::concat("assertion '", #cond,               \
+                                       "' failed: ", __VA_ARGS__),         \
+                __FILE__, __LINE__);                                       \
+        }                                                                  \
+    } while (0)
+
+#endif // BOSS_COMMON_LOGGING_H

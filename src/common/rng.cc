@@ -1,0 +1,40 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace boss
+{
+
+ZipfSampler::ZipfSampler(std::size_t n, double s)
+{
+    BOSS_ASSERT(n > 0, "ZipfSampler needs a non-empty support");
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = total;
+    }
+    for (auto &v : cdf_)
+        v /= total;
+}
+
+std::size_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        return cdf_.size() - 1;
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::pmf(std::size_t rank) const
+{
+    BOSS_ASSERT(rank < cdf_.size(), "rank out of range");
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+} // namespace boss

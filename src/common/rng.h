@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * All experiment workloads are generated from seeded streams so that
+ * every bench/test run is reproducible bit-for-bit. The core
+ * generator is xoshiro256**, seeded via SplitMix64.
+ */
+
+#ifndef BOSS_COMMON_RNG_H
+#define BOSS_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace boss
+{
+
+/**
+ * xoshiro256** PRNG with convenience samplers.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5EED5EED5EEDULL) { reseed(seed); }
+
+    /** Re-initialize state from a 64-bit seed via SplitMix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : s_) {
+            seed += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded sampling.
+        __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Standard normal (Box-Muller; one value per call). */
+    double
+    normal(double mean = 0.0, double stddev = 1.0)
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * M_PI * u2);
+        return mean + stddev * z;
+    }
+
+    /** Geometric distribution on {1, 2, ...} with success prob p. */
+    std::uint32_t
+    geometric(double p)
+    {
+        double u = uniform();
+        if (u >= 1.0)
+            u = 0.999999999;
+        auto v = static_cast<std::uint32_t>(
+            std::floor(std::log1p(-u) / std::log1p(-p))) + 1u;
+        return v;
+    }
+
+    /** True with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipf-distributed sampler over ranks {0, ..., n-1} with exponent s.
+ *
+ * Uses the precomputed-CDF + binary search method; construction is
+ * O(n) and sampling O(log n). Suitable for the term-popularity and
+ * synthetic-stream distributions in the paper's Figure 3 workloads.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double s);
+
+    /** Draw one rank in [0, n). Rank 0 is the most popular. */
+    std::size_t operator()(Rng &rng) const;
+
+    /** Probability mass of a given rank. */
+    double pmf(std::size_t rank) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace boss
+
+#endif // BOSS_COMMON_RNG_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental value types shared across the BOSS reproduction.
+ *
+ * Keeping these in one header makes the units used throughout the
+ * codebase unambiguous: docIDs and term frequencies are 32-bit as in
+ * the paper's index layout, memory addresses are 64-bit byte
+ * addresses into the modeled SCM pool, and simulated time is kept in
+ * integer picoseconds so that clock domains with non-integral cycle
+ * times (e.g. the 2.7 GHz host CPU) stay exact enough for cycle
+ * accounting.
+ */
+
+#ifndef BOSS_COMMON_TYPES_H
+#define BOSS_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace boss
+{
+
+/** Document identifier within a shard (sorted, dense). */
+using DocId = std::uint32_t;
+
+/** Term identifier assigned by the index builder (dense). */
+using TermId = std::uint32_t;
+
+/** Within-document term frequency. */
+using TermFreq = std::uint32_t;
+
+/** Relevance score (BM25). Timing models use fixed point internally. */
+using Score = float;
+
+/** Byte address into the modeled memory pool. */
+using Addr = std::uint64_t;
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Clock cycles of some clock domain. */
+using Cycles = std::uint64_t;
+
+/** An invalid/sentinel docID (posting lists never contain it). */
+inline constexpr DocId kInvalidDocId = 0xFFFFFFFFu;
+
+/** Number of docID/tf entries per compressed block (paper Sec. IV-A). */
+inline constexpr std::uint32_t kBlockSize = 128;
+
+/** Ticks per second: 1 tick == 1 ps. */
+inline constexpr Tick kTicksPerSecond = 1'000'000'000'000ULL;
+
+} // namespace boss
+
+#endif // BOSS_COMMON_TYPES_H

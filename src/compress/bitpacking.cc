@@ -1,0 +1,48 @@
+#include "compress/bitpacking.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace boss::compress
+{
+
+bool
+BitPackingCodec::encode(std::span<const std::uint32_t> values,
+                        BlockEncoding &out) const
+{
+    out.bytes.clear();
+    std::uint32_t maxv = 0;
+    for (auto v : values)
+        maxv = std::max(maxv, v);
+    std::uint32_t width = bitsFor(maxv);
+    // A width of 0 (all zeros) still needs to round-trip; keep 1 bit
+    // so the decoder loop structure stays uniform.
+    if (width == 0)
+        width = 1;
+
+    out.bytes.push_back(static_cast<std::uint8_t>(width));
+    BitWriter writer(out.bytes);
+    for (auto v : values)
+        writer.put(v, width);
+    writer.flush();
+
+    out.bitWidth = static_cast<std::uint8_t>(width);
+    out.exceptionCount = 0;
+    return true;
+}
+
+void
+BitPackingCodec::decode(std::span<const std::uint8_t> bytes,
+                        std::span<std::uint32_t> out) const
+{
+    BOSS_ASSERT(!bytes.empty(), "BP payload missing header");
+    std::uint32_t width = bytes[0];
+    BOSS_ASSERT(width >= 1 && width <= 32, "BP width corrupt: ", width);
+    BitReader reader(bytes.data() + 1, bytes.size() - 1);
+    for (auto &v : out)
+        v = reader.get(width);
+}
+
+} // namespace boss::compress

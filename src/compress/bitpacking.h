@@ -1,0 +1,30 @@
+/**
+ * @file
+ * BitPacking (BP) codec: every value in the block is stored with the
+ * bit width of the block's maximum value. One header byte carries
+ * that width.
+ */
+
+#ifndef BOSS_COMPRESS_BITPACKING_H
+#define BOSS_COMPRESS_BITPACKING_H
+
+#include "compress/codec.h"
+
+namespace boss::compress
+{
+
+class BitPackingCodec : public Codec
+{
+  public:
+    Scheme scheme() const override { return Scheme::BP; }
+
+    bool encode(std::span<const std::uint32_t> values,
+                BlockEncoding &out) const override;
+
+    void decode(std::span<const std::uint8_t> bytes,
+                std::span<std::uint32_t> out) const override;
+};
+
+} // namespace boss::compress
+
+#endif // BOSS_COMPRESS_BITPACKING_H

@@ -1,0 +1,55 @@
+#include "compress/codec.h"
+
+#include "common/logging.h"
+#include "compress/bitpacking.h"
+#include "compress/pfordelta.h"
+#include "compress/simple16.h"
+#include "compress/simple8b.h"
+#include "compress/varbyte.h"
+
+namespace boss::compress
+{
+
+const Codec &
+codecFor(Scheme s)
+{
+    static const BitPackingCodec bp;
+    static const VarByteCodec vb;
+    static const PForDeltaCodec pfd;
+    static const OptPForDeltaCodec optpfd;
+    static const Simple16Codec s16;
+    static const Simple8bCodec s8b;
+
+    switch (s) {
+      case Scheme::BP: return bp;
+      case Scheme::VB: return vb;
+      case Scheme::PFD: return pfd;
+      case Scheme::OptPFD: return optpfd;
+      case Scheme::S16: return s16;
+      case Scheme::S8b: return s8b;
+    }
+    BOSS_PANIC("unknown compression scheme");
+}
+
+Scheme
+pickBestScheme(std::span<const std::uint32_t> values, BlockEncoding &best)
+{
+    Scheme bestScheme = Scheme::BP;
+    bool found = false;
+    BlockEncoding trial;
+    for (Scheme s : kAllSchemes) {
+        if (s == Scheme::PFD)
+            continue; // dominated by OptPFD (same format, better width)
+        if (!codecFor(s).encode(values, trial))
+            continue;
+        if (!found || trial.bytes.size() < best.bytes.size()) {
+            best = trial;
+            bestScheme = s;
+            found = true;
+        }
+    }
+    BOSS_ASSERT(found, "no codec could encode block");
+    return bestScheme;
+}
+
+} // namespace boss::compress

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Abstract interface for per-block integer codecs.
+ *
+ * All codecs operate on blocks of up to kBlockSize (128) unsigned
+ * deltas, matching the paper's block-oriented index layout. Encodings
+ * are self-describing: decode() needs only the bytes and the element
+ * count (which the per-block metadata records).
+ */
+
+#ifndef BOSS_COMPRESS_CODEC_H
+#define BOSS_COMPRESS_CODEC_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/scheme.h"
+
+namespace boss::compress
+{
+
+/**
+ * Result of encoding one block.
+ */
+struct BlockEncoding
+{
+    /** Serialized block payload. */
+    std::vector<std::uint8_t> bytes;
+    /** Packed bit width (meaningful for BP/PFD; 0 otherwise). */
+    std::uint8_t bitWidth = 0;
+    /** Number of patched exceptions (PFD family; 0 otherwise). */
+    std::uint16_t exceptionCount = 0;
+};
+
+/**
+ * A block codec. Implementations are stateless and thread-compatible.
+ */
+class Codec
+{
+  public:
+    virtual ~Codec() = default;
+
+    virtual Scheme scheme() const = 0;
+    std::string_view name() const { return schemeName(scheme()); }
+
+    /**
+     * Encode @p values into @p out.
+     *
+     * @return false if this codec cannot represent the input (e.g.
+     *         Simple16 with values >= 2^28); @p out is unspecified
+     *         in that case.
+     */
+    virtual bool encode(std::span<const std::uint32_t> values,
+                        BlockEncoding &out) const = 0;
+
+    /**
+     * Decode exactly out.size() values from @p bytes.
+     *
+     * @p bytes must be the exact payload produced by encode() for the
+     * same element count.
+     */
+    virtual void decode(std::span<const std::uint8_t> bytes,
+                        std::span<std::uint32_t> out) const = 0;
+};
+
+/** Singleton accessor for each scheme's codec. */
+const Codec &codecFor(Scheme s);
+
+/**
+ * Encode with every codec and return the scheme with the smallest
+ * payload (the paper's "hybrid" approach). Ties break toward the
+ * lower enum value. Schemes that cannot encode the input are skipped.
+ */
+Scheme pickBestScheme(std::span<const std::uint32_t> values,
+                      BlockEncoding &best);
+
+} // namespace boss::compress
+
+#endif // BOSS_COMPRESS_CODEC_H

@@ -1,0 +1,524 @@
+#include "compress/datapath.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "compress/simple16.h"
+#include "compress/simple8b.h"
+
+namespace boss::compress
+{
+
+namespace
+{
+
+std::string
+trim(std::string s)
+{
+    auto notSpace = [](unsigned char c) { return !std::isspace(c); };
+    s.erase(s.begin(), std::find_if(s.begin(), s.end(), notSpace));
+    s.erase(std::find_if(s.rbegin(), s.rend(), notSpace).base(), s.end());
+    return s;
+}
+
+std::uint32_t
+parseInt(const std::string &tok)
+{
+    try {
+        return static_cast<std::uint32_t>(std::stoul(tok, nullptr, 0));
+    } catch (const std::exception &) {
+        BOSS_FATAL("datapath config: bad integer literal '", tok, "'");
+    }
+}
+
+Op
+parseOp(const std::string &tok)
+{
+    static const std::map<std::string, Op> ops = {
+        {"pass", Op::Pass}, {"and", Op::And}, {"or", Op::Or},
+        {"xor", Op::Xor},   {"add", Op::Add}, {"sub", Op::Sub},
+        {"shl", Op::Shl},   {"shr", Op::Shr}, {"not", Op::Not},
+        {"eq", Op::Eq},     {"mux", Op::Mux},
+    };
+    auto it = ops.find(tok);
+    if (it == ops.end())
+        BOSS_FATAL("datapath config: unknown primitive '", tok, "'");
+    return it->second;
+}
+
+struct ParserState
+{
+    DatapathConfig config;
+    std::map<std::string, std::uint32_t> wireNames;
+
+    Operand
+    parseOperand(const std::string &tok) const
+    {
+        if (tok == "in")
+            return {OperandKind::In, 0};
+        if (tok == "reg")
+            return {OperandKind::Reg, 0};
+        auto it = wireNames.find(tok);
+        if (it != wireNames.end())
+            return {OperandKind::Wire, it->second};
+        if (!tok.empty() &&
+            (std::isdigit(static_cast<unsigned char>(tok[0])) ||
+             tok[0] == '-')) {
+            return {OperandKind::Const, parseInt(tok)};
+        }
+        BOSS_FATAL("datapath config: unknown operand '", tok, "'");
+    }
+
+    /** Parse "<op>(<args>)" or a bare operand into an Instr. */
+    Instr
+    parseExpr(const std::string &expr) const
+    {
+        Instr instr;
+        auto paren = expr.find('(');
+        if (paren == std::string::npos) {
+            instr.op = Op::Pass;
+            instr.args[0] = parseOperand(trim(expr));
+            instr.numArgs = 1;
+            return instr;
+        }
+        instr.op = parseOp(trim(expr.substr(0, paren)));
+        auto close = expr.rfind(')');
+        if (close == std::string::npos || close < paren)
+            BOSS_FATAL("datapath config: unbalanced parens in '",
+                       expr, "'");
+        std::string argstr = expr.substr(paren + 1, close - paren - 1);
+        std::istringstream args(argstr);
+        std::string tok;
+        instr.numArgs = 0;
+        while (std::getline(args, tok, ',')) {
+            if (instr.numArgs >= 3)
+                BOSS_FATAL("datapath config: too many args in '",
+                           expr, "'");
+            instr.args[instr.numArgs++] = parseOperand(trim(tok));
+        }
+        if (instr.numArgs == 0)
+            BOSS_FATAL("datapath config: no args in '", expr, "'");
+        return instr;
+    }
+
+    /** Append an expression as a new anonymous wire; return index. */
+    std::uint32_t
+    addWire(const std::string &expr)
+    {
+        config.wires.push_back(parseExpr(expr));
+        return static_cast<std::uint32_t>(config.wires.size() - 1);
+    }
+};
+
+void
+parseKeyValues(const std::string &rest,
+               std::map<std::string, std::string> &out)
+{
+    std::istringstream iss(rest);
+    std::string tok;
+    while (iss >> tok) {
+        auto eq = tok.find('=');
+        if (eq == std::string::npos)
+            BOSS_FATAL("datapath config: expected key=value, got '",
+                       tok, "'");
+        out[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+}
+
+} // namespace
+
+DatapathConfig
+parseDatapathConfig(std::string_view text)
+{
+    ParserState st;
+    bool inStage2 = false;
+
+    std::istringstream lines{std::string(text)};
+    std::string raw;
+    while (std::getline(lines, raw)) {
+        auto hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.erase(hash);
+        std::string line = trim(raw);
+        if (line.empty())
+            continue;
+
+        if (inStage2) {
+            if (line == "}") {
+                inStage2 = false;
+                continue;
+            }
+            auto arrow = line.find("<=");
+            if (arrow != std::string::npos) {
+                std::string dest = trim(line.substr(0, arrow));
+                if (dest != "reg")
+                    BOSS_FATAL("datapath config: '<=' only updates reg");
+                st.config.regNext = static_cast<int>(
+                    st.addWire(trim(line.substr(arrow + 2))));
+                continue;
+            }
+            auto eq = line.find('=');
+            if (eq == std::string::npos)
+                BOSS_FATAL("datapath config: bad stage2 line '",
+                           line, "'");
+            std::string dest = trim(line.substr(0, eq));
+            std::string expr = trim(line.substr(eq + 1));
+            std::uint32_t wire = st.addWire(expr);
+            if (dest == "out") {
+                st.config.outWire = static_cast<int>(wire);
+            } else if (dest == "valid") {
+                st.config.validWire = static_cast<int>(wire);
+            } else {
+                if (st.wireNames.count(dest) != 0)
+                    BOSS_FATAL("datapath config: wire '", dest,
+                               "' redefined");
+                st.wireNames[dest] = wire;
+            }
+            continue;
+        }
+
+        std::istringstream iss(line);
+        std::string head;
+        iss >> head;
+        std::string rest;
+        std::getline(iss, rest);
+        rest = trim(rest);
+
+        if (head == "stage1") {
+            std::map<std::string, std::string> kv;
+            parseKeyValues(rest, kv);
+            if (kv.count("mode") != 0) {
+                const std::string &m = kv["mode"];
+                if (m == "fixed") {
+                    st.config.mode = ExtractMode::Fixed;
+                } else if (m == "bytewise") {
+                    st.config.mode = ExtractMode::ByteWise;
+                } else if (m == "s16") {
+                    st.config.mode = ExtractMode::Sel16;
+                } else if (m == "s8b") {
+                    st.config.mode = ExtractMode::Sel8b;
+                } else {
+                    BOSS_FATAL("datapath config: bad stage1 mode '",
+                               m, "'");
+                }
+            }
+            if (kv.count("header") != 0)
+                st.config.headerBytes = parseInt(kv["header"]);
+        } else if (head == "stage2") {
+            if (rest != "{")
+                BOSS_FATAL("datapath config: expected 'stage2 {'");
+            inStage2 = true;
+        } else if (head == "stage3") {
+            std::map<std::string, std::string> kv;
+            parseKeyValues(rest, kv);
+            if (kv.count("exceptions") != 0) {
+                const std::string &e = kv["exceptions"];
+                if (e == "none") {
+                    st.config.pfdExceptions = false;
+                } else if (e == "pfd") {
+                    st.config.pfdExceptions = true;
+                } else {
+                    BOSS_FATAL("datapath config: bad exceptions '",
+                               e, "'");
+                }
+            }
+        } else if (head == "stage4") {
+            std::map<std::string, std::string> kv;
+            parseKeyValues(rest, kv);
+            if (kv.count("delta") != 0)
+                st.config.useDelta = parseInt(kv["delta"]) != 0;
+        } else {
+            BOSS_FATAL("datapath config: unknown section '", head, "'");
+        }
+    }
+
+    if (st.config.outWire < 0)
+        BOSS_FATAL("datapath config: stage2 must define 'out'");
+    if (st.config.validWire < 0)
+        BOSS_FATAL("datapath config: stage2 must define 'valid'");
+    return st.config;
+}
+
+std::string_view
+builtinConfigText(Scheme s)
+{
+    // BitPacking: width comes from the one-byte header; stage 2 is a
+    // pass-through; no exceptions.
+    static constexpr std::string_view bp = R"(
+stage1 mode=fixed header=1
+stage2 {
+  out = pass(in)
+  valid = pass(1)
+}
+stage3 exceptions=none
+stage4 delta=1
+)";
+    // VariableByte: the paper's Fig. 8 program. Bytes arrive MSB-group
+    // first; the register accumulates 7 bits per byte and resets once
+    // a byte with a clear continuation bit completes a value.
+    static constexpr std::string_view vb = R"(
+stage1 mode=bytewise header=0
+stage2 {
+  cont = shr(in, 7)
+  low = and(in, 0x7f)
+  shifted = shl(reg, 7)
+  acc = add(low, shifted)
+  done = eq(cont, 0)
+  reg <= mux(done, 0, acc)
+  out = pass(acc)
+  valid = pass(done)
+}
+stage3 exceptions=none
+stage4 delta=1
+)";
+    // PFD/OptPFD: two header bytes (width, exception count); slots are
+    // fixed width; stage 3 patches exceptions from the tail.
+    static constexpr std::string_view pfd = R"(
+stage1 mode=fixed header=2
+stage2 {
+  out = pass(in)
+  valid = pass(1)
+}
+stage3 exceptions=pfd
+stage4 delta=1
+)";
+    static constexpr std::string_view s16 = R"(
+stage1 mode=s16 header=0
+stage2 {
+  out = pass(in)
+  valid = pass(1)
+}
+stage3 exceptions=none
+stage4 delta=1
+)";
+    static constexpr std::string_view s8b = R"(
+stage1 mode=s8b header=0
+stage2 {
+  out = pass(in)
+  valid = pass(1)
+}
+stage3 exceptions=none
+stage4 delta=1
+)";
+
+    switch (s) {
+      case Scheme::BP: return bp;
+      case Scheme::VB: return vb;
+      case Scheme::PFD: return pfd;
+      case Scheme::OptPFD: return pfd;
+      case Scheme::S16: return s16;
+      case Scheme::S8b: return s8b;
+    }
+    BOSS_PANIC("unknown scheme");
+}
+
+ProgrammableDecompressor
+ProgrammableDecompressor::forScheme(Scheme s)
+{
+    return ProgrammableDecompressor(
+        parseDatapathConfig(builtinConfigText(s)));
+}
+
+std::uint32_t
+ProgrammableDecompressor::evalWire(
+    const Instr &instr, std::uint32_t in, std::uint32_t reg,
+    const std::vector<std::uint32_t> &wires) const
+{
+    auto read = [&](const Operand &o) -> std::uint32_t {
+        switch (o.kind) {
+          case OperandKind::In: return in;
+          case OperandKind::Reg: return reg;
+          case OperandKind::Wire: return wires[o.value];
+          case OperandKind::Const: return o.value;
+        }
+        return 0;
+    };
+    std::uint32_t a = read(instr.args[0]);
+    std::uint32_t b = instr.numArgs > 1 ? read(instr.args[1]) : 0;
+    std::uint32_t c = instr.numArgs > 2 ? read(instr.args[2]) : 0;
+
+    switch (instr.op) {
+      case Op::Pass: return a;
+      case Op::And: return a & b;
+      case Op::Or: return a | b;
+      case Op::Xor: return a ^ b;
+      case Op::Add: return a + b;
+      case Op::Sub: return a - b;
+      case Op::Shl: return b >= 32 ? 0 : a << b;
+      case Op::Shr: return b >= 32 ? 0 : a >> b;
+      case Op::Not: return a == 0 ? 1u : 0u;
+      case Op::Eq: return a == b ? 1u : 0u;
+      case Op::Mux: return a != 0 ? b : c;
+    }
+    return 0;
+}
+
+void
+ProgrammableDecompressor::decodeValues(
+    std::span<const std::uint8_t> bytes,
+    std::span<std::uint32_t> out) const
+{
+    if (out.empty())
+        return;
+    BOSS_ASSERT(bytes.size() > config_.headerBytes,
+                "datapath: payload shorter than header");
+
+    // -------- Stage 1: extract raw payloads --------
+    std::vector<std::uint32_t> payloads;
+    std::uint32_t width = 0;
+    std::uint32_t exceptions = 0;
+    switch (config_.mode) {
+      case ExtractMode::Fixed: {
+        width = bytes[0];
+        if (config_.headerBytes >= 2)
+            exceptions = bytes[1];
+        BOSS_ASSERT(width >= 1 && width <= 32,
+                    "datapath: corrupt fixed width ", width);
+        BitReader reader(bytes.data() + config_.headerBytes,
+                         bytes.size() - config_.headerBytes);
+        payloads.reserve(out.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            payloads.push_back(reader.get(width));
+        break;
+      }
+      case ExtractMode::ByteWise: {
+        payloads.assign(bytes.begin() + config_.headerBytes,
+                        bytes.end());
+        break;
+      }
+      case ExtractMode::Sel16: {
+        const auto &modes = Simple16Codec::modeTable();
+        std::size_t pos = config_.headerBytes;
+        while (payloads.size() < out.size()) {
+            BOSS_ASSERT(pos + 4 <= bytes.size(),
+                        "datapath: S16 stream truncated");
+            std::uint32_t word =
+                static_cast<std::uint32_t>(bytes[pos]) |
+                static_cast<std::uint32_t>(bytes[pos + 1]) << 8 |
+                static_cast<std::uint32_t>(bytes[pos + 2]) << 16 |
+                static_cast<std::uint32_t>(bytes[pos + 3]) << 24;
+            pos += 4;
+            const auto &mode = modes[word >> 28];
+            std::uint32_t payload = word & maskLow(28);
+            std::uint32_t shift = 0;
+            for (std::uint8_t r = 0; r < mode.numRuns; ++r) {
+                for (std::uint8_t c2 = 0; c2 < mode.runs[r].count;
+                     ++c2) {
+                    if (payloads.size() < out.size()) {
+                        payloads.push_back((payload >> shift) &
+                                           maskLow(mode.runs[r].width));
+                    }
+                    shift += mode.runs[r].width;
+                }
+            }
+        }
+        break;
+      }
+      case ExtractMode::Sel8b: {
+        const auto &modes = Simple8bCodec::modeTable();
+        std::size_t pos = config_.headerBytes;
+        while (payloads.size() < out.size()) {
+            BOSS_ASSERT(pos + 8 <= bytes.size(),
+                        "datapath: S8b stream truncated");
+            std::uint64_t word = 0;
+            for (int b = 0; b < 8; ++b) {
+                word |= static_cast<std::uint64_t>(bytes[pos + b])
+                        << (8 * b);
+            }
+            pos += 8;
+            const auto &mode = modes[word >> 60];
+            if (mode.width == 0) {
+                for (std::uint16_t c2 = 0;
+                     c2 < mode.count && payloads.size() < out.size();
+                     ++c2) {
+                    payloads.push_back(0);
+                }
+                continue;
+            }
+            std::uint64_t mask =
+                (std::uint64_t{1} << mode.width) - 1;
+            std::uint32_t shift = 0;
+            for (std::uint16_t c2 = 0;
+                 c2 < mode.count && payloads.size() < out.size();
+                 ++c2) {
+                payloads.push_back(static_cast<std::uint32_t>(
+                    (word >> shift) & mask));
+                shift += mode.width;
+            }
+        }
+        break;
+      }
+    }
+
+    // -------- Stage 2: run the programmed manipulator --------
+    std::vector<std::uint32_t> wires(config_.wires.size(), 0);
+    std::uint32_t reg = config_.regInit;
+    std::size_t produced = 0;
+    for (std::uint32_t payload : payloads) {
+        if (produced >= out.size())
+            break;
+        for (std::size_t w = 0; w < config_.wires.size(); ++w)
+            wires[w] = evalWire(config_.wires[w], payload, reg, wires);
+        std::uint32_t outVal =
+            wires[static_cast<std::size_t>(config_.outWire)];
+        std::uint32_t valid =
+            wires[static_cast<std::size_t>(config_.validWire)];
+        if (config_.regNext >= 0)
+            reg = wires[static_cast<std::size_t>(config_.regNext)];
+        if (valid != 0)
+            out[produced++] = outVal;
+    }
+    BOSS_ASSERT(produced == out.size(),
+                "datapath: produced ", produced, " of ", out.size(),
+                " values");
+
+    // -------- Stage 3: patch exceptions --------
+    if (config_.pfdExceptions && exceptions > 0) {
+        std::size_t packedBytes =
+            ceilDiv(out.size() * width, 8) + config_.headerBytes;
+        std::size_t pos = packedBytes;
+        auto varint = [&]() {
+            std::uint32_t v = 0;
+            int shift = 0;
+            while (true) {
+                BOSS_ASSERT(pos < bytes.size(),
+                            "datapath: exception stream truncated");
+                std::uint8_t b = bytes[pos++];
+                v |= static_cast<std::uint32_t>(b & 0x7F) << shift;
+                if ((b & 0x80) == 0)
+                    break;
+                shift += 7;
+            }
+            return v;
+        };
+        for (std::uint32_t e = 0; e < exceptions; ++e) {
+            std::uint32_t index = varint();
+            std::uint32_t high = varint();
+            BOSS_ASSERT(index < out.size(),
+                        "datapath: exception index corrupt");
+            out[index] |= high << width;
+        }
+    }
+}
+
+void
+ProgrammableDecompressor::decodeDocIds(
+    std::span<const std::uint8_t> bytes, std::uint32_t base,
+    std::span<std::uint32_t> out) const
+{
+    decodeValues(bytes, out);
+    // -------- Stage 4: delta prefix sum --------
+    if (config_.useDelta) {
+        std::uint32_t acc = base;
+        for (auto &v : out) {
+            acc += v;
+            v = acc;
+        }
+    }
+}
+
+} // namespace boss::compress

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Programmable decompression datapath (paper Sec. IV-C/IV-D, Figs. 6
+ * and 8).
+ *
+ * The module has four stages:
+ *   1. Extractor    -- slices payloads out of the serialized
+ *                      bitstream. Fixed-function with a configurable
+ *                      mode: fixed-width slots, byte-wise (VB), or
+ *                      selector-driven words (Simple16 / Simple8b).
+ *   2. Manipulator  -- a *programmable* network of primitive ALU
+ *                      units (SHL/SHR/AND/OR/ADD/...) plus one
+ *                      accumulator register, wired by a textual
+ *                      configuration program like the paper's Fig. 8.
+ *   3. Exception    -- fixed-function patcher for PFD-style
+ *                      exception lists, on/off per configuration.
+ *   4. Delta        -- prefix-sum unit reconstructing docIDs from
+ *                      d-gaps, on/off per configuration.
+ *
+ * Only stage 2 is freely programmable, exactly as in the paper: "the
+ * datapath is nearly the same for all those compression schemes
+ * except for the second stage".
+ */
+
+#ifndef BOSS_COMPRESS_DATAPATH_H
+#define BOSS_COMPRESS_DATAPATH_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compress/scheme.h"
+
+namespace boss::compress
+{
+
+/** Stage-1 extraction modes. */
+enum class ExtractMode : std::uint8_t
+{
+    Fixed,    ///< metadata-supplied bit width per slot (BP, PFD)
+    ByteWise, ///< one byte per payload (VB)
+    Sel16,    ///< 32-bit words, 4-bit selector (Simple16)
+    Sel8b,    ///< 64-bit words, 4-bit selector (Simple8b)
+};
+
+/** Primitive units available to stage-2 programs. */
+enum class Op : std::uint8_t
+{
+    Pass, And, Or, Xor, Add, Sub, Shl, Shr, Not, Eq, Mux,
+};
+
+/** Operand kinds in a stage-2 program. */
+enum class OperandKind : std::uint8_t
+{
+    In,    ///< current payload from stage 1
+    Reg,   ///< accumulator register (value before this payload)
+    Wire,  ///< a previously computed wire
+    Const, ///< immediate
+};
+
+struct Operand
+{
+    OperandKind kind = OperandKind::Const;
+    std::uint32_t value = 0; ///< wire index or immediate
+};
+
+/** One stage-2 instruction: dest wire = op(args...). */
+struct Instr
+{
+    Op op = Op::Pass;
+    Operand args[3];
+    std::uint8_t numArgs = 1;
+};
+
+/**
+ * Parsed configuration for the whole four-stage datapath.
+ */
+struct DatapathConfig
+{
+    ExtractMode mode = ExtractMode::Fixed;
+    std::uint32_t headerBytes = 0; ///< bytes to skip before payloads
+
+    std::vector<Instr> wires;   ///< stage-2 wires, in evaluation order
+    int regNext = -1;           ///< wire index driving the register
+    int outWire = -1;           ///< wire index driving the output
+    int validWire = -1;         ///< wire index driving output-valid
+    std::uint32_t regInit = 0;  ///< register reset value
+
+    bool pfdExceptions = false; ///< stage 3 on/off
+    bool useDelta = true;       ///< stage 4 on/off
+};
+
+/**
+ * Parse a textual configuration program.
+ *
+ * Grammar (one statement per line; '#' starts a comment):
+ *   stage1 mode=<fixed|bytewise|s16|s8b> header=<int>
+ *   stage2 {
+ *     <wire> = <op>(<arg>[, <arg>[, <arg>]])
+ *     reg <= <arg>            # register next-value
+ *     out = <arg>
+ *     valid = <arg>
+ *   }
+ *   stage3 exceptions=<none|pfd>
+ *   stage4 delta=<0|1>
+ *
+ * Args are 'in', 'reg', a previously defined wire name, or an
+ * integer literal (decimal or 0x hex). Raises fatal() on malformed
+ * input (configuration errors are user errors, not simulator bugs).
+ */
+DatapathConfig parseDatapathConfig(std::string_view text);
+
+/** The built-in configuration program for @p s, as shipped text. */
+std::string_view builtinConfigText(Scheme s);
+
+/**
+ * Interpreter for a configured datapath. Mirrors what the RTL block
+ * does; tests assert it agrees with the native software codecs.
+ */
+class ProgrammableDecompressor
+{
+  public:
+    explicit ProgrammableDecompressor(DatapathConfig config)
+        : config_(std::move(config))
+    {}
+
+    /** Convenience: load the built-in program for a scheme. */
+    static ProgrammableDecompressor forScheme(Scheme s);
+
+    /**
+     * Decode out.size() raw values (pre-delta) from @p bytes.
+     */
+    void decodeValues(std::span<const std::uint8_t> bytes,
+                      std::span<std::uint32_t> out) const;
+
+    /**
+     * Decode out.size() docIDs: runs all four stages. @p base is the
+     * docID preceding the block (stage 4 seeds its accumulator with
+     * it). When the configured program disables stage 4 this equals
+     * decodeValues().
+     */
+    void decodeDocIds(std::span<const std::uint8_t> bytes,
+                      std::uint32_t base,
+                      std::span<std::uint32_t> out) const;
+
+    const DatapathConfig &config() const { return config_; }
+
+  private:
+    std::uint32_t evalWire(const Instr &instr, std::uint32_t in,
+                           std::uint32_t reg,
+                           const std::vector<std::uint32_t> &wires) const;
+
+    DatapathConfig config_;
+};
+
+} // namespace boss::compress
+
+#endif // BOSS_COMPRESS_DATAPATH_H

@@ -1,0 +1,162 @@
+#include "compress/pfordelta.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace boss::compress
+{
+
+namespace
+{
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t
+getVarint(std::span<const std::uint8_t> bytes, std::size_t &pos)
+{
+    std::uint32_t v = 0;
+    int shift = 0;
+    while (true) {
+        BOSS_ASSERT(pos < bytes.size(), "PFD exception stream truncated");
+        std::uint8_t b = bytes[pos++];
+        v |= static_cast<std::uint32_t>(b & 0x7F) << shift;
+        if ((b & 0x80) == 0)
+            break;
+        shift += 7;
+    }
+    return v;
+}
+
+} // namespace
+
+void
+PForDeltaCodec::encodeWithWidth(std::span<const std::uint32_t> values,
+                                std::uint32_t width, BlockEncoding &out)
+{
+    out.bytes.clear();
+
+    std::vector<std::uint32_t> positions;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (bitsFor(values[i]) > width)
+            positions.push_back(static_cast<std::uint32_t>(i));
+    }
+
+    out.bytes.push_back(static_cast<std::uint8_t>(width));
+    out.bytes.push_back(static_cast<std::uint8_t>(positions.size()));
+
+    BitWriter writer(out.bytes);
+    for (auto v : values)
+        writer.put(v, width);
+    writer.flush();
+
+    for (auto pos : positions) {
+        putVarint(out.bytes, pos);
+        putVarint(out.bytes, values[pos] >> width);
+    }
+
+    out.bitWidth = static_cast<std::uint8_t>(width);
+    out.exceptionCount = static_cast<std::uint16_t>(positions.size());
+}
+
+bool
+PForDeltaCodec::encode(std::span<const std::uint32_t> values,
+                       BlockEncoding &out) const
+{
+    if (values.empty())
+        return false;
+
+    // Smallest width such that >= 90% of values fit un-patched.
+    std::vector<std::uint32_t> widths;
+    widths.reserve(values.size());
+    for (auto v : values)
+        widths.push_back(std::max(1u, bitsFor(v)));
+    std::vector<std::uint32_t> sorted = widths;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t idx = (values.size() * 9 + 9) / 10;
+    if (idx > 0)
+        --idx;
+    std::uint32_t width = sorted[idx];
+
+    // Exceptions are capped at 255 by the one-byte header; widen the
+    // packed slots if a pathological distribution exceeds that.
+    while (width < 32) {
+        std::size_t exceptions = 0;
+        for (auto w : widths) {
+            if (w > width)
+                ++exceptions;
+        }
+        if (exceptions <= 255)
+            break;
+        ++width;
+    }
+
+    encodeWithWidth(values, width, out);
+    return true;
+}
+
+bool
+OptPForDeltaCodec::encode(std::span<const std::uint32_t> values,
+                          BlockEncoding &out) const
+{
+    if (values.empty())
+        return false;
+
+    std::uint32_t maxWidth = 1;
+    for (auto v : values)
+        maxWidth = std::max(maxWidth, bitsFor(v));
+
+    BlockEncoding trial;
+    bool found = false;
+    for (std::uint32_t width = 1; width <= maxWidth; ++width) {
+        std::size_t exceptions = 0;
+        for (auto v : values) {
+            if (bitsFor(v) > width)
+                ++exceptions;
+        }
+        if (exceptions > 255)
+            continue;
+        encodeWithWidth(values, width, trial);
+        if (!found || trial.bytes.size() < out.bytes.size()) {
+            out = trial;
+            found = true;
+        }
+    }
+    return found;
+}
+
+void
+PForDeltaCodec::decode(std::span<const std::uint8_t> bytes,
+                       std::span<std::uint32_t> out) const
+{
+    BOSS_ASSERT(bytes.size() >= 2, "PFD payload missing header");
+    std::uint32_t width = bytes[0];
+    std::uint32_t exceptions = bytes[1];
+    BOSS_ASSERT(width >= 1 && width <= 32, "PFD width corrupt: ", width);
+
+    std::size_t packedBytes = ceilDiv(out.size() * width, 8);
+    BOSS_ASSERT(bytes.size() >= 2 + packedBytes, "PFD payload truncated");
+
+    BitReader reader(bytes.data() + 2, packedBytes);
+    for (auto &v : out)
+        v = reader.get(width);
+
+    std::size_t pos = 2 + packedBytes;
+    for (std::uint32_t e = 0; e < exceptions; ++e) {
+        std::uint32_t index = getVarint(bytes, pos);
+        std::uint32_t high = getVarint(bytes, pos);
+        BOSS_ASSERT(index < out.size(), "PFD exception index corrupt");
+        out[index] |= high << width;
+    }
+}
+
+} // namespace boss::compress

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * PForDelta (PFD) and OptPForDelta (OptPFD) codecs.
+ *
+ * Layout (shared by both; they differ only in bit-width selection):
+ *   byte 0:  packed bit width b (1..32)
+ *   byte 1:  number of exceptions e (<= block size)
+ *   then:    n slots of b bits each (low b bits of every value)
+ *   then:    e exception records, each a VB-coded (position, highBits)
+ *            pair where highBits = value >> b.
+ *
+ * PFD picks the smallest b covering >= 90% of values; OptPFD tries
+ * every b and keeps the one minimizing total encoded bytes.
+ */
+
+#ifndef BOSS_COMPRESS_PFORDELTA_H
+#define BOSS_COMPRESS_PFORDELTA_H
+
+#include "compress/codec.h"
+
+namespace boss::compress
+{
+
+class PForDeltaCodec : public Codec
+{
+  public:
+    Scheme scheme() const override { return Scheme::PFD; }
+
+    bool encode(std::span<const std::uint32_t> values,
+                BlockEncoding &out) const override;
+
+    void decode(std::span<const std::uint8_t> bytes,
+                std::span<std::uint32_t> out) const override;
+
+  protected:
+    /** Encode with a caller-chosen packed width. */
+    static void encodeWithWidth(std::span<const std::uint32_t> values,
+                                std::uint32_t width, BlockEncoding &out);
+};
+
+class OptPForDeltaCodec : public PForDeltaCodec
+{
+  public:
+    Scheme scheme() const override { return Scheme::OptPFD; }
+
+    bool encode(std::span<const std::uint32_t> values,
+                BlockEncoding &out) const override;
+};
+
+} // namespace boss::compress
+
+#endif // BOSS_COMPRESS_PFORDELTA_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Enumeration of the inverted-index compression schemes supported by
+ * the BOSS decompression module (paper Sec. II-B / VI).
+ */
+
+#ifndef BOSS_COMPRESS_SCHEME_H
+#define BOSS_COMPRESS_SCHEME_H
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace boss::compress
+{
+
+/**
+ * Compression scheme identifiers.
+ *
+ * PFD and OptPFD share an on-disk format; they differ only in how the
+ * encoder picks the packed bit width (90th percentile vs. exhaustive
+ * size minimization).
+ */
+enum class Scheme : std::uint8_t
+{
+    BP = 0,     ///< BitPacking [Lemire & Boytsov]
+    VB = 1,     ///< VariableByte [Cutting & Pedersen]
+    PFD = 2,    ///< PForDelta [Zukowski et al.]
+    OptPFD = 3, ///< OptPForDelta [Yan, Ding & Suel]
+    S16 = 4,    ///< Simple16 [Zhang, Long & Suel]
+    S8b = 5,    ///< Simple8b [Anh & Moffat]
+};
+
+inline constexpr std::size_t kNumSchemes = 6;
+
+/** All schemes, in enum order; handy for sweeps. */
+inline constexpr std::array<Scheme, kNumSchemes> kAllSchemes = {
+    Scheme::BP,  Scheme::VB,  Scheme::PFD,
+    Scheme::OptPFD, Scheme::S16, Scheme::S8b,
+};
+
+/** The subset the paper evaluates in Fig. 3 (PFD dominated by OptPFD). */
+inline constexpr std::array<Scheme, 5> kFig3Schemes = {
+    Scheme::BP, Scheme::VB, Scheme::OptPFD, Scheme::S16, Scheme::S8b,
+};
+
+constexpr std::string_view
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::BP: return "BP";
+      case Scheme::VB: return "VB";
+      case Scheme::PFD: return "PFD";
+      case Scheme::OptPFD: return "OptPFD";
+      case Scheme::S16: return "S16";
+      case Scheme::S8b: return "S8b";
+    }
+    return "?";
+}
+
+} // namespace boss::compress
+
+#endif // BOSS_COMPRESS_SCHEME_H

@@ -1,0 +1,137 @@
+#include "compress/simple16.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace boss::compress
+{
+
+const std::array<Simple16Codec::Mode, 16> &
+Simple16Codec::modeTable()
+{
+    // The canonical Simple16 selector table. Each mode's runs sum to
+    // at most 28 bits. Ordered from most to fewest values per word so
+    // the greedy encoder tries the densest packing first.
+    static const std::array<Mode, 16> table = {{
+        {{{{28, 1}, {0, 0}, {0, 0}}}, 1, 28},
+        {{{{7, 2}, {14, 1}, {0, 0}}}, 2, 21},
+        {{{{7, 1}, {7, 2}, {7, 1}}}, 3, 21},
+        {{{{14, 1}, {7, 2}, {0, 0}}}, 2, 21},
+        {{{{14, 2}, {0, 0}, {0, 0}}}, 1, 14},
+        {{{{1, 4}, {8, 3}, {0, 0}}}, 2, 9},
+        {{{{1, 3}, {4, 4}, {3, 3}}}, 3, 8},
+        {{{{7, 4}, {0, 0}, {0, 0}}}, 1, 7},
+        {{{{4, 5}, {2, 4}, {0, 0}}}, 2, 6},
+        {{{{2, 4}, {4, 5}, {0, 0}}}, 2, 6},
+        {{{{3, 6}, {2, 5}, {0, 0}}}, 2, 5},
+        {{{{2, 5}, {3, 6}, {0, 0}}}, 2, 5},
+        {{{{4, 7}, {0, 0}, {0, 0}}}, 1, 4},
+        {{{{1, 10}, {2, 9}, {0, 0}}}, 2, 3},
+        {{{{2, 14}, {0, 0}, {0, 0}}}, 1, 2},
+        {{{{1, 28}, {0, 0}, {0, 0}}}, 1, 1},
+    }};
+    return table;
+}
+
+namespace
+{
+
+/**
+ * Check whether the next values starting at @p begin fit mode @p m.
+ */
+bool
+fitsMode(const Simple16Codec::Mode &m,
+         std::span<const std::uint32_t> values, std::size_t begin)
+{
+    std::size_t avail = values.size() - begin;
+    if (avail < m.totalValues)
+        return false;
+    std::size_t idx = begin;
+    for (std::uint8_t r = 0; r < m.numRuns; ++r) {
+        for (std::uint8_t c = 0; c < m.runs[r].count; ++c) {
+            if (boss::bitsFor(values[idx]) > m.runs[r].width)
+                return false;
+            ++idx;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+Simple16Codec::encode(std::span<const std::uint32_t> values,
+                      BlockEncoding &out) const
+{
+    out.bytes.clear();
+    for (auto v : values) {
+        if (v >= (1u << 28))
+            return false;
+    }
+
+    const auto &modes = modeTable();
+    std::size_t idx = 0;
+    while (idx < values.size()) {
+        // Pick the densest mode that fits. The table's widest mode
+        // (1x28) always fits values < 2^28, so selection terminates.
+        std::size_t sel = modes.size() - 1;
+        for (std::size_t m = 0; m < modes.size(); ++m) {
+            if (fitsMode(modes[m], values, idx)) {
+                sel = m;
+                break;
+            }
+        }
+        const Mode &mode = modes[sel];
+        // Avoid padding the tail with phantom values: if fewer values
+        // remain than the mode packs, fall forward to a sparser mode
+        // that exactly covers the remainder or the 1x28 fallback.
+        std::uint32_t word = static_cast<std::uint32_t>(sel) << 28;
+        std::uint32_t shift = 0;
+        for (std::uint8_t r = 0; r < mode.numRuns; ++r) {
+            for (std::uint8_t c = 0; c < mode.runs[r].count; ++c) {
+                word |= (values[idx] & maskLow(mode.runs[r].width))
+                        << shift;
+                shift += mode.runs[r].width;
+                ++idx;
+            }
+        }
+        out.bytes.push_back(static_cast<std::uint8_t>(word));
+        out.bytes.push_back(static_cast<std::uint8_t>(word >> 8));
+        out.bytes.push_back(static_cast<std::uint8_t>(word >> 16));
+        out.bytes.push_back(static_cast<std::uint8_t>(word >> 24));
+    }
+    out.bitWidth = 0;
+    out.exceptionCount = 0;
+    return true;
+}
+
+void
+Simple16Codec::decode(std::span<const std::uint8_t> bytes,
+                      std::span<std::uint32_t> out) const
+{
+    const auto &modes = modeTable();
+    std::size_t produced = 0;
+    std::size_t pos = 0;
+    while (produced < out.size()) {
+        BOSS_ASSERT(pos + 4 <= bytes.size(), "S16 payload truncated");
+        std::uint32_t word = static_cast<std::uint32_t>(bytes[pos]) |
+                             static_cast<std::uint32_t>(bytes[pos + 1]) << 8 |
+                             static_cast<std::uint32_t>(bytes[pos + 2]) << 16 |
+                             static_cast<std::uint32_t>(bytes[pos + 3]) << 24;
+        pos += 4;
+        const Mode &mode = modes[word >> 28];
+        std::uint32_t payload = word & maskLow(28);
+        std::uint32_t shift = 0;
+        for (std::uint8_t r = 0; r < mode.numRuns; ++r) {
+            for (std::uint8_t c = 0; c < mode.runs[r].count; ++c) {
+                if (produced < out.size()) {
+                    out[produced++] =
+                        (payload >> shift) & maskLow(mode.runs[r].width);
+                }
+                shift += mode.runs[r].width;
+            }
+        }
+    }
+}
+
+} // namespace boss::compress

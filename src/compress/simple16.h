@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Simple16 (S16) codec: packs as many values as possible into the
+ * 28-bit payload of each 32-bit word; the top 4 bits select one of
+ * 16 fixed (count x width) layouts [Zhang, Long & Suel, WWW'08].
+ *
+ * Values must be < 2^28; encode() reports failure otherwise.
+ */
+
+#ifndef BOSS_COMPRESS_SIMPLE16_H
+#define BOSS_COMPRESS_SIMPLE16_H
+
+#include <array>
+
+#include "compress/codec.h"
+
+namespace boss::compress
+{
+
+class Simple16Codec : public Codec
+{
+  public:
+    /** A (count, width) run inside one word's 28 payload bits. */
+    struct Run
+    {
+        std::uint8_t count;
+        std::uint8_t width;
+    };
+
+    /** Layout of one selector: up to 3 runs summing to <= 28 bits. */
+    struct Mode
+    {
+        std::array<Run, 3> runs;
+        std::uint8_t numRuns;
+        std::uint8_t totalValues;
+    };
+
+    static const std::array<Mode, 16> &modeTable();
+
+    Scheme scheme() const override { return Scheme::S16; }
+
+    bool encode(std::span<const std::uint32_t> values,
+                BlockEncoding &out) const override;
+
+    void decode(std::span<const std::uint8_t> bytes,
+                std::span<std::uint32_t> out) const override;
+};
+
+} // namespace boss::compress
+
+#endif // BOSS_COMPRESS_SIMPLE16_H

@@ -1,0 +1,108 @@
+#include "compress/simple8b.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace boss::compress
+{
+
+const std::array<Simple8bCodec::Mode, 16> &
+Simple8bCodec::modeTable()
+{
+    static const std::array<Mode, 16> table = {{
+        {240, 0}, // selector 0: 240 zeros
+        {120, 0}, // selector 1: 120 zeros
+        {60, 1},  {30, 2},  {20, 3},  {15, 4},
+        {12, 5},  {10, 6},  {8, 7},   {7, 8},
+        {6, 10},  {5, 12},  {4, 15},  {3, 20},
+        {2, 30},  {1, 60},
+    }};
+    return table;
+}
+
+bool
+Simple8bCodec::encode(std::span<const std::uint32_t> values,
+                      BlockEncoding &out) const
+{
+    out.bytes.clear();
+    const auto &modes = modeTable();
+
+    std::size_t idx = 0;
+    while (idx < values.size()) {
+        std::size_t sel = modes.size() - 1;
+        std::size_t take = 1;
+        for (std::size_t m = 0; m < modes.size(); ++m) {
+            const Mode &mode = modes[m];
+            std::size_t avail = values.size() - idx;
+            if (avail < mode.count)
+                continue;
+            bool fits = true;
+            for (std::uint16_t c = 0; c < mode.count && fits; ++c) {
+                std::uint32_t v = values[idx + c];
+                if (mode.width == 0) {
+                    fits = (v == 0);
+                } else {
+                    fits = bitsFor(v) <= mode.width;
+                }
+            }
+            if (fits) {
+                sel = m;
+                take = mode.count;
+                break;
+            }
+        }
+
+        const Mode &mode = modes[sel];
+        std::uint64_t word = static_cast<std::uint64_t>(sel) << 60;
+        if (mode.width > 0) {
+            std::uint32_t shift = 0;
+            for (std::size_t c = 0; c < take; ++c) {
+                word |= static_cast<std::uint64_t>(values[idx + c])
+                        << shift;
+                shift += mode.width;
+            }
+        }
+        for (int b = 0; b < 8; ++b)
+            out.bytes.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+        idx += take;
+    }
+    out.bitWidth = 0;
+    out.exceptionCount = 0;
+    return true;
+}
+
+void
+Simple8bCodec::decode(std::span<const std::uint8_t> bytes,
+                      std::span<std::uint32_t> out) const
+{
+    const auto &modes = modeTable();
+    std::size_t produced = 0;
+    std::size_t pos = 0;
+    while (produced < out.size()) {
+        BOSS_ASSERT(pos + 8 <= bytes.size(), "S8b payload truncated");
+        std::uint64_t word = 0;
+        for (int b = 0; b < 8; ++b)
+            word |= static_cast<std::uint64_t>(bytes[pos + b]) << (8 * b);
+        pos += 8;
+        const Mode &mode = modes[word >> 60];
+        if (mode.width == 0) {
+            for (std::uint16_t c = 0;
+                 c < mode.count && produced < out.size(); ++c) {
+                out[produced++] = 0;
+            }
+            continue;
+        }
+        std::uint64_t mask = mode.width >= 64
+            ? ~std::uint64_t{0}
+            : ((std::uint64_t{1} << mode.width) - 1);
+        std::uint32_t shift = 0;
+        for (std::uint16_t c = 0;
+             c < mode.count && produced < out.size(); ++c) {
+            out[produced++] =
+                static_cast<std::uint32_t>((word >> shift) & mask);
+            shift += mode.width;
+        }
+    }
+}
+
+} // namespace boss::compress

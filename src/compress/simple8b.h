@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Simple8b (S8b) codec: packs runs of equal-width values into 64-bit
+ * words with a 4-bit selector and 60 payload bits [Anh & Moffat,
+ * SP&E 2010]. Selectors 0 and 1 encode long runs of zeros using no
+ * payload bits.
+ *
+ * Values must be < 2^60; encode() reports failure otherwise (never
+ * the case for 32-bit inputs).
+ */
+
+#ifndef BOSS_COMPRESS_SIMPLE8B_H
+#define BOSS_COMPRESS_SIMPLE8B_H
+
+#include <array>
+
+#include "compress/codec.h"
+
+namespace boss::compress
+{
+
+class Simple8bCodec : public Codec
+{
+  public:
+    struct Mode
+    {
+        std::uint16_t count; ///< values per word
+        std::uint8_t width;  ///< bits per value (0 = implicit zeros)
+    };
+
+    static const std::array<Mode, 16> &modeTable();
+
+    Scheme scheme() const override { return Scheme::S8b; }
+
+    bool encode(std::span<const std::uint32_t> values,
+                BlockEncoding &out) const override;
+
+    void decode(std::span<const std::uint8_t> bytes,
+                std::span<std::uint32_t> out) const override;
+};
+
+} // namespace boss::compress
+
+#endif // BOSS_COMPRESS_SIMPLE8B_H

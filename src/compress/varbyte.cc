@@ -1,0 +1,48 @@
+#include "compress/varbyte.h"
+
+#include "common/logging.h"
+
+namespace boss::compress
+{
+
+bool
+VarByteCodec::encode(std::span<const std::uint32_t> values,
+                     BlockEncoding &out) const
+{
+    out.bytes.clear();
+    for (std::uint32_t v : values) {
+        // Find the number of 7-bit groups (at least one).
+        int groups = 1;
+        for (std::uint32_t t = v >> 7; t != 0; t >>= 7)
+            ++groups;
+        for (int g = groups - 1; g >= 0; --g) {
+            auto group = static_cast<std::uint8_t>((v >> (7 * g)) & 0x7F);
+            if (g != 0)
+                group |= 0x80; // continuation
+            out.bytes.push_back(group);
+        }
+    }
+    out.bitWidth = 0;
+    out.exceptionCount = 0;
+    return true;
+}
+
+void
+VarByteCodec::decode(std::span<const std::uint8_t> bytes,
+                     std::span<std::uint32_t> out) const
+{
+    std::size_t pos = 0;
+    for (auto &result : out) {
+        std::uint32_t acc = 0;
+        while (true) {
+            BOSS_ASSERT(pos < bytes.size(), "VB payload truncated");
+            std::uint8_t b = bytes[pos++];
+            acc = (acc << 7) | (b & 0x7F);
+            if ((b & 0x80) == 0)
+                break;
+        }
+        result = acc;
+    }
+}
+
+} // namespace boss::compress

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * VariableByte (VB) codec.
+ *
+ * Values are split into 7-bit groups emitted most-significant group
+ * first; the top bit of each byte is a continuation flag (1 = more
+ * bytes follow). This matches the accumulate-by-shift-left-7 datapath
+ * of the paper's Fig. 8 configuration program.
+ */
+
+#ifndef BOSS_COMPRESS_VARBYTE_H
+#define BOSS_COMPRESS_VARBYTE_H
+
+#include "compress/codec.h"
+
+namespace boss::compress
+{
+
+class VarByteCodec : public Codec
+{
+  public:
+    Scheme scheme() const override { return Scheme::VB; }
+
+    bool encode(std::span<const std::uint32_t> values,
+                BlockEncoding &out) const override;
+
+    void decode(std::span<const std::uint8_t> bytes,
+                std::span<std::uint32_t> out) const override;
+};
+
+} // namespace boss::compress
+
+#endif // BOSS_COMPRESS_VARBYTE_H

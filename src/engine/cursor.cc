@@ -1,0 +1,179 @@
+#include "engine/cursor.h"
+
+#include "common/logging.h"
+#include "index/block_decoder.h"
+
+namespace boss::engine
+{
+
+ListCursor::ListCursor(const index::CompressedPostingList &list,
+                       ExecHooks *hooks)
+    : list_(list), hooks_(hooks)
+{
+    if (list_.numBlocks() == 0) {
+        ended_ = true;
+        return;
+    }
+    setBlock(0);
+}
+
+void
+ListCursor::setBlock(std::uint32_t b)
+{
+    block_ = b;
+    pos_ = 0;
+    decoded_ = false;
+    tfLoaded_ = false;
+    if (hooks_ != nullptr)
+        hooks_->onMetaRead(list_.term, 1);
+}
+
+void
+ListCursor::ensureDecoded()
+{
+    if (decoded_)
+        return;
+    decoded_ = true;
+    ++blocksLoaded_;
+    if (hooks_ != nullptr) {
+        hooks_->onDocBlockLoad(list_.term, list_.blocks[block_]);
+        hooks_->onDecode(list_.blocks[block_].numElems);
+    }
+    index::decodeBlock(list_, block_, docs_, nullptr);
+}
+
+DocId
+ListCursor::doc() const
+{
+    BOSS_ASSERT(!ended_, "doc() on exhausted cursor");
+    if (!decoded_)
+        return list_.blocks[block_].firstDoc; // pos_ is 0
+    return docs_[pos_];
+}
+
+TermFreq
+ListCursor::tf()
+{
+    BOSS_ASSERT(!ended_, "tf() on exhausted cursor");
+    ensureDecoded();
+    if (!tfLoaded_) {
+        tfLoaded_ = true;
+        if (hooks_ != nullptr) {
+            hooks_->onTfBlockLoad(list_.term, list_.blocks[block_]);
+            hooks_->onDecode(list_.blocks[block_].numElems);
+        }
+        std::vector<DocId> scratch;
+        index::decodeBlock(list_, block_, scratch, &tfs_);
+    }
+    return tfs_[pos_];
+}
+
+void
+ListCursor::next()
+{
+    BOSS_ASSERT(!ended_, "next() on exhausted cursor");
+    ensureDecoded();
+    if (pos_ + 1 < docs_.size()) {
+        ++pos_;
+        return;
+    }
+    if (block_ + 1 < list_.numBlocks()) {
+        setBlock(block_ + 1);
+        return;
+    }
+    ended_ = true;
+}
+
+void
+ListCursor::advanceTo(DocId target)
+{
+    if (ended_ || doc() >= target)
+        return;
+
+    // Within the current block? (blockLast >= target guarantees the
+    // in-block scan terminates.)
+    if (target <= blockLast()) {
+        ensureDecoded();
+        while (docs_[pos_] < target)
+            ++pos_;
+        return;
+    }
+
+    // Seek over block metadata. Each inspected record is a metadata
+    // read; jumped-over blocks are never fetched or decoded.
+    std::uint32_t b = block_ + 1;
+    std::uint32_t inspected = 0;
+    std::uint64_t skippedBlocks = 0;
+    while (b < list_.numBlocks()) {
+        ++inspected;
+        if (list_.blocks[b].lastDoc >= target)
+            break;
+        ++skippedBlocks;
+        ++b;
+    }
+    if (hooks_ != nullptr) {
+        if (inspected > 0)
+            hooks_->onMetaRead(list_.term, inspected);
+        if (skippedBlocks > 0)
+            hooks_->onSkippedBlocks(list_.term, skippedBlocks);
+    }
+    if (b >= list_.numBlocks()) {
+        ended_ = true;
+        return;
+    }
+    setBlock(b);
+    if (target > list_.blocks[b].firstDoc) {
+        ensureDecoded();
+        while (docs_[pos_] < target)
+            ++pos_;
+    }
+}
+
+void
+ListCursor::skipPastBlock()
+{
+    BOSS_ASSERT(!ended_, "skipPastBlock() on exhausted cursor");
+    std::uint64_t remaining =
+        decoded_ ? docs_.size() - pos_ : list_.blocks[block_].numElems;
+    if (hooks_ != nullptr) {
+        if (remaining > 0)
+            hooks_->onSkippedDocs(remaining);
+        if (!decoded_)
+            hooks_->onSkippedBlocks(list_.term, 1);
+    }
+    if (block_ + 1 < list_.numBlocks()) {
+        setBlock(block_ + 1);
+    } else {
+        ended_ = true;
+    }
+}
+
+float
+ListCursor::peekMaxInRange(DocId lo, DocId hi)
+{
+    if (ended_)
+        return 0.f;
+    // The score estimation unit holds only a small window of block
+    // metadata (the paper's 288 B block-fetch buffer); when a range
+    // spans more blocks than the window, fall back to the list-level
+    // maximum -- a free, still-safe upper bound.
+    // Records in the window are already buffered on-chip: each
+    // record's fetch is charged once, when the cursor positions on
+    // its block (setBlock); peeking is free.
+    constexpr std::uint32_t kPeekWindow = 2;
+    float best = 0.f;
+    for (std::uint32_t b = block_; b < list_.numBlocks(); ++b) {
+        const index::BlockMeta &meta = list_.blocks[b];
+        if (meta.firstDoc > hi)
+            break;
+        if (b - block_ >= kPeekWindow) {
+            best = list_.maxTermScore;
+            break;
+        }
+        if (meta.lastDoc >= lo)
+            best = std::max(best, meta.maxTermScore);
+    }
+    return best;
+}
+
+} // namespace boss::engine

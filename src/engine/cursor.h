@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Posting-list cursor with metadata-driven block skipping and lazy
+ * block fetching.
+ *
+ * The cursor is the shared traversal primitive. Blocks are *fetched
+ * lazily*: positioning on a block reads only its 19-byte metadata;
+ * the payload is fetched and decompressed the first time a document
+ * beyond the metadata is needed. This is what lets the BOSS block
+ * fetch module skip whole blocks -- decided from metadata alone --
+ * without ever paying their SCM traffic. Every load/decode/skip
+ * fires an ExecHooks callback so timing models can charge for it.
+ */
+
+#ifndef BOSS_ENGINE_CURSOR_H
+#define BOSS_ENGINE_CURSOR_H
+
+#include <vector>
+
+#include "engine/hooks.h"
+#include "index/compressed_list.h"
+
+namespace boss::engine
+{
+
+class ListCursor
+{
+  public:
+    /**
+     * @param list the compressed posting list to traverse
+     * @param hooks instrumentation sink (may be nullptr)
+     */
+    ListCursor(const index::CompressedPostingList &list,
+               ExecHooks *hooks);
+
+    /** Exhausted? Once true, doc() is invalid. */
+    bool atEnd() const { return ended_; }
+
+    /**
+     * Current docID. At an unfetched block this is the metadata's
+     * firstDoc -- no payload fetch happens.
+     */
+    DocId doc() const;
+
+    /**
+     * Current posting's term frequency. Lazily fetches the doc and
+     * tf payloads of the current block on first use.
+     */
+    TermFreq tf();
+
+    /** Advance to the next posting (fetches the current block). */
+    void next();
+
+    /**
+     * Advance to the first posting with docID >= @p target. Seeks at
+     * block granularity first (metadata only; skipped blocks are
+     * never fetched), then scans within the landing block.
+     */
+    void advanceTo(DocId target);
+
+    /**
+     * Jump past the current block without evaluating its remaining
+     * documents (block fetch module early termination). If the block
+     * was never fetched, it never will be.
+     */
+    void skipPastBlock();
+
+    /**
+     * Max term score among this list's blocks overlapping
+     * [@p lo, @p hi], scanning metadata forward from the current
+     * block (the score estimation unit's overlap inspection).
+     */
+    float peekMaxInRange(DocId lo, DocId hi);
+
+    /** Metadata of the current block. */
+    const index::BlockMeta &
+    blockMeta() const
+    {
+        return list_.blocks[block_];
+    }
+
+    /** Max term score of the current block (score estimation unit). */
+    float blockMax() const { return blockMeta().maxTermScore; }
+
+    /** Last docID of the current block. */
+    DocId blockLast() const { return blockMeta().lastDoc; }
+
+    /** List-wide upper bound (WAND). */
+    float listMax() const { return list_.maxTermScore; }
+
+    float idf() const { return list_.idf; }
+    TermId term() const { return list_.term; }
+    std::uint32_t docCount() const { return list_.docCount; }
+
+    const index::CompressedPostingList &list() const { return list_; }
+
+    /** Number of doc blocks actually fetched+decoded so far. */
+    std::uint32_t blocksLoaded() const { return blocksLoaded_; }
+
+  private:
+    /** Position on block @p b (metadata only, no payload fetch). */
+    void setBlock(std::uint32_t b);
+    /** Fetch + decode the current block's doc payload if needed. */
+    void ensureDecoded();
+
+    const index::CompressedPostingList &list_;
+    ExecHooks *hooks_;
+    std::uint32_t block_ = 0;  ///< current block index
+    std::uint32_t pos_ = 0;    ///< position within decoded block
+    bool ended_ = false;
+    bool decoded_ = false;
+    bool tfLoaded_ = false;
+    std::uint32_t blocksLoaded_ = 0;
+    std::vector<DocId> docs_;
+    std::vector<TermFreq> tfs_;
+};
+
+} // namespace boss::engine
+
+#endif // BOSS_ENGINE_CURSOR_H

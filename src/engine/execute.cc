@@ -1,0 +1,470 @@
+#include "engine/execute.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "engine/streams.h"
+#include "index/block_decoder.h"
+
+namespace boss::engine
+{
+
+namespace
+{
+
+/**
+ * Sum the BM25 contributions of the collected matches, deduplicating
+ * terms (a term can reach the same doc through two DNF groups).
+ */
+Score
+scoreMatches(const index::InvertedIndex &index, DocId d,
+             std::vector<TermMatch> &matches)
+{
+    float norm = index.doc(d).norm;
+    Score total = 0.f;
+    // n <= 16 terms: linear dedup beats hashing.
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+        bool dup = false;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (matches[j].term == matches[i].term) {
+                dup = true;
+                break;
+            }
+        }
+        if (dup)
+            continue;
+        total += index.scorer().termScore(matches[i].idf, matches[i].tf,
+                                          norm);
+    }
+    return total;
+}
+
+/**
+ * The unified union/top-k loop: WAND pivoting (union module) plus
+ * block-level refinement (block fetch module), both optional.
+ */
+std::vector<Result>
+unionLoop(const index::InvertedIndex &index, const QueryPlan &plan,
+          std::size_t k, const ExecFlags &flags, ExecHooks *hooks)
+{
+    auto streams = buildStreams(index, plan, hooks);
+    TopK topk(k);
+    std::uint64_t resultBytes = 0;
+    // Per-stream memo of the last block inspected by the block fetch
+    // module (keyed by the block's end docID).
+    std::map<DocStream *, DocId> blockChecked;
+
+    std::vector<DocStream *> live;
+    live.reserve(streams.size());
+    for (auto &s : streams) {
+        if (!s->atEnd())
+            live.push_back(s.get());
+    }
+
+    std::vector<TermMatch> matches;
+    while (!live.empty()) {
+        std::erase_if(live, [](DocStream *s) { return s->atEnd(); });
+        if (live.empty())
+            break;
+        std::sort(live.begin(), live.end(),
+                  [](DocStream *a, DocStream *b) {
+                      return a->doc() < b->doc();
+                  });
+        if (hooks != nullptr)
+            hooks->onUnionStep();
+
+        Score theta = topk.threshold();
+
+        if (flags.wandSkip) {
+            // Pivot selection over list-level upper bounds.
+            float acc = 0.f;
+            std::size_t p = live.size();
+            for (std::size_t i = 0; i < live.size(); ++i) {
+                acc += live[i]->upperBound();
+                if (acc > theta) {
+                    p = i;
+                    break;
+                }
+            }
+            if (p == live.size())
+                break; // no remaining doc can beat the cutoff
+            DocId pivot = live[p]->doc();
+            if (live[0]->doc() < pivot) {
+                // Documents below the pivot are skippable (WAND).
+                for (std::size_t i = 0; i < p; ++i) {
+                    if (hooks != nullptr)
+                        hooks->onSkippedDocs(1);
+                    live[i]->advanceTo(pivot);
+                }
+                continue;
+            }
+        }
+
+        DocId d = live[0]->doc();
+        std::size_t q = 0;
+        while (q + 1 < live.size() && live[q + 1]->doc() == d)
+            ++q;
+
+        if (flags.blockSkip && topk.full()) {
+            // Block fetch module: each block is inspected once, when
+            // the stream first positions on it. The score estimation
+            // unit bounds every doc in the block's range by summing
+            // the max term-scores of all overlapping blocks (paper
+            // Fig. 5(c)); blocks that cannot beat the cutoff are
+            // skipped without ever being fetched.
+            bool skipped = false;
+            for (std::size_t i = 0; i <= q; ++i) {
+                DocStream *s = live[i];
+                DocId key = s->blockEnd();
+                auto [it, fresh] = blockChecked.try_emplace(s, key);
+                if (!fresh) {
+                    if (it->second == key)
+                        continue; // this block already inspected
+                    it->second = key;
+                }
+                DocId lo = s->doc();
+                float ub = 0.f;
+                for (DocStream *other : live)
+                    ub += other->maxBlockUBInRange(lo, key);
+                if (ub <= theta) {
+                    s->skipPastBlock();
+                    skipped = true;
+                }
+            }
+            if (skipped)
+                continue;
+        }
+
+        matches.clear();
+        for (std::size_t i = 0; i <= q; ++i)
+            live[i]->collectMatches(matches);
+        Score s = scoreMatches(index, d, matches);
+        if (hooks != nullptr) {
+            hooks->onNormLoad(d);
+            hooks->onScore(d, static_cast<std::uint32_t>(matches.size()));
+        }
+        bool accepted = topk.insert(d, s);
+        if (hooks != nullptr)
+            hooks->onTopkInsert(accepted);
+        if (flags.storeAllResults)
+            resultBytes += 8; // (docID, score) written for host top-k
+
+        for (std::size_t i = 0; i <= q; ++i)
+            live[i]->next();
+    }
+
+    if (flags.storeAllResults && hooks != nullptr)
+        hooks->onResultStore(resultBytes);
+    return topk.sorted();
+}
+
+/** One surviving candidate in the IIU-style intersection. */
+struct IiuCandidate
+{
+    DocId doc;
+    float partialScore; ///< accumulated term scores so far
+};
+
+/**
+ * IIU-style membership probe: binary-search the block metadata, load
+ * the containing block with a random access, binary-search inside.
+ * Returns the tf, or 0 if absent. Caches the last loaded block.
+ */
+class IiuProber
+{
+  public:
+    IiuProber(const index::CompressedPostingList &list, ExecHooks *hooks)
+        : list_(list), hooks_(hooks)
+    {}
+
+    /**
+     * Probes arrive in ascending docID order, so the metadata seek
+     * resumes from the last position (each record is inspected at
+     * most once across all probes). The landing block is loaded with
+     * a random access -- probes land wherever the candidate stream
+     * dictates -- and binary-searched; the tf/norm sidecar is
+     * fetched only when the document actually matches.
+     */
+    TermFreq
+    probe(DocId d)
+    {
+        std::uint32_t inspected = 0;
+        while (searchBase_ < list_.numBlocks() &&
+               list_.blocks[searchBase_].lastDoc < d) {
+            ++searchBase_;
+            ++inspected;
+        }
+        if (hooks_ != nullptr && inspected > 0)
+            hooks_->onMetaRead(list_.term, inspected);
+        std::uint32_t lo = searchBase_;
+        if (lo >= list_.numBlocks() || list_.blocks[lo].firstDoc > d)
+            return 0;
+        if (!cached_ || cachedBlock_ != lo) {
+            cached_ = true;
+            cachedBlock_ = lo;
+            tfLoaded_ = false;
+            if (hooks_ != nullptr) {
+                hooks_->onProbeBlockLoad(list_.term, list_.blocks[lo]);
+                hooks_->onDecode(list_.blocks[lo].numElems);
+            }
+            index::decodeBlock(list_, lo, docs_, &tfs_);
+        }
+        auto it = std::lower_bound(docs_.begin(), docs_.end(), d);
+        if (hooks_ != nullptr)
+            hooks_->onCompare(8); // ~log2(128) comparisons
+        if (it == docs_.end() || *it != d)
+            return 0;
+        if (!tfLoaded_) {
+            tfLoaded_ = true;
+            if (hooks_ != nullptr) {
+                hooks_->onTfBlockLoad(list_.term, list_.blocks[lo]);
+                hooks_->onDecode(list_.blocks[lo].numElems);
+            }
+        }
+        return tfs_[static_cast<std::size_t>(it - docs_.begin())];
+    }
+
+  private:
+    const index::CompressedPostingList &list_;
+    ExecHooks *hooks_;
+    bool cached_ = false;
+    bool tfLoaded_ = false;
+    std::uint32_t cachedBlock_ = 0;
+    std::uint32_t searchBase_ = 0;
+    std::vector<DocId> docs_;
+    std::vector<TermFreq> tfs_;
+};
+
+/** Fully decode a list, charging sequential loads (IIU base list). */
+std::vector<IiuCandidate>
+iiuDecodeList(const index::InvertedIndex &index, TermId t,
+              ExecHooks *hooks)
+{
+    const auto &list = index.list(t);
+    std::vector<IiuCandidate> out;
+    out.reserve(list.docCount);
+    std::vector<DocId> docs;
+    std::vector<TermFreq> tfs;
+    for (std::uint32_t b = 0; b < list.numBlocks(); ++b) {
+        if (hooks != nullptr) {
+            hooks->onMetaRead(t, 1);
+            hooks->onDocBlockLoad(t, list.blocks[b]);
+            hooks->onTfBlockLoad(t, list.blocks[b]);
+            hooks->onDecode(2u * list.blocks[b].numElems);
+        }
+        index::decodeBlock(list, b, docs, &tfs);
+        for (std::size_t i = 0; i < docs.size(); ++i) {
+            float s = index.scorer().termScore(list.idf, tfs[i],
+                                               index.doc(docs[i]).norm);
+            out.push_back({docs[i], s});
+        }
+    }
+    return out;
+}
+
+/**
+ * IIU execution for plans containing intersections: iterative SvS
+ * with binary-search membership probes, spilling intermediate lists
+ * to memory between passes (paper Sec. III-B).
+ */
+std::vector<Result>
+iiuIntersectPath(const index::InvertedIndex &index, const QueryPlan &plan,
+                 std::size_t k, const ExecFlags &flags, ExecHooks *hooks)
+{
+    // Determine the conjunction structure: either one pure group, or
+    // the factored common ^ (rest1 v rest2 v ...) shape.
+    std::vector<TermId> commonTerms;
+    std::vector<TermId> unionTerms;
+    if (plan.isPureIntersection()) {
+        commonTerms = plan.groups[0];
+    } else {
+        commonTerms = plan.groups[0];
+        for (const auto &g : plan.groups) {
+            std::vector<TermId> next;
+            std::set_intersection(commonTerms.begin(), commonTerms.end(),
+                                  g.begin(), g.end(),
+                                  std::back_inserter(next));
+            commonTerms = std::move(next);
+        }
+        std::set<TermId> rest;
+        for (const auto &g : plan.groups) {
+            for (TermId t : g) {
+                if (!std::binary_search(commonTerms.begin(),
+                                        commonTerms.end(), t))
+                    rest.insert(t);
+            }
+        }
+        unionTerms.assign(rest.begin(), rest.end());
+        BOSS_ASSERT(!commonTerms.empty(),
+                    "IIU path requires a conjunctive component");
+    }
+
+    // Base candidates: the union component merged exhaustively (and
+    // spilled), or the smallest conjunctive list.
+    std::sort(commonTerms.begin(), commonTerms.end(),
+              [&](TermId a, TermId b) {
+                  return index.list(a).docCount < index.list(b).docCount;
+              });
+
+    std::vector<IiuCandidate> current;
+    std::vector<TermId> probeTerms;
+    if (unionTerms.empty()) {
+        current = iiuDecodeList(index, commonTerms[0], hooks);
+        probeTerms.assign(commonTerms.begin() + 1, commonTerms.end());
+    } else {
+        // Merge the union terms' lists (exhaustive, all loaded).
+        std::map<DocId, float> merged;
+        for (TermId t : unionTerms) {
+            for (const auto &c : iiuDecodeList(index, t, hooks)) {
+                if (hooks != nullptr)
+                    hooks->onCompare(1);
+                merged[c.doc] += c.partialScore;
+            }
+        }
+        current.reserve(merged.size());
+        for (const auto &[d, s] : merged)
+            current.push_back({d, s});
+        if (hooks != nullptr) {
+            // The merged stream is spilled before the intersection.
+            hooks->onIntermediate(current.size() * 8, 0);
+        }
+        probeTerms = commonTerms;
+    }
+
+    for (std::size_t pi = 0; pi < probeTerms.size(); ++pi) {
+        TermId t = probeTerms[pi];
+        const auto &list = index.list(t);
+        IiuProber prober(list, hooks);
+        std::vector<IiuCandidate> next;
+        next.reserve(current.size());
+        for (const auto &c : current) {
+            TermFreq tf = prober.probe(c.doc);
+            if (tf == 0)
+                continue;
+            float s = index.scorer().termScore(list.idf, tf,
+                                               index.doc(c.doc).norm);
+            next.push_back({c.doc, c.partialScore + s});
+        }
+        if (hooks != nullptr) {
+            // Intermediate spilled and refilled between passes.
+            if (pi + 1 < probeTerms.size())
+                hooks->onIntermediate(next.size() * 8, next.size() * 8);
+            // Reading the candidate list itself.
+            if (pi > 0 || !unionTerms.empty())
+                hooks->onIntermediate(0, current.size() * 8);
+        }
+        current = std::move(next);
+    }
+
+    TopK topk(k);
+    std::uint64_t resultBytes = 0;
+    for (const auto &c : current) {
+        if (hooks != nullptr) {
+            hooks->onNormLoad(c.doc);
+            hooks->onScore(c.doc, 1);
+        }
+        bool accepted = topk.insert(c.doc, c.partialScore);
+        if (hooks != nullptr)
+            hooks->onTopkInsert(accepted);
+        if (flags.storeAllResults)
+            resultBytes += 8;
+    }
+    if (flags.storeAllResults && hooks != nullptr)
+        hooks->onResultStore(resultBytes);
+    return topk.sorted();
+}
+
+} // namespace
+
+namespace
+{
+
+/**
+ * True when the plan has the conjunctive shape the IIU iterative
+ * intersection handles: a pure intersection, or common ^ (a v b...)
+ * with single-term rests (the Table II query shapes).
+ */
+bool
+hasConjunctiveCore(const QueryPlan &plan)
+{
+    if (plan.isPureIntersection())
+        return true;
+    std::vector<TermId> common = plan.groups[0];
+    for (const auto &g : plan.groups) {
+        std::vector<TermId> next;
+        std::set_intersection(common.begin(), common.end(), g.begin(),
+                              g.end(), std::back_inserter(next));
+        common = std::move(next);
+    }
+    if (common.empty())
+        return false;
+    for (const auto &g : plan.groups) {
+        if (g.size() != common.size() + 1)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<Result>
+executeQuery(const index::InvertedIndex &index, const QueryPlan &plan,
+             std::size_t k, const ExecFlags &flags, ExecHooks *hooks)
+{
+    BOSS_ASSERT(!plan.groups.empty(), "empty query plan");
+    if (flags.binaryIntersect && !plan.isPureUnion() &&
+        hasConjunctiveCore(plan)) {
+        return iiuIntersectPath(index, plan, k, flags, hooks);
+    }
+    return unionLoop(index, plan, k, flags, hooks);
+}
+
+std::vector<Result>
+naiveTopK(const index::InvertedIndex &index, const QueryPlan &plan,
+          std::size_t k)
+{
+    // Decode every term fully.
+    std::map<TermId, index::PostingList> decoded;
+    for (TermId t : plan.allTerms)
+        decoded[t] = index::decodeAll(index.list(t));
+
+    // Candidate docs mapped to the set of terms contributing to
+    // their score. Scoring follows boolean-clause semantics: a term
+    // contributes only when its whole DNF group matches the doc
+    // (terms shared by several matching groups count once).
+    std::map<DocId, std::set<TermId>> matched;
+    for (const auto &g : plan.groups) {
+        std::map<DocId, std::size_t> counts;
+        for (TermId t : g) {
+            for (const auto &p : decoded[t])
+                ++counts[p.doc];
+        }
+        for (const auto &[d, c] : counts) {
+            if (c == g.size())
+                matched[d].insert(g.begin(), g.end());
+        }
+    }
+
+    TopK topk(k);
+    for (const auto &[d, terms] : matched) {
+        Score s = 0.f;
+        for (TermId t : terms) {
+            const auto &list = decoded[t];
+            auto it = std::lower_bound(
+                list.begin(), list.end(), d,
+                [](const index::Posting &p, DocId doc) {
+                    return p.doc < doc;
+                });
+            BOSS_ASSERT(it != list.end() && it->doc == d,
+                        "matched term must contain doc");
+            s += index.scorer().termScore(index.list(t).idf, it->tf,
+                                          index.doc(d).norm);
+        }
+        topk.insert(d, s);
+    }
+    return topk.sorted();
+}
+
+} // namespace boss::engine

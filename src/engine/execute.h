@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Query execution: one algorithm family, four behaviors.
+ *
+ * The flag set reproduces every system and ablation in the paper:
+ *
+ *   BOSS            blockSkip=1 wandSkip=1
+ *   BOSS-block-only blockSkip=1 wandSkip=0          (Fig. 14)
+ *   BOSS-exhaustive blockSkip=0 wandSkip=0          (Fig. 13)
+ *   IIU             binaryIntersect=1 storeAllResults=1
+ *   Lucene-like CPU all skips off (SvS with skip lists)
+ *
+ * All variants return the exact same top-k (early termination is
+ * lossless); tests assert this invariant.
+ */
+
+#ifndef BOSS_ENGINE_EXECUTE_H
+#define BOSS_ENGINE_EXECUTE_H
+
+#include <vector>
+
+#include "engine/hooks.h"
+#include "engine/plan.h"
+#include "engine/topk.h"
+#include "index/inverted_index.h"
+
+namespace boss::engine
+{
+
+/** Behavior switches (see file comment). */
+struct ExecFlags
+{
+    /** Block-level early termination in the block fetch module. */
+    bool blockSkip = true;
+    /** Doc-level WAND early termination in the union module. */
+    bool wandSkip = true;
+    /** IIU-style binary-search membership intersection. */
+    bool binaryIntersect = false;
+    /**
+     * Score every candidate and write the full scored list back to
+     * memory (host-side top-k, as IIU does).
+     */
+    bool storeAllResults = false;
+};
+
+/** Default number of results (paper: k = 1000). */
+inline constexpr std::size_t kDefaultTopK = 1000;
+
+/**
+ * Execute @p plan against @p index and return the top-k results in
+ * rank order. @p hooks may be nullptr for pure functional use.
+ */
+std::vector<Result>
+executeQuery(const index::InvertedIndex &index, const QueryPlan &plan,
+             std::size_t k, const ExecFlags &flags,
+             ExecHooks *hooks = nullptr);
+
+/**
+ * Brute-force oracle: decodes every posting list fully and scores
+ * with hash maps. Slow; used by tests as ground truth.
+ */
+std::vector<Result>
+naiveTopK(const index::InvertedIndex &index, const QueryPlan &plan,
+          std::size_t k);
+
+} // namespace boss::engine
+
+#endif // BOSS_ENGINE_EXECUTE_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Instrumentation interface for query execution.
+ *
+ * The functional algorithms in engine/ run identically for every
+ * system model; what differs is the cost of each step. Timing models
+ * (BOSS, IIU, the Lucene-like CPU baseline) implement ExecHooks to
+ * charge cycles and issue modeled memory traffic; the functional
+ * oracle passes nullptr and pays nothing.
+ */
+
+#ifndef BOSS_ENGINE_HOOKS_H
+#define BOSS_ENGINE_HOOKS_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "index/compressed_list.h"
+
+namespace boss::engine
+{
+
+/**
+ * Execution event callbacks. All have empty defaults so models
+ * override only what they charge for.
+ */
+class ExecHooks
+{
+  public:
+    virtual ~ExecHooks() = default;
+
+    /** @p count block-metadata records of term @p t were inspected. */
+    virtual void onMetaRead(TermId t, std::uint32_t count)
+    {
+        (void)t;
+        (void)count;
+    }
+
+    /** A doc-gap payload block was fetched (LD List traffic). */
+    virtual void onDocBlockLoad(TermId t, const index::BlockMeta &meta)
+    {
+        (void)t;
+        (void)meta;
+    }
+
+    /** A tf payload block was fetched for scoring (LD Score). */
+    virtual void onTfBlockLoad(TermId t, const index::BlockMeta &meta)
+    {
+        (void)t;
+        (void)meta;
+    }
+
+    /** @p count values went through the decompression module. */
+    virtual void onDecode(std::uint32_t count) { (void)count; }
+
+    /** A per-document norm record was fetched (LD Score, 4B). */
+    virtual void onNormLoad(DocId d) { (void)d; }
+
+    /** Document @p d was scored, summing @p numTerms term scores. */
+    virtual void onScore(DocId d, std::uint32_t numTerms)
+    {
+        (void)d;
+        (void)numTerms;
+    }
+
+    /**
+     * A block was fetched by a random-access membership probe
+     * (IIU-style binary-search intersection). Distinct from
+     * onDocBlockLoad so memory models can apply the random-access
+     * penalty.
+     */
+    virtual void onProbeBlockLoad(TermId t, const index::BlockMeta &meta)
+    {
+        (void)t;
+        (void)meta;
+    }
+
+    /** @p count docID comparisons in a set-operation unit. */
+    virtual void onCompare(std::uint64_t count) { (void)count; }
+
+    /** One union-module scheduling step (sorter/pivot selection). */
+    virtual void onUnionStep() {}
+
+    /** A candidate entered the top-k module. */
+    virtual void onTopkInsert(bool accepted) { (void)accepted; }
+
+    /** Intermediate-list spill traffic (IIU-style multi-term). */
+    virtual void onIntermediate(std::uint64_t bytesWritten,
+                                std::uint64_t bytesRead)
+    {
+        (void)bytesWritten;
+        (void)bytesRead;
+    }
+
+    /** Result written back to memory (ST Result). */
+    virtual void onResultStore(std::uint64_t bytes) { (void)bytes; }
+
+    /** @p count candidate documents skipped by early termination. */
+    virtual void onSkippedDocs(std::uint64_t count) { (void)count; }
+
+    /** @p count whole blocks of term @p t skipped without loading. */
+    virtual void onSkippedBlocks(TermId t, std::uint64_t count)
+    {
+        (void)t;
+        (void)count;
+    }
+};
+
+} // namespace boss::engine
+
+#endif // BOSS_ENGINE_HOOKS_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Query expressions and execution plans.
+ *
+ * The offloading API accepts expression strings like
+ *   "A" AND ("B" OR "C")
+ * (paper Sec. IV-D). The parser builds an expression tree; the
+ * planner normalizes it to a union of intersection groups (DNF),
+ * which is exactly BOSS's intersection-first execution order: a
+ * 3-term mixed query A AND (B OR C) becomes (A^B) v (A^C).
+ */
+
+#ifndef BOSS_ENGINE_PLAN_H
+#define BOSS_ENGINE_PLAN_H
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/queries.h"
+
+namespace boss::engine
+{
+
+/** Expression tree node. */
+struct QueryExpr
+{
+    enum class Kind : std::uint8_t { Term, And, Or };
+
+    Kind kind = Kind::Term;
+    TermId term = 0;                ///< valid when kind == Term
+    std::vector<QueryExpr> children; ///< valid for And/Or
+};
+
+/** Resolve a quoted term token (e.g. "t42") to a TermId. */
+using TermResolver = std::function<TermId(std::string_view)>;
+
+/**
+ * Parse an expression string. Grammar:
+ *   expr   := andExpr (OR andExpr)*
+ *   andExpr:= atom (AND atom)*
+ *   atom   := '"' term '"' | '(' expr ')'
+ * AND binds tighter than OR. Raises fatal() on syntax errors.
+ */
+QueryExpr parseExpression(std::string_view text,
+                          const TermResolver &resolve);
+
+/** The default resolver for "t<N>" names used by the workload. */
+TermId defaultTermResolver(std::string_view name);
+
+/**
+ * An execution plan: candidates = union over groups of the
+ * intersection of each group's terms. `allTerms` lists every
+ * distinct term for scoring (a document's query score sums the
+ * contributions of all matching terms, per BM25).
+ */
+struct QueryPlan
+{
+    std::vector<std::vector<TermId>> groups;
+    std::vector<TermId> allTerms;
+
+    bool
+    isPureUnion() const
+    {
+        for (const auto &g : groups) {
+            if (g.size() != 1)
+                return false;
+        }
+        return true;
+    }
+
+    bool isPureIntersection() const { return groups.size() == 1; }
+};
+
+/** Normalize an expression tree to DNF (intersections first). */
+QueryPlan planQuery(const QueryExpr &expr);
+
+/** Build the plan for one of the Table II workload query types. */
+QueryPlan planQuery(const workload::Query &query);
+
+} // namespace boss::engine
+
+#endif // BOSS_ENGINE_PLAN_H

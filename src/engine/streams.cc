@@ -1,0 +1,329 @@
+#include "engine/streams.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+
+namespace boss::engine
+{
+
+// ------------------------------------------------------------------
+// AndStream
+// ------------------------------------------------------------------
+
+AndStream::AndStream(std::vector<std::unique_ptr<DocStream>> members,
+                     ExecHooks *hooks)
+    : members_(std::move(members)), hooks_(hooks)
+{
+    BOSS_ASSERT(members_.size() >= 2, "AndStream needs >= 2 members");
+    findMatch();
+}
+
+void
+AndStream::findMatch()
+{
+    DocStream &lead = *members_[0];
+    while (!lead.atEnd()) {
+        DocId d = lead.doc();
+        bool all = true;
+        for (std::size_t i = 1; i < members_.size(); ++i) {
+            members_[i]->advanceTo(d);
+            if (hooks_ != nullptr)
+                hooks_->onCompare(1);
+            if (members_[i]->atEnd()) {
+                ended_ = true;
+                return;
+            }
+            if (members_[i]->doc() != d) {
+                // Mismatch: leapfrog the lead to the blocker's doc.
+                lead.advanceTo(members_[i]->doc());
+                all = false;
+                break;
+            }
+        }
+        if (all) {
+            current_ = d;
+            return;
+        }
+    }
+    ended_ = true;
+}
+
+void
+AndStream::next()
+{
+    BOSS_ASSERT(!ended_, "next() on exhausted AndStream");
+    members_[0]->next();
+    findMatch();
+}
+
+void
+AndStream::advanceTo(DocId target)
+{
+    if (ended_ || current_ >= target)
+        return;
+    members_[0]->advanceTo(target);
+    findMatch();
+}
+
+float
+AndStream::upperBound() const
+{
+    float ub = 0.f;
+    for (const auto &m : members_)
+        ub += m->upperBound();
+    return ub;
+}
+
+float
+AndStream::blockUpperBound() const
+{
+    float ub = 0.f;
+    for (const auto &m : members_)
+        ub += m->blockUpperBound();
+    return ub;
+}
+
+DocId
+AndStream::blockEnd() const
+{
+    DocId end = kInvalidDocId;
+    for (const auto &m : members_)
+        end = std::min(end, m->blockEnd());
+    return end;
+}
+
+float
+AndStream::maxBlockUBInRange(DocId lo, DocId hi)
+{
+    float ub = 0.f;
+    for (auto &m : members_)
+        ub += m->maxBlockUBInRange(lo, hi);
+    return ub;
+}
+
+void
+AndStream::skipPastBlock()
+{
+    // Composite streams skip by advancing past the joint block end.
+    advanceTo(blockEnd() + 1);
+}
+
+void
+AndStream::collectMatches(std::vector<TermMatch> &out)
+{
+    for (auto &m : members_)
+        m->collectMatches(out);
+}
+
+// ------------------------------------------------------------------
+// OrStream
+// ------------------------------------------------------------------
+
+OrStream::OrStream(std::vector<std::unique_ptr<DocStream>> members,
+                   ExecHooks *hooks)
+    : members_(std::move(members)), hooks_(hooks)
+{
+    BOSS_ASSERT(members_.size() >= 2, "OrStream needs >= 2 members");
+}
+
+bool
+OrStream::atEnd() const
+{
+    for (const auto &m : members_) {
+        if (!m->atEnd())
+            return false;
+    }
+    return true;
+}
+
+DocId
+OrStream::doc() const
+{
+    DocId d = kInvalidDocId;
+    for (const auto &m : members_) {
+        if (!m->atEnd())
+            d = std::min(d, m->doc());
+    }
+    return d;
+}
+
+void
+OrStream::next()
+{
+    DocId d = doc();
+    for (auto &m : members_) {
+        if (!m->atEnd() && m->doc() == d)
+            m->next();
+        if (hooks_ != nullptr)
+            hooks_->onCompare(1);
+    }
+}
+
+void
+OrStream::advanceTo(DocId target)
+{
+    for (auto &m : members_) {
+        if (!m->atEnd())
+            m->advanceTo(target);
+    }
+}
+
+float
+OrStream::upperBound() const
+{
+    // A doc may match several members; their contributions add.
+    float ub = 0.f;
+    for (const auto &m : members_)
+        ub += m->upperBound();
+    return ub;
+}
+
+float
+OrStream::blockUpperBound() const
+{
+    float ub = 0.f;
+    for (const auto &m : members_) {
+        if (!m->atEnd())
+            ub += m->blockUpperBound();
+    }
+    return ub;
+}
+
+DocId
+OrStream::blockEnd() const
+{
+    DocId end = kInvalidDocId;
+    for (const auto &m : members_) {
+        if (!m->atEnd())
+            end = std::min(end, m->blockEnd());
+    }
+    return end;
+}
+
+float
+OrStream::maxBlockUBInRange(DocId lo, DocId hi)
+{
+    float ub = 0.f;
+    for (auto &m : members_) {
+        if (!m->atEnd())
+            ub += m->maxBlockUBInRange(lo, hi);
+    }
+    return ub;
+}
+
+void
+OrStream::skipPastBlock()
+{
+    advanceTo(blockEnd() + 1);
+}
+
+void
+OrStream::collectMatches(std::vector<TermMatch> &out)
+{
+    DocId d = doc();
+    for (auto &m : members_) {
+        if (!m->atEnd() && m->doc() == d)
+            m->collectMatches(out);
+    }
+}
+
+// ------------------------------------------------------------------
+// Stream construction
+// ------------------------------------------------------------------
+
+namespace
+{
+
+std::unique_ptr<DocStream>
+makeTermStream(const index::InvertedIndex &index, TermId t,
+               ExecHooks *hooks)
+{
+    return std::make_unique<TermStream>(index.list(t), hooks);
+}
+
+/** AND-group over raw terms, most selective list leading. */
+std::unique_ptr<DocStream>
+makeGroupStream(const index::InvertedIndex &index,
+                std::vector<TermId> terms, ExecHooks *hooks)
+{
+    if (terms.size() == 1)
+        return makeTermStream(index, terms[0], hooks);
+    std::sort(terms.begin(), terms.end(), [&](TermId a, TermId b) {
+        return index.list(a).docCount < index.list(b).docCount;
+    });
+    std::vector<std::unique_ptr<DocStream>> members;
+    members.reserve(terms.size());
+    for (TermId t : terms)
+        members.push_back(makeTermStream(index, t, hooks));
+    return std::make_unique<AndStream>(std::move(members), hooks);
+}
+
+} // namespace
+
+std::vector<std::unique_ptr<DocStream>>
+buildStreams(const index::InvertedIndex &index, const QueryPlan &plan,
+             ExecHooks *hooks)
+{
+    BOSS_ASSERT(!plan.groups.empty(), "empty query plan");
+    std::vector<std::unique_ptr<DocStream>> streams;
+
+    // Factor terms common to every group (groups are sorted sets):
+    // A AND (B OR C) arrives as {A,B},{A,C} and becomes A ^ (B v C).
+    if (plan.groups.size() >= 2) {
+        std::vector<TermId> common = plan.groups[0];
+        for (const auto &g : plan.groups) {
+            std::vector<TermId> next;
+            std::set_intersection(common.begin(), common.end(),
+                                  g.begin(), g.end(),
+                                  std::back_inserter(next));
+            common = std::move(next);
+        }
+        if (!common.empty()) {
+            bool factorable = true;
+            std::vector<std::vector<TermId>> rests;
+            for (const auto &g : plan.groups) {
+                std::vector<TermId> rest;
+                std::set_difference(g.begin(), g.end(), common.begin(),
+                                    common.end(),
+                                    std::back_inserter(rest));
+                // Only factor the simple common-prefix shape the
+                // hardware pipelines (each rest a single term).
+                if (rest.size() != 1) {
+                    factorable = false;
+                    break;
+                }
+                rests.push_back(std::move(rest));
+            }
+            if (factorable) {
+                std::vector<std::unique_ptr<DocStream>> orMembers;
+                for (const auto &rest : rests)
+                    orMembers.push_back(
+                        makeTermStream(index, rest[0], hooks));
+                std::vector<std::unique_ptr<DocStream>> andMembers;
+                // Most selective common term leads the conjunction.
+                std::sort(common.begin(), common.end(),
+                          [&](TermId a, TermId b) {
+                              return index.list(a).docCount <
+                                     index.list(b).docCount;
+                          });
+                for (TermId t : common)
+                    andMembers.push_back(
+                        makeTermStream(index, t, hooks));
+                andMembers.push_back(std::make_unique<OrStream>(
+                    std::move(orMembers), hooks));
+                streams.push_back(std::make_unique<AndStream>(
+                    std::move(andMembers), hooks));
+                return streams;
+            }
+        }
+    }
+
+    for (const auto &g : plan.groups)
+        streams.push_back(makeGroupStream(index, g, hooks));
+    return streams;
+}
+
+} // namespace boss::engine

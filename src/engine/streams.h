@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Candidate-document streams.
+ *
+ * A query plan is executed as a union over streams: a pure union has
+ * one TermStream per term, a pure intersection is a single AndStream,
+ * and a mixed query like A AND (B OR C) is an AndStream whose second
+ * member is an OrStream -- mirroring how a BOSS core wires its
+ * intersection and union modules together. Streams expose the two
+ * upper bounds early termination needs: the list-level bound (WAND,
+ * used by the union module) and the current-block bound (used by the
+ * block fetch module's score estimation unit).
+ */
+
+#ifndef BOSS_ENGINE_STREAMS_H
+#define BOSS_ENGINE_STREAMS_H
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/cursor.h"
+#include "engine/plan.h"
+#include "index/inverted_index.h"
+
+namespace boss::engine
+{
+
+/** A (term, tf) match contributed by a stream at its current doc. */
+struct TermMatch
+{
+    TermId term;
+    TermFreq tf;
+    float idf;
+};
+
+/**
+ * Abstract monotone stream of candidate documents.
+ */
+class DocStream
+{
+  public:
+    virtual ~DocStream() = default;
+
+    virtual bool atEnd() const = 0;
+    /** Current candidate docID (valid while !atEnd()). */
+    virtual DocId doc() const = 0;
+    /** Advance past the current candidate. */
+    virtual void next() = 0;
+    /** Advance to the first candidate >= target. */
+    virtual void advanceTo(DocId target) = 0;
+
+    /** Upper bound of this stream's score contribution (WAND). */
+    virtual float upperBound() const = 0;
+    /** Upper bound from the block(s) holding the current doc. */
+    virtual float blockUpperBound() const = 0;
+    /** Last docID covered by the current block(s). */
+    virtual DocId blockEnd() const = 0;
+
+    /**
+     * Max possible contribution of this stream to any doc in
+     * [lo, hi], from block metadata (score estimation unit).
+     */
+    virtual float maxBlockUBInRange(DocId lo, DocId hi) = 0;
+
+    /**
+     * Skip past the current block without evaluating its remaining
+     * docs (block fetch module early termination).
+     */
+    virtual void skipPastBlock() = 0;
+
+    /** Collect (term, tf) contributions at the current doc. */
+    virtual void collectMatches(std::vector<TermMatch> &out) = 0;
+};
+
+/**
+ * Stream over a single term's posting list.
+ */
+class TermStream : public DocStream
+{
+  public:
+    TermStream(const index::CompressedPostingList &list,
+               ExecHooks *hooks)
+        : cursor_(list, hooks)
+    {}
+
+    bool atEnd() const override { return cursor_.atEnd(); }
+    DocId doc() const override { return cursor_.doc(); }
+    void next() override { cursor_.next(); }
+    void advanceTo(DocId target) override { cursor_.advanceTo(target); }
+
+    float upperBound() const override { return cursor_.listMax(); }
+    float blockUpperBound() const override { return cursor_.blockMax(); }
+    DocId blockEnd() const override { return cursor_.blockLast(); }
+
+    float
+    maxBlockUBInRange(DocId lo, DocId hi) override
+    {
+        return cursor_.peekMaxInRange(lo, hi);
+    }
+
+    void skipPastBlock() override { cursor_.skipPastBlock(); }
+
+    void
+    collectMatches(std::vector<TermMatch> &out) override
+    {
+        out.push_back({cursor_.term(), cursor_.tf(), cursor_.idf()});
+    }
+
+    ListCursor &cursor() { return cursor_; }
+
+  private:
+    ListCursor cursor_;
+};
+
+/**
+ * Conjunction (intersection) of member streams, advanced with the
+ * Small-versus-Small strategy: the first member must be the most
+ * selective. Positioned only on docs present in every member.
+ */
+class AndStream : public DocStream
+{
+  public:
+    AndStream(std::vector<std::unique_ptr<DocStream>> members,
+              ExecHooks *hooks);
+
+    bool atEnd() const override { return ended_; }
+    DocId doc() const override { return current_; }
+    void next() override;
+    void advanceTo(DocId target) override;
+
+    float upperBound() const override;
+    float blockUpperBound() const override;
+    DocId blockEnd() const override;
+    float maxBlockUBInRange(DocId lo, DocId hi) override;
+    void skipPastBlock() override;
+
+    void collectMatches(std::vector<TermMatch> &out) override;
+
+  private:
+    /** Align all members on the next common doc >= the lead's doc. */
+    void findMatch();
+
+    std::vector<std::unique_ptr<DocStream>> members_;
+    ExecHooks *hooks_;
+    DocId current_ = 0;
+    bool ended_ = false;
+};
+
+/**
+ * Disjunction (union) of member streams: positioned on the minimum
+ * member doc.
+ */
+class OrStream : public DocStream
+{
+  public:
+    OrStream(std::vector<std::unique_ptr<DocStream>> members,
+             ExecHooks *hooks);
+
+    bool atEnd() const override;
+    DocId doc() const override;
+    void next() override;
+    void advanceTo(DocId target) override;
+
+    float upperBound() const override;
+    float blockUpperBound() const override;
+    DocId blockEnd() const override;
+    float maxBlockUBInRange(DocId lo, DocId hi) override;
+    void skipPastBlock() override;
+
+    void collectMatches(std::vector<TermMatch> &out) override;
+
+  private:
+    std::vector<std::unique_ptr<DocStream>> members_;
+    ExecHooks *hooks_;
+};
+
+/**
+ * Build the stream tree for a plan. Factors a term set common to all
+ * groups into an enclosing AndStream (so Q6's A AND (B OR C OR D)
+ * fetches A once), otherwise returns one stream per group.
+ */
+std::vector<std::unique_ptr<DocStream>>
+buildStreams(const index::InvertedIndex &index, const QueryPlan &plan,
+             ExecHooks *hooks);
+
+} // namespace boss::engine
+
+#endif // BOSS_ENGINE_STREAMS_H

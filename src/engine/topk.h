@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Top-k accumulator.
+ *
+ * The ordering is total and deterministic: higher score wins, equal
+ * scores break toward the smaller docID. Every engine (hardware
+ * models and software baselines) uses this same comparator, so their
+ * top-k outputs are bit-identical and directly comparable in tests.
+ */
+
+#ifndef BOSS_ENGINE_TOPK_H
+#define BOSS_ENGINE_TOPK_H
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace boss::engine
+{
+
+/** One retrieval result. */
+struct Result
+{
+    DocId doc = kInvalidDocId;
+    Score score = 0.f;
+
+    friend bool
+    operator==(const Result &a, const Result &b)
+    {
+        return a.doc == b.doc && a.score == b.score;
+    }
+};
+
+/** True iff result @p a ranks strictly above @p b. */
+inline bool
+ranksAbove(const Result &a, const Result &b)
+{
+    if (a.score != b.score)
+        return a.score > b.score;
+    return a.doc < b.doc;
+}
+
+/**
+ * Bounded top-k selection via a binary min-heap keyed by rank order
+ * (the root is the current weakest entry -- the "cutoff" document).
+ */
+class TopK
+{
+  public:
+    explicit TopK(std::size_t k) : k_(k) {}
+
+    /**
+     * Offer a candidate. Returns true if it entered the top-k.
+     */
+    bool
+    insert(DocId doc, Score score)
+    {
+        Result cand{doc, score};
+        if (heap_.size() < k_) {
+            heap_.push_back(cand);
+            std::push_heap(heap_.begin(), heap_.end(), ranksAbove);
+            return true;
+        }
+        if (!ranksAbove(cand, heap_.front()))
+            return false;
+        std::pop_heap(heap_.begin(), heap_.end(), ranksAbove);
+        heap_.back() = cand;
+        std::push_heap(heap_.begin(), heap_.end(), ranksAbove);
+        return true;
+    }
+
+    /**
+     * The current cutoff score: candidates must *exceed* it (or tie
+     * and win on docID) to enter. -inf while the heap is not full,
+     * so nothing is pruned before k results exist.
+     */
+    Score
+    threshold() const
+    {
+        if (heap_.size() < k_)
+            return -std::numeric_limits<Score>::infinity();
+        return heap_.front().score;
+    }
+
+    bool full() const { return heap_.size() >= k_; }
+    std::size_t size() const { return heap_.size(); }
+    std::size_t k() const { return k_; }
+
+    /** Results in rank order (best first). */
+    std::vector<Result>
+    sorted() const
+    {
+        std::vector<Result> out = heap_;
+        std::sort(out.begin(), out.end(), ranksAbove);
+        return out;
+    }
+
+  private:
+    std::size_t k_;
+    std::vector<Result> heap_;
+};
+
+} // namespace boss::engine
+
+#endif // BOSS_ENGINE_TOPK_H

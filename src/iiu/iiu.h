@@ -1,0 +1,49 @@
+/**
+ * @file
+ * IIU baseline facade (paper Sec. II-D / III).
+ *
+ * IIU [Heo et al., ASPLOS'20] is the prior-art inverted-index
+ * accelerator BOSS is compared against. Its model differs from BOSS
+ * in exactly the three ways the paper identifies:
+ *   1. binary-search membership intersection -> random SCM accesses;
+ *   2. exhaustive unions (no early termination) and intermediate
+ *      lists spilled to memory between multi-term passes;
+ *   3. no hardware top-k: the full scored list is written back for
+ *      the host to sort (the write traffic is charged; the host's
+ *      sort time is ignored, matching the paper's methodology).
+ */
+
+#ifndef BOSS_IIU_IIU_H
+#define BOSS_IIU_IIU_H
+
+#include "model/runner.h"
+
+namespace boss::iiu
+{
+
+/** System configuration preset for the IIU baseline. */
+inline model::SystemConfig
+systemConfig(std::uint32_t cores = 8,
+             mem::MemConfig mem = mem::scmConfig())
+{
+    model::SystemConfig config;
+    config.kind = model::SystemKind::Iiu;
+    config.cores = cores;
+    config.mem = std::move(mem);
+    return config;
+}
+
+/** Run a query workload on the IIU baseline. */
+inline model::WorkloadMetrics
+run(const index::InvertedIndex &index,
+    const index::MemoryLayout &layout,
+    const std::vector<workload::Query> &queries,
+    std::uint32_t cores = 8, mem::MemConfig mem = mem::scmConfig())
+{
+    return model::runWorkload(index, layout, queries,
+                              systemConfig(cores, std::move(mem)));
+}
+
+} // namespace boss::iiu
+
+#endif // BOSS_IIU_IIU_H

@@ -1,0 +1,53 @@
+#include "index/block_decoder.h"
+
+#include <span>
+
+#include "common/logging.h"
+#include "compress/codec.h"
+
+namespace boss::index
+{
+
+void
+decodeBlock(const CompressedPostingList &list, std::uint32_t b,
+            std::vector<DocId> &docs, std::vector<TermFreq> *tfs)
+{
+    BOSS_ASSERT(b < list.numBlocks(), "block index out of range");
+    const BlockMeta &meta = list.blocks[b];
+    const compress::Codec &codec = compress::codecFor(list.scheme);
+
+    docs.resize(meta.numElems);
+    std::span<const std::uint8_t> docBytes(
+        list.docPayload.data() + meta.docOffset, meta.docBytes);
+    codec.decode(docBytes, docs);
+
+    DocId acc = list.blockBase(b);
+    for (auto &d : docs) {
+        acc += d;
+        d = acc;
+    }
+
+    if (tfs != nullptr) {
+        tfs->resize(meta.numElems);
+        std::span<const std::uint8_t> tfBytes(
+            list.tfPayload.data() + meta.tfOffset, meta.tfBytes);
+        codec.decode(tfBytes, *tfs);
+    }
+}
+
+PostingList
+decodeAll(const CompressedPostingList &list)
+{
+    PostingList out;
+    out.reserve(list.docCount);
+    std::vector<DocId> docs;
+    std::vector<TermFreq> tfs;
+    for (std::uint32_t b = 0; b < list.numBlocks(); ++b) {
+        decodeBlock(list, b, docs, &tfs);
+        for (std::size_t i = 0; i < docs.size(); ++i)
+            out.push_back({docs[i], tfs[i]});
+    }
+    return out;
+}
+
+} // namespace boss::index

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Functional block decoder shared by all engines: turns one
+ * compressed block back into docIDs and term frequencies.
+ */
+
+#ifndef BOSS_INDEX_BLOCK_DECODER_H
+#define BOSS_INDEX_BLOCK_DECODER_H
+
+#include <vector>
+
+#include "index/compressed_list.h"
+
+namespace boss::index
+{
+
+/**
+ * Decode block @p b of @p list.
+ *
+ * @param list the compressed posting list
+ * @param b block index (< list.numBlocks())
+ * @param docs out: absolute docIDs (resized to the block's count)
+ * @param tfs out: term frequencies (same size); may be nullptr when
+ *            the caller only needs docIDs (saves the tf decode)
+ */
+void decodeBlock(const CompressedPostingList &list, std::uint32_t b,
+                 std::vector<DocId> &docs,
+                 std::vector<TermFreq> *tfs);
+
+/** Decode the entire list back to postings (testing oracle). */
+PostingList decodeAll(const CompressedPostingList &list);
+
+} // namespace boss::index
+
+#endif // BOSS_INDEX_BLOCK_DECODER_H

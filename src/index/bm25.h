@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Okapi BM25 ranking (paper Sec. II-B).
+ *
+ * BOSS precomputes every sub-expression of BM25 except the term
+ * frequency at indexing time (paper Sec. IV-C, "Scoring Module"):
+ * per document a 4-byte "norm" k1*(1 - b + b*|D|/avgdl), and per term
+ * the IDF. At query time a term score needs one division, one
+ * multiplication and one addition:
+ *
+ *   termScore = idf * tf * (k1 + 1) / (tf + norm)
+ */
+
+#ifndef BOSS_INDEX_BM25_H
+#define BOSS_INDEX_BM25_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/fixed_point.h"
+#include "common/types.h"
+
+namespace boss::index
+{
+
+/** BM25 free parameters (paper: k1 in [1.2, 2.0], b = 0.75). */
+struct Bm25Params
+{
+    double k1 = 1.2;
+    double b = 0.75;
+};
+
+/**
+ * BM25 scoring helper bound to a document corpus's global stats.
+ */
+class Bm25
+{
+  public:
+    Bm25(Bm25Params params, std::uint32_t numDocs, double avgDocLen)
+        : params_(params), numDocs_(numDocs), avgDocLen_(avgDocLen)
+    {}
+
+    /** Inverse document frequency of a term appearing in @p df docs. */
+    double
+    idf(std::uint32_t df) const
+    {
+        double n = static_cast<double>(numDocs_);
+        double d = static_cast<double>(df);
+        return std::log((n - d + 0.5) / (d + 0.5) + 1.0);
+    }
+
+    /** Per-document precomputed norm (stored as 4B metadata). */
+    float
+    docNorm(std::uint32_t docLen) const
+    {
+        return static_cast<float>(
+            params_.k1 *
+            (1.0 - params_.b +
+             params_.b * static_cast<double>(docLen) / avgDocLen_));
+    }
+
+    /** Exact (float) term score given precomputed idf and norm. */
+    Score
+    termScore(double idf, TermFreq tf, float norm) const
+    {
+        double f = static_cast<double>(tf);
+        return static_cast<Score>(idf * f * (params_.k1 + 1.0) /
+                                  (f + static_cast<double>(norm)));
+    }
+
+    /**
+     * The hardware scoring module's fixed-point version: one Q16.16
+     * divide after folding idf*(k1+1) into the dividend at index
+     * time, mirroring the three-arithmetic-op pipeline.
+     */
+    Fixed
+    termScoreFixed(double idf, TermFreq tf, float norm) const
+    {
+        Fixed num = Fixed::fromDouble(idf * static_cast<double>(tf) *
+                                      (params_.k1 + 1.0));
+        Fixed den = Fixed::fromDouble(static_cast<double>(tf) +
+                                      static_cast<double>(norm));
+        return num / den;
+    }
+
+    const Bm25Params &params() const { return params_; }
+    std::uint32_t numDocs() const { return numDocs_; }
+    double avgDocLen() const { return avgDocLen_; }
+
+  private:
+    Bm25Params params_;
+    std::uint32_t numDocs_;
+    double avgDocLen_;
+};
+
+} // namespace boss::index
+
+#endif // BOSS_INDEX_BM25_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Compressed posting-list layout: fixed 128-entry blocks of d-gaps
+ * plus term frequencies, with per-block skip metadata (paper
+ * Sec. IV-A, "Index Structure and Per-block Metadata").
+ */
+
+#ifndef BOSS_INDEX_COMPRESSED_LIST_H
+#define BOSS_INDEX_COMPRESSED_LIST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "compress/scheme.h"
+#include "index/posting_list.h"
+
+namespace boss::index
+{
+
+/**
+ * Per-block metadata record.
+ *
+ * The paper's record is 19 bytes: first docID (4B), last docID (4B),
+ * max term-score (4B), compressed-block offset (4B), plus packed
+ * element count (7b), encoded bit-width (5b) and exception info
+ * (12b). We keep the fields unpacked in memory for clarity; traffic
+ * accounting charges kBlockMetaBytes per record.
+ */
+struct BlockMeta
+{
+    DocId firstDoc = 0;       ///< first uncompressed docID in block
+    DocId lastDoc = 0;        ///< last uncompressed docID in block
+    float maxTermScore = 0.f; ///< max BM25 term score within block
+    std::uint32_t docOffset = 0; ///< byte offset of doc payload
+    std::uint32_t docBytes = 0;  ///< doc payload size
+    std::uint32_t tfOffset = 0;  ///< byte offset of tf payload
+    std::uint32_t tfBytes = 0;   ///< tf payload size
+    std::uint32_t firstIndex = 0; ///< posting index of first element
+    std::uint8_t numElems = 0;   ///< elements in block (1..128)
+    std::uint8_t bitWidth = 0;   ///< packed width (BP/PFD)
+    std::uint16_t exceptionInfo = 0; ///< exception count (PFD)
+};
+
+/** Metadata bytes charged per block when fetched (paper: 19B). */
+inline constexpr std::uint32_t kBlockMetaBytes = 19;
+
+/**
+ * A fully built compressed posting list.
+ *
+ * Doc payloads hold d-gaps: block i's first gap is relative to
+ * block i-1's lastDoc (relative to 0 for the first block), so any
+ * block is decodable from its metadata alone -- the property the
+ * hardware skip mechanism relies on.
+ */
+struct CompressedPostingList
+{
+    TermId term = 0;
+    compress::Scheme scheme = compress::Scheme::BP;
+    std::uint32_t docCount = 0;  ///< total postings
+    float idf = 0.f;             ///< precomputed IDF
+    float maxTermScore = 0.f;    ///< list-wide max (WAND upper bound)
+
+    std::vector<BlockMeta> blocks;
+    std::vector<std::uint8_t> docPayload; ///< concatenated doc blocks
+    std::vector<std::uint8_t> tfPayload;  ///< concatenated tf blocks
+
+    std::uint32_t numBlocks() const
+    {
+        return static_cast<std::uint32_t>(blocks.size());
+    }
+
+    /** Total compressed bytes (payloads + metadata). */
+    std::uint64_t
+    sizeBytes() const
+    {
+        return docPayload.size() + tfPayload.size() +
+               blocks.size() * kBlockMetaBytes;
+    }
+
+    /** The docID gap base for block @p b (lastDoc of prior block). */
+    DocId
+    blockBase(std::uint32_t b) const
+    {
+        return b == 0 ? 0 : blocks[b - 1].lastDoc;
+    }
+};
+
+} // namespace boss::index
+
+#endif // BOSS_INDEX_COMPRESSED_LIST_H

@@ -1,0 +1,187 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "compress/codec.h"
+
+namespace boss::index
+{
+
+InvertedIndex::InvertedIndex(Bm25Params params, std::vector<DocInfo> docs,
+                             double avgDocLen,
+                             std::vector<CompressedPostingList> lists)
+    : bm25_(params, static_cast<std::uint32_t>(docs.size()), avgDocLen),
+      docs_(std::move(docs)), avgDocLen_(avgDocLen),
+      lists_(std::move(lists))
+{
+}
+
+std::uint64_t
+InvertedIndex::sizeBytes() const
+{
+    std::uint64_t total = docs_.size() * kDocNormBytes;
+    for (const auto &list : lists_)
+        total += list.sizeBytes();
+    return total;
+}
+
+void
+IndexBuilder::setDocLengths(std::vector<std::uint32_t> lengths)
+{
+    docLengths_ = std::move(lengths);
+}
+
+void
+IndexBuilder::addTerm(TermId term, PostingList postings)
+{
+    BOSS_ASSERT(isValidPostingList(postings),
+                "term ", term, ": postings not sorted/unique");
+    pending_.emplace_back(term, std::move(postings));
+}
+
+CompressedPostingList
+IndexBuilder::compressList(TermId term, const PostingList &postings,
+                           compress::Scheme scheme, const Bm25 &bm25,
+                           const std::vector<DocInfo> &docs)
+{
+    CompressedPostingList out;
+    out.term = term;
+    out.scheme = scheme;
+    out.docCount = static_cast<std::uint32_t>(postings.size());
+    out.idf = static_cast<float>(bm25.idf(out.docCount));
+
+    const compress::Codec &codec = compress::codecFor(scheme);
+    std::vector<std::uint32_t> gaps;
+    std::vector<std::uint32_t> tfs;
+    compress::BlockEncoding enc;
+
+    DocId prevLast = 0;
+    for (std::size_t begin = 0; begin < postings.size();
+         begin += kBlockSize) {
+        std::size_t count =
+            std::min<std::size_t>(kBlockSize, postings.size() - begin);
+
+        gaps.clear();
+        tfs.clear();
+        float maxScore = 0.f;
+        DocId prev = prevLast;
+        for (std::size_t i = 0; i < count; ++i) {
+            const Posting &p = postings[begin + i];
+            BOSS_ASSERT(p.doc < docs.size(),
+                        "posting references unknown doc ", p.doc);
+            gaps.push_back(p.doc - prev);
+            prev = p.doc;
+            tfs.push_back(p.tf);
+            float s = bm25.termScore(out.idf, p.tf, docs[p.doc].norm);
+            maxScore = std::max(maxScore, s);
+        }
+
+        BlockMeta meta;
+        meta.firstIndex = static_cast<std::uint32_t>(begin);
+        meta.firstDoc = postings[begin].doc;
+        meta.lastDoc = postings[begin + count - 1].doc;
+        meta.maxTermScore = maxScore;
+        meta.numElems = static_cast<std::uint8_t>(count);
+
+        if (!codec.encode(gaps, enc)) {
+            // Scheme cannot represent this block (e.g. S16 with a
+            // gap >= 2^28): fall back to BitPacking for this list.
+            // Callers doing hybrid selection will simply never pick
+            // an unencodable scheme; forcing one is a user error.
+            BOSS_FATAL("scheme ", schemeName(scheme),
+                       " cannot encode term ", term);
+        }
+        meta.docOffset = static_cast<std::uint32_t>(out.docPayload.size());
+        meta.docBytes = static_cast<std::uint32_t>(enc.bytes.size());
+        meta.bitWidth = enc.bitWidth;
+        meta.exceptionInfo = enc.exceptionCount;
+        out.docPayload.insert(out.docPayload.end(), enc.bytes.begin(),
+                              enc.bytes.end());
+
+        if (!codec.encode(tfs, enc)) {
+            BOSS_FATAL("scheme ", schemeName(scheme),
+                       " cannot encode tf stream of term ", term);
+        }
+        meta.tfOffset = static_cast<std::uint32_t>(out.tfPayload.size());
+        meta.tfBytes = static_cast<std::uint32_t>(enc.bytes.size());
+        out.tfPayload.insert(out.tfPayload.end(), enc.bytes.begin(),
+                             enc.bytes.end());
+
+        out.blocks.push_back(meta);
+        out.maxTermScore = std::max(out.maxTermScore, maxScore);
+        prevLast = meta.lastDoc;
+    }
+    return out;
+}
+
+InvertedIndex
+IndexBuilder::build()
+{
+    BOSS_ASSERT(!docLengths_.empty(), "setDocLengths() before build()");
+
+    double avgLen =
+        std::accumulate(docLengths_.begin(), docLengths_.end(), 0.0) /
+        static_cast<double>(docLengths_.size());
+    Bm25 bm25(params_, static_cast<std::uint32_t>(docLengths_.size()),
+              avgLen);
+
+    std::vector<DocInfo> docs(docLengths_.size());
+    for (std::size_t d = 0; d < docLengths_.size(); ++d) {
+        docs[d].length = docLengths_[d];
+        docs[d].norm = bm25.docNorm(docLengths_[d]);
+    }
+
+    // Lists are stored indexed by TermId.
+    TermId maxTerm = 0;
+    for (const auto &[term, postings] : pending_)
+        maxTerm = std::max(maxTerm, term);
+    std::vector<CompressedPostingList> lists(
+        pending_.empty() ? 0 : maxTerm + 1);
+
+    for (auto &[term, postings] : pending_) {
+        if (postings.empty()) {
+            lists[term].term = term;
+            continue;
+        }
+        if (forced_.has_value()) {
+            lists[term] = compressList(term, postings, *forced_, bm25,
+                                       docs);
+            continue;
+        }
+        // Hybrid: smallest total size wins (paper Fig. 3 "Hybrid").
+        bool first = true;
+        for (compress::Scheme s : compress::kAllSchemes) {
+            if (s == compress::Scheme::PFD)
+                continue; // same format as OptPFD, never smaller
+            // Skip schemes that cannot represent some block; S16 is
+            // the only candidate (gaps >= 2^28).
+            if (s == compress::Scheme::S16) {
+                bool ok = true;
+                DocId prev = 0;
+                for (const auto &p : postings) {
+                    if (p.doc - prev >= (1u << 28) ||
+                        p.tf >= (1u << 28)) {
+                        ok = false;
+                        break;
+                    }
+                    prev = p.doc;
+                }
+                if (!ok)
+                    continue;
+            }
+            CompressedPostingList trial =
+                compressList(term, postings, s, bm25, docs);
+            if (first || trial.sizeBytes() < lists[term].sizeBytes()) {
+                lists[term] = std::move(trial);
+                first = false;
+            }
+        }
+    }
+
+    return InvertedIndex(params_, std::move(docs), avgLen,
+                         std::move(lists));
+}
+
+} // namespace boss::index

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The inverted index: document table, per-term compressed posting
+ * lists, and the builder that assembles them from raw postings.
+ */
+
+#ifndef BOSS_INDEX_INVERTED_INDEX_H
+#define BOSS_INDEX_INVERTED_INDEX_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/scheme.h"
+#include "index/bm25.h"
+#include "index/compressed_list.h"
+#include "index/posting_list.h"
+
+namespace boss::index
+{
+
+/** Bytes of precomputed per-document scoring metadata (paper: 4B). */
+inline constexpr std::uint32_t kDocNormBytes = 4;
+
+/**
+ * Per-document metadata: length and the precomputed BM25 norm.
+ */
+struct DocInfo
+{
+    std::uint32_t length = 0; ///< |D| in tokens
+    float norm = 0.f;         ///< k1*(1 - b + b*|D|/avgdl)
+};
+
+/**
+ * An immutable, fully built inverted index for one shard.
+ */
+class InvertedIndex
+{
+  public:
+    InvertedIndex(Bm25Params params, std::vector<DocInfo> docs,
+                  double avgDocLen,
+                  std::vector<CompressedPostingList> lists);
+
+    std::uint32_t numDocs() const
+    {
+        return static_cast<std::uint32_t>(docs_.size());
+    }
+    std::uint32_t numTerms() const
+    {
+        return static_cast<std::uint32_t>(lists_.size());
+    }
+    double avgDocLen() const { return avgDocLen_; }
+
+    const DocInfo &doc(DocId d) const { return docs_[d]; }
+    const std::vector<DocInfo> &docs() const { return docs_; }
+
+    const CompressedPostingList &list(TermId t) const
+    {
+        return lists_[t];
+    }
+    const std::vector<CompressedPostingList> &lists() const
+    {
+        return lists_;
+    }
+
+    const Bm25 &scorer() const { return bm25_; }
+
+    /** Total compressed index footprint in bytes. */
+    std::uint64_t sizeBytes() const;
+
+  private:
+    Bm25 bm25_;
+    std::vector<DocInfo> docs_;
+    double avgDocLen_;
+    std::vector<CompressedPostingList> lists_;
+};
+
+/**
+ * Builds an InvertedIndex from raw posting lists.
+ *
+ * Scheme selection follows the paper's hybrid approach: by default
+ * every posting list is encoded with all supported schemes and the
+ * smallest encoding wins; a fixed scheme can be forced for ablations.
+ */
+class IndexBuilder
+{
+  public:
+    explicit IndexBuilder(Bm25Params params = {}) : params_(params) {}
+
+    /** Force one scheme for every list (hybrid selection if unset). */
+    void forceScheme(compress::Scheme s) { forced_ = s; }
+
+    /**
+     * Set document lengths (token counts). Must cover every docID
+     * referenced by the posting lists.
+     */
+    void setDocLengths(std::vector<std::uint32_t> lengths);
+
+    /** Add one term's postings (sorted by docID, no duplicates). */
+    void addTerm(TermId term, PostingList postings);
+
+    /** Assemble the final index. The builder is consumed. */
+    InvertedIndex build();
+
+    /**
+     * Compress a single posting list with a given scheme; exposed for
+     * tests and for the compression-ratio experiment (Fig. 3).
+     */
+    static CompressedPostingList
+    compressList(TermId term, const PostingList &postings,
+                 compress::Scheme scheme, const Bm25 &bm25,
+                 const std::vector<DocInfo> &docs);
+
+  private:
+    Bm25Params params_;
+    std::optional<compress::Scheme> forced_;
+    std::vector<std::uint32_t> docLengths_;
+    std::vector<std::pair<TermId, PostingList>> pending_;
+};
+
+} // namespace boss::index
+
+#endif // BOSS_INDEX_INVERTED_INDEX_H

@@ -1,0 +1,71 @@
+#include "index/lexicon.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace boss::index
+{
+
+TermId
+Lexicon::addTerm(std::string_view term)
+{
+    auto it = ids_.find(std::string(term));
+    if (it != ids_.end())
+        return it->second;
+    TermId id = static_cast<TermId>(terms_.size());
+    terms_.emplace_back(term);
+    ids_.emplace(terms_.back(), id);
+    return id;
+}
+
+std::optional<TermId>
+Lexicon::lookup(std::string_view term) const
+{
+    auto it = ids_.find(std::string(term));
+    if (it == ids_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+const std::string &
+Lexicon::term(TermId id) const
+{
+    BOSS_ASSERT(id < terms_.size(), "term id out of range: ", id);
+    return terms_[id];
+}
+
+void
+Lexicon::save(std::ostream &os) const
+{
+    std::uint32_t n = size();
+    os.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    for (const auto &t : terms_) {
+        auto len = static_cast<std::uint32_t>(t.size());
+        os.write(reinterpret_cast<const char *>(&len), sizeof(len));
+        os.write(t.data(), len);
+    }
+}
+
+Lexicon
+Lexicon::load(std::istream &is)
+{
+    Lexicon lex;
+    std::uint32_t n = 0;
+    is.read(reinterpret_cast<char *>(&n), sizeof(n));
+    if (!is)
+        BOSS_FATAL("lexicon truncated");
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t len = 0;
+        is.read(reinterpret_cast<char *>(&len), sizeof(len));
+        std::string term(len, '\0');
+        is.read(term.data(), len);
+        if (!is)
+            BOSS_FATAL("lexicon truncated");
+        lex.addTerm(term);
+    }
+    return lex;
+}
+
+} // namespace boss::index

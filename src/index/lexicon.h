@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Term lexicon: the string <-> TermId dictionary that sits in front
+ * of the inverted index. The paper's evaluation works on pre-built
+ * indexes (terms are already ids); the lexicon is what a production
+ * deployment needs to accept textual queries.
+ */
+
+#ifndef BOSS_INDEX_LEXICON_H
+#define BOSS_INDEX_LEXICON_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace boss::index
+{
+
+class Lexicon
+{
+  public:
+    Lexicon() = default;
+
+    /** Id of @p term, inserting it if new. */
+    TermId addTerm(std::string_view term);
+
+    /** Id of @p term, or nullopt if unknown. */
+    std::optional<TermId> lookup(std::string_view term) const;
+
+    /** The string for an id (must be < size()). */
+    const std::string &term(TermId id) const;
+
+    std::uint32_t
+    size() const
+    {
+        return static_cast<std::uint32_t>(terms_.size());
+    }
+
+    /** Binary (de)serialization (appended to index files). */
+    void save(std::ostream &os) const;
+    static Lexicon load(std::istream &is);
+
+  private:
+    std::vector<std::string> terms_;
+    std::unordered_map<std::string, TermId> ids_;
+};
+
+} // namespace boss::index
+
+#endif // BOSS_INDEX_LEXICON_H

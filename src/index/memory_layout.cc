@@ -1,0 +1,37 @@
+#include "index/memory_layout.h"
+
+#include "common/bitops.h"
+
+namespace boss::index
+{
+
+MemoryLayout::MemoryLayout(const InvertedIndex &index, Addr base,
+                           Addr align)
+    : base_(base)
+{
+    Addr cursor = roundUp(base, align);
+    lists_.resize(index.numTerms());
+    for (TermId t = 0; t < index.numTerms(); ++t) {
+        const CompressedPostingList &list = index.list(t);
+        ListPlacement &p = lists_[t];
+        p.metaAddr = cursor;
+        cursor = roundUp(cursor + static_cast<Addr>(list.numBlocks()) *
+                                      kBlockMetaBytes,
+                         align);
+        p.docAddr = cursor;
+        cursor = roundUp(cursor + list.docPayload.size(), align);
+        p.tfAddr = cursor;
+        cursor = roundUp(cursor + list.tfPayload.size(), align);
+        p.normAddr = cursor;
+        cursor = roundUp(cursor + static_cast<Addr>(list.docCount) *
+                                      kDocNormBytes,
+                         align);
+    }
+    normTable_ = cursor;
+    cursor = roundUp(cursor + static_cast<Addr>(index.numDocs()) *
+                                  kDocNormBytes,
+                     align);
+    end_ = cursor;
+}
+
+} // namespace boss::index

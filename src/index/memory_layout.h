@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Address assignment: places a built index into the modeled SCM
+ * address space so timing models can issue byte-addressed requests.
+ *
+ * Layout per list: [block metadata array][doc payload][tf payload],
+ * lists laid out consecutively, then the per-doc norm table. All
+ * regions are aligned to the SCM access granule so sequential reads
+ * of a payload hit consecutive media lines.
+ */
+
+#ifndef BOSS_INDEX_MEMORY_LAYOUT_H
+#define BOSS_INDEX_MEMORY_LAYOUT_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "index/inverted_index.h"
+
+namespace boss::index
+{
+
+/** Where one posting list's pieces live. */
+struct ListPlacement
+{
+    Addr metaAddr = 0; ///< block metadata array (19B records)
+    Addr docAddr = 0;  ///< doc-gap payload base
+    Addr tfAddr = 0;   ///< tf payload base
+    /**
+     * Per-posting scoring metadata sidecar: the precomputed 4-byte
+     * BM25 norm of each posting's document, stored alongside the tf
+     * stream (paper Sec. IV-C: precomputation "will increase the per
+     * document metadata by 4B"). Keeping it in posting order makes
+     * scoring traffic sequential and block-skippable.
+     */
+    Addr normAddr = 0;
+};
+
+/**
+ * The address map of one index image.
+ */
+class MemoryLayout
+{
+  public:
+    /**
+     * Compute the layout. @p base is the image's base address and
+     * @p align the alignment granule (typically the SCM media line,
+     * 256B).
+     */
+    MemoryLayout(const InvertedIndex &index, Addr base, Addr align);
+
+    const ListPlacement &list(TermId t) const { return lists_[t]; }
+
+    /** Address of document @p d's 4-byte norm record. */
+    Addr
+    docNormAddr(DocId d) const
+    {
+        return normTable_ + static_cast<Addr>(d) * kDocNormBytes;
+    }
+
+    Addr base() const { return base_; }
+    /** One past the last byte used by the image. */
+    Addr end() const { return end_; }
+    Addr sizeBytes() const { return end_ - base_; }
+
+  private:
+    Addr base_;
+    Addr end_;
+    Addr normTable_;
+    std::vector<ListPlacement> lists_;
+};
+
+} // namespace boss::index
+
+#endif // BOSS_INDEX_MEMORY_LAYOUT_H

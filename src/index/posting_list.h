@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Uncompressed posting-list representation (the index builder's
+ * input and the functional engine's oracle format).
+ */
+
+#ifndef BOSS_INDEX_POSTING_LIST_H
+#define BOSS_INDEX_POSTING_LIST_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace boss::index
+{
+
+/** One (docID, term frequency) tuple, as in the paper's Fig. 1(a). */
+struct Posting
+{
+    DocId doc;
+    TermFreq tf;
+
+    friend bool
+    operator==(const Posting &a, const Posting &b)
+    {
+        return a.doc == b.doc && a.tf == b.tf;
+    }
+};
+
+/** A term's postings, sorted by ascending docID, no duplicates. */
+using PostingList = std::vector<Posting>;
+
+/** True iff @p list is sorted by docID with no duplicates. */
+inline bool
+isValidPostingList(const PostingList &list)
+{
+    for (std::size_t i = 1; i < list.size(); ++i) {
+        if (list[i].doc <= list[i - 1].doc)
+            return false;
+    }
+    return true;
+}
+
+} // namespace boss::index
+
+#endif // BOSS_INDEX_POSTING_LIST_H

@@ -1,0 +1,135 @@
+#include "index/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace boss::index
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = 0xB0555EED;
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!is)
+        BOSS_FATAL("index file truncated");
+    return v;
+}
+
+template <typename T>
+void
+writeVec(std::ostream &os, const std::vector<T> &v)
+{
+    writePod<std::uint64_t>(os, v.size());
+    os.write(reinterpret_cast<const char *>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+readVec(std::istream &is)
+{
+    auto n = readPod<std::uint64_t>(is);
+    std::vector<T> v(n);
+    is.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    if (!is)
+        BOSS_FATAL("index file truncated");
+    return v;
+}
+
+} // namespace
+
+void
+saveIndex(const InvertedIndex &index, std::ostream &os)
+{
+    writePod(os, kMagic);
+    writePod(os, kVersion);
+    writePod(os, index.scorer().params().k1);
+    writePod(os, index.scorer().params().b);
+    writePod(os, index.avgDocLen());
+    writeVec(os, index.docs());
+
+    writePod<std::uint32_t>(os, index.numTerms());
+    for (TermId t = 0; t < index.numTerms(); ++t) {
+        const CompressedPostingList &list = index.list(t);
+        writePod(os, list.term);
+        writePod(os, static_cast<std::uint8_t>(list.scheme));
+        writePod(os, list.docCount);
+        writePod(os, list.idf);
+        writePod(os, list.maxTermScore);
+        writeVec(os, list.blocks);
+        writeVec(os, list.docPayload);
+        writeVec(os, list.tfPayload);
+    }
+}
+
+InvertedIndex
+loadIndex(std::istream &is)
+{
+    if (readPod<std::uint32_t>(is) != kMagic)
+        BOSS_FATAL("not a BOSS index file (bad magic)");
+    if (readPod<std::uint32_t>(is) != kVersion)
+        BOSS_FATAL("unsupported index file version");
+
+    Bm25Params params;
+    params.k1 = readPod<double>(is);
+    params.b = readPod<double>(is);
+    auto avgDocLen = readPod<double>(is);
+    auto docs = readVec<DocInfo>(is);
+
+    auto numTerms = readPod<std::uint32_t>(is);
+    std::vector<CompressedPostingList> lists(numTerms);
+    for (std::uint32_t t = 0; t < numTerms; ++t) {
+        CompressedPostingList &list = lists[t];
+        list.term = readPod<TermId>(is);
+        list.scheme =
+            static_cast<compress::Scheme>(readPod<std::uint8_t>(is));
+        list.docCount = readPod<std::uint32_t>(is);
+        list.idf = readPod<float>(is);
+        list.maxTermScore = readPod<float>(is);
+        list.blocks = readVec<BlockMeta>(is);
+        list.docPayload = readVec<std::uint8_t>(is);
+        list.tfPayload = readVec<std::uint8_t>(is);
+    }
+    return InvertedIndex(params, std::move(docs), avgDocLen,
+                         std::move(lists));
+}
+
+void
+saveIndexFile(const InvertedIndex &index, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        BOSS_FATAL("cannot open '", path, "' for writing");
+    saveIndex(index, os);
+}
+
+InvertedIndex
+loadIndexFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        BOSS_FATAL("cannot open '", path, "' for reading");
+    return loadIndex(is);
+}
+
+} // namespace boss::index

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Binary (de)serialization of a built index. Used by the offloading
+ * API's init() call, which "loads the inverted index file from disk
+ * to SCM memory pool" (paper Sec. IV-D).
+ */
+
+#ifndef BOSS_INDEX_SERIALIZE_H
+#define BOSS_INDEX_SERIALIZE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "index/inverted_index.h"
+
+namespace boss::index
+{
+
+/** Write @p index to @p os in the BOSS index file format. */
+void saveIndex(const InvertedIndex &index, std::ostream &os);
+
+/** Read an index previously written by saveIndex(). */
+InvertedIndex loadIndex(std::istream &is);
+
+/** File-path convenience wrappers. */
+void saveIndexFile(const InvertedIndex &index, const std::string &path);
+InvertedIndex loadIndexFile(const std::string &path);
+
+} // namespace boss::index
+
+#endif // BOSS_INDEX_SERIALIZE_H

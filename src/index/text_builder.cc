@@ -1,0 +1,115 @@
+#include "index/text_builder.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "index/serialize.h"
+
+namespace boss::index
+{
+
+namespace
+{
+
+const std::unordered_set<std::string> &
+stopwords()
+{
+    static const std::unordered_set<std::string> words = {
+        "a",    "an",   "and",  "are",  "as",   "at",   "be",
+        "but",  "by",   "for",  "from", "had",  "has",  "have",
+        "he",   "her",  "his",  "if",   "in",   "is",   "it",
+        "its",  "not",  "of",   "on",   "or",   "she",  "that",
+        "the",  "their", "then", "there", "they", "this", "to",
+        "was",  "were", "which", "will", "with", "you",
+    };
+    return words;
+}
+
+} // namespace
+
+std::vector<std::string>
+tokenize(std::string_view text, const TokenizerConfig &config)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    auto flush = [&]() {
+        if (current.size() >= config.minLength &&
+            current.size() <= config.maxLength &&
+            (!config.dropStopwords ||
+             stopwords().count(current) == 0)) {
+            tokens.push_back(current);
+        }
+        current.clear();
+    };
+    for (char c : text) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            current += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        } else {
+            flush();
+        }
+    }
+    flush();
+    return tokens;
+}
+
+DocId
+TextIndexBuilder::addDocument(std::string_view text)
+{
+    DocId doc = static_cast<DocId>(docLengths_.size());
+    auto tokens = tokenize(text, config_);
+
+    std::unordered_map<TermId, TermFreq> counts;
+    for (const auto &tok : tokens)
+        ++counts[lexicon_.addTerm(tok)];
+
+    docLengths_.push_back(
+        std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                       tokens.size())));
+    for (const auto &[term, tf] : counts)
+        postings_[term].push_back({doc, tf});
+    return doc;
+}
+
+TextIndex
+TextIndexBuilder::build()
+{
+    BOSS_ASSERT(!docLengths_.empty(),
+                "build() before any addDocument()");
+    IndexBuilder builder(params_);
+    builder.setDocLengths(std::move(docLengths_));
+    for (auto &[term, list] : postings_) {
+        // Insertion order is docID order already (docs are dense and
+        // ascending), so lists are valid as-is.
+        builder.addTerm(term, std::move(list));
+    }
+    postings_.clear();
+    return TextIndex{builder.build(), std::move(lexicon_)};
+}
+
+void
+saveTextIndexFile(const TextIndex &ti, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        BOSS_FATAL("cannot open '", path, "' for writing");
+    saveIndex(ti.index, os);
+    ti.lexicon.save(os);
+}
+
+TextIndex
+loadTextIndexFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        BOSS_FATAL("cannot open '", path, "' for reading");
+    InvertedIndex index = loadIndex(is);
+    Lexicon lexicon = Lexicon::load(is);
+    return TextIndex{std::move(index), std::move(lexicon)};
+}
+
+} // namespace boss::index

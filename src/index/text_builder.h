@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Text ingestion: tokenizer and document-at-a-time index builder.
+ *
+ * Turns raw document text into the (docID, tf) posting lists the
+ * rest of the system consumes, producing the inverted index and its
+ * lexicon together -- the "prepared offline" step the paper assumes
+ * (Sec. II-B: "an inverted index is usually prepared offline before
+ * a query is served").
+ */
+
+#ifndef BOSS_INDEX_TEXT_BUILDER_H
+#define BOSS_INDEX_TEXT_BUILDER_H
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/lexicon.h"
+
+namespace boss::index
+{
+
+/** Tokenizer options. */
+struct TokenizerConfig
+{
+    /** Drop tokens shorter than this many characters. */
+    std::uint32_t minLength = 2;
+    /** Drop tokens longer than this (noise/binary junk). */
+    std::uint32_t maxLength = 64;
+    /** Drop the standard English stopword list. */
+    bool dropStopwords = true;
+};
+
+/**
+ * Split @p text into lowercase alphanumeric tokens.
+ */
+std::vector<std::string> tokenize(std::string_view text,
+                                  const TokenizerConfig &config = {});
+
+/** A fully built text index: the index plus its lexicon. */
+struct TextIndex
+{
+    InvertedIndex index;
+    Lexicon lexicon;
+};
+
+/**
+ * Document-at-a-time builder: feed documents, then build().
+ */
+class TextIndexBuilder
+{
+  public:
+    explicit TextIndexBuilder(TokenizerConfig config = {},
+                              Bm25Params params = {})
+        : config_(config), params_(params)
+    {}
+
+    /**
+     * Ingest one document; returns its docID (assigned densely in
+     * insertion order).
+     */
+    DocId addDocument(std::string_view text);
+
+    std::uint32_t numDocs() const
+    {
+        return static_cast<std::uint32_t>(docLengths_.size());
+    }
+
+    /** Assemble the final index + lexicon. Consumes the builder. */
+    TextIndex build();
+
+  private:
+    TokenizerConfig config_;
+    Bm25Params params_;
+    Lexicon lexicon_;
+    std::vector<std::uint32_t> docLengths_;
+    /** term -> postings under construction. */
+    std::map<TermId, PostingList> postings_;
+};
+
+/**
+ * Save/load a TextIndex (index file format v1 followed by the
+ * lexicon block).
+ */
+void saveTextIndexFile(const TextIndex &ti, const std::string &path);
+TextIndex loadTextIndexFile(const std::string &path);
+
+} // namespace boss::index
+
+#endif // BOSS_INDEX_TEXT_BUILDER_H

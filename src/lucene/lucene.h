@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Lucene-like CPU baseline facade (paper Sec. V-A).
+ *
+ * Models Apache Lucene running on the host: 8 Xeon cores at 2.7 GHz
+ * reading the SCM pool across the shared interconnect. Execution is
+ * functionally identical to the accelerators (same SvS intersection
+ * with skip lists, exhaustive unions, heap top-k) but every
+ * operation pays software per-op costs, making the baseline
+ * compute-bound -- which is why the paper finds Lucene gains at most
+ * ~15% from replacing SCM with DRAM (Fig. 16).
+ */
+
+#ifndef BOSS_LUCENE_LUCENE_H
+#define BOSS_LUCENE_LUCENE_H
+
+#include "model/runner.h"
+
+namespace boss::lucene
+{
+
+/** Host CPU parameters (paper Table I). */
+struct HostConfig
+{
+    std::uint32_t cores = 8;
+    double frequencyGHz = 2.7;
+    double packagePowerW = 74.8; ///< measured via Intel SoC Watch
+};
+
+/** System configuration preset for the Lucene baseline. */
+inline model::SystemConfig
+systemConfig(std::uint32_t cores = 8,
+             mem::MemConfig mem = mem::scmConfig())
+{
+    model::SystemConfig config;
+    config.kind = model::SystemKind::Lucene;
+    config.cores = cores;
+    config.mem = std::move(mem);
+    return config;
+}
+
+/** Run a query workload on the Lucene baseline. */
+inline model::WorkloadMetrics
+run(const index::InvertedIndex &index,
+    const index::MemoryLayout &layout,
+    const std::vector<workload::Query> &queries,
+    std::uint32_t cores = 8, mem::MemConfig mem = mem::scmConfig())
+{
+    return model::runWorkload(index, layout, queries,
+                              systemConfig(cores, std::move(mem)));
+}
+
+} // namespace boss::lucene
+
+#endif // BOSS_LUCENE_LUCENE_H

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Bank-level channel timing (the DRAMSim2 role in the paper's
+ * methodology).
+ *
+ * The default MemorySystem charges rate-based service times, which
+ * is what the evaluation's calibrated numbers use. This model adds
+ * the microarchitectural layer underneath for DRAM-style devices:
+ * banks with open-row buffers, tRCD/tRP/tCL activation timing, and
+ * a shared data bus per channel. It is used by the banked
+ * configuration presets and by the model-validation ablation that
+ * checks the rate-based abstraction against it.
+ */
+
+#ifndef BOSS_MEM_BANKED_CHANNEL_H
+#define BOSS_MEM_BANKED_CHANNEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "stats/stats.h"
+
+namespace boss::mem
+{
+
+/** DRAM-style bank timing parameters (picoseconds). */
+struct BankTiming
+{
+    std::uint32_t banks = 16;      ///< banks per channel
+    std::uint32_t rowBytes = 8192; ///< row-buffer size
+    Tick tRCD = 14'160; ///< activate -> column command
+    Tick tRP = 14'160;  ///< precharge
+    Tick tCL = 14'160;  ///< column access latency
+    Tick tBL = 3'000;   ///< data-bus occupancy per 64B burst
+};
+
+/** DDR4-2666-like timing. */
+inline BankTiming
+ddr4BankTiming()
+{
+    return BankTiming{};
+}
+
+/**
+ * One channel with open-page banks and a shared data bus.
+ */
+class BankedChannel
+{
+  public:
+    explicit BankedChannel(BankTiming timing)
+        : timing_(timing), banks_(timing.banks)
+    {}
+
+    /**
+     * Service a burst-sized access to @p addr issued at @p now;
+     * returns the data-completion tick. Column commands pipeline
+     * (tCL overlaps across consecutive bursts); only activation and
+     * the shared data bus serialize. Larger requests should be split
+     * into 64B bursts by the caller, all issued at the request time.
+     */
+    Tick
+    access(Tick now, Addr addr, bool write)
+    {
+        (void)write; // reads and writes share timing in this model
+        std::uint64_t row = addr / timing_.rowBytes;
+        std::size_t b = static_cast<std::size_t>(
+            row % banks_.size());
+        Bank &bank = banks_[b];
+
+        Tick start = std::max(now, bank.readyAt);
+        Tick columnIssue;
+        if (bank.openRow == row && bank.rowValid) {
+            ++rowHits_;
+            columnIssue = start;
+        } else {
+            ++rowMisses_;
+            Tick precharge = bank.rowValid ? timing_.tRP : 0;
+            columnIssue = start + precharge + timing_.tRCD;
+            bank.openRow = row;
+            bank.rowValid = true;
+        }
+        // The bank accepts the next column command one burst later;
+        // the access latency tCL overlaps with other commands.
+        bank.readyAt = columnIssue + timing_.tBL;
+
+        Tick dataStart =
+            std::max(columnIssue + timing_.tCL, busReadyAt_);
+        Tick done = dataStart + timing_.tBL;
+        busReadyAt_ = done;
+        busy_ += timing_.tBL;
+        return done;
+    }
+
+    std::uint64_t rowHits() const { return rowHits_.value(); }
+    std::uint64_t rowMisses() const { return rowMisses_.value(); }
+    Tick busyTicks() const { return busy_; }
+
+    void
+    registerStats(stats::Group &group)
+    {
+        group.addCounter("row_hits", &rowHits_, "row-buffer hits");
+        group.addCounter("row_misses", &rowMisses_,
+                         "row-buffer misses");
+    }
+
+  private:
+    struct Bank
+    {
+        Tick readyAt = 0;
+        std::uint64_t openRow = 0;
+        bool rowValid = false;
+    };
+
+    BankTiming timing_;
+    std::vector<Bank> banks_;
+    Tick busReadyAt_ = 0;
+    Tick busy_ = 0;
+    stats::Counter rowHits_;
+    stats::Counter rowMisses_;
+};
+
+} // namespace boss::mem
+
+#endif // BOSS_MEM_BANKED_CHANNEL_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The Memory Access Interface's local TLB (paper Sec. IV-D).
+ *
+ * With 2 GB huge pages and 1 K entries the TLB covers the node's
+ * entire 2 TB physical space, so in the paper's configuration it
+ * never misses; the model still implements LRU replacement so tests
+ * (and ablations with small pages) can exercise miss behavior.
+ */
+
+#ifndef BOSS_MEM_TLB_H
+#define BOSS_MEM_TLB_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "stats/stats.h"
+
+namespace boss::mem
+{
+
+class Tlb
+{
+  public:
+    /**
+     * @param entries number of TLB entries (paper: 1024)
+     * @param pageBits log2 of the page size (paper: 31 -> 2 GB)
+     */
+    Tlb(std::uint32_t entries, std::uint32_t pageBits)
+        : entries_(entries), pageBits_(pageBits)
+    {}
+
+    /**
+     * Translate @p vaddr. Returns true on a hit; on a miss the page
+     * is installed (LRU eviction).
+     */
+    bool
+    translate(Addr vaddr)
+    {
+        Addr vpn = vaddr >> pageBits_;
+        auto it = map_.find(vpn);
+        if (it != map_.end()) {
+            ++hits_;
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return true;
+        }
+        ++misses_;
+        if (map_.size() >= entries_) {
+            map_.erase(lru_.back());
+            lru_.pop_back();
+        }
+        lru_.push_front(vpn);
+        map_[vpn] = lru_.begin();
+        return false;
+    }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    void
+    registerStats(stats::Group &group)
+    {
+        group.addCounter("tlb_hits", &hits_, "MAI TLB hits");
+        group.addCounter("tlb_misses", &misses_, "MAI TLB misses");
+    }
+
+  private:
+    std::uint32_t entries_;
+    std::uint32_t pageBits_;
+    std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+    std::list<Addr> lru_;
+    stats::Counter hits_;
+    stats::Counter misses_;
+};
+
+} // namespace boss::mem
+
+#endif // BOSS_MEM_TLB_H

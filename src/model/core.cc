@@ -1,0 +1,161 @@
+#include "model/core.h"
+
+#include "common/logging.h"
+
+namespace boss::model
+{
+
+Core::Core(const std::string &name, sim::EventQueue &eq,
+           stats::Group &parent, const CostModel &costs,
+           mem::MemorySystem &memory, mem::HostLink *resultLink,
+           std::uint32_t requestorId)
+    : SimObject(name, eq, parent), costs_(costs), memory_(memory),
+      resultLink_(resultLink), tlb_(1024, 31), // 1K entries, 2GB pages
+      requestorId_(requestorId), clock_(costs.frequencyHz())
+{
+    statsGroup().addCounter("queries", &queries_, "queries executed");
+    statsGroup().addCounter("busy_cycles", &busyCycles_,
+                            "core-busy cycles");
+    tlb_.registerStats(statsGroup());
+}
+
+void
+Core::execute(const QueryTrace *trace, std::function<void(Tick)> done,
+              std::uint32_t gangSize)
+{
+    BOSS_ASSERT(trace_ == nullptr, name(), ": core already busy");
+    trace_ = trace;
+    gangSize_ = std::max(1u, gangSize);
+    done_ = std::move(done);
+    startTick_ = eventQueue().now();
+
+    flat_.clear();
+    pendingReqs_.assign(trace->segments.size(), 0);
+    readyTick_.assign(trace->segments.size(), startTick_);
+    for (std::uint32_t s = 0; s < trace->segments.size(); ++s) {
+        for (const auto &req : trace->segments[s].reqs) {
+            flat_.emplace_back(s, &req);
+            ++pendingReqs_[s];
+        }
+    }
+    nextIssue_ = 0;
+    outstanding_ = 0;
+    issuePending_ = false;
+    lastIssueTick_ = 0;
+    nextCompute_ = 0;
+    stageFree_.fill(startTick_);
+    lastComputeEnd_ = startTick_;
+    finishScheduled_ = false;
+
+    advanceCompute();
+    tryIssue();
+}
+
+void
+Core::tryIssue()
+{
+    issuePending_ = false;
+    std::uint32_t window = costs_.requestWindow() * gangSize_;
+    if (trace_ == nullptr || nextIssue_ >= flat_.size() ||
+        outstanding_ >= window) {
+        return;
+    }
+
+    Tick now = eventQueue().now();
+    Tick gap = clock_.toTicks(costs_.issueGapCycles());
+    Tick earliest =
+        lastIssueTick_ == 0 ? now : lastIssueTick_ + gap;
+    if (earliest > now) {
+        issuePending_ = true;
+        eventQueue().schedule(earliest, [this] { tryIssue(); });
+        return;
+    }
+
+    const TraceRequest *traceReq = flat_[nextIssue_].second;
+    std::size_t flatIdx = nextIssue_;
+    ++nextIssue_;
+    ++outstanding_;
+    lastIssueTick_ = now;
+
+    tlb_.translate(traceReq->addr);
+    mem::MemRequest req;
+    req.addr = traceReq->addr;
+    req.bytes = traceReq->bytes;
+    req.write = traceReq->write;
+    req.forceRandom = traceReq->forceRandom;
+    req.requestor = requestorId_;
+    req.stream = traceReq->stream;
+    req.category = traceReq->category;
+    memory_.access(req,
+                   [this, flatIdx] { onRequestComplete(flatIdx); });
+
+    if (nextIssue_ < flat_.size() && outstanding_ < window) {
+        issuePending_ = true;
+        eventQueue().schedule(now + gap, [this] { tryIssue(); });
+    }
+}
+
+void
+Core::onRequestComplete(std::size_t flatIdx)
+{
+    BOSS_ASSERT(trace_ != nullptr, name(), ": stray completion");
+    --outstanding_;
+    std::uint32_t segIdx = flat_[flatIdx].first;
+    BOSS_ASSERT(pendingReqs_[segIdx] > 0, "request count underflow");
+    if (--pendingReqs_[segIdx] == 0)
+        readyTick_[segIdx] = eventQueue().now();
+    advanceCompute();
+    if (!issuePending_)
+        tryIssue();
+    maybeFinish();
+}
+
+void
+Core::advanceCompute()
+{
+    if (trace_ == nullptr)
+        return;
+    const auto &segments = trace_->segments;
+    while (nextCompute_ < segments.size() &&
+           pendingReqs_[nextCompute_] == 0) {
+        // In-order consumption: a zero-request segment still waits
+        // for its predecessors (enforced by this loop's order).
+        const TraceSegment &seg = segments[nextCompute_];
+        StageCycles cycles = costs_.stageCycles(
+            seg.work, trace_->numTerms, gangSize_);
+        Tick t = std::max(readyTick_[nextCompute_], startTick_);
+        for (std::size_t st = 0; st < kNumStages; ++st) {
+            Tick start = std::max(t, stageFree_[st]);
+            Tick end = start + clock_.toTicks(cycles[st]);
+            stageFree_[st] = end;
+            t = end;
+        }
+        lastComputeEnd_ = std::max(lastComputeEnd_, t);
+        ++nextCompute_;
+    }
+    maybeFinish();
+}
+
+void
+Core::maybeFinish()
+{
+    if (trace_ == nullptr || finishScheduled_)
+        return;
+    if (nextCompute_ < trace_->segments.size() ||
+        nextIssue_ < flat_.size() || outstanding_ > 0) {
+        return;
+    }
+    Tick end = lastComputeEnd_ + clock_.toTicks(costs_.drainCycles());
+    if (resultLink_ != nullptr && trace_->resultStoreBytes > 0)
+        end = resultLink_->transfer(end, trace_->resultStoreBytes);
+    finishScheduled_ = true;
+    eventQueue().schedule(end, [this, end] {
+        ++queries_;
+        busyCycles_ += clock_.toCycles(end - startTick_);
+        auto done = std::move(done_);
+        trace_ = nullptr;
+        done(end);
+    });
+}
+
+} // namespace boss::model

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Event-driven core model: replays a QueryTrace against the shared
+ * memory system under a cost model.
+ *
+ * Two engines per core run decoupled, as in the real pipeline:
+ *  - the fetch engine issues the trace's memory requests in order,
+ *    limited by an outstanding-request window and a 1-per-cycle
+ *    issue rate (the block fetch module + MAI);
+ *  - the compute engine consumes segments in order once their
+ *    requests complete, pushing each segment through the five-stage
+ *    pipeline with per-stage resource serialization.
+ * A query finishes when its last segment drains and the top-k list
+ * has crossed the host link.
+ */
+
+#ifndef BOSS_MODEL_CORE_H
+#define BOSS_MODEL_CORE_H
+
+#include <functional>
+
+#include "mem/memory_system.h"
+#include "mem/tlb.h"
+#include "model/cost.h"
+#include "model/trace.h"
+#include "sim/sim_object.h"
+
+namespace boss::model
+{
+
+class Core : public sim::SimObject
+{
+  public:
+    Core(const std::string &name, sim::EventQueue &eq,
+         stats::Group &parent, const CostModel &costs,
+         mem::MemorySystem &memory, mem::HostLink *resultLink,
+         std::uint32_t requestorId);
+
+    /** Is the core idle (no query in flight)? */
+    bool idle() const { return trace_ == nullptr; }
+
+    /**
+     * Begin executing @p trace now; @p done fires at completion with
+     * the finish tick. @p gangSize > 1 models a multi-core gang
+     * (queries with more than 4 terms, paper Sec. IV-D): the gang's
+     * aggregate functional units and request window serve the query.
+     */
+    void execute(const QueryTrace *trace,
+                 std::function<void(Tick)> done,
+                 std::uint32_t gangSize = 1);
+
+    std::uint64_t queriesExecuted() const { return queries_.value(); }
+    Cycles busyCycles() const
+    {
+        return static_cast<Cycles>(busyCycles_.value());
+    }
+
+  private:
+    void tryIssue();
+    void onRequestComplete(std::size_t flatIdx);
+    void advanceCompute();
+    void maybeFinish();
+
+    const CostModel &costs_;
+    mem::MemorySystem &memory_;
+    mem::HostLink *resultLink_;
+    mem::Tlb tlb_;
+    std::uint32_t requestorId_;
+    sim::ClockDomain clock_;
+
+    // Per-query replay state.
+    const QueryTrace *trace_ = nullptr;
+    std::uint32_t gangSize_ = 1;
+    std::function<void(Tick)> done_;
+    Tick startTick_ = 0;
+    /** Flattened (segment, request) list. */
+    std::vector<std::pair<std::uint32_t, const TraceRequest *>> flat_;
+    std::size_t nextIssue_ = 0;
+    std::size_t outstanding_ = 0;
+    bool issuePending_ = false;
+    Tick lastIssueTick_ = 0;
+    /** Per-segment count of incomplete requests. */
+    std::vector<std::uint32_t> pendingReqs_;
+    /** Per-segment readiness tick (valid once pendingReqs == 0). */
+    std::vector<Tick> readyTick_;
+    std::size_t nextCompute_ = 0;
+    std::array<Tick, kNumStages> stageFree_{};
+    Tick lastComputeEnd_ = 0;
+    bool finishScheduled_ = false;
+
+    stats::Counter queries_;
+    stats::Counter busyCycles_;
+};
+
+} // namespace boss::model
+
+#endif // BOSS_MODEL_CORE_H

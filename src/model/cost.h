@@ -1,0 +1,165 @@
+/**
+ * @file
+ * System cost models: map segment operation counts to per-stage
+ * cycle counts under each system's microarchitecture.
+ */
+
+#ifndef BOSS_MODEL_COST_H
+#define BOSS_MODEL_COST_H
+
+#include <algorithm>
+#include <array>
+
+#include "common/bitops.h"
+#include "model/trace.h"
+
+namespace boss::model
+{
+
+using StageCycles = std::array<Cycles, kNumStages>;
+
+/**
+ * Abstract cost model.
+ */
+class CostModel
+{
+  public:
+    virtual ~CostModel() = default;
+
+    /** Core clock frequency. */
+    virtual double frequencyHz() const = 0;
+    /** Outstanding-memory-request window per core. */
+    virtual std::uint32_t requestWindow() const { return 8; }
+    /** Minimum cycles between request issues. */
+    virtual Cycles issueGapCycles() const { return 1; }
+    /** Pipeline drain at query end. */
+    virtual Cycles drainCycles() const { return 64; }
+
+    /**
+     * Cycles each stage spends on @p work for an n-term query
+     * executing on a gang of @p gangSize cores (queries with more
+     * than 4 terms span multiple cores, paper Sec. IV-D).
+     */
+    virtual StageCycles stageCycles(const SegmentWork &work,
+                                    std::uint32_t numTerms,
+                                    std::uint32_t gangSize) const = 0;
+};
+
+/**
+ * The BOSS core (paper Table I): 1 GHz; 1 block fetch module, 4
+ * decompression modules, 1 intersection module, 1 union module, 4
+ * scoring modules, 1 top-k module. Crucially, BOSS lacks intra-query
+ * parallelism: a query uses only as many decompression/scoring
+ * modules as it has terms (paper Sec. V-B).
+ */
+class BossCostModel : public CostModel
+{
+  public:
+    double frequencyHz() const override { return 1e9; }
+
+    StageCycles
+    stageCycles(const SegmentWork &w, std::uint32_t numTerms,
+                std::uint32_t gangSize) const override
+    {
+        std::uint32_t units = std::min<std::uint32_t>(
+            4 * std::max(1u, gangSize), std::max(1u, numTerms));
+        StageCycles c{};
+        c[static_cast<std::size_t>(Stage::Fetch)] =
+            4ull * w.fetchBlocks + w.metaReads;
+        c[static_cast<std::size_t>(Stage::Decomp)] =
+            ceilDiv(w.decodeVals, units) + 3ull * w.exceptions;
+        // The union module's sorter/score-loader/pivot-selector
+        // sequence takes ~2 cycles per scheduling step.
+        c[static_cast<std::size_t>(Stage::SetOp)] =
+            w.compares + 2ull * w.unionSteps;
+        c[static_cast<std::size_t>(Stage::Score)] =
+            ceilDiv(w.scoreTermOps, units) + w.scoreDocs;
+        c[static_cast<std::size_t>(Stage::TopK)] = w.topkOps;
+        return c;
+    }
+};
+
+/**
+ * The IIU baseline: same 1 GHz clock and per-module throughputs as
+ * BOSS (the paper equalizes decompression/scoring module counts for
+ * fairness), but with intra-query parallelism (all 4 units usable by
+ * any query) and no hardware top-k (its cost is ignored, per the
+ * paper's methodology).
+ */
+class IiuCostModel : public CostModel
+{
+  public:
+    double frequencyHz() const override { return 1e9; }
+
+    StageCycles
+    stageCycles(const SegmentWork &w, std::uint32_t,
+                std::uint32_t gangSize) const override
+    {
+        std::uint32_t units = 4 * std::max(1u, gangSize);
+        StageCycles c{};
+        c[static_cast<std::size_t>(Stage::Fetch)] =
+            4ull * w.fetchBlocks + w.metaReads;
+        c[static_cast<std::size_t>(Stage::Decomp)] =
+            ceilDiv(w.decodeVals, units) + 3ull * w.exceptions;
+        c[static_cast<std::size_t>(Stage::SetOp)] =
+            w.compares + 2ull * w.unionSteps;
+        c[static_cast<std::size_t>(Stage::Score)] =
+            ceilDiv(w.scoreTermOps, units) + w.scoreDocs;
+        c[static_cast<std::size_t>(Stage::TopK)] = 0; // host-side
+        return c;
+    }
+};
+
+/**
+ * The Lucene-like software baseline on a 2.7 GHz Xeon core. All work
+ * serializes on the core; per-operation cycle costs are calibrated
+ * so the baseline is compute-bound (per the paper, moving Lucene
+ * from SCM to DRAM gains at most ~15%).
+ */
+class CpuCostModel : public CostModel
+{
+  public:
+    double frequencyHz() const override { return 2.7e9; }
+    std::uint32_t requestWindow() const override { return 10; }
+    Cycles drainCycles() const override { return 256; }
+
+    StageCycles
+    stageCycles(const SegmentWork &w, std::uint32_t,
+                std::uint32_t) const override
+    {
+        // Everything executes on the one CPU core (stage 0); the
+        // other stages stay empty so the pipeline model degenerates
+        // to serial execution.
+        Cycles total = 0;
+        total += static_cast<Cycles>(w.fetchBlocks) * kBlockOverhead;
+        total += static_cast<Cycles>(w.metaReads) * kMetaCost;
+        total += static_cast<Cycles>(w.decodeVals) * kDecodeCost;
+        total += static_cast<Cycles>(w.exceptions) * kExceptionCost;
+        total += static_cast<Cycles>(w.compares) * kCompareCost;
+        total += static_cast<Cycles>(w.unionSteps) * kUnionCost;
+        total += static_cast<Cycles>(w.scoreDocs) * kScoreDocCost;
+        total +=
+            static_cast<Cycles>(w.scoreTermOps) * kScoreTermCost;
+        total += static_cast<Cycles>(w.topkOps) * kTopkCost;
+        StageCycles c{};
+        c[0] = total;
+        return c;
+    }
+
+    // Per-operation cycle costs for a JIT-compiled JVM search stack
+    // (Lucene-style doc-at-a-time evaluation: virtual iterator
+    // dispatch, branchy VInt decoding, float BM25, heap collector).
+    static constexpr Cycles kBlockOverhead = 150;
+    static constexpr Cycles kMetaCost = 8;
+    static constexpr Cycles kDecodeCost = 6;
+    static constexpr Cycles kExceptionCost = 15;
+    static constexpr Cycles kCompareCost = 65;
+    static constexpr Cycles kUnionCost = 26;
+    static constexpr Cycles kScoreDocCost = 15;
+    static constexpr Cycles kScoreTermCost = 30;
+    static constexpr Cycles kTopkCost = 8;
+};
+
+} // namespace boss::model
+
+#endif // BOSS_MODEL_COST_H

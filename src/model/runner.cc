@@ -1,0 +1,57 @@
+#include "model/runner.h"
+
+#include "engine/plan.h"
+
+namespace boss::model
+{
+
+std::vector<QueryTrace>
+buildTraces(const index::InvertedIndex &index,
+            const index::MemoryLayout &layout,
+            const std::vector<workload::Query> &queries,
+            SystemKind kind, std::size_t k)
+{
+    TraceOptions options = traceOptionsFor(kind, k);
+    std::vector<QueryTrace> traces;
+    traces.reserve(queries.size());
+    for (const auto &q : queries) {
+        engine::QueryPlan plan = engine::planQuery(q);
+        traces.push_back(buildTrace(index, layout, plan, options));
+    }
+    return traces;
+}
+
+WorkloadMetrics
+replayTraces(const std::vector<QueryTrace> &traces,
+             const SystemConfig &config)
+{
+    SystemModel model(config);
+    std::vector<const QueryTrace *> ptrs;
+    ptrs.reserve(traces.size());
+    for (const auto &t : traces)
+        ptrs.push_back(&t);
+
+    WorkloadMetrics metrics;
+    metrics.run = model.run(ptrs);
+    for (const auto &t : traces) {
+        metrics.evaluatedDocs += t.evaluatedDocs;
+        metrics.skippedDocs += t.skippedDocs;
+        metrics.blocksLoaded += t.blocksLoaded;
+        metrics.blocksSkipped += t.blocksSkipped;
+        for (std::size_t c = 0; c < mem::kNumCategories; ++c)
+            metrics.traceAccesses[c] += t.catAccesses[c];
+    }
+    return metrics;
+}
+
+WorkloadMetrics
+runWorkload(const index::InvertedIndex &index,
+            const index::MemoryLayout &layout,
+            const std::vector<workload::Query> &queries,
+            const SystemConfig &config, std::size_t k)
+{
+    auto traces = buildTraces(index, layout, queries, config.kind, k);
+    return replayTraces(traces, config);
+}
+
+} // namespace boss::model

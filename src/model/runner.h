@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Workload runner: the top-level harness the benches use. Builds
+ * traces for a query set under a system configuration, replays them
+ * on a fresh SystemModel, and reports the combined metrics.
+ */
+
+#ifndef BOSS_MODEL_RUNNER_H
+#define BOSS_MODEL_RUNNER_H
+
+#include <vector>
+
+#include "model/system.h"
+#include "workload/queries.h"
+
+namespace boss::model
+{
+
+/** Metrics of one workload run (RunStats + functional counters). */
+struct WorkloadMetrics
+{
+    RunStats run;
+    std::uint64_t evaluatedDocs = 0;
+    std::uint64_t skippedDocs = 0;
+    std::uint64_t blocksLoaded = 0;
+    std::uint64_t blocksSkipped = 0;
+    /** Logical per-category accesses (64B units) from the traces. */
+    std::array<std::uint64_t, mem::kNumCategories> traceAccesses{};
+};
+
+/**
+ * Build traces for @p queries under @p kind's algorithm flags.
+ * Traces are device- and core-count-independent; build once, replay
+ * under many hardware configurations.
+ */
+std::vector<QueryTrace>
+buildTraces(const index::InvertedIndex &index,
+            const index::MemoryLayout &layout,
+            const std::vector<workload::Query> &queries,
+            SystemKind kind, std::size_t k = engine::kDefaultTopK);
+
+/** Replay prebuilt traces on a fresh system instance. */
+WorkloadMetrics
+replayTraces(const std::vector<QueryTrace> &traces,
+             const SystemConfig &config);
+
+/** Convenience: buildTraces + replayTraces. */
+WorkloadMetrics
+runWorkload(const index::InvertedIndex &index,
+            const index::MemoryLayout &layout,
+            const std::vector<workload::Query> &queries,
+            const SystemConfig &config,
+            std::size_t k = engine::kDefaultTopK);
+
+} // namespace boss::model
+
+#endif // BOSS_MODEL_RUNNER_H

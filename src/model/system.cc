@@ -1,0 +1,172 @@
+#include "model/system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace boss::model
+{
+
+TraceOptions
+traceOptionsFor(SystemKind kind, std::size_t k)
+{
+    TraceOptions opt;
+    opt.k = k;
+    switch (kind) {
+      case SystemKind::Lucene:
+        opt.flags = {false, false, false, false};
+        opt.normsCached = true; // norm table lives in the CPU caches
+        break;
+      case SystemKind::Iiu:
+        opt.flags = {false, false, true, true};
+        break;
+      case SystemKind::Boss:
+        opt.flags = {true, true, false, false};
+        break;
+      case SystemKind::BossExhaustive:
+        opt.flags = {false, false, false, false};
+        break;
+      case SystemKind::BossBlockOnly:
+        opt.flags = {true, false, false, false};
+        break;
+    }
+    return opt;
+}
+
+std::unique_ptr<CostModel>
+costModelFor(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Lucene:
+        return std::make_unique<CpuCostModel>();
+      case SystemKind::Iiu:
+        return std::make_unique<IiuCostModel>();
+      case SystemKind::Boss:
+      case SystemKind::BossExhaustive:
+      case SystemKind::BossBlockOnly:
+        return std::make_unique<BossCostModel>();
+    }
+    BOSS_PANIC("unknown system kind");
+}
+
+SystemModel::SystemModel(const SystemConfig &config)
+    : config_(config), statsRoot_("sim"),
+      costs_(costModelFor(config.kind))
+{
+    link_ = std::make_unique<mem::HostLink>("link", eq_, statsRoot_,
+                                            config_.link);
+    // Host-side systems pull all index traffic through the link;
+    // near-data systems touch the device directly and use the link
+    // only for results.
+    memory_ = std::make_unique<mem::MemorySystem>(
+        "mem", eq_, statsRoot_, config_.mem,
+        isHostSide(config_.kind) ? link_.get() : nullptr);
+    for (std::uint32_t c = 0; c < config_.cores; ++c) {
+        cores_.push_back(std::make_unique<Core>(
+            "core" + std::to_string(c), eq_, statsRoot_, *costs_,
+            *memory_,
+            isHostSide(config_.kind) ? nullptr : link_.get(), c));
+    }
+}
+
+RunStats
+SystemModel::run(const std::vector<const QueryTrace *> &traces)
+{
+    Tick lastFinish = 0;
+    std::vector<double> latencies;
+    latencies.reserve(traces.size());
+
+    // Pending queue in dispatch order. Queries with more than 4
+    // terms occupy a gang of ceil(terms/4) cores (paper Sec. IV-D);
+    // the selected query waits until enough cores are idle (no
+    // overtaking under FIFO, as in a hardware command queue).
+    std::vector<const QueryTrace *> pending(traces.begin(),
+                                            traces.end());
+    if (config_.sched == SchedPolicy::Sjf) {
+        // Shortest-job-first on a size estimate (segments ~ blocks).
+        std::stable_sort(pending.begin(), pending.end(),
+                         [](const QueryTrace *a, const QueryTrace *b) {
+                             return a->segments.size() <
+                                    b->segments.size();
+                         });
+    }
+    std::size_t nextQuery = 0;
+    std::vector<bool> busy(cores_.size(), false);
+    std::function<void()> dispatch = [&]() {
+        while (nextQuery < pending.size()) {
+            const QueryTrace *trace = pending[nextQuery];
+            std::uint32_t gang = std::min<std::uint32_t>(
+                static_cast<std::uint32_t>(cores_.size()),
+                (trace->numTerms + 3) / 4);
+            std::vector<std::size_t> members;
+            for (std::size_t c = 0;
+                 c < cores_.size() && members.size() < gang; ++c) {
+                if (!busy[c])
+                    members.push_back(c);
+            }
+            if (members.size() < gang)
+                return; // query waits for enough idle cores
+            ++nextQuery;
+            for (std::size_t c : members)
+                busy[c] = true;
+            cores_[members[0]]->execute(
+                trace,
+                [&, members](Tick end) {
+                    lastFinish = std::max(lastFinish, end);
+                    // Latency includes queueing: all queries arrive
+                    // at tick 0 in this closed-batch model.
+                    latencies.push_back(
+                        static_cast<double>(end) /
+                        static_cast<double>(kTicksPerSecond));
+                    for (std::size_t c : members)
+                        busy[c] = false;
+                    dispatch();
+                },
+                gang);
+        }
+    };
+    dispatch();
+    eq_.run();
+
+    BOSS_ASSERT(nextQuery == traces.size(),
+                "queries left undispatched: ", traces.size() - nextQuery);
+
+    RunStats stats;
+    stats.queries = traces.size();
+    stats.seconds = static_cast<double>(lastFinish) /
+                    static_cast<double>(kTicksPerSecond);
+    stats.qps = stats.seconds > 0
+                    ? static_cast<double>(stats.queries) / stats.seconds
+                    : 0.0;
+    stats.deviceBytes = memory_->totalBytes();
+    stats.deviceBandwidthGBs =
+        stats.seconds > 0 ? static_cast<double>(stats.deviceBytes) /
+                                stats.seconds / 1e9
+                          : 0.0;
+    for (std::size_t c = 0; c < mem::kNumCategories; ++c) {
+        auto cat = static_cast<mem::Category>(c);
+        stats.catBytes[c] = memory_->categoryBytes(cat);
+        stats.catAccesses[c] = memory_->categoryAccesses(cat);
+    }
+    stats.linkBytes = link_->bytesTransferred();
+    stats.seqAccesses = memory_->sequentialAccesses();
+    stats.randAccesses = memory_->randomAccesses();
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        double sum = 0.0;
+        for (double l : latencies)
+            sum += l;
+        auto pct = [&](double p) {
+            std::size_t i = static_cast<std::size_t>(
+                p * static_cast<double>(latencies.size() - 1));
+            return latencies[i];
+        };
+        stats.latencyMean = sum / static_cast<double>(latencies.size());
+        stats.latencyP50 = pct(0.50);
+        stats.latencyP95 = pct(0.95);
+        stats.latencyP99 = pct(0.99);
+    }
+    return stats;
+}
+
+} // namespace boss::model

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A whole modeled system: N cores, the shared memory device, the
+ * host link, and a FIFO query dispatcher (the paper's command queue
+ * + query scheduler).
+ */
+
+#ifndef BOSS_MODEL_SYSTEM_H
+#define BOSS_MODEL_SYSTEM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/memory_system.h"
+#include "model/core.h"
+#include "model/cost.h"
+
+namespace boss::model
+{
+
+/** The systems under evaluation. */
+enum class SystemKind : std::uint8_t
+{
+    Lucene,         ///< software baseline on host CPU cores
+    Iiu,            ///< prior accelerator (no ET, spills, host top-k)
+    Boss,           ///< full BOSS
+    BossExhaustive, ///< BOSS without any early termination (Fig. 13)
+    BossBlockOnly,  ///< BOSS with only block-level ET (Fig. 14)
+};
+
+constexpr std::string_view
+systemName(SystemKind k)
+{
+    switch (k) {
+      case SystemKind::Lucene: return "lucene";
+      case SystemKind::Iiu: return "iiu";
+      case SystemKind::Boss: return "boss";
+      case SystemKind::BossExhaustive: return "boss-exhaustive";
+      case SystemKind::BossBlockOnly: return "boss-block-only";
+    }
+    return "?";
+}
+
+/** Algorithm configuration for trace building under a system. */
+TraceOptions traceOptionsFor(SystemKind kind,
+                             std::size_t k = engine::kDefaultTopK);
+
+/** The core microarchitecture for a system. */
+std::unique_ptr<CostModel> costModelFor(SystemKind kind);
+
+/** Does this system access pooled memory from the host side? */
+constexpr bool
+isHostSide(SystemKind k)
+{
+    return k == SystemKind::Lucene;
+}
+
+/** Query scheduling policy of the command queue. */
+enum class SchedPolicy : std::uint8_t
+{
+    Fifo, ///< strict arrival order (the paper's command queue)
+    Sjf,  ///< shortest-job-first on the trace-size estimate
+};
+
+/** Configuration of one simulated system instance. */
+struct SystemConfig
+{
+    SystemKind kind = SystemKind::Boss;
+    std::uint32_t cores = 8;
+    mem::MemConfig mem = mem::scmConfig();
+    mem::LinkConfig link;
+    SchedPolicy sched = SchedPolicy::Fifo;
+};
+
+/** Aggregate outcome of one simulation run. */
+struct RunStats
+{
+    double seconds = 0.0; ///< makespan
+    std::uint64_t queries = 0;
+    double qps = 0.0;
+    std::uint64_t deviceBytes = 0;
+    double deviceBandwidthGBs = 0.0; ///< deviceBytes / seconds
+    std::array<std::uint64_t, mem::kNumCategories> catBytes{};
+    std::array<std::uint64_t, mem::kNumCategories> catAccesses{};
+    std::uint64_t linkBytes = 0;
+    std::uint64_t seqAccesses = 0;
+    std::uint64_t randAccesses = 0;
+
+    // Per-query latency distribution (seconds, queueing included).
+    double latencyMean = 0.0;
+    double latencyP50 = 0.0;
+    double latencyP95 = 0.0;
+    double latencyP99 = 0.0;
+};
+
+/**
+ * A runnable system instance. Construct, call run() once, read
+ * stats. (One-shot by design: simulated time does not rewind.)
+ */
+class SystemModel
+{
+  public:
+    explicit SystemModel(const SystemConfig &config);
+
+    /** Execute all traces (FIFO dispatch over idle cores). */
+    RunStats run(const std::vector<const QueryTrace *> &traces);
+
+    mem::MemorySystem &memory() { return *memory_; }
+    stats::Group &statsRoot() { return statsRoot_; }
+
+  private:
+    SystemConfig config_;
+    sim::EventQueue eq_;
+    stats::Group statsRoot_;
+    std::unique_ptr<CostModel> costs_;
+    std::unique_ptr<mem::HostLink> link_;
+    std::unique_ptr<mem::MemorySystem> memory_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace boss::model
+
+#endif // BOSS_MODEL_SYSTEM_H

@@ -1,0 +1,281 @@
+#include "model/trace.h"
+
+#include <unordered_map>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace boss::model
+{
+
+namespace
+{
+
+using engine::ExecHooks;
+using index::BlockMeta;
+using mem::Category;
+
+/** 64 B logical access unit for the Fig. 15 counters. */
+constexpr std::uint32_t kAccessUnit = 64;
+
+class TraceBuilder : public ExecHooks
+{
+  public:
+    TraceBuilder(const index::InvertedIndex &index,
+                 const index::MemoryLayout &layout,
+                 const TraceOptions &options, QueryTrace &out)
+        : index_(index), layout_(layout), options_(options), out_(out)
+    {
+        out_.segments.emplace_back(); // leading segment
+    }
+
+
+    // ---- ExecHooks ----
+
+    void
+    onMetaRead(TermId t, std::uint32_t count) override
+    {
+        if (count == 0)
+            return;
+        seg().work.metaReads += count;
+        Addr cursor = layout_.list(t).metaAddr +
+                      static_cast<Addr>(metaCursor_[t]) *
+                          index::kBlockMetaBytes;
+        metaCursor_[t] += count;
+        // Metadata is streamed in order; adjacent reads coalesce
+        // into one request (the block fetch module prefetches the
+        // 19 B records sequentially).
+        auto &reqs = seg().reqs;
+        if (!reqs.empty()) {
+            TraceRequest &last = reqs.back();
+            if (last.category == Category::LdList && !last.write &&
+                last.addr + last.bytes == cursor) {
+                last.bytes += count * index::kBlockMetaBytes;
+                out_.catAccesses[static_cast<std::size_t>(
+                    Category::LdList)] += 1;
+                return;
+            }
+        }
+        addRequest({cursor, count * index::kBlockMetaBytes, false,
+                    false, Category::LdList, streamId(StreamClass::Meta, t), 1});
+    }
+
+    void
+    onDocBlockLoad(TermId t, const BlockMeta &meta) override
+    {
+        newSegment();
+        seg().work.fetchBlocks += 1;
+        seg().work.exceptions += meta.exceptionInfo;
+        ++out_.blocksLoaded;
+        addRequest({layout_.list(t).docAddr + meta.docOffset,
+                    meta.docBytes, false, false, Category::LdList,
+                    streamId(StreamClass::DocPayload, t), 1});
+    }
+
+    void
+    onProbeBlockLoad(TermId t, const BlockMeta &meta) override
+    {
+        newSegment();
+        seg().work.fetchBlocks += 1;
+        seg().work.exceptions += meta.exceptionInfo;
+        ++out_.blocksLoaded;
+        // Binary-search probes land anywhere in the list: random.
+        addRequest({layout_.list(t).docAddr + meta.docOffset,
+                    meta.docBytes, false, true, Category::LdList,
+                    streamId(StreamClass::DocPayload, t), 1});
+    }
+
+    void
+    onTfBlockLoad(TermId t, const BlockMeta &meta) override
+    {
+        seg().work.exceptions += meta.exceptionInfo;
+        addRequest({layout_.list(t).tfAddr + meta.tfOffset,
+                    meta.tfBytes, false, false, Category::LdScore,
+                    streamId(StreamClass::TfPayload, t), 1});
+        // The block's per-posting norm sidecar (4 B each) is fetched
+        // with the tf payload; both are needed only when a document
+        // in the block is actually scored.
+        if (!options_.normsCached) {
+            addRequest({layout_.list(t).normAddr +
+                            static_cast<Addr>(meta.firstIndex) *
+                                index::kDocNormBytes,
+                        meta.numElems * index::kDocNormBytes, false,
+                        false, Category::LdScore,
+                        streamId(StreamClass::NormSidecar, t), 1});
+        }
+    }
+
+    void
+    onDecode(std::uint32_t count) override
+    {
+        seg().work.decodeVals += count;
+    }
+
+    void
+    onNormLoad(DocId) override
+    {
+        // Norms arrive with the block's tf sidecar (onTfBlockLoad);
+        // no per-document traffic.
+        seg().work.normGranules += 1;
+    }
+
+    void
+    onScore(DocId, std::uint32_t numTerms) override
+    {
+        seg().work.scoreDocs += 1;
+        seg().work.scoreTermOps += numTerms;
+        ++out_.evaluatedDocs;
+    }
+
+    void
+    onCompare(std::uint64_t count) override
+    {
+        seg().work.compares += static_cast<std::uint32_t>(count);
+    }
+
+    void onUnionStep() override { seg().work.unionSteps += 1; }
+
+    void
+    onTopkInsert(bool) override
+    {
+        seg().work.topkOps += 1;
+    }
+
+    void
+    onIntermediate(std::uint64_t bytesWritten,
+                   std::uint64_t bytesRead) override
+    {
+        if (bytesWritten > 0) {
+            addRequest({scratchBase(), clamp32(bytesWritten), true,
+                        false, Category::StInter,
+                        streamId(StreamClass::Intermediate, 0),
+                        accesses(bytesWritten)});
+        }
+        if (bytesRead > 0) {
+            addRequest({scratchBase(), clamp32(bytesRead), false,
+                        false, Category::LdInter,
+                        streamId(StreamClass::Intermediate, 0),
+                        accesses(bytesRead)});
+        }
+    }
+
+    void
+    onResultStore(std::uint64_t bytes) override
+    {
+        out_.resultStoreBytes += bytes;
+        // An accelerator without a hardware top-k module (IIU)
+        // materializes the full scored list in the node's SCM
+        // ("output a scored, yet unsorted, list of documents in
+        // memory"), paying the device's slow write bandwidth before
+        // the host reads it back for sorting. BOSS's top-k list is
+        // tiny and only crosses the link at query completion.
+        if (options_.flags.storeAllResults && bytes > 0) {
+            addRequest({scratchBase() + (1u << 24), clamp32(bytes),
+                        true, false, Category::StResult,
+                        streamId(StreamClass::Result, 0),
+                        accesses(bytes)});
+        } else {
+            out_.catAccesses[static_cast<std::size_t>(
+                Category::StResult)] += accesses(bytes);
+        }
+    }
+
+    void
+    onSkippedDocs(std::uint64_t count) override
+    {
+        out_.skippedDocs += count;
+    }
+
+    void
+    onSkippedBlocks(TermId, std::uint64_t count) override
+    {
+        out_.blocksSkipped += count;
+    }
+
+  private:
+    TraceSegment &seg() { return out_.segments.back(); }
+
+    static std::uint32_t
+    clamp32(std::uint64_t v)
+    {
+        return static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(v, 0xFFFFFFFFu));
+    }
+
+    std::uint32_t
+    accesses(std::uint64_t bytes) const
+    {
+        return static_cast<std::uint32_t>(ceilDiv(bytes, kAccessUnit));
+    }
+
+    Addr
+    scratchBase() const
+    {
+        // Intermediate spills land in a scratch region past the
+        // index image.
+        return roundUp(layout_.end(), 4096);
+    }
+
+    void
+    addRequest(TraceRequest req)
+    {
+        out_.catAccesses[static_cast<std::size_t>(req.category)] +=
+            std::max(1u, accesses(req.bytes));
+        seg().reqs.push_back(req);
+    }
+
+    void
+    newSegment()
+    {
+        out_.segments.emplace_back();
+    }
+
+    const index::InvertedIndex &index_;
+    const index::MemoryLayout &layout_;
+    const TraceOptions &options_;
+    QueryTrace &out_;
+
+    std::unordered_map<TermId, std::uint32_t> metaCursor_;
+};
+
+} // namespace
+
+SegmentWork
+QueryTrace::totalWork() const
+{
+    SegmentWork total;
+    for (const auto &seg : segments) {
+        total.fetchBlocks += seg.work.fetchBlocks;
+        total.metaReads += seg.work.metaReads;
+        total.decodeVals += seg.work.decodeVals;
+        total.exceptions += seg.work.exceptions;
+        total.compares += seg.work.compares;
+        total.unionSteps += seg.work.unionSteps;
+        total.scoreDocs += seg.work.scoreDocs;
+        total.scoreTermOps += seg.work.scoreTermOps;
+        total.topkOps += seg.work.topkOps;
+        total.normGranules += seg.work.normGranules;
+    }
+    return total;
+}
+
+QueryTrace
+buildTrace(const index::InvertedIndex &index,
+           const index::MemoryLayout &layout,
+           const engine::QueryPlan &plan, const TraceOptions &options,
+           std::vector<engine::Result> *results)
+{
+    QueryTrace trace;
+    trace.numTerms = static_cast<std::uint32_t>(plan.allTerms.size());
+    TraceBuilder builder(index, layout, options, trace);
+    auto topk = engine::executeQuery(index, plan, options.k,
+                                     options.flags, &builder);
+    // The winning top-k list itself crosses the link to the host.
+    if (!options.flags.storeAllResults)
+        trace.resultStoreBytes += topk.size() * 8;
+    if (results != nullptr)
+        *results = std::move(topk);
+    return trace;
+}
+
+} // namespace boss::model

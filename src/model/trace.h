@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Execution traces: the bridge between functional execution and
+ * timing simulation.
+ *
+ * Phase 1 (build): a query runs through the functional engine with
+ * TraceBuilder as its instrumentation sink, producing a QueryTrace --
+ * a sequence of block-granularity segments, each carrying the memory
+ * requests it needs and the per-pipeline-stage operation counts it
+ * performs. Phase 2 (replay): a Core replays the trace against the
+ * event-driven memory system under a system-specific cost model.
+ * Because traces depend only on the algorithm flags (not on core
+ * count or memory device), one trace serves every hardware sweep.
+ */
+
+#ifndef BOSS_MODEL_TRACE_H
+#define BOSS_MODEL_TRACE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "engine/execute.h"
+#include "engine/hooks.h"
+#include "index/memory_layout.h"
+#include "mem/memory_system.h"
+
+namespace boss::model
+{
+
+/** Pipeline stages of an accelerator core (paper Fig. 4(b)). */
+enum class Stage : std::uint8_t
+{
+    Fetch,  ///< block fetch module (metadata + request issue)
+    Decomp, ///< decompression modules
+    SetOp,  ///< intersection / union modules
+    Score,  ///< scoring modules
+    TopK,   ///< top-k module
+};
+
+inline constexpr std::size_t kNumStages = 5;
+
+/** Operation counts accumulated by one trace segment. */
+struct SegmentWork
+{
+    std::uint32_t fetchBlocks = 0; ///< payload blocks requested
+    std::uint32_t metaReads = 0;   ///< metadata records inspected
+    std::uint32_t decodeVals = 0;  ///< values decompressed
+    std::uint32_t exceptions = 0;  ///< PFD exceptions patched
+    std::uint32_t compares = 0;    ///< set-op docID comparisons
+    std::uint32_t unionSteps = 0;  ///< union-module scheduling steps
+    std::uint32_t scoreDocs = 0;   ///< documents scored
+    std::uint32_t scoreTermOps = 0; ///< per-term scoring operations
+    std::uint32_t topkOps = 0;     ///< top-k insertions offered
+    std::uint32_t normGranules = 0; ///< distinct norm-table granules
+};
+
+/** Stream classes for per-class sequentiality tracking. */
+enum class StreamClass : std::uint8_t
+{
+    Meta = 0,
+    DocPayload = 1,
+    TfPayload = 2,
+    NormSidecar = 3,
+    Intermediate = 4,
+    Result = 5,
+};
+
+/**
+ * Stream id: class plus a per-term salt, so the streams of different
+ * posting lists accessed by the same core stay distinct (one
+ * hardware prefetch stream per payload per term).
+ */
+inline std::uint8_t
+streamId(StreamClass cls, TermId term)
+{
+    return static_cast<std::uint8_t>(
+        (static_cast<std::uint8_t>(cls) << 5) | (term & 31));
+}
+
+/** One recorded memory request. */
+struct TraceRequest
+{
+    Addr addr = 0;
+    std::uint32_t bytes = 0;
+    bool write = false;
+    bool forceRandom = false;
+    mem::Category category = mem::Category::LdList;
+    std::uint8_t stream = 0;
+    /** Logical accesses this request stands for (e.g. norm scatter). */
+    std::uint32_t logicalAccesses = 1;
+};
+
+/** A block-granularity slice of a query's execution. */
+struct TraceSegment
+{
+    SegmentWork work;
+    std::vector<TraceRequest> reqs;
+};
+
+/**
+ * The full trace of one query under one algorithm configuration.
+ */
+struct QueryTrace
+{
+    std::vector<TraceSegment> segments;
+    std::uint64_t resultStoreBytes = 0; ///< sent over the host link
+    std::uint32_t numTerms = 1;         ///< distinct query terms
+
+    // Functional summary counters (Figs. 14/15).
+    std::uint64_t evaluatedDocs = 0; ///< docs actually scored
+    std::uint64_t skippedDocs = 0;   ///< docs pruned by ET
+    std::uint64_t blocksLoaded = 0;
+    std::uint64_t blocksSkipped = 0;
+    /** Logical accesses per traffic category, in 64 B units. */
+    std::array<std::uint64_t, mem::kNumCategories> catAccesses{};
+
+    /** Total operation counts across segments (one per stage user). */
+    SegmentWork totalWork() const;
+};
+
+/** Options controlling how execution maps to traffic. */
+struct TraceOptions
+{
+    engine::ExecFlags flags;
+    /**
+     * Host CPUs keep the per-doc norm table cache-resident; the
+     * accelerators must fetch norms from SCM (LD Score traffic).
+     */
+    bool normsCached = false;
+    std::size_t k = engine::kDefaultTopK;
+};
+
+/**
+ * Build the trace for @p plan. Also returns the functional top-k so
+ * callers can cross-check results across system models.
+ */
+QueryTrace buildTrace(const index::InvertedIndex &index,
+                      const index::MemoryLayout &layout,
+                      const engine::QueryPlan &plan,
+                      const TraceOptions &options,
+                      std::vector<engine::Result> *results = nullptr);
+
+} // namespace boss::model
+
+#endif // BOSS_MODEL_TRACE_H

@@ -1,0 +1,105 @@
+#include "power/power.h"
+
+#include "common/logging.h"
+
+namespace boss::power
+{
+
+const std::vector<ModuleCost> &
+bossCoreBreakdown()
+{
+    // Paper Table III (per BOSS core). Area/power columns are the
+    // totals over all instances of a module within one core.
+    static const std::vector<ModuleCost> rows = {
+        {"block_fetch", 1, 0.108, 10.5},
+        {"decompression", 4, 0.093, 43.0},
+        {"intersection", 1, 0.003, 0.49},
+        {"union", 1, 0.011, 5.55},
+        {"scoring", 4, 0.464, 200.0},
+        {"topk", 1, 0.324, 147.1},
+    };
+    return rows;
+}
+
+const std::vector<ModuleCost> &
+bossDeviceBreakdown()
+{
+    static const std::vector<ModuleCost> rows = {
+        {"boss_cores", 8, 8.024, 3200.0},
+        {"command_queue", 1, 0.078, 0.078},
+        {"query_scheduler", 1, 0.001, 1.96},
+        {"mai_tlb", 1, 0.127, 1.20},
+    };
+    return rows;
+}
+
+double
+bossCoreAreaMm2()
+{
+    double total = 0.0;
+    for (const auto &m : bossCoreBreakdown())
+        total += m.areaMm2;
+    return total;
+}
+
+double
+bossCorePowerMw()
+{
+    double total = 0.0;
+    for (const auto &m : bossCoreBreakdown())
+        total += m.powerMw;
+    return total;
+}
+
+double
+bossDeviceAreaMm2()
+{
+    double total = 0.0;
+    for (const auto &m : bossDeviceBreakdown())
+        total += m.areaMm2;
+    return total;
+}
+
+double
+bossDevicePowerW()
+{
+    double total = 0.0;
+    for (const auto &m : bossDeviceBreakdown())
+        total += m.powerMw;
+    return total / 1000.0;
+}
+
+double
+systemPowerW(model::SystemKind kind, std::uint32_t cores)
+{
+    switch (kind) {
+      case model::SystemKind::Lucene:
+        // Package power scales weakly with active cores; the paper
+        // measures the full package with 8 active cores.
+        return kCpuPackagePowerW *
+               (0.4 + 0.6 * static_cast<double>(cores) / 8.0);
+      case model::SystemKind::Iiu:
+      case model::SystemKind::Boss:
+      case model::SystemKind::BossExhaustive:
+      case model::SystemKind::BossBlockOnly: {
+        double uncore = 0.0;
+        for (const auto &m : bossDeviceBreakdown()) {
+            if (m.name != "boss_cores")
+                uncore += m.powerMw;
+        }
+        return (uncore + static_cast<double>(cores) *
+                             bossCorePowerMw()) /
+               1000.0;
+      }
+    }
+    BOSS_PANIC("unknown system kind");
+}
+
+double
+energyJoules(model::SystemKind kind, std::uint32_t cores,
+             double seconds)
+{
+    return systemPowerW(kind, cores) * seconds;
+}
+
+} // namespace boss::power

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Area, power and energy model (paper Table III / Fig. 17).
+ *
+ * The paper synthesizes BOSS's Chisel RTL with Synopsys DC at TSMC
+ * 40 nm; RTL synthesis is not reproducible offline, so the per-module
+ * area/power numbers from Table III are model constants here. Energy
+ * is power x simulated runtime, which is exactly the arithmetic
+ * behind the paper's headline: 23.3x lower power and ~8.1x higher
+ * throughput compound to ~189x lower energy.
+ */
+
+#ifndef BOSS_POWER_POWER_H
+#define BOSS_POWER_POWER_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "model/system.h"
+
+namespace boss::power
+{
+
+/** One row of the Table III breakdown. */
+struct ModuleCost
+{
+    std::string_view name;
+    std::uint32_t count;  ///< instances (per core or per device)
+    double areaMm2;       ///< per instance? no: total of all instances
+    double powerMw;       ///< total of all instances
+};
+
+/** Per-core module breakdown (Table III, bottom). */
+const std::vector<ModuleCost> &bossCoreBreakdown();
+
+/** Device-level breakdown (Table III, top). */
+const std::vector<ModuleCost> &bossDeviceBreakdown();
+
+/** Total area of one BOSS core (paper: ~1.003 mm^2). */
+double bossCoreAreaMm2();
+/** Total power of one BOSS core (paper: ~406.6 mW). */
+double bossCorePowerMw();
+/** Total device area with 8 cores (paper: ~8.27 mm^2). */
+double bossDeviceAreaMm2();
+/** Total device power with 8 cores (paper: ~3.2 W). */
+double bossDevicePowerW();
+
+/** Host CPU package power (paper: 74.8 W via Intel SoC Watch). */
+inline constexpr double kCpuPackagePowerW = 74.8;
+
+/** Average power draw of a system configuration, in watts. */
+double systemPowerW(model::SystemKind kind, std::uint32_t cores);
+
+/** Energy in joules for a run of @p seconds on @p kind. */
+double energyJoules(model::SystemKind kind, std::uint32_t cores,
+                    double seconds);
+
+} // namespace boss::power
+
+#endif // BOSS_POWER_POWER_H

@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace boss::sim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    BOSS_ASSERT(when >= now_, "scheduling into the past: when=", when,
+                " now=", now_);
+    heap_.push(Entry{when, seq_++, std::move(cb)});
+}
+
+Tick
+EventQueue::run()
+{
+    while (!heap_.empty()) {
+        // The callback may schedule more events; copy out first.
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = e.when;
+        ++executed_;
+        e.cb();
+    }
+    return now_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit) {
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = e.when;
+        ++executed_;
+        e.cb();
+    }
+    if (now_ < limit)
+        now_ = limit;
+    return now_;
+}
+
+} // namespace boss::sim

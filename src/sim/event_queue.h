@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A minimal gem5-style event queue: callables scheduled at absolute
+ * ticks, executed in (tick, insertion-order) order. All timing models
+ * in this repository are driven from one EventQueue per simulation
+ * run, so cross-model interleavings (e.g. several accelerator cores
+ * contending on SCM channels) are globally ordered.
+ */
+
+#ifndef BOSS_SIM_EVENT_QUEUE_H
+#define BOSS_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace boss::sim
+{
+
+/**
+ * Priority queue of timestamped callbacks.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb at absolute tick @p when (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    /** Run until no events remain. Returns the final tick. */
+    Tick run();
+
+    /** Run until the queue drains or @p limit is reached. */
+    Tick runUntil(Tick limit);
+
+    /** Number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+    bool empty() const { return heap_.empty(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq; // tie-break: FIFO among same-tick events
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+/**
+ * A clock domain converting between cycles and ticks.
+ *
+ * Cycle periods are kept in picoseconds; e.g. the 1 GHz BOSS core has
+ * a 1000 ps period, the 2.7 GHz host CPU a 370 ps period (rounded,
+ * which is fine for relative-throughput experiments).
+ */
+class ClockDomain
+{
+  public:
+    explicit ClockDomain(double freq_hz)
+        : period_(static_cast<Tick>(
+              static_cast<double>(kTicksPerSecond) / freq_hz + 0.5))
+    {}
+
+    Tick period() const { return period_; }
+
+    Tick toTicks(Cycles c) const { return c * period_; }
+
+    Cycles
+    toCycles(Tick t) const
+    {
+        return (t + period_ - 1) / period_;
+    }
+
+    double
+    toSeconds(Cycles c) const
+    {
+        return static_cast<double>(toTicks(c)) /
+               static_cast<double>(kTicksPerSecond);
+    }
+
+  private:
+    Tick period_;
+};
+
+} // namespace boss::sim
+
+#endif // BOSS_SIM_EVENT_QUEUE_H

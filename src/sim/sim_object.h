@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Base class for named, stat-bearing model components.
+ */
+
+#ifndef BOSS_SIM_SIM_OBJECT_H
+#define BOSS_SIM_SIM_OBJECT_H
+
+#include <string>
+
+#include "sim/event_queue.h"
+#include "stats/stats.h"
+
+namespace boss::sim
+{
+
+/**
+ * A named component attached to an event queue and a stats group.
+ *
+ * Mirrors gem5's SimObject in miniature: construction wires the
+ * object into the simulation's shared services; subclasses register
+ * their counters in their constructors.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq, stats::Group &parent)
+        : name_(std::move(name)), eq_(eq),
+          statsGroup_(parent.subgroup(name_))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+
+  protected:
+    EventQueue &eventQueue() { return eq_; }
+    stats::Group &statsGroup() { return statsGroup_; }
+
+  private:
+    std::string name_;
+    EventQueue &eq_;
+    stats::Group &statsGroup_;
+};
+
+} // namespace boss::sim
+
+#endif // BOSS_SIM_SIM_OBJECT_H

@@ -1,0 +1,171 @@
+#include "stats/stats.h"
+
+#include <iomanip>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace boss::stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets + 1, 0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+    BOSS_ASSERT(hi > lo && buckets > 0, "bad histogram shape");
+}
+
+void
+Histogram::sample(double v, std::uint64_t count)
+{
+    std::size_t nb = buckets_.size() - 1;
+    std::size_t idx;
+    if (v < lo_) {
+        idx = 0;
+    } else if (v >= hi_) {
+        idx = nb; // overflow bucket
+    } else {
+        idx = static_cast<std::size_t>((v - lo_) / (hi_ - lo_) * nb);
+    }
+    buckets_[idx] += count;
+    samples_ += count;
+    sum_ += v * static_cast<double>(count);
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ == 0 ? 0.0 : sum_ / static_cast<double>(samples_);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    samples_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+Group &
+Group::subgroup(const std::string &name)
+{
+    auto it = children_.find(name);
+    if (it == children_.end()) {
+        it = children_.emplace(name, std::make_unique<Group>(name)).first;
+    }
+    return *it->second;
+}
+
+void
+Group::addCounter(const std::string &name, const Counter *c,
+                  const std::string &desc)
+{
+    Leaf leaf;
+    leaf.counter = c;
+    leaf.desc = desc;
+    leaves_[name] = std::move(leaf);
+}
+
+void
+Group::addScalar(const std::string &name, const Scalar *s,
+                 const std::string &desc)
+{
+    Leaf leaf;
+    leaf.scalar = s;
+    leaf.desc = desc;
+    leaves_[name] = std::move(leaf);
+}
+
+void
+Group::addHistogram(const std::string &name, const Histogram *h,
+                    const std::string &desc)
+{
+    Leaf leaf;
+    leaf.histogram = h;
+    leaf.desc = desc;
+    leaves_[name] = std::move(leaf);
+}
+
+void
+Group::addFormula(const std::string &name, std::function<double()> fn,
+                  const std::string &desc)
+{
+    Leaf leaf;
+    leaf.formula = std::move(fn);
+    leaf.desc = desc;
+    leaves_[name] = std::move(leaf);
+}
+
+const Group::Leaf *
+Group::findLeaf(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        auto it = leaves_.find(path);
+        return it == leaves_.end() ? nullptr : &it->second;
+    }
+    auto child = children_.find(path.substr(0, dot));
+    if (child == children_.end())
+        return nullptr;
+    return child->second->findLeaf(path.substr(dot + 1));
+}
+
+std::uint64_t
+Group::counterValue(const std::string &path) const
+{
+    const Leaf *leaf = findLeaf(path);
+    if (leaf == nullptr || leaf->counter == nullptr)
+        return 0;
+    return leaf->counter->value();
+}
+
+double
+Group::scalarValue(const std::string &path) const
+{
+    const Leaf *leaf = findLeaf(path);
+    if (leaf == nullptr)
+        return 0.0;
+    if (leaf->scalar != nullptr)
+        return leaf->scalar->value();
+    if (leaf->counter != nullptr)
+        return static_cast<double>(leaf->counter->value());
+    if (leaf->formula)
+        return leaf->formula();
+    return 0.0;
+}
+
+void
+Group::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string base = prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &[name, leaf] : leaves_) {
+        os << std::left << std::setw(52) << (base + "." + name) << " ";
+        if (leaf.counter != nullptr) {
+            os << leaf.counter->value();
+        } else if (leaf.scalar != nullptr) {
+            os << leaf.scalar->value();
+        } else if (leaf.histogram != nullptr) {
+            os << "n=" << leaf.histogram->samples()
+               << " mean=" << leaf.histogram->mean()
+               << " min=" << leaf.histogram->min()
+               << " max=" << leaf.histogram->max();
+        } else if (leaf.formula) {
+            os << leaf.formula();
+        }
+        if (!leaf.desc.empty())
+            os << "  # " << leaf.desc;
+        os << '\n';
+    }
+    for (const auto &[name, child] : children_)
+        child->dump(os, base);
+}
+
+} // namespace boss::stats

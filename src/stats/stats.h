@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Lightweight statistics framework in the spirit of gem5's stats
+ * package. Every timing model registers named counters into a
+ * per-run Group tree; benches read them back to print the paper's
+ * tables and figures.
+ */
+
+#ifndef BOSS_STATS_STATS_H
+#define BOSS_STATS_STATS_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace boss::stats
+{
+
+/**
+ * A monotonically increasing 64-bit event counter.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    Counter &operator++() { ++value_; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A scalar accumulator for non-integral quantities (bytes, joules).
+ */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    void set(double v) { value_ = v; }
+
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over a [lo, hi) range plus overflow bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void sample(double v, std::uint64_t count = 1);
+
+    std::uint64_t samples() const { return samples_; }
+    double mean() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named tree of statistics. Groups own their children; leaf stats
+ * are owned by the model objects and registered by pointer, matching
+ * gem5's pattern where stats live inside SimObjects.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    /** Create (or fetch) a child group. */
+    Group &subgroup(const std::string &name);
+
+    /** Register leaf statistics. Pointers must outlive the group. */
+    void addCounter(const std::string &name, const Counter *c,
+                    const std::string &desc = "");
+    void addScalar(const std::string &name, const Scalar *s,
+                   const std::string &desc = "");
+    void addHistogram(const std::string &name, const Histogram *h,
+                      const std::string &desc = "");
+    /** A derived value computed on demand (gem5 "Formula"). */
+    void addFormula(const std::string &name, std::function<double()> fn,
+                    const std::string &desc = "");
+
+    /** Fetch a registered counter value by dotted path; 0 if absent. */
+    std::uint64_t counterValue(const std::string &path) const;
+    /** Fetch a scalar/formula value by dotted path; 0.0 if absent. */
+    double scalarValue(const std::string &path) const;
+
+    /** Dump all stats as "path value # desc" lines. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Leaf
+    {
+        const Counter *counter = nullptr;
+        const Scalar *scalar = nullptr;
+        const Histogram *histogram = nullptr;
+        std::function<double()> formula;
+        std::string desc;
+    };
+
+    const Leaf *findLeaf(const std::string &path) const;
+
+    std::string name_;
+    std::map<std::string, Leaf> leaves_;
+    std::map<std::string, std::unique_ptr<Group>> children_;
+};
+
+} // namespace boss::stats
+
+#endif // BOSS_STATS_STATS_H

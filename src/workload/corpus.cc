@@ -1,0 +1,146 @@
+#include "workload/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace boss::workload
+{
+
+CorpusConfig
+clueWebConfig()
+{
+    CorpusConfig c;
+    c.name = "clueweb12";
+    c.numDocs = 2'000'000;
+    c.vocabSize = 120'000;
+    c.dfSkew = 0.62;
+    c.maxDfFraction = 0.20;
+    c.burstiness = 0.6;
+    c.avgDocLen = 750;
+    c.seed = 0xC1EBull;
+    return c;
+}
+
+CorpusConfig
+ccNewsConfig()
+{
+    CorpusConfig c;
+    c.name = "cc-news";
+    c.numDocs = 1'200'000;
+    c.vocabSize = 80'000;
+    c.dfSkew = 0.7;
+    c.maxDfFraction = 0.25;
+    c.burstiness = 0.35;
+    c.avgDocLen = 380;
+    c.seed = 0xCCEEull;
+    return c;
+}
+
+Corpus::Corpus(CorpusConfig config) : config_(std::move(config))
+{
+    BOSS_ASSERT(config_.numDocs > 0 && config_.vocabSize > 0,
+                "empty corpus config");
+    // Document lengths: log-normal around the configured mean, with
+    // a slowly varying regional multiplier. Web crawls ingest sites
+    // in runs, so neighboring docIDs have correlated lengths; this
+    // is the structure that gives per-block score maxima realistic
+    // variance (and block-level early termination its leverage).
+    Rng rng(config_.seed * 0x9E3779B97F4A7C15ULL + 1);
+    docLengths_.resize(config_.numDocs);
+    double mu = std::log(static_cast<double>(config_.avgDocLen)) - 0.205;
+    const std::uint32_t regionSize = 512;
+    double regionMul = 1.0;
+    for (std::uint32_t d = 0; d < config_.numDocs; ++d) {
+        if (d % regionSize == 0)
+            regionMul = std::exp(rng.normal(0.0, 0.4));
+        double v = regionMul * std::exp(rng.normal(mu, 0.4));
+        docLengths_[d] =
+            std::max(8u, static_cast<std::uint32_t>(std::lround(v)));
+    }
+}
+
+std::uint32_t
+Corpus::expectedDf(TermId t) const
+{
+    // Zipfian document frequency by term rank, clamped to [1, maxDf].
+    double maxDf = config_.maxDfFraction *
+                   static_cast<double>(config_.numDocs);
+    double df = maxDf / std::pow(static_cast<double>(t) + 1.0,
+                                 config_.dfSkew);
+    return std::max(1u, static_cast<std::uint32_t>(std::lround(df)));
+}
+
+index::PostingList
+Corpus::postings(TermId t) const
+{
+    BOSS_ASSERT(t < config_.vocabSize, "term out of vocabulary");
+    Rng rng(config_.seed ^ (0xABCD0000ULL + t) * 0x2545F4914F6CDD1DULL);
+
+    std::uint32_t df = expectedDf(t);
+    double baseP =
+        static_cast<double>(df) / static_cast<double>(config_.numDocs);
+
+    // Bursty two-state docID placement: a "hot" region boosts the
+    // inclusion probability, a "cold" region suppresses it. Expected
+    // overall density stays ~baseP while locality increases with the
+    // burstiness knob.
+    double hotBoost = 1.0 + 7.0 * config_.burstiness;
+    double coldScale =
+        std::max(0.05, 1.0 - 0.95 * config_.burstiness);
+    // Fraction of docs in the hot state such that the mixture keeps
+    // the target density: f*hot + (1-f)*cold = 1.
+    double f = (1.0 - coldScale) / (hotBoost - coldScale);
+
+    index::PostingList out;
+    out.reserve(df + df / 4 + 4);
+    bool hot = rng.chance(f);
+    // Expected state run length of ~2000 docs.
+    const double switchP = 1.0 / 2000.0;
+
+    DocId doc = 0;
+    while (doc < config_.numDocs) {
+        double p = baseP * (hot ? hotBoost : coldScale);
+        p = std::min(0.9999, p);
+        // Geometric skip to the next included doc in this state.
+        std::uint32_t gap = rng.geometric(p);
+        // State may flip during the skipped span; approximate by
+        // re-evaluating the state once per jump.
+        if (rng.chance(1.0 - std::pow(1.0 - switchP, gap)))
+            hot = rng.chance(f);
+        if (gap > config_.numDocs - doc)
+            break;
+        doc += gap;
+        if (doc >= config_.numDocs)
+            break;
+        // Term frequency: geometric with occasional heavy docs.
+        TermFreq tf = rng.geometric(0.55);
+        if (rng.chance(0.02))
+            tf += rng.geometric(0.2);
+        tf = std::min<TermFreq>(tf, 255);
+        out.push_back({doc, tf});
+        doc += 1;
+    }
+    if (out.empty()) {
+        // Guarantee every term resolves to at least one document.
+        DocId d = static_cast<DocId>(rng.below(config_.numDocs));
+        out.push_back({d, 1});
+    }
+    return out;
+}
+
+index::InvertedIndex
+Corpus::buildIndex(const std::vector<TermId> &terms,
+                   const std::optional<compress::Scheme> &forced) const
+{
+    index::IndexBuilder builder;
+    if (forced.has_value())
+        builder.forceScheme(*forced);
+    builder.setDocLengths(docLengths_);
+    for (TermId t : terms)
+        builder.addTerm(t, postings(t));
+    return builder.build();
+}
+
+} // namespace boss::workload

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic web-corpus generator.
+ *
+ * Stands in for the paper's ClueWeb12 and CC-News datasets. The
+ * generator controls exactly the properties the algorithms under
+ * study are sensitive to: posting-list length distribution (Zipfian
+ * document frequency over the vocabulary), docID locality (bursty
+ * two-state placement so block skipping has realistic structure),
+ * term-frequency skew (geometric), and document-length spread
+ * (log-normal-ish around the preset mean).
+ */
+
+#ifndef BOSS_WORKLOAD_CORPUS_H
+#define BOSS_WORKLOAD_CORPUS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/inverted_index.h"
+
+namespace boss::workload
+{
+
+/**
+ * Corpus shape parameters.
+ */
+struct CorpusConfig
+{
+    std::string name = "corpus";
+    std::uint32_t numDocs = 100'000;
+    std::uint32_t vocabSize = 50'000;
+    double dfSkew = 0.8;       ///< Zipf exponent of document frequency
+    double maxDfFraction = 0.1; ///< df of the most common term / numDocs
+    double burstiness = 0.5;   ///< 0 = uniform docIDs, 1 = very bursty
+    std::uint32_t avgDocLen = 300;
+    std::uint64_t seed = 42;
+};
+
+/** Preset approximating ClueWeb12: bigger docs, larger vocabulary. */
+CorpusConfig clueWebConfig();
+
+/** Preset approximating CC-News: shorter news articles. */
+CorpusConfig ccNewsConfig();
+
+/**
+ * A synthetic corpus. Posting lists are generated deterministically
+ * per term so two runs with the same config agree exactly.
+ */
+class Corpus
+{
+  public:
+    explicit Corpus(CorpusConfig config);
+
+    const CorpusConfig &config() const { return config_; }
+
+    /** Per-document token counts. */
+    const std::vector<std::uint32_t> &docLengths() const
+    {
+        return docLengths_;
+    }
+
+    /** Expected document frequency of term @p t (before sampling). */
+    std::uint32_t expectedDf(TermId t) const;
+
+    /**
+     * Generate term @p t's posting list. Deterministic in (seed, t).
+     */
+    index::PostingList postings(TermId t) const;
+
+    /**
+     * Build an index over a set of terms (only those lists are
+     * materialized; all other TermIds get empty lists). Scheme
+     * selection is hybrid unless @p forced is provided.
+     */
+    index::InvertedIndex
+    buildIndex(const std::vector<TermId> &terms,
+               const std::optional<compress::Scheme> &forced = {}) const;
+
+  private:
+    CorpusConfig config_;
+    std::vector<std::uint32_t> docLengths_;
+};
+
+} // namespace boss::workload
+
+#endif // BOSS_WORKLOAD_CORPUS_H

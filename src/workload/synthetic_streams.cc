@@ -1,0 +1,163 @@
+#include "workload/synthetic_streams.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "compress/codec.h"
+
+namespace boss::workload
+{
+
+namespace
+{
+
+using boss::Rng;
+
+/** Sorted uniform picks over [0, range), returned as d-gaps. */
+std::vector<std::uint32_t>
+uniformGaps(std::size_t count, std::uint32_t range, Rng &rng)
+{
+    std::vector<std::uint32_t> vals(count);
+    for (auto &v : vals)
+        v = static_cast<std::uint32_t>(rng.below(range));
+    std::sort(vals.begin(), vals.end());
+    std::vector<std::uint32_t> gaps(count);
+    std::uint32_t prev = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        gaps[i] = vals[i] - prev;
+        prev = vals[i];
+    }
+    return gaps;
+}
+
+/**
+ * Clustered picks: values drawn uniformly within randomly placed
+ * clusters rather than the whole range (paper: "Cluster streams also
+ * consist of uniformly picked integers but from randomly chosen
+ * clusters").
+ */
+std::vector<std::uint32_t>
+clusterGaps(std::size_t count, std::uint32_t range, Rng &rng)
+{
+    const std::size_t numClusters = 64;
+    const std::uint32_t clusterWidth = range / 4096;
+    std::vector<std::uint32_t> centers(numClusters);
+    for (auto &c : centers)
+        c = static_cast<std::uint32_t>(rng.below(range - clusterWidth));
+
+    std::vector<std::uint32_t> vals(count);
+    for (auto &v : vals) {
+        std::uint32_t center = centers[rng.below(numClusters)];
+        v = center + static_cast<std::uint32_t>(rng.below(clusterWidth));
+    }
+    std::sort(vals.begin(), vals.end());
+    std::vector<std::uint32_t> gaps(count);
+    std::uint32_t prev = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        gaps[i] = vals[i] - prev;
+        prev = vals[i];
+    }
+    return gaps;
+}
+
+/** Normal(2^5, 20) values with a fraction of large outliers. */
+std::vector<std::uint32_t>
+outlierValues(std::size_t count, double outlierFrac, Rng &rng)
+{
+    std::vector<std::uint32_t> vals(count);
+    for (auto &v : vals) {
+        if (rng.chance(outlierFrac)) {
+            // Outliers: large values well outside the normal body.
+            v = static_cast<std::uint32_t>(rng.range(1u << 12, 1u << 20));
+        } else {
+            double d = rng.normal(32.0, 20.0);
+            v = d <= 0.0 ? 0u
+                         : static_cast<std::uint32_t>(std::lround(d));
+        }
+    }
+    return vals;
+}
+
+/** Values following Zipf's law over a large support. */
+std::vector<std::uint32_t>
+zipfValues(std::size_t count, Rng &rng)
+{
+    ZipfSampler zipf(1 << 16, 1.0);
+    std::vector<std::uint32_t> vals(count);
+    for (auto &v : vals)
+        v = static_cast<std::uint32_t>(zipf(rng));
+    return vals;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+makeStream(StreamKind kind, std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed ^ (static_cast<std::uint64_t>(kind) << 40));
+    switch (kind) {
+      case StreamKind::UniformSparse:
+        return uniformGaps(count, 1u << 28, rng);
+      case StreamKind::UniformDense:
+        return uniformGaps(count, 1u << 26, rng);
+      case StreamKind::ClusterSparse:
+        return clusterGaps(count, 1u << 28, rng);
+      case StreamKind::ClusterDense:
+        return clusterGaps(count, 1u << 26, rng);
+      case StreamKind::Outlier10:
+        return outlierValues(count, 0.10, rng);
+      case StreamKind::Outlier30:
+        return outlierValues(count, 0.30, rng);
+      case StreamKind::Zipf:
+        return zipfValues(count, rng);
+    }
+    return {};
+}
+
+double
+compressionRatio(const std::vector<std::uint32_t> &values,
+                 compress::Scheme s)
+{
+    const compress::Codec &codec = compress::codecFor(s);
+    compress::BlockEncoding enc;
+    std::uint64_t compressed = 0;
+    for (std::size_t begin = 0; begin < values.size();
+         begin += kBlockSize) {
+        std::size_t count =
+            std::min<std::size_t>(kBlockSize, values.size() - begin);
+        std::span<const std::uint32_t> block(values.data() + begin,
+                                             count);
+        if (!codec.encode(block, enc))
+            return 0.0;
+        compressed += enc.bytes.size();
+    }
+    if (compressed == 0)
+        return 0.0;
+    return static_cast<double>(values.size() * 4) /
+           static_cast<double>(compressed);
+}
+
+double
+hybridCompressionRatio(const std::vector<std::uint32_t> &values)
+{
+    compress::BlockEncoding best;
+    std::uint64_t compressed = 0;
+    for (std::size_t begin = 0; begin < values.size();
+         begin += kBlockSize) {
+        std::size_t count =
+            std::min<std::size_t>(kBlockSize, values.size() - begin);
+        std::span<const std::uint32_t> block(values.data() + begin,
+                                             count);
+        compress::pickBestScheme(block, best);
+        compressed += best.bytes.size();
+    }
+    if (compressed == 0)
+        return 0.0;
+    return static_cast<double>(values.size() * 4) /
+           static_cast<double>(compressed);
+}
+
+} // namespace boss::workload

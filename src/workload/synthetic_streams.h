@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Synthetic integer streams for the compression-ratio experiment
+ * (paper Fig. 3). Seven stream kinds, mirroring the paper's setup:
+ * uniform sparse/dense (docID-like streams over 2^28 / 2^26 ranges,
+ * sorted and delta-encoded), clustered variants, outlier streams
+ * (normal with mean 2^5, sd 20, plus 10%/30% outliers), and a
+ * Zipf-distributed stream.
+ */
+
+#ifndef BOSS_WORKLOAD_SYNTHETIC_STREAMS_H
+#define BOSS_WORKLOAD_SYNTHETIC_STREAMS_H
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "compress/scheme.h"
+
+namespace boss::workload
+{
+
+enum class StreamKind : std::uint8_t
+{
+    UniformSparse, ///< sorted uniform picks over [0, 2^28), d-gaps
+    UniformDense,  ///< sorted uniform picks over [0, 2^26), d-gaps
+    ClusterSparse, ///< clustered picks over [0, 2^28), d-gaps
+    ClusterDense,  ///< clustered picks over [0, 2^26), d-gaps
+    Outlier10,     ///< normal(32, 20) values, 10% large outliers
+    Outlier30,     ///< normal(32, 20) values, 30% large outliers
+    Zipf,          ///< values following Zipf's law
+};
+
+inline constexpr std::array<StreamKind, 7> kAllStreams = {
+    StreamKind::UniformSparse, StreamKind::UniformDense,
+    StreamKind::ClusterSparse, StreamKind::ClusterDense,
+    StreamKind::Outlier10,     StreamKind::Outlier30,
+    StreamKind::Zipf,
+};
+
+constexpr std::string_view
+streamName(StreamKind k)
+{
+    switch (k) {
+      case StreamKind::UniformSparse: return "uniform-sparse";
+      case StreamKind::UniformDense: return "uniform-dense";
+      case StreamKind::ClusterSparse: return "cluster-sparse";
+      case StreamKind::ClusterDense: return "cluster-dense";
+      case StreamKind::Outlier10: return "outlier-10";
+      case StreamKind::Outlier30: return "outlier-30";
+      case StreamKind::Zipf: return "zipf";
+    }
+    return "?";
+}
+
+/**
+ * Generate a stream of @p count integers of the given kind.
+ *
+ * DocID-like kinds return d-gaps ready for compression; value-like
+ * kinds (outlier, zipf) return the values themselves, exactly as a
+ * tf stream would be compressed.
+ */
+std::vector<std::uint32_t> makeStream(StreamKind kind, std::size_t count,
+                                      std::uint64_t seed);
+
+/**
+ * Compression ratio of @p values under scheme @p s: raw 4B-per-value
+ * size divided by compressed size (block size 128). Returns 0 when
+ * the scheme cannot encode some block.
+ */
+double compressionRatio(const std::vector<std::uint32_t> &values,
+                        compress::Scheme s);
+
+/** Ratio for the hybrid best-per-block choice. */
+double hybridCompressionRatio(const std::vector<std::uint32_t> &values);
+
+} // namespace boss::workload
+
+#endif // BOSS_WORKLOAD_SYNTHETIC_STREAMS_H

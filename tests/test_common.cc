@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for src/common: bit utilities, fixed point, RNG, and
+ * the Zipf sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/fixed_point.h"
+#include "common/rng.h"
+
+namespace
+{
+
+using boss::BitReader;
+using boss::BitWriter;
+using boss::Fixed;
+using boss::Rng;
+using boss::ZipfSampler;
+
+TEST(BitOps, BitsFor)
+{
+    EXPECT_EQ(boss::bitsFor(0u), 0u);
+    EXPECT_EQ(boss::bitsFor(1u), 1u);
+    EXPECT_EQ(boss::bitsFor(2u), 2u);
+    EXPECT_EQ(boss::bitsFor(3u), 2u);
+    EXPECT_EQ(boss::bitsFor(4u), 3u);
+    EXPECT_EQ(boss::bitsFor(255u), 8u);
+    EXPECT_EQ(boss::bitsFor(256u), 9u);
+    EXPECT_EQ(boss::bitsFor(0xFFFFFFFFu), 32u);
+}
+
+TEST(BitOps, MaskLow)
+{
+    EXPECT_EQ(boss::maskLow(0), 0u);
+    EXPECT_EQ(boss::maskLow(1), 1u);
+    EXPECT_EQ(boss::maskLow(8), 0xFFu);
+    EXPECT_EQ(boss::maskLow(32), 0xFFFFFFFFu);
+}
+
+TEST(BitOps, CeilDivAndRoundUp)
+{
+    EXPECT_EQ(boss::ceilDiv(0, 8), 0u);
+    EXPECT_EQ(boss::ceilDiv(1, 8), 1u);
+    EXPECT_EQ(boss::ceilDiv(8, 8), 1u);
+    EXPECT_EQ(boss::ceilDiv(9, 8), 2u);
+    EXPECT_EQ(boss::roundUp(0, 64), 0u);
+    EXPECT_EQ(boss::roundUp(1, 64), 64u);
+    EXPECT_EQ(boss::roundUp(64, 64), 64u);
+    EXPECT_EQ(boss::roundUp(65, 64), 128u);
+}
+
+TEST(BitStream, RoundTripVariedWidths)
+{
+    std::vector<std::uint8_t> buf;
+    BitWriter writer(buf);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> vals;
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint32_t width = 1 + rng.below(32);
+        std::uint32_t v = static_cast<std::uint32_t>(rng.next()) &
+                          boss::maskLow(width);
+        vals.emplace_back(v, width);
+        writer.put(v, width);
+    }
+    writer.flush();
+
+    BitReader reader(buf.data(), buf.size());
+    for (auto [v, width] : vals)
+        EXPECT_EQ(reader.get(width), v);
+}
+
+TEST(BitStream, ZeroWidthReadsZero)
+{
+    std::vector<std::uint8_t> buf;
+    BitWriter writer(buf);
+    writer.put(0xFFFFFFFFu, 0); // no-op
+    writer.put(5, 3);
+    writer.flush();
+    BitReader reader(buf.data(), buf.size());
+    EXPECT_EQ(reader.get(0), 0u);
+    EXPECT_EQ(reader.get(3), 5u);
+}
+
+TEST(Fixed, BasicArithmetic)
+{
+    Fixed a = Fixed::fromDouble(1.5);
+    Fixed b = Fixed::fromDouble(2.25);
+    EXPECT_DOUBLE_EQ((a + b).toDouble(), 3.75);
+    EXPECT_DOUBLE_EQ((b - a).toDouble(), 0.75);
+    EXPECT_NEAR((a * b).toDouble(), 3.375, 1e-4);
+    EXPECT_NEAR((b / a).toDouble(), 1.5, 1e-4);
+}
+
+TEST(Fixed, Comparisons)
+{
+    Fixed a = Fixed::fromDouble(1.0);
+    Fixed b = Fixed::fromDouble(2.0);
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b > a);
+    EXPECT_TRUE(a <= a);
+    EXPECT_TRUE(a == Fixed::fromInt(1));
+}
+
+TEST(Fixed, DivisionByZeroSaturates)
+{
+    Fixed a = Fixed::fromDouble(3.0);
+    Fixed z;
+    EXPECT_GT((a / z).toDouble(), 1e4);
+}
+
+TEST(Fixed, PrecisionBound)
+{
+    // Q16.16 resolution is 2^-16; conversions stay within one ULP.
+    for (double v : {0.001, 0.37, 12.125, 999.75}) {
+        Fixed f = Fixed::fromDouble(v);
+        EXPECT_NEAR(f.toDouble(), v, 1.0 / 65536.0 + 1e-12);
+    }
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(3);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(5);
+    double sum = 0, sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal(32.0, 20.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 32.0, 0.5);
+    EXPECT_NEAR(std::sqrt(var), 20.0, 0.5);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(9);
+    double p = 0.25;
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.geometric(p);
+    EXPECT_NEAR(sum / n, 1.0 / p, 0.1);
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    ZipfSampler zipf(1000, 1.0);
+    Rng rng(11);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[zipf(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(Zipf, PmfSumsToOne)
+{
+    ZipfSampler zipf(100, 1.2);
+    double total = 0;
+    for (std::size_t r = 0; r < 100; ++r)
+        total += zipf.pmf(r);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfMatchesEmpirical)
+{
+    ZipfSampler zipf(50, 1.0);
+    Rng rng(13);
+    std::vector<int> counts(50, 0);
+    const int n = 500000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf(rng)];
+    for (std::size_t r : {0u, 1u, 5u, 20u}) {
+        double expect = zipf.pmf(r) * n;
+        EXPECT_NEAR(counts[r], expect, expect * 0.1 + 50);
+    }
+}
+
+} // namespace

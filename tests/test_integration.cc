@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Cross-module integration tests: a generated workload flows
+ * through corpus -> index -> plans -> every system's trace +
+ * replay, asserting the invariants the whole reproduction rests on:
+ *  - every execution mode returns the brute-force oracle's top-k;
+ *  - traces account consistently (bytes, blocks, categories);
+ *  - replays are finite, deterministic and ordered sanely across
+ *    systems.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/execute.h"
+#include "index/serialize.h"
+#include "engine/plan.h"
+#include "model/runner.h"
+#include "workload/corpus.h"
+#include "workload/queries.h"
+
+namespace
+{
+
+using namespace boss;
+using namespace boss::model;
+
+struct IntegrationFixture : ::testing::Test
+{
+    static workload::Corpus &
+    corpus()
+    {
+        static workload::Corpus c = [] {
+            workload::CorpusConfig cfg;
+            cfg.numDocs = 60000;
+            cfg.vocabSize = 5000;
+            cfg.maxDfFraction = 0.2;
+            cfg.seed = 2026;
+            return workload::Corpus(cfg);
+        }();
+        return c;
+    }
+
+    static std::vector<workload::Query> &
+    queries()
+    {
+        static std::vector<workload::Query> q = [] {
+            workload::QueryWorkloadConfig cfg;
+            cfg.vocabSize = 5000;
+            cfg.queriesPerBucket = 12;
+            cfg.seed = 11;
+            return workload::makeWorkload(cfg);
+        }();
+        return q;
+    }
+
+    static index::InvertedIndex &
+    idx()
+    {
+        static index::InvertedIndex i =
+            corpus().buildIndex(workload::collectTerms(queries()));
+        return i;
+    }
+
+    static index::MemoryLayout &
+    layout()
+    {
+        static index::MemoryLayout l(idx(), 0x10000, 256);
+        return l;
+    }
+};
+
+TEST_F(IntegrationFixture, AllSystemsMatchOracleOnFullWorkload)
+{
+    const SystemKind kinds[] = {
+        SystemKind::Lucene, SystemKind::Iiu, SystemKind::Boss,
+        SystemKind::BossExhaustive, SystemKind::BossBlockOnly,
+    };
+    const std::size_t k = 50;
+    for (const auto &q : queries()) {
+        auto plan = engine::planQuery(q);
+        auto oracle = engine::naiveTopK(idx(), plan, k);
+        for (SystemKind kind : kinds) {
+            TraceOptions opt = traceOptionsFor(kind, k);
+            std::vector<engine::Result> got;
+            buildTrace(idx(), layout(), plan, opt, &got);
+            ASSERT_EQ(got.size(), oracle.size())
+                << systemName(kind) << " on " << q.toExpression();
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                ASSERT_EQ(got[i].doc, oracle[i].doc)
+                    << systemName(kind) << " rank " << i << " on "
+                    << q.toExpression();
+                ASSERT_FLOAT_EQ(got[i].score, oracle[i].score)
+                    << systemName(kind) << " rank " << i;
+            }
+        }
+    }
+}
+
+TEST_F(IntegrationFixture, TraceAccountingInvariants)
+{
+    for (const auto &q : queries()) {
+        auto plan = engine::planQuery(q);
+        auto trace = buildTrace(idx(), layout(), plan,
+                                traceOptionsFor(SystemKind::Boss));
+        // Block loads appear as LdList segments with requests.
+        std::uint64_t docBlockReqs = 0;
+        for (const auto &seg : trace.segments) {
+            for (const auto &r : seg.reqs) {
+                EXPECT_GT(r.bytes, 0u);
+                EXPECT_GE(r.addr, layout().base());
+                if (r.category == mem::Category::LdList && !r.write &&
+                    seg.work.fetchBlocks > 0) {
+                    ++docBlockReqs;
+                }
+            }
+        }
+        EXPECT_GE(docBlockReqs, trace.blocksLoaded);
+        EXPECT_EQ(trace.numTerms, q.terms.size());
+        // Scored docs never exceed candidates; skip + evaluated is
+        // bounded by the total postings touched.
+        std::uint64_t postings = 0;
+        for (TermId t : plan.allTerms)
+            postings += idx().list(t).docCount;
+        EXPECT_LE(trace.evaluatedDocs, postings);
+    }
+}
+
+TEST_F(IntegrationFixture, SystemsOrderSanely)
+{
+    // On the whole workload at 8 cores: BOSS > IIU and
+    // BOSS > Lucene in throughput.
+    std::map<SystemKind, double> qps;
+    for (SystemKind kind :
+         {SystemKind::Lucene, SystemKind::Iiu, SystemKind::Boss}) {
+        auto traces =
+            buildTraces(idx(), layout(), queries(), kind);
+        SystemConfig cfg;
+        cfg.kind = kind;
+        cfg.cores = 8;
+        qps[kind] = replayTraces(traces, cfg).run.qps;
+    }
+    EXPECT_GT(qps[SystemKind::Boss], qps[SystemKind::Iiu]);
+    EXPECT_GT(qps[SystemKind::Boss], qps[SystemKind::Lucene]);
+}
+
+TEST_F(IntegrationFixture, SjfImprovesMedianLatency)
+{
+    auto traces = buildTraces(idx(), layout(), queries(),
+                              SystemKind::Boss);
+    SystemConfig fifo;
+    fifo.cores = 4;
+    SystemConfig sjf = fifo;
+    sjf.sched = SchedPolicy::Sjf;
+    auto mFifo = replayTraces(traces, fifo);
+    auto mSjf = replayTraces(traces, sjf);
+    EXPECT_LE(mSjf.run.latencyP50, mFifo.run.latencyP50);
+    // Work-conserving: same makespan modulo dispatch-order effects.
+    EXPECT_NEAR(mSjf.run.seconds, mFifo.run.seconds,
+                mFifo.run.seconds * 0.25);
+}
+
+TEST_F(IntegrationFixture, SerializationPreservesResults)
+{
+    std::string path = testing::TempDir() + "boss_integration.idx";
+    index::saveIndexFile(idx(), path);
+    auto loaded = index::loadIndexFile(path);
+    std::remove(path.c_str());
+
+    auto q = queries()[0];
+    auto plan = engine::planQuery(q);
+    auto a = engine::naiveTopK(idx(), plan, 20);
+    auto b = engine::naiveTopK(loaded, plan, 20);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].doc, b[i].doc);
+        EXPECT_FLOAT_EQ(a[i].score, b[i].score);
+    }
+}
+
+TEST_F(IntegrationFixture, BankedDramReplaysAgreeWithRateModel)
+{
+    auto traces = buildTraces(idx(), layout(), queries(),
+                              SystemKind::Boss);
+    SystemConfig rate;
+    rate.mem = mem::dramConfig();
+    SystemConfig banked;
+    banked.mem = mem::dramBankedConfig();
+    double a = replayTraces(traces, rate).run.qps;
+    double b = replayTraces(traces, banked).run.qps;
+    // The abstractions agree within ~2x (typically a few percent).
+    EXPECT_GT(b, a * 0.5);
+    EXPECT_LT(b, a * 2.0);
+}
+
+} // namespace

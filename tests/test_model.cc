@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the timing-model layer: trace building, cost models,
+ * core replay, and whole-system behavior (scaling, system ordering,
+ * traffic shapes the paper's figures depend on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/runner.h"
+#include "workload/corpus.h"
+
+namespace
+{
+
+using namespace boss;
+using namespace boss::model;
+
+struct ModelFixture : ::testing::Test
+{
+    static workload::Corpus &
+    corpus()
+    {
+        static workload::Corpus c = [] {
+            workload::CorpusConfig cfg;
+            cfg.numDocs = 40000;
+            cfg.vocabSize = 4000;
+            cfg.seed = 99;
+            return workload::Corpus(cfg);
+        }();
+        return c;
+    }
+
+    static index::InvertedIndex &
+    idx()
+    {
+        static index::InvertedIndex i =
+            corpus().buildIndex({0, 1, 2, 10, 100, 1000, 3999});
+        return i;
+    }
+
+    static index::MemoryLayout &
+    layout()
+    {
+        static index::MemoryLayout l(idx(), 0x10000, 256);
+        return l;
+    }
+
+    static QueryTrace
+    trace(const char *expr, SystemKind kind)
+    {
+        auto plan = engine::planQuery(
+            engine::parseExpression(expr, engine::defaultTermResolver));
+        return buildTrace(idx(), layout(), plan,
+                          traceOptionsFor(kind, 100));
+    }
+};
+
+// ---------------------------------------------------------------
+// Trace building.
+// ---------------------------------------------------------------
+
+TEST_F(ModelFixture, TraceCoversAllBlocksWhenExhaustive)
+{
+    QueryTrace t = trace("\"t0\"", SystemKind::BossExhaustive);
+    EXPECT_EQ(t.blocksLoaded, idx().list(0).numBlocks());
+    EXPECT_EQ(t.evaluatedDocs, idx().list(0).docCount);
+    EXPECT_EQ(t.skippedDocs, 0u);
+    EXPECT_EQ(t.numTerms, 1u);
+}
+
+TEST_F(ModelFixture, BossTraceSkipsWork)
+{
+    QueryTrace et = trace("\"t0\" OR \"t1\"", SystemKind::Boss);
+    QueryTrace ex = trace("\"t0\" OR \"t1\"",
+                          SystemKind::BossExhaustive);
+    EXPECT_LT(et.evaluatedDocs, ex.evaluatedDocs);
+    EXPECT_LE(et.blocksLoaded, ex.blocksLoaded);
+    EXPECT_GT(et.skippedDocs, 0u);
+}
+
+TEST_F(ModelFixture, BlockOnlySkipsLessThanFullEt)
+{
+    QueryTrace blockOnly =
+        trace("\"t0\" OR \"t1\"", SystemKind::BossBlockOnly);
+    QueryTrace full = trace("\"t0\" OR \"t1\"", SystemKind::Boss);
+    QueryTrace ex =
+        trace("\"t0\" OR \"t1\"", SystemKind::BossExhaustive);
+    EXPECT_LE(full.evaluatedDocs, blockOnly.evaluatedDocs);
+    EXPECT_LE(blockOnly.evaluatedDocs, ex.evaluatedDocs);
+}
+
+TEST_F(ModelFixture, IiuStoresAllResults)
+{
+    QueryTrace iiu = trace("\"t0\" OR \"t1\"", SystemKind::Iiu);
+    QueryTrace boss = trace("\"t0\" OR \"t1\"", SystemKind::Boss);
+    // IIU writes the whole scored list; BOSS only the top-k.
+    EXPECT_GT(iiu.resultStoreBytes, boss.resultStoreBytes);
+    EXPECT_EQ(boss.resultStoreBytes, 100u * 8u);
+    std::size_t stResult =
+        static_cast<std::size_t>(mem::Category::StResult);
+    EXPECT_GT(iiu.catAccesses[stResult], 0u);
+}
+
+TEST_F(ModelFixture, IiuMultiTermSpillsIntermediates)
+{
+    QueryTrace iiu = trace("\"t0\" AND \"t1\" AND \"t10\" AND \"t100\"",
+                           SystemKind::Iiu);
+    QueryTrace boss = trace("\"t0\" AND \"t1\" AND \"t10\" AND \"t100\"",
+                            SystemKind::Boss);
+    std::size_t st = static_cast<std::size_t>(mem::Category::StInter);
+    std::size_t ld = static_cast<std::size_t>(mem::Category::LdInter);
+    EXPECT_GT(iiu.catAccesses[st] + iiu.catAccesses[ld], 0u);
+    EXPECT_EQ(boss.catAccesses[st] + boss.catAccesses[ld], 0u);
+}
+
+TEST_F(ModelFixture, LuceneCachesNorms)
+{
+    QueryTrace lucene = trace("\"t0\"", SystemKind::Lucene);
+    QueryTrace boss = trace("\"t0\"", SystemKind::BossExhaustive);
+    std::size_t ldScore =
+        static_cast<std::size_t>(mem::Category::LdScore);
+    // Both fetch tf payloads, but only the accelerator pays norm
+    // traffic on top.
+    EXPECT_GT(boss.catAccesses[ldScore], lucene.catAccesses[ldScore]);
+}
+
+TEST_F(ModelFixture, TraceRequestsHaveValidAddresses)
+{
+    QueryTrace t = trace("\"t2\" AND \"t100\"", SystemKind::Boss);
+    Addr lo = layout().base();
+    Addr hi = layout().end() + (1u << 20); // + scratch region
+    std::size_t reqs = 0;
+    for (const auto &seg : t.segments) {
+        for (const auto &r : seg.reqs) {
+            EXPECT_GE(r.addr, lo);
+            EXPECT_LT(r.addr, hi);
+            EXPECT_GT(r.bytes, 0u);
+            ++reqs;
+        }
+    }
+    EXPECT_GT(reqs, 0u);
+}
+
+// ---------------------------------------------------------------
+// Cost models.
+// ---------------------------------------------------------------
+
+TEST(CostModels, BossLimitsIntraQueryParallelism)
+{
+    BossCostModel boss;
+    IiuCostModel iiu;
+    SegmentWork w;
+    w.decodeVals = 1024;
+    // Single-term query: BOSS gets 1 decompression unit, IIU all 4.
+    auto b = boss.stageCycles(w, 1, 1);
+    auto i = iiu.stageCycles(w, 1, 1);
+    std::size_t decomp = static_cast<std::size_t>(Stage::Decomp);
+    EXPECT_EQ(b[decomp], 1024u);
+    EXPECT_EQ(i[decomp], 256u);
+    // Four-term query: equal.
+    EXPECT_EQ(boss.stageCycles(w, 4, 1)[decomp], 256u);
+}
+
+TEST(CostModels, IiuIgnoresTopkTime)
+{
+    IiuCostModel iiu;
+    SegmentWork w;
+    w.topkOps = 500;
+    EXPECT_EQ(iiu.stageCycles(w, 2, 1)[static_cast<std::size_t>(
+                  Stage::TopK)],
+              0u);
+    BossCostModel boss;
+    EXPECT_EQ(boss.stageCycles(w, 2, 1)[static_cast<std::size_t>(
+                  Stage::TopK)],
+              500u);
+}
+
+TEST(CostModels, CpuSerializesEverything)
+{
+    CpuCostModel cpu;
+    SegmentWork w;
+    w.decodeVals = 100;
+    w.scoreDocs = 10;
+    w.scoreTermOps = 10;
+    auto c = cpu.stageCycles(w, 2, 1);
+    EXPECT_GT(c[0], 0u);
+    for (std::size_t st = 1; st < kNumStages; ++st)
+        EXPECT_EQ(c[st], 0u);
+    // Per-op software costs dwarf 1-op/cycle hardware.
+    EXPECT_GT(c[0], 100u + 10u + 10u);
+}
+
+// ---------------------------------------------------------------
+// System replay.
+// ---------------------------------------------------------------
+
+TEST_F(ModelFixture, ReplayProducesPositiveTime)
+{
+    auto t = trace("\"t0\"", SystemKind::Boss);
+    SystemConfig cfg;
+    cfg.kind = SystemKind::Boss;
+    cfg.cores = 1;
+    auto metrics = replayTraces({t}, cfg);
+    EXPECT_GT(metrics.run.seconds, 0.0);
+    EXPECT_GT(metrics.run.deviceBytes, 0u);
+    EXPECT_GT(metrics.run.qps, 0.0);
+}
+
+TEST_F(ModelFixture, MoreCoresMoreThroughput)
+{
+    // A balanced batch: enough queries that the makespan is not
+    // dominated by a single long one.
+    std::vector<QueryTrace> traces;
+    const char *exprs[] = {"\"t0\"", "\"t1\"", "\"t2\"", "\"t10\"",
+                           "\"t100\"", "\"t1000\"", "\"t3999\"",
+                           "\"t0\" OR \"t1\""};
+    for (int rep = 0; rep < 8; ++rep) {
+        for (const char *e : exprs)
+            traces.push_back(trace(e, SystemKind::Boss));
+    }
+
+    SystemConfig one;
+    one.cores = 1;
+    SystemConfig four;
+    four.cores = 4;
+    double qps1 = replayTraces(traces, one).run.qps;
+    double qps4 = replayTraces(traces, four).run.qps;
+    EXPECT_GT(qps4, qps1 * 1.5);
+}
+
+TEST_F(ModelFixture, BossFasterThanLuceneAndIiu)
+{
+    const char *expr = "\"t0\" OR \"t1\" OR \"t10\" OR \"t100\"";
+    auto tBoss = trace(expr, SystemKind::Boss);
+    auto tIiu = trace(expr, SystemKind::Iiu);
+    auto tLucene = trace(expr, SystemKind::Lucene);
+
+    SystemConfig cfg;
+    cfg.cores = 1;
+    cfg.kind = SystemKind::Boss;
+    double boss = replayTraces({tBoss}, cfg).run.seconds;
+    cfg.kind = SystemKind::Iiu;
+    double iiuT = replayTraces({tIiu}, cfg).run.seconds;
+    cfg.kind = SystemKind::Lucene;
+    double lucene = replayTraces({tLucene}, cfg).run.seconds;
+
+    EXPECT_LT(boss, iiuT);
+    EXPECT_LT(iiuT, lucene);
+}
+
+TEST_F(ModelFixture, DramFasterThanScmForAccelerators)
+{
+    const char *expr = "\"t0\" AND \"t1\"";
+    auto t = trace(expr, SystemKind::Iiu);
+    SystemConfig scm;
+    scm.kind = SystemKind::Iiu;
+    scm.cores = 1;
+    SystemConfig dram = scm;
+    dram.mem = mem::dramConfig();
+    double tScm = replayTraces({t}, scm).run.seconds;
+    double tDram = replayTraces({t}, dram).run.seconds;
+    EXPECT_LT(tDram, tScm);
+}
+
+TEST_F(ModelFixture, LuceneInsensitiveToMemoryDevice)
+{
+    const char *expr = "\"t0\" OR \"t1\"";
+    auto t = trace(expr, SystemKind::Lucene);
+    SystemConfig scm;
+    scm.kind = SystemKind::Lucene;
+    scm.cores = 1;
+    SystemConfig dram = scm;
+    dram.mem = mem::dramConfig();
+    double tScm = replayTraces({t}, scm).run.seconds;
+    double tDram = replayTraces({t}, dram).run.seconds;
+    // Compute-bound: the paper sees <= ~15% gain from DRAM.
+    EXPECT_LT(tDram, tScm);
+    EXPECT_GT(tDram, tScm * 0.7);
+}
+
+TEST_F(ModelFixture, RunStatsConsistent)
+{
+    auto t = trace("\"t1\"", SystemKind::Boss);
+    SystemConfig cfg;
+    cfg.cores = 2;
+    auto m = replayTraces({t, t, t}, cfg);
+    EXPECT_EQ(m.run.queries, 3u);
+    std::uint64_t catTotal = 0;
+    for (auto b : m.run.catBytes)
+        catTotal += b;
+    EXPECT_EQ(catTotal, m.run.deviceBytes);
+    EXPECT_NEAR(m.run.deviceBandwidthGBs,
+                static_cast<double>(m.run.deviceBytes) /
+                    m.run.seconds / 1e9,
+                1e-9);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Gang execution (>4-term queries span multiple cores) and edge
+// cases of the replay machinery.
+// ---------------------------------------------------------------
+
+TEST_F(ModelFixture, WideQueryOccupiesGang)
+{
+    // A 7-term union needs ceil(7/4) = 2 cores; its trace must
+    // still complete on a 1-core system (gang clamped) and finish
+    // no later with more cores.
+    engine::QueryPlan plan;
+    for (TermId t : {0u, 1u, 2u, 10u, 100u, 1000u, 3999u}) {
+        plan.groups.push_back({t});
+        plan.allTerms.push_back(t);
+    }
+    auto t = buildTrace(idx(), layout(), plan,
+                        traceOptionsFor(SystemKind::Boss, 100));
+    EXPECT_EQ(t.numTerms, 7u);
+
+    SystemConfig one;
+    one.cores = 1;
+    SystemConfig four;
+    four.cores = 4;
+    double tOne = replayTraces({t}, one).run.seconds;
+    double tFour = replayTraces({t}, four).run.seconds;
+    EXPECT_GT(tOne, 0.0);
+    EXPECT_LE(tFour, tOne);
+}
+
+TEST_F(ModelFixture, GangDoesNotStarveNarrowQueries)
+{
+    // Mixed batch of wide and narrow queries all complete.
+    engine::QueryPlan wide;
+    for (TermId t : {0u, 1u, 2u, 10u, 100u})
+        wide.groups.push_back({t});
+    wide.allTerms = {0, 1, 2, 10, 100};
+    auto wideTrace = buildTrace(idx(), layout(), wide,
+                                traceOptionsFor(SystemKind::Boss, 100));
+    auto narrow = trace("\"t1\"", SystemKind::Boss);
+
+    SystemConfig cfg;
+    cfg.cores = 2;
+    auto m = replayTraces({wideTrace, narrow, wideTrace, narrow}, cfg);
+    EXPECT_EQ(m.run.queries, 4u);
+    EXPECT_GT(m.run.seconds, 0.0);
+}
+
+TEST_F(ModelFixture, ReplayIsDeterministic)
+{
+    auto t = trace("\"t0\" OR \"t1\"", SystemKind::Boss);
+    SystemConfig cfg;
+    cfg.cores = 4;
+    auto a = replayTraces({t, t, t, t}, cfg);
+    auto b = replayTraces({t, t, t, t}, cfg);
+    EXPECT_EQ(a.run.seconds, b.run.seconds);
+    EXPECT_EQ(a.run.deviceBytes, b.run.deviceBytes);
+}
+
+TEST_F(ModelFixture, EmptyTraceListCompletes)
+{
+    SystemConfig cfg;
+    auto m = replayTraces({}, cfg);
+    EXPECT_EQ(m.run.queries, 0u);
+    EXPECT_EQ(m.run.seconds, 0.0);
+}
+
+TEST_F(ModelFixture, StatsTreeExposesMemoryCounters)
+{
+    auto t = trace("\"t0\"", SystemKind::Boss);
+    SystemConfig cfg;
+    cfg.cores = 1;
+    SystemModel model(cfg);
+    std::vector<const QueryTrace *> ptrs{&t};
+    model.run(ptrs);
+
+    std::ostringstream oss;
+    model.statsRoot().dump(oss);
+    std::string text = oss.str();
+    EXPECT_NE(text.find("sim.mem.reads"), std::string::npos);
+    EXPECT_NE(text.find("sim.core0.queries"), std::string::npos);
+    EXPECT_NE(text.find("sim.core0.tlb_hits"), std::string::npos);
+    EXPECT_EQ(model.statsRoot().counterValue("core0.queries"), 1u);
+}
+
+TEST_F(ModelFixture, HugePagesNeverMissDuringQueries)
+{
+    auto t = trace("\"t0\" OR \"t1\"", SystemKind::Boss);
+    SystemConfig cfg;
+    cfg.cores = 1;
+    SystemModel model(cfg);
+    std::vector<const QueryTrace *> ptrs{&t};
+    model.run(ptrs);
+    // 2 GB pages over a tiny image: at most one page is touched.
+    EXPECT_LE(model.statsRoot().counterValue("core0.tlb_misses"), 2u);
+    EXPECT_GT(model.statsRoot().counterValue("core0.tlb_hits"), 0u);
+}

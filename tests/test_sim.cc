@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel and clock domains.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/sim_object.h"
+
+namespace
+{
+
+using boss::Tick;
+using boss::sim::ClockDomain;
+using boss::sim::EventQueue;
+
+TEST(EventQueueTest, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    Tick end = eq.run();
+    EXPECT_EQ(end, 30u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAmongSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbacksCanSchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleIn(5, [&] { ++fired; });
+    });
+    Tick end = eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(end, 6u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.eventsExecuted(), 7u);
+}
+
+TEST(ClockDomainTest, OneGigahertz)
+{
+    ClockDomain clk(1e9);
+    EXPECT_EQ(clk.period(), 1000u);
+    EXPECT_EQ(clk.toTicks(5), 5000u);
+    EXPECT_EQ(clk.toCycles(5000), 5u);
+    EXPECT_EQ(clk.toCycles(5001), 6u); // rounds up
+    EXPECT_DOUBLE_EQ(clk.toSeconds(1'000'000'000), 1.0);
+}
+
+TEST(ClockDomainTest, NonIntegralPeriodRounds)
+{
+    ClockDomain clk(2.7e9); // 370.37 ps -> 370 ps
+    EXPECT_EQ(clk.period(), 370u);
+}
+
+TEST(SimObjectTest, RegistersStatsSubgroup)
+{
+    EventQueue eq;
+    boss::stats::Group root("top");
+
+    class Widget : public boss::sim::SimObject
+    {
+      public:
+        Widget(EventQueue &eq, boss::stats::Group &parent)
+            : SimObject("widget", eq, parent)
+        {
+            statsGroup().addCounter("ticks", &ticks_);
+        }
+        void bump() { ++ticks_; }
+
+      private:
+        boss::stats::Counter ticks_;
+    };
+
+    Widget w(eq, root);
+    w.bump();
+    w.bump();
+    EXPECT_EQ(root.counterValue("widget.ticks"), 2u);
+    EXPECT_EQ(w.name(), "widget");
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the statistics framework.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.h"
+
+namespace
+{
+
+using namespace boss::stats;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Scalar, AccumulateAndSet)
+{
+    Scalar s;
+    s += 1.5;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.set(7.0);
+    EXPECT_DOUBLE_EQ(s.value(), 7.0);
+}
+
+TEST(HistogramTest, BucketsAndMoments)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(0.5);
+    h.sample(5.5);
+    h.sample(9.5);
+    h.sample(100.0); // overflow bucket
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_NEAR(h.mean(), (0.5 + 5.5 + 9.5 + 100.0) / 4.0, 1e-12);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[5], 1u);
+    EXPECT_EQ(h.buckets()[9], 1u);
+    EXPECT_EQ(h.buckets()[10], 1u); // overflow
+}
+
+TEST(HistogramTest, WeightedSamples)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.sample(1.0, 10);
+    EXPECT_EQ(h.samples(), 10u);
+    EXPECT_EQ(h.buckets()[1], 10u);
+}
+
+TEST(GroupTest, PathLookup)
+{
+    Group root("sim");
+    Counter hits;
+    hits += 99;
+    root.subgroup("core0").subgroup("cache").addCounter("hits", &hits);
+    EXPECT_EQ(root.counterValue("core0.cache.hits"), 99u);
+    EXPECT_EQ(root.counterValue("core0.cache.misses"), 0u);
+    EXPECT_EQ(root.counterValue("nope.hits"), 0u);
+}
+
+TEST(GroupTest, FormulaEvaluatesOnDemand)
+{
+    Group root("sim");
+    Counter n;
+    root.addCounter("n", &n);
+    root.addFormula("n_squared", [&n]() {
+        return static_cast<double>(n.value() * n.value());
+    });
+    n += 4;
+    EXPECT_DOUBLE_EQ(root.scalarValue("n_squared"), 16.0);
+    n += 1;
+    EXPECT_DOUBLE_EQ(root.scalarValue("n_squared"), 25.0);
+}
+
+TEST(GroupTest, ScalarValueFallsBackToCounter)
+{
+    Group root("sim");
+    Counter c;
+    c += 5;
+    root.addCounter("c", &c);
+    EXPECT_DOUBLE_EQ(root.scalarValue("c"), 5.0);
+}
+
+TEST(GroupTest, DumpContainsPathsAndDescs)
+{
+    Group root("run");
+    Counter reqs;
+    reqs += 3;
+    root.subgroup("mem").addCounter("requests", &reqs,
+                                    "total memory requests");
+    std::ostringstream oss;
+    root.dump(oss);
+    std::string text = oss.str();
+    EXPECT_NE(text.find("run.mem.requests"), std::string::npos);
+    EXPECT_NE(text.find("3"), std::string::npos);
+    EXPECT_NE(text.find("total memory requests"), std::string::npos);
+}
+
+TEST(GroupTest, SubgroupIsIdempotent)
+{
+    Group root("x");
+    Group &a = root.subgroup("child");
+    Group &b = root.subgroup("child");
+    EXPECT_EQ(&a, &b);
+}
+
+} // namespace

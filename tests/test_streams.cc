@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the stream layer (TermStream / AndStream / OrStream),
+ * the lazy block-fetch behavior of the cursor, and the stream-tree
+ * factoring in buildStreams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "engine/streams.h"
+#include "index/block_decoder.h"
+#include "workload/corpus.h"
+
+namespace
+{
+
+using namespace boss;
+using namespace boss::engine;
+
+index::InvertedIndex &
+idx()
+{
+    static index::InvertedIndex index = [] {
+        workload::CorpusConfig cfg;
+        cfg.numDocs = 20000;
+        cfg.vocabSize = 300;
+        cfg.seed = 55;
+        workload::Corpus corpus(cfg);
+        return corpus.buildIndex({0, 1, 2, 5, 10, 50, 299});
+    }();
+    return index;
+}
+
+std::set<DocId>
+docSet(TermId t)
+{
+    std::set<DocId> out;
+    for (const auto &p : index::decodeAll(idx().list(t)))
+        out.insert(p.doc);
+    return out;
+}
+
+std::vector<std::unique_ptr<DocStream>>
+termStreams(std::initializer_list<TermId> terms, ExecHooks *hooks)
+{
+    std::vector<std::unique_ptr<DocStream>> out;
+    for (TermId t : terms)
+        out.push_back(
+            std::make_unique<TermStream>(idx().list(t), hooks));
+    return out;
+}
+
+/** Drain a stream into a doc set. */
+std::set<DocId>
+drain(DocStream &s)
+{
+    std::set<DocId> out;
+    while (!s.atEnd()) {
+        out.insert(s.doc());
+        s.next();
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------
+// Lazy fetching.
+// ---------------------------------------------------------------
+
+struct LoadCounter : ExecHooks
+{
+    std::uint64_t docBlocks = 0;
+    std::uint64_t tfBlocks = 0;
+    void
+    onDocBlockLoad(TermId, const index::BlockMeta &) override
+    {
+        ++docBlocks;
+    }
+    void
+    onTfBlockLoad(TermId, const index::BlockMeta &) override
+    {
+        ++tfBlocks;
+    }
+};
+
+TEST(LazyCursor, PositioningFetchesNothing)
+{
+    LoadCounter hooks;
+    ListCursor cur(idx().list(0), &hooks);
+    // Construction positions on block 0: metadata only.
+    EXPECT_EQ(hooks.docBlocks, 0u);
+    // doc() at block start comes from metadata.
+    EXPECT_EQ(cur.doc(), idx().list(0).blocks[0].firstDoc);
+    EXPECT_EQ(hooks.docBlocks, 0u);
+    // next() needs the payload.
+    cur.next();
+    EXPECT_EQ(hooks.docBlocks, 1u);
+}
+
+TEST(LazyCursor, SkipPastBlockAvoidsFetch)
+{
+    LoadCounter hooks;
+    const auto &list = idx().list(0);
+    ASSERT_GT(list.numBlocks(), 3u);
+    ListCursor cur(list, &hooks);
+    cur.skipPastBlock();
+    cur.skipPastBlock();
+    EXPECT_EQ(hooks.docBlocks, 0u);
+    EXPECT_EQ(cur.doc(), list.blocks[2].firstDoc);
+}
+
+TEST(LazyCursor, AdvanceToBlockStartStaysLazy)
+{
+    LoadCounter hooks;
+    const auto &list = idx().list(0);
+    ASSERT_GT(list.numBlocks(), 2u);
+    ListCursor cur(list, &hooks);
+    // Target exactly a later block's firstDoc: landing block needs
+    // no decode (the cursor can report firstDoc from metadata).
+    cur.advanceTo(list.blocks[2].firstDoc);
+    EXPECT_EQ(cur.doc(), list.blocks[2].firstDoc);
+    EXPECT_EQ(hooks.docBlocks, 0u);
+}
+
+TEST(LazyCursor, TfFetchesBothPayloads)
+{
+    LoadCounter hooks;
+    ListCursor cur(idx().list(1), &hooks);
+    cur.tf();
+    EXPECT_EQ(hooks.docBlocks, 1u);
+    EXPECT_EQ(hooks.tfBlocks, 1u);
+    // Same block: no refetch.
+    cur.tf();
+    EXPECT_EQ(hooks.tfBlocks, 1u);
+}
+
+TEST(LazyCursor, PeekMaxInRangeIsUpperBound)
+{
+    ListCursor cur(idx().list(0), nullptr);
+    const auto &list = idx().list(0);
+    // The peek over the whole list never exceeds the list max and
+    // covers the current block's max.
+    float peek = cur.peekMaxInRange(0, kInvalidDocId - 1);
+    EXPECT_LE(peek, list.maxTermScore);
+    EXPECT_GE(peek, list.blocks[0].maxTermScore);
+}
+
+// ---------------------------------------------------------------
+// Stream semantics.
+// ---------------------------------------------------------------
+
+TEST(Streams, AndStreamIsIntersection)
+{
+    AndStream s(termStreams({0, 10}, nullptr), nullptr);
+    std::set<DocId> expect;
+    auto a = docSet(0);
+    for (DocId d : docSet(10)) {
+        if (a.count(d) != 0)
+            expect.insert(d);
+    }
+    EXPECT_EQ(drain(s), expect);
+}
+
+TEST(Streams, OrStreamIsUnion)
+{
+    OrStream s(termStreams({5, 50}, nullptr), nullptr);
+    std::set<DocId> expect = docSet(5);
+    auto b = docSet(50);
+    expect.insert(b.begin(), b.end());
+    EXPECT_EQ(drain(s), expect);
+}
+
+TEST(Streams, NestedAndOrMatchesSetAlgebra)
+{
+    // 0 AND (10 OR 50)
+    std::vector<std::unique_ptr<DocStream>> members;
+    members.push_back(
+        std::make_unique<TermStream>(idx().list(0), nullptr));
+    members.push_back(std::make_unique<OrStream>(
+        termStreams({10, 50}, nullptr), nullptr));
+    AndStream s(std::move(members), nullptr);
+
+    auto a = docSet(0);
+    auto u = docSet(10);
+    auto c = docSet(50);
+    u.insert(c.begin(), c.end());
+    std::set<DocId> expect;
+    for (DocId d : u) {
+        if (a.count(d) != 0)
+            expect.insert(d);
+    }
+    EXPECT_EQ(drain(s), expect);
+}
+
+TEST(Streams, AdvanceToSkipsToTarget)
+{
+    OrStream s(termStreams({0, 1}, nullptr), nullptr);
+    DocId first = s.doc();
+    s.advanceTo(first + 5000);
+    EXPECT_GE(s.doc(), first + 5000);
+}
+
+TEST(Streams, UpperBoundsAreAdditive)
+{
+    AndStream andS(termStreams({0, 10}, nullptr), nullptr);
+    float expected =
+        idx().list(0).maxTermScore + idx().list(10).maxTermScore;
+    EXPECT_FLOAT_EQ(andS.upperBound(), expected);
+
+    OrStream orS(termStreams({0, 10}, nullptr), nullptr);
+    EXPECT_FLOAT_EQ(orS.upperBound(), expected);
+}
+
+TEST(Streams, CollectMatchesReportsTfs)
+{
+    OrStream s(termStreams({0, 10}, nullptr), nullptr);
+    auto a = docSet(0);
+    auto b = docSet(10);
+    // Walk to a doc in both (if any).
+    while (!s.atEnd()) {
+        DocId d = s.doc();
+        if (a.count(d) != 0 && b.count(d) != 0) {
+            std::vector<TermMatch> matches;
+            s.collectMatches(matches);
+            EXPECT_EQ(matches.size(), 2u);
+            std::set<TermId> terms;
+            for (const auto &m : matches) {
+                terms.insert(m.term);
+                EXPECT_GE(m.tf, 1u);
+            }
+            EXPECT_EQ(terms, (std::set<TermId>{0, 10}));
+            return;
+        }
+        s.next();
+    }
+    GTEST_SKIP() << "no shared doc between terms 0 and 10";
+}
+
+TEST(Streams, SkipPastBlockMakesProgress)
+{
+    OrStream s(termStreams({0, 1}, nullptr), nullptr);
+    DocId before = s.doc();
+    DocId end = s.blockEnd();
+    s.skipPastBlock();
+    if (!s.atEnd()) {
+        EXPECT_GT(s.doc(), end);
+        EXPECT_GT(s.doc(), before);
+    }
+}
+
+// ---------------------------------------------------------------
+// buildStreams factoring.
+// ---------------------------------------------------------------
+
+TEST(BuildStreams, PureUnionYieldsOneStreamPerTerm)
+{
+    QueryPlan plan;
+    plan.groups = {{0}, {10}, {50}};
+    plan.allTerms = {0, 10, 50};
+    auto streams = buildStreams(idx(), plan, nullptr);
+    EXPECT_EQ(streams.size(), 3u);
+}
+
+TEST(BuildStreams, PureIntersectionYieldsOneStream)
+{
+    QueryPlan plan;
+    plan.groups = {{0, 10, 50}};
+    plan.allTerms = {0, 10, 50};
+    auto streams = buildStreams(idx(), plan, nullptr);
+    EXPECT_EQ(streams.size(), 1u);
+}
+
+TEST(BuildStreams, CommonPrefixFactored)
+{
+    // (0^10) v (0^50): factors into 0 ^ (10 v 50) -> one stream.
+    QueryPlan plan;
+    plan.groups = {{0, 10}, {0, 50}};
+    plan.allTerms = {0, 10, 50};
+    auto streams = buildStreams(idx(), plan, nullptr);
+    EXPECT_EQ(streams.size(), 1u);
+}
+
+TEST(BuildStreams, UnfactorableDnfKeepsGroups)
+{
+    // (0^10) v (1^50): no common term -> two AndStreams.
+    QueryPlan plan;
+    plan.groups = {{0, 10}, {1, 50}};
+    plan.allTerms = {0, 1, 10, 50};
+    auto streams = buildStreams(idx(), plan, nullptr);
+    EXPECT_EQ(streams.size(), 2u);
+}
+
+TEST(BuildStreams, FactoredStreamMatchesUnfactoredSemantics)
+{
+    QueryPlan plan;
+    plan.groups = {{2, 5}, {2, 10}};
+    plan.allTerms = {2, 5, 10};
+    auto factored = buildStreams(idx(), plan, nullptr);
+    ASSERT_EQ(factored.size(), 1u);
+
+    auto a = docSet(2);
+    auto u = docSet(5);
+    auto c = docSet(10);
+    u.insert(c.begin(), c.end());
+    std::set<DocId> expect;
+    for (DocId d : u) {
+        if (a.count(d) != 0)
+            expect.insert(d);
+    }
+    EXPECT_EQ(drain(*factored[0]), expect);
+}
+
+} // namespace

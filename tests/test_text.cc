@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the text pipeline: tokenizer, lexicon, the
+ * document-at-a-time builder, text-index serialization, and
+ * lexicon-resolved queries on the Device.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "boss/device.h"
+#include "engine/execute.h"
+#include "engine/plan.h"
+#include "index/block_decoder.h"
+#include "index/text_builder.h"
+
+namespace
+{
+
+using namespace boss;
+using namespace boss::index;
+
+// ---------------------------------------------------------------
+// Tokenizer.
+// ---------------------------------------------------------------
+
+TEST(Tokenizer, LowercasesAndSplits)
+{
+    auto tokens = tokenize("Hello, World! HELLO-world 42 ok");
+    EXPECT_EQ(tokens, (std::vector<std::string>{
+                          "hello", "world", "hello", "world", "42",
+                          "ok"}));
+}
+
+TEST(Tokenizer, DropsStopwordsAndShortTokens)
+{
+    auto tokens = tokenize("the cat is on a mat I x");
+    // "the", "is", "on", "a" are stopwords/short; "I"/"x" too short.
+    EXPECT_EQ(tokens, (std::vector<std::string>{"cat", "mat"}));
+}
+
+TEST(Tokenizer, KeepStopwordsWhenDisabled)
+{
+    TokenizerConfig cfg;
+    cfg.dropStopwords = false;
+    auto tokens = tokenize("the cat", cfg);
+    EXPECT_EQ(tokens, (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(Tokenizer, LengthBounds)
+{
+    TokenizerConfig cfg;
+    cfg.minLength = 3;
+    cfg.maxLength = 5;
+    auto tokens = tokenize("ab abc abcde abcdef", cfg);
+    EXPECT_EQ(tokens, (std::vector<std::string>{"abc", "abcde"}));
+}
+
+TEST(Tokenizer, EmptyInput)
+{
+    EXPECT_TRUE(tokenize("").empty());
+    EXPECT_TRUE(tokenize("  ,,, !!").empty());
+}
+
+// ---------------------------------------------------------------
+// Lexicon.
+// ---------------------------------------------------------------
+
+TEST(LexiconTest, AddIsIdempotent)
+{
+    Lexicon lex;
+    TermId a = lex.addTerm("alpha");
+    TermId b = lex.addTerm("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(lex.addTerm("alpha"), a);
+    EXPECT_EQ(lex.size(), 2u);
+    EXPECT_EQ(lex.term(a), "alpha");
+    EXPECT_EQ(lex.lookup("beta"), b);
+    EXPECT_FALSE(lex.lookup("gamma").has_value());
+}
+
+TEST(LexiconTest, SerializationRoundTrip)
+{
+    Lexicon lex;
+    lex.addTerm("storage");
+    lex.addTerm("class");
+    lex.addTerm("memory");
+    std::stringstream buf;
+    lex.save(buf);
+    Lexicon loaded = Lexicon::load(buf);
+    EXPECT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded.lookup("storage"), lex.lookup("storage"));
+    EXPECT_EQ(loaded.term(2), "memory");
+}
+
+// ---------------------------------------------------------------
+// Text index builder.
+// ---------------------------------------------------------------
+
+TEST(TextBuilder, CountsTermFrequencies)
+{
+    TextIndexBuilder builder;
+    DocId d0 = builder.addDocument("red fish blue fish");
+    DocId d1 = builder.addDocument("red sky");
+    EXPECT_EQ(d0, 0u);
+    EXPECT_EQ(d1, 1u);
+    auto ti = builder.build();
+
+    TermId fish = *ti.lexicon.lookup("fish");
+    auto postings = decodeAll(ti.index.list(fish));
+    ASSERT_EQ(postings.size(), 1u);
+    EXPECT_EQ(postings[0].doc, 0u);
+    EXPECT_EQ(postings[0].tf, 2u);
+
+    TermId red = *ti.lexicon.lookup("red");
+    postings = decodeAll(ti.index.list(red));
+    ASSERT_EQ(postings.size(), 2u);
+    EXPECT_EQ(postings[0].tf, 1u);
+}
+
+TEST(TextBuilder, DocLengthsTracked)
+{
+    TextIndexBuilder builder;
+    builder.addDocument("one two three four");
+    builder.addDocument("solo");
+    auto ti = builder.build();
+    EXPECT_EQ(ti.index.doc(0).length, 4u);
+    EXPECT_EQ(ti.index.doc(1).length, 1u);
+}
+
+TEST(TextBuilder, FileRoundTrip)
+{
+    TextIndexBuilder builder;
+    builder.addDocument("persistent memory is byte addressable");
+    builder.addDocument("memory pools scale capacity");
+    auto ti = builder.build();
+
+    std::string path = testing::TempDir() + "boss_text_index.bin";
+    saveTextIndexFile(ti, path);
+    auto loaded = loadTextIndexFile(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(loaded.index.numDocs(), 2u);
+    EXPECT_EQ(loaded.lexicon.size(), ti.lexicon.size());
+    TermId memory = *loaded.lexicon.lookup("memory");
+    EXPECT_EQ(decodeAll(loaded.index.list(memory)).size(), 2u);
+}
+
+// ---------------------------------------------------------------
+// Lexicon-resolved queries on the device.
+// ---------------------------------------------------------------
+
+TEST(TextSearch, DeviceResolvesWords)
+{
+    TextIndexBuilder builder;
+    builder.addDocument("fast storage class memory device");
+    builder.addDocument("slow disk storage");
+    builder.addDocument("memory bandwidth matters");
+    auto ti = builder.build();
+
+    accel::Device device;
+    device.loadTextIndex(std::move(ti));
+    ASSERT_TRUE(device.hasLexicon());
+
+    auto outcome = device.search("\"storage\" AND \"memory\"");
+    ASSERT_EQ(outcome.topk.size(), 1u);
+    EXPECT_EQ(outcome.topk[0].doc, 0u);
+
+    outcome = device.search("\"storage\" OR \"memory\"");
+    EXPECT_EQ(outcome.topk.size(), 3u);
+}
+
+TEST(TextSearch, MatchesOracleOnTextIndex)
+{
+    TextIndexBuilder builder;
+    const char *docs[] = {
+        "green tea and black tea", "black coffee",
+        "green smoothie with kale", "tea ceremony in kyoto",
+        "coffee and tea tasting",   "kale salad with dressing",
+    };
+    for (const char *d : docs)
+        builder.addDocument(d);
+    auto ti = builder.build();
+
+    accel::Device device;
+    index::Lexicon lex = ti.lexicon;
+    device.loadTextIndex(std::move(ti));
+
+    auto outcome = device.search("\"tea\" OR \"kale\"");
+    auto resolver = [&](std::string_view name) {
+        return *lex.lookup(name);
+    };
+    auto plan = engine::planQuery(
+        engine::parseExpression("\"tea\" OR \"kale\"", resolver));
+    auto oracle = engine::naiveTopK(device.index(), plan, 10);
+    ASSERT_EQ(outcome.topk.size(), oracle.size());
+    for (std::size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_EQ(outcome.topk[i].doc, oracle[i].doc);
+        EXPECT_FLOAT_EQ(outcome.topk[i].score, oracle[i].score);
+    }
+}
+
+TEST(TextSearch, UnknownTermIsFatal)
+{
+    TextIndexBuilder builder;
+    builder.addDocument("known words only");
+    auto ti = builder.build();
+    accel::Device device;
+    device.loadTextIndex(std::move(ti));
+    EXPECT_EXIT(device.search("\"unknownword\""),
+                ::testing::ExitedWithCode(1), "unknown query term");
+}
+
+} // namespace

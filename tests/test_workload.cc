@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the workload generators: synthetic streams (Fig. 3
+ * inputs), the corpus generator, and the query sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workload/corpus.h"
+#include "workload/queries.h"
+#include "workload/synthetic_streams.h"
+
+namespace
+{
+
+using namespace boss;
+using namespace boss::workload;
+
+// ---------------------------------------------------------------
+// Synthetic streams.
+// ---------------------------------------------------------------
+
+class StreamShapes : public ::testing::TestWithParam<StreamKind>
+{
+};
+
+TEST_P(StreamShapes, DeterministicAndSized)
+{
+    auto a = makeStream(GetParam(), 5000, 42);
+    auto b = makeStream(GetParam(), 5000, 42);
+    EXPECT_EQ(a.size(), 5000u);
+    EXPECT_EQ(a, b);
+    auto c = makeStream(GetParam(), 5000, 43);
+    EXPECT_NE(a, c);
+}
+
+TEST_P(StreamShapes, CompressibleByAllApplicableSchemes)
+{
+    auto stream = makeStream(GetParam(), 20000, 7);
+    for (compress::Scheme s : compress::kFig3Schemes) {
+        double ratio = compressionRatio(stream, s);
+        if (ratio == 0.0)
+            continue; // scheme can't represent this stream
+        EXPECT_GT(ratio, 0.5) << schemeName(s);
+    }
+    EXPECT_GT(hybridCompressionRatio(stream), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, StreamShapes, ::testing::ValuesIn(kAllStreams),
+    [](const ::testing::TestParamInfo<StreamKind> &info) {
+        std::string name(streamName(info.param));
+        std::replace(name.begin(), name.end(), '-', '_');
+        return name;
+    });
+
+TEST(Streams, HybridAtLeastMatchesBestSingle)
+{
+    for (StreamKind kind : kAllStreams) {
+        auto stream = makeStream(kind, 20000, 11);
+        double best = 0.0;
+        for (compress::Scheme s : compress::kFig3Schemes)
+            best = std::max(best, compressionRatio(stream, s));
+        // Hybrid picks per block, so it can only do better than the
+        // best whole-stream scheme.
+        EXPECT_GE(hybridCompressionRatio(stream) + 1e-9, best)
+            << streamName(kind);
+    }
+}
+
+TEST(Streams, DenseCompressesBetterThanSparse)
+{
+    auto sparse = makeStream(StreamKind::UniformSparse, 50000, 3);
+    auto dense = makeStream(StreamKind::UniformDense, 50000, 3);
+    EXPECT_GT(hybridCompressionRatio(dense),
+              hybridCompressionRatio(sparse));
+}
+
+TEST(Streams, OutlierFractionMatters)
+{
+    auto o10 = makeStream(StreamKind::Outlier10, 50000, 5);
+    auto o30 = makeStream(StreamKind::Outlier30, 50000, 5);
+    // More outliers -> worse compression.
+    EXPECT_GT(hybridCompressionRatio(o10),
+              hybridCompressionRatio(o30));
+}
+
+// ---------------------------------------------------------------
+// Corpus generator.
+// ---------------------------------------------------------------
+
+TEST(CorpusTest, DocLengthsNearConfiguredMean)
+{
+    CorpusConfig cfg;
+    cfg.numDocs = 20000;
+    cfg.avgDocLen = 300;
+    Corpus corpus(cfg);
+    double sum = 0;
+    for (auto l : corpus.docLengths())
+        sum += l;
+    double mean = sum / cfg.numDocs;
+    EXPECT_NEAR(mean, 300.0, 45.0);
+}
+
+TEST(CorpusTest, PostingsValidAndDeterministic)
+{
+    CorpusConfig cfg;
+    cfg.numDocs = 10000;
+    cfg.vocabSize = 1000;
+    Corpus corpus(cfg);
+    for (TermId t : {0u, 10u, 500u, 999u}) {
+        auto a = corpus.postings(t);
+        auto b = corpus.postings(t);
+        EXPECT_EQ(a, b);
+        EXPECT_TRUE(index::isValidPostingList(a));
+        EXPECT_FALSE(a.empty());
+        for (const auto &p : a) {
+            EXPECT_LT(p.doc, cfg.numDocs);
+            EXPECT_GE(p.tf, 1u);
+        }
+    }
+}
+
+TEST(CorpusTest, DfFollowsRankOrder)
+{
+    CorpusConfig cfg;
+    cfg.numDocs = 50000;
+    cfg.vocabSize = 10000;
+    Corpus corpus(cfg);
+    // Popular terms have much longer lists than rare ones.
+    EXPECT_GT(corpus.postings(0).size(), corpus.postings(100).size());
+    EXPECT_GT(corpus.postings(100).size(),
+              corpus.postings(9000).size());
+    // Sampled df is within a factor ~2 of the analytic expectation.
+    double expect = corpus.expectedDf(5);
+    double actual = static_cast<double>(corpus.postings(5).size());
+    EXPECT_GT(actual, expect * 0.5);
+    EXPECT_LT(actual, expect * 2.0);
+}
+
+TEST(CorpusTest, BuildIndexMaterializesRequestedTerms)
+{
+    CorpusConfig cfg;
+    cfg.numDocs = 5000;
+    cfg.vocabSize = 100;
+    Corpus corpus(cfg);
+    auto index = corpus.buildIndex({3, 7});
+    EXPECT_EQ(index.numDocs(), cfg.numDocs);
+    EXPECT_EQ(index.list(3).docCount, corpus.postings(3).size());
+    EXPECT_EQ(index.list(7).docCount, corpus.postings(7).size());
+    // Unrequested terms are empty placeholders.
+    EXPECT_EQ(index.list(5).docCount, 0u);
+}
+
+TEST(CorpusTest, PresetsDiffer)
+{
+    CorpusConfig cw = clueWebConfig();
+    CorpusConfig cc = ccNewsConfig();
+    EXPECT_NE(cw.numDocs, cc.numDocs);
+    EXPECT_GT(cw.avgDocLen, cc.avgDocLen);
+}
+
+// ---------------------------------------------------------------
+// Query workload.
+// ---------------------------------------------------------------
+
+TEST(Queries, BucketsAndTypes)
+{
+    QueryWorkloadConfig cfg;
+    cfg.vocabSize = 10000;
+    cfg.queriesPerBucket = 100;
+    auto all = makeWorkload(cfg);
+    EXPECT_EQ(all.size(), 300u);
+
+    std::size_t oneTerm = 0, twoTerm = 0, fourTerm = 0;
+    for (const auto &q : all) {
+        EXPECT_EQ(q.terms.size(), queryTypeTerms(q.type));
+        switch (queryTypeTerms(q.type)) {
+          case 1: ++oneTerm; break;
+          case 2: ++twoTerm; break;
+          case 4: ++fourTerm; break;
+          default: FAIL();
+        }
+        std::set<TermId> distinct(q.terms.begin(), q.terms.end());
+        EXPECT_EQ(distinct.size(), q.terms.size());
+        for (TermId t : q.terms)
+            EXPECT_LT(t, cfg.vocabSize);
+    }
+    EXPECT_EQ(oneTerm, 100u);
+    EXPECT_EQ(twoTerm, 100u);
+    EXPECT_EQ(fourTerm, 100u);
+
+    // Every type shows up in a 100-query bucket with high probability.
+    for (QueryType t : kAllQueryTypes)
+        EXPECT_FALSE(filterByType(all, t).empty())
+            << queryTypeName(t);
+}
+
+TEST(Queries, Deterministic)
+{
+    QueryWorkloadConfig cfg;
+    auto a = makeWorkload(cfg);
+    auto b = makeWorkload(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].type, b[i].type);
+        EXPECT_EQ(a[i].terms, b[i].terms);
+    }
+}
+
+TEST(Queries, ExpressionRendering)
+{
+    Query q;
+    q.type = QueryType::Q6;
+    q.terms = {1, 2, 3, 4};
+    EXPECT_EQ(q.toExpression(),
+              "\"t1\" AND (\"t2\" OR \"t3\" OR \"t4\")");
+    q.type = QueryType::Q2;
+    q.terms = {5, 9};
+    EXPECT_EQ(q.toExpression(), "\"t5\" AND \"t9\"");
+    q.type = QueryType::Q1;
+    q.terms = {7};
+    EXPECT_EQ(q.toExpression(), "\"t7\"");
+}
+
+TEST(Queries, CollectTermsDedups)
+{
+    Query a{QueryType::Q2, {1, 2}};
+    Query b{QueryType::Q2, {2, 3}};
+    auto terms = collectTerms({a, b});
+    EXPECT_EQ(terms, (std::vector<TermId>{1, 2, 3}));
+}
+
+} // namespace

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * boss_indexer: build a BOSS text index from a document file.
+ *
+ * Usage:
+ *   boss_indexer <documents.txt> <output.idx>
+ *
+ * The input holds one document per line. The output file contains
+ * the hybrid-compressed inverted index plus the lexicon and can be
+ * served with boss_search or Device::loadTextIndexFile().
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/logging.h"
+#include "index/text_builder.h"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr,
+                     "usage: %s <documents.txt> <output.idx>\n"
+                     "  documents.txt: one document per line\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", argv[1]);
+        return 1;
+    }
+
+    boss::index::TextIndexBuilder builder;
+    std::string line;
+    std::uint64_t skipped = 0;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            ++skipped;
+            continue;
+        }
+        builder.addDocument(line);
+    }
+    if (builder.numDocs() == 0) {
+        std::fprintf(stderr, "no documents in '%s'\n", argv[1]);
+        return 1;
+    }
+
+    auto ti = builder.build();
+    boss::index::saveTextIndexFile(ti, argv[2]);
+    std::printf("indexed %u documents (%u distinct terms, %llu empty "
+                "lines skipped)\n",
+                ti.index.numDocs(), ti.lexicon.size(),
+                static_cast<unsigned long long>(skipped));
+    std::printf("index size: %.2f MB -> %s\n",
+                static_cast<double>(ti.index.sizeBytes()) / 1e6,
+                argv[2]);
+    return 0;
+}

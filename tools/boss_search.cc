@@ -1,0 +1,99 @@
+/**
+ * @file
+ * boss_search: serve queries against a BOSS text index on the
+ * simulated accelerator.
+ *
+ * Usage:
+ *   boss_search <index.idx> [query...]
+ *
+ * With query arguments, runs each and exits; otherwise reads queries
+ * from stdin (one per line). Queries use the offloading-API grammar
+ * with quoted terms, e.g.:  "storage" AND ("memory" OR "disk")
+ * A bare list of words is treated as their OR.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "boss/device.h"
+#include "common/logging.h"
+#include "index/text_builder.h"
+
+namespace
+{
+
+/** Words without quotes become an OR of quoted terms. */
+std::string
+normalizeQuery(const std::string &raw)
+{
+    if (raw.find('"') != std::string::npos)
+        return raw;
+    std::istringstream iss(raw);
+    std::string word;
+    std::string expr;
+    while (iss >> word) {
+        if (!expr.empty())
+            expr += " OR ";
+        expr += "\"" + word + "\"";
+    }
+    return expr;
+}
+
+void
+runQuery(boss::accel::Device &device, const std::string &raw)
+{
+    std::string expr = normalizeQuery(raw);
+    if (expr.empty())
+        return;
+
+    // Drop query terms missing from the lexicon (with a warning)
+    // rather than aborting the session.
+    auto outcome = device.search(expr);
+    std::printf("%zu results in %.1f us (simulated; %.1f KB SCM "
+                "traffic, %llu docs scored)\n",
+                outcome.topk.size(), outcome.simSeconds * 1e6,
+                static_cast<double>(outcome.deviceBytes) / 1e3,
+                static_cast<unsigned long long>(outcome.evaluatedDocs));
+    std::size_t show = std::min<std::size_t>(10, outcome.topk.size());
+    for (std::size_t i = 0; i < show; ++i) {
+        std::printf("  %2zu. doc %-10u score %.4f\n", i + 1,
+                    outcome.topk[i].doc, outcome.topk[i].score);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <index.idx> [query...]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    boss::accel::Device device;
+    device.loadTextIndexFile(argv[1]);
+    std::printf("loaded %u docs / %u terms; device: %u BOSS cores, "
+                "4-channel SCM\n",
+                device.index().numDocs(), device.lexicon().size(),
+                device.config().cores);
+
+    if (argc > 2) {
+        for (int i = 2; i < argc; ++i) {
+            std::printf("\nquery: %s\n", argv[i]);
+            runQuery(device, argv[i]);
+        }
+        return 0;
+    }
+
+    std::printf("enter queries (one per line, ctrl-d to exit)\n");
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (!line.empty())
+            runQuery(device, line);
+    }
+    return 0;
+}
