@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bandwidth_scaling.dir/ablation_bandwidth_scaling.cc.o"
+  "CMakeFiles/ablation_bandwidth_scaling.dir/ablation_bandwidth_scaling.cc.o.d"
+  "ablation_bandwidth_scaling"
+  "ablation_bandwidth_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bandwidth_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_banked_dram.dir/ablation_banked_dram.cc.o"
+  "CMakeFiles/ablation_banked_dram.dir/ablation_banked_dram.cc.o.d"
+  "ablation_banked_dram"
+  "ablation_banked_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_banked_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

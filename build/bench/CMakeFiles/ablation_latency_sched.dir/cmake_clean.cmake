@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_latency_sched.dir/ablation_latency_sched.cc.o"
+  "CMakeFiles/ablation_latency_sched.dir/ablation_latency_sched.cc.o.d"
+  "ablation_latency_sched"
+  "ablation_latency_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_latency_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

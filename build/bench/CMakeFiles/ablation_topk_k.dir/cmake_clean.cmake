@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_topk_k.dir/ablation_topk_k.cc.o"
+  "CMakeFiles/ablation_topk_k.dir/ablation_topk_k.cc.o.d"
+  "ablation_topk_k"
+  "ablation_topk_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_topk_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wide_queries.dir/ablation_wide_queries.cc.o"
+  "CMakeFiles/ablation_wide_queries.dir/ablation_wide_queries.cc.o.d"
+  "ablation_wide_queries"
+  "ablation_wide_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wide_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_multicore_clueweb.dir/fig09_multicore_clueweb.cc.o"
+  "CMakeFiles/fig09_multicore_clueweb.dir/fig09_multicore_clueweb.cc.o.d"
+  "fig09_multicore_clueweb"
+  "fig09_multicore_clueweb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_multicore_clueweb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

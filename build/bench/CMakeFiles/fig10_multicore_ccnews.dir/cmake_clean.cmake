@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multicore_ccnews.dir/fig10_multicore_ccnews.cc.o"
+  "CMakeFiles/fig10_multicore_ccnews.dir/fig10_multicore_ccnews.cc.o.d"
+  "fig10_multicore_ccnews"
+  "fig10_multicore_ccnews.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multicore_ccnews.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

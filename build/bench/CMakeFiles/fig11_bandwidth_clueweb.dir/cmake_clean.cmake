@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bandwidth_clueweb.dir/fig11_bandwidth_clueweb.cc.o"
+  "CMakeFiles/fig11_bandwidth_clueweb.dir/fig11_bandwidth_clueweb.cc.o.d"
+  "fig11_bandwidth_clueweb"
+  "fig11_bandwidth_clueweb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bandwidth_clueweb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bandwidth_ccnews.dir/fig12_bandwidth_ccnews.cc.o"
+  "CMakeFiles/fig12_bandwidth_ccnews.dir/fig12_bandwidth_ccnews.cc.o.d"
+  "fig12_bandwidth_ccnews"
+  "fig12_bandwidth_ccnews.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bandwidth_ccnews.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_singlecore.dir/fig13_singlecore.cc.o"
+  "CMakeFiles/fig13_singlecore.dir/fig13_singlecore.cc.o.d"
+  "fig13_singlecore"
+  "fig13_singlecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_singlecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

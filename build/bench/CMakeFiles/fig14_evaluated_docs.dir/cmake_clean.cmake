@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_evaluated_docs.dir/fig14_evaluated_docs.cc.o"
+  "CMakeFiles/fig14_evaluated_docs.dir/fig14_evaluated_docs.cc.o.d"
+  "fig14_evaluated_docs"
+  "fig14_evaluated_docs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_evaluated_docs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_memory_accesses.dir/fig15_memory_accesses.cc.o"
+  "CMakeFiles/fig15_memory_accesses.dir/fig15_memory_accesses.cc.o.d"
+  "fig15_memory_accesses"
+  "fig15_memory_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_memory_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_dram_vs_scm.dir/fig16_dram_vs_scm.cc.o"
+  "CMakeFiles/fig16_dram_vs_scm.dir/fig16_dram_vs_scm.cc.o.d"
+  "fig16_dram_vs_scm"
+  "fig16_dram_vs_scm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_dram_vs_scm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_search.dir/news_search.cpp.o"
+  "CMakeFiles/news_search.dir/news_search.cpp.o.d"
+  "news_search"
+  "news_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

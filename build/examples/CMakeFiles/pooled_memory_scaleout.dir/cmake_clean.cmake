@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pooled_memory_scaleout.dir/pooled_memory_scaleout.cpp.o"
+  "CMakeFiles/pooled_memory_scaleout.dir/pooled_memory_scaleout.cpp.o.d"
+  "pooled_memory_scaleout"
+  "pooled_memory_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pooled_memory_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/text_search.cpp" "examples/CMakeFiles/text_search.dir/text_search.cpp.o" "gcc" "examples/CMakeFiles/text_search.dir/text_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/boss/CMakeFiles/boss_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/boss_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/boss_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/boss_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/boss_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/boss_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/boss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/boss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/boss_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/boss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("sim")
+subdirs("compress")
+subdirs("index")
+subdirs("workload")
+subdirs("engine")
+subdirs("mem")
+subdirs("model")
+subdirs("boss")
+subdirs("iiu")
+subdirs("lucene")
+subdirs("power")
+subdirs("api")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_api.dir/offload.cc.o"
+  "CMakeFiles/boss_api.dir/offload.cc.o.d"
+  "libboss_api.a"
+  "libboss_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

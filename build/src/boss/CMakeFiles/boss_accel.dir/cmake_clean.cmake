@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_accel.dir/device.cc.o"
+  "CMakeFiles/boss_accel.dir/device.cc.o.d"
+  "libboss_accel.a"
+  "libboss_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

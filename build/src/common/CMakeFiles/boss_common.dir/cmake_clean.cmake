@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_common.dir/logging.cc.o"
+  "CMakeFiles/boss_common.dir/logging.cc.o.d"
+  "CMakeFiles/boss_common.dir/rng.cc.o"
+  "CMakeFiles/boss_common.dir/rng.cc.o.d"
+  "libboss_common.a"
+  "libboss_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

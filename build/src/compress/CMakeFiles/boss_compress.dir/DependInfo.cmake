@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bitpacking.cc" "src/compress/CMakeFiles/boss_compress.dir/bitpacking.cc.o" "gcc" "src/compress/CMakeFiles/boss_compress.dir/bitpacking.cc.o.d"
+  "/root/repo/src/compress/codec.cc" "src/compress/CMakeFiles/boss_compress.dir/codec.cc.o" "gcc" "src/compress/CMakeFiles/boss_compress.dir/codec.cc.o.d"
+  "/root/repo/src/compress/datapath.cc" "src/compress/CMakeFiles/boss_compress.dir/datapath.cc.o" "gcc" "src/compress/CMakeFiles/boss_compress.dir/datapath.cc.o.d"
+  "/root/repo/src/compress/pfordelta.cc" "src/compress/CMakeFiles/boss_compress.dir/pfordelta.cc.o" "gcc" "src/compress/CMakeFiles/boss_compress.dir/pfordelta.cc.o.d"
+  "/root/repo/src/compress/simple16.cc" "src/compress/CMakeFiles/boss_compress.dir/simple16.cc.o" "gcc" "src/compress/CMakeFiles/boss_compress.dir/simple16.cc.o.d"
+  "/root/repo/src/compress/simple8b.cc" "src/compress/CMakeFiles/boss_compress.dir/simple8b.cc.o" "gcc" "src/compress/CMakeFiles/boss_compress.dir/simple8b.cc.o.d"
+  "/root/repo/src/compress/varbyte.cc" "src/compress/CMakeFiles/boss_compress.dir/varbyte.cc.o" "gcc" "src/compress/CMakeFiles/boss_compress.dir/varbyte.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/boss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_compress.dir/bitpacking.cc.o"
+  "CMakeFiles/boss_compress.dir/bitpacking.cc.o.d"
+  "CMakeFiles/boss_compress.dir/codec.cc.o"
+  "CMakeFiles/boss_compress.dir/codec.cc.o.d"
+  "CMakeFiles/boss_compress.dir/datapath.cc.o"
+  "CMakeFiles/boss_compress.dir/datapath.cc.o.d"
+  "CMakeFiles/boss_compress.dir/pfordelta.cc.o"
+  "CMakeFiles/boss_compress.dir/pfordelta.cc.o.d"
+  "CMakeFiles/boss_compress.dir/simple16.cc.o"
+  "CMakeFiles/boss_compress.dir/simple16.cc.o.d"
+  "CMakeFiles/boss_compress.dir/simple8b.cc.o"
+  "CMakeFiles/boss_compress.dir/simple8b.cc.o.d"
+  "CMakeFiles/boss_compress.dir/varbyte.cc.o"
+  "CMakeFiles/boss_compress.dir/varbyte.cc.o.d"
+  "libboss_compress.a"
+  "libboss_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_engine.dir/cursor.cc.o"
+  "CMakeFiles/boss_engine.dir/cursor.cc.o.d"
+  "CMakeFiles/boss_engine.dir/execute.cc.o"
+  "CMakeFiles/boss_engine.dir/execute.cc.o.d"
+  "CMakeFiles/boss_engine.dir/plan.cc.o"
+  "CMakeFiles/boss_engine.dir/plan.cc.o.d"
+  "CMakeFiles/boss_engine.dir/streams.cc.o"
+  "CMakeFiles/boss_engine.dir/streams.cc.o.d"
+  "libboss_engine.a"
+  "libboss_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/block_decoder.cc" "src/index/CMakeFiles/boss_index.dir/block_decoder.cc.o" "gcc" "src/index/CMakeFiles/boss_index.dir/block_decoder.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/index/CMakeFiles/boss_index.dir/inverted_index.cc.o" "gcc" "src/index/CMakeFiles/boss_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/index/lexicon.cc" "src/index/CMakeFiles/boss_index.dir/lexicon.cc.o" "gcc" "src/index/CMakeFiles/boss_index.dir/lexicon.cc.o.d"
+  "/root/repo/src/index/memory_layout.cc" "src/index/CMakeFiles/boss_index.dir/memory_layout.cc.o" "gcc" "src/index/CMakeFiles/boss_index.dir/memory_layout.cc.o.d"
+  "/root/repo/src/index/serialize.cc" "src/index/CMakeFiles/boss_index.dir/serialize.cc.o" "gcc" "src/index/CMakeFiles/boss_index.dir/serialize.cc.o.d"
+  "/root/repo/src/index/text_builder.cc" "src/index/CMakeFiles/boss_index.dir/text_builder.cc.o" "gcc" "src/index/CMakeFiles/boss_index.dir/text_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/boss_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/boss_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

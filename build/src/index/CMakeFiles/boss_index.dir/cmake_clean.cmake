@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_index.dir/block_decoder.cc.o"
+  "CMakeFiles/boss_index.dir/block_decoder.cc.o.d"
+  "CMakeFiles/boss_index.dir/inverted_index.cc.o"
+  "CMakeFiles/boss_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/boss_index.dir/lexicon.cc.o"
+  "CMakeFiles/boss_index.dir/lexicon.cc.o.d"
+  "CMakeFiles/boss_index.dir/memory_layout.cc.o"
+  "CMakeFiles/boss_index.dir/memory_layout.cc.o.d"
+  "CMakeFiles/boss_index.dir/serialize.cc.o"
+  "CMakeFiles/boss_index.dir/serialize.cc.o.d"
+  "CMakeFiles/boss_index.dir/text_builder.cc.o"
+  "CMakeFiles/boss_index.dir/text_builder.cc.o.d"
+  "libboss_index.a"
+  "libboss_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_mem.dir/memory_system.cc.o"
+  "CMakeFiles/boss_mem.dir/memory_system.cc.o.d"
+  "libboss_mem.a"
+  "libboss_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_model.dir/core.cc.o"
+  "CMakeFiles/boss_model.dir/core.cc.o.d"
+  "CMakeFiles/boss_model.dir/runner.cc.o"
+  "CMakeFiles/boss_model.dir/runner.cc.o.d"
+  "CMakeFiles/boss_model.dir/system.cc.o"
+  "CMakeFiles/boss_model.dir/system.cc.o.d"
+  "CMakeFiles/boss_model.dir/trace.cc.o"
+  "CMakeFiles/boss_model.dir/trace.cc.o.d"
+  "libboss_model.a"
+  "libboss_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

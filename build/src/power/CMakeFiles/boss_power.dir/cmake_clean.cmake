@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_power.dir/power.cc.o"
+  "CMakeFiles/boss_power.dir/power.cc.o.d"
+  "libboss_power.a"
+  "libboss_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_sim.dir/event_queue.cc.o"
+  "CMakeFiles/boss_sim.dir/event_queue.cc.o.d"
+  "libboss_sim.a"
+  "libboss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

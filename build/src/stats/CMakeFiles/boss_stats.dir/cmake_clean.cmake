@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_stats.dir/stats.cc.o"
+  "CMakeFiles/boss_stats.dir/stats.cc.o.d"
+  "libboss_stats.a"
+  "libboss_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

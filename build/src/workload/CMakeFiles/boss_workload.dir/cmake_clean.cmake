@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_workload.dir/corpus.cc.o"
+  "CMakeFiles/boss_workload.dir/corpus.cc.o.d"
+  "CMakeFiles/boss_workload.dir/queries.cc.o"
+  "CMakeFiles/boss_workload.dir/queries.cc.o.d"
+  "CMakeFiles/boss_workload.dir/synthetic_streams.cc.o"
+  "CMakeFiles/boss_workload.dir/synthetic_streams.cc.o.d"
+  "libboss_workload.a"
+  "libboss_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libboss_workload.a"
+)

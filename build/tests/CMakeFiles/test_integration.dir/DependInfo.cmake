@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/test_integration.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/boss_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/boss_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/boss_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/boss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/boss_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/boss_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/boss_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/boss_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/boss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

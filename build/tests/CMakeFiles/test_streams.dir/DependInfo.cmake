@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_streams.cc" "tests/CMakeFiles/test_streams.dir/test_streams.cc.o" "gcc" "tests/CMakeFiles/test_streams.dir/test_streams.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/boss_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/boss_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/boss_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/boss_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/boss_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_compress[1]_include.cmake")
+include("/root/repo/build/tests/test_datapath[1]_include.cmake")
+include("/root/repo/build/tests/test_index[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_device_api[1]_include.cmake")
+include("/root/repo/build/tests/test_streams[1]_include.cmake")
+include("/root/repo/build/tests/test_text[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_indexer.dir/boss_indexer.cc.o"
+  "CMakeFiles/boss_indexer.dir/boss_indexer.cc.o.d"
+  "boss_indexer"
+  "boss_indexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_indexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boss_search.dir/boss_search.cc.o"
+  "CMakeFiles/boss_search.dir/boss_search.cc.o.d"
+  "boss_search"
+  "boss_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boss_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
