@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Host-side batch throughput vs thread-pool size.
+ *
+ * Sweeps the thread pool over {1, 2, 4, 8} workers, runs the same
+ * query batch through parallel trace building at each size, and
+ * reports wall-clock time and queries/second to stdout and to
+ * BENCH_throughput.json. The batch results are checked identical to
+ * the single-thread run at every size (the pool's determinism
+ * contract), so the sweep doubles as a stress test.
+ *
+ * Speedup is bounded by the machine: the JSON records
+ * hardware_concurrency so a reader can tell a 1-core container's
+ * flat curve from a real scaling regression.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "benchutil.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace
+{
+
+using namespace boss;
+using Clock = std::chrono::steady_clock;
+
+struct Sample
+{
+    std::size_t threads;
+    double seconds;
+    double qps;
+};
+
+double
+timeBatch(const bench::Dataset &data, std::size_t repeats,
+          std::vector<model::QueryTrace> *out)
+{
+    auto start = Clock::now();
+    for (std::size_t r = 0; r < repeats; ++r) {
+        auto traces = model::buildTraces(data.index, data.layout,
+                                         data.queries,
+                                         model::SystemKind::Boss);
+        if (out != nullptr && r == 0)
+            *out = std::move(traces);
+    }
+    return std::chrono::duration<double>(Clock::now() - start).count() /
+           static_cast<double>(repeats);
+}
+
+} // namespace
+
+int
+main()
+{
+    workload::CorpusConfig cfg;
+    cfg.name = "scaling";
+    cfg.numDocs = 200'000;
+    cfg.vocabSize = 5'000;
+    cfg.seed = 42;
+    auto data = bench::makeDataset(cfg, 50, 7);
+    const std::size_t repeats = 3;
+    const unsigned hw = std::thread::hardware_concurrency();
+
+    std::printf("batch: %zu queries, %u docs, hardware threads: %u\n",
+                data.queries.size(), cfg.numDocs, hw);
+    std::printf("%-8s %12s %12s %9s\n", "threads", "seconds", "qps",
+                "speedup");
+
+    std::vector<model::QueryTrace> reference;
+    std::vector<Sample> samples;
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+        common::ThreadPool::setGlobalThreads(threads);
+        std::vector<model::QueryTrace> traces;
+        double seconds = timeBatch(data, repeats, &traces);
+
+        // Determinism check against the single-thread run.
+        if (threads == 1) {
+            reference = std::move(traces);
+        } else {
+            BOSS_ASSERT(traces.size() == reference.size(),
+                        "trace count changed with thread count");
+            for (std::size_t i = 0; i < traces.size(); ++i) {
+                BOSS_ASSERT(traces[i].segments.size() ==
+                                    reference[i].segments.size() &&
+                                traces[i].evaluatedDocs ==
+                                    reference[i].evaluatedDocs &&
+                                traces[i].catAccesses ==
+                                    reference[i].catAccesses,
+                            "parallel trace diverged from serial");
+            }
+        }
+
+        double qps = static_cast<double>(data.queries.size()) / seconds;
+        samples.push_back({threads, seconds, qps});
+        std::printf("%-8zu %12.4f %12.1f %8.2fx\n", threads, seconds,
+                    qps, samples.front().seconds / seconds);
+    }
+
+    std::FILE *json = std::fopen("BENCH_throughput.json", "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "cannot write BENCH_throughput.json\n");
+        return 1;
+    }
+    std::fprintf(json,
+                 "{\n  \"bench\": \"throughput_scaling\",\n"
+                 "  \"queries\": %zu,\n  \"repeats\": %zu,\n"
+                 "  \"hardware_concurrency\": %u,\n  \"sweep\": [\n",
+                 data.queries.size(), repeats, hw);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        std::fprintf(json,
+                     "    {\"threads\": %zu, \"wall_seconds\": %.6f, "
+                     "\"queries_per_second\": %.2f, "
+                     "\"speedup_vs_1\": %.3f}%s\n",
+                     s.threads, s.seconds, s.qps,
+                     samples.front().seconds / s.seconds,
+                     i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_throughput.json\n");
+    return 0;
+}

@@ -156,20 +156,25 @@ makeArgs(const workload::Query &query, ResultRecord *resultBuffer,
     return args;
 }
 
-int
-search(const SearchArgs &args)
+namespace
 {
-    if (!initialized()) {
-        BOSS_WARN("search() before init()");
-        return -1;
-    }
+
+/**
+ * Validate one search() argument pack against the initialized
+ * device: term count, result buffer, expression terms, and the
+ * caller-supplied per-term scheme/address metadata. Warns and
+ * returns false on the first violation (the intrinsic's -1 path).
+ */
+bool
+validateArgs(const SearchArgs &args)
+{
     if (args.nTerm == 0 || args.nTerm > kMaxTerms) {
         BOSS_WARN("search(): nTerm out of range: ", args.nTerm);
-        return -1;
+        return false;
     }
     if (args.resultAddr == nullptr || args.resultSize == 0) {
         BOSS_WARN("search(): no result buffer");
-        return -1;
+        return false;
     }
 
     accel::Device &dev = device();
@@ -187,10 +192,11 @@ search(const SearchArgs &args)
         return t;
     };
     auto expr = engine::parseExpression(args.qExpression, resolver);
+    (void)expr;
     if (seen.size() != args.nTerm) {
         BOSS_WARN("search(): expression has ", seen.size(),
                   " terms but nTerm=", args.nTerm);
-        return -1;
+        return false;
     }
 
     // Validate the caller-supplied per-term metadata.
@@ -198,28 +204,81 @@ search(const SearchArgs &args)
         TermId t = seen[i];
         if (args.compType[i] != dev.index().list(t).scheme) {
             BOSS_WARN("search(): compType[", i, "] mismatch");
-            return -1;
+            return false;
         }
         if (args.listAddr[i] != dev.layout().list(t).metaAddr) {
             BOSS_WARN("search(): listAddr[", i, "] mismatch");
-            return -1;
+            return false;
         }
         // The decompression module must be programmed for it.
         if (state().programs.find(args.compType[i]) ==
             state().programs.end()) {
             BOSS_WARN("search(): scheme not programmed");
-            return -1;
+            return false;
         }
     }
+    return true;
+}
 
-    auto outcome = dev.search(args.qExpression);
+/** Copy a top-k list into the caller's buffer; returns the count. */
+int
+writeResults(const SearchArgs &args,
+             const std::vector<engine::Result> &topk)
+{
     std::uint32_t n = static_cast<std::uint32_t>(
-        std::min<std::size_t>(outcome.topk.size(), args.resultSize));
-    for (std::uint32_t i = 0; i < n; ++i) {
-        args.resultAddr[i] =
-            ResultRecord{outcome.topk[i].doc, outcome.topk[i].score};
-    }
+        std::min<std::size_t>(topk.size(), args.resultSize));
+    for (std::uint32_t i = 0; i < n; ++i)
+        args.resultAddr[i] = ResultRecord{topk[i].doc, topk[i].score};
     return static_cast<int>(n);
+}
+
+} // namespace
+
+int
+search(const SearchArgs &args)
+{
+    if (!initialized()) {
+        BOSS_WARN("search() before init()");
+        return -1;
+    }
+    if (!validateArgs(args))
+        return -1;
+    auto outcome = device().search(args.qExpression);
+    return writeResults(args, outcome.topk);
+}
+
+std::vector<int>
+searchBatch(const std::vector<SearchArgs> &batch)
+{
+    std::vector<int> counts(batch.size(), -1);
+    if (!initialized()) {
+        BOSS_WARN("searchBatch() before init()");
+        return counts;
+    }
+
+    // Validate everything up front; invalid queries drop out of the
+    // submission (their count stays -1) without poisoning the batch.
+    std::vector<std::size_t> submitted;
+    std::vector<std::string> exprs;
+    submitted.reserve(batch.size());
+    exprs.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (validateArgs(batch[i])) {
+            submitted.push_back(i);
+            exprs.push_back(batch[i].qExpression);
+        }
+    }
+    if (exprs.empty())
+        return counts;
+
+    auto outcome = device().searchBatch(exprs);
+    BOSS_ASSERT(outcome.perQuery.size() == exprs.size(),
+                "batch outcome must carry one top-k per query");
+    for (std::size_t j = 0; j < submitted.size(); ++j) {
+        counts[submitted[j]] =
+            writeResults(batch[submitted[j]], outcome.perQuery[j]);
+    }
+    return counts;
 }
 
 } // namespace boss::api

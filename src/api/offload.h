@@ -80,6 +80,18 @@ bool initialized();
 int search(const SearchArgs &args);
 
 /**
+ * Offload a batch of queries in one device submission. The device
+ * executes the batch concurrently across its cores (host-side trace
+ * building fans out over the thread pool); each query's top-k is
+ * written to its own args.resultAddr. Returns one count per query,
+ * in submission order, with the same meaning as search()'s return
+ * value: queries failing validation get -1 and do not execute,
+ * without affecting the rest of the batch. Results are bit-identical
+ * to calling search() on each element in order.
+ */
+std::vector<int> searchBatch(const std::vector<SearchArgs> &batch);
+
+/**
  * Helper: assemble SearchArgs for a workload query against the
  * initialized device (fills compType/listAddr from the index).
  */

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "engine/plan.h"
 #include "engine/topk.h"
 #include "index/serialize.h"
@@ -124,36 +125,71 @@ Device::runPlans(const std::vector<engine::QueryPlan> &plans)
     wideOptions.flags.storeAllResults = true;
     wideOptions.k = std::numeric_limits<std::size_t>::max() / 2;
 
-    SearchOutcome outcome;
-    std::vector<model::QueryTrace> traces;
-    traces.reserve(plans.size());
-    for (const auto &plan : plans) {
+    // Phase 1, parallel: every plan's functional execution + trace
+    // build is independent of the others (the index and layout are
+    // immutable), so the batch fans out across the host thread pool.
+    // Plan i writes only runs[i]; a wide plan's subqueries stay
+    // sequential inside its slot so its host-side merge is
+    // order-stable. The serial aggregation below walks runs[] in
+    // submission order, making the outcome (results, counters and
+    // trace order) bit-identical to the old serial loop.
+    struct PlanRun
+    {
+        std::vector<model::QueryTrace> traces;
+        std::vector<engine::Result> topk;
+        std::uint64_t evaluatedDocs = 0;
+        std::uint64_t skippedDocs = 0;
+    };
+    std::vector<PlanRun> runs(plans.size());
+    common::ThreadPool &pool = common::ThreadPool::global();
+    std::vector<engine::QueryArena> arenas(pool.size());
+    pool.parallelFor(plans.size(), [&](std::size_t i,
+                                       std::size_t worker) {
+        engine::QueryArena &arena = arenas[worker];
+        const engine::QueryPlan &plan = plans[i];
+        PlanRun &run = runs[i];
         if (plan.allTerms.size() > api_detail::kMaxHwTerms) {
             // Host-managed split: gather and merge on the host.
             std::map<DocId, Score> merged;
             for (const auto &sub : splitWidePlan(plan)) {
                 std::vector<engine::Result> partial;
-                traces.push_back(model::buildTrace(
-                    *index_, *layout_, sub, wideOptions, &partial));
-                outcome.evaluatedDocs += traces.back().evaluatedDocs;
+                run.traces.push_back(
+                    model::buildTrace(*index_, *layout_, sub,
+                                      wideOptions, &partial, &arena));
+                arena.reset();
+                run.evaluatedDocs += run.traces.back().evaluatedDocs;
                 for (const auto &r : partial)
                     merged[r.doc] += r.score;
             }
             engine::TopK topk(config_.k);
             for (const auto &[doc, score] : merged)
                 topk.insert(doc, score);
-            outcome.topk = topk.sorted();
-            continue;
+            run.topk = topk.sorted();
+            return;
         }
-        std::vector<engine::Result> results;
-        traces.push_back(model::buildTrace(*index_, *layout_, plan,
-                                           options, &results));
-        outcome.evaluatedDocs += traces.back().evaluatedDocs;
-        outcome.skippedDocs += traces.back().skippedDocs;
-        // The batch outcome carries the last query's results when
-        // batching; single-query callers get exactly their results.
-        outcome.topk = std::move(results);
+        run.traces.push_back(model::buildTrace(
+            *index_, *layout_, plan, options, &run.topk, &arena));
+        arena.reset();
+        run.evaluatedDocs = run.traces.back().evaluatedDocs;
+        run.skippedDocs = run.traces.back().skippedDocs;
+    });
+
+    // Phase 2, serial: aggregate in submission order and replay the
+    // whole batch on one event-driven device model.
+    SearchOutcome outcome;
+    std::vector<model::QueryTrace> traces;
+    traces.reserve(plans.size());
+    for (PlanRun &run : runs) {
+        for (auto &t : run.traces)
+            traces.push_back(std::move(t));
+        outcome.evaluatedDocs += run.evaluatedDocs;
+        outcome.skippedDocs += run.skippedDocs;
+        outcome.perQuery.push_back(std::move(run.topk));
     }
+    // The combined outcome carries the last query's results when
+    // batching; single-query callers get exactly their results.
+    if (!outcome.perQuery.empty())
+        outcome.topk = outcome.perQuery.back();
 
     model::SystemConfig sys;
     sys.kind = config_.kind;
@@ -169,8 +205,8 @@ Device::runPlans(const std::vector<engine::QueryPlan> &plans)
     return outcome;
 }
 
-SearchOutcome
-Device::search(const std::string &qExpression)
+engine::QueryPlan
+Device::planExpression(const std::string &qExpression)
 {
     // With a lexicon loaded, quoted terms are words; otherwise the
     // synthetic t<N> naming applies.
@@ -187,7 +223,13 @@ Device::search(const std::string &qExpression)
         resolver = engine::defaultTermResolver;
     }
     auto expr = engine::parseExpression(qExpression, resolver);
-    return runPlans({engine::planQuery(expr)});
+    return engine::planQuery(expr);
+}
+
+SearchOutcome
+Device::search(const std::string &qExpression)
+{
+    return runPlans({planExpression(qExpression)});
 }
 
 SearchOutcome
@@ -203,6 +245,16 @@ Device::searchBatch(const std::vector<workload::Query> &queries)
     plans.reserve(queries.size());
     for (const auto &q : queries)
         plans.push_back(engine::planQuery(q));
+    return runPlans(plans);
+}
+
+SearchOutcome
+Device::searchBatch(const std::vector<std::string> &qExpressions)
+{
+    std::vector<engine::QueryPlan> plans;
+    plans.reserve(qExpressions.size());
+    for (const auto &q : qExpressions)
+        plans.push_back(planExpression(q));
     return runPlans(plans);
 }
 

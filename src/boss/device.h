@@ -44,6 +44,13 @@ struct SearchOutcome
     std::uint64_t deviceBytes = 0; ///< SCM traffic for this search
     std::uint64_t evaluatedDocs = 0;
     std::uint64_t skippedDocs = 0;
+    /**
+     * Per-query top-k lists, one per submitted query in submission
+     * order (topk is a copy of the last entry). simSeconds is the
+     * batch makespan: queries share the device, so per-query times
+     * are not separable.
+     */
+    std::vector<std::vector<engine::Result>> perQuery;
 };
 
 class Device
@@ -84,6 +91,10 @@ class Device
     SearchOutcome
     searchBatch(const std::vector<workload::Query> &queries);
 
+    /** Serve a batch of API expression strings (see search()). */
+    SearchOutcome
+    searchBatch(const std::vector<std::string> &qExpressions);
+
     /** Cumulative simulated busy time across all searches. */
     double totalSimSeconds() const { return totalSeconds_; }
     std::uint64_t totalQueries() const { return totalQueries_; }
@@ -92,6 +103,9 @@ class Device
 
   private:
     SearchOutcome runPlans(const std::vector<engine::QueryPlan> &plans);
+
+    /** Parse an API expression with the device's term resolver. */
+    engine::QueryPlan planExpression(const std::string &qExpression);
 
     DeviceConfig config_;
     std::optional<index::InvertedIndex> index_;

@@ -1,0 +1,184 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace boss::common
+{
+
+namespace
+{
+
+/**
+ * True while the current thread is executing pool work; nested
+ * parallelFor calls from inside a job degrade to inline loops
+ * instead of deadlocking on the pool's own workers.
+ */
+thread_local bool insidePoolJob = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0) {
+        threads = std::max<std::size_t>(
+            1, std::thread::hardware_concurrency());
+    }
+    size_ = threads;
+    // The calling thread is execution slot 0; spawn the rest.
+    workers_.reserve(size_ - 1);
+    for (std::size_t w = 1; w < size_; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::runChunks(std::size_t workerId)
+{
+    for (;;) {
+        std::size_t begin, end;
+        const std::function<void(std::size_t, std::size_t)> *fn;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            begin = job_.nextChunk * job_.chunk;
+            if (begin >= job_.n)
+                return;
+            ++job_.nextChunk;
+            end = std::min(begin + job_.chunk, job_.n);
+            fn = job_.fn;
+        }
+        std::exception_ptr error;
+        for (std::size_t i = begin; i < end; ++i) {
+            if (error == nullptr) {
+                try {
+                    (*fn)(i, workerId);
+                } catch (...) {
+                    error = std::current_exception();
+                }
+            }
+        }
+        bool finished;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (error != nullptr && job_.error == nullptr)
+                job_.error = error;
+            job_.pending -= end - begin;
+            finished = job_.pending == 0;
+        }
+        if (finished)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop(std::size_t workerId)
+{
+    insidePoolJob = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stopping_ || generation_ != seen;
+            });
+            if (stopping_)
+                return;
+            seen = generation_;
+        }
+        runChunks(workerId);
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (size_ == 1 || n == 1 || insidePoolJob) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i, 0);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_.n = n;
+        // Several chunks per worker so an expensive item does not
+        // serialize its chunk-mates behind it, while chunks stay
+        // large enough to amortize the claim lock.
+        job_.chunk = std::max<std::size_t>(1, n / (size_ * 4));
+        job_.nextChunk = 0;
+        job_.pending = n;
+        job_.fn = &fn;
+        job_.error = nullptr;
+        ++generation_;
+    }
+    wake_.notify_all();
+    // The caller participates as slot 0 instead of idling.
+    insidePoolJob = true;
+    runChunks(0);
+    insidePoolJob = false;
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return job_.pending == 0; });
+        job_.fn = nullptr;
+        error = job_.error;
+    }
+    if (error != nullptr)
+        std::rethrow_exception(error);
+}
+
+namespace
+{
+
+std::unique_ptr<ThreadPool> &
+globalSlot()
+{
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+std::mutex &
+globalMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(globalMutex());
+    auto &slot = globalSlot();
+    if (slot == nullptr)
+        slot = std::make_unique<ThreadPool>();
+    return *slot;
+}
+
+void
+ThreadPool::setGlobalThreads(std::size_t threads)
+{
+    std::lock_guard<std::mutex> lock(globalMutex());
+    auto &slot = globalSlot();
+    if (slot != nullptr && threads != 0 && slot->size() == threads)
+        return; // already the requested size
+    slot = std::make_unique<ThreadPool>(threads);
+}
+
+} // namespace boss::common

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fixed-size worker thread pool with a deterministic parallel-for.
+ *
+ * The pool is the repo's one concurrency primitive: batch query
+ * execution, trace building and the benches all funnel through
+ * parallelFor(). Determinism contract: the function is invoked
+ * exactly once for every index i in [0, n), and callers place the
+ * result of item i into slot i of a preallocated output — so the
+ * assembled output is bit-identical to a serial loop regardless of
+ * the worker count or the interleaving of chunks across workers.
+ * Workers share nothing else; anything mutable must be per-item (or
+ * per-worker via the workerId passed to the callback).
+ */
+
+#ifndef BOSS_COMMON_THREAD_POOL_H
+#define BOSS_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace boss::common
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 means hardware_concurrency()
+     *        (at least 1). A pool of size 1 runs everything inline
+     *        on the calling thread — no workers are spawned.
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of execution slots (workers, or 1 when inline). */
+    std::size_t size() const { return size_; }
+
+    /**
+     * Invoke fn(i, workerId) once for every i in [0, n), spreading
+     * contiguous chunks over the workers; blocks until all items
+     * completed. workerId < size() identifies the executing slot so
+     * callers can keep per-worker scratch (e.g. a QueryArena).
+     *
+     * The first exception thrown by fn is rethrown on the calling
+     * thread after all workers have drained. Not reentrant: calls
+     * from inside a pool job run the loop inline on that worker.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t item,
+                                              std::size_t workerId)> &fn);
+
+    /** Convenience overload without the workerId argument. */
+    void
+    parallelFor(std::size_t n,
+                const std::function<void(std::size_t item)> &fn)
+    {
+        parallelFor(n, [&fn](std::size_t i, std::size_t) { fn(i); });
+    }
+
+    /**
+     * The process-wide pool used by the batch search paths. Created
+     * on first use with hardware_concurrency() workers.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Resize the global pool (e.g. the --threads flag, the scaling
+     * bench). Must not be called while a parallelFor is in flight.
+     */
+    static void setGlobalThreads(std::size_t threads);
+
+  private:
+    struct Job
+    {
+        std::size_t n = 0;
+        std::size_t chunk = 1;
+        std::size_t nextChunk = 0;   ///< next chunk index to claim
+        std::size_t pending = 0;     ///< items not yet completed
+        const std::function<void(std::size_t, std::size_t)> *fn =
+            nullptr;
+        std::exception_ptr error;
+    };
+
+    void workerLoop(std::size_t workerId);
+    /** Claim and run chunks of the active job until it is drained. */
+    void runChunks(std::size_t workerId);
+
+    std::size_t size_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;  ///< workers wait for a job
+    std::condition_variable done_;  ///< caller waits for completion
+    Job job_;
+    std::uint64_t generation_ = 0; ///< bumps when a new job is posted
+    bool stopping_ = false;
+};
+
+} // namespace boss::common
+
+#endif // BOSS_COMMON_THREAD_POOL_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reusable per-query scratch buffers.
+ *
+ * Every cursor and probe in a query decodes 128-entry blocks into
+ * heap vectors; without pooling, each query allocates (and frees) a
+ * fresh set. A QueryArena hands out docID/tf buffers whose capacity
+ * survives reset(), so a worker thread serving a batch of queries
+ * allocates only on its first query and then runs allocation-free on
+ * the decode path. Arenas are not thread-safe: each pool worker owns
+ * one and threads it through buildStreams()/executeQuery().
+ */
+
+#ifndef BOSS_ENGINE_ARENA_H
+#define BOSS_ENGINE_ARENA_H
+
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+
+namespace boss::engine
+{
+
+class QueryArena
+{
+  public:
+    /**
+     * Borrow a docID buffer until the next reset(). References stay
+     * valid across further acquisitions (deque storage).
+     */
+    std::vector<DocId> &
+    docBuffer()
+    {
+        if (docsUsed_ == docBufs_.size())
+            docBufs_.emplace_back();
+        return docBufs_[docsUsed_++];
+    }
+
+    /** Borrow a term-frequency buffer until the next reset(). */
+    std::vector<TermFreq> &
+    tfBuffer()
+    {
+        if (tfsUsed_ == tfBufs_.size())
+            tfBufs_.emplace_back();
+        return tfBufs_[tfsUsed_++];
+    }
+
+    /**
+     * Return every borrowed buffer to the pool (capacity is kept).
+     * Call between queries, after the previous query's streams are
+     * destroyed.
+     */
+    void
+    reset()
+    {
+        docsUsed_ = 0;
+        tfsUsed_ = 0;
+    }
+
+  private:
+    std::deque<std::vector<DocId>> docBufs_;
+    std::deque<std::vector<TermFreq>> tfBufs_;
+    std::size_t docsUsed_ = 0;
+    std::size_t tfsUsed_ = 0;
+};
+
+} // namespace boss::engine
+
+#endif // BOSS_ENGINE_ARENA_H

@@ -7,8 +7,10 @@ namespace boss::engine
 {
 
 ListCursor::ListCursor(const index::CompressedPostingList &list,
-                       ExecHooks *hooks)
-    : list_(list), hooks_(hooks)
+                       ExecHooks *hooks, QueryArena *arena)
+    : list_(list), hooks_(hooks),
+      docs_(arena != nullptr ? &arena->docBuffer() : &ownedDocs_),
+      tfs_(arena != nullptr ? &arena->tfBuffer() : &ownedTfs_)
 {
     if (list_.numBlocks() == 0) {
         ended_ = true;
@@ -22,8 +24,12 @@ ListCursor::setBlock(std::uint32_t b)
 {
     block_ = b;
     pos_ = 0;
-    decoded_ = false;
-    tfLoaded_ = false;
+    // A block already sitting in the decode buffer needs no second
+    // decode (the per-stream decoded-block cache); forward-only
+    // traversal makes this a pure memo, never an invalidation
+    // hazard.
+    decoded_ = decodedBlock_ == b;
+    tfLoaded_ = decoded_ && tfLoaded_;
     if (hooks_ != nullptr)
         hooks_->onMetaRead(list_.term, 1);
 }
@@ -34,12 +40,14 @@ ListCursor::ensureDecoded()
     if (decoded_)
         return;
     decoded_ = true;
+    tfLoaded_ = false;
+    decodedBlock_ = block_;
     ++blocksLoaded_;
     if (hooks_ != nullptr) {
         hooks_->onDocBlockLoad(list_.term, list_.blocks[block_]);
         hooks_->onDecode(list_.blocks[block_].numElems);
     }
-    index::decodeBlock(list_, block_, docs_, nullptr);
+    index::decodeBlock(list_, block_, *docs_, nullptr);
 }
 
 DocId
@@ -48,7 +56,7 @@ ListCursor::doc() const
     BOSS_ASSERT(!ended_, "doc() on exhausted cursor");
     if (!decoded_)
         return list_.blocks[block_].firstDoc; // pos_ is 0
-    return docs_[pos_];
+    return (*docs_)[pos_];
 }
 
 TermFreq
@@ -62,10 +70,9 @@ ListCursor::tf()
             hooks_->onTfBlockLoad(list_.term, list_.blocks[block_]);
             hooks_->onDecode(list_.blocks[block_].numElems);
         }
-        std::vector<DocId> scratch;
-        index::decodeBlock(list_, block_, scratch, &tfs_);
+        index::decodeBlockTfs(list_, block_, *tfs_);
     }
-    return tfs_[pos_];
+    return (*tfs_)[pos_];
 }
 
 void
@@ -73,7 +80,7 @@ ListCursor::next()
 {
     BOSS_ASSERT(!ended_, "next() on exhausted cursor");
     ensureDecoded();
-    if (pos_ + 1 < docs_.size()) {
+    if (pos_ + 1 < docs_->size()) {
         ++pos_;
         return;
     }
@@ -91,10 +98,11 @@ ListCursor::advanceTo(DocId target)
         return;
 
     // Within the current block? (blockLast >= target guarantees the
-    // in-block scan terminates.)
+    // in-block scan terminates.) If the block is already decoded
+    // this touches no memory beyond the scan itself.
     if (target <= blockLast()) {
         ensureDecoded();
-        while (docs_[pos_] < target)
+        while ((*docs_)[pos_] < target)
             ++pos_;
         return;
     }
@@ -124,7 +132,7 @@ ListCursor::advanceTo(DocId target)
     setBlock(b);
     if (target > list_.blocks[b].firstDoc) {
         ensureDecoded();
-        while (docs_[pos_] < target)
+        while ((*docs_)[pos_] < target)
             ++pos_;
     }
 }
@@ -134,7 +142,7 @@ ListCursor::skipPastBlock()
 {
     BOSS_ASSERT(!ended_, "skipPastBlock() on exhausted cursor");
     std::uint64_t remaining =
-        decoded_ ? docs_.size() - pos_ : list_.blocks[block_].numElems;
+        decoded_ ? docs_->size() - pos_ : list_.blocks[block_].numElems;
     if (hooks_ != nullptr) {
         if (remaining > 0)
             hooks_->onSkippedDocs(remaining);

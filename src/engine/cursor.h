@@ -10,6 +10,11 @@
  * fetch module skip whole blocks -- decided from metadata alone --
  * without ever paying their SCM traffic. Every load/decode/skip
  * fires an ExecHooks callback so timing models can charge for it.
+ *
+ * Decode scratch comes from an optional QueryArena so batch loops
+ * run allocation-free; the cursor memoizes the decoded block and the
+ * tf payload is decoded on its own (never re-decoding the docIDs it
+ * rides with).
  */
 
 #ifndef BOSS_ENGINE_CURSOR_H
@@ -17,6 +22,7 @@
 
 #include <vector>
 
+#include "engine/arena.h"
 #include "engine/hooks.h"
 #include "index/compressed_list.h"
 
@@ -29,9 +35,11 @@ class ListCursor
     /**
      * @param list the compressed posting list to traverse
      * @param hooks instrumentation sink (may be nullptr)
+     * @param arena scratch-buffer pool (may be nullptr; the cursor
+     *        then owns its decode buffers)
      */
     ListCursor(const index::CompressedPostingList &list,
-               ExecHooks *hooks);
+               ExecHooks *hooks, QueryArena *arena = nullptr);
 
     /** Exhausted? Once true, doc() is invalid. */
     bool atEnd() const { return ended_; }
@@ -54,7 +62,8 @@ class ListCursor
     /**
      * Advance to the first posting with docID >= @p target. Seeks at
      * block granularity first (metadata only; skipped blocks are
-     * never fetched), then scans within the landing block.
+     * never fetched), then scans within the landing block. Landing
+     * in the already-decoded block never re-decodes.
      */
     void advanceTo(DocId target);
 
@@ -103,6 +112,9 @@ class ListCursor
     /** Fetch + decode the current block's doc payload if needed. */
     void ensureDecoded();
 
+    /** No block decoded yet (decodedBlock_ sentinel). */
+    static constexpr std::uint32_t kNoBlock = 0xFFFFFFFFu;
+
     const index::CompressedPostingList &list_;
     ExecHooks *hooks_;
     std::uint32_t block_ = 0;  ///< current block index
@@ -110,9 +122,12 @@ class ListCursor
     bool ended_ = false;
     bool decoded_ = false;
     bool tfLoaded_ = false;
+    std::uint32_t decodedBlock_ = kNoBlock; ///< block docs_ holds
     std::uint32_t blocksLoaded_ = 0;
-    std::vector<DocId> docs_;
-    std::vector<TermFreq> tfs_;
+    std::vector<DocId> *docs_;    ///< decode scratch (arena or owned)
+    std::vector<TermFreq> *tfs_;
+    std::vector<DocId> ownedDocs_;     ///< fallback when no arena
+    std::vector<TermFreq> ownedTfs_;
 };
 
 } // namespace boss::engine

@@ -24,6 +24,22 @@ scoreMatches(const index::InvertedIndex &index, DocId d,
 {
     float norm = index.doc(d).norm;
     Score total = 0.f;
+    if (matches.size() > 16) {
+        // Wide matches (host-managed or gang queries): sort by term
+        // once and skip adjacent duplicates, instead of the
+        // quadratic backward scan.
+        std::sort(matches.begin(), matches.end(),
+                  [](const TermMatch &a, const TermMatch &b) {
+                      return a.term < b.term;
+                  });
+        for (std::size_t i = 0; i < matches.size(); ++i) {
+            if (i > 0 && matches[i].term == matches[i - 1].term)
+                continue;
+            total += index.scorer().termScore(matches[i].idf,
+                                              matches[i].tf, norm);
+        }
+        return total;
+    }
     // n <= 16 terms: linear dedup beats hashing.
     for (std::size_t i = 0; i < matches.size(); ++i) {
         bool dup = false;
@@ -44,17 +60,23 @@ scoreMatches(const index::InvertedIndex &index, DocId d,
 /**
  * The unified union/top-k loop: WAND pivoting (union module) plus
  * block-level refinement (block fetch module), both optional.
+ *
+ * `live` is kept sorted by current docID for the whole loop. An
+ * iteration only ever advances a *prefix* of `live` (the streams at
+ * or below the pivot / current doc); restoring order is therefore a
+ * matter of re-inserting just those streams -- the suffix never
+ * moves. This replaces the former per-iteration full std::sort, and
+ * the per-stream lastBlockChecked field replaces a std::map keyed by
+ * stream pointer, so the steady-state loop touches no allocator.
  */
 std::vector<Result>
 unionLoop(const index::InvertedIndex &index, const QueryPlan &plan,
-          std::size_t k, const ExecFlags &flags, ExecHooks *hooks)
+          std::size_t k, const ExecFlags &flags, ExecHooks *hooks,
+          QueryArena *arena)
 {
-    auto streams = buildStreams(index, plan, hooks);
+    auto streams = buildStreams(index, plan, hooks, arena);
     TopK topk(k);
     std::uint64_t resultBytes = 0;
-    // Per-stream memo of the last block inspected by the block fetch
-    // module (keyed by the block's end docID).
-    std::map<DocStream *, DocId> blockChecked;
 
     std::vector<DocStream *> live;
     live.reserve(streams.size());
@@ -62,16 +84,32 @@ unionLoop(const index::InvertedIndex &index, const QueryPlan &plan,
         if (!s->atEnd())
             live.push_back(s.get());
     }
+    std::stable_sort(live.begin(), live.end(),
+                     [](DocStream *a, DocStream *b) {
+                         return a->doc() < b->doc();
+                     });
+
+    // Re-establish order after live[0, m) advanced (or ended): pull
+    // the prefix out and re-insert each surviving stream after all
+    // streams with an equal or smaller doc. Deterministic, and O(m
+    // log n + moves) instead of O(n log n) per iteration.
+    std::vector<DocStream *> moved;
+    moved.reserve(live.size());
+    auto reorderPrefix = [&](std::size_t m) {
+        moved.assign(live.begin(), live.begin() + m);
+        live.erase(live.begin(), live.begin() + m);
+        for (DocStream *s : moved) {
+            if (s->atEnd())
+                continue;
+            auto it = std::upper_bound(
+                live.begin(), live.end(), s->doc(),
+                [](DocId d, DocStream *t) { return d < t->doc(); });
+            live.insert(it, s);
+        }
+    };
 
     std::vector<TermMatch> matches;
     while (!live.empty()) {
-        std::erase_if(live, [](DocStream *s) { return s->atEnd(); });
-        if (live.empty())
-            break;
-        std::sort(live.begin(), live.end(),
-                  [](DocStream *a, DocStream *b) {
-                      return a->doc() < b->doc();
-                  });
         if (hooks != nullptr)
             hooks->onUnionStep();
 
@@ -98,6 +136,7 @@ unionLoop(const index::InvertedIndex &index, const QueryPlan &plan,
                         hooks->onSkippedDocs(1);
                     live[i]->advanceTo(pivot);
                 }
+                reorderPrefix(p);
                 continue;
             }
         }
@@ -118,12 +157,9 @@ unionLoop(const index::InvertedIndex &index, const QueryPlan &plan,
             for (std::size_t i = 0; i <= q; ++i) {
                 DocStream *s = live[i];
                 DocId key = s->blockEnd();
-                auto [it, fresh] = blockChecked.try_emplace(s, key);
-                if (!fresh) {
-                    if (it->second == key)
-                        continue; // this block already inspected
-                    it->second = key;
-                }
+                if (s->lastBlockChecked == key)
+                    continue; // this block already inspected
+                s->lastBlockChecked = key;
                 DocId lo = s->doc();
                 float ub = 0.f;
                 for (DocStream *other : live)
@@ -133,8 +169,10 @@ unionLoop(const index::InvertedIndex &index, const QueryPlan &plan,
                     skipped = true;
                 }
             }
-            if (skipped)
+            if (skipped) {
+                reorderPrefix(q + 1);
                 continue;
+            }
         }
 
         matches.clear();
@@ -153,6 +191,7 @@ unionLoop(const index::InvertedIndex &index, const QueryPlan &plan,
 
         for (std::size_t i = 0; i <= q; ++i)
             live[i]->next();
+        reorderPrefix(q + 1);
     }
 
     if (flags.storeAllResults && hooks != nullptr)
@@ -175,8 +214,11 @@ struct IiuCandidate
 class IiuProber
 {
   public:
-    IiuProber(const index::CompressedPostingList &list, ExecHooks *hooks)
-        : list_(list), hooks_(hooks)
+    IiuProber(const index::CompressedPostingList &list, ExecHooks *hooks,
+              QueryArena *arena)
+        : list_(list), hooks_(hooks),
+          docs_(arena != nullptr ? &arena->docBuffer() : &ownedDocs_),
+          tfs_(arena != nullptr ? &arena->tfBuffer() : &ownedTfs_)
     {}
 
     /**
@@ -209,12 +251,12 @@ class IiuProber
                 hooks_->onProbeBlockLoad(list_.term, list_.blocks[lo]);
                 hooks_->onDecode(list_.blocks[lo].numElems);
             }
-            index::decodeBlock(list_, lo, docs_, &tfs_);
+            index::decodeBlock(list_, lo, *docs_, tfs_);
         }
-        auto it = std::lower_bound(docs_.begin(), docs_.end(), d);
+        auto it = std::lower_bound(docs_->begin(), docs_->end(), d);
         if (hooks_ != nullptr)
             hooks_->onCompare(8); // ~log2(128) comparisons
-        if (it == docs_.end() || *it != d)
+        if (it == docs_->end() || *it != d)
             return 0;
         if (!tfLoaded_) {
             tfLoaded_ = true;
@@ -223,7 +265,7 @@ class IiuProber
                 hooks_->onDecode(list_.blocks[lo].numElems);
             }
         }
-        return tfs_[static_cast<std::size_t>(it - docs_.begin())];
+        return (*tfs_)[static_cast<std::size_t>(it - docs_->begin())];
     }
 
   private:
@@ -233,20 +275,26 @@ class IiuProber
     bool tfLoaded_ = false;
     std::uint32_t cachedBlock_ = 0;
     std::uint32_t searchBase_ = 0;
-    std::vector<DocId> docs_;
-    std::vector<TermFreq> tfs_;
+    std::vector<DocId> *docs_;
+    std::vector<TermFreq> *tfs_;
+    std::vector<DocId> ownedDocs_;
+    std::vector<TermFreq> ownedTfs_;
 };
 
 /** Fully decode a list, charging sequential loads (IIU base list). */
 std::vector<IiuCandidate>
 iiuDecodeList(const index::InvertedIndex &index, TermId t,
-              ExecHooks *hooks)
+              ExecHooks *hooks, QueryArena *arena)
 {
     const auto &list = index.list(t);
     std::vector<IiuCandidate> out;
     out.reserve(list.docCount);
-    std::vector<DocId> docs;
-    std::vector<TermFreq> tfs;
+    std::vector<DocId> ownedDocs;
+    std::vector<TermFreq> ownedTfs;
+    std::vector<DocId> &docs =
+        arena != nullptr ? arena->docBuffer() : ownedDocs;
+    std::vector<TermFreq> &tfs =
+        arena != nullptr ? arena->tfBuffer() : ownedTfs;
     for (std::uint32_t b = 0; b < list.numBlocks(); ++b) {
         if (hooks != nullptr) {
             hooks->onMetaRead(t, 1);
@@ -271,7 +319,8 @@ iiuDecodeList(const index::InvertedIndex &index, TermId t,
  */
 std::vector<Result>
 iiuIntersectPath(const index::InvertedIndex &index, const QueryPlan &plan,
-                 std::size_t k, const ExecFlags &flags, ExecHooks *hooks)
+                 std::size_t k, const ExecFlags &flags, ExecHooks *hooks,
+                 QueryArena *arena)
 {
     // Determine the conjunction structure: either one pure group, or
     // the factored common ^ (rest1 v rest2 v ...) shape.
@@ -311,13 +360,13 @@ iiuIntersectPath(const index::InvertedIndex &index, const QueryPlan &plan,
     std::vector<IiuCandidate> current;
     std::vector<TermId> probeTerms;
     if (unionTerms.empty()) {
-        current = iiuDecodeList(index, commonTerms[0], hooks);
+        current = iiuDecodeList(index, commonTerms[0], hooks, arena);
         probeTerms.assign(commonTerms.begin() + 1, commonTerms.end());
     } else {
         // Merge the union terms' lists (exhaustive, all loaded).
         std::map<DocId, float> merged;
         for (TermId t : unionTerms) {
-            for (const auto &c : iiuDecodeList(index, t, hooks)) {
+            for (const auto &c : iiuDecodeList(index, t, hooks, arena)) {
                 if (hooks != nullptr)
                     hooks->onCompare(1);
                 merged[c.doc] += c.partialScore;
@@ -336,7 +385,7 @@ iiuIntersectPath(const index::InvertedIndex &index, const QueryPlan &plan,
     for (std::size_t pi = 0; pi < probeTerms.size(); ++pi) {
         TermId t = probeTerms[pi];
         const auto &list = index.list(t);
-        IiuProber prober(list, hooks);
+        IiuProber prober(list, hooks, arena);
         std::vector<IiuCandidate> next;
         next.reserve(current.size());
         for (const auto &c : current) {
@@ -411,14 +460,15 @@ hasConjunctiveCore(const QueryPlan &plan)
 
 std::vector<Result>
 executeQuery(const index::InvertedIndex &index, const QueryPlan &plan,
-             std::size_t k, const ExecFlags &flags, ExecHooks *hooks)
+             std::size_t k, const ExecFlags &flags, ExecHooks *hooks,
+             QueryArena *arena)
 {
     BOSS_ASSERT(!plan.groups.empty(), "empty query plan");
     if (flags.binaryIntersect && !plan.isPureUnion() &&
         hasConjunctiveCore(plan)) {
-        return iiuIntersectPath(index, plan, k, flags, hooks);
+        return iiuIntersectPath(index, plan, k, flags, hooks, arena);
     }
-    return unionLoop(index, plan, k, flags, hooks);
+    return unionLoop(index, plan, k, flags, hooks, arena);
 }
 
 std::vector<Result>

@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "engine/arena.h"
 #include "engine/hooks.h"
 #include "engine/plan.h"
 #include "engine/topk.h"
@@ -49,11 +50,13 @@ inline constexpr std::size_t kDefaultTopK = 1000;
 /**
  * Execute @p plan against @p index and return the top-k results in
  * rank order. @p hooks may be nullptr for pure functional use.
+ * @p arena, when non-null, supplies reusable decode scratch (reset it
+ * between queries); results are identical with or without it.
  */
 std::vector<Result>
 executeQuery(const index::InvertedIndex &index, const QueryPlan &plan,
              std::size_t k, const ExecFlags &flags,
-             ExecHooks *hooks = nullptr);
+             ExecHooks *hooks = nullptr, QueryArena *arena = nullptr);
 
 /**
  * Brute-force oracle: decodes every posting list fully and scores

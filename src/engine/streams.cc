@@ -239,25 +239,26 @@ namespace
 
 std::unique_ptr<DocStream>
 makeTermStream(const index::InvertedIndex &index, TermId t,
-               ExecHooks *hooks)
+               ExecHooks *hooks, QueryArena *arena)
 {
-    return std::make_unique<TermStream>(index.list(t), hooks);
+    return std::make_unique<TermStream>(index.list(t), hooks, arena);
 }
 
 /** AND-group over raw terms, most selective list leading. */
 std::unique_ptr<DocStream>
 makeGroupStream(const index::InvertedIndex &index,
-                std::vector<TermId> terms, ExecHooks *hooks)
+                std::vector<TermId> terms, ExecHooks *hooks,
+                QueryArena *arena)
 {
     if (terms.size() == 1)
-        return makeTermStream(index, terms[0], hooks);
+        return makeTermStream(index, terms[0], hooks, arena);
     std::sort(terms.begin(), terms.end(), [&](TermId a, TermId b) {
         return index.list(a).docCount < index.list(b).docCount;
     });
     std::vector<std::unique_ptr<DocStream>> members;
     members.reserve(terms.size());
     for (TermId t : terms)
-        members.push_back(makeTermStream(index, t, hooks));
+        members.push_back(makeTermStream(index, t, hooks, arena));
     return std::make_unique<AndStream>(std::move(members), hooks);
 }
 
@@ -265,7 +266,7 @@ makeGroupStream(const index::InvertedIndex &index,
 
 std::vector<std::unique_ptr<DocStream>>
 buildStreams(const index::InvertedIndex &index, const QueryPlan &plan,
-             ExecHooks *hooks)
+             ExecHooks *hooks, QueryArena *arena)
 {
     BOSS_ASSERT(!plan.groups.empty(), "empty query plan");
     std::vector<std::unique_ptr<DocStream>> streams;
@@ -301,7 +302,7 @@ buildStreams(const index::InvertedIndex &index, const QueryPlan &plan,
                 std::vector<std::unique_ptr<DocStream>> orMembers;
                 for (const auto &rest : rests)
                     orMembers.push_back(
-                        makeTermStream(index, rest[0], hooks));
+                        makeTermStream(index, rest[0], hooks, arena));
                 std::vector<std::unique_ptr<DocStream>> andMembers;
                 // Most selective common term leads the conjunction.
                 std::sort(common.begin(), common.end(),
@@ -311,7 +312,7 @@ buildStreams(const index::InvertedIndex &index, const QueryPlan &plan,
                           });
                 for (TermId t : common)
                     andMembers.push_back(
-                        makeTermStream(index, t, hooks));
+                        makeTermStream(index, t, hooks, arena));
                 andMembers.push_back(std::make_unique<OrStream>(
                     std::move(orMembers), hooks));
                 streams.push_back(std::make_unique<AndStream>(
@@ -322,7 +323,7 @@ buildStreams(const index::InvertedIndex &index, const QueryPlan &plan,
     }
 
     for (const auto &g : plan.groups)
-        streams.push_back(makeGroupStream(index, g, hooks));
+        streams.push_back(makeGroupStream(index, g, hooks, arena));
     return streams;
 }
 

@@ -71,6 +71,14 @@ class DocStream
 
     /** Collect (term, tf) contributions at the current doc. */
     virtual void collectMatches(std::vector<TermMatch> &out) = 0;
+
+    /**
+     * Block fetch module memo: blockEnd() of the last block this
+     * stream was inspected on by block-level early termination.
+     * Plain per-stream state (streams live for one query) so the
+     * block-skip path touches no associative containers.
+     */
+    DocId lastBlockChecked = kInvalidDocId;
 };
 
 /**
@@ -80,8 +88,8 @@ class TermStream : public DocStream
 {
   public:
     TermStream(const index::CompressedPostingList &list,
-               ExecHooks *hooks)
-        : cursor_(list, hooks)
+               ExecHooks *hooks, QueryArena *arena = nullptr)
+        : cursor_(list, hooks, arena)
     {}
 
     bool atEnd() const override { return cursor_.atEnd(); }
@@ -179,10 +187,14 @@ class OrStream : public DocStream
  * Build the stream tree for a plan. Factors a term set common to all
  * groups into an enclosing AndStream (so Q6's A AND (B OR C OR D)
  * fetches A once), otherwise returns one stream per group.
+ *
+ * @p arena, when non-null, supplies every cursor's decode scratch;
+ * it must outlive the returned streams and be reset() only after
+ * they are destroyed.
  */
 std::vector<std::unique_ptr<DocStream>>
 buildStreams(const index::InvertedIndex &index, const QueryPlan &plan,
-             ExecHooks *hooks);
+             ExecHooks *hooks, QueryArena *arena = nullptr);
 
 } // namespace boss::engine
 

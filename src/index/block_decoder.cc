@@ -27,12 +27,21 @@ decodeBlock(const CompressedPostingList &list, std::uint32_t b,
         d = acc;
     }
 
-    if (tfs != nullptr) {
-        tfs->resize(meta.numElems);
-        std::span<const std::uint8_t> tfBytes(
-            list.tfPayload.data() + meta.tfOffset, meta.tfBytes);
-        codec.decode(tfBytes, *tfs);
-    }
+    if (tfs != nullptr)
+        decodeBlockTfs(list, b, *tfs);
+}
+
+void
+decodeBlockTfs(const CompressedPostingList &list, std::uint32_t b,
+               std::vector<TermFreq> &tfs)
+{
+    BOSS_ASSERT(b < list.numBlocks(), "block index out of range");
+    const BlockMeta &meta = list.blocks[b];
+    const compress::Codec &codec = compress::codecFor(list.scheme);
+    tfs.resize(meta.numElems);
+    std::span<const std::uint8_t> tfBytes(
+        list.tfPayload.data() + meta.tfOffset, meta.tfBytes);
+    codec.decode(tfBytes, tfs);
 }
 
 PostingList

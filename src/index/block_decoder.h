@@ -27,6 +27,14 @@ void decodeBlock(const CompressedPostingList &list, std::uint32_t b,
                  std::vector<DocId> &docs,
                  std::vector<TermFreq> *tfs);
 
+/**
+ * Decode only the tf payload of block @p b (resized to the block's
+ * count). Lets a caller that already decoded the doc payload fetch
+ * the tf sidecar lazily without re-decoding the docIDs.
+ */
+void decodeBlockTfs(const CompressedPostingList &list, std::uint32_t b,
+                    std::vector<TermFreq> &tfs);
+
 /** Decode the entire list back to postings (testing oracle). */
 PostingList decodeAll(const CompressedPostingList &list);
 

@@ -1,5 +1,6 @@
 #include "model/runner.h"
 
+#include "common/thread_pool.h"
 #include "engine/plan.h"
 
 namespace boss::model
@@ -12,12 +13,25 @@ buildTraces(const index::InvertedIndex &index,
             SystemKind kind, std::size_t k)
 {
     TraceOptions options = traceOptionsFor(kind, k);
-    std::vector<QueryTrace> traces;
-    traces.reserve(queries.size());
-    for (const auto &q : queries) {
-        engine::QueryPlan plan = engine::planQuery(q);
-        traces.push_back(buildTrace(index, layout, plan, options));
-    }
+    std::vector<QueryTrace> traces(queries.size());
+
+    // Trace building is per-query pure over the immutable index, so
+    // the batch fans out across the pool. Query i always lands in
+    // traces[i] and each build is single-threaded internally, so the
+    // output is bit-identical to the serial loop at any thread count.
+    // Replay stays serial: it is one event-driven simulation.
+    common::ThreadPool &pool = common::ThreadPool::global();
+    std::vector<engine::QueryArena> arenas(pool.size());
+    pool.parallelFor(queries.size(),
+                     [&](std::size_t i, std::size_t worker) {
+                         engine::QueryArena &arena = arenas[worker];
+                         engine::QueryPlan plan =
+                             engine::planQuery(queries[i]);
+                         traces[i] = buildTrace(index, layout, plan,
+                                                options, nullptr,
+                                                &arena);
+                         arena.reset();
+                     });
     return traces;
 }
 

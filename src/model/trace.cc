@@ -263,13 +263,14 @@ QueryTrace
 buildTrace(const index::InvertedIndex &index,
            const index::MemoryLayout &layout,
            const engine::QueryPlan &plan, const TraceOptions &options,
-           std::vector<engine::Result> *results)
+           std::vector<engine::Result> *results,
+           engine::QueryArena *arena)
 {
     QueryTrace trace;
     trace.numTerms = static_cast<std::uint32_t>(plan.allTerms.size());
     TraceBuilder builder(index, layout, options, trace);
     auto topk = engine::executeQuery(index, plan, options.k,
-                                     options.flags, &builder);
+                                     options.flags, &builder, arena);
     // The winning top-k list itself crosses the link to the host.
     if (!options.flags.storeAllResults)
         trace.resultStoreBytes += topk.size() * 8;

@@ -134,12 +134,18 @@ struct TraceOptions
 /**
  * Build the trace for @p plan. Also returns the functional top-k so
  * callers can cross-check results across system models.
+ *
+ * Trace building is pure w.r.t. the (immutable) index and layout, so
+ * distinct queries may build concurrently; @p arena is optional
+ * per-caller decode scratch (one arena per thread, reset between
+ * queries) and never changes the produced trace or results.
  */
 QueryTrace buildTrace(const index::InvertedIndex &index,
                       const index::MemoryLayout &layout,
                       const engine::QueryPlan &plan,
                       const TraceOptions &options,
-                      std::vector<engine::Result> *results = nullptr);
+                      std::vector<engine::Result> *results = nullptr,
+                      engine::QueryArena *arena = nullptr);
 
 } // namespace boss::model
 

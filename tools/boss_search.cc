@@ -4,21 +4,27 @@
  * simulated accelerator.
  *
  * Usage:
- *   boss_search <index.idx> [query...]
+ *   boss_search [--threads N] <index.idx> [query...]
  *
  * With query arguments, runs each and exits; otherwise reads queries
  * from stdin (one per line). Queries use the offloading-API grammar
  * with quoted terms, e.g.:  "storage" AND ("memory" OR "disk")
  * A bare list of words is treated as their OR.
+ *
+ * --threads N sizes the host thread pool used for batch trace
+ * building (default: all hardware threads). Results never depend on
+ * the thread count.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "boss/device.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "index/text_builder.h"
 
 namespace
@@ -68,21 +74,36 @@ runQuery(boss::accel::Device &device, const std::string &raw)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr, "usage: %s <index.idx> [query...]\n",
+    int argi = 1;
+    if (argi < argc && std::string(argv[argi]) == "--threads") {
+        long n = argi + 1 < argc
+                     ? std::strtol(argv[argi + 1], nullptr, 10)
+                     : 0;
+        if (n < 1) {
+            std::fprintf(stderr, "--threads wants a positive count\n");
+            return 2;
+        }
+        boss::common::ThreadPool::setGlobalThreads(
+            static_cast<std::size_t>(n));
+        argi += 2;
+    }
+    if (argi >= argc) {
+        std::fprintf(stderr,
+                     "usage: %s [--threads N] <index.idx> [query...]\n",
                      argv[0]);
         return 2;
     }
 
     boss::accel::Device device;
-    device.loadTextIndexFile(argv[1]);
+    device.loadTextIndexFile(argv[argi]);
+    ++argi;
     std::printf("loaded %u docs / %u terms; device: %u BOSS cores, "
                 "4-channel SCM\n",
                 device.index().numDocs(), device.lexicon().size(),
                 device.config().cores);
 
-    if (argc > 2) {
-        for (int i = 2; i < argc; ++i) {
+    if (argi < argc) {
+        for (int i = argi; i < argc; ++i) {
             std::printf("\nquery: %s\n", argv[i]);
             runQuery(device, argv[i]);
         }
