@@ -2,11 +2,32 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
 #include "common/logging.h"
 
 namespace boss::bench
 {
+
+void
+JsonReport::set(stats::Group &g, const std::string &key, double v,
+                const std::string &desc)
+{
+    scalars_.emplace_back();
+    scalars_.back().set(v);
+    g.addScalar(key, &scalars_.back(), desc);
+}
+
+void
+JsonReport::write(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        BOSS_FATAL("cannot write '", path, "'");
+    root_.dumpJson(os);
+    os << '\n';
+    std::printf("wrote %s\n", path.c_str());
+}
 
 Dataset
 makeDataset(const workload::CorpusConfig &corpusCfg,

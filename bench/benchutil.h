@@ -8,11 +8,13 @@
 #ifndef BOSS_BENCH_BENCHUTIL_H
 #define BOSS_BENCH_BENCHUTIL_H
 
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "model/runner.h"
+#include "stats/stats.h"
 #include "workload/corpus.h"
 #include "workload/queries.h"
 
@@ -60,6 +62,32 @@ class TraceSet
     model::SystemKind kind_;
     std::map<workload::QueryType, std::vector<model::QueryTrace>>
         traces_;
+};
+
+/**
+ * Machine-readable bench output through the stats framework: build
+ * a stats::Group tree of named values, then write() serializes it
+ * with Group::dumpJson (the same exporter boss_search --stats-json
+ * uses), so every BENCH_*.json shares one schema. The report owns
+ * the scalar storage its leaves point at.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(const std::string &name) : root_(name) {}
+
+    stats::Group &root() { return root_; }
+
+    /** Add value @p v as a scalar leaf named @p key under @p g. */
+    void set(stats::Group &g, const std::string &key, double v,
+             const std::string &desc = "");
+
+    /** Serialize the tree to @p path and log the write to stdout. */
+    void write(const std::string &path) const;
+
+  private:
+    stats::Group root_;
+    std::deque<stats::Scalar> scalars_; ///< stable leaf addresses
 };
 
 /** Geometric mean (values must be positive). */

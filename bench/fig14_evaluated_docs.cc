@@ -39,9 +39,12 @@ main()
     // Evaluated docs are a property of the algorithm flags alone, so
     // we only need the traces (no hardware replay).
     std::printf("%-18s %8s %8s %8s\n", "system", "Q1", "Q3", "Q5");
+    JsonReport report("fig14_evaluated_docs");
     std::map<workload::QueryType, double> baseline;
     for (SystemKind kind : {SystemKind::Iiu, SystemKind::BossBlockOnly,
                             SystemKind::Boss}) {
+        auto &g =
+            report.root().subgroup(std::string(systemName(kind)));
         std::printf("%-18s", systemName(kind).data());
         for (auto type : types) {
             std::uint64_t evaluated = 0;
@@ -52,11 +55,18 @@ main()
                 evaluated += t.evaluatedDocs;
             if (kind == SystemKind::Iiu)
                 baseline[type] = static_cast<double>(evaluated);
-            std::printf(" %8.3f",
-                        static_cast<double>(evaluated) /
-                            baseline[type]);
+            double normalized =
+                static_cast<double>(evaluated) / baseline[type];
+            std::printf(" %8.3f", normalized);
+            std::string name(workload::queryTypeName(type));
+            report.set(g, name, normalized,
+                       "evaluated docs normalized to IIU");
+            report.set(g, name + "_evaluated",
+                       static_cast<double>(evaluated),
+                       "absolute evaluated (scored) docs");
         }
         std::printf("\n");
     }
+    report.write("BENCH_fig14.json");
     return 0;
 }

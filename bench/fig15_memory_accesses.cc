@@ -36,7 +36,10 @@ main()
                         .data());
     std::printf(" %10s\n", "Total");
 
+    JsonReport report("fig15_memory_accesses");
     for (auto type : workload::kAllQueryTypes) {
+        auto &typeGroup = report.root().subgroup(
+            std::string(workload::queryTypeName(type)));
         double iiuTotal = 0.0;
         for (SystemKind kind : {SystemKind::Iiu, SystemKind::Boss}) {
             std::array<std::uint64_t, mem::kNumCategories> acc{};
@@ -51,14 +54,27 @@ main()
                 total += static_cast<double>(v);
             if (kind == SystemKind::Iiu)
                 iiuTotal = total;
+            auto &g = typeGroup.subgroup(
+                std::string(systemName(kind)));
             std::printf("%-6s %-8s",
                         workload::queryTypeName(type).data(),
                         systemName(kind).data());
-            for (auto v : acc)
-                std::printf(" %10.4f",
-                            static_cast<double>(v) / iiuTotal);
+            for (std::size_t c = 0; c < mem::kNumCategories; ++c) {
+                double normalized =
+                    static_cast<double>(acc[c]) / iiuTotal;
+                std::printf(" %10.4f", normalized);
+                report.set(
+                    g,
+                    std::string(mem::categoryName(
+                        static_cast<mem::Category>(c))),
+                    normalized,
+                    "64B accesses normalized to IIU total");
+            }
             std::printf(" %10.4f\n", total / iiuTotal);
+            report.set(g, "total", total / iiuTotal,
+                       "all categories, normalized to IIU total");
         }
     }
+    report.write("BENCH_fig15.json");
     return 0;
 }

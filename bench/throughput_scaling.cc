@@ -101,28 +101,25 @@ main()
                     qps, samples.front().seconds / seconds);
     }
 
-    std::FILE *json = std::fopen("BENCH_throughput.json", "w");
-    if (json == nullptr) {
-        std::fprintf(stderr, "cannot write BENCH_throughput.json\n");
-        return 1;
+    bench::JsonReport report("throughput_scaling");
+    report.set(report.root(), "queries",
+               static_cast<double>(data.queries.size()),
+               "queries per batch");
+    report.set(report.root(), "repeats", static_cast<double>(repeats),
+               "timed repeats per sweep point");
+    report.set(report.root(), "hardware_concurrency",
+               static_cast<double>(hw),
+               "std::thread::hardware_concurrency()");
+    for (const Sample &s : samples) {
+        auto &g = report.root().subgroup("threads" +
+                                         std::to_string(s.threads));
+        report.set(g, "wall_seconds", s.seconds,
+                   "mean wall time per batch");
+        report.set(g, "queries_per_second", s.qps, "batch throughput");
+        report.set(g, "speedup_vs_1",
+                   samples.front().seconds / s.seconds,
+                   "throughput relative to one worker");
     }
-    std::fprintf(json,
-                 "{\n  \"bench\": \"throughput_scaling\",\n"
-                 "  \"queries\": %zu,\n  \"repeats\": %zu,\n"
-                 "  \"hardware_concurrency\": %u,\n  \"sweep\": [\n",
-                 data.queries.size(), repeats, hw);
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-        const Sample &s = samples[i];
-        std::fprintf(json,
-                     "    {\"threads\": %zu, \"wall_seconds\": %.6f, "
-                     "\"queries_per_second\": %.2f, "
-                     "\"speedup_vs_1\": %.3f}%s\n",
-                     s.threads, s.seconds, s.qps,
-                     samples.front().seconds / s.seconds,
-                     i + 1 < samples.size() ? "," : "");
-    }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
-    std::printf("wrote BENCH_throughput.json\n");
+    report.write("BENCH_throughput.json");
     return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <map>
+#include <sstream>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -143,11 +144,20 @@ Device::runPlans(const std::vector<engine::QueryPlan> &plans)
     std::vector<PlanRun> runs(plans.size());
     common::ThreadPool &pool = common::ThreadPool::global();
     std::vector<engine::QueryArena> arenas(pool.size());
+    std::uint64_t scopeBase =
+        recorder_ != nullptr ? recorder_->beginPhase() : 0;
     pool.parallelFor(plans.size(), [&](std::size_t i,
                                        std::size_t worker) {
         engine::QueryArena &arena = arenas[worker];
         const engine::QueryPlan &plan = plans[i];
         PlanRun &run = runs[i];
+        trace::Scope scope;
+        std::uint16_t lane = 0;
+        if (recorder_ != nullptr) {
+            scope = recorder_->scope(worker, scopeBase + i);
+            lane = recorder_->workerLane(worker);
+        }
+        double buildStart = scope.hostMicros();
         if (plan.allTerms.size() > api_detail::kMaxHwTerms) {
             // Host-managed split: gather and merge on the host.
             std::map<DocId, Score> merged;
@@ -155,7 +165,8 @@ Device::runPlans(const std::vector<engine::QueryPlan> &plans)
                 std::vector<engine::Result> partial;
                 run.traces.push_back(
                     model::buildTrace(*index_, *layout_, sub,
-                                      wideOptions, &partial, &arena));
+                                      wideOptions, &partial, &arena,
+                                      scope, lane));
                 arena.reset();
                 run.evaluatedDocs += run.traces.back().evaluatedDocs;
                 for (const auto &r : partial)
@@ -165,13 +176,21 @@ Device::runPlans(const std::vector<engine::QueryPlan> &plans)
             for (const auto &[doc, score] : merged)
                 topk.insert(doc, score);
             run.topk = topk.sorted();
-            return;
+        } else {
+            run.traces.push_back(model::buildTrace(
+                *index_, *layout_, plan, options, &run.topk, &arena,
+                scope, lane));
+            arena.reset();
+            run.evaluatedDocs = run.traces.back().evaluatedDocs;
+            run.skippedDocs = run.traces.back().skippedDocs;
         }
-        run.traces.push_back(model::buildTrace(
-            *index_, *layout_, plan, options, &run.topk, &arena));
-        arena.reset();
-        run.evaluatedDocs = run.traces.back().evaluatedDocs;
-        run.skippedDocs = run.traces.back().skippedDocs;
+        if (scope) {
+            scope.span(lane, "build", buildStart,
+                       scope.hostMicros() - buildStart,
+                       {{"plan", i},
+                        {"terms", plan.allTerms.size()},
+                        {"subqueries", run.traces.size()}});
+        }
     });
 
     // Phase 2, serial: aggregate in submission order and replay the
@@ -196,13 +215,51 @@ Device::runPlans(const std::vector<engine::QueryPlan> &plans)
     sys.cores = config_.cores;
     sys.mem = config_.mem;
     sys.link = config_.link;
-    auto metrics = model::replayTraces(traces, sys);
+    model::ReplayObservers observers;
+    observers.recorder = recorder_;
+    std::vector<model::QueryTiming> timings;
+    if (summariesEnabled_)
+        observers.timings = &timings;
+    std::ostringstream statsCapture;
+    if (statsCaptureEnabled_) {
+        observers.onModel = [&statsCapture](model::SystemModel &m) {
+            m.statsRoot().dumpJson(statsCapture);
+        };
+    }
+    auto metrics = model::replayTraces(traces, sys, observers);
     outcome.simSeconds = metrics.run.seconds;
     outcome.deviceBytes = metrics.run.deviceBytes;
+    if (statsCaptureEnabled_)
+        lastRunStatsJson_ = statsCapture.str();
+    if (summariesEnabled_) {
+        summaries_.clear();
+        for (std::size_t i = 0; i < traces.size(); ++i) {
+            trace::QuerySummary s = model::summarizeTrace(traces[i]);
+            s.query = i;
+            s.cycles = timings[i].cycles;
+            summaries_.push_back(s);
+        }
+    }
 
     totalSeconds_ += outcome.simSeconds;
     totalQueries_ += plans.size();
     return outcome;
+}
+
+void
+Device::writeStatsJson(std::ostream &os) const
+{
+    stats::Group poolGroup("host_pool");
+    common::ThreadPool::global().registerStats(poolGroup);
+    os << "{\n\"host_pool\":\n";
+    poolGroup.dumpJson(os, 0);
+    os << ",\n\"last_run\":\n";
+    if (lastRunStatsJson_.empty()) {
+        os << "null";
+    } else {
+        os << lastRunStatsJson_;
+    }
+    os << "\n}\n";
 }
 
 engine::QueryPlan

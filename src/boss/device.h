@@ -14,6 +14,7 @@
 
 #include <memory>
 #include <optional>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,8 @@
 #include "index/memory_layout.h"
 #include "index/text_builder.h"
 #include "model/runner.h"
+#include "trace/recorder.h"
+#include "trace/summary.h"
 
 namespace boss::accel
 {
@@ -101,6 +104,50 @@ class Device
 
     const DeviceConfig &config() const { return config_; }
 
+    // ---- Observability ----
+
+    /**
+     * Attach an event recorder observing subsequent searches (trace
+     * building on host-time lanes, replay on simulated-tick lanes).
+     * The recorder must outlive the searches; pass nullptr to detach.
+     */
+    void setRecorder(trace::Recorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
+    /**
+     * Record one QuerySummary per submitted query for each search;
+     * querySummaries() returns the latest batch. Summaries derive
+     * from the functional traces plus replay cycle counts, so they
+     * are bit-identical at any host thread count.
+     */
+    void enableQuerySummaries(bool enabled)
+    {
+        summariesEnabled_ = enabled;
+    }
+    const std::vector<trace::QuerySummary> &querySummaries() const
+    {
+        return summaries_;
+    }
+
+    /**
+     * Capture each search's replay stats tree so writeStatsJson can
+     * include it (off by default: serializing the tree after every
+     * search is not free).
+     */
+    void enableStatsCapture(bool enabled)
+    {
+        statsCaptureEnabled_ = enabled;
+    }
+
+    /**
+     * Write the device's observability stats as one JSON document:
+     * the host thread-pool group and (when capture is enabled) the
+     * last search's full simulation stats tree.
+     */
+    void writeStatsJson(std::ostream &os) const;
+
   private:
     SearchOutcome runPlans(const std::vector<engine::QueryPlan> &plans);
 
@@ -113,6 +160,12 @@ class Device
     std::optional<index::MemoryLayout> layout_;
     double totalSeconds_ = 0.0;
     std::uint64_t totalQueries_ = 0;
+
+    trace::Recorder *recorder_ = nullptr;
+    bool summariesEnabled_ = false;
+    bool statsCaptureEnabled_ = false;
+    std::vector<trace::QuerySummary> summaries_;
+    std::string lastRunStatsJson_;
 };
 
 } // namespace boss::accel

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 namespace boss::common
@@ -106,9 +107,11 @@ ThreadPool::parallelFor(
 {
     if (n == 0)
         return;
+    auto jobStart = std::chrono::steady_clock::now();
     if (size_ == 1 || n == 1 || insidePoolJob) {
         for (std::size_t i = 0; i < n; ++i)
             fn(i, 0);
+        sampleJob(n, jobStart);
         return;
     }
 
@@ -138,8 +141,34 @@ ThreadPool::parallelFor(
         job_.fn = nullptr;
         error = job_.error;
     }
+    sampleJob(n, jobStart);
     if (error != nullptr)
         std::rethrow_exception(error);
+}
+
+void
+ThreadPool::sampleJob(std::size_t n,
+                      std::chrono::steady_clock::time_point start)
+{
+    double micros = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++jobs_;
+    items_ += n;
+    queueDepth_.sample(static_cast<double>(n));
+    jobMicros_.sample(micros);
+}
+
+void
+ThreadPool::registerStats(stats::Group &group)
+{
+    group.addCounter("jobs", &jobs_, "parallelFor invocations");
+    group.addCounter("items", &items_, "work items executed");
+    group.addHistogram("queue_depth", &queueDepth_,
+                       "items queued per parallelFor job");
+    group.addHistogram("job_wall_us", &jobMicros_,
+                       "parallelFor wall time (us)");
 }
 
 namespace

@@ -16,6 +16,7 @@
 #ifndef BOSS_COMMON_THREAD_POOL_H
 #define BOSS_COMMON_THREAD_POOL_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -24,6 +25,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "stats/stats.h"
 
 namespace boss::common
 {
@@ -68,6 +71,15 @@ class ThreadPool
     }
 
     /**
+     * Register the pool's observability stats into @p group:
+     * per-job queue depth (items per parallelFor) and job latency
+     * histograms plus jobs/items counters. The pool outlives any
+     * registration made through the global() accessor, so pointers
+     * stay valid for the life of the process.
+     */
+    void registerStats(stats::Group &group);
+
+    /**
      * The process-wide pool used by the batch search paths. Created
      * on first use with hardware_concurrency() workers.
      */
@@ -94,6 +106,9 @@ class ThreadPool
     void workerLoop(std::size_t workerId);
     /** Claim and run chunks of the active job until it is drained. */
     void runChunks(std::size_t workerId);
+    /** Record one completed parallelFor into the stats (under lock). */
+    void sampleJob(std::size_t n,
+                   std::chrono::steady_clock::time_point start);
 
     std::size_t size_ = 1;
     std::vector<std::thread> workers_;
@@ -104,6 +119,12 @@ class ThreadPool
     Job job_;
     std::uint64_t generation_ = 0; ///< bumps when a new job is posted
     bool stopping_ = false;
+
+    // Observability (sampled once per parallelFor, under mutex_).
+    stats::Counter jobs_;
+    stats::Counter items_;
+    stats::Histogram queueDepth_{0.0, 4096.0, 64};
+    stats::Histogram jobMicros_{0.0, 1e6, 100};
 };
 
 } // namespace boss::common

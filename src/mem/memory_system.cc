@@ -70,6 +70,20 @@ MemorySystem::MemorySystem(const std::string &name, sim::EventQueue &eq,
             std::string(categoryName(cat)) + "_accesses",
             &catAccesses_[c]);
     }
+    statsGroup().addHistogram("req_latency_ns", &reqLatencyNs_,
+                              "request issue-to-completion (ns)");
+    statsGroup().addHistogram("chan_backlog_ns", &chanBacklogNs_,
+                              "channel backlog at chunk issue (ns)");
+}
+
+void
+MemorySystem::setTrace(trace::Scope scope,
+                       std::vector<std::uint16_t> chanLanes)
+{
+    BOSS_ASSERT(!scope || chanLanes.size() == channels_.size(),
+                "need one trace lane per memory channel");
+    traceScope_ = scope;
+    chanLanes_ = std::move(chanLanes);
 }
 
 Tick
@@ -160,13 +174,23 @@ MemorySystem::access(const MemRequest &req, std::function<void()> cb)
             BankedChannel &banked = bankedChannels_[ci];
             Addr burstAddr = addr;
             std::uint64_t left = chunk;
+            Tick chunkDone = now;
             while (left > 0) {
-                done = std::max(
-                    done, banked.access(now, burstAddr, req.write));
+                chunkDone = std::max(
+                    chunkDone,
+                    banked.access(now, burstAddr, req.write));
                 std::uint64_t burst = std::min<std::uint64_t>(
                     left, t.serviceUnit);
                 burstAddr += burst;
                 left -= burst;
+            }
+            done = std::max(done, chunkDone);
+            if (traceScope_) {
+                traceScope_.span(
+                    chanLanes_[ci], categoryName(req.category).data(),
+                    static_cast<double>(now),
+                    static_cast<double>(chunkDone - now),
+                    {{"bytes", chunk}, {"write", req.write ? 1u : 0u}});
             }
         } else {
             std::uint64_t busBytes =
@@ -177,6 +201,15 @@ MemorySystem::access(const MemRequest &req, std::function<void()> cb)
             ch.nextFree = begin + service;
             ch.busy += service;
             done = std::max(done, begin + service + latency);
+            chanBacklogNs_.sample(static_cast<double>(begin - now) /
+                                  1000.0);
+            if (traceScope_) {
+                traceScope_.span(
+                    chanLanes_[ci], categoryName(req.category).data(),
+                    static_cast<double>(begin),
+                    static_cast<double>(service),
+                    {{"bytes", chunk}, {"write", req.write ? 1u : 0u}});
+            }
         }
 
         addr += chunk;
@@ -200,6 +233,7 @@ MemorySystem::access(const MemRequest &req, std::function<void()> cb)
     std::size_t cat = static_cast<std::size_t>(req.category);
     catBytes_[cat] += req.bytes;
     ++catAccesses_[cat];
+    reqLatencyNs_.sample(static_cast<double>(done - now) / 1000.0);
 
     if (cb)
         eventQueue().schedule(done, std::move(cb));

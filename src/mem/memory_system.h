@@ -24,6 +24,7 @@
 #include "mem/banked_channel.h"
 #include "mem/config.h"
 #include "sim/sim_object.h"
+#include "trace/recorder.h"
 
 namespace boss::mem
 {
@@ -143,6 +144,15 @@ class MemorySystem : public sim::SimObject
 
     void resetStats();
 
+    /**
+     * Attach an event recorder: every serviced chunk becomes a span
+     * on its channel's lane (@p chanLanes must have one lane per
+     * channel), named after its traffic category. Pass a null scope
+     * to detach.
+     */
+    void setTrace(trace::Scope scope,
+                  std::vector<std::uint16_t> chanLanes);
+
   private:
     struct Channel
     {
@@ -167,6 +177,13 @@ class MemorySystem : public sim::SimObject
     stats::Counter randAcc_;
     stats::Counter catBytes_[kNumCategories];
     stats::Counter catAccesses_[kNumCategories];
+    /** End-to-end request latency (issue to completion), ns. */
+    stats::Histogram reqLatencyNs_{0.0, 20000.0, 100};
+    /** Channel backlog seen at chunk issue (queueing delay), ns. */
+    stats::Histogram chanBacklogNs_{0.0, 20000.0, 100};
+
+    trace::Scope traceScope_;
+    std::vector<std::uint16_t> chanLanes_;
 };
 
 } // namespace boss::mem

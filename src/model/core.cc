@@ -21,11 +21,12 @@ Core::Core(const std::string &name, sim::EventQueue &eq,
 
 void
 Core::execute(const QueryTrace *trace, std::function<void(Tick)> done,
-              std::uint32_t gangSize)
+              std::uint32_t gangSize, std::uint64_t queryId)
 {
     BOSS_ASSERT(trace_ == nullptr, name(), ": core already busy");
     trace_ = trace;
     gangSize_ = std::max(1u, gangSize);
+    queryId_ = queryId;
     done_ = std::move(done);
     startTick_ = eventQueue().now();
 
@@ -45,6 +46,7 @@ Core::execute(const QueryTrace *trace, std::function<void(Tick)> done,
     nextCompute_ = 0;
     stageFree_.fill(startTick_);
     lastComputeEnd_ = startTick_;
+    lastSegSpanEnd_ = startTick_;
     finishScheduled_ = false;
 
     advanceCompute();
@@ -123,7 +125,8 @@ Core::advanceCompute()
         const TraceSegment &seg = segments[nextCompute_];
         StageCycles cycles = costs_.stageCycles(
             seg.work, trace_->numTerms, gangSize_);
-        Tick t = std::max(readyTick_[nextCompute_], startTick_);
+        Tick segStart = std::max(readyTick_[nextCompute_], startTick_);
+        Tick t = segStart;
         for (std::size_t st = 0; st < kNumStages; ++st) {
             Tick start = std::max(t, stageFree_[st]);
             Tick end = start + clock_.toTicks(cycles[st]);
@@ -131,6 +134,21 @@ Core::advanceCompute()
             t = end;
         }
         lastComputeEnd_ = std::max(lastComputeEnd_, t);
+        if (traceScope_) {
+            // Stage pipelining lets segment i+1 start before segment
+            // i drains; clamp to the previous span's end so slices
+            // nest (commit order is in-order, so ends are monotonic).
+            Tick spanStart = std::max(segStart, lastSegSpanEnd_);
+            lastSegSpanEnd_ = std::max(t, spanStart);
+            traceScope_.span(
+                traceLane_, "segment", static_cast<double>(spanStart),
+                static_cast<double>(lastSegSpanEnd_ - spanStart),
+                {{"query", queryId_},
+                 {"seg", nextCompute_},
+                 {"decode_vals", seg.work.decodeVals},
+                 {"score_docs", seg.work.scoreDocs},
+                 {"topk_ops", seg.work.topkOps}});
+        }
         ++nextCompute_;
     }
     maybeFinish();
@@ -151,7 +169,19 @@ Core::maybeFinish()
     finishScheduled_ = true;
     eventQueue().schedule(end, [this, end] {
         ++queries_;
-        busyCycles_ += clock_.toCycles(end - startTick_);
+        Cycles cycles = clock_.toCycles(end - startTick_);
+        busyCycles_ += cycles;
+        if (traceScope_) {
+            traceScope_.span(
+                traceLane_, "query",
+                static_cast<double>(startTick_),
+                static_cast<double>(end - startTick_),
+                {{"query", queryId_},
+                 {"terms", trace_->numTerms},
+                 {"segments", trace_->segments.size()},
+                 {"gang", gangSize_},
+                 {"cycles", cycles}});
+        }
         auto done = std::move(done_);
         trace_ = nullptr;
         done(end);

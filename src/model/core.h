@@ -24,6 +24,7 @@
 #include "model/cost.h"
 #include "model/trace.h"
 #include "sim/sim_object.h"
+#include "trace/recorder.h"
 
 namespace boss::model
 {
@@ -44,10 +45,24 @@ class Core : public sim::SimObject
      * the finish tick. @p gangSize > 1 models a multi-core gang
      * (queries with more than 4 terms, paper Sec. IV-D): the gang's
      * aggregate functional units and request window serve the query.
+     * @p queryId labels the query's trace events (submission index).
      */
     void execute(const QueryTrace *trace,
                  std::function<void(Tick)> done,
-                 std::uint32_t gangSize = 1);
+                 std::uint32_t gangSize = 1,
+                 std::uint64_t queryId = 0);
+
+    /**
+     * Attach an event recorder: each query becomes a span on @p lane
+     * covering dispatch to completion, with one child span per
+     * consumed trace segment. Pass a null scope to detach.
+     */
+    void
+    setTrace(trace::Scope scope, std::uint16_t lane)
+    {
+        traceScope_ = scope;
+        traceLane_ = lane;
+    }
 
     std::uint64_t queriesExecuted() const { return queries_.value(); }
     Cycles busyCycles() const
@@ -71,6 +86,7 @@ class Core : public sim::SimObject
     // Per-query replay state.
     const QueryTrace *trace_ = nullptr;
     std::uint32_t gangSize_ = 1;
+    std::uint64_t queryId_ = 0;
     std::function<void(Tick)> done_;
     Tick startTick_ = 0;
     /** Flattened (segment, request) list. */
@@ -86,10 +102,14 @@ class Core : public sim::SimObject
     std::size_t nextCompute_ = 0;
     std::array<Tick, kNumStages> stageFree_{};
     Tick lastComputeEnd_ = 0;
+    Tick lastSegSpanEnd_ = 0;
     bool finishScheduled_ = false;
 
     stats::Counter queries_;
     stats::Counter busyCycles_;
+
+    trace::Scope traceScope_;
+    std::uint16_t traceLane_ = 0;
 };
 
 } // namespace boss::model

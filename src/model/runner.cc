@@ -10,7 +10,7 @@ std::vector<QueryTrace>
 buildTraces(const index::InvertedIndex &index,
             const index::MemoryLayout &layout,
             const std::vector<workload::Query> &queries,
-            SystemKind kind, std::size_t k)
+            SystemKind kind, std::size_t k, trace::Recorder *recorder)
 {
     TraceOptions options = traceOptionsFor(kind, k);
     std::vector<QueryTrace> traces(queries.size());
@@ -22,31 +22,47 @@ buildTraces(const index::InvertedIndex &index,
     // Replay stays serial: it is one event-driven simulation.
     common::ThreadPool &pool = common::ThreadPool::global();
     std::vector<engine::QueryArena> arenas(pool.size());
-    pool.parallelFor(queries.size(),
-                     [&](std::size_t i, std::size_t worker) {
-                         engine::QueryArena &arena = arenas[worker];
-                         engine::QueryPlan plan =
-                             engine::planQuery(queries[i]);
-                         traces[i] = buildTrace(index, layout, plan,
-                                                options, nullptr,
-                                                &arena);
-                         arena.reset();
-                     });
+    std::uint64_t scopeBase =
+        recorder != nullptr ? recorder->beginPhase() : 0;
+    pool.parallelFor(queries.size(), [&](std::size_t i,
+                                         std::size_t worker) {
+        engine::QueryArena &arena = arenas[worker];
+        engine::QueryPlan plan = engine::planQuery(queries[i]);
+        trace::Scope scope;
+        std::uint16_t lane = 0;
+        if (recorder != nullptr) {
+            scope = recorder->scope(worker, scopeBase + i);
+            lane = recorder->workerLane(worker);
+        }
+        double t0 = scope.hostMicros();
+        traces[i] = buildTrace(index, layout, plan, options, nullptr,
+                               &arena, scope, lane);
+        arena.reset();
+        if (scope) {
+            scope.span(lane, "build", t0, scope.hostMicros() - t0,
+                       {{"query", i},
+                        {"terms", traces[i].numTerms},
+                        {"segments", traces[i].segments.size()}});
+        }
+    });
     return traces;
 }
 
 WorkloadMetrics
 replayTraces(const std::vector<QueryTrace> &traces,
-             const SystemConfig &config)
+             const SystemConfig &config,
+             const ReplayObservers &observers)
 {
-    SystemModel model(config);
+    SystemModel model(config, observers.recorder);
     std::vector<const QueryTrace *> ptrs;
     ptrs.reserve(traces.size());
     for (const auto &t : traces)
         ptrs.push_back(&t);
 
     WorkloadMetrics metrics;
-    metrics.run = model.run(ptrs);
+    metrics.run = model.run(ptrs, observers.timings);
+    if (observers.onModel)
+        observers.onModel(model);
     for (const auto &t : traces) {
         metrics.evaluatedDocs += t.evaluatedDocs;
         metrics.skippedDocs += t.skippedDocs;

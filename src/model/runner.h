@@ -31,18 +31,35 @@ struct WorkloadMetrics
 /**
  * Build traces for @p queries under @p kind's algorithm flags.
  * Traces are device- and core-count-independent; build once, replay
- * under many hardware configurations.
+ * under many hardware configurations. With @p recorder attached,
+ * each build becomes a host-time span on its worker's lane.
  */
 std::vector<QueryTrace>
 buildTraces(const index::InvertedIndex &index,
             const index::MemoryLayout &layout,
             const std::vector<workload::Query> &queries,
-            SystemKind kind, std::size_t k = engine::kDefaultTopK);
+            SystemKind kind, std::size_t k = engine::kDefaultTopK,
+            trace::Recorder *recorder = nullptr);
+
+/** Optional observers threaded through a replay. */
+struct ReplayObservers
+{
+    /** Timeline recorder (core/channel/event-queue lanes). */
+    trace::Recorder *recorder = nullptr;
+    /** Filled with per-query dispatch/completion times. */
+    std::vector<QueryTiming> *timings = nullptr;
+    /**
+     * Invoked with the live model after run() completes, before the
+     * model is torn down — e.g. to export its stats tree.
+     */
+    std::function<void(SystemModel &)> onModel;
+};
 
 /** Replay prebuilt traces on a fresh system instance. */
 WorkloadMetrics
 replayTraces(const std::vector<QueryTrace> &traces,
-             const SystemConfig &config);
+             const SystemConfig &config,
+             const ReplayObservers &observers = {});
 
 /** Convenience: buildTraces + replayTraces. */
 WorkloadMetrics

@@ -1,6 +1,7 @@
 #include "model/system.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/logging.h"
 
@@ -49,9 +50,10 @@ costModelFor(SystemKind kind)
     BOSS_PANIC("unknown system kind");
 }
 
-SystemModel::SystemModel(const SystemConfig &config)
+SystemModel::SystemModel(const SystemConfig &config,
+                         trace::Recorder *recorder)
     : config_(config), statsRoot_("sim"),
-      costs_(costModelFor(config.kind))
+      costs_(costModelFor(config.kind)), recorder_(recorder)
 {
     link_ = std::make_unique<mem::HostLink>("link", eq_, statsRoot_,
                                             config_.link);
@@ -67,14 +69,56 @@ SystemModel::SystemModel(const SystemConfig &config)
             *memory_,
             isHostSide(config_.kind) ? nullptr : link_.get(), c));
     }
+    stats::Group &sched = statsRoot_.subgroup("sched");
+    sched.addHistogram("query_latency_us", &latencyUs_,
+                       "per-query latency incl. queueing (us)");
+    sched.addHistogram("queue_depth", &schedDepth_,
+                       "undispatched queries after each dispatch");
+
+    if (recorder_ != nullptr) {
+        // Replay is a fresh ordering phase; all device lanes live in
+        // the simulated-tick clock domain.
+        recorder_->beginPhase();
+        trace::Scope scope = recorder_->serial();
+        const char *proc = "device (simulated ticks)";
+        for (std::uint32_t c = 0; c < config_.cores; ++c) {
+            auto lane = recorder_->addLane(
+                proc, "core" + std::to_string(c),
+                trace::Domain::SimTicks, static_cast<int>(c));
+            cores_[c]->setTrace(scope, lane);
+        }
+        std::vector<std::uint16_t> chanLanes;
+        for (std::uint32_t c = 0; c < config_.mem.channels; ++c) {
+            chanLanes.push_back(recorder_->addLane(
+                proc, "mem.ch" + std::to_string(c),
+                trace::Domain::SimTicks, 100 + static_cast<int>(c)));
+        }
+        memory_->setTrace(scope, std::move(chanLanes));
+        auto eqLane = recorder_->addLane(proc, "sim.events",
+                                         trace::Domain::SimTicks, 1000);
+        eq_.setTrace(scope, eqLane);
+    }
 }
 
 RunStats
-SystemModel::run(const std::vector<const QueryTrace *> &traces)
+SystemModel::run(const std::vector<const QueryTrace *> &traces,
+                 std::vector<QueryTiming> *timings)
 {
     Tick lastFinish = 0;
     std::vector<double> latencies;
     latencies.reserve(traces.size());
+    if (timings != nullptr) {
+        timings->clear();
+        timings->resize(traces.size());
+    }
+
+    // Submission index of each trace: scheduling may reorder
+    // dispatch, but timings and trace events stay keyed by the
+    // caller's order.
+    std::unordered_map<const QueryTrace *, std::size_t> submitIdx;
+    submitIdx.reserve(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i)
+        submitIdx.emplace(traces[i], i);
 
     // Pending queue in dispatch order. Queries with more than 4
     // terms occupy a gang of ceil(terms/4) cores (paper Sec. IV-D);
@@ -92,6 +136,7 @@ SystemModel::run(const std::vector<const QueryTrace *> &traces)
     }
     std::size_t nextQuery = 0;
     std::vector<bool> busy(cores_.size(), false);
+    sim::ClockDomain coreClock(costs_->frequencyHz());
     std::function<void()> dispatch = [&]() {
         while (nextQuery < pending.size()) {
             const QueryTrace *trace = pending[nextQuery];
@@ -105,25 +150,36 @@ SystemModel::run(const std::vector<const QueryTrace *> &traces)
                     members.push_back(c);
             }
             if (members.size() < gang)
-                return; // query waits for enough idle cores
+                break; // query waits for enough idle cores
             ++nextQuery;
             for (std::size_t c : members)
                 busy[c] = true;
+            std::size_t qid = submitIdx.at(trace);
+            Tick dispatchTick = eq_.now();
             cores_[members[0]]->execute(
                 trace,
-                [&, members](Tick end) {
+                [&, members, qid, dispatchTick, coreClock](Tick end) {
                     lastFinish = std::max(lastFinish, end);
                     // Latency includes queueing: all queries arrive
                     // at tick 0 in this closed-batch model.
-                    latencies.push_back(
+                    double latency =
                         static_cast<double>(end) /
-                        static_cast<double>(kTicksPerSecond));
+                        static_cast<double>(kTicksPerSecond);
+                    latencies.push_back(latency);
+                    latencyUs_.sample(latency * 1e6);
+                    if (timings != nullptr) {
+                        (*timings)[qid] = QueryTiming{
+                            dispatchTick, end,
+                            coreClock.toCycles(end - dispatchTick)};
+                    }
                     for (std::size_t c : members)
                         busy[c] = false;
                     dispatch();
                 },
-                gang);
+                gang, qid);
         }
+        schedDepth_.sample(
+            static_cast<double>(pending.size() - nextQuery));
     };
     dispatch();
     eq_.run();

@@ -15,6 +15,7 @@
 #include "mem/memory_system.h"
 #include "model/core.h"
 #include "model/cost.h"
+#include "trace/recorder.h"
 
 namespace boss::model
 {
@@ -94,17 +95,36 @@ struct RunStats
     double latencyP99 = 0.0;
 };
 
+/** Per-query replay timing, indexed by submission order. */
+struct QueryTiming
+{
+    Tick start = 0; ///< dispatch tick (queueing ended)
+    Tick end = 0;   ///< completion tick
+    Cycles cycles = 0; ///< core cycles, dispatch to completion
+};
+
 /**
  * A runnable system instance. Construct, call run() once, read
  * stats. (One-shot by design: simulated time does not rewind.)
+ *
+ * With a recorder attached, the model registers one timeline lane
+ * per core, per memory channel, and for the event-queue depth — all
+ * in the simulated-tick domain — and instruments replay end to end.
  */
 class SystemModel
 {
   public:
-    explicit SystemModel(const SystemConfig &config);
+    explicit SystemModel(const SystemConfig &config,
+                         trace::Recorder *recorder = nullptr);
 
-    /** Execute all traces (FIFO dispatch over idle cores). */
-    RunStats run(const std::vector<const QueryTrace *> &traces);
+    /**
+     * Execute all traces (FIFO dispatch over idle cores). When
+     * @p timings is non-null it is resized to the trace count and
+     * filled with per-query dispatch/completion times in submission
+     * order (deterministic regardless of the scheduling policy).
+     */
+    RunStats run(const std::vector<const QueryTrace *> &traces,
+                 std::vector<QueryTiming> *timings = nullptr);
 
     mem::MemorySystem &memory() { return *memory_; }
     stats::Group &statsRoot() { return statsRoot_; }
@@ -117,6 +137,12 @@ class SystemModel
     std::unique_ptr<mem::HostLink> link_;
     std::unique_ptr<mem::MemorySystem> memory_;
     std::vector<std::unique_ptr<Core>> cores_;
+    trace::Recorder *recorder_ = nullptr;
+
+    // Observability: per-query latency and command-queue depth,
+    // sampled during run().
+    stats::Histogram latencyUs_{0.0, 1e6, 100};
+    stats::Histogram schedDepth_{0.0, 256.0, 64};
 };
 
 } // namespace boss::model

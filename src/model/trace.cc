@@ -23,8 +23,10 @@ class TraceBuilder : public ExecHooks
   public:
     TraceBuilder(const index::InvertedIndex &index,
                  const index::MemoryLayout &layout,
-                 const TraceOptions &options, QueryTrace &out)
-        : index_(index), layout_(layout), options_(options), out_(out)
+                 const TraceOptions &options, QueryTrace &out,
+                 trace::Scope scope, std::uint16_t lane)
+        : index_(index), layout_(layout), options_(options), out_(out),
+          scope_(scope), lane_(lane)
     {
         out_.segments.emplace_back(); // leading segment
     }
@@ -187,9 +189,13 @@ class TraceBuilder : public ExecHooks
     }
 
     void
-    onSkippedBlocks(TermId, std::uint64_t count) override
+    onSkippedBlocks(TermId t, std::uint64_t count) override
     {
         out_.blocksSkipped += count;
+        if (scope_) {
+            scope_.instant(lane_, "skip_blocks", scope_.hostMicros(),
+                           {{"term", t}, {"count", count}});
+        }
     }
 
   private:
@@ -234,11 +240,41 @@ class TraceBuilder : public ExecHooks
     const index::MemoryLayout &layout_;
     const TraceOptions &options_;
     QueryTrace &out_;
+    trace::Scope scope_;
+    std::uint16_t lane_;
 
     std::unordered_map<TermId, std::uint32_t> metaCursor_;
 };
 
 } // namespace
+
+trace::QuerySummary
+summarizeTrace(const QueryTrace &t)
+{
+    // The summary's traffic classes mirror the memory model's
+    // categories one-to-one (and in the same order).
+    static_assert(trace::kNumTrafficClasses == mem::kNumCategories);
+
+    trace::QuerySummary s;
+    s.terms = t.numTerms;
+    s.blocksLoaded = t.blocksLoaded;
+    s.blocksSkipped = t.blocksSkipped;
+    s.docsScored = t.evaluatedDocs;
+    s.docsSkipped = t.skippedDocs;
+    s.resultBytes = t.resultStoreBytes;
+    SegmentWork work = t.totalWork();
+    s.valuesDecoded = work.decodeVals;
+    s.normsFetched = work.normGranules;
+    s.topkInserts = work.topkOps;
+    for (std::size_t c = 0; c < mem::kNumCategories; ++c)
+        s.classAccesses[c] = t.catAccesses[c];
+    for (const auto &seg : t.segments) {
+        for (const auto &req : seg.reqs)
+            s.classBytes[static_cast<std::size_t>(req.category)] +=
+                req.bytes;
+    }
+    return s;
+}
 
 SegmentWork
 QueryTrace::totalWork() const
@@ -264,11 +300,12 @@ buildTrace(const index::InvertedIndex &index,
            const index::MemoryLayout &layout,
            const engine::QueryPlan &plan, const TraceOptions &options,
            std::vector<engine::Result> *results,
-           engine::QueryArena *arena)
+           engine::QueryArena *arena, trace::Scope scope,
+           std::uint16_t lane)
 {
     QueryTrace trace;
     trace.numTerms = static_cast<std::uint32_t>(plan.allTerms.size());
-    TraceBuilder builder(index, layout, options, trace);
+    TraceBuilder builder(index, layout, options, trace, scope, lane);
     auto topk = engine::executeQuery(index, plan, options.k,
                                      options.flags, &builder, arena);
     // The winning top-k list itself crosses the link to the host.

@@ -24,6 +24,8 @@
 #include "engine/hooks.h"
 #include "index/memory_layout.h"
 #include "mem/memory_system.h"
+#include "trace/recorder.h"
+#include "trace/summary.h"
 
 namespace boss::model
 {
@@ -139,13 +141,27 @@ struct TraceOptions
  * distinct queries may build concurrently; @p arena is optional
  * per-caller decode scratch (one arena per thread, reset between
  * queries) and never changes the produced trace or results.
+ *
+ * @p scope / @p lane optionally record build-side observability
+ * events (block-skip instants, host-time domain) into an attached
+ * recorder; a null scope (the default) records nothing.
  */
 QueryTrace buildTrace(const index::InvertedIndex &index,
                       const index::MemoryLayout &layout,
                       const engine::QueryPlan &plan,
                       const TraceOptions &options,
                       std::vector<engine::Result> *results = nullptr,
-                      engine::QueryArena *arena = nullptr);
+                      engine::QueryArena *arena = nullptr,
+                      trace::Scope scope = {}, std::uint16_t lane = 0);
+
+/**
+ * Condense a built trace into its per-query summary record (cycles
+ * and the query's submission index are filled in by the replay
+ * layer). Byte totals per traffic class come from the trace's
+ * recorded requests, so the summary is replay-independent and
+ * bit-identical at any host thread count.
+ */
+trace::QuerySummary summarizeTrace(const QueryTrace &trace);
 
 } // namespace boss::model
 

@@ -13,6 +13,18 @@ EventQueue::schedule(Tick when, Callback cb)
     heap_.push(Entry{when, seq_++, std::move(cb)});
 }
 
+void
+EventQueue::traceTick()
+{
+    if (now_ == tracedTick_)
+        return;
+    tracedTick_ = now_;
+    // +1 counts the event being dispatched at this tick.
+    traceScope_.counter(traceLane_, "pending",
+                        static_cast<double>(now_),
+                        static_cast<double>(heap_.size() + 1));
+}
+
 Tick
 EventQueue::run()
 {
@@ -22,6 +34,8 @@ EventQueue::run()
         heap_.pop();
         now_ = e.when;
         ++executed_;
+        if (traceScope_)
+            traceTick();
         e.cb();
     }
     return now_;
@@ -35,6 +49,8 @@ EventQueue::runUntil(Tick limit)
         heap_.pop();
         now_ = e.when;
         ++executed_;
+        if (traceScope_)
+            traceTick();
         e.cb();
     }
     if (now_ < limit)

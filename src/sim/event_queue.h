@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "trace/recorder.h"
 
 namespace boss::sim
 {
@@ -58,6 +59,19 @@ class EventQueue
 
     bool empty() const { return heap_.empty(); }
 
+    /**
+     * Attach an event recorder: each time simulated time advances,
+     * the pending-event count is emitted as a counter series on
+     * @p lane (one sample per distinct tick, not per event). Pass a
+     * null scope to detach.
+     */
+    void
+    setTrace(trace::Scope scope, std::uint16_t lane)
+    {
+        traceScope_ = scope;
+        traceLane_ = lane;
+    }
+
   private:
     struct Entry
     {
@@ -77,10 +91,16 @@ class EventQueue
         }
     };
 
+    /** Emit the queue-depth counter sample for the current tick. */
+    void traceTick();
+
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    trace::Scope traceScope_;
+    std::uint16_t traceLane_ = 0;
+    Tick tracedTick_ = ~Tick{0};
 };
 
 /**

@@ -1,9 +1,9 @@
 #include "stats/stats.h"
 
+#include <cassert>
+#include <cstdio>
 #include <iomanip>
 #include <limits>
-
-#include "common/logging.h"
 
 namespace boss::stats
 {
@@ -13,7 +13,7 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
       min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity())
 {
-    BOSS_ASSERT(hi > lo && buckets > 0, "bad histogram shape");
+    assert(hi > lo && buckets > 0 && "bad histogram shape");
 }
 
 void
@@ -57,51 +57,59 @@ Histogram::reset()
 Group &
 Group::subgroup(const std::string &name)
 {
-    auto it = children_.find(name);
-    if (it == children_.end()) {
-        it = children_.emplace(name, std::make_unique<Group>(name)).first;
+    for (auto &child : children_) {
+        if (child->name_ == name)
+            return *child;
     }
-    return *it->second;
+    children_.push_back(std::make_unique<Group>(name));
+    return *children_.back();
+}
+
+Group::Leaf &
+Group::newLeaf(const std::string &name, const std::string &desc)
+{
+    for (auto &leaf : leaves_) {
+        if (leaf.name == name) {
+            // Re-registration replaces the binding but keeps the
+            // original position, so repeated setup stays stable.
+            leaf = Leaf{};
+            leaf.name = name;
+            leaf.desc = desc;
+            return leaf;
+        }
+    }
+    leaves_.emplace_back();
+    leaves_.back().name = name;
+    leaves_.back().desc = desc;
+    return leaves_.back();
 }
 
 void
 Group::addCounter(const std::string &name, const Counter *c,
                   const std::string &desc)
 {
-    Leaf leaf;
-    leaf.counter = c;
-    leaf.desc = desc;
-    leaves_[name] = std::move(leaf);
+    newLeaf(name, desc).counter = c;
 }
 
 void
 Group::addScalar(const std::string &name, const Scalar *s,
                  const std::string &desc)
 {
-    Leaf leaf;
-    leaf.scalar = s;
-    leaf.desc = desc;
-    leaves_[name] = std::move(leaf);
+    newLeaf(name, desc).scalar = s;
 }
 
 void
 Group::addHistogram(const std::string &name, const Histogram *h,
                     const std::string &desc)
 {
-    Leaf leaf;
-    leaf.histogram = h;
-    leaf.desc = desc;
-    leaves_[name] = std::move(leaf);
+    newLeaf(name, desc).histogram = h;
 }
 
 void
 Group::addFormula(const std::string &name, std::function<double()> fn,
                   const std::string &desc)
 {
-    Leaf leaf;
-    leaf.formula = std::move(fn);
-    leaf.desc = desc;
-    leaves_[name] = std::move(leaf);
+    newLeaf(name, desc).formula = std::move(fn);
 }
 
 const Group::Leaf *
@@ -109,13 +117,18 @@ Group::findLeaf(const std::string &path) const
 {
     auto dot = path.find('.');
     if (dot == std::string::npos) {
-        auto it = leaves_.find(path);
-        return it == leaves_.end() ? nullptr : &it->second;
-    }
-    auto child = children_.find(path.substr(0, dot));
-    if (child == children_.end())
+        for (const auto &leaf : leaves_) {
+            if (leaf.name == path)
+                return &leaf;
+        }
         return nullptr;
-    return child->second->findLeaf(path.substr(dot + 1));
+    }
+    std::string head = path.substr(0, dot);
+    for (const auto &child : children_) {
+        if (child->name_ == head)
+            return child->findLeaf(path.substr(dot + 1));
+    }
+    return nullptr;
 }
 
 std::uint64_t
@@ -146,8 +159,9 @@ void
 Group::dump(std::ostream &os, const std::string &prefix) const
 {
     std::string base = prefix.empty() ? name_ : prefix + "." + name_;
-    for (const auto &[name, leaf] : leaves_) {
-        os << std::left << std::setw(52) << (base + "." + name) << " ";
+    for (const auto &leaf : leaves_) {
+        os << std::left << std::setw(52) << (base + "." + leaf.name)
+           << " ";
         if (leaf.counter != nullptr) {
             os << leaf.counter->value();
         } else if (leaf.scalar != nullptr) {
@@ -164,8 +178,139 @@ Group::dump(std::ostream &os, const std::string &prefix) const
             os << "  # " << leaf.desc;
         os << '\n';
     }
-    for (const auto &[name, child] : children_)
+    for (const auto &child : children_)
         child->dump(os, base);
+}
+
+namespace
+{
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeNumber(std::ostream &os, double v)
+{
+    // Infinities (an unsampled histogram's min/max) are not valid
+    // JSON numbers; null keeps the document parseable.
+    if (v == std::numeric_limits<double>::infinity() ||
+        v == -std::numeric_limits<double>::infinity()) {
+        os << "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+void
+pad(std::ostream &os, int indent)
+{
+    for (int i = 0; i < indent; ++i)
+        os << ' ';
+}
+
+} // namespace
+
+void
+Group::dumpJson(std::ostream &os, int indent) const
+{
+    pad(os, indent);
+    os << "{\n";
+    pad(os, indent + 2);
+    os << "\"name\": ";
+    writeEscaped(os, name_);
+    os << ",\n";
+    pad(os, indent + 2);
+    os << "\"stats\": {";
+    bool firstLeaf = true;
+    for (const auto &leaf : leaves_) {
+        if (!firstLeaf)
+            os << ',';
+        firstLeaf = false;
+        os << '\n';
+        pad(os, indent + 4);
+        writeEscaped(os, leaf.name);
+        os << ": {";
+        if (leaf.counter != nullptr) {
+            os << "\"type\": \"counter\", \"value\": "
+               << leaf.counter->value();
+        } else if (leaf.scalar != nullptr) {
+            os << "\"type\": \"scalar\", \"value\": ";
+            writeNumber(os, leaf.scalar->value());
+        } else if (leaf.histogram != nullptr) {
+            const Histogram &h = *leaf.histogram;
+            os << "\"type\": \"histogram\", \"lo\": ";
+            writeNumber(os, h.lo());
+            os << ", \"hi\": ";
+            writeNumber(os, h.hi());
+            os << ", \"samples\": " << h.samples() << ", \"mean\": ";
+            writeNumber(os, h.mean());
+            os << ", \"min\": ";
+            writeNumber(os, h.min());
+            os << ", \"max\": ";
+            writeNumber(os, h.max());
+            os << ", \"buckets\": [";
+            for (std::size_t b = 0; b < h.buckets().size(); ++b) {
+                if (b > 0)
+                    os << ", ";
+                os << h.buckets()[b];
+            }
+            os << ']';
+        } else if (leaf.formula) {
+            os << "\"type\": \"formula\", \"value\": ";
+            writeNumber(os, leaf.formula());
+        } else {
+            os << "\"type\": \"empty\"";
+        }
+        if (!leaf.desc.empty()) {
+            os << ", \"desc\": ";
+            writeEscaped(os, leaf.desc);
+        }
+        os << '}';
+    }
+    if (!firstLeaf) {
+        os << '\n';
+        pad(os, indent + 2);
+    }
+    os << "},\n";
+    pad(os, indent + 2);
+    os << "\"groups\": [";
+    bool firstChild = true;
+    for (const auto &child : children_) {
+        if (!firstChild)
+            os << ',';
+        firstChild = false;
+        os << '\n';
+        child->dumpJson(os, indent + 4);
+    }
+    if (!firstChild) {
+        os << '\n';
+        pad(os, indent + 2);
+    }
+    os << "]\n";
+    pad(os, indent);
+    os << "}";
 }
 
 } // namespace boss::stats

@@ -3,7 +3,8 @@
  * Lightweight statistics framework in the spirit of gem5's stats
  * package. Every timing model registers named counters into a
  * per-run Group tree; benches read them back to print the paper's
- * tables and figures.
+ * tables and figures, and the observability layer exports the whole
+ * tree as JSON (text dump and JSON share the same registry).
  */
 
 #ifndef BOSS_STATS_STATS_H
@@ -11,7 +12,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -70,6 +70,8 @@ class Histogram
     double mean() const;
     double min() const { return min_; }
     double max() const { return max_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     void reset();
 
@@ -87,6 +89,10 @@ class Histogram
  * A named tree of statistics. Groups own their children; leaf stats
  * are owned by the model objects and registered by pointer, matching
  * gem5's pattern where stats live inside SimObjects.
+ *
+ * Children and leaves are kept in registration order, so dump() and
+ * dumpJson() output is stable across runs and diffs between runs
+ * only show real value changes (never container-iteration noise).
  */
 class Group
 {
@@ -115,11 +121,22 @@ class Group
     /** Dump all stats as "path value # desc" lines. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
+    /**
+     * Serialize the whole tree as one JSON object:
+     *   {"name": ..., "stats": {leaf: {...}, ...}, "groups": [...]}
+     * Counters/scalars/formulas carry "value"; histograms carry the
+     * full shape (lo, hi, samples, mean, min, max, bucket array with
+     * the trailing overflow bucket). Emission follows registration
+     * order, so output is byte-stable across identical runs.
+     */
+    void dumpJson(std::ostream &os, int indent = 0) const;
+
     const std::string &name() const { return name_; }
 
   private:
     struct Leaf
     {
+        std::string name;
         const Counter *counter = nullptr;
         const Scalar *scalar = nullptr;
         const Histogram *histogram = nullptr;
@@ -127,11 +144,13 @@ class Group
         std::string desc;
     };
 
+    Leaf &newLeaf(const std::string &name, const std::string &desc);
     const Leaf *findLeaf(const std::string &path) const;
 
     std::string name_;
-    std::map<std::string, Leaf> leaves_;
-    std::map<std::string, std::unique_ptr<Group>> children_;
+    /** Registration-ordered; lookups are linear (trees are small). */
+    std::vector<Leaf> leaves_;
+    std::vector<std::unique_ptr<Group>> children_;
 };
 
 } // namespace boss::stats

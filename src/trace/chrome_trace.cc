@@ -1,0 +1,134 @@
+#include "trace/chrome_trace.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/json.h"
+
+namespace boss::trace
+{
+
+namespace
+{
+
+/** Ticks are picoseconds; Chrome timestamps are microseconds. */
+constexpr double kTicksPerMicro = 1e6;
+
+struct LaneIds
+{
+    int pid = 0;
+    int tid = 0;
+};
+
+void
+writeArgs(std::ostream &os, const Event &e)
+{
+    os << "\"args\":{";
+    for (std::uint8_t i = 0; i < e.numArgs; ++i) {
+        if (i != 0)
+            os << ',';
+        json::writeString(os, e.args[i].key);
+        os << ':' << e.args[i].value;
+    }
+    os << '}';
+}
+
+void
+writeCommon(std::ostream &os, const char *name, const LaneIds &ids,
+            double ts)
+{
+    os << "{\"name\":";
+    json::writeString(os, name);
+    os << ",\"pid\":" << ids.pid << ",\"tid\":" << ids.tid
+       << ",\"ts\":";
+    json::writeFixed(os, ts);
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const Recorder &rec)
+{
+    const auto &lanes = rec.lanes();
+
+    // One Chrome "process" per distinct process name, keeping the
+    // two clock domains (device ticks vs host wall time) apart; one
+    // "thread" per lane within its process.
+    std::map<std::string, int> pids;
+    std::vector<LaneIds> ids(lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        auto [it, inserted] =
+            pids.emplace(lanes[i].process,
+                         static_cast<int>(pids.size()) + 1);
+        (void)inserted;
+        ids[i].pid = it->second;
+        ids[i].tid = static_cast<int>(i) + 1;
+    }
+
+    os << "[\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Metadata: name every process and thread lane up front so the
+    // viewer shows stable labels even for empty lanes.
+    for (const auto &[process, pid] : pids) {
+        sep();
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":";
+        json::writeString(os, process);
+        os << "}}";
+    }
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+           << ids[i].pid << ",\"tid\":" << ids[i].tid
+           << ",\"args\":{\"name\":";
+        json::writeString(os, lanes[i].thread);
+        os << "}}";
+        sep();
+        os << "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":"
+           << ids[i].pid << ",\"tid\":" << ids[i].tid
+           << ",\"args\":{\"sort_index\":" << lanes[i].sortIndex
+           << "}}";
+    }
+
+    for (const Event &e : rec.merged()) {
+        const LaneIds &lane = ids[e.lane];
+        bool sim = lanes[e.lane].domain == Domain::SimTicks;
+        double ts = sim ? e.start / kTicksPerMicro : e.start;
+        sep();
+        switch (e.kind) {
+          case EventKind::Span: {
+            double dur = sim ? e.dur / kTicksPerMicro : e.dur;
+            writeCommon(os, e.name, lane, ts);
+            os << ",\"dur\":";
+            json::writeFixed(os, dur);
+            os << ",\"ph\":\"X\",";
+            writeArgs(os, e);
+            os << '}';
+            break;
+          }
+          case EventKind::Instant:
+            writeCommon(os, e.name, lane, ts);
+            os << ",\"ph\":\"i\",\"s\":\"t\",";
+            writeArgs(os, e);
+            os << '}';
+            break;
+          case EventKind::Counter:
+            writeCommon(os, e.name, lane, ts);
+            os << ",\"ph\":\"C\",\"args\":{\"value\":";
+            json::writeFixed(os, e.value);
+            os << "}}";
+            break;
+        }
+    }
+    os << "\n]\n";
+}
+
+} // namespace boss::trace

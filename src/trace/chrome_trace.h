@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Chrome trace_event JSON exporter for recorded timelines.
+ *
+ * The output is the "JSON Array Format" understood by Perfetto and
+ * chrome://tracing: one object per event, `ph:"X"` for spans,
+ * `ph:"i"` for instants, `ph:"C"` for counters, plus `ph:"M"`
+ * metadata naming each process/thread lane. Timestamps are emitted
+ * in microseconds; simulated-tick lanes are converted at 1 tick =
+ * 1 ps (so 1 µs = 1e6 ticks), which keeps device time exact at
+ * three decimal places.
+ */
+
+#ifndef BOSS_TRACE_CHROME_TRACE_H
+#define BOSS_TRACE_CHROME_TRACE_H
+
+#include <ostream>
+
+#include "trace/recorder.h"
+
+namespace boss::trace
+{
+
+/** Serialize everything @p rec captured as Chrome trace JSON. */
+void writeChromeTrace(std::ostream &os, const Recorder &rec);
+
+} // namespace boss::trace
+
+#endif // BOSS_TRACE_CHROME_TRACE_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal JSON writing helpers shared by the observability
+ * exporters (Chrome trace, per-query summaries). Deliberately tiny:
+ * the exporters emit flat, schema-fixed documents, so a full JSON
+ * library would be dead weight.
+ */
+
+#ifndef BOSS_TRACE_JSON_H
+#define BOSS_TRACE_JSON_H
+
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace boss::trace::json
+{
+
+/** Write @p s as a quoted, escaped JSON string. */
+inline void
+writeString(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/**
+ * Write a double with fixed 3-decimal precision (the Chrome trace
+ * format keeps timestamps in microseconds; 3 decimals preserve the
+ * underlying picosecond ticks exactly).
+ */
+inline void
+writeFixed(std::ostream &os, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    os << buf;
+}
+
+} // namespace boss::trace::json
+
+#endif // BOSS_TRACE_JSON_H

@@ -117,4 +117,59 @@ TEST(GroupTest, SubgroupIsIdempotent)
     EXPECT_EQ(&a, &b);
 }
 
+TEST(GroupTest, DumpJsonGolden)
+{
+    Group root("run");
+    Counter hits;
+    hits += 3;
+    root.addCounter("hits", &hits, "d");
+    std::ostringstream oss;
+    root.dumpJson(oss);
+    EXPECT_EQ(oss.str(),
+              "{\n"
+              "  \"name\": \"run\",\n"
+              "  \"stats\": {\n"
+              "    \"hits\": {\"type\": \"counter\", \"value\": 3, "
+              "\"desc\": \"d\"}\n"
+              "  },\n"
+              "  \"groups\": []\n"
+              "}");
+}
+
+TEST(GroupTest, DumpJsonHistogramShape)
+{
+    Group root("run");
+    Histogram h(0.0, 4.0, 4);
+    h.sample(1.0);
+    h.sample(9.0); // overflow
+    root.addHistogram("lat", &h);
+    std::ostringstream oss;
+    root.dumpJson(oss);
+    std::string json = oss.str();
+    EXPECT_NE(json.find("\"type\": \"histogram\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"samples\": 2"), std::string::npos);
+    // Four regular buckets plus the trailing overflow bucket.
+    EXPECT_NE(json.find("\"buckets\": [0, 1, 0, 0, 1]"),
+              std::string::npos);
+}
+
+TEST(GroupTest, OutputFollowsRegistrationOrder)
+{
+    Group root("run");
+    Counter z, a;
+    root.subgroup("zeta").addCounter("n", &z);
+    root.subgroup("alpha").addCounter("n", &a);
+
+    std::ostringstream text;
+    root.dump(text);
+    EXPECT_LT(text.str().find("run.zeta.n"),
+              text.str().find("run.alpha.n"));
+
+    std::ostringstream json;
+    root.dumpJson(json);
+    EXPECT_LT(json.str().find("\"zeta\""),
+              json.str().find("\"alpha\""));
+}
+
 } // namespace

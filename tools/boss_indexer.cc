@@ -3,60 +3,146 @@
  * boss_indexer: build a BOSS text index from a document file.
  *
  * Usage:
- *   boss_indexer <documents.txt> <output.idx>
+ *   boss_indexer [--progress] <documents.txt> <output.idx>
  *
  * The input holds one document per line. The output file contains
  * the hybrid-compressed inverted index plus the lexicon and can be
  * served with boss_search or Device::loadTextIndexFile().
+ *
+ * --progress reports ingest rate (docs/sec, MB read) on stderr while
+ * indexing and dumps the final ingest counters.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "common/logging.h"
 #include "index/text_builder.h"
+#include "stats/stats.h"
+
+namespace
+{
+
+/** Ingest counters, reported through the stats framework. */
+class Progress
+{
+  public:
+    explicit Progress(bool enabled)
+        : enabled_(enabled), group_("indexer"),
+          start_(std::chrono::steady_clock::now())
+    {
+        group_.addCounter("docs", &docs_, "documents ingested");
+        group_.addCounter("bytes", &bytes_, "input bytes read");
+        group_.addCounter("empty_lines", &empty_,
+                          "empty input lines skipped");
+    }
+
+    void
+    doc(std::size_t lineBytes)
+    {
+        ++docs_;
+        bytes_ += lineBytes + 1; // +1 for the newline
+        if (enabled_ && docs_.value() % kReportEvery == 0)
+            report();
+    }
+
+    void emptyLine() { ++empty_; }
+
+    void
+    finish()
+    {
+        if (!enabled_)
+            return;
+        report();
+        std::fputc('\n', stderr);
+        group_.dump(std::cerr);
+    }
+
+  private:
+    static constexpr std::uint64_t kReportEvery = 10000;
+
+    void
+    report() const
+    {
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+        double rate = secs > 0
+                          ? static_cast<double>(docs_.value()) / secs
+                          : 0.0;
+        std::fprintf(stderr,
+                     "\r%llu docs, %.1f MB read, %.0f docs/sec ",
+                     static_cast<unsigned long long>(docs_.value()),
+                     static_cast<double>(bytes_.value()) / 1e6, rate);
+    }
+
+    bool enabled_;
+    boss::stats::Group group_;
+    boss::stats::Counter docs_;
+    boss::stats::Counter bytes_;
+    boss::stats::Counter empty_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc != 3) {
+    bool progress = false;
+    int argi = 1;
+    if (argi < argc && std::strcmp(argv[argi], "--progress") == 0) {
+        progress = true;
+        ++argi;
+    }
+    if (argc - argi != 2) {
         std::fprintf(stderr,
-                     "usage: %s <documents.txt> <output.idx>\n"
+                     "usage: %s [--progress] <documents.txt> "
+                     "<output.idx>\n"
                      "  documents.txt: one document per line\n",
                      argv[0]);
         return 2;
     }
+    const char *inPath = argv[argi];
+    const char *outPath = argv[argi + 1];
 
-    std::ifstream in(argv[1]);
+    std::ifstream in(inPath);
     if (!in) {
-        std::fprintf(stderr, "cannot open '%s'\n", argv[1]);
+        std::fprintf(stderr, "cannot open '%s'\n", inPath);
         return 1;
     }
 
     boss::index::TextIndexBuilder builder;
+    Progress prog(progress);
     std::string line;
     std::uint64_t skipped = 0;
     while (std::getline(in, line)) {
         if (line.empty()) {
             ++skipped;
+            prog.emptyLine();
             continue;
         }
         builder.addDocument(line);
+        prog.doc(line.size());
     }
     if (builder.numDocs() == 0) {
-        std::fprintf(stderr, "no documents in '%s'\n", argv[1]);
+        std::fprintf(stderr, "no documents in '%s'\n", inPath);
         return 1;
     }
+    prog.finish();
 
     auto ti = builder.build();
-    boss::index::saveTextIndexFile(ti, argv[2]);
+    boss::index::saveTextIndexFile(ti, outPath);
     std::printf("indexed %u documents (%u distinct terms, %llu empty "
                 "lines skipped)\n",
                 ti.index.numDocs(), ti.lexicon.size(),
                 static_cast<unsigned long long>(skipped));
     std::printf("index size: %.2f MB -> %s\n",
                 static_cast<double>(ti.index.sizeBytes()) / 1e6,
-                argv[2]);
+                outPath);
     return 0;
 }

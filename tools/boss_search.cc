@@ -4,21 +4,33 @@
  * simulated accelerator.
  *
  * Usage:
- *   boss_search [--threads N] <index.idx> [query...]
+ *   boss_search [options] <index.idx> [query...]
  *
  * With query arguments, runs each and exits; otherwise reads queries
  * from stdin (one per line). Queries use the offloading-API grammar
  * with quoted terms, e.g.:  "storage" AND ("memory" OR "disk")
  * A bare list of words is treated as their OR.
  *
- * --threads N sizes the host thread pool used for batch trace
- * building (default: all hardware threads). Results never depend on
- * the thread count.
+ * Options:
+ *   --threads N            host thread pool size for batch trace
+ *                          building (default: all hardware threads;
+ *                          results never depend on the thread count)
+ *   --trace-out=FILE       write a Chrome trace_event JSON timeline
+ *                          of the session (load in Perfetto or
+ *                          chrome://tracing)
+ *   --stats-json=FILE      write the full stats tree (host pool +
+ *                          last search's simulation groups) as JSON
+ *   --query-summaries=FILE write one JSON record per query (cycles,
+ *                          blocks skipped/loaded, bytes per traffic
+ *                          class, ...; see tools/boss_tracecat)
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -26,9 +38,18 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "index/text_builder.h"
+#include "trace/chrome_trace.h"
+#include "trace/summary.h"
 
 namespace
 {
+
+struct Options
+{
+    std::string traceOut;
+    std::string statsJson;
+    std::string querySummaries;
+};
 
 /** Words without quotes become an OR of quoted terms. */
 std::string
@@ -48,14 +69,13 @@ normalizeQuery(const std::string &raw)
 }
 
 void
-runQuery(boss::accel::Device &device, const std::string &raw)
+runQuery(boss::accel::Device &device, const std::string &raw,
+         std::ofstream *summariesOut)
 {
     std::string expr = normalizeQuery(raw);
     if (expr.empty())
         return;
 
-    // Drop query terms missing from the lexicon (with a warning)
-    // rather than aborting the session.
     auto outcome = device.search(expr);
     std::printf("%zu results in %.1f us (simulated; %.1f KB SCM "
                 "traffic, %llu docs scored)\n",
@@ -67,6 +87,30 @@ runQuery(boss::accel::Device &device, const std::string &raw)
         std::printf("  %2zu. doc %-10u score %.4f\n", i + 1,
                     outcome.topk[i].doc, outcome.topk[i].score);
     }
+    if (summariesOut != nullptr) {
+        boss::trace::writeSummaries(*summariesOut,
+                                    device.querySummaries());
+    }
+}
+
+/** Match --name=VALUE, storing VALUE. */
+bool
+matchValueFlag(const char *arg, const char *name, std::string &out)
+{
+    std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0 || arg[len] != '=')
+        return false;
+    out = arg + len + 1;
+    return true;
+}
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        BOSS_FATAL("cannot open '", path, "' for writing");
+    return os;
 }
 
 } // namespace
@@ -74,27 +118,61 @@ runQuery(boss::accel::Device &device, const std::string &raw)
 int
 main(int argc, char **argv)
 {
+    Options opts;
     int argi = 1;
-    if (argi < argc && std::string(argv[argi]) == "--threads") {
-        long n = argi + 1 < argc
-                     ? std::strtol(argv[argi + 1], nullptr, 10)
-                     : 0;
-        if (n < 1) {
-            std::fprintf(stderr, "--threads wants a positive count\n");
+    while (argi < argc && argv[argi][0] == '-') {
+        std::string arg = argv[argi];
+        if (arg == "--threads") {
+            long n = argi + 1 < argc
+                         ? std::strtol(argv[argi + 1], nullptr, 10)
+                         : 0;
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "--threads wants a positive count\n");
+                return 2;
+            }
+            boss::common::ThreadPool::setGlobalThreads(
+                static_cast<std::size_t>(n));
+            argi += 2;
+        } else if (matchValueFlag(argv[argi], "--trace-out",
+                                  opts.traceOut) ||
+                   matchValueFlag(argv[argi], "--stats-json",
+                                  opts.statsJson) ||
+                   matchValueFlag(argv[argi], "--query-summaries",
+                                  opts.querySummaries)) {
+            ++argi;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         argv[argi]);
             return 2;
         }
-        boss::common::ThreadPool::setGlobalThreads(
-            static_cast<std::size_t>(n));
-        argi += 2;
     }
     if (argi >= argc) {
-        std::fprintf(stderr,
-                     "usage: %s [--threads N] <index.idx> [query...]\n",
-                     argv[0]);
+        std::fprintf(
+            stderr,
+            "usage: %s [--threads N] [--trace-out=FILE] "
+            "[--stats-json=FILE] [--query-summaries=FILE] "
+            "<index.idx> [query...]\n",
+            argv[0]);
         return 2;
     }
 
     boss::accel::Device device;
+    // The recorder sizes its buffers off the pool, so create it
+    // after --threads took effect.
+    std::optional<boss::trace::Recorder> recorder;
+    if (!opts.traceOut.empty()) {
+        recorder.emplace();
+        device.setRecorder(&*recorder);
+    }
+    if (!opts.statsJson.empty())
+        device.enableStatsCapture(true);
+    std::optional<std::ofstream> summariesOut;
+    if (!opts.querySummaries.empty()) {
+        device.enableQuerySummaries(true);
+        summariesOut.emplace(openOut(opts.querySummaries));
+    }
+
     device.loadTextIndexFile(argv[argi]);
     ++argi;
     std::printf("loaded %u docs / %u terms; device: %u BOSS cores, "
@@ -105,16 +183,28 @@ main(int argc, char **argv)
     if (argi < argc) {
         for (int i = argi; i < argc; ++i) {
             std::printf("\nquery: %s\n", argv[i]);
-            runQuery(device, argv[i]);
+            runQuery(device, argv[i],
+                     summariesOut ? &*summariesOut : nullptr);
         }
-        return 0;
+    } else {
+        std::printf("enter queries (one per line, ctrl-d to exit)\n");
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            if (!line.empty())
+                runQuery(device, line,
+                         summariesOut ? &*summariesOut : nullptr);
+        }
     }
 
-    std::printf("enter queries (one per line, ctrl-d to exit)\n");
-    std::string line;
-    while (std::getline(std::cin, line)) {
-        if (!line.empty())
-            runQuery(device, line);
+    if (!opts.traceOut.empty()) {
+        auto os = openOut(opts.traceOut);
+        boss::trace::writeChromeTrace(os, *recorder);
+        std::printf("wrote %zu trace events to %s\n",
+                    recorder->eventCount(), opts.traceOut.c_str());
+    }
+    if (!opts.statsJson.empty()) {
+        auto os = openOut(opts.statsJson);
+        device.writeStatsJson(os);
     }
     return 0;
 }
