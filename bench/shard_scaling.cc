@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Multi-device scale-out: simulated throughput vs shard count.
+ *
+ * Partitions one corpus across {1, 2, 4, 8} simulated BOSS devices
+ * (document-partitioned shards, host-side top-k merge) and runs the
+ * same query batch at every point. Shards execute concurrently in
+ * the model, so the batch makespan is the slowest shard's simulated
+ * time; the sweep shows how much of the ideal N-device speedup the
+ * partition actually delivers (shards see fewer documents but every
+ * query still touches every shard — per-shard early termination gets
+ * less effective as shards shrink).
+ *
+ * The merged top-k at every shard count is checked bit-identical to
+ * the single-device run, so the bench doubles as a correctness
+ * sweep. Results go to stdout and BENCH_shard_scaling.json with one
+ * subgroup per shard count, including every shard's own makespan.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "api/sharded_device.h"
+#include "benchutil.h"
+#include "common/logging.h"
+
+namespace
+{
+
+using namespace boss;
+using Clock = std::chrono::steady_clock;
+
+struct Sample
+{
+    std::uint32_t shards;
+    double simSeconds;  ///< batch makespan (slowest shard)
+    double qps;         ///< queries / simSeconds
+    double hostSeconds; ///< host wall time for the batch
+    std::uint64_t deviceBytes;
+    std::vector<double> shardSeconds;
+};
+
+} // namespace
+
+int
+main()
+{
+    workload::CorpusConfig cfg;
+    cfg.name = "shard-scaling";
+    cfg.numDocs = 200'000;
+    cfg.vocabSize = 5'000;
+    cfg.seed = 42;
+    workload::Corpus corpus(cfg);
+
+    // Split-seed sampling: every query slot draws from its own
+    // (seed, slot) stream, so the batch is independent of generation
+    // order — and of the shard count under test.
+    workload::QueryWorkloadConfig qcfg;
+    qcfg.vocabSize = cfg.vocabSize;
+    qcfg.seed = 7;
+    auto queries = workload::sampleQueries(qcfg, 120);
+    auto terms = workload::collectTerms(queries);
+
+    std::printf("batch: %zu queries, %u docs, vocab %u\n",
+                queries.size(), cfg.numDocs, cfg.vocabSize);
+    std::printf("%-8s %14s %14s %12s %14s\n", "shards", "sim seconds",
+                "sim qps", "speedup", "SCM MB");
+
+    std::vector<std::vector<engine::Result>> reference;
+    std::vector<Sample> samples;
+    for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+        api::ShardedDeviceConfig dcfg;
+        dcfg.shards = shards;
+        api::ShardedDevice device(dcfg);
+        device.loadShards(corpus.buildShardedIndex(terms, shards));
+
+        auto start = Clock::now();
+        api::ShardedOutcome outcome = device.searchBatch(queries);
+        double hostSeconds =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+
+        // Shard invariance: the merged top-k must not depend on the
+        // partition at all.
+        if (shards == 1) {
+            reference = outcome.perQuery;
+        } else {
+            BOSS_ASSERT(outcome.perQuery == reference,
+                        "merged top-k diverged at ", shards,
+                        " shards");
+        }
+
+        Sample s;
+        s.shards = shards;
+        s.simSeconds = outcome.simSeconds;
+        s.qps = static_cast<double>(queries.size()) /
+                outcome.simSeconds;
+        s.hostSeconds = hostSeconds;
+        s.deviceBytes = outcome.deviceBytes;
+        s.shardSeconds = outcome.shardSeconds;
+        samples.push_back(std::move(s));
+
+        std::printf("%-8u %14.6f %14.1f %11.2fx %14.2f\n", shards,
+                    samples.back().simSeconds, samples.back().qps,
+                    samples.front().simSeconds /
+                        samples.back().simSeconds,
+                    static_cast<double>(samples.back().deviceBytes) /
+                        1e6);
+    }
+
+    bench::JsonReport report("shard_scaling");
+    report.set(report.root(), "queries",
+               static_cast<double>(queries.size()),
+               "queries per batch");
+    report.set(report.root(), "num_docs",
+               static_cast<double>(cfg.numDocs), "corpus documents");
+    for (const Sample &s : samples) {
+        auto &g = report.root().subgroup("shards" +
+                                         std::to_string(s.shards));
+        report.set(g, "sim_seconds", s.simSeconds,
+                   "simulated batch makespan (slowest shard)");
+        report.set(g, "sim_qps", s.qps,
+                   "simulated batch throughput");
+        report.set(g, "speedup_vs_1",
+                   samples.front().simSeconds / s.simSeconds,
+                   "throughput relative to one device");
+        report.set(g, "host_seconds", s.hostSeconds,
+                   "host wall time for the batch");
+        report.set(g, "device_bytes",
+                   static_cast<double>(s.deviceBytes),
+                   "total SCM traffic over all shards");
+        for (std::size_t i = 0; i < s.shardSeconds.size(); ++i) {
+            report.set(g, "shard" + std::to_string(i) + "_seconds",
+                       s.shardSeconds[i],
+                       "this shard's simulated makespan");
+        }
+    }
+    report.write("BENCH_shard_scaling.json");
+    return 0;
+}

@@ -1,0 +1,206 @@
+#include "api/sharded_device.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "engine/topk.h"
+
+namespace boss::api
+{
+
+ShardedDevice::ShardedDevice(ShardedDeviceConfig config)
+    : config_(std::move(config))
+{
+    BOSS_ASSERT(config_.shards > 0, "need at least one shard");
+}
+
+ShardedDevice::~ShardedDevice() = default;
+
+void
+ShardedDevice::loadShards(index::IndexShards shards)
+{
+    BOSS_ASSERT(shards.map.numShards() == shards.shards.size(),
+                "shard map / shard count mismatch");
+    map_ = shards.map;
+    devices_.clear();
+    for (std::size_t s = 0; s < shards.shards.size(); ++s) {
+        accel::DeviceConfig cfg = config_.device;
+        cfg.label = "shard" + std::to_string(s);
+        devices_.push_back(std::make_unique<accel::Device>(cfg));
+        devices_.back()->loadIndex(std::move(shards.shards[s]));
+    }
+    config_.shards = static_cast<std::uint32_t>(devices_.size());
+}
+
+void
+ShardedDevice::loadIndex(const index::InvertedIndex &global)
+{
+    loadShards(index::shardIndex(global, config_.shards));
+}
+
+void
+ShardedDevice::loadTextIndex(index::TextIndex ti)
+{
+    index::IndexShards shards =
+        index::shardIndex(ti.index, config_.shards);
+    map_ = shards.map;
+    devices_.clear();
+    for (std::size_t s = 0; s < shards.shards.size(); ++s) {
+        accel::DeviceConfig cfg = config_.device;
+        cfg.label = "shard" + std::to_string(s);
+        devices_.push_back(std::make_unique<accel::Device>(cfg));
+        devices_.back()->loadTextIndex(
+            {std::move(shards.shards[s]), ti.lexicon});
+    }
+}
+
+void
+ShardedDevice::loadTextIndexFile(const std::string &path)
+{
+    loadTextIndex(index::loadTextIndexFile(path));
+}
+
+template <typename Batch>
+ShardedOutcome
+ShardedDevice::runBatch(const Batch &batch, std::size_t nQueries)
+{
+    BOSS_ASSERT(!devices_.empty(), "search before loadShards()");
+
+    ShardedOutcome out;
+    out.perQuery.resize(nQueries);
+    out.shardSeconds.reserve(devices_.size());
+
+    // Per-query scatter lists: perShard[q][s] is query q's top-k on
+    // shard s, already rebased to global docIDs.
+    std::vector<std::vector<std::vector<engine::Result>>> perShard(
+        nQueries);
+
+    // Shards dispatch one at a time: each device's searchBatch fans
+    // its trace building out over the shared host pool (which is not
+    // reentrant), so the host is already saturated per shard. The
+    // modeled devices still run concurrently — see the time merge.
+    for (std::size_t s = 0; s < devices_.size(); ++s) {
+        accel::SearchOutcome res = devices_[s]->searchBatch(batch);
+        BOSS_ASSERT(res.perQuery.size() == nQueries,
+                    "shard ", s, " returned ", res.perQuery.size(),
+                    " result lists for ", nQueries, " queries");
+        const DocId base = map_.docBase(static_cast<std::uint32_t>(s));
+        for (std::size_t q = 0; q < nQueries; ++q) {
+            for (auto &r : res.perQuery[q])
+                r.doc += base;
+            perShard[q].push_back(std::move(res.perQuery[q]));
+        }
+        // Devices are independent: the batch completes when the
+        // slowest shard does, while traffic and work counters sum.
+        out.shardSeconds.push_back(res.simSeconds);
+        out.simSeconds = std::max(out.simSeconds, res.simSeconds);
+        out.deviceBytes += res.deviceBytes;
+        out.evaluatedDocs += res.evaluatedDocs;
+        out.skippedDocs += res.skippedDocs;
+    }
+
+    for (std::size_t q = 0; q < nQueries; ++q)
+        out.perQuery[q] =
+            engine::mergeTopK(perShard[q], config_.device.k);
+    if (!out.perQuery.empty())
+        out.topk = out.perQuery.back();
+    return out;
+}
+
+ShardedOutcome
+ShardedDevice::search(const workload::Query &query)
+{
+    return searchBatch(std::vector<workload::Query>{query});
+}
+
+ShardedOutcome
+ShardedDevice::search(const std::string &qExpression)
+{
+    return searchBatch(std::vector<std::string>{qExpression});
+}
+
+ShardedOutcome
+ShardedDevice::searchBatch(const std::vector<workload::Query> &queries)
+{
+    return runBatch(queries, queries.size());
+}
+
+ShardedOutcome
+ShardedDevice::searchBatch(
+    const std::vector<std::string> &qExpressions)
+{
+    return runBatch(qExpressions, qExpressions.size());
+}
+
+void
+ShardedDevice::setRecorder(trace::Recorder *recorder)
+{
+    for (auto &dev : devices_)
+        dev->setRecorder(recorder);
+}
+
+void
+ShardedDevice::enableQuerySummaries(bool enabled)
+{
+    for (auto &dev : devices_)
+        dev->enableQuerySummaries(enabled);
+}
+
+void
+ShardedDevice::enableStatsCapture(bool enabled)
+{
+    for (auto &dev : devices_)
+        dev->enableStatsCapture(enabled);
+}
+
+std::vector<trace::QuerySummary>
+ShardedDevice::aggregatedSummaries() const
+{
+    std::vector<trace::QuerySummary> agg;
+    if (devices_.empty())
+        return agg;
+    agg = devices_[0]->querySummaries();
+    for (std::size_t s = 1; s < devices_.size(); ++s) {
+        const auto &shard = devices_[s]->querySummaries();
+        BOSS_ASSERT(shard.size() == agg.size(),
+                    "shard ", s, " summary count mismatch");
+        for (std::size_t q = 0; q < shard.size(); ++q) {
+            trace::QuerySummary &a = agg[q];
+            const trace::QuerySummary &b = shard[q];
+            // The devices run concurrently: the query's latency is
+            // its slowest shard; all work/traffic counters add up.
+            a.cycles = std::max(a.cycles, b.cycles);
+            a.blocksLoaded += b.blocksLoaded;
+            a.blocksSkipped += b.blocksSkipped;
+            a.valuesDecoded += b.valuesDecoded;
+            a.normsFetched += b.normsFetched;
+            a.docsScored += b.docsScored;
+            a.docsSkipped += b.docsSkipped;
+            a.topkInserts += b.topkInserts;
+            a.resultBytes += b.resultBytes;
+            for (std::size_t c = 0; c < trace::kNumTrafficClasses;
+                 ++c) {
+                a.classBytes[c] += b.classBytes[c];
+                a.classAccesses[c] += b.classAccesses[c];
+            }
+        }
+    }
+    return agg;
+}
+
+void
+ShardedDevice::writeStatsJson(std::ostream &os) const
+{
+    os << "{\n\"shards\": " << devices_.size() << ",\n";
+    os << "\"doc_bases\": [";
+    for (std::uint32_t s = 0; s < map_.numShards(); ++s)
+        os << (s ? ", " : "") << map_.docBase(s);
+    os << "]";
+    for (std::size_t s = 0; s < devices_.size(); ++s) {
+        os << ",\n\"shard_" << s << "\":\n";
+        devices_[s]->writeStatsJson(os);
+    }
+    os << "}\n";
+}
+
+} // namespace boss::api

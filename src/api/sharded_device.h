@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Host-side scatter/merge over N simulated BOSS devices.
+ *
+ * A ShardedDevice owns one accel::Device per index shard (document
+ * partition, see index/sharding.h). Each query is scattered to every
+ * shard, runs the full per-device hardware top-k there, and the
+ * per-shard heaps are merged on the host into the global top-k after
+ * rebasing local docIDs to global ones. Because every shard runs the
+ * same k and stores globally-normalized scores, the merge is exact:
+ * results are bit-identical to a single device holding the whole
+ * corpus, tie-breaks (score desc, global docID asc) included.
+ */
+
+#ifndef BOSS_API_SHARDED_DEVICE_H
+#define BOSS_API_SHARDED_DEVICE_H
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "boss/device.h"
+#include "index/sharding.h"
+
+namespace boss::api
+{
+
+/** Configuration: the shard count plus the per-shard device. */
+struct ShardedDeviceConfig
+{
+    std::uint32_t shards = 1;
+    /**
+     * Template for every shard's device (cores, memory, k, kind).
+     * The label is overridden per shard ("shard0", "shard1", ...)
+     * so trace lanes stay distinguishable in merged timelines.
+     */
+    accel::DeviceConfig device;
+};
+
+/**
+ * Result of one sharded search. Per-query results carry global
+ * docIDs; counters aggregate over shards. The shards are modeled as
+ * running concurrently (one device each), so the simulated batch
+ * time is the slowest shard's makespan while traffic counters sum.
+ */
+struct ShardedOutcome
+{
+    std::vector<engine::Result> topk; ///< last query (cf. Device)
+    std::vector<std::vector<engine::Result>> perQuery;
+    double simSeconds = 0.0;       ///< max over shards
+    std::uint64_t deviceBytes = 0; ///< sum over shards
+    std::uint64_t evaluatedDocs = 0;
+    std::uint64_t skippedDocs = 0;
+    /** Per-shard simulated makespans (the scaling bench's input). */
+    std::vector<double> shardSeconds;
+};
+
+class ShardedDevice
+{
+  public:
+    explicit ShardedDevice(ShardedDeviceConfig config = {});
+    ~ShardedDevice();
+
+    /** Place prebuilt shards (and their partition) on the devices. */
+    void loadShards(index::IndexShards shards);
+
+    /** Shard a monolithic index across the configured devices. */
+    void loadIndex(const index::InvertedIndex &global);
+
+    /**
+     * Shard a text index: the posting lists are partitioned while
+     * every shard shares the (replicated) lexicon, so expression
+     * queries resolve identically on each device.
+     */
+    void loadTextIndex(index::TextIndex ti);
+
+    /** Load and shard a text-index file (see loadTextIndex). */
+    void loadTextIndexFile(const std::string &path);
+
+    std::uint32_t numShards() const
+    {
+        return static_cast<std::uint32_t>(devices_.size());
+    }
+    const index::ShardMap &map() const { return map_; }
+    accel::Device &shard(std::uint32_t s) { return *devices_[s]; }
+
+    /** Scatter one query to all shards and merge the top-k. */
+    ShardedOutcome search(const workload::Query &query);
+    ShardedOutcome search(const std::string &qExpression);
+
+    /**
+     * Scatter a batch: each shard executes the whole batch through
+     * its own device (trace building fans out over the shared host
+     * thread pool), then each query's per-shard top-k lists are
+     * merged on the host. Shards are dispatched one at a time — the
+     * pool is not reentrant — but modeled as concurrent devices.
+     */
+    ShardedOutcome
+    searchBatch(const std::vector<workload::Query> &queries);
+    ShardedOutcome
+    searchBatch(const std::vector<std::string> &qExpressions);
+
+    // ---- Observability (see boss/device.h) ----
+
+    /**
+     * Attach one recorder observing every shard; per-shard lanes are
+     * named by the device labels ("shard0 (simulated ticks)", ...).
+     */
+    void setRecorder(trace::Recorder *recorder);
+
+    /** Record per-query summaries on every shard. */
+    void enableQuerySummaries(bool enabled);
+
+    /**
+     * Host-level per-query aggregates for the last batch: work
+     * counters summed over shards, cycles = max over shards (the
+     * devices run concurrently; a query completes when its slowest
+     * shard does). Deterministic at any thread count.
+     */
+    std::vector<trace::QuerySummary> aggregatedSummaries() const;
+
+    /** Per-shard summaries of the last batch (local docID space). */
+    const std::vector<trace::QuerySummary> &
+    shardSummaries(std::uint32_t s) const
+    {
+        return devices_[s]->querySummaries();
+    }
+
+    /** Capture per-shard replay stats for writeStatsJson. */
+    void enableStatsCapture(bool enabled);
+
+    /**
+     * One JSON document with every shard's stats under "shard_<i>"
+     * keys plus the shard count and document partition.
+     */
+    void writeStatsJson(std::ostream &os) const;
+
+  private:
+    template <typename Batch>
+    ShardedOutcome runBatch(const Batch &batch, std::size_t nQueries);
+
+    ShardedDeviceConfig config_;
+    index::ShardMap map_;
+    std::vector<std::unique_ptr<accel::Device>> devices_;
+};
+
+} // namespace boss::api
+
+#endif // BOSS_API_SHARDED_DEVICE_H

@@ -215,6 +215,7 @@ Device::runPlans(const std::vector<engine::QueryPlan> &plans)
     sys.cores = config_.cores;
     sys.mem = config_.mem;
     sys.link = config_.link;
+    sys.label = config_.label;
     model::ReplayObservers observers;
     observers.recorder = recorder_;
     std::vector<model::QueryTiming> timings;

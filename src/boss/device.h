@@ -37,6 +37,8 @@ struct DeviceConfig
     std::size_t k = engine::kDefaultTopK;
     /** Ablation switch; leave at Boss for the real device. */
     model::SystemKind kind = model::SystemKind::Boss;
+    /** Trace-lane label; ShardedDevice names each shard device. */
+    std::string label = "device";
 };
 
 /** Result of one search() call. */

@@ -18,6 +18,28 @@ namespace boss
 {
 
 /**
+ * Derive an independent child seed from (seed, stream).
+ *
+ * SplitMix64 finalizer over the golden-ratio-spaced stream index:
+ * child streams are statistically independent for any (seed, stream)
+ * pair, unlike ad-hoc xor/multiply mixes whose streams can collide.
+ * This is the one sanctioned way to fan a base seed out into
+ * per-shard / per-term / per-query generators: every consumer
+ * derives its own stream from the base seed and an index, never by
+ * advancing a generator shared across consumers — so generation is
+ * reproducible regardless of the order (or parallelism) in which the
+ * consumers run.
+ */
+constexpr std::uint64_t
+splitSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t z = seed + (stream + 1) * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/**
  * xoshiro256** PRNG with convenience samplers.
  */
 class Rng

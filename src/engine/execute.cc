@@ -23,36 +23,24 @@ scoreMatches(const index::InvertedIndex &index, DocId d,
              std::vector<TermMatch> &matches)
 {
     float norm = index.doc(d).norm;
+    // Sum in canonical term order: float addition is not
+    // associative, so summing in stream-arrival order would make a
+    // doc's score depend on the skip history that led to it. Term
+    // order makes the score a pure function of the matched set --
+    // bit-identical across ablation flags, shard counts, and the
+    // exhaustive oracle. Sorting also turns the duplicate check (a
+    // term reaching the doc through two DNF groups) into an
+    // adjacent-element test.
+    std::sort(matches.begin(), matches.end(),
+              [](const TermMatch &a, const TermMatch &b) {
+                  return a.term < b.term;
+              });
     Score total = 0.f;
-    if (matches.size() > 16) {
-        // Wide matches (host-managed or gang queries): sort by term
-        // once and skip adjacent duplicates, instead of the
-        // quadratic backward scan.
-        std::sort(matches.begin(), matches.end(),
-                  [](const TermMatch &a, const TermMatch &b) {
-                      return a.term < b.term;
-                  });
-        for (std::size_t i = 0; i < matches.size(); ++i) {
-            if (i > 0 && matches[i].term == matches[i - 1].term)
-                continue;
-            total += index.scorer().termScore(matches[i].idf,
-                                              matches[i].tf, norm);
-        }
-        return total;
-    }
-    // n <= 16 terms: linear dedup beats hashing.
     for (std::size_t i = 0; i < matches.size(); ++i) {
-        bool dup = false;
-        for (std::size_t j = 0; j < i; ++j) {
-            if (matches[j].term == matches[i].term) {
-                dup = true;
-                break;
-            }
-        }
-        if (dup)
+        if (i > 0 && matches[i].term == matches[i - 1].term)
             continue;
-        total += index.scorer().termScore(matches[i].idf, matches[i].tf,
-                                          norm);
+        total += index.scorer().termScore(matches[i].idf,
+                                          matches[i].tf, norm);
     }
     return total;
 }

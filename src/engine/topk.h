@@ -102,6 +102,26 @@ class TopK
     std::vector<Result> heap_;
 };
 
+/**
+ * Merge per-shard top-k lists into the global top-k (rank order).
+ *
+ * Exact as long as every shard ran with the same k: any document in
+ * the global top-k is by definition in its own shard's top-k, so the
+ * union of the per-shard heaps is a superset of the answer. Inputs
+ * must already carry *global* docIDs so the shared ranksAbove
+ * tie-break (score desc, docID asc) matches the unsharded engine.
+ */
+inline std::vector<Result>
+mergeTopK(const std::vector<std::vector<Result>> &perShard,
+          std::size_t k)
+{
+    TopK merged(k);
+    for (const auto &shard : perShard)
+        for (const auto &r : shard)
+            merged.insert(r.doc, r.score);
+    return merged.sorted();
+}
+
 } // namespace boss::engine
 
 #endif // BOSS_ENGINE_TOPK_H

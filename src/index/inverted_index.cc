@@ -34,23 +34,43 @@ IndexBuilder::setDocLengths(std::vector<std::uint32_t> lengths)
 }
 
 void
+IndexBuilder::setGlobalStats(std::uint32_t numDocs, double avgDocLen)
+{
+    globalStats_ = GlobalStats{numDocs, avgDocLen};
+}
+
+void
 IndexBuilder::addTerm(TermId term, PostingList postings)
 {
     BOSS_ASSERT(isValidPostingList(postings),
                 "term ", term, ": postings not sorted/unique");
-    pending_.emplace_back(term, std::move(postings));
+    pending_.push_back({term, std::move(postings), std::nullopt});
+}
+
+void
+IndexBuilder::addTerm(TermId term, PostingList postings,
+                      std::uint32_t scoredDf)
+{
+    BOSS_ASSERT(isValidPostingList(postings),
+                "term ", term, ": postings not sorted/unique");
+    BOSS_ASSERT(scoredDf >= postings.size(),
+                "term ", term, ": global df ", scoredDf,
+                " below local posting count ", postings.size());
+    pending_.push_back({term, std::move(postings), scoredDf});
 }
 
 CompressedPostingList
 IndexBuilder::compressList(TermId term, const PostingList &postings,
                            compress::Scheme scheme, const Bm25 &bm25,
-                           const std::vector<DocInfo> &docs)
+                           const std::vector<DocInfo> &docs,
+                           std::optional<std::uint32_t> dfOverride)
 {
     CompressedPostingList out;
     out.term = term;
     out.scheme = scheme;
     out.docCount = static_cast<std::uint32_t>(postings.size());
-    out.idf = static_cast<float>(bm25.idf(out.docCount));
+    out.idf =
+        static_cast<float>(bm25.idf(dfOverride.value_or(out.docCount)));
 
     const compress::Codec &codec = compress::codecFor(scheme);
     std::vector<std::uint32_t> gaps;
@@ -121,11 +141,19 @@ IndexBuilder::build()
 {
     BOSS_ASSERT(!docLengths_.empty(), "setDocLengths() before build()");
 
-    double avgLen =
+    double localAvgLen =
         std::accumulate(docLengths_.begin(), docLengths_.end(), 0.0) /
         static_cast<double>(docLengths_.size());
-    Bm25 bm25(params_, static_cast<std::uint32_t>(docLengths_.size()),
-              avgLen);
+
+    // Shard builds score against the corpus-wide statistics so every
+    // shard stores the same idf / norm floats it would get in an
+    // unsharded build.
+    double scoredAvgLen =
+        globalStats_ ? globalStats_->avgDocLen : localAvgLen;
+    std::uint32_t scoredNumDocs =
+        globalStats_ ? globalStats_->numDocs
+                     : static_cast<std::uint32_t>(docLengths_.size());
+    Bm25 bm25(params_, scoredNumDocs, scoredAvgLen);
 
     std::vector<DocInfo> docs(docLengths_.size());
     for (std::size_t d = 0; d < docLengths_.size(); ++d) {
@@ -135,19 +163,27 @@ IndexBuilder::build()
 
     // Lists are stored indexed by TermId.
     TermId maxTerm = 0;
-    for (const auto &[term, postings] : pending_)
-        maxTerm = std::max(maxTerm, term);
+    for (const auto &entry : pending_)
+        maxTerm = std::max(maxTerm, entry.term);
     std::vector<CompressedPostingList> lists(
         pending_.empty() ? 0 : maxTerm + 1);
 
-    for (auto &[term, postings] : pending_) {
+    for (auto &entry : pending_) {
+        const TermId term = entry.term;
+        const PostingList &postings = entry.postings;
         if (postings.empty()) {
             lists[term].term = term;
+            // A term with postings elsewhere in the corpus still
+            // carries its global idf; a corpus-wide empty term keeps
+            // the default 0 like an unsharded build.
+            if (entry.scoredDf && *entry.scoredDf > 0)
+                lists[term].idf =
+                    static_cast<float>(bm25.idf(*entry.scoredDf));
             continue;
         }
         if (forced_.has_value()) {
             lists[term] = compressList(term, postings, *forced_, bm25,
-                                       docs);
+                                       docs, entry.scoredDf);
             continue;
         }
         // Hybrid: smallest total size wins (paper Fig. 3 "Hybrid").
@@ -171,8 +207,8 @@ IndexBuilder::build()
                 if (!ok)
                     continue;
             }
-            CompressedPostingList trial =
-                compressList(term, postings, s, bm25, docs);
+            CompressedPostingList trial = compressList(
+                term, postings, s, bm25, docs, entry.scoredDf);
             if (first || trial.sizeBytes() < lists[term].sizeBytes()) {
                 lists[term] = std::move(trial);
                 first = false;
@@ -180,7 +216,7 @@ IndexBuilder::build()
         }
     }
 
-    return InvertedIndex(params_, std::move(docs), avgLen,
+    return InvertedIndex(params_, std::move(docs), scoredAvgLen,
                          std::move(lists));
 }
 

@@ -96,8 +96,26 @@ class IndexBuilder
      */
     void setDocLengths(std::vector<std::uint32_t> lengths);
 
+    /**
+     * Score with corpus-wide statistics instead of the local document
+     * table. Document-partitioned shards use this: every shard bakes
+     * the same global numDocs / avgDocLen into its stored norms (and,
+     * combined with the per-term df override of addTerm, the same
+     * idf), so per-posting scores — and therefore merged top-k
+     * results — are bit-identical at any shard count.
+     */
+    void setGlobalStats(std::uint32_t numDocs, double avgDocLen);
+
     /** Add one term's postings (sorted by docID, no duplicates). */
     void addTerm(TermId term, PostingList postings);
+
+    /**
+     * Add one term's postings scored with an explicit document
+     * frequency (the term's corpus-wide df) instead of the local
+     * posting count. Shard builders pass the global df here.
+     */
+    void addTerm(TermId term, PostingList postings,
+                 std::uint32_t scoredDf);
 
     /** Assemble the final index. The builder is consumed. */
     InvertedIndex build();
@@ -105,17 +123,34 @@ class IndexBuilder
     /**
      * Compress a single posting list with a given scheme; exposed for
      * tests and for the compression-ratio experiment (Fig. 3).
+     * dfOverride substitutes the stored idf's document frequency
+     * (shards score with the corpus-wide df, not the local count).
      */
     static CompressedPostingList
     compressList(TermId term, const PostingList &postings,
                  compress::Scheme scheme, const Bm25 &bm25,
-                 const std::vector<DocInfo> &docs);
+                 const std::vector<DocInfo> &docs,
+                 std::optional<std::uint32_t> dfOverride = {});
 
   private:
+    struct PendingList
+    {
+        TermId term;
+        PostingList postings;
+        std::optional<std::uint32_t> scoredDf;
+    };
+
+    struct GlobalStats
+    {
+        std::uint32_t numDocs;
+        double avgDocLen;
+    };
+
     Bm25Params params_;
     std::optional<compress::Scheme> forced_;
+    std::optional<GlobalStats> globalStats_;
     std::vector<std::uint32_t> docLengths_;
-    std::vector<std::pair<TermId, PostingList>> pending_;
+    std::vector<PendingList> pending_;
 };
 
 } // namespace boss::index

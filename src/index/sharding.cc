@@ -1,0 +1,146 @@
+#include "index/sharding.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "index/block_decoder.h"
+
+namespace boss::index
+{
+
+ShardMap::ShardMap(std::uint32_t numDocs, std::uint32_t numShards)
+{
+    BOSS_ASSERT(numShards > 0, "ShardMap needs at least one shard");
+    bases_.resize(numShards + 1);
+    for (std::uint32_t i = 0; i <= numShards; ++i) {
+        // Balanced contiguous ranges: shard sizes differ by at most
+        // one document and the layout depends only on (docs, shards).
+        bases_[i] = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(numDocs) * i) / numShards);
+    }
+}
+
+std::uint32_t
+ShardMap::shardOf(DocId doc) const
+{
+    BOSS_ASSERT(doc < numDocs(), "docID ", doc, " outside corpus");
+    auto it = std::upper_bound(bases_.begin(), bases_.end(), doc);
+    return static_cast<std::uint32_t>(it - bases_.begin()) - 1;
+}
+
+ShardedIndexBuilder::ShardedIndexBuilder(std::uint32_t numShards,
+                                         Bm25Params params)
+    : numShards_(numShards), params_(params)
+{
+    BOSS_ASSERT(numShards_ > 0, "need at least one shard");
+}
+
+void
+ShardedIndexBuilder::setDocLengths(std::vector<std::uint32_t> lengths)
+{
+    docLengths_ = std::move(lengths);
+}
+
+void
+ShardedIndexBuilder::addTerm(TermId term, PostingList postings)
+{
+    BOSS_ASSERT(isValidPostingList(postings),
+                "term ", term, ": postings not sorted/unique");
+    pending_.emplace_back(term, std::move(postings));
+}
+
+IndexShards
+ShardedIndexBuilder::build()
+{
+    BOSS_ASSERT(!docLengths_.empty(), "setDocLengths() before build()");
+    BOSS_ASSERT(numShards_ <= docLengths_.size(),
+                "more shards (", numShards_, ") than documents (",
+                docLengths_.size(), ")");
+
+    const auto numDocs = static_cast<std::uint32_t>(docLengths_.size());
+    double avgLen =
+        std::accumulate(docLengths_.begin(), docLengths_.end(), 0.0) /
+        static_cast<double>(numDocs);
+
+    IndexShards out;
+    out.map = ShardMap(numDocs, numShards_);
+
+    // Stage the per-shard builders serially: split every global list
+    // at the partition fence posts and rebase docIDs. Every shard
+    // receives every term (empty slices included) so the per-shard
+    // list vectors line up by TermId across shards.
+    std::vector<IndexBuilder> builders;
+    builders.reserve(numShards_);
+    for (std::uint32_t s = 0; s < numShards_; ++s) {
+        builders.emplace_back(params_);
+        IndexBuilder &b = builders.back();
+        if (forced_)
+            b.forceScheme(*forced_);
+        b.setGlobalStats(numDocs, avgLen);
+        b.setDocLengths({docLengths_.begin() + out.map.docBase(s),
+                         docLengths_.begin() + out.map.docBase(s) +
+                             out.map.docCount(s)});
+    }
+
+    for (auto &[term, postings] : pending_) {
+        const auto globalDf =
+            static_cast<std::uint32_t>(postings.size());
+        auto cut = postings.begin();
+        for (std::uint32_t s = 0; s < numShards_; ++s) {
+            const DocId end =
+                out.map.docBase(s) + out.map.docCount(s);
+            auto next = std::lower_bound(
+                cut, postings.end(), end,
+                [](const Posting &p, DocId d) { return p.doc < d; });
+            PostingList local(cut, next);
+            for (Posting &p : local)
+                p.doc = out.map.toLocal(s, p.doc);
+            builders[s].addTerm(term, std::move(local), globalDf);
+            cut = next;
+        }
+    }
+    pending_.clear();
+
+    // Shard builds share nothing (global stats are fixed above), so
+    // fan out on the pool; slot placement keeps the output identical
+    // to a serial loop regardless of worker count or schedule.
+    std::vector<std::optional<InvertedIndex>> built(numShards_);
+    common::ThreadPool::global().parallelFor(
+        numShards_,
+        [&](std::size_t s) { built[s] = builders[s].build(); });
+
+    out.shards.reserve(numShards_);
+    for (auto &idx : built)
+        out.shards.push_back(std::move(*idx));
+    return out;
+}
+
+IndexShards
+shardIndex(const InvertedIndex &global, std::uint32_t numShards)
+{
+    ShardedIndexBuilder builder(numShards, global.scorer().params());
+
+    std::vector<std::uint32_t> lengths(global.numDocs());
+    for (std::uint32_t d = 0; d < global.numDocs(); ++d)
+        lengths[d] = global.doc(d).length;
+    builder.setDocLengths(std::move(lengths));
+
+    for (TermId t = 0; t < global.numTerms(); ++t) {
+        const CompressedPostingList &list = global.list(t);
+        // A default-constructed slot (term not stamped) is an
+        // unmaterialized placeholder the builder never saw; re-adding
+        // it would stamp the term field and diverge from a direct
+        // shard build of the same addTerm() calls.
+        if (list.docCount == 0 && list.term != t)
+            continue;
+        builder.addTerm(t, list.docCount == 0 ? PostingList{}
+                                              : decodeAll(list));
+    }
+    return builder.build();
+}
+
+} // namespace boss::index

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Document-partitioned index sharding across N simulated devices.
+ *
+ * Each shard holds a contiguous range of documents and stores its
+ * posting lists with *local* docIDs (rebased to the shard's first
+ * document) so the per-device engine and memory layout are unchanged.
+ * Scoring statistics stay corpus-wide: every shard bakes the global
+ * document count, average document length and per-term document
+ * frequency into its stored idf / norm floats, so a document's score
+ * is bit-identical no matter how many shards the corpus is split
+ * into — and the host-side merge (engine::mergeTopK) reproduces the
+ * unsharded top-k exactly, tie-breaks included.
+ */
+
+#ifndef BOSS_INDEX_SHARDING_H
+#define BOSS_INDEX_SHARDING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace boss::index
+{
+
+/**
+ * The document partition: shard i owns the contiguous global docID
+ * range [docBase(i), docBase(i) + docCount(i)). Ranges are balanced
+ * to within one document.
+ */
+class ShardMap
+{
+  public:
+    ShardMap() = default;
+    ShardMap(std::uint32_t numDocs, std::uint32_t numShards);
+
+    std::uint32_t
+    numShards() const
+    {
+        return bases_.empty()
+                   ? 0
+                   : static_cast<std::uint32_t>(bases_.size() - 1);
+    }
+    std::uint32_t
+    numDocs() const
+    {
+        return bases_.empty() ? 0 : bases_.back();
+    }
+
+    /** First global docID owned by @p shard. */
+    std::uint32_t docBase(std::uint32_t shard) const
+    {
+        return bases_[shard];
+    }
+    /** Number of documents owned by @p shard. */
+    std::uint32_t docCount(std::uint32_t shard) const
+    {
+        return bases_[shard + 1] - bases_[shard];
+    }
+
+    /** The shard owning global docID @p doc. */
+    std::uint32_t shardOf(DocId doc) const;
+
+    DocId
+    toLocal(std::uint32_t shard, DocId global) const
+    {
+        return global - bases_[shard];
+    }
+    DocId
+    toGlobal(std::uint32_t shard, DocId local) const
+    {
+        return local + bases_[shard];
+    }
+
+  private:
+    /** numShards+1 fence posts; bases_[i] is shard i's first doc. */
+    std::vector<std::uint32_t> bases_;
+};
+
+/** A sharded index: the partition plus one InvertedIndex per shard. */
+struct IndexShards
+{
+    ShardMap map;
+    std::vector<InvertedIndex> shards;
+};
+
+/**
+ * Builds an IndexShards from *global* posting lists.
+ *
+ * Usage mirrors IndexBuilder: setDocLengths with the full corpus,
+ * addTerm with global docIDs, then build(). The builder splits each
+ * list at the partition fence posts, rebases docIDs, and hands every
+ * term to every shard (possibly empty — the shard engines treat an
+ * empty list as an immediately-exhausted cursor) together with the
+ * term's corpus-wide df, so list vectors line up across shards and
+ * stored scores match the unsharded build bit-for-bit.
+ *
+ * Shard builds are independent (split posting slices, global stats
+ * fixed up front) and run on the global ThreadPool; the output is
+ * placed by shard slot, so the result is identical regardless of
+ * build order or worker count.
+ */
+class ShardedIndexBuilder
+{
+  public:
+    explicit ShardedIndexBuilder(std::uint32_t numShards,
+                                 Bm25Params params = {});
+
+    /** Force one scheme for every list on every shard. */
+    void forceScheme(compress::Scheme s) { forced_ = s; }
+
+    /** Global document lengths (token counts), all shards. */
+    void setDocLengths(std::vector<std::uint32_t> lengths);
+
+    /** Add one term's corpus-wide postings (global docIDs). */
+    void addTerm(TermId term, PostingList postings);
+
+    /** Assemble all shards. The builder is consumed. */
+    IndexShards build();
+
+  private:
+    std::uint32_t numShards_;
+    Bm25Params params_;
+    std::optional<compress::Scheme> forced_;
+    std::vector<std::uint32_t> docLengths_;
+    std::vector<std::pair<TermId, PostingList>> pending_;
+};
+
+/**
+ * Re-shard an already built index into @p numShards pieces: decode
+ * every list, split at the partition, rebuild each shard against the
+ * source index's global statistics. The merged results of the output
+ * are bit-identical to querying @p global directly.
+ */
+IndexShards shardIndex(const InvertedIndex &global,
+                       std::uint32_t numShards);
+
+} // namespace boss::index
+
+#endif // BOSS_INDEX_SHARDING_H

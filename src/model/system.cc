@@ -80,7 +80,7 @@ SystemModel::SystemModel(const SystemConfig &config,
         // the simulated-tick clock domain.
         recorder_->beginPhase();
         trace::Scope scope = recorder_->serial();
-        const char *proc = "device (simulated ticks)";
+        const std::string proc = config_.label + " (simulated ticks)";
         for (std::uint32_t c = 0; c < config_.cores; ++c) {
             auto lane = recorder_->addLane(
                 proc, "core" + std::to_string(c),

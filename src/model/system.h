@@ -72,6 +72,12 @@ struct SystemConfig
     mem::MemConfig mem = mem::scmConfig();
     mem::LinkConfig link;
     SchedPolicy sched = SchedPolicy::Fifo;
+    /**
+     * Trace-lane process name. Multi-device setups (ShardedDevice)
+     * label each device's lanes distinctly so merged timelines keep
+     * the shards apart.
+     */
+    std::string label = "device";
 };
 
 /** Aggregate outcome of one simulation run. */

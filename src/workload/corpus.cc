@@ -143,4 +143,22 @@ Corpus::buildIndex(const std::vector<TermId> &terms,
     return builder.build();
 }
 
+index::IndexShards
+Corpus::buildShardedIndex(
+    const std::vector<TermId> &terms, std::uint32_t numShards,
+    const std::optional<compress::Scheme> &forced) const
+{
+    index::ShardedIndexBuilder builder(numShards);
+    if (forced.has_value())
+        builder.forceScheme(*forced);
+    builder.setDocLengths(docLengths_);
+    // postings(t) is a self-seeded stream per (corpus seed, term) —
+    // no generator shared across terms or shards — so the shard
+    // images do not depend on the order this loop (or the parallel
+    // per-shard build behind build()) executes in.
+    for (TermId t : terms)
+        builder.addTerm(t, postings(t));
+    return builder.build();
+}
+
 } // namespace boss::workload

@@ -21,6 +21,7 @@
 
 #include "common/rng.h"
 #include "index/inverted_index.h"
+#include "index/sharding.h"
 
 namespace boss::workload
 {
@@ -79,6 +80,20 @@ class Corpus
     index::InvertedIndex
     buildIndex(const std::vector<TermId> &terms,
                const std::optional<compress::Scheme> &forced = {}) const;
+
+    /**
+     * Build the same index document-partitioned across @p numShards
+     * devices. Generation is reproducible regardless of build order
+     * or parallelism: every posting list comes from its own stream
+     * keyed by (corpus seed, term) — never from generator state
+     * shared across shards — and the shard builders place results by
+     * shard slot. The merged search results over these shards are
+     * bit-identical to buildIndex's.
+     */
+    index::IndexShards
+    buildShardedIndex(
+        const std::vector<TermId> &terms, std::uint32_t numShards,
+        const std::optional<compress::Scheme> &forced = {}) const;
 
   private:
     CorpusConfig config_;

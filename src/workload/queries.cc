@@ -119,6 +119,27 @@ makeWorkload(const QueryWorkloadConfig &config)
 }
 
 std::vector<Query>
+sampleQueries(const QueryWorkloadConfig &config, std::size_t count)
+{
+    BOSS_ASSERT(config.vocabSize >= 8, "vocabulary too small");
+    std::vector<Query> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        // Split seeds, not shared state: each slot's stream is a
+        // pure function of (seed, i), so any subset of slots can be
+        // generated in any order — or on any worker — and agree with
+        // a serial front-to-back pass bit-for-bit.
+        Rng rng(splitSeed(config.seed, i));
+        Query q;
+        q.type = kAllQueryTypes[rng.below(kAllQueryTypes.size())];
+        q.terms = sampleTerms(rng, config.vocabSize,
+                              queryTypeTerms(q.type));
+        out.push_back(std::move(q));
+    }
+    return out;
+}
+
+std::vector<Query>
 filterByType(const std::vector<Query> &all, QueryType t)
 {
     std::vector<Query> out;

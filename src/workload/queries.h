@@ -97,6 +97,20 @@ struct QueryWorkloadConfig
  */
 std::vector<Query> makeWorkload(const QueryWorkloadConfig &config);
 
+/**
+ * Sample @p count queries with uniformly random types, one
+ * independent RNG stream per query slot.
+ *
+ * Unlike makeWorkload — which advances one shared generator, so
+ * query i depends on every draw before it — query i here is seeded
+ * via splitSeed(config.seed, i): sampling is reproducible regardless
+ * of the order (or parallelism, or partial ranges) in which slots
+ * are generated. Sharded benches and the differential tests use this
+ * so per-shard or per-worker query generation never shares state.
+ */
+std::vector<Query> sampleQueries(const QueryWorkloadConfig &config,
+                                 std::size_t count);
+
 /** All queries of one type from a workload. */
 std::vector<Query> filterByType(const std::vector<Query> &all,
                                 QueryType t);

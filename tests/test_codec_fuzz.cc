@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Codec fuzz / property tests: every supported scheme must
+ * round-trip arbitrary delta blocks exactly, or refuse them in the
+ * one documented case (Simple16 with values >= 2^28). Inputs cover
+ * the adversarial corners — max-width values, all-zero runs,
+ * exception-heavy mixtures, 1-element blocks and block-boundary
+ * list lengths (127/128/129) — plus a fixed-seed randomized sweep
+ * over value widths, so a codec regression cannot hide behind the
+ * friendly gap distributions the corpus generator produces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/codec.h"
+#include "index/block_decoder.h"
+#include "index/inverted_index.h"
+
+namespace
+{
+
+using namespace boss;
+using compress::BlockEncoding;
+using compress::Scheme;
+
+/** Max elements per block (mirrors index::kBlockSize). */
+constexpr std::size_t kBlock = 128;
+
+/** True when S16 cannot represent @p values. */
+bool
+s16Unrepresentable(const std::vector<std::uint32_t> &values)
+{
+    for (auto v : values) {
+        if (v >= (1u << 28))
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Round-trip @p values through @p scheme. Refusals are only legal
+ * where documented: empty input (PFD family) and S16 overflow.
+ */
+void
+roundTrip(Scheme scheme, const std::vector<std::uint32_t> &values)
+{
+    const compress::Codec &codec = compress::codecFor(scheme);
+    BlockEncoding enc;
+    if (!codec.encode(values, enc)) {
+        bool legal =
+            values.empty() ||
+            (scheme == Scheme::S16 && s16Unrepresentable(values));
+        EXPECT_TRUE(legal)
+            << schemeName(scheme) << " refused a representable block"
+            << " of " << values.size() << " values";
+        return;
+    }
+    std::vector<std::uint32_t> out(values.size(), 0xDEADBEEF);
+    codec.decode(enc.bytes, out);
+    EXPECT_EQ(out, values)
+        << schemeName(scheme) << " round-trip mismatch, "
+        << values.size() << " values";
+}
+
+void
+roundTripAll(const std::vector<std::uint32_t> &values)
+{
+    for (Scheme s : compress::kAllSchemes)
+        roundTrip(s, values);
+}
+
+// ---------------------------------------------------------------
+// Deterministic adversarial blocks.
+// ---------------------------------------------------------------
+
+TEST(CodecFuzzTest, AllZeroRuns)
+{
+    for (std::size_t n : {1u, 2u, 7u, 64u, 127u, 128u})
+        roundTripAll(std::vector<std::uint32_t>(n, 0));
+}
+
+TEST(CodecFuzzTest, MaxWidthValues)
+{
+    const auto max = std::numeric_limits<std::uint32_t>::max();
+    for (std::size_t n : {1u, 17u, 127u, 128u})
+        roundTripAll(std::vector<std::uint32_t>(n, max));
+}
+
+TEST(CodecFuzzTest, SingleElementEveryWidth)
+{
+    for (int w = 0; w <= 32; ++w) {
+        std::uint32_t v =
+            w == 0 ? 0
+                   : static_cast<std::uint32_t>(
+                         (1ull << w) - 1); // all-ones of width w
+        roundTripAll({v});
+    }
+}
+
+TEST(CodecFuzzTest, PowerOfTwoBoundaries)
+{
+    // Values straddling every width boundary in one block: the
+    // bit-width selection and any per-run format switching all get
+    // exercised at their edges.
+    std::vector<std::uint32_t> values;
+    for (int w = 1; w <= 32; ++w) {
+        values.push_back(
+            static_cast<std::uint32_t>((1ull << w) - 1));
+        if (w < 32)
+            values.push_back(1u << w);
+    }
+    roundTripAll(values);
+}
+
+TEST(CodecFuzzTest, ExceptionHeavyBlocks)
+{
+    // Mostly-small blocks with hot spots of huge values: the PFD
+    // family's patch path, VB's multi-byte path, S8b's selector
+    // switching. Positions are spread so exceptions land in every
+    // part of the block.
+    for (std::uint32_t huge :
+         {1u << 20, 1u << 27, 1u << 28, 0xFFFFFFFFu}) {
+        std::vector<std::uint32_t> values(kBlock, 3);
+        for (std::size_t i = 0; i < values.size(); i += 9)
+            values[i] = huge;
+        roundTripAll(values);
+    }
+}
+
+TEST(CodecFuzzTest, Simple16RefusesOverflowExactlyAtTheBoundary)
+{
+    const compress::Codec &s16 = compress::codecFor(Scheme::S16);
+    BlockEncoding enc;
+    EXPECT_TRUE(s16.encode(
+        std::vector<std::uint32_t>{(1u << 28) - 1}, enc));
+    EXPECT_FALSE(
+        s16.encode(std::vector<std::uint32_t>{1u << 28}, enc));
+}
+
+TEST(CodecFuzzTest, AlternatingExtremes)
+{
+    std::vector<std::uint32_t> values(kBlock);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = i % 2 == 0 ? 0 : 0xFFFFFFFFu;
+    roundTripAll(values);
+}
+
+// ---------------------------------------------------------------
+// Fixed-seed randomized sweep.
+// ---------------------------------------------------------------
+
+TEST(CodecFuzzTest, SeededWidthSweep)
+{
+    // Each (seed, size, width) slot derives its own stream via
+    // splitSeed, so any sub-range of the sweep reproduces exactly.
+    const std::size_t sizes[] = {1, 2, 7, 33, 64, 127, 128};
+    const int widths[] = {1, 4, 8, 12, 16, 20, 28, 32};
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        std::uint64_t slot = 0;
+        for (std::size_t n : sizes) {
+            for (int w : widths) {
+                Rng rng(splitSeed(seed, slot++));
+                std::uint64_t bound = 1ull << w;
+                std::vector<std::uint32_t> values(n);
+                for (auto &v : values)
+                    v = static_cast<std::uint32_t>(
+                        rng.below(bound));
+                roundTripAll(values);
+            }
+        }
+    }
+}
+
+TEST(CodecFuzzTest, PickBestSchemeAlwaysRoundTrips)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        Rng rng(splitSeed(0xBE57, seed));
+        std::vector<std::uint32_t> values(
+            1 + rng.below(kBlock));
+        for (auto &v : values) {
+            // Heavy-tailed widths so the best scheme varies.
+            int w = 1 + static_cast<int>(rng.below(32));
+            v = static_cast<std::uint32_t>(rng.below(1ull << w));
+        }
+        BlockEncoding best;
+        Scheme s = compress::pickBestScheme(values, best);
+        std::vector<std::uint32_t> out(values.size());
+        compress::codecFor(s).decode(best.bytes, out);
+        EXPECT_EQ(out, values) << "seed " << seed << " scheme "
+                               << schemeName(s);
+    }
+}
+
+// ---------------------------------------------------------------
+// List-level round-trips at block boundaries.
+// ---------------------------------------------------------------
+
+/** Compress a synthetic list with @p scheme and decode it back. */
+void
+listRoundTrip(std::size_t count, Scheme scheme, std::uint32_t stride,
+              std::uint64_t seed)
+{
+    Rng rng(splitSeed(seed, count * 8 + std::uint64_t(scheme)));
+    index::PostingList postings;
+    postings.reserve(count);
+    DocId doc = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        doc += 1 + static_cast<DocId>(rng.below(stride));
+        auto tf = static_cast<TermFreq>(1 + rng.below(200));
+        postings.push_back({doc, tf});
+    }
+
+    std::vector<index::DocInfo> docs(doc + 1);
+    index::Bm25 bm25({}, static_cast<std::uint32_t>(docs.size()),
+                     300.0);
+    for (auto &d : docs) {
+        d.length = 300;
+        d.norm = bm25.docNorm(d.length);
+    }
+
+    auto list = index::IndexBuilder::compressList(
+        7, postings, scheme, bm25, docs);
+    EXPECT_EQ(list.docCount, count);
+    EXPECT_EQ(list.numBlocks(), (count + kBlock - 1) / kBlock);
+    EXPECT_EQ(index::decodeAll(list), postings)
+        << schemeName(scheme) << " count " << count;
+}
+
+TEST(CodecFuzzTest, ListsAtBlockBoundaries)
+{
+    // 1, 127, 128, 129 and a multi-block tail: every combination of
+    // full and partial trailing blocks, under every scheme.
+    for (std::size_t count : {1u, 127u, 128u, 129u, 257u}) {
+        for (Scheme s : compress::kAllSchemes) {
+            listRoundTrip(count, s, 40, 0xF00D);
+            listRoundTrip(count, s, 5000, 0xF00E);
+        }
+    }
+}
+
+} // namespace

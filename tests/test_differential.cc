@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Differential correctness test: randomized queries through the
+ * full engine vs two references.
+ *
+ * Reference 1 is the repo's naiveTopK oracle (same stored index
+ * floats, exhaustive evaluation): the engine must match it
+ * bit-for-bit — early termination is lossless by design.
+ *
+ * Reference 2 is computed in this file from the raw corpus with no
+ * index at all: double-precision BM25 over the uncompressed posting
+ * lists. The stored index rounds idf and norms to float, so scores
+ * agree only within tolerance; the assertions are phrased so a
+ * legitimate last-ulp difference at the k-th rank boundary can never
+ * flip the test (every returned score is near its reference value
+ * and no skipped document beats the returned cutoff by more than the
+ * tolerance).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "engine/execute.h"
+#include "engine/plan.h"
+#include "workload/corpus.h"
+#include "workload/queries.h"
+
+namespace
+{
+
+using namespace boss;
+
+constexpr std::size_t kTopK = 50;
+constexpr std::size_t kQueriesPerCorpus = 200;
+
+/** Independent double-precision BM25 over raw corpus postings. */
+class ReferenceScorer
+{
+  public:
+    explicit ReferenceScorer(const workload::Corpus &corpus)
+        : corpus_(corpus)
+    {
+        const auto &lengths = corpus.docLengths();
+        double total = 0.0;
+        for (auto len : lengths)
+            total += static_cast<double>(len);
+        avgdl_ = total / static_cast<double>(lengths.size());
+        numDocs_ = static_cast<double>(lengths.size());
+    }
+
+    /** All matching docs with their scores, DNF group semantics. */
+    std::map<DocId, double>
+    score(const engine::QueryPlan &plan)
+    {
+        // Terms contribute when at least one group containing them
+        // fully matches the doc (mirrors the engine's clause rule).
+        std::map<DocId, std::set<TermId>> matched;
+        for (const auto &g : plan.groups) {
+            std::map<DocId, std::size_t> counts;
+            for (TermId t : g) {
+                for (const auto &p : postings(t))
+                    ++counts[p.doc];
+            }
+            for (const auto &[d, c] : counts) {
+                if (c == g.size())
+                    matched[d].insert(g.begin(), g.end());
+            }
+        }
+
+        std::map<DocId, double> scores;
+        for (const auto &[d, terms] : matched) {
+            double s = 0.0;
+            for (TermId t : terms)
+                s += termScore(t, d);
+            scores[d] = s;
+        }
+        return scores;
+    }
+
+  private:
+    const index::PostingList &
+    postings(TermId t)
+    {
+        auto it = cache_.find(t);
+        if (it == cache_.end())
+            it = cache_.emplace(t, corpus_.postings(t)).first;
+        return it->second;
+    }
+
+    double
+    termScore(TermId t, DocId d)
+    {
+        const auto &list = postings(t);
+        auto it = std::lower_bound(
+            list.begin(), list.end(), d,
+            [](const index::Posting &p, DocId doc) {
+                return p.doc < doc;
+            });
+        EXPECT_TRUE(it != list.end() && it->doc == d);
+
+        const double k1 = 1.2;
+        const double b = 0.75;
+        double df = static_cast<double>(list.size());
+        double idf =
+            std::log((numDocs_ - df + 0.5) / (df + 0.5) + 1.0);
+        double len =
+            static_cast<double>(corpus_.docLengths()[d]);
+        double norm = k1 * (1.0 - b + b * len / avgdl_);
+        double tf = static_cast<double>(it->tf);
+        return idf * tf * (k1 + 1.0) / (tf + norm);
+    }
+
+    const workload::Corpus &corpus_;
+    double avgdl_ = 0.0;
+    double numDocs_ = 0.0;
+    std::map<TermId, index::PostingList> cache_;
+};
+
+void
+runDifferential(const workload::CorpusConfig &cfg,
+                std::uint64_t querySeed)
+{
+    workload::Corpus corpus(cfg);
+    workload::QueryWorkloadConfig qcfg;
+    qcfg.vocabSize = cfg.vocabSize;
+    qcfg.seed = querySeed;
+    auto queries =
+        workload::sampleQueries(qcfg, kQueriesPerCorpus);
+    auto index = corpus.buildIndex(workload::collectTerms(queries));
+    ReferenceScorer reference(corpus);
+
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        auto plan = engine::planQuery(queries[qi]);
+        auto got = engine::executeQuery(index, plan, kTopK,
+                                        engine::ExecFlags{});
+
+        // (1) Engine == exhaustive oracle over the same stored
+        // floats: exact, including rank order and tie-breaks.
+        auto oracle = engine::naiveTopK(index, plan, kTopK);
+        ASSERT_EQ(got, oracle) << cfg.name << " query " << qi;
+
+        // (2) Engine vs the index-free double-precision reference.
+        auto ref = reference.score(plan);
+        ASSERT_EQ(got.size(), std::min(kTopK, ref.size()))
+            << cfg.name << " query " << qi;
+
+        double tol = 1e-4;
+        for (std::size_t r = 0; r < got.size(); ++r) {
+            if (r > 0) {
+                // Rank order is monotone in score.
+                ASSERT_LE(got[r].score, got[r - 1].score + 1e-9f);
+            }
+            auto it = ref.find(got[r].doc);
+            ASSERT_TRUE(it != ref.end())
+                << cfg.name << " query " << qi << ": doc "
+                << got[r].doc << " is not a boolean match";
+            double bound =
+                tol * std::max(1.0, std::abs(it->second));
+            ASSERT_NEAR(got[r].score, it->second, bound)
+                << cfg.name << " query " << qi << " rank " << r;
+        }
+
+        // (3) Completeness at the cutoff: no skipped document may
+        // beat the weakest returned score beyond float tolerance.
+        if (got.size() == kTopK) {
+            std::set<DocId> returned;
+            for (const auto &r : got)
+                returned.insert(r.doc);
+            double cutoff =
+                static_cast<double>(got.back().score);
+            for (const auto &[d, s] : ref) {
+                if (returned.count(d))
+                    continue;
+                double bound = tol * std::max(1.0, std::abs(s));
+                ASSERT_LE(s, cutoff + bound)
+                    << cfg.name << " query " << qi << ": doc " << d
+                    << " outscores the returned cutoff";
+            }
+        }
+    }
+}
+
+TEST(DifferentialTest, MidCorpus)
+{
+    workload::CorpusConfig cfg;
+    cfg.name = "diff-mid";
+    cfg.numDocs = 20'000;
+    cfg.vocabSize = 400;
+    cfg.seed = 1234;
+    runDifferential(cfg, 11);
+}
+
+TEST(DifferentialTest, BurstyCorpus)
+{
+    workload::CorpusConfig cfg;
+    cfg.name = "diff-bursty";
+    cfg.numDocs = 30'000;
+    cfg.vocabSize = 300;
+    cfg.burstiness = 0.9;
+    cfg.maxDfFraction = 0.2;
+    cfg.seed = 99;
+    runDifferential(cfg, 12);
+}
+
+TEST(DifferentialTest, SparseUniformCorpus)
+{
+    workload::CorpusConfig cfg;
+    cfg.name = "diff-sparse";
+    cfg.numDocs = 12'000;
+    cfg.vocabSize = 600;
+    cfg.burstiness = 0.0;
+    cfg.maxDfFraction = 0.05;
+    cfg.avgDocLen = 80;
+    cfg.seed = 7;
+    runDifferential(cfg, 13);
+}
+
+// The engine's ablation variants (exhaustive, block-only) must also
+// match the oracle exactly: early termination is lossless.
+TEST(DifferentialTest, AblationFlagsAreLossless)
+{
+    workload::CorpusConfig cfg;
+    cfg.name = "diff-flags";
+    cfg.numDocs = 10'000;
+    cfg.vocabSize = 200;
+    cfg.seed = 21;
+    workload::Corpus corpus(cfg);
+    workload::QueryWorkloadConfig qcfg;
+    qcfg.vocabSize = cfg.vocabSize;
+    qcfg.seed = 14;
+    auto queries = workload::sampleQueries(qcfg, 40);
+    auto index = corpus.buildIndex(workload::collectTerms(queries));
+
+    engine::ExecFlags boss;
+    engine::ExecFlags blockOnly;
+    blockOnly.wandSkip = false;
+    engine::ExecFlags exhaustive;
+    exhaustive.blockSkip = false;
+    exhaustive.wandSkip = false;
+
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        auto plan = engine::planQuery(queries[qi]);
+        auto oracle = engine::naiveTopK(index, plan, kTopK);
+        EXPECT_EQ(engine::executeQuery(index, plan, kTopK, boss),
+                  oracle);
+        EXPECT_EQ(
+            engine::executeQuery(index, plan, kTopK, blockOnly),
+            oracle);
+        EXPECT_EQ(
+            engine::executeQuery(index, plan, kTopK, exhaustive),
+            oracle);
+    }
+}
+
+} // namespace

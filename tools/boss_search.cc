@@ -15,6 +15,9 @@
  *   --threads N            host thread pool size for batch trace
  *                          building (default: all hardware threads;
  *                          results never depend on the thread count)
+ *   --shards N             partition the index across N simulated
+ *                          devices with host-side top-k merging
+ *                          (results are bit-identical for any N)
  *   --trace-out=FILE       write a Chrome trace_event JSON timeline
  *                          of the session (load in Perfetto or
  *                          chrome://tracing)
@@ -34,6 +37,7 @@
 #include <sstream>
 #include <string>
 
+#include "api/sharded_device.h"
 #include "boss/device.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -68,8 +72,23 @@ normalizeQuery(const std::string &raw)
     return expr;
 }
 
+std::vector<boss::trace::QuerySummary>
+summariesOf(boss::accel::Device &device)
+{
+    return device.querySummaries();
+}
+
+std::vector<boss::trace::QuerySummary>
+summariesOf(boss::api::ShardedDevice &device)
+{
+    // Host-level view: work summed over shards, latency from the
+    // slowest shard.
+    return device.aggregatedSummaries();
+}
+
+template <typename Dev>
 void
-runQuery(boss::accel::Device &device, const std::string &raw,
+runQuery(Dev &device, const std::string &raw,
          std::ofstream *summariesOut)
 {
     std::string expr = normalizeQuery(raw);
@@ -89,7 +108,7 @@ runQuery(boss::accel::Device &device, const std::string &raw,
     }
     if (summariesOut != nullptr) {
         boss::trace::writeSummaries(*summariesOut,
-                                    device.querySummaries());
+                                    summariesOf(device));
     }
 }
 
@@ -113,51 +132,30 @@ openOut(const std::string &path)
     return os;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+void
+printLoaded(boss::accel::Device &device)
 {
-    Options opts;
-    int argi = 1;
-    while (argi < argc && argv[argi][0] == '-') {
-        std::string arg = argv[argi];
-        if (arg == "--threads") {
-            long n = argi + 1 < argc
-                         ? std::strtol(argv[argi + 1], nullptr, 10)
-                         : 0;
-            if (n < 1) {
-                std::fprintf(stderr,
-                             "--threads wants a positive count\n");
-                return 2;
-            }
-            boss::common::ThreadPool::setGlobalThreads(
-                static_cast<std::size_t>(n));
-            argi += 2;
-        } else if (matchValueFlag(argv[argi], "--trace-out",
-                                  opts.traceOut) ||
-                   matchValueFlag(argv[argi], "--stats-json",
-                                  opts.statsJson) ||
-                   matchValueFlag(argv[argi], "--query-summaries",
-                                  opts.querySummaries)) {
-            ++argi;
-        } else {
-            std::fprintf(stderr, "unknown option '%s'\n",
-                         argv[argi]);
-            return 2;
-        }
-    }
-    if (argi >= argc) {
-        std::fprintf(
-            stderr,
-            "usage: %s [--threads N] [--trace-out=FILE] "
-            "[--stats-json=FILE] [--query-summaries=FILE] "
-            "<index.idx> [query...]\n",
-            argv[0]);
-        return 2;
-    }
+    std::printf("loaded %u docs / %u terms; device: %u BOSS cores, "
+                "4-channel SCM\n",
+                device.index().numDocs(), device.lexicon().size(),
+                device.config().cores);
+}
 
-    boss::accel::Device device;
+void
+printLoaded(boss::api::ShardedDevice &device)
+{
+    std::printf("loaded %u docs / %u terms across %u shards; "
+                "per shard: %u BOSS cores, 4-channel SCM\n",
+                device.map().numDocs(),
+                device.shard(0).lexicon().size(), device.numShards(),
+                device.shard(0).config().cores);
+}
+
+template <typename Dev>
+int
+runSession(Dev &device, const Options &opts, int argc, char **argv,
+           int argi)
+{
     // The recorder sizes its buffers off the pool, so create it
     // after --threads took effect.
     std::optional<boss::trace::Recorder> recorder;
@@ -175,10 +173,7 @@ main(int argc, char **argv)
 
     device.loadTextIndexFile(argv[argi]);
     ++argi;
-    std::printf("loaded %u docs / %u terms; device: %u BOSS cores, "
-                "4-channel SCM\n",
-                device.index().numDocs(), device.lexicon().size(),
-                device.config().cores);
+    printLoaded(device);
 
     if (argi < argc) {
         for (int i = argi; i < argc; ++i) {
@@ -207,4 +202,69 @@ main(int argc, char **argv)
         device.writeStatsJson(os);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    long shards = 1;
+    int argi = 1;
+    while (argi < argc && argv[argi][0] == '-') {
+        std::string arg = argv[argi];
+        if (arg == "--threads") {
+            long n = argi + 1 < argc
+                         ? std::strtol(argv[argi + 1], nullptr, 10)
+                         : 0;
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "--threads wants a positive count\n");
+                return 2;
+            }
+            boss::common::ThreadPool::setGlobalThreads(
+                static_cast<std::size_t>(n));
+            argi += 2;
+        } else if (arg == "--shards") {
+            shards = argi + 1 < argc
+                         ? std::strtol(argv[argi + 1], nullptr, 10)
+                         : 0;
+            if (shards < 1) {
+                std::fprintf(stderr,
+                             "--shards wants a positive count\n");
+                return 2;
+            }
+            argi += 2;
+        } else if (matchValueFlag(argv[argi], "--trace-out",
+                                  opts.traceOut) ||
+                   matchValueFlag(argv[argi], "--stats-json",
+                                  opts.statsJson) ||
+                   matchValueFlag(argv[argi], "--query-summaries",
+                                  opts.querySummaries)) {
+            ++argi;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         argv[argi]);
+            return 2;
+        }
+    }
+    if (argi >= argc) {
+        std::fprintf(
+            stderr,
+            "usage: %s [--threads N] [--shards N] [--trace-out=FILE] "
+            "[--stats-json=FILE] [--query-summaries=FILE] "
+            "<index.idx> [query...]\n",
+            argv[0]);
+        return 2;
+    }
+
+    if (shards > 1) {
+        boss::api::ShardedDeviceConfig cfg;
+        cfg.shards = static_cast<std::uint32_t>(shards);
+        boss::api::ShardedDevice device(cfg);
+        return runSession(device, opts, argc, argv, argi);
+    }
+    boss::accel::Device device;
+    return runSession(device, opts, argc, argv, argi);
 }
