@@ -26,7 +26,9 @@ ShardedDevice::loadShards(index::IndexShards shards)
     for (std::size_t s = 0; s < shards.shards.size(); ++s) {
         accel::DeviceConfig cfg = config_.device;
         cfg.label = "shard" + std::to_string(s);
+        cfg.deviceId = static_cast<std::uint32_t>(s);
         devices_.push_back(std::make_unique<accel::Device>(cfg));
+        applyObservability(*devices_.back());
         devices_.back()->loadIndex(std::move(shards.shards[s]));
     }
     config_.shards = static_cast<std::uint32_t>(devices_.size());
@@ -48,7 +50,9 @@ ShardedDevice::loadTextIndex(index::TextIndex ti)
     for (std::size_t s = 0; s < shards.shards.size(); ++s) {
         accel::DeviceConfig cfg = config_.device;
         cfg.label = "shard" + std::to_string(s);
+        cfg.deviceId = static_cast<std::uint32_t>(s);
         devices_.push_back(std::make_unique<accel::Device>(cfg));
+        applyObservability(*devices_.back());
         devices_.back()->loadTextIndex(
             {std::move(shards.shards[s]), ti.lexicon});
     }
@@ -80,6 +84,14 @@ ShardedDevice::runBatch(const Batch &batch, std::size_t nQueries)
     // reentrant), so the host is already saturated per shard. The
     // modeled devices still run concurrently — see the time merge.
     for (std::size_t s = 0; s < devices_.size(); ++s) {
+        if (!devices_[s]->operational()) {
+            // Dead shard: dropped from the merge entirely. Queries
+            // still complete over the surviving shards, with the
+            // partial coverage flagged in the outcome.
+            out.deadShards.push_back(static_cast<std::uint32_t>(s));
+            out.shardSeconds.push_back(0.0);
+            continue;
+        }
         accel::SearchOutcome res = devices_[s]->searchBatch(batch);
         BOSS_ASSERT(res.perQuery.size() == nQueries,
                     "shard ", s, " returned ", res.perQuery.size(),
@@ -97,7 +109,13 @@ ShardedDevice::runBatch(const Batch &batch, std::size_t nQueries)
         out.deviceBytes += res.deviceBytes;
         out.evaluatedDocs += res.evaluatedDocs;
         out.skippedDocs += res.skippedDocs;
+        out.crcRetries += res.crcRetries;
+        out.blocksDropped += res.blocksDropped;
     }
+    out.shardsDropped = out.deadShards.size();
+    if (out.deadShards.size() == devices_.size())
+        BOSS_FATAL("fault spec declares all ", devices_.size(),
+                   " shards dead; no shard can serve queries");
 
     for (std::size_t q = 0; q < nQueries; ++q)
         out.perQuery[q] =
@@ -135,6 +153,7 @@ ShardedDevice::searchBatch(
 void
 ShardedDevice::setRecorder(trace::Recorder *recorder)
 {
+    recorder_ = recorder;
     for (auto &dev : devices_)
         dev->setRecorder(recorder);
 }
@@ -142,6 +161,7 @@ ShardedDevice::setRecorder(trace::Recorder *recorder)
 void
 ShardedDevice::enableQuerySummaries(bool enabled)
 {
+    summariesEnabled_ = enabled;
     for (auto &dev : devices_)
         dev->enableQuerySummaries(enabled);
 }
@@ -149,8 +169,20 @@ ShardedDevice::enableQuerySummaries(bool enabled)
 void
 ShardedDevice::enableStatsCapture(bool enabled)
 {
+    statsCaptureEnabled_ = enabled;
     for (auto &dev : devices_)
         dev->enableStatsCapture(enabled);
+}
+
+void
+ShardedDevice::applyObservability(accel::Device &dev)
+{
+    // Observability settings may be toggled before the shards exist
+    // (the CLI configures the stack before loading an index);
+    // (re)apply them to every freshly created device.
+    dev.setRecorder(recorder_);
+    dev.enableQuerySummaries(summariesEnabled_);
+    dev.enableStatsCapture(statsCaptureEnabled_);
 }
 
 std::vector<trace::QuerySummary>
@@ -159,8 +191,23 @@ ShardedDevice::aggregatedSummaries() const
     std::vector<trace::QuerySummary> agg;
     if (devices_.empty())
         return agg;
-    agg = devices_[0]->querySummaries();
-    for (std::size_t s = 1; s < devices_.size(); ++s) {
+    // Dead shards ran nothing and have no summaries; aggregation
+    // walks the survivors and stamps the drop count on every record.
+    std::uint64_t dead = 0;
+    std::size_t first = devices_.size();
+    for (std::size_t s = 0; s < devices_.size(); ++s) {
+        if (!devices_[s]->operational()) {
+            ++dead;
+        } else if (first == devices_.size()) {
+            first = s;
+        }
+    }
+    if (first == devices_.size())
+        return agg;
+    agg = devices_[first]->querySummaries();
+    for (std::size_t s = first + 1; s < devices_.size(); ++s) {
+        if (!devices_[s]->operational())
+            continue;
         const auto &shard = devices_[s]->querySummaries();
         BOSS_ASSERT(shard.size() == agg.size(),
                     "shard ", s, " summary count mismatch");
@@ -178,6 +225,8 @@ ShardedDevice::aggregatedSummaries() const
             a.docsSkipped += b.docsSkipped;
             a.topkInserts += b.topkInserts;
             a.resultBytes += b.resultBytes;
+            a.crcRetries += b.crcRetries;
+            a.blocksDropped += b.blocksDropped;
             for (std::size_t c = 0; c < trace::kNumTrafficClasses;
                  ++c) {
                 a.classBytes[c] += b.classBytes[c];
@@ -185,6 +234,8 @@ ShardedDevice::aggregatedSummaries() const
             }
         }
     }
+    for (auto &a : agg)
+        a.shardsDropped = dead;
     return agg;
 }
 
@@ -195,6 +246,14 @@ ShardedDevice::writeStatsJson(std::ostream &os) const
     os << "\"doc_bases\": [";
     for (std::uint32_t s = 0; s < map_.numShards(); ++s)
         os << (s ? ", " : "") << map_.docBase(s);
+    os << "],\n\"dead_shards\": [";
+    bool firstDead = true;
+    for (std::size_t s = 0; s < devices_.size(); ++s) {
+        if (devices_[s]->operational())
+            continue;
+        os << (firstDead ? "" : ", ") << s;
+        firstDead = false;
+    }
     os << "]";
     for (std::size_t s = 0; s < devices_.size(); ++s) {
         os << ",\n\"shard_" << s << "\":\n";

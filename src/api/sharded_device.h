@@ -54,6 +54,15 @@ struct ShardedOutcome
     std::uint64_t skippedDocs = 0;
     /** Per-shard simulated makespans (the scaling bench's input). */
     std::vector<double> shardSeconds;
+    /**
+     * Shards that were down and contributed nothing: every query
+     * completed, but with partial corpus coverage. Empty on healthy
+     * runs (results then bit-identical to pre-resilience builds).
+     */
+    std::vector<std::uint32_t> deadShards;
+    std::uint64_t shardsDropped = 0; ///< deadShards.size(), as counter
+    std::uint64_t crcRetries = 0;    ///< summed over live shards
+    std::uint64_t blocksDropped = 0; ///< summed over live shards
 };
 
 class ShardedDevice
@@ -140,9 +149,17 @@ class ShardedDevice
     template <typename Batch>
     ShardedOutcome runBatch(const Batch &batch, std::size_t nQueries);
 
+    /** Re-apply sticky observability settings to a new device. */
+    void applyObservability(accel::Device &dev);
+
     ShardedDeviceConfig config_;
     index::ShardMap map_;
     std::vector<std::unique_ptr<accel::Device>> devices_;
+    // Observability settings outlive reloads (and may be set before
+    // the first load creates the per-shard devices).
+    trace::Recorder *recorder_ = nullptr;
+    bool summariesEnabled_ = false;
+    bool statsCaptureEnabled_ = false;
 };
 
 } // namespace boss::api

@@ -27,9 +27,23 @@ namespace
 constexpr Addr kImageBase = 0x10000;
 } // namespace
 
-Device::Device(DeviceConfig config) : config_(std::move(config)) {}
+Device::Device(DeviceConfig config) : config_(std::move(config))
+{
+    if (config_.faults.enabled()) {
+        faultModel_ = std::make_unique<mem::FaultModel>(
+            config_.faults, config_.faultSeed, config_.deviceId);
+        faultPolicy_ =
+            std::make_unique<engine::FaultPolicy>(*faultModel_);
+    }
+}
 
 Device::~Device() = default;
+
+bool
+Device::operational() const
+{
+    return faultModel_ == nullptr || !faultModel_->deviceDead();
+}
 
 void
 Device::loadIndex(index::InvertedIndex index)
@@ -116,8 +130,18 @@ Device::runPlans(const std::vector<engine::QueryPlan> &plans)
 {
     BOSS_ASSERT(index_.has_value(), "search() before loadIndex()");
 
+    if (!operational()) {
+        // A lost device answers nothing; the caller (ShardedDevice)
+        // degrades to partial coverage instead of crashing.
+        SearchOutcome down;
+        down.deviceFailed = true;
+        down.perQuery.resize(plans.size());
+        return down;
+    }
+
     model::TraceOptions options =
         model::traceOptionsFor(config_.kind, config_.k);
+    options.faults = faultPolicy_.get();
     // Subqueries of host-managed wide unions run without pruning and
     // spill their full scored lists to the host.
     model::TraceOptions wideOptions = options;
@@ -199,8 +223,11 @@ Device::runPlans(const std::vector<engine::QueryPlan> &plans)
     std::vector<model::QueryTrace> traces;
     traces.reserve(plans.size());
     for (PlanRun &run : runs) {
-        for (auto &t : run.traces)
+        for (auto &t : run.traces) {
+            outcome.crcRetries += t.crcRetries;
+            outcome.blocksDropped += t.blocksDropped;
             traces.push_back(std::move(t));
+        }
         outcome.evaluatedDocs += run.evaluatedDocs;
         outcome.skippedDocs += run.skippedDocs;
         outcome.perQuery.push_back(std::move(run.topk));
@@ -216,6 +243,7 @@ Device::runPlans(const std::vector<engine::QueryPlan> &plans)
     sys.mem = config_.mem;
     sys.link = config_.link;
     sys.label = config_.label;
+    sys.faults = faultModel_.get();
     model::ReplayObservers observers;
     observers.recorder = recorder_;
     std::vector<model::QueryTiming> timings;
@@ -254,6 +282,17 @@ Device::writeStatsJson(std::ostream &os) const
     common::ThreadPool::global().registerStats(poolGroup);
     os << "{\n\"host_pool\":\n";
     poolGroup.dumpJson(os, 0);
+    os << ",\n\"resilience\":\n";
+    if (faultPolicy_ == nullptr) {
+        os << "null";
+    } else {
+        os << "{\"device_dead\": " << (operational() ? "false" : "true")
+           << ", \"crc_checks\": " << faultPolicy_->crcChecks()
+           << ", \"crc_failures\": " << faultPolicy_->crcFailures()
+           << ", \"crc_retries\": " << faultPolicy_->crcRetries()
+           << ", \"blocks_dropped\": " << faultPolicy_->blocksDropped()
+           << "}";
+    }
     os << ",\n\"last_run\":\n";
     if (lastRunStatsJson_.empty()) {
         os << "null";

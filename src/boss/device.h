@@ -39,6 +39,16 @@ struct DeviceConfig
     model::SystemKind kind = model::SystemKind::Boss;
     /** Trace-lane label; ShardedDevice names each shard device. */
     std::string label = "device";
+    /**
+     * Fault injection spec (default: no faults, zero overhead). When
+     * any fault source is enabled, decodes run under the CRC/retry/
+     * drop policy and replay charges degraded-read latency.
+     */
+    mem::FaultSpec faults;
+    /** Base seed of the fault schedule (shared across shards). */
+    std::uint64_t faultSeed = 0xB055;
+    /** Shard index; per-device fault schedules key on it. */
+    std::uint32_t deviceId = 0;
 };
 
 /** Result of one search() call. */
@@ -49,6 +59,14 @@ struct SearchOutcome
     std::uint64_t deviceBytes = 0; ///< SCM traffic for this search
     std::uint64_t evaluatedDocs = 0;
     std::uint64_t skippedDocs = 0;
+    /**
+     * The whole device was down (spec'd dead shard): no query ran,
+     * perQuery holds one empty list per submitted query. ShardedDevice
+     * uses this to drop the shard from its merge.
+     */
+    bool deviceFailed = false;
+    std::uint64_t crcRetries = 0;    ///< payload re-reads this search
+    std::uint64_t blocksDropped = 0; ///< payloads degraded away
     /**
      * Per-query top-k lists, one per submitted query in submission
      * order (topk is a copy of the last entry). simSeconds is the
@@ -106,6 +124,19 @@ class Device
 
     const DeviceConfig &config() const { return config_; }
 
+    /**
+     * Is the device able to serve queries? False only when the fault
+     * spec declared this device dead — search() then returns an
+     * outcome with deviceFailed set instead of results.
+     */
+    bool operational() const;
+
+    /** Cumulative resilience counters (nullptr without faults). */
+    const engine::FaultPolicy *faultPolicy() const
+    {
+        return faultPolicy_.get();
+    }
+
     // ---- Observability ----
 
     /**
@@ -160,6 +191,9 @@ class Device
     std::optional<index::InvertedIndex> index_;
     std::optional<index::Lexicon> lexicon_;
     std::optional<index::MemoryLayout> layout_;
+    /** Set only when config_.faults.enabled(). */
+    std::unique_ptr<mem::FaultModel> faultModel_;
+    std::unique_ptr<engine::FaultPolicy> faultPolicy_;
     double totalSeconds_ = 0.0;
     std::uint64_t totalQueries_ = 0;
 

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+ *
+ * One table-driven implementation shared by the index builder (per-
+ * block payload CRCs), the serializer (header checksum + whole-file
+ * CRC) and the engine's decode-time verification. The incremental
+ * Crc32 class lets the serializer checksum a stream as it writes it,
+ * without buffering the file.
+ */
+
+#ifndef BOSS_COMMON_CRC32_H
+#define BOSS_COMMON_CRC32_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace boss
+{
+
+namespace detail
+{
+
+constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    makeCrc32Table();
+
+} // namespace detail
+
+/** Incremental CRC-32 over a byte stream. */
+class Crc32
+{
+  public:
+    void
+    update(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < n; ++i)
+            state_ = detail::kCrc32Table[(state_ ^ p[i]) & 0xFFu] ^
+                     (state_ >> 8);
+    }
+
+    /** The CRC of everything update()d so far. */
+    std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+    void reset() { state_ = 0xFFFFFFFFu; }
+
+  private:
+    std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/** One-shot CRC-32 of @p n bytes at @p data. */
+inline std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    Crc32 crc;
+    crc.update(data, n);
+    return crc.value();
+}
+
+} // namespace boss
+
+#endif // BOSS_COMMON_CRC32_H

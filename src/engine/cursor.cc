@@ -7,8 +7,9 @@ namespace boss::engine
 {
 
 ListCursor::ListCursor(const index::CompressedPostingList &list,
-                       ExecHooks *hooks, QueryArena *arena)
-    : list_(list), hooks_(hooks),
+                       ExecHooks *hooks, QueryArena *arena,
+                       FaultPolicy *faults)
+    : list_(list), hooks_(hooks), faults_(faults),
       docs_(arena != nullptr ? &arena->docBuffer() : &ownedDocs_),
       tfs_(arena != nullptr ? &arena->tfBuffer() : &ownedTfs_)
 {
@@ -43,10 +44,21 @@ ListCursor::ensureDecoded()
     tfLoaded_ = false;
     decodedBlock_ = block_;
     ++blocksLoaded_;
-    if (hooks_ != nullptr) {
+    if (hooks_ != nullptr)
         hooks_->onDocBlockLoad(list_.term, list_.blocks[block_]);
-        hooks_->onDecode(list_.blocks[block_].numElems);
+    if (faults_ != nullptr &&
+        !faults_->verifyBlock(list_, block_, false, hooks_)) {
+        // Dropped block: one sentinel posting at the block's last
+        // docID. advanceTo's in-block scan still terminates
+        // (lastDoc >= any in-block target) and tf() reports 0, so
+        // the block's score contribution degrades to nothing.
+        docs_->assign(1, list_.blocks[block_].lastDoc);
+        dropped_ = true;
+        return;
     }
+    dropped_ = false;
+    if (hooks_ != nullptr)
+        hooks_->onDecode(list_.blocks[block_].numElems);
     index::decodeBlock(list_, block_, *docs_, nullptr);
 }
 
@@ -66,10 +78,23 @@ ListCursor::tf()
     ensureDecoded();
     if (!tfLoaded_) {
         tfLoaded_ = true;
-        if (hooks_ != nullptr) {
-            hooks_->onTfBlockLoad(list_.term, list_.blocks[block_]);
-            hooks_->onDecode(list_.blocks[block_].numElems);
+        if (dropped_) {
+            // The doc payload was already dropped; the tf sidecar is
+            // never fetched and the sentinel posting scores zero.
+            tfs_->assign(docs_->size(), 0);
+            return (*tfs_)[pos_];
         }
+        if (hooks_ != nullptr)
+            hooks_->onTfBlockLoad(list_.term, list_.blocks[block_]);
+        if (faults_ != nullptr &&
+            !faults_->verifyBlock(list_, block_, true, hooks_)) {
+            // tf sidecar unreadable: keep the docIDs, degrade every
+            // tf to 0 so the block contributes no score.
+            tfs_->assign(docs_->size(), 0);
+            return (*tfs_)[pos_];
+        }
+        if (hooks_ != nullptr)
+            hooks_->onDecode(list_.blocks[block_].numElems);
         index::decodeBlockTfs(list_, block_, *tfs_);
     }
     return (*tfs_)[pos_];

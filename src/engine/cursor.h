@@ -24,6 +24,7 @@
 
 #include "engine/arena.h"
 #include "engine/hooks.h"
+#include "engine/resilience.h"
 #include "index/compressed_list.h"
 
 namespace boss::engine
@@ -37,9 +38,13 @@ class ListCursor
      * @param hooks instrumentation sink (may be nullptr)
      * @param arena scratch-buffer pool (may be nullptr; the cursor
      *        then owns its decode buffers)
+     * @param faults decode-time CRC/retry/drop policy (nullptr —
+     *        the default — decodes directly, bit-identical to a
+     *        build without fault injection)
      */
     ListCursor(const index::CompressedPostingList &list,
-               ExecHooks *hooks, QueryArena *arena = nullptr);
+               ExecHooks *hooks, QueryArena *arena = nullptr,
+               FaultPolicy *faults = nullptr);
 
     /** Exhausted? Once true, doc() is invalid. */
     bool atEnd() const { return ended_; }
@@ -117,11 +122,18 @@ class ListCursor
 
     const index::CompressedPostingList &list_;
     ExecHooks *hooks_;
+    FaultPolicy *faults_;
     std::uint32_t block_ = 0;  ///< current block index
     std::uint32_t pos_ = 0;    ///< position within decoded block
     bool ended_ = false;
     bool decoded_ = false;
     bool tfLoaded_ = false;
+    /**
+     * The decoded block was dropped by the fault policy: docs_ holds
+     * the single sentinel posting (lastDoc, tf 0) that keeps every
+     * traversal invariant while contributing nothing to scores.
+     */
+    bool dropped_ = false;
     std::uint32_t decodedBlock_ = kNoBlock; ///< block docs_ holds
     std::uint32_t blocksLoaded_ = 0;
     std::vector<DocId> *docs_;    ///< decode scratch (arena or owned)

@@ -60,9 +60,9 @@ scoreMatches(const index::InvertedIndex &index, DocId d,
 std::vector<Result>
 unionLoop(const index::InvertedIndex &index, const QueryPlan &plan,
           std::size_t k, const ExecFlags &flags, ExecHooks *hooks,
-          QueryArena *arena)
+          QueryArena *arena, FaultPolicy *faults)
 {
-    auto streams = buildStreams(index, plan, hooks, arena);
+    auto streams = buildStreams(index, plan, hooks, arena, faults);
     TopK topk(k);
     std::uint64_t resultBytes = 0;
 
@@ -203,8 +203,8 @@ class IiuProber
 {
   public:
     IiuProber(const index::CompressedPostingList &list, ExecHooks *hooks,
-              QueryArena *arena)
-        : list_(list), hooks_(hooks),
+              QueryArena *arena, FaultPolicy *faults)
+        : list_(list), hooks_(hooks), faults_(faults),
           docs_(arena != nullptr ? &arena->docBuffer() : &ownedDocs_),
           tfs_(arena != nullptr ? &arena->tfBuffer() : &ownedTfs_)
     {}
@@ -235,12 +235,24 @@ class IiuProber
             cached_ = true;
             cachedBlock_ = lo;
             tfLoaded_ = false;
-            if (hooks_ != nullptr) {
+            tfDropped_ = false;
+            blockDropped_ = false;
+            if (hooks_ != nullptr)
                 hooks_->onProbeBlockLoad(list_.term, list_.blocks[lo]);
-                hooks_->onDecode(list_.blocks[lo].numElems);
+            if (faults_ != nullptr &&
+                !faults_->verifyBlock(list_, lo, false, hooks_)) {
+                // Dropped block: every probe landing here misses, so
+                // the candidates it would have confirmed degrade out
+                // of the intersection instead of crashing the pass.
+                blockDropped_ = true;
+            } else {
+                if (hooks_ != nullptr)
+                    hooks_->onDecode(list_.blocks[lo].numElems);
+                index::decodeBlock(list_, lo, *docs_, tfs_);
             }
-            index::decodeBlock(list_, lo, *docs_, tfs_);
         }
+        if (blockDropped_)
+            return 0;
         auto it = std::lower_bound(docs_->begin(), docs_->end(), d);
         if (hooks_ != nullptr)
             hooks_->onCompare(8); // ~log2(128) comparisons
@@ -248,19 +260,27 @@ class IiuProber
             return 0;
         if (!tfLoaded_) {
             tfLoaded_ = true;
-            if (hooks_ != nullptr) {
+            if (hooks_ != nullptr)
                 hooks_->onTfBlockLoad(list_.term, list_.blocks[lo]);
+            if (faults_ != nullptr &&
+                !faults_->verifyBlock(list_, lo, true, hooks_))
+                tfDropped_ = true;
+            else if (hooks_ != nullptr)
                 hooks_->onDecode(list_.blocks[lo].numElems);
-            }
         }
+        if (tfDropped_)
+            return 0; // unreadable tf sidecar: treat as a miss
         return (*tfs_)[static_cast<std::size_t>(it - docs_->begin())];
     }
 
   private:
     const index::CompressedPostingList &list_;
     ExecHooks *hooks_;
+    FaultPolicy *faults_;
     bool cached_ = false;
     bool tfLoaded_ = false;
+    bool tfDropped_ = false;
+    bool blockDropped_ = false;
     std::uint32_t cachedBlock_ = 0;
     std::uint32_t searchBase_ = 0;
     std::vector<DocId> *docs_;
@@ -272,7 +292,7 @@ class IiuProber
 /** Fully decode a list, charging sequential loads (IIU base list). */
 std::vector<IiuCandidate>
 iiuDecodeList(const index::InvertedIndex &index, TermId t,
-              ExecHooks *hooks, QueryArena *arena)
+              ExecHooks *hooks, QueryArena *arena, FaultPolicy *faults)
 {
     const auto &list = index.list(t);
     std::vector<IiuCandidate> out;
@@ -287,9 +307,28 @@ iiuDecodeList(const index::InvertedIndex &index, TermId t,
         if (hooks != nullptr) {
             hooks->onMetaRead(t, 1);
             hooks->onDocBlockLoad(t, list.blocks[b]);
-            hooks->onTfBlockLoad(t, list.blocks[b]);
-            hooks->onDecode(2u * list.blocks[b].numElems);
         }
+        if (faults != nullptr &&
+            !faults->verifyBlock(list, b, false, hooks)) {
+            // Unreadable doc payload: the whole block's postings
+            // degrade out of the exhaustive scan.
+            continue;
+        }
+        if (hooks != nullptr)
+            hooks->onTfBlockLoad(t, list.blocks[b]);
+        if (faults != nullptr &&
+            !faults->verifyBlock(list, b, true, hooks)) {
+            // docIDs survive, tfs do not: keep the candidates at
+            // score zero so downstream probes still see them.
+            if (hooks != nullptr)
+                hooks->onDecode(list.blocks[b].numElems);
+            index::decodeBlock(list, b, docs, nullptr);
+            for (DocId d : docs)
+                out.push_back({d, 0.f});
+            continue;
+        }
+        if (hooks != nullptr)
+            hooks->onDecode(2u * list.blocks[b].numElems);
         index::decodeBlock(list, b, docs, &tfs);
         for (std::size_t i = 0; i < docs.size(); ++i) {
             float s = index.scorer().termScore(list.idf, tfs[i],
@@ -308,7 +347,7 @@ iiuDecodeList(const index::InvertedIndex &index, TermId t,
 std::vector<Result>
 iiuIntersectPath(const index::InvertedIndex &index, const QueryPlan &plan,
                  std::size_t k, const ExecFlags &flags, ExecHooks *hooks,
-                 QueryArena *arena)
+                 QueryArena *arena, FaultPolicy *faults)
 {
     // Determine the conjunction structure: either one pure group, or
     // the factored common ^ (rest1 v rest2 v ...) shape.
@@ -348,13 +387,15 @@ iiuIntersectPath(const index::InvertedIndex &index, const QueryPlan &plan,
     std::vector<IiuCandidate> current;
     std::vector<TermId> probeTerms;
     if (unionTerms.empty()) {
-        current = iiuDecodeList(index, commonTerms[0], hooks, arena);
+        current =
+            iiuDecodeList(index, commonTerms[0], hooks, arena, faults);
         probeTerms.assign(commonTerms.begin() + 1, commonTerms.end());
     } else {
         // Merge the union terms' lists (exhaustive, all loaded).
         std::map<DocId, float> merged;
         for (TermId t : unionTerms) {
-            for (const auto &c : iiuDecodeList(index, t, hooks, arena)) {
+            for (const auto &c :
+                 iiuDecodeList(index, t, hooks, arena, faults)) {
                 if (hooks != nullptr)
                     hooks->onCompare(1);
                 merged[c.doc] += c.partialScore;
@@ -373,7 +414,7 @@ iiuIntersectPath(const index::InvertedIndex &index, const QueryPlan &plan,
     for (std::size_t pi = 0; pi < probeTerms.size(); ++pi) {
         TermId t = probeTerms[pi];
         const auto &list = index.list(t);
-        IiuProber prober(list, hooks, arena);
+        IiuProber prober(list, hooks, arena, faults);
         std::vector<IiuCandidate> next;
         next.reserve(current.size());
         for (const auto &c : current) {
@@ -449,14 +490,15 @@ hasConjunctiveCore(const QueryPlan &plan)
 std::vector<Result>
 executeQuery(const index::InvertedIndex &index, const QueryPlan &plan,
              std::size_t k, const ExecFlags &flags, ExecHooks *hooks,
-             QueryArena *arena)
+             QueryArena *arena, FaultPolicy *faults)
 {
     BOSS_ASSERT(!plan.groups.empty(), "empty query plan");
     if (flags.binaryIntersect && !plan.isPureUnion() &&
         hasConjunctiveCore(plan)) {
-        return iiuIntersectPath(index, plan, k, flags, hooks, arena);
+        return iiuIntersectPath(index, plan, k, flags, hooks, arena,
+                                faults);
     }
-    return unionLoop(index, plan, k, flags, hooks, arena);
+    return unionLoop(index, plan, k, flags, hooks, arena, faults);
 }
 
 std::vector<Result>

@@ -22,6 +22,7 @@
 #include "engine/arena.h"
 #include "engine/hooks.h"
 #include "engine/plan.h"
+#include "engine/resilience.h"
 #include "engine/topk.h"
 #include "index/inverted_index.h"
 
@@ -52,11 +53,17 @@ inline constexpr std::size_t kDefaultTopK = 1000;
  * rank order. @p hooks may be nullptr for pure functional use.
  * @p arena, when non-null, supplies reusable decode scratch (reset it
  * between queries); results are identical with or without it.
+ * @p faults, when non-null, CRC-verifies every block payload under
+ * the fault model's injected errors: unrecoverable blocks are
+ * dropped, degrading scores instead of crashing. A null @p faults is
+ * the unchecked fast path with bit-identical results to builds
+ * without the resilience layer.
  */
 std::vector<Result>
 executeQuery(const index::InvertedIndex &index, const QueryPlan &plan,
              std::size_t k, const ExecFlags &flags,
-             ExecHooks *hooks = nullptr, QueryArena *arena = nullptr);
+             ExecHooks *hooks = nullptr, QueryArena *arena = nullptr,
+             FaultPolicy *faults = nullptr);
 
 /**
  * Brute-force oracle: decodes every posting list fully and scores

@@ -95,6 +95,29 @@ class ExecHooks
     /** Result written back to memory (ST Result). */
     virtual void onResultStore(std::uint64_t bytes) { (void)bytes; }
 
+    /**
+     * A payload re-read after a CRC mismatch (transient-fault
+     * retry). @p tfPayload distinguishes the tf sidecar from the
+     * doc-gap payload; timing models re-issue the block's traffic.
+     */
+    virtual void onBlockRetry(TermId t, const index::BlockMeta &meta,
+                              bool tfPayload)
+    {
+        (void)t;
+        (void)meta;
+        (void)tfPayload;
+    }
+
+    /**
+     * A block abandoned after exhausting CRC re-reads (hard fault):
+     * its postings contribute nothing and scores degrade.
+     */
+    virtual void onBlockDropped(TermId t, const index::BlockMeta &meta)
+    {
+        (void)t;
+        (void)meta;
+    }
+
     /** @p count candidate documents skipped by early termination. */
     virtual void onSkippedDocs(std::uint64_t count) { (void)count; }
 

@@ -1,0 +1,64 @@
+#include "engine/resilience.h"
+
+#include <vector>
+
+#include "common/crc32.h"
+
+namespace boss::engine
+{
+
+bool
+FaultPolicy::verifyBlock(const index::CompressedPostingList &list,
+                         std::uint32_t b, bool tfPayload,
+                         ExecHooks *hooks)
+{
+    const index::BlockMeta &meta = list.blocks[b];
+    const std::uint8_t *payload =
+        tfPayload ? list.tfPayload.data() + meta.tfOffset
+                  : list.docPayload.data() + meta.docOffset;
+    std::size_t bytes = tfPayload ? meta.tfBytes : meta.docBytes;
+    std::uint32_t expect = tfPayload ? meta.tfCrc : meta.docCrc;
+
+    std::uint64_t key =
+        mem::FaultModel::blockKey(list.term, b, tfPayload);
+    bool stuck = model_.blockStuck(key);
+
+    std::vector<std::uint8_t> scratch;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        checks_.fetch_add(1, std::memory_order_relaxed);
+        bool ok;
+        if (stuck) {
+            // Worn-out cells: every read of this block returns
+            // garbage; no need to materialize it to know the CRC
+            // cannot match.
+            ok = false;
+        } else if (model_.corrupt(key, attempt, nullptr, bytes) > 0) {
+            // This attempt drew transient flips: apply them to a
+            // scratch copy and run the real check, so the detection
+            // machinery is exercised on genuinely corrupted bytes.
+            scratch.assign(payload, payload + bytes);
+            model_.corrupt(key, attempt, scratch.data(), bytes);
+            ok = crc32(scratch.data(), scratch.size()) == expect;
+        } else {
+            // Clean read: still verified, which also catches real
+            // on-disk corruption that slipped past load-time checks.
+            ok = crc32(payload, bytes) == expect;
+        }
+        if (ok)
+            return true;
+
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        if (attempt >= model_.maxRetries())
+            break;
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        if (hooks != nullptr)
+            hooks->onBlockRetry(list.term, meta, tfPayload);
+    }
+
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (hooks != nullptr)
+        hooks->onBlockDropped(list.term, meta);
+    return false;
+}
+
+} // namespace boss::engine

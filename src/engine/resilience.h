@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Decode-time resilience policy: CRC-verify, bounded re-read,
+ * skip-block degrade.
+ *
+ * Every payload the engine decodes carries a builder-computed CRC32
+ * in its block metadata. When a FaultPolicy is active, each block
+ * read is checked against that CRC after the fault model injects
+ * whatever the media did to it: a mismatch triggers bounded re-reads
+ * (transient bit flips clear on retry), and a block that stays bad —
+ * stuck media — is dropped: its postings contribute nothing, the
+ * query completes with degraded scores, and the drop is counted and
+ * traced. A null policy is the fast path: no copy, no CRC, behavior
+ * bit-identical to a build without this subsystem.
+ *
+ * The policy is shared by every worker thread of a device (trace
+ * building fans out over the host pool), so its counters are
+ * atomics. Fault decisions themselves are pure functions of the
+ * model's seed and the block's key — never of thread interleaving —
+ * so results stay bit-identical at any thread count.
+ */
+
+#ifndef BOSS_ENGINE_RESILIENCE_H
+#define BOSS_ENGINE_RESILIENCE_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "engine/hooks.h"
+#include "index/compressed_list.h"
+#include "mem/fault_model.h"
+
+namespace boss::engine
+{
+
+class FaultPolicy
+{
+  public:
+    explicit FaultPolicy(const mem::FaultModel &model) : model_(model)
+    {}
+
+    /**
+     * Run the read-verify-retry protocol for one payload of block
+     * @p b of @p list (@p tfPayload selects the tf sidecar).
+     * Returns true when a read passed its CRC — the caller then
+     * decodes the (clean) payload as usual — or false when the block
+     * exhausted its retries and must be dropped. Retries and drops
+     * fire the corresponding @p hooks callbacks so timing models
+     * charge the extra traffic.
+     */
+    bool verifyBlock(const index::CompressedPostingList &list,
+                     std::uint32_t b, bool tfPayload, ExecHooks *hooks);
+
+    const mem::FaultModel &model() const { return model_; }
+
+    // Cumulative event counters (across all queries and threads).
+    std::uint64_t crcChecks() const { return checks_.load(); }
+    std::uint64_t crcFailures() const { return failures_.load(); }
+    std::uint64_t crcRetries() const { return retries_.load(); }
+    std::uint64_t blocksDropped() const { return dropped_.load(); }
+
+  private:
+    const mem::FaultModel &model_;
+    std::atomic<std::uint64_t> checks_{0};
+    std::atomic<std::uint64_t> failures_{0};
+    std::atomic<std::uint64_t> retries_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+} // namespace boss::engine
+
+#endif // BOSS_ENGINE_RESILIENCE_H

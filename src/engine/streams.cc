@@ -239,26 +239,27 @@ namespace
 
 std::unique_ptr<DocStream>
 makeTermStream(const index::InvertedIndex &index, TermId t,
-               ExecHooks *hooks, QueryArena *arena)
+               ExecHooks *hooks, QueryArena *arena, FaultPolicy *faults)
 {
-    return std::make_unique<TermStream>(index.list(t), hooks, arena);
+    return std::make_unique<TermStream>(index.list(t), hooks, arena,
+                                        faults);
 }
 
 /** AND-group over raw terms, most selective list leading. */
 std::unique_ptr<DocStream>
 makeGroupStream(const index::InvertedIndex &index,
                 std::vector<TermId> terms, ExecHooks *hooks,
-                QueryArena *arena)
+                QueryArena *arena, FaultPolicy *faults)
 {
     if (terms.size() == 1)
-        return makeTermStream(index, terms[0], hooks, arena);
+        return makeTermStream(index, terms[0], hooks, arena, faults);
     std::sort(terms.begin(), terms.end(), [&](TermId a, TermId b) {
         return index.list(a).docCount < index.list(b).docCount;
     });
     std::vector<std::unique_ptr<DocStream>> members;
     members.reserve(terms.size());
     for (TermId t : terms)
-        members.push_back(makeTermStream(index, t, hooks, arena));
+        members.push_back(makeTermStream(index, t, hooks, arena, faults));
     return std::make_unique<AndStream>(std::move(members), hooks);
 }
 
@@ -266,7 +267,7 @@ makeGroupStream(const index::InvertedIndex &index,
 
 std::vector<std::unique_ptr<DocStream>>
 buildStreams(const index::InvertedIndex &index, const QueryPlan &plan,
-             ExecHooks *hooks, QueryArena *arena)
+             ExecHooks *hooks, QueryArena *arena, FaultPolicy *faults)
 {
     BOSS_ASSERT(!plan.groups.empty(), "empty query plan");
     std::vector<std::unique_ptr<DocStream>> streams;
@@ -301,8 +302,8 @@ buildStreams(const index::InvertedIndex &index, const QueryPlan &plan,
             if (factorable) {
                 std::vector<std::unique_ptr<DocStream>> orMembers;
                 for (const auto &rest : rests)
-                    orMembers.push_back(
-                        makeTermStream(index, rest[0], hooks, arena));
+                    orMembers.push_back(makeTermStream(
+                        index, rest[0], hooks, arena, faults));
                 std::vector<std::unique_ptr<DocStream>> andMembers;
                 // Most selective common term leads the conjunction.
                 std::sort(common.begin(), common.end(),
@@ -311,8 +312,8 @@ buildStreams(const index::InvertedIndex &index, const QueryPlan &plan,
                                      index.list(b).docCount;
                           });
                 for (TermId t : common)
-                    andMembers.push_back(
-                        makeTermStream(index, t, hooks, arena));
+                    andMembers.push_back(makeTermStream(
+                        index, t, hooks, arena, faults));
                 andMembers.push_back(std::make_unique<OrStream>(
                     std::move(orMembers), hooks));
                 streams.push_back(std::make_unique<AndStream>(
@@ -323,7 +324,8 @@ buildStreams(const index::InvertedIndex &index, const QueryPlan &plan,
     }
 
     for (const auto &g : plan.groups)
-        streams.push_back(makeGroupStream(index, g, hooks, arena));
+        streams.push_back(
+            makeGroupStream(index, g, hooks, arena, faults));
     return streams;
 }
 

@@ -88,8 +88,9 @@ class TermStream : public DocStream
 {
   public:
     TermStream(const index::CompressedPostingList &list,
-               ExecHooks *hooks, QueryArena *arena = nullptr)
-        : cursor_(list, hooks, arena)
+               ExecHooks *hooks, QueryArena *arena = nullptr,
+               FaultPolicy *faults = nullptr)
+        : cursor_(list, hooks, arena, faults)
     {}
 
     bool atEnd() const override { return cursor_.atEnd(); }
@@ -190,11 +191,13 @@ class OrStream : public DocStream
  *
  * @p arena, when non-null, supplies every cursor's decode scratch;
  * it must outlive the returned streams and be reset() only after
- * they are destroyed.
+ * they are destroyed. @p faults, when non-null, guards every
+ * cursor's decode with the CRC/retry/drop policy.
  */
 std::vector<std::unique_ptr<DocStream>>
 buildStreams(const index::InvertedIndex &index, const QueryPlan &plan,
-             ExecHooks *hooks, QueryArena *arena = nullptr);
+             ExecHooks *hooks, QueryArena *arena = nullptr,
+             FaultPolicy *faults = nullptr);
 
 } // namespace boss::engine
 

@@ -40,6 +40,12 @@ struct BlockMeta
     std::uint8_t numElems = 0;   ///< elements in block (1..128)
     std::uint8_t bitWidth = 0;   ///< packed width (BP/PFD)
     std::uint16_t exceptionInfo = 0; ///< exception count (PFD)
+    // Builder-computed CRC32 of each compressed payload, checked at
+    // decode time by the resilience layer (and usable by any reader
+    // to detect at-rest corruption). Not part of the paper's 19-byte
+    // record: traffic accounting still charges kBlockMetaBytes.
+    std::uint32_t docCrc = 0; ///< CRC32 of the doc payload bytes
+    std::uint32_t tfCrc = 0;  ///< CRC32 of the tf payload bytes
 };
 
 /** Metadata bytes charged per block when fetched (paper: 19B). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/crc32.h"
 #include "common/logging.h"
 #include "compress/codec.h"
 
@@ -115,6 +116,7 @@ IndexBuilder::compressList(TermId term, const PostingList &postings,
         }
         meta.docOffset = static_cast<std::uint32_t>(out.docPayload.size());
         meta.docBytes = static_cast<std::uint32_t>(enc.bytes.size());
+        meta.docCrc = crc32(enc.bytes.data(), enc.bytes.size());
         meta.bitWidth = enc.bitWidth;
         meta.exceptionInfo = enc.exceptionCount;
         out.docPayload.insert(out.docPayload.end(), enc.bytes.begin(),
@@ -126,6 +128,7 @@ IndexBuilder::compressList(TermId term, const PostingList &postings,
         }
         meta.tfOffset = static_cast<std::uint32_t>(out.tfPayload.size());
         meta.tfBytes = static_cast<std::uint32_t>(enc.bytes.size());
+        meta.tfCrc = crc32(enc.bytes.data(), enc.bytes.size());
         out.tfPayload.insert(out.tfPayload.end(), enc.bytes.begin(),
                              enc.bytes.end());
 

@@ -3,8 +3,11 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
+#include <utility>
 
+#include "common/crc32.h"
 #include "common/logging.h"
 
 namespace boss::index
@@ -14,46 +17,264 @@ namespace
 {
 
 constexpr std::uint32_t kMagic = 0xB0555EED;
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2; // v2: header CRC + payload CRCs
+                                      // in BlockMeta + trailing file CRC
+
+/**
+ * Internal control flow for the load path: helpers throw LoadError,
+ * the public entry points translate it to either fatal() (loadIndex,
+ * the CLI-facing API) or std::nullopt (tryLoadIndex, used by the
+ * corruption test sweep, which flips thousands of bytes in-process).
+ */
+struct LoadError
+{
+    std::string message;
+};
+
+[[noreturn]] void
+loadFail(std::string message)
+{
+    throw LoadError{std::move(message)};
+}
+
+/**
+ * Output stream wrapper accumulating a CRC32 over every byte
+ * written, so the file checksum streams with the data (no second
+ * pass, no buffering of the whole index).
+ */
+class CrcWriter
+{
+  public:
+    explicit CrcWriter(std::ostream &os) : os_(os) {}
+
+    void
+    write(const void *src, std::size_t n)
+    {
+        os_.write(static_cast<const char *>(src),
+                  static_cast<std::streamsize>(n));
+        crc_.update(src, n);
+    }
+
+    /** Emit a value outside the checksum (the checksum itself). */
+    template <typename T>
+    void
+    writeRaw(const T &v)
+    {
+        os_.write(reinterpret_cast<const char *>(&v), sizeof(T));
+    }
+
+    std::uint32_t crc() const { return crc_.value(); }
+
+  private:
+    std::ostream &os_;
+    Crc32 crc_;
+};
+
+/**
+ * Input stream wrapper that (a) accumulates the same CRC32 the
+ * writer produced, (b) enforces a byte budget so a corrupted length
+ * field can never drive an allocation or read beyond the file.
+ */
+class CrcReader
+{
+  public:
+    explicit CrcReader(std::istream &is) : is_(is)
+    {
+        // Discover how many bytes remain; unseekable streams fall
+        // back to a generous cap that still stops absurd lengths.
+        constexpr std::uint64_t kFallbackBudget =
+            std::uint64_t{1} << 40; // 1 TiB
+        remaining_ = kFallbackBudget;
+        auto cur = is_.tellg();
+        if (cur != std::istream::pos_type(-1)) {
+            is_.seekg(0, std::ios::end);
+            auto end = is_.tellg();
+            is_.seekg(cur);
+            if (end != std::istream::pos_type(-1) && end >= cur)
+                remaining_ = static_cast<std::uint64_t>(end - cur);
+        }
+    }
+
+    void
+    read(void *dst, std::size_t n)
+    {
+        if (n > remaining_)
+            loadFail("index file truncated");
+        is_.read(static_cast<char *>(dst),
+                 static_cast<std::streamsize>(n));
+        if (!is_)
+            loadFail("index file truncated");
+        remaining_ -= n;
+        crc_.update(dst, n);
+    }
+
+    /** Read a value without folding it into the checksum. */
+    template <typename T>
+    T
+    readRaw()
+    {
+        T v{};
+        if (sizeof(T) > remaining_)
+            loadFail("index file truncated");
+        is_.read(reinterpret_cast<char *>(&v), sizeof(T));
+        if (!is_)
+            loadFail("index file truncated");
+        remaining_ -= sizeof(T);
+        return v;
+    }
+
+    /** Bytes left before the budget is exhausted. */
+    std::uint64_t remaining() const { return remaining_; }
+
+    std::uint32_t crc() const { return crc_.value(); }
+
+  private:
+    std::istream &is_;
+    Crc32 crc_;
+    std::uint64_t remaining_ = 0;
+};
 
 template <typename T>
 void
-writePod(std::ostream &os, const T &v)
+writePod(CrcWriter &w, const T &v)
 {
-    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+    w.write(&v, sizeof(T));
 }
 
 template <typename T>
 T
-readPod(std::istream &is)
+readPod(CrcReader &r)
 {
     T v{};
-    is.read(reinterpret_cast<char *>(&v), sizeof(T));
-    if (!is)
-        BOSS_FATAL("index file truncated");
+    r.read(&v, sizeof(T));
     return v;
 }
 
 template <typename T>
 void
-writeVec(std::ostream &os, const std::vector<T> &v)
+writeVec(CrcWriter &w, const std::vector<T> &v)
 {
-    writePod<std::uint64_t>(os, v.size());
-    os.write(reinterpret_cast<const char *>(v.data()),
-             static_cast<std::streamsize>(v.size() * sizeof(T)));
+    writePod<std::uint64_t>(w, v.size());
+    w.write(v.data(), v.size() * sizeof(T));
 }
 
 template <typename T>
 std::vector<T>
-readVec(std::istream &is)
+readVec(CrcReader &r, const char *what)
 {
-    auto n = readPod<std::uint64_t>(is);
-    std::vector<T> v(n);
-    is.read(reinterpret_cast<char *>(v.data()),
-            static_cast<std::streamsize>(n * sizeof(T)));
-    if (!is)
-        BOSS_FATAL("index file truncated");
+    auto n = readPod<std::uint64_t>(r);
+    // Validate before allocating: a flipped length field must fail
+    // here, not inside the allocator or a wild read.
+    if (n > r.remaining() / sizeof(T))
+        loadFail(detail::concat("index file truncated (", what,
+                                " length ", n,
+                                " exceeds remaining file size)"));
+    std::vector<T> v(static_cast<std::size_t>(n));
+    r.read(v.data(), v.size() * sizeof(T));
     return v;
+}
+
+/**
+ * Structural validation of one decoded list: every offset/count the
+ * engine will later trust must be internally consistent, so a
+ * corrupted-but-CRC-bypassing file can never drive out-of-bounds
+ * payload slicing.
+ */
+void
+validateList(const CompressedPostingList &list, std::uint32_t t)
+{
+    auto fail = [&](auto &&...args) {
+        loadFail(detail::concat("index file corrupt: list ", t, ": ",
+                                std::forward<decltype(args)>(args)...));
+    };
+    if (static_cast<std::uint8_t>(list.scheme) >=
+        compress::kNumSchemes)
+        fail("unknown compression scheme ",
+             static_cast<unsigned>(list.scheme));
+    std::uint64_t elems = 0;
+    DocId prevLast = 0;
+    for (std::uint32_t b = 0; b < list.numBlocks(); ++b) {
+        const BlockMeta &m = list.blocks[b];
+        if (m.numElems == 0 || m.numElems > kBlockSize)
+            fail("block ", b, ": bad element count ",
+                 static_cast<unsigned>(m.numElems));
+        if (m.firstDoc > m.lastDoc)
+            fail("block ", b, ": firstDoc > lastDoc");
+        if (b > 0 && m.firstDoc <= prevLast)
+            fail("block ", b, ": docID range overlaps prior block");
+        prevLast = m.lastDoc;
+        if (m.firstIndex != elems)
+            fail("block ", b, ": bad firstIndex");
+        elems += m.numElems;
+        if (m.docBytes > list.docPayload.size() ||
+            m.docOffset > list.docPayload.size() - m.docBytes)
+            fail("block ", b, ": doc payload out of bounds");
+        if (m.tfBytes > list.tfPayload.size() ||
+            m.tfOffset > list.tfPayload.size() - m.tfBytes)
+            fail("block ", b, ": tf payload out of bounds");
+    }
+    if (elems != list.docCount)
+        fail("block element counts do not sum to docCount");
+}
+
+InvertedIndex
+loadIndexImpl(std::istream &is)
+{
+    CrcReader r(is);
+    if (readPod<std::uint32_t>(r) != kMagic)
+        loadFail("not a BOSS index file (bad magic)");
+    if (readPod<std::uint32_t>(r) != kVersion)
+        loadFail("unsupported index file version");
+
+    Bm25Params params;
+    Crc32 headerCrc;
+    params.k1 = readPod<double>(r);
+    params.b = readPod<double>(r);
+    auto avgDocLen = readPod<double>(r);
+    headerCrc.update(&params.k1, sizeof(params.k1));
+    headerCrc.update(&params.b, sizeof(params.b));
+    headerCrc.update(&avgDocLen, sizeof(avgDocLen));
+    if (readPod<std::uint32_t>(r) != headerCrc.value())
+        loadFail("index file corrupt: header checksum mismatch");
+
+    auto docs = readVec<DocInfo>(r, "doc table");
+
+    auto numTerms = readPod<std::uint32_t>(r);
+    // Cheapest possible list is term + scheme + docCount + idf +
+    // maxTermScore + three empty vector headers: reject a flipped
+    // term count from the byte budget before sizing the vector.
+    constexpr std::uint64_t kMinListBytes =
+        sizeof(TermId) + sizeof(std::uint8_t) +
+        sizeof(std::uint32_t) + 2 * sizeof(float) +
+        3 * sizeof(std::uint64_t);
+    if (numTerms > r.remaining() / kMinListBytes)
+        loadFail(detail::concat(
+            "index file truncated (term count ", numTerms,
+            " exceeds remaining file size)"));
+    std::vector<CompressedPostingList> lists(numTerms);
+    for (std::uint32_t t = 0; t < numTerms; ++t) {
+        CompressedPostingList &list = lists[t];
+        list.term = readPod<TermId>(r);
+        list.scheme =
+            static_cast<compress::Scheme>(readPod<std::uint8_t>(r));
+        list.docCount = readPod<std::uint32_t>(r);
+        list.idf = readPod<float>(r);
+        list.maxTermScore = readPod<float>(r);
+        list.blocks = readVec<BlockMeta>(r, "block metadata");
+        list.docPayload = readVec<std::uint8_t>(r, "doc payload");
+        list.tfPayload = readVec<std::uint8_t>(r, "tf payload");
+        validateList(list, t);
+    }
+
+    // Whole-body checksum, written outside its own coverage. Checked
+    // last: everything above already failed fast on the specific
+    // field it caught, this is the net under everything else.
+    std::uint32_t expect = r.crc();
+    if (r.readRaw<std::uint32_t>() != expect)
+        loadFail("index file corrupt: file checksum mismatch");
+
+    return InvertedIndex(params, std::move(docs), avgDocLen,
+                         std::move(lists));
 }
 
 } // namespace
@@ -61,57 +282,59 @@ readVec(std::istream &is)
 void
 saveIndex(const InvertedIndex &index, std::ostream &os)
 {
-    writePod(os, kMagic);
-    writePod(os, kVersion);
-    writePod(os, index.scorer().params().k1);
-    writePod(os, index.scorer().params().b);
-    writePod(os, index.avgDocLen());
-    writeVec(os, index.docs());
+    CrcWriter w(os);
+    writePod(w, kMagic);
+    writePod(w, kVersion);
 
-    writePod<std::uint32_t>(os, index.numTerms());
+    Crc32 headerCrc;
+    double k1 = index.scorer().params().k1;
+    double b = index.scorer().params().b;
+    double avgDocLen = index.avgDocLen();
+    writePod(w, k1);
+    writePod(w, b);
+    writePod(w, avgDocLen);
+    headerCrc.update(&k1, sizeof(k1));
+    headerCrc.update(&b, sizeof(b));
+    headerCrc.update(&avgDocLen, sizeof(avgDocLen));
+    writePod(w, headerCrc.value());
+
+    writeVec(w, index.docs());
+
+    writePod<std::uint32_t>(w, index.numTerms());
     for (TermId t = 0; t < index.numTerms(); ++t) {
         const CompressedPostingList &list = index.list(t);
-        writePod(os, list.term);
-        writePod(os, static_cast<std::uint8_t>(list.scheme));
-        writePod(os, list.docCount);
-        writePod(os, list.idf);
-        writePod(os, list.maxTermScore);
-        writeVec(os, list.blocks);
-        writeVec(os, list.docPayload);
-        writeVec(os, list.tfPayload);
+        writePod(w, list.term);
+        writePod(w, static_cast<std::uint8_t>(list.scheme));
+        writePod(w, list.docCount);
+        writePod(w, list.idf);
+        writePod(w, list.maxTermScore);
+        writeVec(w, list.blocks);
+        writeVec(w, list.docPayload);
+        writeVec(w, list.tfPayload);
     }
+    w.writeRaw(w.crc());
 }
 
 InvertedIndex
 loadIndex(std::istream &is)
 {
-    if (readPod<std::uint32_t>(is) != kMagic)
-        BOSS_FATAL("not a BOSS index file (bad magic)");
-    if (readPod<std::uint32_t>(is) != kVersion)
-        BOSS_FATAL("unsupported index file version");
-
-    Bm25Params params;
-    params.k1 = readPod<double>(is);
-    params.b = readPod<double>(is);
-    auto avgDocLen = readPod<double>(is);
-    auto docs = readVec<DocInfo>(is);
-
-    auto numTerms = readPod<std::uint32_t>(is);
-    std::vector<CompressedPostingList> lists(numTerms);
-    for (std::uint32_t t = 0; t < numTerms; ++t) {
-        CompressedPostingList &list = lists[t];
-        list.term = readPod<TermId>(is);
-        list.scheme =
-            static_cast<compress::Scheme>(readPod<std::uint8_t>(is));
-        list.docCount = readPod<std::uint32_t>(is);
-        list.idf = readPod<float>(is);
-        list.maxTermScore = readPod<float>(is);
-        list.blocks = readVec<BlockMeta>(is);
-        list.docPayload = readVec<std::uint8_t>(is);
-        list.tfPayload = readVec<std::uint8_t>(is);
+    try {
+        return loadIndexImpl(is);
+    } catch (const LoadError &e) {
+        BOSS_FATAL(e.message);
     }
-    return InvertedIndex(params, std::move(docs), avgDocLen,
-                         std::move(lists));
+}
+
+std::optional<InvertedIndex>
+tryLoadIndex(std::istream &is, std::string *error)
+{
+    try {
+        return loadIndexImpl(is);
+    } catch (const LoadError &e) {
+        if (error != nullptr)
+            *error = e.message;
+        return std::nullopt;
+    }
 }
 
 void
@@ -121,6 +344,8 @@ saveIndexFile(const InvertedIndex &index, const std::string &path)
     if (!os)
         BOSS_FATAL("cannot open '", path, "' for writing");
     saveIndex(index, os);
+    if (!os)
+        BOSS_FATAL("error writing '", path, "'");
 }
 
 InvertedIndex
@@ -129,7 +354,16 @@ loadIndexFile(const std::string &path)
     std::ifstream is(path, std::ios::binary);
     if (!is)
         BOSS_FATAL("cannot open '", path, "' for reading");
-    return loadIndex(is);
+    InvertedIndex index = loadIndex(is);
+    // A standalone index file must end right after the checksum;
+    // trailing bytes mean the file is not what it claims to be.
+    // (Streams are not checked: text-index files legitimately
+    // concatenate a lexicon after the index.)
+    is.peek();
+    if (!is.eof())
+        BOSS_FATAL("index file '", path,
+                   "' has trailing garbage after the checksum");
+    return index;
 }
 
 } // namespace boss::index

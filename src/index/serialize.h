@@ -9,6 +9,7 @@
 #define BOSS_INDEX_SERIALIZE_H
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "index/inverted_index.h"
@@ -16,11 +17,30 @@
 namespace boss::index
 {
 
-/** Write @p index to @p os in the BOSS index file format. */
+/**
+ * Write @p index to @p os in the BOSS index file format (v2): a
+ * checksummed header, raw vectors with explicit lengths, and a
+ * trailing CRC32 over the whole body. Every compressed payload also
+ * carries its own CRC32 inside its BlockMeta record.
+ */
 void saveIndex(const InvertedIndex &index, std::ostream &os);
 
-/** Read an index previously written by saveIndex(). */
+/**
+ * Read an index previously written by saveIndex(). Fatal (exit 1) on
+ * any malformed input: bad magic/version, truncation, out-of-range
+ * lengths or offsets, or checksum mismatch. Leaves the stream
+ * positioned directly after the index (streams may carry further
+ * sections, e.g. a text index's lexicon).
+ */
 InvertedIndex loadIndex(std::istream &is);
+
+/**
+ * Non-fatal variant of loadIndex(): returns std::nullopt on
+ * malformed input (filling @p error when given). Used by corruption
+ * tests that probe thousands of damaged inputs in one process.
+ */
+std::optional<InvertedIndex> tryLoadIndex(std::istream &is,
+                                          std::string *error = nullptr);
 
 /** File-path convenience wrappers. */
 void saveIndexFile(const InvertedIndex &index, const std::string &path);

@@ -1,0 +1,171 @@
+#include "mem/fault_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace boss::mem
+{
+
+namespace
+{
+
+// Domain-separation streams for the per-decision child seeds: each
+// decision kind draws from its own splitSeed stream so e.g. the
+// stuck-block map and the bit-flip schedule of the same key stay
+// independent.
+constexpr std::uint64_t kStuckStream = 0xB10CDEAD;
+constexpr std::uint64_t kFlipStream = 0xF11BB175;
+constexpr std::uint64_t kDegradeStream = 0x51024EAD;
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        BOSS_FATAL("fault spec: bad value '", value, "' for '", key,
+                   "'");
+    if (v < 0.0)
+        BOSS_FATAL("fault spec: '", key, "' must be >= 0");
+    return v;
+}
+
+std::uint64_t
+parseUint(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        BOSS_FATAL("fault spec: bad value '", value, "' for '", key,
+                   "'");
+    return v;
+}
+
+} // namespace
+
+FaultSpec
+parseFaultSpec(const std::string &spec)
+{
+    FaultSpec out;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue;
+        std::size_t eq = entry.find('=');
+        if (eq == std::string::npos)
+            BOSS_FATAL("fault spec: expected key=value, got '", entry,
+                       "'");
+        std::string key = entry.substr(0, eq);
+        std::string value = entry.substr(eq + 1);
+        if (key == "ber") {
+            out.bitErrorRate = parseDouble(key, value);
+            if (out.bitErrorRate >= 1.0)
+                BOSS_FATAL("fault spec: ber must be < 1");
+        } else if (key == "stuck") {
+            out.stuckBlockRate = parseDouble(key, value);
+            if (out.stuckBlockRate > 1.0)
+                BOSS_FATAL("fault spec: stuck must be <= 1");
+        } else if (key == "degrade") {
+            out.degradeRate = parseDouble(key, value);
+            if (out.degradeRate > 1.0)
+                BOSS_FATAL("fault spec: degrade must be <= 1");
+        } else if (key == "degrade-ps") {
+            out.degradeLatency = parseUint(key, value);
+        } else if (key == "retries") {
+            out.maxRetries =
+                static_cast<std::uint32_t>(parseUint(key, value));
+        } else if (key == "dead-shard") {
+            out.deadDevices.push_back(
+                static_cast<std::uint32_t>(parseUint(key, value)));
+        } else {
+            BOSS_FATAL("fault spec: unknown key '", key,
+                       "' (known: ber, stuck, degrade, degrade-ps, "
+                       "retries, dead-shard)");
+        }
+    }
+    return out;
+}
+
+FaultModel::FaultModel(FaultSpec spec, std::uint64_t seed,
+                       std::uint32_t deviceId)
+    : spec_(std::move(spec)), seed_(splitSeed(seed, deviceId)),
+      deviceId_(deviceId)
+{
+    dead_ = std::find(spec_.deadDevices.begin(),
+                      spec_.deadDevices.end(),
+                      deviceId_) != spec_.deadDevices.end();
+}
+
+std::uint64_t
+FaultModel::blockKey(TermId term, std::uint32_t block, bool tfPayload)
+{
+    return (static_cast<std::uint64_t>(term) << 33) |
+           (static_cast<std::uint64_t>(block) << 1) |
+           (tfPayload ? 1u : 0u);
+}
+
+bool
+FaultModel::blockStuck(std::uint64_t key) const
+{
+    if (spec_.stuckBlockRate <= 0.0)
+        return false;
+    Rng rng(splitSeed(splitSeed(seed_, kStuckStream), key));
+    return rng.chance(spec_.stuckBlockRate);
+}
+
+std::uint32_t
+FaultModel::corrupt(std::uint64_t key, std::uint32_t attempt,
+                    std::uint8_t *data, std::size_t n) const
+{
+    if (spec_.bitErrorRate <= 0.0 || n == 0)
+        return 0;
+    // Each read attempt of each block draws its own flip schedule:
+    // transient faults clear on re-read with probability
+    // (1 - ber)^bits. Geometric gaps realize the exact Bernoulli
+    // process over bit positions without touching every bit.
+    Rng rng(splitSeed(splitSeed(splitSeed(seed_, kFlipStream), key),
+                      attempt));
+    std::uint64_t bits = static_cast<std::uint64_t>(n) * 8;
+    // 64-bit geometric gap: at low error rates the expected gap
+    // (1/ber) overflows Rng::geometric's 32-bit range.
+    auto gap = [&rng, p = spec_.bitErrorRate]() -> std::uint64_t {
+        double u = rng.uniform();
+        double g = std::floor(std::log1p(-u) / std::log1p(-p));
+        if (!(g < 1.0e18)) // inf/NaN-safe "past any payload"
+            return std::uint64_t{1} << 62;
+        return static_cast<std::uint64_t>(g) + 1;
+    };
+    std::uint32_t flips = 0;
+    std::uint64_t pos = gap() - 1;
+    while (pos < bits) {
+        if (data != nullptr)
+            data[pos / 8] ^= static_cast<std::uint8_t>(
+                1u << (pos % 8));
+        ++flips;
+        pos += gap();
+    }
+    return flips;
+}
+
+bool
+FaultModel::readDegraded(Addr addr) const
+{
+    if (spec_.degradeRate <= 0.0)
+        return false;
+    // Degradation is a property of the media line (4 KiB management
+    // unit), keyed by address: the same line is slow every time it
+    // is read, regardless of who reads it or when.
+    Rng rng(splitSeed(splitSeed(seed_, kDegradeStream), addr >> 12));
+    return rng.chance(spec_.degradeRate);
+}
+
+} // namespace boss::mem

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic SCM fault model.
+ *
+ * SCM media exhibits bit errors, blocks whose cells have worn out
+ * ("stuck"), reads served at degraded latency by media management,
+ * and — at pool scale — whole-device loss. The FaultModel decides,
+ * reproducibly, which faults a given access experiences. Every
+ * decision is a pure function of (base seed, device id, fault key,
+ * attempt): nothing depends on access order, host thread count, or
+ * how many other devices exist, so a fault schedule is bit-identical
+ * across runs, thread counts and shard counts. Per-device schedules
+ * derive through splitSeed(seed, deviceId), making each shard's
+ * faults independent of the cluster around it.
+ *
+ * The spec is parsed from the CLI's --fault-spec string, e.g.
+ *   "ber=1e-6,stuck=1e-4,degrade=0.01,retries=3,dead-shard=2"
+ */
+
+#ifndef BOSS_MEM_FAULT_MODEL_H
+#define BOSS_MEM_FAULT_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace boss::mem
+{
+
+/** What faults to inject, and how the reader may respond. */
+struct FaultSpec
+{
+    /** Per-bit flip probability on each read attempt (transient). */
+    double bitErrorRate = 0.0;
+    /** Fraction of payload blocks permanently unreadable (hard). */
+    double stuckBlockRate = 0.0;
+    /** Fraction of media lines served at degraded latency. */
+    double degradeRate = 0.0;
+    /** Extra latency of a degraded read, in picoseconds. */
+    Tick degradeLatency = 2'000'000; // 2 us: media retry + remap
+    /** Re-read attempts after a CRC mismatch before dropping. */
+    std::uint32_t maxRetries = 3;
+    /** Device ids (shards) that are lost entirely. */
+    std::vector<std::uint32_t> deadDevices;
+
+    /** Any fault source active? (False spec == perfect memory.) */
+    bool
+    enabled() const
+    {
+        return bitErrorRate > 0.0 || stuckBlockRate > 0.0 ||
+               degradeRate > 0.0 || !deadDevices.empty();
+    }
+};
+
+/**
+ * Parse a comma-separated key=value fault spec. Keys: ber, stuck,
+ * degrade, degrade-ps, retries, dead-shard (repeatable). Fatal on
+ * unknown keys or malformed values.
+ */
+FaultSpec parseFaultSpec(const std::string &spec);
+
+class FaultModel
+{
+  public:
+    /**
+     * @param spec what to inject
+     * @param seed base seed shared by the whole (sharded) device
+     * @param deviceId this device's shard index; the per-device
+     *        schedule derives from splitSeed(seed, deviceId)
+     */
+    FaultModel(FaultSpec spec, std::uint64_t seed,
+               std::uint32_t deviceId = 0);
+
+    const FaultSpec &spec() const { return spec_; }
+    std::uint32_t deviceId() const { return deviceId_; }
+
+    /** This whole device is lost (spec'd dead shard). */
+    bool deviceDead() const { return dead_; }
+
+    /** Stable fault key for one payload of one posting block. */
+    static std::uint64_t blockKey(TermId term, std::uint32_t block,
+                                  bool tfPayload);
+
+    /** Is this block's media permanently unreadable (hard fault)? */
+    bool blockStuck(std::uint64_t key) const;
+
+    /**
+     * Draw the transient bit flips that read @p attempt of @p key
+     * experiences and apply them to @p data (pass nullptr to only
+     * count). Returns the number of flipped bits.
+     */
+    std::uint32_t corrupt(std::uint64_t key, std::uint32_t attempt,
+                          std::uint8_t *data, std::size_t n) const;
+
+    /** Is the media line holding @p addr served at degraded latency? */
+    bool readDegraded(Addr addr) const;
+
+    /** Extra latency of a degraded read (picoseconds). */
+    Tick degradePenalty() const { return spec_.degradeLatency; }
+
+    std::uint32_t maxRetries() const { return spec_.maxRetries; }
+
+  private:
+    FaultSpec spec_;
+    std::uint64_t seed_; ///< per-device: splitSeed(base, deviceId)
+    std::uint32_t deviceId_;
+    bool dead_ = false;
+};
+
+} // namespace boss::mem
+
+#endif // BOSS_MEM_FAULT_MODEL_H

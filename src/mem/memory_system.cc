@@ -62,6 +62,8 @@ MemorySystem::MemorySystem(const std::string &name, sim::EventQueue &eq,
                             "sequential-pattern accesses");
     statsGroup().addCounter("rand_accesses", &randAcc_,
                             "random-pattern accesses");
+    statsGroup().addCounter("degraded_reads", &degradedReads_,
+                            "reads served at degraded media latency");
     for (std::size_t c = 0; c < kNumCategories; ++c) {
         auto cat = static_cast<Category>(c);
         statsGroup().addCounter(
@@ -151,6 +153,14 @@ MemorySystem::access(const MemRequest &req, std::function<void()> cb)
                        ? t.writeLatency
                        : (sequential ? t.seqReadLatency
                                      : t.randReadLatency);
+
+    // Worn media lines are serviced through the device's internal
+    // retry/remap path: same bandwidth, extra latency.
+    if (faults_ != nullptr && !req.write &&
+        faults_->readDegraded(req.addr)) {
+        latency += faults_->degradePenalty();
+        ++degradedReads_;
+    }
 
     // Requests spanning interleave units are striped across
     // channels, as the controller would; completion is the slowest

@@ -23,6 +23,7 @@
 
 #include "mem/banked_channel.h"
 #include "mem/config.h"
+#include "mem/fault_model.h"
 #include "sim/sim_object.h"
 #include "trace/recorder.h"
 
@@ -142,6 +143,16 @@ class MemorySystem : public sim::SimObject
     std::uint64_t rowHits() const;
     std::uint64_t rowMisses() const;
 
+    /**
+     * Attach a fault model: reads landing on media lines the model
+     * marks degraded pay the model's extra latency (SCM media retry
+     * and remap). nullptr detaches (the default, zero overhead).
+     */
+    void setFaults(const FaultModel *faults) { faults_ = faults; }
+
+    /** Reads served at degraded media latency. */
+    std::uint64_t degradedReads() const { return degradedReads_.value(); }
+
     void resetStats();
 
     /**
@@ -162,6 +173,7 @@ class MemorySystem : public sim::SimObject
 
     MemConfig config_;
     HostLink *link_;
+    const FaultModel *faults_ = nullptr;
     std::vector<Channel> channels_;
     /** Bank-level channels (only when config.banked). */
     std::vector<BankedChannel> bankedChannels_;
@@ -175,6 +187,7 @@ class MemorySystem : public sim::SimObject
     stats::Counter writes_;
     stats::Counter seqAcc_;
     stats::Counter randAcc_;
+    stats::Counter degradedReads_;
     stats::Counter catBytes_[kNumCategories];
     stats::Counter catAccesses_[kNumCategories];
     /** End-to-end request latency (issue to completion), ns. */

@@ -63,6 +63,8 @@ SystemModel::SystemModel(const SystemConfig &config,
     memory_ = std::make_unique<mem::MemorySystem>(
         "mem", eq_, statsRoot_, config_.mem,
         isHostSide(config_.kind) ? link_.get() : nullptr);
+    if (config_.faults != nullptr)
+        memory_->setFaults(config_.faults);
     for (std::uint32_t c = 0; c < config_.cores; ++c) {
         cores_.push_back(std::make_unique<Core>(
             "core" + std::to_string(c), eq_, statsRoot_, *costs_,

@@ -78,6 +78,12 @@ struct SystemConfig
      * the shards apart.
      */
     std::string label = "device";
+    /**
+     * Optional fault model: reads of degraded media lines pay the
+     * model's extra latency during replay. Must outlive the
+     * SystemModel. nullptr models perfect media.
+     */
+    const mem::FaultModel *faults = nullptr;
 };
 
 /** Aggregate outcome of one simulation run. */

@@ -183,6 +183,41 @@ class TraceBuilder : public ExecHooks
     }
 
     void
+    onBlockRetry(TermId t, const BlockMeta &meta,
+                 bool tfPayload) override
+    {
+        ++out_.crcRetries;
+        // A retry is a second fetch of the same payload -- random,
+        // because the prefetch streams have moved on by the time the
+        // CRC miss is known.
+        if (tfPayload) {
+            addRequest({layout_.list(t).tfAddr + meta.tfOffset,
+                        meta.tfBytes, false, true, Category::LdScore,
+                        streamId(StreamClass::TfPayload, t), 1});
+        } else {
+            addRequest({layout_.list(t).docAddr + meta.docOffset,
+                        meta.docBytes, false, true, Category::LdList,
+                        streamId(StreamClass::DocPayload, t), 1});
+        }
+        if (scope_) {
+            scope_.instant(lane_, "crc_retry", scope_.hostMicros(),
+                           {{"term", t},
+                            {"tf", tfPayload ? 1 : 0}});
+        }
+    }
+
+    void
+    onBlockDropped(TermId t, const BlockMeta &meta) override
+    {
+        ++out_.blocksDropped;
+        if (scope_) {
+            scope_.instant(lane_, "block_dropped", scope_.hostMicros(),
+                           {{"term", t},
+                            {"first_doc", meta.firstDoc}});
+        }
+    }
+
+    void
     onSkippedDocs(std::uint64_t count) override
     {
         out_.skippedDocs += count;
@@ -262,6 +297,8 @@ summarizeTrace(const QueryTrace &t)
     s.docsScored = t.evaluatedDocs;
     s.docsSkipped = t.skippedDocs;
     s.resultBytes = t.resultStoreBytes;
+    s.crcRetries = t.crcRetries;
+    s.blocksDropped = t.blocksDropped;
     SegmentWork work = t.totalWork();
     s.valuesDecoded = work.decodeVals;
     s.normsFetched = work.normGranules;
@@ -306,8 +343,9 @@ buildTrace(const index::InvertedIndex &index,
     QueryTrace trace;
     trace.numTerms = static_cast<std::uint32_t>(plan.allTerms.size());
     TraceBuilder builder(index, layout, options, trace, scope, lane);
-    auto topk = engine::executeQuery(index, plan, options.k,
-                                     options.flags, &builder, arena);
+    auto topk =
+        engine::executeQuery(index, plan, options.k, options.flags,
+                             &builder, arena, options.faults);
     // The winning top-k list itself crosses the link to the host.
     if (!options.flags.storeAllResults)
         trace.resultStoreBytes += topk.size() * 8;

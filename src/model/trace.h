@@ -114,6 +114,9 @@ struct QueryTrace
     std::uint64_t skippedDocs = 0;   ///< docs pruned by ET
     std::uint64_t blocksLoaded = 0;
     std::uint64_t blocksSkipped = 0;
+    // Resilience events under an active fault policy (else zero).
+    std::uint64_t crcRetries = 0;    ///< payload re-reads issued
+    std::uint64_t blocksDropped = 0; ///< payloads degraded away
     /** Logical accesses per traffic category, in 64 B units. */
     std::array<std::uint64_t, mem::kNumCategories> catAccesses{};
 
@@ -131,6 +134,13 @@ struct TraceOptions
      */
     bool normsCached = false;
     std::size_t k = engine::kDefaultTopK;
+    /**
+     * Decode-time CRC/retry/drop policy (nullptr disables fault
+     * handling; traces are then bit-identical to pre-resilience
+     * builds). Retries surface in the trace as re-issued payload
+     * requests, so replay charges the extra SCM traffic.
+     */
+    engine::FaultPolicy *faults = nullptr;
 };
 
 /**

@@ -28,6 +28,9 @@ fields(QuerySummary &s)
         {"docs_skipped", &s.docsSkipped},
         {"topk_inserts", &s.topkInserts},
         {"result_bytes", &s.resultBytes},
+        {"crc_retries", &s.crcRetries},
+        {"blocks_dropped", &s.blocksDropped},
+        {"shards_dropped", &s.shardsDropped},
     };
     for (std::size_t c = 0; c < kNumTrafficClasses; ++c) {
         std::string base(kTrafficClassNames[c]);

@@ -52,6 +52,11 @@ struct QuerySummary
     std::uint64_t topkInserts = 0;
     std::uint64_t resultBytes = 0;
 
+    // Resilience events (zero on fault-free runs).
+    std::uint64_t crcRetries = 0;    ///< payload re-reads after CRC miss
+    std::uint64_t blocksDropped = 0; ///< payloads degraded away
+    std::uint64_t shardsDropped = 0; ///< dead shards absent from merge
+
     std::array<std::uint64_t, kNumTrafficClasses> classBytes{};
     std::array<std::uint64_t, kNumTrafficClasses> classAccesses{};
 

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Golden regression suite: a fixed-seed corpus and 50 canonical
+ * queries whose top-k results are pinned byte-for-byte against a
+ * checked-in fixture. Scores are compared on their exact float bit
+ * patterns — any change to scoring, compression, traversal order,
+ * tie-breaking or the resilience fast path shows up as a diff here
+ * before it ships.
+ *
+ * Regenerating (after an INTENDED result change):
+ *   BOSS_GOLDEN_REGEN=1 ./tests/test_golden
+ * then commit the updated tests/golden/topk50.txt with a note
+ * explaining why results moved.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/sharded_device.h"
+#include "boss/device.h"
+#include "common/thread_pool.h"
+#include "workload/corpus.h"
+#include "workload/queries.h"
+
+#ifndef BOSS_GOLDEN_DIR
+#error "BOSS_GOLDEN_DIR must point at the checked-in fixtures"
+#endif
+
+namespace
+{
+
+using namespace boss;
+
+constexpr std::size_t kQueries = 50;
+
+std::string
+goldenPath()
+{
+    return std::string(BOSS_GOLDEN_DIR) + "/topk50.txt";
+}
+
+workload::Corpus &
+goldenCorpus()
+{
+    static workload::Corpus *corpus = [] {
+        workload::CorpusConfig cfg;
+        cfg.name = "golden";
+        cfg.numDocs = 25'000;
+        cfg.vocabSize = 500;
+        cfg.seed = 0x60D5EED;
+        return new workload::Corpus(cfg);
+    }();
+    return *corpus;
+}
+
+std::vector<workload::Query>
+goldenQueries()
+{
+    workload::QueryWorkloadConfig qcfg;
+    qcfg.vocabSize = goldenCorpus().config().vocabSize;
+    qcfg.seed = 0xCA;
+    return workload::sampleQueries(qcfg, kQueries);
+}
+
+/**
+ * Serialize per-query results to the fixture text format. Scores
+ * are written as the hex bits of the float so the comparison is
+ * exact (no decimal round-trip noise):
+ *   query <i> <nResults>
+ *   <docId> <scoreBitsHex>
+ */
+std::string
+formatResults(
+    const std::vector<std::vector<engine::Result>> &perQuery)
+{
+    std::ostringstream os;
+    os << "# boss golden top-k fixture: " << perQuery.size()
+       << " queries, scores as float bits\n";
+    for (std::size_t q = 0; q < perQuery.size(); ++q) {
+        os << "query " << q << " " << perQuery[q].size() << "\n";
+        for (const auto &r : perQuery[q]) {
+            std::uint32_t bits;
+            static_assert(sizeof(bits) == sizeof(r.score));
+            std::memcpy(&bits, &r.score, sizeof(bits));
+            os << r.doc << " " << std::hex << bits << std::dec
+               << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::vector<std::vector<engine::Result>>
+runGoldenBatch()
+{
+    accel::Device device;
+    device.loadIndex(goldenCorpus().buildIndex(
+        workload::collectTerms(goldenQueries())));
+    return device.searchBatch(goldenQueries()).perQuery;
+}
+
+TEST(GoldenTest, Top50QueriesMatchCheckedInFixture)
+{
+    std::string actual = formatResults(runGoldenBatch());
+
+    if (std::getenv("BOSS_GOLDEN_REGEN") != nullptr) {
+        std::ofstream os(goldenPath(), std::ios::binary);
+        ASSERT_TRUE(os) << "cannot write " << goldenPath();
+        os << actual;
+        GTEST_SKIP() << "regenerated " << goldenPath()
+                     << " — commit it with an explanation";
+    }
+
+    std::ifstream is(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(is) << "missing fixture " << goldenPath()
+                    << " (run with BOSS_GOLDEN_REGEN=1 once)";
+    std::stringstream expected;
+    expected << is.rdbuf();
+
+    // Byte-for-byte: docIDs, order, and exact score bit patterns.
+    EXPECT_EQ(expected.str(), actual)
+        << "golden results moved; if intended, regenerate with "
+           "BOSS_GOLDEN_REGEN=1 and commit the new fixture";
+}
+
+TEST(GoldenTest, ResultsAreThreadCountInvariant)
+{
+    common::ThreadPool::setGlobalThreads(1);
+    std::string serial = formatResults(runGoldenBatch());
+    common::ThreadPool::setGlobalThreads(8);
+    std::string parallel = formatResults(runGoldenBatch());
+    common::ThreadPool::setGlobalThreads(1);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(GoldenTest, ShardingPreservesGoldenResults)
+{
+    // The sharded stack must reproduce the fixture exactly: merge
+    // order, tie-breaks and score floats included.
+    api::ShardedDeviceConfig cfg;
+    cfg.shards = 4;
+    api::ShardedDevice device(cfg);
+    device.loadShards(goldenCorpus().buildShardedIndex(
+        workload::collectTerms(goldenQueries()), 4));
+    std::string sharded =
+        formatResults(device.searchBatch(goldenQueries()).perQuery);
+
+    std::ifstream is(goldenPath(), std::ios::binary);
+    if (!is)
+        GTEST_SKIP() << "fixture not generated yet";
+    std::stringstream expected;
+    expected << is.rdbuf();
+    EXPECT_EQ(expected.str(), sharded);
+}
+
+} // namespace

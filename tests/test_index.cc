@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "common/rng.h"
@@ -287,6 +290,97 @@ TEST(Serialize, RejectsGarbage)
     buf << "this is not an index";
     EXPECT_EXIT(loadIndex(buf), ::testing::ExitedWithCode(1),
                 "bad magic|truncated");
+}
+
+TEST(Serialize, TryLoadAcceptsCleanStream)
+{
+    InvertedIndex index = smallIndex(6);
+    std::stringstream buf;
+    saveIndex(index, buf);
+    std::string error;
+    auto loaded = tryLoadIndex(buf, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_EQ(loaded->numDocs(), index.numDocs());
+    EXPECT_EQ(loaded->sizeBytes(), index.sizeBytes());
+}
+
+TEST(Serialize, RejectsTruncationAtAnyLength)
+{
+    InvertedIndex index = smallIndex(7);
+    std::stringstream buf;
+    saveIndex(index, buf);
+    const std::string image = buf.str();
+    ASSERT_GT(image.size(), 256u);
+
+    // Every prefix is malformed: sample cut points densely at both
+    // ends (headers, trailing CRC) and sparsely through the body.
+    std::vector<std::size_t> cuts;
+    for (std::size_t i = 0; i < 64; ++i)
+        cuts.push_back(i);
+    for (std::size_t i = 64; i + 64 < image.size(); i += 997)
+        cuts.push_back(i);
+    for (std::size_t i = image.size() - 64; i < image.size(); ++i)
+        cuts.push_back(i);
+    for (std::size_t cut : cuts) {
+        std::stringstream damaged(image.substr(0, cut));
+        std::string error;
+        EXPECT_FALSE(tryLoadIndex(damaged, &error).has_value())
+            << "prefix of " << cut << " bytes was accepted";
+    }
+}
+
+TEST(Serialize, RejectsOversizedVectorCounts)
+{
+    InvertedIndex index = smallIndex(8);
+    std::stringstream buf;
+    saveIndex(index, buf);
+    std::string image = buf.str();
+
+    // The doc-table count sits right after magic(4) + version(4) +
+    // k1(8) + b(8) + avgDocLen(8) + headerCrc(4) = 36 bytes.
+    // Overwrite it with a count far past the file size: the loader
+    // must reject it from the length budget alone, before
+    // allocating anything.
+    const std::size_t countOff = 36;
+    std::uint64_t huge = 1ull << 60;
+    std::memcpy(image.data() + countOff, &huge, sizeof(huge));
+    std::stringstream damaged(image);
+    std::string error;
+    EXPECT_FALSE(tryLoadIndex(damaged, &error).has_value());
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST(Serialize, FileLoaderRejectsTrailingGarbage)
+{
+    InvertedIndex index = smallIndex(9);
+    std::string path =
+        ::testing::TempDir() + "boss_trailing_garbage.idx";
+    {
+        std::ofstream os(path, std::ios::binary);
+        saveIndex(index, os);
+        os << "extra bytes after the index";
+    }
+    EXPECT_EXIT(loadIndexFile(path), ::testing::ExitedWithCode(1),
+                "trailing garbage");
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, BlockCrcsSurviveRoundTrip)
+{
+    InvertedIndex index = smallIndex(10);
+    std::stringstream buf;
+    saveIndex(index, buf);
+    InvertedIndex loaded = loadIndex(buf);
+    for (TermId t = 0; t < index.numTerms(); ++t) {
+        const auto &a = index.list(t);
+        const auto &b = loaded.list(t);
+        ASSERT_EQ(a.blocks.size(), b.blocks.size());
+        for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+            EXPECT_EQ(a.blocks[i].docCrc, b.blocks[i].docCrc);
+            EXPECT_EQ(a.blocks[i].tfCrc, b.blocks[i].tfCrc);
+            EXPECT_NE(b.blocks[i].docCrc, 0u); // real payloads hash
+        }
+    }
 }
 
 } // namespace

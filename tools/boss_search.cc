@@ -26,6 +26,14 @@
  *   --query-summaries=FILE write one JSON record per query (cycles,
  *                          blocks skipped/loaded, bytes per traffic
  *                          class, ...; see tools/boss_tracecat)
+ *   --fault-spec=SPEC      inject SCM media faults, e.g.
+ *                          "ber=1e-6,stuck=1e-4,dead-shard=2"
+ *                          (see mem/fault_model.h for the grammar);
+ *                          queries degrade — never crash — and the
+ *                          per-query output flags partial coverage
+ *   --fault-seed=N         base seed of the fault schedule (default
+ *                          0xB055); same spec + seed => identical
+ *                          faults at any thread or shard count
  */
 
 #include <cstdio>
@@ -42,6 +50,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "index/text_builder.h"
+#include "mem/fault_model.h"
 #include "trace/chrome_trace.h"
 #include "trace/summary.h"
 
@@ -53,6 +62,8 @@ struct Options
     std::string traceOut;
     std::string statsJson;
     std::string querySummaries;
+    boss::mem::FaultSpec faults;
+    std::uint64_t faultSeed = 0xB055;
 };
 
 /** Words without quotes become an OR of quoted terms. */
@@ -86,6 +97,45 @@ summariesOf(boss::api::ShardedDevice &device)
     return device.aggregatedSummaries();
 }
 
+/** Per-query resilience line for a single device. */
+void
+printResilience(const boss::accel::Device &,
+                const boss::accel::SearchOutcome &outcome)
+{
+    if (outcome.crcRetries == 0 && outcome.blocksDropped == 0)
+        return;
+    std::printf("  resilience: %llu CRC retries, %llu blocks "
+                "dropped\n",
+                static_cast<unsigned long long>(outcome.crcRetries),
+                static_cast<unsigned long long>(
+                    outcome.blocksDropped));
+}
+
+/** Per-query resilience line with shard coverage. */
+void
+printResilience(const boss::api::ShardedDevice &device,
+                const boss::api::ShardedOutcome &outcome)
+{
+    if (!outcome.deadShards.empty()) {
+        std::uint32_t total = device.numShards();
+        std::printf("  partial coverage: %u/%u shards (dead:",
+                    static_cast<std::uint32_t>(
+                        total - outcome.deadShards.size()),
+                    total);
+        for (std::uint32_t s : outcome.deadShards)
+            std::printf(" %u", s);
+        std::printf(")\n");
+    }
+    if (outcome.crcRetries != 0 || outcome.blocksDropped != 0) {
+        std::printf("  resilience: %llu CRC retries, %llu blocks "
+                    "dropped\n",
+                    static_cast<unsigned long long>(
+                        outcome.crcRetries),
+                    static_cast<unsigned long long>(
+                        outcome.blocksDropped));
+    }
+}
+
 template <typename Dev>
 void
 runQuery(Dev &device, const std::string &raw,
@@ -101,6 +151,7 @@ runQuery(Dev &device, const std::string &raw,
                 outcome.topk.size(), outcome.simSeconds * 1e6,
                 static_cast<double>(outcome.deviceBytes) / 1e3,
                 static_cast<unsigned long long>(outcome.evaluatedDocs));
+    printResilience(device, outcome);
     std::size_t show = std::min<std::size_t>(10, outcome.topk.size());
     for (std::size_t i = 0; i < show; ++i) {
         std::printf("  %2zu. doc %-10u score %.4f\n", i + 1,
@@ -243,6 +294,14 @@ main(int argc, char **argv)
                    matchValueFlag(argv[argi], "--query-summaries",
                                   opts.querySummaries)) {
             ++argi;
+        } else if (std::string spec;
+                   matchValueFlag(argv[argi], "--fault-spec", spec)) {
+            opts.faults = boss::mem::parseFaultSpec(spec);
+            ++argi;
+        } else if (std::string seed;
+                   matchValueFlag(argv[argi], "--fault-seed", seed)) {
+            opts.faultSeed = std::strtoull(seed.c_str(), nullptr, 0);
+            ++argi;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          argv[argi]);
@@ -254,6 +313,7 @@ main(int argc, char **argv)
             stderr,
             "usage: %s [--threads N] [--shards N] [--trace-out=FILE] "
             "[--stats-json=FILE] [--query-summaries=FILE] "
+            "[--fault-spec=SPEC] [--fault-seed=N] "
             "<index.idx> [query...]\n",
             argv[0]);
         return 2;
@@ -262,9 +322,14 @@ main(int argc, char **argv)
     if (shards > 1) {
         boss::api::ShardedDeviceConfig cfg;
         cfg.shards = static_cast<std::uint32_t>(shards);
+        cfg.device.faults = opts.faults;
+        cfg.device.faultSeed = opts.faultSeed;
         boss::api::ShardedDevice device(cfg);
         return runSession(device, opts, argc, argv, argi);
     }
-    boss::accel::Device device;
+    boss::accel::DeviceConfig cfg;
+    cfg.faults = opts.faults;
+    cfg.faultSeed = opts.faultSeed;
+    boss::accel::Device device(cfg);
     return runSession(device, opts, argc, argv, argi);
 }
