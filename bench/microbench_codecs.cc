@@ -5,10 +5,23 @@
  * in values/second per scheme. Not a paper figure; used to sanity-
  * check that software decode rates are in the range the CPU cost
  * model assumes.
+ *
+ * Beyond the google-benchmark suite (which now carries per-kernel-
+ * tier variants of the decode benchmarks), `--kernels-json[=PATH]`
+ * runs a self-timed sweep of the SIMD kernel tiers — raw BitPacking
+ * unpack at every interesting width plus full codec decode per
+ * scheme — against the seed BitReader loop, and writes the M ints/s
+ * numbers as BENCH_kernels.json (default PATH) in the shared
+ * stats-tree schema.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "common/bitops.h"
@@ -16,6 +29,8 @@
 #include "common/rng.h"
 #include "compress/codec.h"
 #include "compress/datapath.h"
+#include "kernels/kernels.h"
+#include "stats/stats.h"
 
 using namespace boss;
 using namespace boss::compress;
@@ -97,6 +112,252 @@ BENCHMARK(BM_Encode)->Apply(SchemeArgs);
 BENCHMARK(BM_Decode)->Apply(SchemeArgs);
 BENCHMARK(BM_DatapathDecode)->Apply(SchemeArgs);
 
+// ---------------------------------------------------------------
+// Kernel-tier benchmarks.
+// ---------------------------------------------------------------
+
+namespace k = boss::kernels;
+
+/** Bit widths the tier sweep covers (incl. every SIMD path). */
+constexpr std::uint32_t kSweepWidths[] = {1, 2, 4, 8, 12,
+                                          16, 20, 25, 32};
+
+/** Values per unpack call: a full stream of 128-entry blocks. */
+constexpr std::size_t kSweepValues = kBlockSize * 2048;
+
+std::vector<std::uint32_t>
+widthValues(std::size_t n, std::uint32_t width, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint32_t> v(n);
+    for (auto &x : v)
+        x = static_cast<std::uint32_t>(rng.next()) & maskLow(width);
+    return v;
+}
+
+std::vector<std::uint8_t>
+packValues(const std::vector<std::uint32_t> &values,
+           std::uint32_t width)
+{
+    std::vector<std::uint8_t> bytes;
+    BitWriter writer(bytes);
+    for (auto v : values)
+        writer.put(v, width);
+    writer.flush();
+    return bytes;
+}
+
+/**
+ * Raw per-tier BitPacking unpack at one width. Arg0 is the tier,
+ * Arg1 the bit width; registered at runtime for available tiers.
+ */
+void
+BM_UnpackBitsTier(benchmark::State &state)
+{
+    auto tier = static_cast<k::Tier>(state.range(0));
+    auto width = static_cast<std::uint32_t>(state.range(1));
+    auto values = widthValues(kSweepValues, width, 42);
+    auto bytes = packValues(values, width);
+    std::vector<std::uint32_t> out(values.size());
+    const k::Ops &ops = k::opsFor(tier);
+    for (auto _ : state) {
+        ops.unpackBits(bytes.data(), bytes.size(), out.data(),
+                       out.size(), width);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * values.size());
+    state.SetLabel(std::string(k::tierName(tier)) + " w" +
+                   std::to_string(width));
+}
+
+/** Full codec decode under one kernel tier (Arg0 scheme, Arg1 tier). */
+void
+BM_DecodeTier(benchmark::State &state)
+{
+    auto scheme = static_cast<Scheme>(state.range(0));
+    auto tier = static_cast<k::Tier>(state.range(1));
+    const Codec &codec = codecFor(scheme);
+    auto values = gapValues(kBlockSize, 10, 42);
+    BlockEncoding enc;
+    codec.encode(values, enc);
+    std::vector<std::uint32_t> out(values.size());
+    k::Tier saved = k::activeTier();
+    k::setTier(tier);
+    for (auto _ : state) {
+        codec.decode(enc.bytes, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    k::setTier(saved);
+    state.SetItemsProcessed(state.iterations() * kBlockSize);
+    state.SetLabel(std::string(schemeName(scheme)) + " " +
+                   std::string(k::tierName(tier)));
+}
+
+/** Tier availability is runtime, so these register dynamically. */
+void
+registerTierBenchmarks()
+{
+    for (k::Tier t : k::availableTiers()) {
+        auto *unpack = benchmark::RegisterBenchmark(
+            "BM_UnpackBitsTier", &BM_UnpackBitsTier);
+        for (std::uint32_t w : kSweepWidths)
+            unpack->Args({static_cast<int>(t), static_cast<int>(w)});
+        auto *decode = benchmark::RegisterBenchmark("BM_DecodeTier",
+                                                    &BM_DecodeTier);
+        for (Scheme s : kAllSchemes)
+            decode->Args(
+                {static_cast<int>(s), static_cast<int>(t)});
+    }
+}
+
+// ---------------------------------------------------------------
+// Self-timed tier sweep -> BENCH_kernels.json.
+// ---------------------------------------------------------------
+
+/** Best-of-trials throughput of @p fn in M values per second. */
+template <typename Fn>
+double
+measureMintsPerSec(std::size_t valuesPerCall, Fn &&fn)
+{
+    using Clock = std::chrono::steady_clock;
+    constexpr int kTrials = 5;
+    constexpr double kMinTrialSec = 0.02;
+    // Calibrate repetitions so one trial runs long enough to time.
+    std::size_t reps = 1;
+    for (;;) {
+        auto t0 = Clock::now();
+        for (std::size_t r = 0; r < reps; ++r)
+            fn();
+        double sec = std::chrono::duration<double>(Clock::now() - t0)
+                         .count();
+        if (sec >= kMinTrialSec)
+            break;
+        reps *= 2;
+    }
+    double best = 0.0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        auto t0 = Clock::now();
+        for (std::size_t r = 0; r < reps; ++r)
+            fn();
+        double sec = std::chrono::duration<double>(Clock::now() - t0)
+                         .count();
+        double mints = static_cast<double>(valuesPerCall) *
+                       static_cast<double>(reps) / sec / 1e6;
+        if (mints > best)
+            best = mints;
+    }
+    return best;
+}
+
+/**
+ * Time every tier (and the seed BitReader loop) on raw BitPacking
+ * unpack per width and on full codec decode per scheme, and write
+ * the tree through the shared stats-JSON exporter.
+ */
+int
+writeKernelsJson(const std::string &path)
+{
+    boss::stats::Group root("kernels_bench");
+    std::deque<boss::stats::Scalar> scalars; // stable leaf addresses
+    auto set = [&](boss::stats::Group &g, const std::string &key,
+                   double v, const std::string &desc) {
+        scalars.emplace_back();
+        scalars.back().set(v);
+        g.addScalar(key, &scalars.back(), desc);
+    };
+
+    set(root, "values_per_call",
+        static_cast<double>(kSweepValues),
+        "BitPacking values unpacked per timed call");
+
+    // Seed baseline: the BitReader::get loop the codecs ran before
+    // the kernel layer existed.
+    auto &unpackGroup = root.subgroup("unpack_mints");
+    auto &seedGroup = unpackGroup.subgroup("seed_bitreader");
+    for (std::uint32_t w : kSweepWidths) {
+        auto values = widthValues(kSweepValues, w, 42);
+        auto bytes = packValues(values, w);
+        std::vector<std::uint32_t> out(values.size());
+        double mints = measureMintsPerSec(kSweepValues, [&] {
+            BitReader reader(bytes.data(), bytes.size());
+            for (auto &v : out)
+                v = reader.get(w);
+            benchmark::DoNotOptimize(out.data());
+        });
+        set(seedGroup, "w" + std::to_string(w), mints,
+            "seed scalar loop, M ints/s");
+        std::printf("unpack w%-2u %-14s %10.1f M ints/s\n", w,
+                    "seed", mints);
+        for (k::Tier t : k::availableTiers()) {
+            const k::Ops &ops = k::opsFor(t);
+            double tierMints = measureMintsPerSec(kSweepValues, [&] {
+                ops.unpackBits(bytes.data(), bytes.size(), out.data(),
+                               out.size(), w);
+                benchmark::DoNotOptimize(out.data());
+            });
+            set(unpackGroup.subgroup(std::string(k::tierName(t))),
+                "w" + std::to_string(w), tierMints,
+                "kernel unpack, M ints/s");
+            std::printf("unpack w%-2u %-14s %10.1f M ints/s\n", w,
+                        std::string(k::tierName(t)).c_str(),
+                        tierMints);
+        }
+    }
+
+    // Whole-codec decode per tier (128-entry block, 10-bit gaps).
+    auto &codecGroup = root.subgroup("codec_decode_mints");
+    for (Scheme s : kAllSchemes) {
+        const Codec &codec = codecFor(s);
+        auto values = gapValues(kBlockSize, 10, 42);
+        BlockEncoding enc;
+        codec.encode(values, enc);
+        std::vector<std::uint32_t> out(values.size());
+        auto &schemeGroup =
+            codecGroup.subgroup(std::string(schemeName(s)));
+        k::Tier saved = k::activeTier();
+        for (k::Tier t : k::availableTiers()) {
+            k::setTier(t);
+            double mints = measureMintsPerSec(kBlockSize, [&] {
+                codec.decode(enc.bytes, out);
+                benchmark::DoNotOptimize(out.data());
+            });
+            set(schemeGroup, std::string(k::tierName(t)), mints,
+                "codec decode, M ints/s");
+            std::printf("decode %-10s %-8s %10.1f M ints/s\n",
+                        std::string(schemeName(s)).c_str(),
+                        std::string(k::tierName(t)).c_str(), mints);
+        }
+        k::setTier(saved);
+    }
+
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        return 1;
+    }
+    root.dumpJson(os);
+    os << '\n';
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Self-timed tier sweep mode: skip the google-benchmark suite.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--kernels-json") == 0)
+            return writeKernelsJson("BENCH_kernels.json");
+        if (std::strncmp(argv[i], "--kernels-json=", 15) == 0)
+            return writeKernelsJson(argv[i] + 15);
+    }
+    registerTierBenchmarks();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "engine/plan.h"
+#include "kernels/kernels.h"
 #include "engine/topk.h"
 #include "index/serialize.h"
 
@@ -280,7 +281,8 @@ Device::writeStatsJson(std::ostream &os) const
 {
     stats::Group poolGroup("host_pool");
     common::ThreadPool::global().registerStats(poolGroup);
-    os << "{\n\"host_pool\":\n";
+    os << "{\n\"kernels\": \"" << kernels::activeTierName() << "\"";
+    os << ",\n\"host_pool\":\n";
     poolGroup.dumpJson(os, 0);
     os << ",\n\"resilience\":\n";
     if (faultPolicy_ == nullptr) {

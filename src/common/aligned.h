@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Cache-line-aligned vector storage for the SIMD kernel layer.
+ *
+ * Decode scratch buffers and compressed payloads are the hottest
+ * SIMD load/store targets in the engine; allocating them on 64-byte
+ * boundaries keeps every vector load inside a single cache line and
+ * lets kernels use aligned stores where profitable. The allocator is
+ * a thin shim over the C++17 aligned operator new, so AlignedVec<T>
+ * behaves exactly like std::vector<T> (same growth, same iterators,
+ * same element layout) -- only the allocation alignment changes.
+ *
+ * Kernels never rely on trailing slack past size(): every kernel in
+ * src/kernels/ is written to stay strictly inside [data, data+size),
+ * so AlignedVec payloads remain ASan-clean under container checks.
+ */
+
+#ifndef BOSS_COMMON_ALIGNED_H
+#define BOSS_COMMON_ALIGNED_H
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace boss
+{
+
+/** Alignment (bytes) of every kernel-visible buffer: one cache line. */
+inline constexpr std::size_t kKernelAlignment = 64;
+
+/**
+ * Minimal allocator handing out kKernelAlignment-aligned blocks.
+ * Stateless: all instances compare equal, so container moves and
+ * swaps are O(1) just like with std::allocator.
+ */
+template <typename T>
+class AlignedAllocator
+{
+  public:
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U> &) noexcept
+    {}
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{kKernelAlignment}));
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t{kKernelAlignment});
+    }
+
+    template <typename U>
+    bool
+    operator==(const AlignedAllocator<U> &) const noexcept
+    {
+        return true;
+    }
+};
+
+/** std::vector with cache-line-aligned storage. */
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAllocator<T>>;
+
+/** True when @p p sits on a kKernelAlignment boundary. */
+inline bool
+isKernelAligned(const void *p)
+{
+    return reinterpret_cast<std::uintptr_t>(p) % kKernelAlignment == 0;
+}
+
+} // namespace boss
+
+#endif // BOSS_COMMON_ALIGNED_H

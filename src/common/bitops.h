@@ -10,6 +10,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace boss
@@ -104,11 +105,21 @@ class BitReader
     std::uint32_t
     get(std::uint32_t width)
     {
-        while (bits_ < width) {
-            std::uint64_t byte = pos_ < size_ ? data_[pos_] : 0u;
-            acc_ |= byte << bits_;
-            ++pos_;
-            bits_ += 8;
+        if (bits_ < width) {
+            // Branchless 64-bit refill: top the accumulator up with
+            // as many whole bytes as fit (4..8, since bits_ < 32) in
+            // one unaligned load instead of a byte-at-a-time loop.
+            // Bytes past the stream end read as zero; pos_ advances
+            // past size_ exactly like the old per-byte loop did.
+            std::uint32_t take = (64 - bits_) >> 3;
+            std::size_t rd = pos_ < size_ ? pos_ : size_;
+            std::size_t avail = size_ - rd;
+            std::size_t m = take < avail ? take : avail;
+            std::uint64_t chunk = 0;
+            std::memcpy(&chunk, data_ + rd, m);
+            acc_ |= chunk << bits_;
+            pos_ += take;
+            bits_ += 8 * take;
         }
         auto v = static_cast<std::uint32_t>(acc_ & maskLow(width));
         acc_ >>= width;
@@ -117,7 +128,15 @@ class BitReader
     }
 
     /** Bytes consumed so far (rounded up to whole bytes). */
-    std::size_t consumed() const { return pos_ > size_ ? size_ : pos_; }
+    std::size_t
+    consumed() const
+    {
+        // pos_ counts bytes pulled into the accumulator; subtract the
+        // whole bytes still buffered so the answer stays exactly
+        // ceil(bitsRead / 8) regardless of refill batching.
+        std::size_t used = pos_ - (bits_ >> 3);
+        return used > size_ ? size_ : used;
+    }
 
   private:
     const std::uint8_t *data_;

@@ -82,4 +82,17 @@ inline void setVerbose(bool enabled) { detail::setVerbose(enabled); }
         }                                                                  \
     } while (0)
 
+/**
+ * Hot-path invariant check compiled out under NDEBUG (used on the
+ * per-block decode path, where BOSS_ASSERT's always-on cost would
+ * show up in profiles).
+ */
+#ifdef NDEBUG
+#define BOSS_DEBUG_ASSERT(cond, ...) \
+    do {                             \
+    } while (0)
+#else
+#define BOSS_DEBUG_ASSERT(cond, ...) BOSS_ASSERT(cond, __VA_ARGS__)
+#endif
+
 #endif // BOSS_COMMON_LOGGING_H

@@ -4,6 +4,7 @@
 
 #include "common/bitops.h"
 #include "common/logging.h"
+#include "kernels/kernels.h"
 
 namespace boss::compress
 {
@@ -40,9 +41,8 @@ BitPackingCodec::decode(std::span<const std::uint8_t> bytes,
     BOSS_ASSERT(!bytes.empty(), "BP payload missing header");
     std::uint32_t width = bytes[0];
     BOSS_ASSERT(width >= 1 && width <= 32, "BP width corrupt: ", width);
-    BitReader reader(bytes.data() + 1, bytes.size() - 1);
-    for (auto &v : out)
-        v = reader.get(width);
+    kernels::ops().unpackBits(bytes.data() + 1, bytes.size() - 1,
+                              out.data(), out.size(), width);
 }
 
 } // namespace boss::compress

@@ -4,6 +4,7 @@
 
 #include "common/bitops.h"
 #include "common/logging.h"
+#include "kernels/kernels.h"
 
 namespace boss::compress
 {
@@ -146,9 +147,10 @@ PForDeltaCodec::decode(std::span<const std::uint8_t> bytes,
     std::size_t packedBytes = ceilDiv(out.size() * width, 8);
     BOSS_ASSERT(bytes.size() >= 2 + packedBytes, "PFD payload truncated");
 
-    BitReader reader(bytes.data() + 2, packedBytes);
-    for (auto &v : out)
-        v = reader.get(width);
+    // Vectorized base unpack; exception patching stays scalar (the
+    // exception stream is short and variable-length by design).
+    kernels::ops().unpackBits(bytes.data() + 2, packedBytes,
+                              out.data(), out.size(), width);
 
     std::size_t pos = 2 + packedBytes;
     for (std::uint32_t e = 0; e < exceptions; ++e) {

@@ -1,6 +1,7 @@
 #include "compress/varbyte.h"
 
 #include "common/logging.h"
+#include "kernels/kernels.h"
 
 namespace boss::compress
 {
@@ -31,18 +32,10 @@ void
 VarByteCodec::decode(std::span<const std::uint8_t> bytes,
                      std::span<std::uint32_t> out) const
 {
-    std::size_t pos = 0;
-    for (auto &result : out) {
-        std::uint32_t acc = 0;
-        while (true) {
-            BOSS_ASSERT(pos < bytes.size(), "VB payload truncated");
-            std::uint8_t b = bytes[pos++];
-            acc = (acc << 7) | (b & 0x7F);
-            if ((b & 0x80) == 0)
-                break;
-        }
-        result = acc;
-    }
+    // The kernel asserts on truncation exactly like the old
+    // byte-at-a-time loop did.
+    kernels::ops().decodeVarByte(bytes.data(), bytes.size(),
+                                 out.data(), out.size());
 }
 
 } // namespace boss::compress

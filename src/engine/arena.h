@@ -15,8 +15,8 @@
 #define BOSS_ENGINE_ARENA_H
 
 #include <deque>
-#include <vector>
 
+#include "common/aligned.h"
 #include "common/types.h"
 
 namespace boss::engine
@@ -27,9 +27,10 @@ class QueryArena
   public:
     /**
      * Borrow a docID buffer until the next reset(). References stay
-     * valid across further acquisitions (deque storage).
+     * valid across further acquisitions (deque storage). Buffers are
+     * AlignedVec: the SIMD decode kernels store into them.
      */
-    std::vector<DocId> &
+    AlignedVec<DocId> &
     docBuffer()
     {
         if (docsUsed_ == docBufs_.size())
@@ -38,12 +39,24 @@ class QueryArena
     }
 
     /** Borrow a term-frequency buffer until the next reset(). */
-    std::vector<TermFreq> &
+    AlignedVec<TermFreq> &
     tfBuffer()
     {
         if (tfsUsed_ == tfBufs_.size())
             tfBufs_.emplace_back();
         return tfBufs_[tfsUsed_++];
+    }
+
+    /**
+     * Borrow a float buffer until the next reset() (batch-scoring
+     * scratch: gathered norms, kernel score output).
+     */
+    AlignedVec<float> &
+    floatBuffer()
+    {
+        if (floatsUsed_ == floatBufs_.size())
+            floatBufs_.emplace_back();
+        return floatBufs_[floatsUsed_++];
     }
 
     /**
@@ -56,13 +69,16 @@ class QueryArena
     {
         docsUsed_ = 0;
         tfsUsed_ = 0;
+        floatsUsed_ = 0;
     }
 
   private:
-    std::deque<std::vector<DocId>> docBufs_;
-    std::deque<std::vector<TermFreq>> tfBufs_;
+    std::deque<AlignedVec<DocId>> docBufs_;
+    std::deque<AlignedVec<TermFreq>> tfBufs_;
+    std::deque<AlignedVec<float>> floatBufs_;
     std::size_t docsUsed_ = 0;
     std::size_t tfsUsed_ = 0;
+    std::size_t floatsUsed_ = 0;
 };
 
 } // namespace boss::engine

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "index/block_decoder.h"
+#include "kernels/kernels.h"
 
 namespace boss::engine
 {
@@ -127,8 +128,10 @@ ListCursor::advanceTo(DocId target)
     // this touches no memory beyond the scan itself.
     if (target <= blockLast()) {
         ensureDecoded();
-        while ((*docs_)[pos_] < target)
-            ++pos_;
+        // Branchless/SIMD in-block seek; blockLast >= target
+        // guarantees a hit, so the result never runs off the block.
+        pos_ += static_cast<std::uint32_t>(kernels::ops().lowerBound(
+            docs_->data() + pos_, docs_->size() - pos_, target));
         return;
     }
 
@@ -157,8 +160,8 @@ ListCursor::advanceTo(DocId target)
     setBlock(b);
     if (target > list_.blocks[b].firstDoc) {
         ensureDecoded();
-        while ((*docs_)[pos_] < target)
-            ++pos_;
+        pos_ += static_cast<std::uint32_t>(kernels::ops().lowerBound(
+            docs_->data() + pos_, docs_->size() - pos_, target));
     }
 }
 

@@ -20,8 +20,7 @@
 #ifndef BOSS_ENGINE_CURSOR_H
 #define BOSS_ENGINE_CURSOR_H
 
-#include <vector>
-
+#include "common/aligned.h"
 #include "engine/arena.h"
 #include "engine/hooks.h"
 #include "engine/resilience.h"
@@ -136,10 +135,10 @@ class ListCursor
     bool dropped_ = false;
     std::uint32_t decodedBlock_ = kNoBlock; ///< block docs_ holds
     std::uint32_t blocksLoaded_ = 0;
-    std::vector<DocId> *docs_;    ///< decode scratch (arena or owned)
-    std::vector<TermFreq> *tfs_;
-    std::vector<DocId> ownedDocs_;     ///< fallback when no arena
-    std::vector<TermFreq> ownedTfs_;
+    AlignedVec<DocId> *docs_;    ///< decode scratch (arena or owned)
+    AlignedVec<TermFreq> *tfs_;
+    AlignedVec<DocId> ownedDocs_;     ///< fallback when no arena
+    AlignedVec<TermFreq> ownedTfs_;
 };
 
 } // namespace boss::engine

@@ -4,9 +4,11 @@
 #include <map>
 #include <set>
 
+#include "common/aligned.h"
 #include "common/logging.h"
 #include "engine/streams.h"
 #include "index/block_decoder.h"
+#include "kernels/kernels.h"
 
 namespace boss::engine
 {
@@ -253,10 +255,13 @@ class IiuProber
         }
         if (blockDropped_)
             return 0;
-        auto it = std::lower_bound(docs_->begin(), docs_->end(), d);
+        // Branchless/SIMD in-block search (kernel dispatch); the
+        // modeled cost stays the metadata-driven estimate below.
+        std::size_t idx =
+            kernels::ops().lowerBound(docs_->data(), docs_->size(), d);
         if (hooks_ != nullptr)
             hooks_->onCompare(8); // ~log2(128) comparisons
-        if (it == docs_->end() || *it != d)
+        if (idx == docs_->size() || (*docs_)[idx] != d)
             return 0;
         if (!tfLoaded_) {
             tfLoaded_ = true;
@@ -270,7 +275,7 @@ class IiuProber
         }
         if (tfDropped_)
             return 0; // unreadable tf sidecar: treat as a miss
-        return (*tfs_)[static_cast<std::size_t>(it - docs_->begin())];
+        return (*tfs_)[idx];
     }
 
   private:
@@ -283,10 +288,10 @@ class IiuProber
     bool blockDropped_ = false;
     std::uint32_t cachedBlock_ = 0;
     std::uint32_t searchBase_ = 0;
-    std::vector<DocId> *docs_;
-    std::vector<TermFreq> *tfs_;
-    std::vector<DocId> ownedDocs_;
-    std::vector<TermFreq> ownedTfs_;
+    AlignedVec<DocId> *docs_;
+    AlignedVec<TermFreq> *tfs_;
+    AlignedVec<DocId> ownedDocs_;
+    AlignedVec<TermFreq> ownedTfs_;
 };
 
 /** Fully decode a list, charging sequential loads (IIU base list). */
@@ -297,12 +302,16 @@ iiuDecodeList(const index::InvertedIndex &index, TermId t,
     const auto &list = index.list(t);
     std::vector<IiuCandidate> out;
     out.reserve(list.docCount);
-    std::vector<DocId> ownedDocs;
-    std::vector<TermFreq> ownedTfs;
-    std::vector<DocId> &docs =
+    AlignedVec<DocId> ownedDocs;
+    AlignedVec<TermFreq> ownedTfs;
+    AlignedVec<float> ownedFloats;
+    AlignedVec<DocId> &docs =
         arena != nullptr ? arena->docBuffer() : ownedDocs;
-    std::vector<TermFreq> &tfs =
+    AlignedVec<TermFreq> &tfs =
         arena != nullptr ? arena->tfBuffer() : ownedTfs;
+    AlignedVec<float> &scratch =
+        arena != nullptr ? arena->floatBuffer() : ownedFloats;
+    const double k1p1 = index.scorer().params().k1 + 1.0;
     for (std::uint32_t b = 0; b < list.numBlocks(); ++b) {
         if (hooks != nullptr) {
             hooks->onMetaRead(t, 1);
@@ -330,11 +339,19 @@ iiuDecodeList(const index::InvertedIndex &index, TermId t,
         if (hooks != nullptr)
             hooks->onDecode(2u * list.blocks[b].numElems);
         index::decodeBlock(list, b, docs, &tfs);
-        for (std::size_t i = 0; i < docs.size(); ++i) {
-            float s = index.scorer().termScore(list.idf, tfs[i],
-                                               index.doc(docs[i]).norm);
-            out.push_back({docs[i], s});
-        }
+        // Batch BM25 term scoring: gather the per-document norms,
+        // then score the whole block through the kernel (bit-exact
+        // with Bm25::termScore -- identical IEEE op sequence).
+        std::size_t m = docs.size();
+        scratch.resize(2 * m);
+        float *norms = scratch.data();
+        float *scores = norms + m;
+        for (std::size_t i = 0; i < m; ++i)
+            norms[i] = index.doc(docs[i]).norm;
+        kernels::ops().scoreBm25(list.idf, k1p1, tfs.data(), norms, m,
+                                 scores);
+        for (std::size_t i = 0; i < m; ++i)
+            out.push_back({docs[i], scores[i]});
     }
     return out;
 }

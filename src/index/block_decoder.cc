@@ -4,28 +4,29 @@
 
 #include "common/logging.h"
 #include "compress/codec.h"
+#include "kernels/kernels.h"
 
 namespace boss::index
 {
 
 void
 decodeBlock(const CompressedPostingList &list, std::uint32_t b,
-            std::vector<DocId> &docs, std::vector<TermFreq> *tfs)
+            AlignedVec<DocId> &docs, AlignedVec<TermFreq> *tfs)
 {
     BOSS_ASSERT(b < list.numBlocks(), "block index out of range");
     const BlockMeta &meta = list.blocks[b];
     const compress::Codec &codec = compress::codecFor(list.scheme);
 
     docs.resize(meta.numElems);
+    BOSS_DEBUG_ASSERT(isKernelAligned(docs.data()),
+                      "decode scratch misaligned");
     std::span<const std::uint8_t> docBytes(
         list.docPayload.data() + meta.docOffset, meta.docBytes);
     codec.decode(docBytes, docs);
 
-    DocId acc = list.blockBase(b);
-    for (auto &d : docs) {
-        acc += d;
-        d = acc;
-    }
+    // Delta -> absolute docIDs (vectorized inclusive scan).
+    kernels::ops().prefixSum(docs.data(), docs.size(),
+                             list.blockBase(b));
 
     if (tfs != nullptr)
         decodeBlockTfs(list, b, *tfs);
@@ -33,12 +34,14 @@ decodeBlock(const CompressedPostingList &list, std::uint32_t b,
 
 void
 decodeBlockTfs(const CompressedPostingList &list, std::uint32_t b,
-               std::vector<TermFreq> &tfs)
+               AlignedVec<TermFreq> &tfs)
 {
     BOSS_ASSERT(b < list.numBlocks(), "block index out of range");
     const BlockMeta &meta = list.blocks[b];
     const compress::Codec &codec = compress::codecFor(list.scheme);
     tfs.resize(meta.numElems);
+    BOSS_DEBUG_ASSERT(isKernelAligned(tfs.data()),
+                      "decode scratch misaligned");
     std::span<const std::uint8_t> tfBytes(
         list.tfPayload.data() + meta.tfOffset, meta.tfBytes);
     codec.decode(tfBytes, tfs);
@@ -49,8 +52,8 @@ decodeAll(const CompressedPostingList &list)
 {
     PostingList out;
     out.reserve(list.docCount);
-    std::vector<DocId> docs;
-    std::vector<TermFreq> tfs;
+    AlignedVec<DocId> docs;
+    AlignedVec<TermFreq> tfs;
     for (std::uint32_t b = 0; b < list.numBlocks(); ++b) {
         decodeBlock(list, b, docs, &tfs);
         for (std::size_t i = 0; i < docs.size(); ++i)

@@ -7,15 +7,15 @@
 #ifndef BOSS_INDEX_BLOCK_DECODER_H
 #define BOSS_INDEX_BLOCK_DECODER_H
 
-#include <vector>
-
+#include "common/aligned.h"
 #include "index/compressed_list.h"
 
 namespace boss::index
 {
 
 /**
- * Decode block @p b of @p list.
+ * Decode block @p b of @p list. Output buffers are AlignedVec so the
+ * SIMD kernels store to cache-line-aligned scratch.
  *
  * @param list the compressed posting list
  * @param b block index (< list.numBlocks())
@@ -24,8 +24,7 @@ namespace boss::index
  *            the caller only needs docIDs (saves the tf decode)
  */
 void decodeBlock(const CompressedPostingList &list, std::uint32_t b,
-                 std::vector<DocId> &docs,
-                 std::vector<TermFreq> *tfs);
+                 AlignedVec<DocId> &docs, AlignedVec<TermFreq> *tfs);
 
 /**
  * Decode only the tf payload of block @p b (resized to the block's
@@ -33,7 +32,7 @@ void decodeBlock(const CompressedPostingList &list, std::uint32_t b,
  * the tf sidecar lazily without re-decoding the docIDs.
  */
 void decodeBlockTfs(const CompressedPostingList &list, std::uint32_t b,
-                    std::vector<TermFreq> &tfs);
+                    AlignedVec<TermFreq> &tfs);
 
 /** Decode the entire list back to postings (testing oracle). */
 PostingList decodeAll(const CompressedPostingList &list);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/types.h"
 #include "compress/scheme.h"
 #include "index/posting_list.h"
@@ -68,8 +69,13 @@ struct CompressedPostingList
     float maxTermScore = 0.f;    ///< list-wide max (WAND upper bound)
 
     std::vector<BlockMeta> blocks;
-    std::vector<std::uint8_t> docPayload; ///< concatenated doc blocks
-    std::vector<std::uint8_t> tfPayload;  ///< concatenated tf blocks
+    /**
+     * Concatenated doc/tf blocks. Cache-line-aligned so the SIMD
+     * decode kernels load from aligned payload bases (block offsets
+     * within the payload remain arbitrary).
+     */
+    AlignedVec<std::uint8_t> docPayload;
+    AlignedVec<std::uint8_t> tfPayload;
 
     std::uint32_t numBlocks() const
     {

@@ -150,16 +150,16 @@ readPod(CrcReader &r)
     return v;
 }
 
-template <typename T>
+template <typename T, typename Alloc>
 void
-writeVec(CrcWriter &w, const std::vector<T> &v)
+writeVec(CrcWriter &w, const std::vector<T, Alloc> &v)
 {
     writePod<std::uint64_t>(w, v.size());
     w.write(v.data(), v.size() * sizeof(T));
 }
 
-template <typename T>
-std::vector<T>
+template <typename T, typename Alloc = std::allocator<T>>
+std::vector<T, Alloc>
 readVec(CrcReader &r, const char *what)
 {
     auto n = readPod<std::uint64_t>(r);
@@ -169,7 +169,7 @@ readVec(CrcReader &r, const char *what)
         loadFail(detail::concat("index file truncated (", what,
                                 " length ", n,
                                 " exceeds remaining file size)"));
-    std::vector<T> v(static_cast<std::size_t>(n));
+    std::vector<T, Alloc> v(static_cast<std::size_t>(n));
     r.read(v.data(), v.size() * sizeof(T));
     return v;
 }
@@ -261,8 +261,12 @@ loadIndexImpl(std::istream &is)
         list.idf = readPod<float>(r);
         list.maxTermScore = readPod<float>(r);
         list.blocks = readVec<BlockMeta>(r, "block metadata");
-        list.docPayload = readVec<std::uint8_t>(r, "doc payload");
-        list.tfPayload = readVec<std::uint8_t>(r, "tf payload");
+        list.docPayload =
+            readVec<std::uint8_t, AlignedAllocator<std::uint8_t>>(
+                r, "doc payload");
+        list.tfPayload =
+            readVec<std::uint8_t, AlignedAllocator<std::uint8_t>>(
+                r, "tf payload");
         validateList(list, t);
     }
 

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Kernel tier detection and dispatch.
+ *
+ * Tier resolution happens once, on the first ops() call: the
+ * BOSS_KERNELS environment variable is consulted ("scalar",
+ * "sse42", "avx2", or "auto"), then CPUID. The active table is held
+ * in an atomic pointer so concurrent readers on the query path pay
+ * one relaxed load; setTier() (tests, CLI --kernels) swaps it from
+ * single-threaded context.
+ */
+
+#include "kernels/kernels_impl.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace boss::kernels
+{
+
+namespace
+{
+
+using detail::kAvx2Compiled;
+using detail::kAvx2Ops;
+using detail::kScalarOps;
+using detail::kSse42Compiled;
+using detail::kSse42Ops;
+
+/** Host CPU support for a tier's instruction set. */
+bool
+cpuSupports(Tier t)
+{
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    switch (t) {
+      case Tier::Scalar: return true;
+      case Tier::Sse42: return __builtin_cpu_supports("sse4.2") != 0;
+      case Tier::Avx2: return __builtin_cpu_supports("avx2") != 0;
+    }
+    return false;
+#else
+    return t == Tier::Scalar;
+#endif
+}
+
+bool
+tierCompiled(Tier t)
+{
+    switch (t) {
+      case Tier::Scalar: return true;
+      case Tier::Sse42: return kSse42Compiled;
+      case Tier::Avx2: return kAvx2Compiled;
+    }
+    return false;
+}
+
+const Ops *
+tableFor(Tier t)
+{
+    switch (t) {
+      case Tier::Scalar: return &kScalarOps;
+      case Tier::Sse42: return &kSse42Ops;
+      case Tier::Avx2: return &kAvx2Ops;
+    }
+    BOSS_PANIC("unknown kernel tier");
+}
+
+std::atomic<const Ops *> gActiveOps{nullptr};
+std::atomic<Tier> gActiveTier{Tier::Scalar};
+std::once_flag gInitOnce;
+
+void
+activate(Tier t)
+{
+    gActiveTier.store(t, std::memory_order_relaxed);
+    gActiveOps.store(tableFor(t), std::memory_order_release);
+}
+
+/** Resolve the startup tier: BOSS_KERNELS env var, then CPUID. */
+void
+initFromEnvironment()
+{
+    const char *env = std::getenv("BOSS_KERNELS");
+    if (env != nullptr && env[0] != '\0') {
+        std::string_view name(env);
+        if (name != "auto") {
+            Tier t;
+            if (name == "scalar") {
+                t = Tier::Scalar;
+            } else if (name == "sse42") {
+                t = Tier::Sse42;
+            } else if (name == "avx2") {
+                t = Tier::Avx2;
+            } else {
+                BOSS_FATAL("BOSS_KERNELS='", env,
+                           "' is not scalar|sse42|avx2|auto");
+            }
+            if (!tierSupported(t))
+                BOSS_FATAL("BOSS_KERNELS='", env,
+                           "' requests a kernel tier this host "
+                           "does not support");
+            activate(t);
+            return;
+        }
+    }
+    activate(bestSupportedTier());
+}
+
+void
+ensureInit()
+{
+    std::call_once(gInitOnce, initFromEnvironment);
+}
+
+} // namespace
+
+std::string_view
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::Scalar: return "scalar";
+      case Tier::Sse42: return "sse42";
+      case Tier::Avx2: return "avx2";
+    }
+    return "?";
+}
+
+bool
+tierSupported(Tier t)
+{
+    return cpuSupports(t) && tierCompiled(t);
+}
+
+Tier
+bestSupportedTier()
+{
+    if (tierSupported(Tier::Avx2))
+        return Tier::Avx2;
+    if (tierSupported(Tier::Sse42))
+        return Tier::Sse42;
+    return Tier::Scalar;
+}
+
+std::vector<Tier>
+availableTiers()
+{
+    std::vector<Tier> tiers{Tier::Scalar};
+    if (tierSupported(Tier::Sse42))
+        tiers.push_back(Tier::Sse42);
+    if (tierSupported(Tier::Avx2))
+        tiers.push_back(Tier::Avx2);
+    return tiers;
+}
+
+Tier
+activeTier()
+{
+    ensureInit();
+    return gActiveTier.load(std::memory_order_relaxed);
+}
+
+std::string_view
+activeTierName()
+{
+    return tierName(activeTier());
+}
+
+void
+setTier(Tier t)
+{
+    ensureInit();
+    if (!tierSupported(t))
+        BOSS_FATAL("kernel tier '", tierName(t),
+                   "' is not supported on this host");
+    activate(t);
+}
+
+bool
+setTierByName(std::string_view name)
+{
+    if (name == "auto") {
+        ensureInit();
+        activate(bestSupportedTier());
+        return true;
+    }
+    Tier t;
+    if (name == "scalar") {
+        t = Tier::Scalar;
+    } else if (name == "sse42") {
+        t = Tier::Sse42;
+    } else if (name == "avx2") {
+        t = Tier::Avx2;
+    } else {
+        return false;
+    }
+    setTier(t);
+    return true;
+}
+
+const Ops &
+ops()
+{
+    const Ops *p = gActiveOps.load(std::memory_order_acquire);
+    if (p == nullptr) {
+        ensureInit();
+        p = gActiveOps.load(std::memory_order_acquire);
+    }
+    return *p;
+}
+
+const Ops &
+opsFor(Tier t)
+{
+    if (!tierSupported(t))
+        BOSS_FATAL("kernel tier '", tierName(t),
+                   "' is not supported on this host");
+    return *tableFor(t);
+}
+
+} // namespace boss::kernels

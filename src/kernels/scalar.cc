@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Scalar (portable) kernel tier -- the bit-exact reference every
+ * SIMD tier is tested against, and itself much faster than the
+ * seed's per-element BitReader loop: the unpack kernel reads one
+ * unaligned 64-bit window per value instead of refilling a bit
+ * accumulator byte by byte, and the VarByte kernel decodes eight
+ * single-byte values per 64-bit load on the (dominant) small-gap
+ * path.
+ */
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "kernels/kernels_impl.h"
+
+namespace boss::kernels::detail
+{
+
+namespace
+{
+
+/** Little-endian load of up to 8 bytes; missing bytes read as 0. */
+inline std::uint64_t
+loadTail64(const std::uint8_t *p, std::size_t avail)
+{
+    std::uint64_t w = 0;
+    std::memcpy(&w, p, avail < 8 ? avail : 8);
+    return w;
+}
+
+// ---------------------------------------------------------------
+// Per-bit-width fully unrolled unpack (simdcomp-style fastunpack).
+//
+// With a constant width W, 32 consecutive values occupy exactly W
+// little-endian 32-bit words, and every value's word index and shift
+// are compile-time constants. The templates below expand one
+// straight-line extraction per value -- no bit accumulator, no
+// per-element branches -- and a table indexed by width selects the
+// right instantiation at runtime.
+// ---------------------------------------------------------------
+
+template <unsigned W, unsigned J>
+inline std::uint32_t
+extractValue(const std::uint32_t *words)
+{
+    constexpr unsigned bit = J * W;
+    constexpr unsigned wi = bit / 32;
+    constexpr unsigned sh = bit % 32;
+    constexpr std::uint32_t mask =
+        W >= 32 ? 0xFFFFFFFFu : ((1u << W) - 1u);
+    std::uint32_t v = words[wi] >> sh;
+    if constexpr (sh + W > 32)
+        v |= words[wi + 1] << (32 - sh);
+    return v & mask;
+}
+
+template <unsigned W, std::size_t... J>
+inline void
+unpack32Impl(const std::uint32_t *words, std::uint32_t *out,
+             std::index_sequence<J...>)
+{
+    ((out[J] = extractValue<W, static_cast<unsigned>(J)>(words)), ...);
+}
+
+/** Unpack 32 W-bit values; consumes exactly 4*W input bytes. */
+template <unsigned W>
+void
+unpack32(const std::uint8_t *in, std::uint32_t *out)
+{
+    std::uint32_t words[W];
+    std::memcpy(words, in, sizeof(words));
+    unpack32Impl<W>(words, out, std::make_index_sequence<32>{});
+}
+
+using Unpack32Fn = void (*)(const std::uint8_t *, std::uint32_t *);
+
+template <std::size_t... W>
+constexpr std::array<Unpack32Fn, 33>
+makeUnpackTable(std::index_sequence<W...>)
+{
+    // Width 0 never occurs (encoders clamp to >= 1); keep a null
+    // slot so the table is indexed directly by width.
+    return {nullptr, &unpack32<static_cast<unsigned>(W + 1)>...};
+}
+
+constexpr std::array<Unpack32Fn, 33> kUnpack32 =
+    makeUnpackTable(std::make_index_sequence<32>{});
+
+} // namespace
+
+void
+scalarUnpackBits(const std::uint8_t *in, std::size_t inBytes,
+                 std::uint32_t *out, std::size_t n, std::uint32_t width)
+{
+    BOSS_ASSERT(width >= 1 && width <= 32, "bad unpack width ", width);
+    const std::uint64_t mask =
+        width >= 32 ? 0xFFFFFFFFull : ((1ull << width) - 1);
+
+    // Whole 32-value groups through the unrolled kernel. Each group
+    // consumes exactly 4*width bytes, so a full 128-entry block is
+    // four straight-line calls and never reads past the payload.
+    std::uint64_t bit = 0;
+    std::size_t j = 0;
+    const Unpack32Fn unpack = kUnpack32[width];
+    while (n - j >= 32 && (bit >> 3) + 4ull * width <= inBytes) {
+        unpack(in + (bit >> 3), out + j);
+        j += 32;
+        bit += 32ull * width;
+    }
+
+    // Remaining values via 64-bit windows: a window at byte
+    // (bit / 8) always contains the value (shift <= 7, 7 + 32 <=
+    // 64). Windows that would cross the end of the input take the
+    // zero-padded tail path, so reads stay strictly inside
+    // [in, in + inBytes) and bits past the end read as zero
+    // (BitReader semantics).
+    std::size_t nFast = 0;
+    if (inBytes >= 8) {
+        // Largest j with (j*width)/8 + 8 <= inBytes, clamped to n.
+        std::uint64_t maxBit =
+            (static_cast<std::uint64_t>(inBytes) - 8) * 8 + 7;
+        std::uint64_t jMax = maxBit / width + 1;
+        nFast = jMax < n ? static_cast<std::size_t>(jMax) : n;
+    }
+    for (; j < nFast; ++j) {
+        std::uint64_t w;
+        std::memcpy(&w, in + (bit >> 3), 8);
+        out[j] = static_cast<std::uint32_t>((w >> (bit & 7)) & mask);
+        bit += width;
+    }
+    for (; j < n; ++j) {
+        std::size_t off = static_cast<std::size_t>(bit >> 3);
+        std::uint64_t w =
+            off < inBytes ? loadTail64(in + off, inBytes - off) : 0;
+        out[j] = static_cast<std::uint32_t>((w >> (bit & 7)) & mask);
+        bit += width;
+    }
+}
+
+void
+scalarPrefixSum(std::uint32_t *values, std::size_t n, std::uint32_t base)
+{
+    std::uint32_t acc = base;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += values[i];
+        values[i] = acc;
+    }
+}
+
+std::size_t
+scalarDecodeVarByte(const std::uint8_t *in, std::size_t inBytes,
+                    std::uint32_t *out, std::size_t n)
+{
+    std::size_t pos = 0;
+    std::size_t i = 0;
+    while (i < n) {
+        // Fast path: a 64-bit window with no continuation bits is
+        // eight complete single-byte values.
+        if (i + 8 <= n && pos + 8 <= inBytes) {
+            std::uint64_t w;
+            std::memcpy(&w, in + pos, 8);
+            if ((w & 0x8080808080808080ull) == 0) {
+                for (int b = 0; b < 8; ++b)
+                    out[i + b] =
+                        static_cast<std::uint32_t>((w >> (8 * b)) & 0x7F);
+                i += 8;
+                pos += 8;
+                continue;
+            }
+        }
+        std::uint32_t acc = 0;
+        while (true) {
+            BOSS_ASSERT(pos < inBytes, "VB payload truncated");
+            std::uint8_t b = in[pos++];
+            acc = (acc << 7) | (b & 0x7F);
+            if ((b & 0x80) == 0)
+                break;
+        }
+        out[i++] = acc;
+    }
+    return pos;
+}
+
+std::size_t
+scalarLowerBound(const std::uint32_t *data, std::size_t n,
+                 std::uint32_t key)
+{
+    // Branchless binary search: every iteration halves the window
+    // with a conditional-move instead of a predicted branch.
+    std::size_t base = 0;
+    std::size_t len = n;
+    while (len > 1) {
+        std::size_t half = len / 2;
+        base += data[base + half - 1] < key ? half : 0;
+        len -= half;
+    }
+    if (len == 1 && data[base] < key)
+        ++base;
+    return base;
+}
+
+void
+scalarScoreBm25(double idf, double k1p1, const std::uint32_t *tfs,
+                const float *norms, std::size_t n, float *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        double f = static_cast<double>(tfs[i]);
+        out[i] = static_cast<float>(
+            idf * f * k1p1 / (f + static_cast<double>(norms[i])));
+    }
+}
+
+const Ops kScalarOps = {
+    &scalarUnpackBits, &scalarPrefixSum, &scalarDecodeVarByte,
+    &scalarLowerBound, &scalarScoreBm25,
+};
+
+} // namespace boss::kernels::detail

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * SSE4.2 kernel tier. Bit unpack for w <= 16 uses the same 16-byte
+ * group-window + byte-shuffle scheme as the AVX2 tier, split across
+ * two xmm vectors; SSE has no per-lane variable shift, so each lane
+ * is normalized with a pmulld by 2^(7 - shift) followed by a fixed
+ * >> 7 (exact: shift + width <= 23 < 32 bits survive the multiply).
+ * Wider widths delegate to the scalar 64-bit-window loop. Further
+ * wins are the 4-lane inclusive-scan prefix sum, the 16-byte VarByte
+ * fast path, and the vectorized in-block lower bound. Compiled with
+ * -msse4.2 (see CMakeLists.txt); on toolchains/targets without it,
+ * the table falls back to scalar entries and reports non-compiled,
+ * so the dispatcher never selects it.
+ */
+
+#include "kernels/kernels_impl.h"
+
+#if defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+#include <smmintrin.h>
+
+#include <cstring>
+
+namespace boss::kernels::detail
+{
+
+namespace
+{
+
+// Per-width shuffle/multiplier constants for the w <= 16 unpack
+// path: an 8-value group spans exactly w <= 16 bytes, and value k's
+// bytes [(kw >> 3), (kw + w - 1) >> 3] all index inside the 16-byte
+// window (8*16 - 1 = 127 -> byte 15). Bytes outside a value's span
+// shuffle in as zero (0x80).
+struct SseShufTable {
+    std::uint8_t shufLo[17][16];
+    std::uint8_t shufHi[17][16];
+    std::uint32_t mul[17][8]; // 2^(7 - ((k*w) & 7))
+};
+
+constexpr SseShufTable
+makeSseShufTable()
+{
+    SseShufTable t{};
+    for (unsigned w = 1; w <= 16; ++w) {
+        for (unsigned k = 0; k < 8; ++k) {
+            unsigned first = (k * w) >> 3;
+            unsigned last = (k * w + w - 1) >> 3;
+            for (unsigned b = 0; b < 4; ++b) {
+                unsigned idx = first + b;
+                std::uint8_t v =
+                    idx <= last ? static_cast<std::uint8_t>(idx)
+                                : std::uint8_t{0x80};
+                if (k < 4)
+                    t.shufLo[w][k * 4 + b] = v;
+                else
+                    t.shufHi[w][(k - 4) * 4 + b] = v;
+            }
+            t.mul[w][k] = 1u << (7 - ((k * w) & 7));
+        }
+    }
+    return t;
+}
+
+constexpr SseShufTable kSseShuf = makeSseShufTable();
+
+/**
+ * Unpack `groups` 8-value groups of width <= 16. The caller
+ * guarantees `in` is readable for (groups - 1) * width + 16 bytes.
+ */
+inline void
+sseUnpackGroups16(const std::uint8_t *in, std::uint32_t *out,
+                  std::size_t groups, std::uint32_t w)
+{
+    const __m128i shufLo = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(kSseShuf.shufLo[w]));
+    const __m128i shufHi = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(kSseShuf.shufHi[w]));
+    const __m128i mulLo = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(kSseShuf.mul[w]));
+    const __m128i mulHi = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(kSseShuf.mul[w] + 4));
+    const __m128i mask =
+        _mm_set1_epi32(static_cast<int>((1u << w) - 1u));
+    for (std::size_t g = 0; g < groups; ++g) {
+        __m128i win = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(in + g * w));
+        __m128i lo = _mm_and_si128(
+            _mm_srli_epi32(
+                _mm_mullo_epi32(_mm_shuffle_epi8(win, shufLo), mulLo),
+                7),
+            mask);
+        __m128i hi = _mm_and_si128(
+            _mm_srli_epi32(
+                _mm_mullo_epi32(_mm_shuffle_epi8(win, shufHi), mulHi),
+                7),
+            mask);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 8 * g), lo);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 8 * g + 4),
+                         hi);
+    }
+}
+
+void
+sseUnpackBits(const std::uint8_t *in, std::size_t inBytes,
+              std::uint32_t *out, std::size_t n, std::uint32_t width)
+{
+    if (width > 16 || n < 8) {
+        scalarUnpackBits(in, inBytes, out, n, width);
+        return;
+    }
+    const std::uint32_t w = width;
+    // Chunks of <= 16 groups (one full block); inputs too short for
+    // the last group's 16-byte window are staged through a
+    // zero-padded stack buffer (padding decodes as zero, matching
+    // BitReader past-the-end semantics).
+    while (n >= 8) {
+        std::size_t groups = n / 8 < 16 ? n / 8 : 16;
+        std::size_t lastEnd = (groups - 1) * w + 16;
+        if (inBytes >= lastEnd) {
+            sseUnpackGroups16(in, out, groups, w);
+        } else {
+            alignas(16) std::uint8_t buf[16 * 16 + 16];
+            std::memset(buf, 0, sizeof(buf));
+            std::size_t copy =
+                inBytes < sizeof(buf) ? inBytes : sizeof(buf);
+            std::memcpy(buf, in, copy);
+            sseUnpackGroups16(buf, out, groups, w);
+        }
+        // Each group consumes exactly w bytes (8w bits); on a
+        // truncated input, stop advancing at the end.
+        std::size_t consumed = groups * w;
+        std::size_t adv = consumed < inBytes ? consumed : inBytes;
+        in += adv;
+        inBytes -= adv;
+        out += groups * 8;
+        n -= groups * 8;
+    }
+    if (n > 0)
+        scalarUnpackBits(in, inBytes, out, n, width);
+}
+
+void
+ssePrefixSum(std::uint32_t *values, std::size_t n, std::uint32_t base)
+{
+    std::size_t i = 0;
+    __m128i carry = _mm_set1_epi32(static_cast<int>(base));
+    for (; i + 4 <= n; i += 4) {
+        __m128i x = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(values + i));
+        // In-register inclusive scan: x += x<<32; x += x<<64.
+        x = _mm_add_epi32(x, _mm_slli_si128(x, 4));
+        x = _mm_add_epi32(x, _mm_slli_si128(x, 8));
+        x = _mm_add_epi32(x, carry);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(values + i), x);
+        // Broadcast the new running total (lane 3).
+        carry = _mm_shuffle_epi32(x, 0xFF);
+    }
+    std::uint32_t acc =
+        static_cast<std::uint32_t>(_mm_cvtsi128_si32(carry));
+    for (; i < n; ++i) {
+        acc += values[i];
+        values[i] = acc;
+    }
+}
+
+std::size_t
+sseDecodeVarByte(const std::uint8_t *in, std::size_t inBytes,
+                 std::uint32_t *out, std::size_t n)
+{
+    std::size_t pos = 0;
+    std::size_t i = 0;
+    while (i < n) {
+        // 16 bytes with no continuation bit are 16 complete values.
+        if (i + 16 <= n && pos + 16 <= inBytes) {
+            __m128i v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(in + pos));
+            if (_mm_movemask_epi8(v) == 0) {
+                __m128i lo = _mm_cvtepu8_epi32(v);
+                __m128i v2 = _mm_srli_si128(v, 4);
+                __m128i v3 = _mm_srli_si128(v, 8);
+                __m128i v4 = _mm_srli_si128(v, 12);
+                _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                                 lo);
+                _mm_storeu_si128(
+                    reinterpret_cast<__m128i *>(out + i + 4),
+                    _mm_cvtepu8_epi32(v2));
+                _mm_storeu_si128(
+                    reinterpret_cast<__m128i *>(out + i + 8),
+                    _mm_cvtepu8_epi32(v3));
+                _mm_storeu_si128(
+                    reinterpret_cast<__m128i *>(out + i + 12),
+                    _mm_cvtepu8_epi32(v4));
+                i += 16;
+                pos += 16;
+                continue;
+            }
+            // Mixed widths: decode a batch plainly, then retest.
+            i += decodeVarByteRun(in, inBytes, pos, out + i, 8);
+            continue;
+        }
+        // Tail: one value at a time via the plain loop.
+        i += decodeVarByteRun(in, inBytes, pos, out + i, 1);
+    }
+    return pos;
+}
+
+std::size_t
+sseLowerBound(const std::uint32_t *data, std::size_t n,
+              std::uint32_t key)
+{
+    // count(data[i] < key) over the sorted block equals the lower
+    // bound. Whole 16-element chunks are skipped with one compare
+    // against their last element; the landing chunk is counted with
+    // unsigned SIMD compares (sign-flip trick).
+    std::size_t i = 0;
+    while (i + 16 <= n && data[i + 15] < key)
+        i += 16;
+    std::size_t cnt = i;
+    const __m128i flip = _mm_set1_epi32(
+        static_cast<int>(0x80000000u));
+    const __m128i keyv = _mm_xor_si128(
+        _mm_set1_epi32(static_cast<int>(key)), flip);
+    for (; i + 4 <= n; i += 4) {
+        __m128i x = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(data + i));
+        // key > x  (unsigned)  <=>  x < key.
+        __m128i lt = _mm_cmpgt_epi32(keyv, _mm_xor_si128(x, flip));
+        int m = _mm_movemask_ps(_mm_castsi128_ps(lt));
+        cnt += static_cast<std::size_t>(_mm_popcnt_u32(
+            static_cast<unsigned>(m)));
+        if (m != 0xF)
+            return cnt; // first >= key found in this vector
+    }
+    for (; i < n; ++i) {
+        if (data[i] < key)
+            ++cnt;
+        else
+            break;
+    }
+    return cnt;
+}
+
+} // namespace
+
+const Ops kSse42Ops = {
+    &sseUnpackBits, &ssePrefixSum, &sseDecodeVarByte,
+    &sseLowerBound, &scalarScoreBm25,
+};
+const bool kSse42Compiled = true;
+
+} // namespace boss::kernels::detail
+
+#else // !__SSE4_2__
+
+namespace boss::kernels::detail
+{
+
+const Ops kSse42Ops = kScalarOps;
+const bool kSse42Compiled = false;
+
+} // namespace boss::kernels::detail
+
+#endif

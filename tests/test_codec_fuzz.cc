@@ -20,6 +20,7 @@
 #include "compress/codec.h"
 #include "index/block_decoder.h"
 #include "index/inverted_index.h"
+#include "kernels/kernels.h"
 
 namespace
 {
@@ -194,6 +195,119 @@ TEST(CodecFuzzTest, PickBestSchemeAlwaysRoundTrips)
         EXPECT_EQ(out, values) << "seed " << seed << " scheme "
                                << schemeName(s);
     }
+}
+
+// ---------------------------------------------------------------
+// Kernel-tier equivalence: every SIMD tier available on this host
+// must decode byte-for-byte identically to the scalar tier, for
+// every codec, across widths, sizes and exception densities.
+// ---------------------------------------------------------------
+
+/** Decode @p enc under kernel tier @p t. */
+std::vector<std::uint32_t>
+decodeWithTier(kernels::Tier t, Scheme scheme,
+               const BlockEncoding &enc, std::size_t n)
+{
+    kernels::setTier(t);
+    std::vector<std::uint32_t> out(n, 0xDEADBEEF);
+    compress::codecFor(scheme).decode(enc.bytes, out);
+    return out;
+}
+
+/**
+ * Encode @p values with every codec and check each available tier
+ * decodes exactly what the scalar tier does (which the round-trip
+ * suites above pin to the true values).
+ */
+void
+checkTierEquivalence(const std::vector<std::uint32_t> &values)
+{
+    struct TierGuard
+    {
+        ~TierGuard()
+        {
+            kernels::setTier(kernels::bestSupportedTier());
+        }
+    } guard;
+    for (Scheme s : compress::kAllSchemes) {
+        const compress::Codec &codec = compress::codecFor(s);
+        BlockEncoding enc;
+        if (!codec.encode(values, enc))
+            continue; // legal refusals covered elsewhere
+        auto ref = decodeWithTier(kernels::Tier::Scalar, s, enc,
+                                  values.size());
+        EXPECT_EQ(ref, values) << schemeName(s) << " scalar decode";
+        for (kernels::Tier t : kernels::availableTiers()) {
+            auto out = decodeWithTier(t, s, enc, values.size());
+            EXPECT_EQ(out, ref)
+                << schemeName(s) << " tier "
+                << kernels::tierName(t) << " diverged from scalar ("
+                << values.size() << " values)";
+        }
+    }
+}
+
+TEST(KernelTierFuzzTest, RandomWidthSweepAllCodecs)
+{
+    const std::size_t sizes[] = {1, 2, 7, 33, 64, 127, 128, 129, 200};
+    const int widths[] = {1, 2, 4, 7, 8, 11, 16, 20, 25, 28, 32};
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        std::uint64_t slot = 0;
+        for (std::size_t n : sizes) {
+            for (int w : widths) {
+                Rng rng(splitSeed(seed ^ 0x7153, slot++));
+                std::vector<std::uint32_t> values(n);
+                for (auto &v : values)
+                    v = static_cast<std::uint32_t>(
+                        rng.below(1ull << w));
+                checkTierEquivalence(values);
+            }
+        }
+    }
+}
+
+TEST(KernelTierFuzzTest, ExceptionDensitySweep)
+{
+    // PFD-family patch paths at 0%..~50% exception rates, with the
+    // base width and the exception magnitude both varied.
+    const double densities[] = {0.0, 0.01, 0.05, 0.2, 0.5};
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        std::uint64_t slot = 0;
+        for (double density : densities) {
+            for (std::uint32_t huge : {1u << 16, 1u << 24, 0xFFFFFFFFu}) {
+                Rng rng(splitSeed(seed ^ 0xECC, slot++));
+                std::vector<std::uint32_t> values(kBlock);
+                auto cut = static_cast<std::uint64_t>(density * 1000);
+                for (auto &v : values) {
+                    if (rng.below(1000) < cut)
+                        v = static_cast<std::uint32_t>(
+                            rng.below(huge) | (huge >> 1));
+                    else
+                        v = static_cast<std::uint32_t>(rng.below(64));
+                }
+                checkTierEquivalence(values);
+            }
+        }
+    }
+}
+
+TEST(KernelTierFuzzTest, AdversarialBlocks)
+{
+    checkTierEquivalence(std::vector<std::uint32_t>(kBlock, 0));
+    checkTierEquivalence(
+        std::vector<std::uint32_t>(kBlock, 0xFFFFFFFFu));
+    std::vector<std::uint32_t> alternating(kBlock);
+    for (std::size_t i = 0; i < alternating.size(); ++i)
+        alternating[i] = i % 2 == 0 ? 0 : 0xFFFFFFFFu;
+    checkTierEquivalence(alternating);
+    std::vector<std::uint32_t> boundaries;
+    for (int w = 1; w <= 32; ++w) {
+        boundaries.push_back(
+            static_cast<std::uint32_t>((1ull << w) - 1));
+        if (w < 32)
+            boundaries.push_back(1u << w);
+    }
+    checkTierEquivalence(boundaries);
 }
 
 // ---------------------------------------------------------------

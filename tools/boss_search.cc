@@ -34,6 +34,11 @@
  *   --fault-seed=N         base seed of the fault schedule (default
  *                          0xB055); same spec + seed => identical
  *                          faults at any thread or shard count
+ *   --kernels=TIER         host SIMD kernel tier for block decode /
+ *                          scoring: scalar|sse42|avx2|auto (default:
+ *                          the BOSS_KERNELS env var, else auto =
+ *                          best supported). Every tier is bit-exact;
+ *                          this only changes host-side speed.
  */
 
 #include <cstdio>
@@ -49,6 +54,7 @@
 #include "boss/device.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "kernels/kernels.h"
 #include "index/text_builder.h"
 #include "mem/fault_model.h"
 #include "trace/chrome_trace.h"
@@ -302,6 +308,16 @@ main(int argc, char **argv)
                    matchValueFlag(argv[argi], "--fault-seed", seed)) {
             opts.faultSeed = std::strtoull(seed.c_str(), nullptr, 0);
             ++argi;
+        } else if (std::string tier;
+                   matchValueFlag(argv[argi], "--kernels", tier)) {
+            if (!boss::kernels::setTierByName(tier)) {
+                std::fprintf(stderr,
+                             "--kernels wants scalar|sse42|avx2|auto, "
+                             "got '%s'\n",
+                             tier.c_str());
+                return 2;
+            }
+            ++argi;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
                          argv[argi]);
@@ -313,7 +329,7 @@ main(int argc, char **argv)
             stderr,
             "usage: %s [--threads N] [--shards N] [--trace-out=FILE] "
             "[--stats-json=FILE] [--query-summaries=FILE] "
-            "[--fault-spec=SPEC] [--fault-seed=N] "
+            "[--fault-spec=SPEC] [--fault-seed=N] [--kernels=TIER] "
             "<index.idx> [query...]\n",
             argv[0]);
         return 2;
