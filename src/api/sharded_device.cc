@@ -1,12 +1,43 @@
 #include "api/sharded_device.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "engine/topk.h"
 
 namespace boss::api
 {
+
+namespace
+{
+
+/** Plan a whole batch once (the lexicon is shard-replicated). */
+std::vector<engine::QueryPlan>
+batchPlans(accel::Device &dev,
+           const std::vector<workload::Query> &queries)
+{
+    std::vector<engine::QueryPlan> plans;
+    plans.reserve(queries.size());
+    for (const auto &q : queries)
+        plans.push_back(dev.plan(q));
+    return plans;
+}
+
+std::vector<engine::QueryPlan>
+batchPlans(accel::Device &dev,
+           const std::vector<std::string> &qExpressions)
+{
+    std::vector<engine::QueryPlan> plans;
+    plans.reserve(qExpressions.size());
+    for (const auto &q : qExpressions)
+        plans.push_back(dev.plan(q));
+    return plans;
+}
+
+} // namespace
 
 ShardedDevice::ShardedDevice(ShardedDeviceConfig config)
     : config_(std::move(config))
@@ -72,27 +103,109 @@ ShardedDevice::runBatch(const Batch &batch, std::size_t nQueries)
 
     ShardedOutcome out;
     out.perQuery.resize(nQueries);
-    out.shardSeconds.reserve(devices_.size());
+    out.shardSeconds.assign(devices_.size(), 0.0);
 
-    // Per-query scatter lists: perShard[q][s] is query q's top-k on
-    // shard s, already rebased to global docIDs.
-    std::vector<std::vector<std::vector<engine::Result>>> perShard(
-        nQueries);
-
-    // Shards dispatch one at a time: each device's searchBatch fans
-    // its trace building out over the shared host pool (which is not
+    // Shard builds dispatch one at a time: each shard's trace
+    // building fans out over the shared host pool (which is not
     // reentrant), so the host is already saturated per shard. The
-    // modeled devices still run concurrently — see the time merge.
+    // serial replay of a completed shard, however, occupies only one
+    // thread — with no recorder attached it is posted to a pool
+    // worker so the next shard's build overlaps it. Replay is
+    // timing-only (results come from the builds) and each posted
+    // task touches only its own device and outcome slot, so results
+    // stay bit-identical to the sequential loop. Recorder runs keep
+    // the sequential path: replay registers trace lanes, which is
+    // not thread-safe.
+    common::ThreadPool &pool = common::ThreadPool::global();
+    const bool overlap = recorder_ == nullptr && devices_.size() > 1;
+
+    std::vector<accel::SearchOutcome> shardOut(devices_.size());
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+    std::size_t pendingReplays = 0;
+    std::exception_ptr replayError;
+    std::exception_ptr buildError;
+
+    std::vector<engine::QueryPlan> plans;
     for (std::size_t s = 0; s < devices_.size(); ++s) {
         if (!devices_[s]->operational()) {
             // Dead shard: dropped from the merge entirely. Queries
             // still complete over the surviving shards, with the
             // partial coverage flagged in the outcome.
             out.deadShards.push_back(static_cast<std::uint32_t>(s));
-            out.shardSeconds.push_back(0.0);
             continue;
         }
-        accel::SearchOutcome res = devices_[s]->searchBatch(batch);
+        if (!overlap) {
+            shardOut[s] = devices_[s]->searchBatch(batch);
+            continue;
+        }
+        try {
+            // Expressions resolve identically on every shard (the
+            // lexicon is replicated), so the batch is planned once
+            // on the first live shard.
+            if (plans.empty())
+                plans = batchPlans(*devices_[s], batch);
+            std::vector<accel::BuiltQuery> runs(nQueries);
+            if (arenas_.size() < pool.size())
+                arenas_.resize(pool.size());
+            accel::Device *dev = devices_[s].get();
+            pool.parallelFor(
+                nQueries, [&](std::size_t i, std::size_t worker) {
+                    runs[i] =
+                        dev->buildQuery(plans[i], arenas_[worker]);
+                });
+            auto group =
+                std::make_shared<std::vector<accel::BuiltQuery>>(
+                    std::move(runs));
+            {
+                std::lock_guard<std::mutex> lock(doneMutex);
+                ++pendingReplays;
+            }
+            pool.post([&, dev, s, group](std::size_t) {
+                try {
+                    shardOut[s] = dev->replayBuilt(std::move(*group));
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(doneMutex);
+                    if (replayError == nullptr)
+                        replayError = std::current_exception();
+                }
+                {
+                    // Notify under the lock: the pool worker
+                    // outlives this frame, and doneCv lives on it.
+                    // Broadcasting while holding doneMutex keeps the
+                    // waiter from waking and unwinding the frame
+                    // while this worker is still in the broadcast.
+                    std::lock_guard<std::mutex> lock(doneMutex);
+                    --pendingReplays;
+                    doneCv.notify_all();
+                }
+            });
+        } catch (...) {
+            // Drain in-flight replays before propagating: they hold
+            // references into this frame.
+            buildError = std::current_exception();
+            break;
+        }
+    }
+    if (overlap) {
+        std::unique_lock<std::mutex> lock(doneMutex);
+        doneCv.wait(lock, [&] { return pendingReplays == 0; });
+        if (buildError == nullptr)
+            buildError = replayError;
+    }
+    if (buildError != nullptr)
+        std::rethrow_exception(buildError);
+
+    // Per-query scatter lists: perShard[q][s] is query q's top-k on
+    // shard s, already rebased to global docIDs. Assembled in shard
+    // order regardless of replay completion order, so the merge is
+    // deterministic.
+    std::vector<std::vector<std::vector<engine::Result>>> perShard(
+        nQueries);
+    for (std::size_t s = 0; s < devices_.size(); ++s) {
+        if (!devices_[s]->operational())
+            continue;
+        accel::SearchOutcome &res = shardOut[s];
         BOSS_ASSERT(res.perQuery.size() == nQueries,
                     "shard ", s, " returned ", res.perQuery.size(),
                     " result lists for ", nQueries, " queries");
@@ -104,7 +217,7 @@ ShardedDevice::runBatch(const Batch &batch, std::size_t nQueries)
         }
         // Devices are independent: the batch completes when the
         // slowest shard does, while traffic and work counters sum.
-        out.shardSeconds.push_back(res.simSeconds);
+        out.shardSeconds[s] = res.simSeconds;
         out.simSeconds = std::max(out.simSeconds, res.simSeconds);
         out.deviceBytes += res.deviceBytes;
         out.evaluatedDocs += res.evaluatedDocs;
@@ -122,6 +235,61 @@ ShardedDevice::runBatch(const Batch &batch, std::size_t nQueries)
             engine::mergeTopK(perShard[q], config_.device.k);
     if (!out.perQuery.empty())
         out.topk = out.perQuery.back();
+    return out;
+}
+
+ShardedDevice::Built
+ShardedDevice::buildQuery(const engine::QueryPlan &plan,
+                          engine::QueryArena &arena) const
+{
+    BOSS_ASSERT(!devices_.empty(), "buildQuery before loadShards()");
+    Built built;
+    built.perShard.resize(devices_.size());
+    for (std::size_t s = 0; s < devices_.size(); ++s) {
+        if (!devices_[s]->operational())
+            continue; // dead shard: empty slot, dropped at finish
+        built.perShard[s] = devices_[s]->buildQuery(plan, arena);
+    }
+    return built;
+}
+
+ShardedOutcome
+ShardedDevice::finishBuilt(Built built)
+{
+    BOSS_ASSERT(built.perShard.size() == devices_.size(),
+                "built query spans ", built.perShard.size(),
+                " shards, device has ", devices_.size());
+    ShardedOutcome out;
+    out.shardSeconds.assign(devices_.size(), 0.0);
+    std::vector<std::vector<engine::Result>> perShard;
+    for (std::size_t s = 0; s < devices_.size(); ++s) {
+        if (!devices_[s]->operational()) {
+            out.deadShards.push_back(static_cast<std::uint32_t>(s));
+            continue;
+        }
+        std::vector<accel::BuiltQuery> group;
+        group.push_back(std::move(built.perShard[s]));
+        accel::SearchOutcome res =
+            devices_[s]->replayBuilt(std::move(group));
+        const DocId base = map_.docBase(static_cast<std::uint32_t>(s));
+        for (auto &r : res.perQuery[0])
+            r.doc += base;
+        perShard.push_back(std::move(res.perQuery[0]));
+        out.shardSeconds[s] = res.simSeconds;
+        out.simSeconds = std::max(out.simSeconds, res.simSeconds);
+        out.deviceBytes += res.deviceBytes;
+        out.evaluatedDocs += res.evaluatedDocs;
+        out.skippedDocs += res.skippedDocs;
+        out.crcRetries += res.crcRetries;
+        out.blocksDropped += res.blocksDropped;
+    }
+    out.shardsDropped = out.deadShards.size();
+    if (out.deadShards.size() == devices_.size())
+        BOSS_FATAL("fault spec declares all ", devices_.size(),
+                   " shards dead; no shard can serve queries");
+    out.perQuery.push_back(
+        engine::mergeTopK(perShard, config_.device.k));
+    out.topk = out.perQuery.back();
     return out;
 }
 

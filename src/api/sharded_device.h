@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "boss/device.h"
+#include "common/logging.h"
 #include "index/sharding.h"
 
 namespace boss::api
@@ -102,13 +103,53 @@ class ShardedDevice
      * Scatter a batch: each shard executes the whole batch through
      * its own device (trace building fans out over the shared host
      * thread pool), then each query's per-shard top-k lists are
-     * merged on the host. Shards are dispatched one at a time — the
-     * pool is not reentrant — but modeled as concurrent devices.
+     * merged on the host. Shard builds are dispatched one at a time
+     * — the pool is not reentrant — but a completed shard's replay
+     * is posted to a pool worker, so shard s+1's trace build
+     * overlaps shard s's replay (with no recorder attached; replay
+     * lane registration is single-threaded, so trace-capture runs
+     * fall back to the sequential build→replay loop).
      */
     ShardedOutcome
     searchBatch(const std::vector<workload::Query> &queries);
     ShardedOutcome
     searchBatch(const std::vector<std::string> &qExpressions);
+
+    // ---- Pipelined execution (see boss/device.h) ----
+
+    /** Plan one query (the lexicon is replicated across shards). */
+    engine::QueryPlan plan(const workload::Query &query) const
+    {
+        return engine::planQuery(query);
+    }
+    engine::QueryPlan plan(const std::string &qExpression)
+    {
+        BOSS_ASSERT(!devices_.empty(), "plan() before loadShards()");
+        return devices_[0]->plan(qExpression);
+    }
+
+    /**
+     * One query built on every live shard. Dead shards hold an
+     * empty slot and are dropped from the merge in finishBuilt().
+     */
+    struct Built
+    {
+        std::vector<accel::BuiltQuery> perShard;
+    };
+
+    /**
+     * Stage 1 (thread-safe): build one query's traces on every live
+     * shard. Concurrent calls must pass distinct arenas.
+     */
+    Built buildQuery(const engine::QueryPlan &plan,
+                     engine::QueryArena &arena) const;
+
+    /**
+     * Stage 2 (serial): replay the per-shard builds on their device
+     * models, rebase local docIDs and merge the global top-k. The
+     * outcome carries exactly one perQuery entry.
+     */
+    ShardedOutcome finishBuilt(Built built);
 
     // ---- Observability (see boss/device.h) ----
 
@@ -155,6 +196,8 @@ class ShardedDevice
     ShardedDeviceConfig config_;
     index::ShardMap map_;
     std::vector<std::unique_ptr<accel::Device>> devices_;
+    /** Per-worker decode scratch for the pipelined batch path. */
+    std::vector<engine::QueryArena> arenas_;
     // Observability settings outlive reloads (and may be set before
     // the first load creates the per-shard devices).
     trace::Recorder *recorder_ = nullptr;

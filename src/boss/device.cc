@@ -126,19 +126,12 @@ splitWidePlan(const engine::QueryPlan &plan)
 
 } // namespace
 
-SearchOutcome
-Device::runPlans(const std::vector<engine::QueryPlan> &plans)
+BuiltQuery
+Device::buildQuery(const engine::QueryPlan &plan,
+                   engine::QueryArena &arena, trace::Scope scope,
+                   std::uint16_t lane) const
 {
     BOSS_ASSERT(index_.has_value(), "search() before loadIndex()");
-
-    if (!operational()) {
-        // A lost device answers nothing; the caller (ShardedDevice)
-        // degrades to partial coverage instead of crashing.
-        SearchOutcome down;
-        down.deviceFailed = true;
-        down.perQuery.resize(plans.size());
-        return down;
-    }
 
     model::TraceOptions options =
         model::traceOptionsFor(config_.kind, config_.k);
@@ -151,79 +144,54 @@ Device::runPlans(const std::vector<engine::QueryPlan> &plans)
     wideOptions.flags.storeAllResults = true;
     wideOptions.k = std::numeric_limits<std::size_t>::max() / 2;
 
-    // Phase 1, parallel: every plan's functional execution + trace
-    // build is independent of the others (the index and layout are
-    // immutable), so the batch fans out across the host thread pool.
-    // Plan i writes only runs[i]; a wide plan's subqueries stay
-    // sequential inside its slot so its host-side merge is
-    // order-stable. The serial aggregation below walks runs[] in
-    // submission order, making the outcome (results, counters and
-    // trace order) bit-identical to the old serial loop.
-    struct PlanRun
-    {
-        std::vector<model::QueryTrace> traces;
-        std::vector<engine::Result> topk;
-        std::uint64_t evaluatedDocs = 0;
-        std::uint64_t skippedDocs = 0;
-    };
-    std::vector<PlanRun> runs(plans.size());
-    common::ThreadPool &pool = common::ThreadPool::global();
-    std::vector<engine::QueryArena> arenas(pool.size());
-    std::uint64_t scopeBase =
-        recorder_ != nullptr ? recorder_->beginPhase() : 0;
-    pool.parallelFor(plans.size(), [&](std::size_t i,
-                                       std::size_t worker) {
-        engine::QueryArena &arena = arenas[worker];
-        const engine::QueryPlan &plan = plans[i];
-        PlanRun &run = runs[i];
-        trace::Scope scope;
-        std::uint16_t lane = 0;
-        if (recorder_ != nullptr) {
-            scope = recorder_->scope(worker, scopeBase + i);
-            lane = recorder_->workerLane(worker);
-        }
-        double buildStart = scope.hostMicros();
-        if (plan.allTerms.size() > api_detail::kMaxHwTerms) {
-            // Host-managed split: gather and merge on the host.
-            std::map<DocId, Score> merged;
-            for (const auto &sub : splitWidePlan(plan)) {
-                std::vector<engine::Result> partial;
-                run.traces.push_back(
-                    model::buildTrace(*index_, *layout_, sub,
-                                      wideOptions, &partial, &arena,
-                                      scope, lane));
-                arena.reset();
-                run.evaluatedDocs += run.traces.back().evaluatedDocs;
-                for (const auto &r : partial)
-                    merged[r.doc] += r.score;
-            }
-            engine::TopK topk(config_.k);
-            for (const auto &[doc, score] : merged)
-                topk.insert(doc, score);
-            run.topk = topk.sorted();
-        } else {
-            run.traces.push_back(model::buildTrace(
-                *index_, *layout_, plan, options, &run.topk, &arena,
-                scope, lane));
+    BuiltQuery run;
+    double buildStart = scope.hostMicros();
+    if (plan.allTerms.size() > api_detail::kMaxHwTerms) {
+        // Host-managed split: gather and merge on the host. The
+        // subqueries stay sequential inside this call so the
+        // host-side merge is order-stable.
+        std::map<DocId, Score> merged;
+        for (const auto &sub : splitWidePlan(plan)) {
+            std::vector<engine::Result> partial;
+            run.traces.push_back(
+                model::buildTrace(*index_, *layout_, sub,
+                                  wideOptions, &partial, &arena,
+                                  scope, lane));
             arena.reset();
-            run.evaluatedDocs = run.traces.back().evaluatedDocs;
-            run.skippedDocs = run.traces.back().skippedDocs;
+            run.evaluatedDocs += run.traces.back().evaluatedDocs;
+            for (const auto &r : partial)
+                merged[r.doc] += r.score;
         }
-        if (scope) {
-            scope.span(lane, "build", buildStart,
-                       scope.hostMicros() - buildStart,
-                       {{"plan", i},
-                        {"terms", plan.allTerms.size()},
-                        {"subqueries", run.traces.size()}});
-        }
-    });
+        engine::TopK topk(config_.k);
+        for (const auto &[doc, score] : merged)
+            topk.insert(doc, score);
+        run.topk = topk.sorted();
+    } else {
+        run.traces.push_back(model::buildTrace(
+            *index_, *layout_, plan, options, &run.topk, &arena,
+            scope, lane));
+        arena.reset();
+        run.evaluatedDocs = run.traces.back().evaluatedDocs;
+        run.skippedDocs = run.traces.back().skippedDocs;
+    }
+    if (scope) {
+        scope.span(lane, "build", buildStart,
+                   scope.hostMicros() - buildStart,
+                   {{"terms", plan.allTerms.size()},
+                    {"subqueries", run.traces.size()}});
+    }
+    return run;
+}
 
-    // Phase 2, serial: aggregate in submission order and replay the
-    // whole batch on one event-driven device model.
+SearchOutcome
+Device::replayBuilt(std::vector<BuiltQuery> built)
+{
+    // Aggregate in submission order, then replay the whole group on
+    // one event-driven device model (queries share the device).
     SearchOutcome outcome;
     std::vector<model::QueryTrace> traces;
-    traces.reserve(plans.size());
-    for (PlanRun &run : runs) {
+    traces.reserve(built.size());
+    for (BuiltQuery &run : built) {
         for (auto &t : run.traces) {
             outcome.crcRetries += t.crcRetries;
             outcome.blocksDropped += t.blocksDropped;
@@ -272,8 +240,51 @@ Device::runPlans(const std::vector<engine::QueryPlan> &plans)
     }
 
     totalSeconds_ += outcome.simSeconds;
-    totalQueries_ += plans.size();
+    totalQueries_ += outcome.perQuery.size();
     return outcome;
+}
+
+SearchOutcome
+Device::runPlans(const std::vector<engine::QueryPlan> &plans)
+{
+    BOSS_ASSERT(index_.has_value(), "search() before loadIndex()");
+
+    if (!operational()) {
+        // A lost device answers nothing; the caller (ShardedDevice)
+        // degrades to partial coverage instead of crashing.
+        SearchOutcome down;
+        down.deviceFailed = true;
+        down.perQuery.resize(plans.size());
+        return down;
+    }
+
+    // Phase 1, parallel: every plan's functional execution + trace
+    // build is independent of the others (the index and layout are
+    // immutable), so the batch fans out across the host thread pool.
+    // Plan i writes only runs[i]; the serial aggregation in
+    // replayBuilt() walks runs[] in submission order, making the
+    // outcome (results, counters and trace order) bit-identical to
+    // a serial loop. The per-worker arenas persist across batches,
+    // so repeated invocations skip the decode-buffer rewarm.
+    std::vector<BuiltQuery> runs(plans.size());
+    common::ThreadPool &pool = common::ThreadPool::global();
+    if (arenas_.size() < pool.size())
+        arenas_.resize(pool.size());
+    std::uint64_t scopeBase =
+        recorder_ != nullptr ? recorder_->beginPhase() : 0;
+    pool.parallelFor(plans.size(), [&](std::size_t i,
+                                       std::size_t worker) {
+        trace::Scope scope;
+        std::uint16_t lane = 0;
+        if (recorder_ != nullptr) {
+            scope = recorder_->scope(worker, scopeBase + i);
+            lane = recorder_->workerLane(worker);
+        }
+        runs[i] = buildQuery(plans[i], arenas_[worker], scope, lane);
+    });
+
+    // Phase 2, serial: replay the whole batch on the device model.
+    return replayBuilt(std::move(runs));
 }
 
 void
@@ -305,7 +316,7 @@ Device::writeStatsJson(std::ostream &os) const
 }
 
 engine::QueryPlan
-Device::planExpression(const std::string &qExpression)
+Device::plan(const std::string &qExpression)
 {
     // With a lexicon loaded, quoted terms are words; otherwise the
     // synthetic t<N> naming applies.
@@ -328,7 +339,7 @@ Device::planExpression(const std::string &qExpression)
 SearchOutcome
 Device::search(const std::string &qExpression)
 {
-    return runPlans({planExpression(qExpression)});
+    return runPlans({plan(qExpression)});
 }
 
 SearchOutcome
@@ -353,7 +364,7 @@ Device::searchBatch(const std::vector<std::string> &qExpressions)
     std::vector<engine::QueryPlan> plans;
     plans.reserve(qExpressions.size());
     for (const auto &q : qExpressions)
-        plans.push_back(planExpression(q));
+        plans.push_back(plan(q));
     return runPlans(plans);
 }
 

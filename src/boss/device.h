@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/arena.h"
 #include "engine/execute.h"
 #include "index/memory_layout.h"
 #include "index/text_builder.h"
@@ -49,6 +50,22 @@ struct DeviceConfig
     std::uint64_t faultSeed = 0xB055;
     /** Shard index; per-device fault schedules key on it. */
     std::uint32_t deviceId = 0;
+};
+
+/**
+ * One query after the host-side build stage: its functional trace
+ * set (a wide union contributes several subquery traces), the top-k
+ * computed during the build, and the build-side work counters. The
+ * unit of work flowing through the serving pipeline — buildQuery()
+ * produces these concurrently on pool workers while replayBuilt()
+ * consumes them serially on the device model.
+ */
+struct BuiltQuery
+{
+    std::vector<model::QueryTrace> traces;
+    std::vector<engine::Result> topk;
+    std::uint64_t evaluatedDocs = 0;
+    std::uint64_t skippedDocs = 0;
 };
 
 /** Result of one search() call. */
@@ -118,6 +135,45 @@ class Device
     SearchOutcome
     searchBatch(const std::vector<std::string> &qExpressions);
 
+    // ---- Pipelined execution (the serving layer's stages) ----
+    //
+    // searchBatch() is build-barrier-then-replay: every query's
+    // trace must exist before the first replay tick. The serving
+    // layer instead streams queries through the two stages —
+    // buildQuery() calls run concurrently on pool workers while
+    // replayBuilt() consumes completed builds on the (serial)
+    // device model — so host decode/merge of finished queries
+    // overlaps the builds still in flight.
+
+    /** Parse an API expression into a plan (lexicon-aware). */
+    engine::QueryPlan plan(const std::string &qExpression);
+
+    /** Plan one workload query. */
+    engine::QueryPlan plan(const workload::Query &query) const
+    {
+        return engine::planQuery(query);
+    }
+
+    /**
+     * Stage 1 (thread-safe): functionally execute @p plan and build
+     * its replay traces. Concurrent calls must pass distinct arenas
+     * (one per worker). With a recorder attached, pass that
+     * worker's scope/lane so the build span lands on its lane.
+     */
+    BuiltQuery buildQuery(const engine::QueryPlan &plan,
+                          engine::QueryArena &arena,
+                          trace::Scope scope = {},
+                          std::uint16_t lane = 0) const;
+
+    /**
+     * Stage 2 (serial): replay a group of built queries on the
+     * event-driven device model and aggregate the outcome exactly
+     * as searchBatch() would (summaries, stats capture, totals).
+     * The group models queries concurrently resident on the device;
+     * perQuery follows the order of @p built.
+     */
+    SearchOutcome replayBuilt(std::vector<BuiltQuery> built);
+
     /** Cumulative simulated busy time across all searches. */
     double totalSimSeconds() const { return totalSeconds_; }
     std::uint64_t totalQueries() const { return totalQueries_; }
@@ -184,9 +240,6 @@ class Device
   private:
     SearchOutcome runPlans(const std::vector<engine::QueryPlan> &plans);
 
-    /** Parse an API expression with the device's term resolver. */
-    engine::QueryPlan planExpression(const std::string &qExpression);
-
     DeviceConfig config_;
     std::optional<index::InvertedIndex> index_;
     std::optional<index::Lexicon> lexicon_;
@@ -196,6 +249,14 @@ class Device
     std::unique_ptr<engine::FaultPolicy> faultPolicy_;
     double totalSeconds_ = 0.0;
     std::uint64_t totalQueries_ = 0;
+
+    /**
+     * Per-worker decode scratch, sized to the pool on first use and
+     * reused across batches: repeated searchBatch() calls (and the
+     * serving loop) run allocation-free on the decode path after
+     * the first batch warms the buffers.
+     */
+    std::vector<engine::QueryArena> arenas_;
 
     trace::Recorder *recorder_ = nullptr;
     bool summariesEnabled_ = false;

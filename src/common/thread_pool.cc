@@ -82,6 +82,22 @@ ThreadPool::runChunks(std::size_t workerId)
 }
 
 void
+ThreadPool::runTasks(std::size_t workerId)
+{
+    for (;;) {
+        std::function<void(std::size_t)> task;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task(workerId);
+    }
+}
+
+void
 ThreadPool::workerLoop(std::size_t workerId)
 {
     insidePoolJob = true;
@@ -90,14 +106,33 @@ ThreadPool::workerLoop(std::size_t workerId)
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [&] {
-                return stopping_ || generation_ != seen;
+                return stopping_ || generation_ != seen ||
+                       !tasks_.empty();
             });
             if (stopping_)
                 return;
             seen = generation_;
         }
+        runTasks(workerId);
         runChunks(workerId);
     }
+}
+
+void
+ThreadPool::post(std::function<void(std::size_t)> task)
+{
+    if (size_ == 1) {
+        // No workers to hand off to: run inline. Callers see the
+        // same "executed exactly once, completion signalled"
+        // behavior, just without overlap.
+        task(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+    }
+    wake_.notify_one();
 }
 
 void

@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -71,6 +72,25 @@ class ThreadPool
     }
 
     /**
+     * Enqueue one task for asynchronous execution on a pool worker;
+     * returns immediately. task(workerId) runs exactly once, with
+     * workerId < size() identifying the executing slot (the same
+     * per-worker-scratch contract as parallelFor). On a pool of size
+     * 1 the task runs inline before post() returns. Tasks and
+     * parallelFor jobs share the workers: tasks are picked up
+     * between jobs and by workers that have drained their chunks.
+     *
+     * post() is the serving layer's pipelining primitive: it lets a
+     * consumer thread keep queries' trace builds in flight while it
+     * replays completed ones. The caller owns completion tracking
+     * (e.g. a counter + condition variable) and must not destroy the
+     * pool, or resize the global pool, with tasks outstanding; a
+     * task that throws terminates (tasks have nowhere to rethrow —
+     * catch in the task and report through its completion channel).
+     */
+    void post(std::function<void(std::size_t workerId)> task);
+
+    /**
      * Register the pool's observability stats into @p group:
      * per-job queue depth (items per parallelFor) and job latency
      * histograms plus jobs/items counters. The pool outlives any
@@ -106,6 +126,8 @@ class ThreadPool
     void workerLoop(std::size_t workerId);
     /** Claim and run chunks of the active job until it is drained. */
     void runChunks(std::size_t workerId);
+    /** Pop and run queued post() tasks until the queue is empty. */
+    void runTasks(std::size_t workerId);
     /** Record one completed parallelFor into the stats (under lock). */
     void sampleJob(std::size_t n,
                    std::chrono::steady_clock::time_point start);
@@ -117,6 +139,7 @@ class ThreadPool
     std::condition_variable wake_;  ///< workers wait for a job
     std::condition_variable done_;  ///< caller waits for completion
     Job job_;
+    std::deque<std::function<void(std::size_t)>> tasks_;
     std::uint64_t generation_ = 0; ///< bumps when a new job is posted
     bool stopping_ = false;
 
@@ -124,7 +147,8 @@ class ThreadPool
     stats::Counter jobs_;
     stats::Counter items_;
     stats::Histogram queueDepth_{0.0, 4096.0, 64};
-    stats::Histogram jobMicros_{0.0, 1e6, 100};
+    /** Log-bucketed: job wall times span 1us..10s (7 decades). */
+    stats::Histogram jobMicros_{1.0, 1e7, 112, stats::Scale::Log};
 };
 
 } // namespace boss::common

@@ -190,10 +190,11 @@ class MemorySystem : public sim::SimObject
     stats::Counter degradedReads_;
     stats::Counter catBytes_[kNumCategories];
     stats::Counter catAccesses_[kNumCategories];
-    /** End-to-end request latency (issue to completion), ns. */
-    stats::Histogram reqLatencyNs_{0.0, 20000.0, 100};
+    /** End-to-end request latency (issue to completion), ns.
+     *  Log-bucketed: 10ns..1ms keeps tail resolution under load. */
+    stats::Histogram reqLatencyNs_{10.0, 1e6, 80, stats::Scale::Log};
     /** Channel backlog seen at chunk issue (queueing delay), ns. */
-    stats::Histogram chanBacklogNs_{0.0, 20000.0, 100};
+    stats::Histogram chanBacklogNs_{10.0, 1e6, 80, stats::Scale::Log};
 
     trace::Scope traceScope_;
     std::vector<std::uint16_t> chanLanes_;

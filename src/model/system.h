@@ -153,7 +153,8 @@ class SystemModel
 
     // Observability: per-query latency and command-queue depth,
     // sampled during run().
-    stats::Histogram latencyUs_{0.0, 1e6, 100};
+    /** Log-bucketed: query latencies span 1us..10s (7 decades). */
+    stats::Histogram latencyUs_{1.0, 1e7, 112, stats::Scale::Log};
     stats::Histogram schedDepth_{0.0, 256.0, 64};
 };
 

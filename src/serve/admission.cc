@@ -1,0 +1,123 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace boss::serve
+{
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity,
+                               ShedPolicy policy)
+    : capacity_(capacity), policy_(policy)
+{
+    BOSS_ASSERT(capacity_ > 0, "admission queue needs capacity");
+}
+
+Admission
+AdmissionQueue::offer(ServeRequest request,
+                      std::optional<ServeRequest> *evicted)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++counters_.offered;
+    if (closed_) {
+        ++counters_.rejectedClosed;
+        return Admission::Closed;
+    }
+
+    if (queue_.size() >= capacity_) {
+        switch (policy_) {
+        case ShedPolicy::Block:
+            notFull_.wait(lock, [&] {
+                return closed_ || queue_.size() < capacity_;
+            });
+            if (closed_) {
+                ++counters_.rejectedClosed;
+                return Admission::Closed;
+            }
+            break;
+        case ShedPolicy::DropTail:
+            ++counters_.shedCapacity;
+            return Admission::ShedCapacity;
+        case ShedPolicy::DropDeadline: {
+            // Evict the queued request with the earliest deadline if
+            // the newcomer has more slack; it was the least likely
+            // to finish in time anyway. Ties keep the incumbent
+            // (FIFO fairness), so the decision is deterministic.
+            auto victim = std::min_element(
+                queue_.begin(), queue_.end(),
+                [](const ServeRequest &a, const ServeRequest &b) {
+                    return a.deadlineUs < b.deadlineUs;
+                });
+            ++counters_.shedDeadline;
+            if (victim->deadlineUs < request.deadlineUs) {
+                if (evicted != nullptr)
+                    *evicted = std::move(*victim);
+                queue_.erase(victim);
+                break; // admit the newcomer below
+            }
+            return Admission::ShedDeadline;
+        }
+        }
+    }
+
+    queue_.push_back(std::move(request));
+    ++counters_.admitted;
+    counters_.peakDepth =
+        std::max<std::uint64_t>(counters_.peakDepth, queue_.size());
+    notEmpty_.notify_one();
+    return Admission::Admitted;
+}
+
+std::optional<ServeRequest>
+AdmissionQueue::tryPop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty())
+        return std::nullopt;
+    ServeRequest req = std::move(queue_.front());
+    queue_.pop_front();
+    notFull_.notify_one();
+    return req;
+}
+
+std::optional<ServeRequest>
+AdmissionQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    notEmpty_.wait(lock,
+                   [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty())
+        return std::nullopt; // closed and drained
+    ServeRequest req = std::move(queue_.front());
+    queue_.pop_front();
+    notFull_.notify_one();
+    return req;
+}
+
+void
+AdmissionQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    notEmpty_.notify_all();
+    notFull_.notify_all();
+}
+
+std::size_t
+AdmissionQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+AdmissionCounters
+AdmissionQueue::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+} // namespace boss::serve

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Deterministic open-loop arrival schedules.
+ *
+ * An always-on search service does not see back-to-back batches: it
+ * sees queries arriving on their own clock, indifferent to whether
+ * the server keeps up. Open-loop load generation reproduces that —
+ * the schedule is fixed up front from (process, rate, seed) and the
+ * generator offers query i at its scheduled instant even when the
+ * server is behind. Latency is then measured from the *scheduled*
+ * arrival, so queueing delay during overload is charged to the
+ * server instead of silently vanishing (the coordinated-omission
+ * trap of closed-loop harnesses).
+ *
+ * Two processes cover the serving experiments:
+ *  - Poisson: i.i.d. exponential gaps at the offered rate; the
+ *    classic memoryless baseline.
+ *  - Bursty (MMPP-2): a two-state Markov-modulated Poisson process
+ *    alternating between a calm and a hot state whose time-weighted
+ *    mean equals the offered rate. Bursts expose tail behavior a
+ *    smooth Poisson stream never triggers at the same mean load.
+ *
+ * Schedules are pure functions of the config (seeded xoshiro
+ * streams), so every run — and every latency percentile derived
+ * from one — is reproducible bit-for-bit.
+ */
+
+#ifndef BOSS_SERVE_ARRIVAL_H
+#define BOSS_SERVE_ARRIVAL_H
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace boss::serve
+{
+
+enum class ArrivalProcess : std::uint8_t
+{
+    Poisson,
+    Bursty, ///< two-state MMPP, see BurstSpec
+};
+
+/** Hot-state shape of the Bursty process. */
+struct BurstSpec
+{
+    /** Hot-state arrival rate as a multiple of the offered rate. */
+    double rateMultiplier = 4.0;
+    /**
+     * Long-run fraction of time spent in the hot state. Must keep
+     * rateMultiplier * hotFraction < 1 so the calm state retains a
+     * positive rate (the time-weighted mean stays the offered QPS).
+     */
+    double hotFraction = 0.1;
+    /** Mean dwell time per hot burst, in microseconds. */
+    double hotDwellUs = 20000.0;
+};
+
+struct ArrivalConfig
+{
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    double qps = 1000.0;      ///< offered rate (mean for Bursty)
+    std::size_t count = 1000; ///< queries in the schedule
+    std::uint64_t seed = 0x0A221BA1;
+    BurstSpec burst;
+};
+
+/**
+ * Build the schedule: @p count non-decreasing arrival offsets in
+ * microseconds from the epoch of the run (offset 0 is "the load
+ * generator started"). Deterministic in the config alone.
+ */
+inline std::vector<double>
+makeArrivals(const ArrivalConfig &config)
+{
+    BOSS_ASSERT(config.qps > 0.0, "offered rate must be positive");
+    std::vector<double> at;
+    at.reserve(config.count);
+    // Distinct streams for gaps and state dwells so adding burst
+    // modulation never perturbs the underlying gap draws.
+    Rng gaps(splitSeed(config.seed, 1));
+    Rng dwells(splitSeed(config.seed, 2));
+
+    auto expo = [](Rng &rng, double ratePerUs) {
+        double u = rng.uniform();
+        if (u >= 1.0)
+            u = 0.999999999;
+        return -std::log1p(-u) / ratePerUs;
+    };
+
+    const double baseRate = config.qps / 1e6; // arrivals per us
+    if (config.process == ArrivalProcess::Poisson) {
+        double t = 0.0;
+        for (std::size_t i = 0; i < config.count; ++i) {
+            t += expo(gaps, baseRate);
+            at.push_back(t);
+        }
+        return at;
+    }
+
+    // MMPP-2. Solve the calm rate so the time-weighted mean equals
+    // the offered rate: qps = f*hot + (1-f)*calm.
+    const BurstSpec &b = config.burst;
+    BOSS_ASSERT(b.hotFraction > 0.0 && b.hotFraction < 1.0,
+                "hotFraction must be in (0, 1)");
+    BOSS_ASSERT(b.rateMultiplier * b.hotFraction < 1.0,
+                "burst spec leaves the calm state a negative rate");
+    const double hotRate = baseRate * b.rateMultiplier;
+    const double calmRate = baseRate *
+                            (1.0 - b.rateMultiplier * b.hotFraction) /
+                            (1.0 - b.hotFraction);
+    const double hotDwell = b.hotDwellUs;
+    const double calmDwell =
+        b.hotDwellUs * (1.0 - b.hotFraction) / b.hotFraction;
+
+    double t = 0.0;
+    bool hot = false;
+    double stateEnd = expo(dwells, 1.0 / calmDwell);
+    for (std::size_t i = 0; i < config.count; ++i) {
+        for (;;) {
+            double gap = expo(gaps, hot ? hotRate : calmRate);
+            if (t + gap <= stateEnd) {
+                t += gap;
+                break;
+            }
+            // The state flips before the next arrival: restart the
+            // (memoryless) gap draw from the transition instant.
+            t = stateEnd;
+            hot = !hot;
+            stateEnd =
+                t + expo(dwells, 1.0 / (hot ? hotDwell : calmDwell));
+        }
+        at.push_back(t);
+    }
+    return at;
+}
+
+} // namespace boss::serve
+
+#endif // BOSS_SERVE_ARRIVAL_H

@@ -1,0 +1,481 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace boss::serve
+{
+
+namespace
+{
+
+/** Exact interpolated percentile over a sorted sample vector. */
+double
+percentileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    double rank = q * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+Server::Server(Backend &backend, ServeConfig config)
+    : backend_(backend), config_(config)
+{
+    BOSS_ASSERT(config_.maxInFlight > 0, "need in-flight budget");
+}
+
+template <typename Q>
+ServeReport
+Server::runImpl(const std::vector<Q> &queries)
+{
+    BOSS_ASSERT(!queries.empty(), "serve run needs queries");
+    common::ThreadPool &pool = common::ThreadPool::global();
+    if (arenas_.size() < pool.size())
+        arenas_.resize(pool.size());
+
+    // Plans are computed once up front (serial, lexicon-aware), so
+    // the generator and the build stage are parse-free and every
+    // repetition of a query reuses one plan.
+    std::vector<engine::QueryPlan> plans;
+    plans.reserve(queries.size());
+    for (const auto &q : queries)
+        plans.push_back(backend_.plan(q));
+
+    // Warmup: synchronous, before the epoch, unrecorded. Warms the
+    // decode arenas and code paths so the measured window starts
+    // allocation-free.
+    for (std::size_t w = 0; w < config_.warmup; ++w) {
+        BuiltHandle h =
+            backend_.build(plans[w % plans.size()], arenas_[0]);
+        backend_.finish(std::move(h));
+    }
+
+    const std::vector<double> schedule =
+        makeArrivals(config_.arrivals);
+    const std::size_t n = schedule.size();
+
+    ServeReport report;
+    report.records.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        QueryRecord &rec = report.records[i];
+        rec.id = i;
+        rec.queryIndex = i % plans.size();
+        rec.arrivalUs = schedule[i];
+    }
+
+    AdmissionQueue queue(config_.queueCapacity, config_.policy);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    // Run-epoch offset on the recorder's host clock, so post-run
+    // trace emission can translate record timestamps.
+    const double recEpochUs =
+        recorder_ != nullptr ? recorder_->hostMicros() : 0.0;
+    auto nowUs = [t0] {
+        return std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    // ---- Open-loop generator: offers on schedule, regardless of
+    // server progress. (Block policy intentionally backpressures
+    // the generator; see admission.h.)
+    std::thread generator([&] {
+        for (std::size_t i = 0; i < n; ++i) {
+            std::this_thread::sleep_until(
+                t0 +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::micro>(
+                        schedule[i])));
+            QueryRecord &rec = report.records[i];
+            ServeRequest req;
+            req.id = i;
+            req.queryIndex = rec.queryIndex;
+            req.plan = &plans[rec.queryIndex];
+            req.arrivalUs = schedule[i];
+            req.enqueueUs = nowUs();
+            req.deadlineUs = schedule[i] + config_.deadlineUs;
+            rec.enqueueUs = req.enqueueUs;
+            std::optional<ServeRequest> evicted;
+            queue.offer(std::move(req), &evicted);
+            // Refusals keep the default Shed status. An eviction
+            // victim was admitted earlier but never dispatched, so
+            // this thread is its only writer.
+            if (evicted.has_value())
+                report.records[evicted->id].status =
+                    QueryStatus::Shed;
+        }
+        queue.close();
+    });
+
+    // ---- Pipelined machinery: builds fan out to pool workers;
+    // the finisher replays completed builds in admission order, so
+    // device totals accrue deterministically and the serial stage
+    // of query i overlaps the builds of queries i+1..
+    struct Completion
+    {
+        ServeRequest req;
+        BuiltHandle built;
+        std::exception_ptr error;
+    };
+    std::mutex pipeMutex;
+    std::condition_variable pipeCv; // finisher <- completed builds
+    std::condition_variable slotCv; // dispatcher <- freed slots
+    std::map<std::uint64_t, Completion> ready;
+    std::uint64_t submitted = 0;
+    std::uint64_t finished = 0;
+    std::size_t inFlight = 0;
+    bool submitDone = false;
+    std::exception_ptr pipeError;
+    // Stage wall times, sampled into the histograms after the
+    // threads join (the histograms are not thread-safe).
+    std::vector<double> finishDurations;
+
+    auto recordDone = [](QueryRecord &rec, const ServeRequest &req,
+                         Finished fin, double finishAt) {
+        rec.status = QueryStatus::Done;
+        rec.finishUs = finishAt;
+        rec.metDeadline = finishAt <= req.deadlineUs;
+        rec.simSeconds = fin.simSeconds;
+        rec.deviceBytes = fin.deviceBytes;
+        rec.topk = std::move(fin.topk);
+    };
+
+    std::thread finisher;
+    if (config_.mode == PipelineMode::Pipelined) {
+        finisher = std::thread([&] {
+            std::uint64_t next = 0;
+            for (;;) {
+                Completion item;
+                {
+                    std::unique_lock<std::mutex> lock(pipeMutex);
+                    pipeCv.wait(lock, [&] {
+                        return ready.count(next) != 0 ||
+                               (submitDone &&
+                                finished == submitted);
+                    });
+                    auto it = ready.find(next);
+                    if (it == ready.end())
+                        return; // submissions drained
+                    item = std::move(it->second);
+                    ready.erase(it);
+                }
+                QueryRecord &rec = report.records[item.req.id];
+                if (item.error != nullptr) {
+                    std::lock_guard<std::mutex> lock(pipeMutex);
+                    if (pipeError == nullptr)
+                        pipeError = item.error;
+                } else {
+                    double f0 = nowUs();
+                    try {
+                        Finished fin =
+                            backend_.finish(std::move(item.built));
+                        double f1 = nowUs();
+                        finishDurations.push_back(f1 - f0);
+                        recordDone(rec, item.req, std::move(fin),
+                                   f1);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(pipeMutex);
+                        if (pipeError == nullptr)
+                            pipeError = std::current_exception();
+                    }
+                }
+                {
+                    std::lock_guard<std::mutex> lock(pipeMutex);
+                    ++finished;
+                    --inFlight;
+                }
+                slotCv.notify_one();
+                pipeCv.notify_all();
+                ++next;
+            }
+        });
+    }
+
+    // ---- Dispatcher (this thread): pops admitted requests until
+    // the queue is closed and drained.
+    if (config_.mode == PipelineMode::Barrier) {
+        // Ablation baseline — the old barrier-per-batch pattern:
+        // drain what is queued into a batch, build every query,
+        // finish every query, and only then deliver the whole
+        // batch. No completion leaves before the barrier, so every
+        // query in the batch is charged the batch makespan.
+        BOSS_ASSERT(config_.barrierBatch > 0, "empty barrier batch");
+        std::vector<ServeRequest> batch;
+        std::vector<BuiltHandle> built;
+        std::vector<Finished> fins;
+        std::vector<std::size_t> live; // indexes into batch
+        while (auto first = queue.pop()) {
+            batch.clear();
+            built.clear();
+            fins.clear();
+            live.clear();
+            batch.push_back(std::move(*first));
+            while (batch.size() < config_.barrierBatch) {
+                auto more = queue.tryPop();
+                if (!more.has_value())
+                    break;
+                batch.push_back(std::move(*more));
+            }
+            try {
+                // Stage 1: build the whole batch.
+                for (std::size_t b = 0; b < batch.size(); ++b) {
+                    QueryRecord &rec = report.records[batch[b].id];
+                    double admitAt = nowUs();
+                    rec.admitUs = admitAt;
+                    if (admitAt > batch[b].deadlineUs) {
+                        rec.status = QueryStatus::Expired;
+                        continue;
+                    }
+                    rec.startUs = nowUs();
+                    built.push_back(backend_.build(*batch[b].plan,
+                                                   arenas_[0]));
+                    rec.buildEndUs = nowUs();
+                    live.push_back(b);
+                }
+                // Stage 2: finish the whole batch.
+                for (BuiltHandle &h : built) {
+                    double f0 = nowUs();
+                    fins.push_back(backend_.finish(std::move(h)));
+                    finishDurations.push_back(nowUs() - f0);
+                }
+            } catch (...) {
+                if (pipeError == nullptr)
+                    pipeError = std::current_exception();
+                continue;
+            }
+            // Barrier: everything completes at the batch boundary.
+            double batchEnd = nowUs();
+            for (std::size_t i = 0; i < live.size(); ++i) {
+                recordDone(report.records[batch[live[i]].id],
+                           batch[live[i]], std::move(fins[i]),
+                           batchEnd);
+            }
+        }
+    }
+    while (config_.mode == PipelineMode::Pipelined) {
+        auto popped = queue.pop();
+        if (!popped.has_value())
+            break;
+        ServeRequest req = std::move(*popped);
+        QueryRecord &rec = report.records[req.id];
+        double admitAt = nowUs();
+        rec.admitUs = admitAt;
+        if (admitAt > req.deadlineUs) {
+            // Expired while queued: shed at dispatch, before any
+            // work is spent on it.
+            rec.status = QueryStatus::Expired;
+            continue;
+        }
+
+        std::uint64_t seq;
+        {
+            std::unique_lock<std::mutex> lock(pipeMutex);
+            slotCv.wait(lock, [&] {
+                return inFlight < config_.maxInFlight;
+            });
+            ++inFlight;
+            seq = submitted++;
+        }
+        pool.post([&, req, seq](std::size_t worker) {
+            Completion item;
+            QueryRecord &r = report.records[req.id];
+            r.startUs = nowUs();
+            try {
+                item.built =
+                    backend_.build(*req.plan, arenas_[worker]);
+            } catch (...) {
+                item.error = std::current_exception();
+            }
+            r.buildEndUs = nowUs();
+            item.req = req;
+            {
+                // Notify under the lock: pool workers outlive this
+                // frame, and pipeCv lives on it. Broadcasting while
+                // holding pipeMutex keeps the finisher from waking,
+                // draining, and letting the frame unwind while this
+                // worker is still inside the broadcast.
+                std::lock_guard<std::mutex> lock(pipeMutex);
+                ready.emplace(seq, std::move(item));
+                pipeCv.notify_all();
+            }
+        });
+    }
+    if (config_.mode == PipelineMode::Pipelined) {
+        {
+            std::lock_guard<std::mutex> lock(pipeMutex);
+            submitDone = true;
+        }
+        pipeCv.notify_all();
+    }
+
+    generator.join();
+    if (finisher.joinable())
+        finisher.join();
+    report.elapsedUs = nowUs();
+    if (pipeError != nullptr)
+        std::rethrow_exception(pipeError);
+
+    // ---- Accounting. Latency is charged from the *scheduled*
+    // arrival (coordinated-omission-free); queue wait likewise.
+    report.offered = n;
+    report.admission = queue.counters();
+    std::vector<double> latencies;
+    std::vector<double> waits;
+    latencies.reserve(n);
+    for (QueryRecord &rec : report.records) {
+        switch (rec.status) {
+        case QueryStatus::Done:
+            ++report.completed;
+            if (rec.metDeadline)
+                ++report.good;
+            latencies.push_back(rec.finishUs - rec.arrivalUs);
+            waits.push_back(rec.admitUs - rec.arrivalUs);
+            break;
+        case QueryStatus::Expired:
+            ++report.expired;
+            break;
+        case QueryStatus::Shed:
+            ++report.shed;
+            break;
+        }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    std::sort(waits.begin(), waits.end());
+    report.latencyP50Us = percentileSorted(latencies, 0.50);
+    report.latencyP99Us = percentileSorted(latencies, 0.99);
+    report.latencyP999Us = percentileSorted(latencies, 0.999);
+    report.latencyMaxUs =
+        latencies.empty() ? 0.0 : latencies.back();
+    report.queueWaitP99Us = percentileSorted(waits, 0.99);
+    double span = schedule.empty() ? 0.0 : schedule.back();
+    report.offeredQps =
+        span > 0.0 ? static_cast<double>(n) / span * 1e6 : 0.0;
+    if (report.elapsedUs > 0.0) {
+        report.achievedQps =
+            static_cast<double>(report.completed) /
+            report.elapsedUs * 1e6;
+        report.goodputQps = static_cast<double>(report.good) /
+                            report.elapsedUs * 1e6;
+    }
+
+    // Cumulative observability (single-threaded here, post-join).
+    statOffered_ += report.offered;
+    statCompleted_ += report.completed;
+    statShed_ += report.shed;
+    statExpired_ += report.expired;
+    statGood_ += report.good;
+    for (double l : latencies)
+        latencyUs_.sample(l);
+    for (double w : waits)
+        queueWaitUs_.sample(w);
+    for (const QueryRecord &rec : report.records) {
+        if (rec.buildEndUs >= 0.0 && rec.startUs >= 0.0)
+            buildUs_.sample(rec.buildEndUs - rec.startUs);
+    }
+    for (double f : finishDurations)
+        finishUs_.sample(f);
+    if (recorder_ != nullptr)
+        recordRun(report, recEpochUs);
+    return report;
+}
+
+void
+Server::recordRun(const ServeReport &report, double recEpochUs)
+{
+    // Post-run emission from the terminal records: single-threaded,
+    // so lane registration is safe, and ordered by arrival id, so
+    // the merged stream is deterministic. Lanes are registered once
+    // per attached recorder; repeat runs reuse them.
+    if (laneOwner_ != recorder_) {
+        queueLane_ = recorder_->addLane(
+            "serve (host us)", "admission queue",
+            trace::Domain::HostMicros, 100);
+        execLane_ =
+            recorder_->addLane("serve (host us)", "execution",
+                               trace::Domain::HostMicros, 101);
+        laneOwner_ = recorder_;
+    }
+    std::uint16_t qLane = queueLane_;
+    std::uint16_t xLane = execLane_;
+    recorder_->beginPhase();
+    trace::Scope scope = recorder_->serial();
+    for (const QueryRecord &rec : report.records) {
+        switch (rec.status) {
+        case QueryStatus::Done:
+            scope.span(qLane, "queued", recEpochUs + rec.enqueueUs,
+                       rec.admitUs - rec.enqueueUs,
+                       {{"id", rec.id}});
+            scope.span(xLane, "serve", recEpochUs + rec.startUs,
+                       rec.finishUs - rec.startUs,
+                       {{"id", rec.id},
+                        {"met", rec.metDeadline ? 1u : 0u}});
+            break;
+        case QueryStatus::Expired:
+            scope.span(qLane, "queued", recEpochUs + rec.enqueueUs,
+                       rec.admitUs - rec.enqueueUs,
+                       {{"id", rec.id}});
+            scope.instant(xLane, "expired",
+                          recEpochUs + rec.admitUs,
+                          {{"id", rec.id}});
+            break;
+        case QueryStatus::Shed:
+            if (rec.enqueueUs >= 0.0) {
+                scope.instant(qLane, "shed",
+                              recEpochUs + rec.enqueueUs,
+                              {{"id", rec.id}});
+            }
+            break;
+        }
+    }
+}
+
+ServeReport
+Server::run(const std::vector<workload::Query> &queries)
+{
+    return runImpl(queries);
+}
+
+ServeReport
+Server::run(const std::vector<std::string> &qExpressions)
+{
+    return runImpl(qExpressions);
+}
+
+void
+Server::registerStats(stats::Group &group)
+{
+    group.addCounter("offered", &statOffered_,
+                     "queries offered by the load generator");
+    group.addCounter("completed", &statCompleted_,
+                     "queries executed to completion");
+    group.addCounter("shed", &statShed_,
+                     "queries refused or evicted at admission");
+    group.addCounter("expired", &statExpired_,
+                     "queries whose deadline passed before dispatch");
+    group.addCounter("good", &statGood_,
+                     "queries completed within their deadline");
+    group.addHistogram(
+        "latency_us", &latencyUs_,
+        "completion latency from scheduled arrival (us)");
+    group.addHistogram(
+        "queue_wait_us", &queueWaitUs_,
+        "scheduled arrival to dispatch (us)");
+    group.addHistogram("build_us", &buildUs_,
+                       "host build stage wall time (us)");
+    group.addHistogram("finish_us", &finishUs_,
+                       "replay + merge stage wall time (us)");
+}
+
+} // namespace boss::serve

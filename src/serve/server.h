@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The always-on serving loop: open-loop generator, bounded
+ * admission, pipelined execution, tail-latency accounting.
+ *
+ * Batch entry points (Device::searchBatch) answer "how fast can the
+ * stack drain N queries"; a service cares about a different question
+ * — "at an offered load of Q qps, what latency does the p99 query
+ * see, and how much offered work still completes within its
+ * deadline". The Server answers that one:
+ *
+ *   generator ──offer──▶ admission queue ──pop──▶ dispatcher
+ *                                                   │ build (pool workers, concurrent)
+ *                                                   ▼
+ *                                               finisher ── replay + merge (serial)
+ *
+ *  - The generator offers queries on the schedule from arrival.h,
+ *    indifferent to server progress (open loop). Latency is charged
+ *    from the scheduled arrival.
+ *  - The admission queue bounds memory and sheds load per policy
+ *    (admission.h); every offered query gets a terminal record:
+ *    Done, Expired, or Shed.
+ *  - Pipelined mode posts each admitted query's host build to a
+ *    pool worker and finishes completed builds in admission order
+ *    on a dedicated thread, so the serial device replay + merge of
+ *    query i overlaps the builds of queries i+1.. — the
+ *    intra/inter-request overlap that lifts sustained throughput.
+ *    Barrier mode reproduces the pre-serving batch pattern
+ *    (Device::searchBatch): accumulate admitted queries into a
+ *    batch, build all, finish all, and only then deliver every
+ *    result — the ablation baseline, whose batch boundary is
+ *    exactly the stall the pipeline removes.
+ *  - Results are computed in the build stage, so serve-mode top-k
+ *    is bit-identical to batch-mode top-k regardless of mode,
+ *    thread count, or completion order.
+ */
+
+#ifndef BOSS_SERVE_SERVER_H
+#define BOSS_SERVE_SERVER_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "engine/arena.h"
+#include "serve/admission.h"
+#include "serve/arrival.h"
+#include "serve/backend.h"
+#include "stats/stats.h"
+#include "trace/recorder.h"
+
+namespace boss::serve
+{
+
+enum class PipelineMode : std::uint8_t
+{
+    Pipelined,
+    /**
+     * Batch-accumulating build-all-then-finish-all with results
+     * delivered at the batch boundary — the Device::searchBatch
+     * barrier-per-batch pattern, kept as the ablation baseline.
+     */
+    Barrier,
+};
+
+struct ServeConfig
+{
+    ArrivalConfig arrivals;
+    std::size_t queueCapacity = 256;
+    ShedPolicy policy = ShedPolicy::DropTail;
+    PipelineMode mode = PipelineMode::Pipelined;
+    /**
+     * Per-query completion deadline in microseconds, measured from
+     * the scheduled arrival. Infinity disables SLO accounting
+     * (every completion is goodput).
+     */
+    double deadlineUs = std::numeric_limits<double>::infinity();
+    /**
+     * Queries executed synchronously before the clock starts: warms
+     * the per-worker decode arenas and code paths so the measured
+     * window starts allocation-free. Excluded from all accounting.
+     */
+    std::size_t warmup = 0;
+    /** Bound on builds outstanding past the dispatcher. */
+    std::size_t maxInFlight = 64;
+    /**
+     * Barrier mode only: max queries accumulated per batch. The
+     * dispatcher drains whatever is queued up to this bound (never
+     * waiting for a batch to fill), so light load degenerates to
+     * batches of one and heavy load pays the full barrier stall.
+     */
+    std::size_t barrierBatch = 32;
+};
+
+enum class QueryStatus : std::uint8_t
+{
+    Shed,    ///< refused (or evicted) at admission
+    Expired, ///< deadline already past at dispatch; never executed
+    Done,    ///< executed; metDeadline says if it counts as goodput
+};
+
+/** Terminal record of one offered query (indexed by arrival id). */
+struct QueryRecord
+{
+    std::uint64_t id = 0;
+    std::size_t queryIndex = 0;
+    QueryStatus status = QueryStatus::Shed;
+    bool metDeadline = false;
+    // Lifecycle timestamps, us from the run epoch; negative when the
+    // query never reached that stage.
+    double arrivalUs = 0.0;  ///< scheduled (open-loop) arrival
+    double enqueueUs = -1.0; ///< offered to admission
+    double admitUs = -1.0;    ///< popped by the dispatcher
+    double startUs = -1.0;    ///< build began on a worker
+    double buildEndUs = -1.0; ///< build completed on the worker
+    double finishUs = -1.0;   ///< replay + merge completed
+    double simSeconds = 0.0; ///< modeled device time
+    std::uint64_t deviceBytes = 0;
+    std::vector<engine::Result> topk;
+};
+
+struct ServeReport
+{
+    std::vector<QueryRecord> records; ///< one per offered query
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t good = 0; ///< completed within deadline
+    double elapsedUs = 0.0; ///< epoch → last completion (or close)
+    double offeredQps = 0.0;
+    double achievedQps = 0.0; ///< completed / elapsed
+    double goodputQps = 0.0;  ///< good / elapsed
+    /** Exact percentiles over completed queries' latencies. */
+    double latencyP50Us = 0.0;
+    double latencyP99Us = 0.0;
+    double latencyP999Us = 0.0;
+    double latencyMaxUs = 0.0;
+    double queueWaitP99Us = 0.0;
+    AdmissionCounters admission;
+};
+
+class Server
+{
+  public:
+    Server(Backend &backend, ServeConfig config);
+
+    /** Run one serving session over the (cycled) query set. */
+    ServeReport run(const std::vector<workload::Query> &queries);
+    ServeReport run(const std::vector<std::string> &qExpressions);
+
+    /**
+     * Register the server's cumulative counters and latency
+     * histograms (log-bucketed; p50/p99/p999 in the JSON dump)
+     * under @p group. Samples accumulate across run() calls.
+     */
+    void registerStats(stats::Group &group);
+
+    /**
+     * Attach a recorder: each run() then emits its per-query
+     * lifecycle onto two host-clock serve lanes — a "queued" span
+     * (offer → dispatch) and a "serve" span (build start → finish),
+     * plus shed/expired instants. Events are emitted after the run
+     * from the terminal records, so recording never perturbs the
+     * pipeline and the stream is deterministic in (scope, seq).
+     * The recorder must outlive the runs; nullptr detaches.
+     */
+    void setRecorder(trace::Recorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
+  private:
+    template <typename Q>
+    ServeReport runImpl(const std::vector<Q> &queries);
+
+    void recordRun(const ServeReport &report, double recEpochUs);
+
+    Backend &backend_;
+    ServeConfig config_;
+    trace::Recorder *recorder_ = nullptr;
+    /** Serve lanes, registered once per attached recorder. */
+    trace::Recorder *laneOwner_ = nullptr;
+    std::uint16_t queueLane_ = 0;
+    std::uint16_t execLane_ = 0;
+
+    /**
+     * Per-worker decode scratch, persistent across runs (the warmed
+     * buffers are the point of --warmup).
+     */
+    std::vector<engine::QueryArena> arenas_;
+
+    // Cumulative observability (see registerStats).
+    stats::Counter statOffered_;
+    stats::Counter statCompleted_;
+    stats::Counter statShed_;
+    stats::Counter statExpired_;
+    stats::Counter statGood_;
+    stats::Histogram latencyUs_{1.0, 1e7, 112, stats::Scale::Log};
+    stats::Histogram queueWaitUs_{1.0, 1e7, 112, stats::Scale::Log};
+    stats::Histogram buildUs_{1.0, 1e6, 96, stats::Scale::Log};
+    stats::Histogram finishUs_{1.0, 1e6, 96, stats::Scale::Log};
+};
+
+} // namespace boss::serve
+
+#endif // BOSS_SERVE_SERVER_H

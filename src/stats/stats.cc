@@ -1,6 +1,8 @@
 #include "stats/stats.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <iomanip>
 #include <limits>
@@ -8,12 +10,15 @@
 namespace boss::stats
 {
 
-Histogram::Histogram(double lo, double hi, std::size_t buckets)
-    : lo_(lo), hi_(hi), buckets_(buckets + 1, 0),
+Histogram::Histogram(double lo, double hi, std::size_t buckets,
+                     Scale scale)
+    : lo_(lo), hi_(hi), scale_(scale), buckets_(buckets + 1, 0),
       min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity())
 {
     assert(hi > lo && buckets > 0 && "bad histogram shape");
+    assert((scale == Scale::Linear || lo > 0.0) &&
+           "log histograms need a positive lower bound");
 }
 
 void
@@ -25,8 +30,13 @@ Histogram::sample(double v, std::uint64_t count)
         idx = 0;
     } else if (v >= hi_) {
         idx = nb; // overflow bucket
-    } else {
+    } else if (scale_ == Scale::Linear) {
         idx = static_cast<std::size_t>((v - lo_) / (hi_ - lo_) * nb);
+    } else {
+        idx = static_cast<std::size_t>(std::log(v / lo_) /
+                                       std::log(hi_ / lo_) * nb);
+        // Guard the edge where rounding lands exactly on nb.
+        idx = std::min(idx, nb - 1);
     }
     buckets_[idx] += count;
     samples_ += count;
@@ -35,6 +45,47 @@ Histogram::sample(double v, std::uint64_t count)
         min_ = v;
     if (v > max_)
         max_ = v;
+}
+
+double
+Histogram::bucketEdge(std::size_t i) const
+{
+    std::size_t nb = buckets_.size() - 1;
+    double t = static_cast<double>(i) / static_cast<double>(nb);
+    if (scale_ == Scale::Linear)
+        return lo_ + (hi_ - lo_) * t;
+    return lo_ * std::pow(hi_ / lo_, t);
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (samples_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the requested quantile, 1-based over all samples.
+    double rank = q * static_cast<double>(samples_);
+    std::uint64_t seen = 0;
+    std::size_t nb = buckets_.size() - 1;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        std::uint64_t n = buckets_[i];
+        if (n == 0)
+            continue;
+        if (static_cast<double>(seen + n) >= rank) {
+            // Interpolate within the covering bucket. The overflow
+            // bucket has no upper edge; report the observed max.
+            if (i == nb)
+                return max_;
+            double frac =
+                (rank - static_cast<double>(seen)) /
+                static_cast<double>(n);
+            double v = bucketEdge(i) +
+                       (bucketEdge(i + 1) - bucketEdge(i)) * frac;
+            return std::clamp(v, min_, max_);
+        }
+        seen += n;
+    }
+    return max_;
 }
 
 double
@@ -170,7 +221,10 @@ Group::dump(std::ostream &os, const std::string &prefix) const
             os << "n=" << leaf.histogram->samples()
                << " mean=" << leaf.histogram->mean()
                << " min=" << leaf.histogram->min()
-               << " max=" << leaf.histogram->max();
+               << " max=" << leaf.histogram->max()
+               << " p50=" << leaf.histogram->percentile(0.50)
+               << " p99=" << leaf.histogram->percentile(0.99)
+               << " p999=" << leaf.histogram->percentile(0.999);
         } else if (leaf.formula) {
             os << leaf.formula();
         }
@@ -260,7 +314,9 @@ Group::dumpJson(std::ostream &os, int indent) const
             writeNumber(os, leaf.scalar->value());
         } else if (leaf.histogram != nullptr) {
             const Histogram &h = *leaf.histogram;
-            os << "\"type\": \"histogram\", \"lo\": ";
+            os << "\"type\": \"histogram\", \"scale\": "
+               << (h.scale() == Scale::Log ? "\"log\"" : "\"linear\"")
+               << ", \"lo\": ";
             writeNumber(os, h.lo());
             os << ", \"hi\": ";
             writeNumber(os, h.hi());
@@ -270,6 +326,12 @@ Group::dumpJson(std::ostream &os, int indent) const
             writeNumber(os, h.min());
             os << ", \"max\": ";
             writeNumber(os, h.max());
+            os << ", \"p50\": ";
+            writeNumber(os, h.percentile(0.50));
+            os << ", \"p99\": ";
+            writeNumber(os, h.percentile(0.99));
+            os << ", \"p999\": ";
+            writeNumber(os, h.percentile(0.999));
             os << ", \"buckets\": [";
             for (std::size_t b = 0; b < h.buckets().size(); ++b) {
                 if (b > 0)

@@ -56,13 +56,30 @@ class Scalar
     double value_ = 0.0;
 };
 
+/** Bucket spacing of a Histogram. */
+enum class Scale : std::uint8_t
+{
+    Linear, ///< equal-width buckets over [lo, hi)
+    Log,    ///< geometric (HDR-style) buckets over [lo, hi); lo > 0
+};
+
 /**
  * Fixed-bucket histogram over a [lo, hi) range plus overflow bucket.
+ *
+ * Linear histograms divide [lo, hi) into equal-width buckets. Log
+ * histograms space bucket edges geometrically, so tail quantiles of
+ * latency-like quantities spanning several decades keep constant
+ * relative resolution: with b buckets over d decades, every bucket
+ * is a factor of 10^(d/b) wide, and percentile() resolves p999 to
+ * within that factor at any magnitude. Values below lo land in
+ * bucket 0; values at or above hi land in the trailing overflow
+ * bucket.
  */
 class Histogram
 {
   public:
-    Histogram(double lo, double hi, std::size_t buckets);
+    Histogram(double lo, double hi, std::size_t buckets,
+              Scale scale = Scale::Linear);
 
     void sample(double v, std::uint64_t count = 1);
 
@@ -72,12 +89,25 @@ class Histogram
     double max() const { return max_; }
     double lo() const { return lo_; }
     double hi() const { return hi_; }
+    Scale scale() const { return scale_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /**
+     * The value at quantile @p q in [0, 1], interpolated within the
+     * covering bucket and clamped to the observed [min, max] (so
+     * p0 == min() and p1 == max() exactly). 0 with no samples.
+     */
+    double percentile(double q) const;
+
     void reset();
 
   private:
+    /** Lower edge of bucket @p i (i may equal bucket count = hi). */
+    double bucketEdge(std::size_t i) const;
+
     double lo_;
     double hi_;
+    Scale scale_;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t samples_ = 0;
     double sum_ = 0.0;

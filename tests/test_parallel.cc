@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <numeric>
 #include <set>
 
@@ -97,6 +99,56 @@ TEST(ThreadPoolTest, NestedCallsRunInline)
         pool.parallelFor(4, [&](std::size_t) { ++inner; });
     });
     EXPECT_EQ(inner.load(), 64);
+}
+
+TEST(ThreadPoolTest, PostedTasksRunExactlyOnce)
+{
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        common::ThreadPool pool(threads);
+        const std::size_t n = 64;
+        std::vector<std::atomic<int>> hits(n);
+        std::atomic<std::size_t> done{0};
+        std::mutex m;
+        std::condition_variable cv;
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.post([&, i](std::size_t worker) {
+                EXPECT_LT(worker, pool.size());
+                ++hits[i];
+                if (++done == n) {
+                    std::lock_guard<std::mutex> lock(m);
+                    cv.notify_all();
+                }
+            });
+        }
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return done.load() == n; });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+    }
+}
+
+TEST(ThreadPoolTest, PostedTasksOverlapWithParallelFor)
+{
+    common::ThreadPool pool(4);
+    std::atomic<std::size_t> taskDone{0};
+    std::mutex m;
+    std::condition_variable cv;
+    const std::size_t tasks = 16;
+    for (std::size_t t = 0; t < tasks; ++t) {
+        pool.post([&](std::size_t) {
+            if (++taskDone == tasks) {
+                std::lock_guard<std::mutex> lock(m);
+                cv.notify_all();
+            }
+        });
+    }
+    // A job issued while tasks are queued must still complete.
+    std::atomic<int> items{0};
+    pool.parallelFor(64, [&](std::size_t) { ++items; });
+    EXPECT_EQ(items.load(), 64);
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return taskDone.load() == tasks; });
+    EXPECT_EQ(taskDone.load(), tasks);
 }
 
 TEST(ThreadPoolTest, GlobalPoolResizes)

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Serving-layer tests: arrival-schedule determinism, admission
+ * queue invariants and shed policies, deadline handling, and the
+ * core contract — serve-mode top-k is bit-identical to batch-mode
+ * top-k for every pipeline mode, thread count and shard count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "api/sharded_device.h"
+#include "boss/device.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "serve/admission.h"
+#include "serve/arrival.h"
+#include "serve/backend.h"
+#include "serve/server.h"
+#include "workload/corpus.h"
+#include "workload/queries.h"
+
+namespace
+{
+
+using namespace boss;
+
+// ---------------------------------------------------------------
+// Arrival schedules.
+// ---------------------------------------------------------------
+
+TEST(ArrivalTest, PoissonScheduleIsDeterministic)
+{
+    serve::ArrivalConfig cfg;
+    cfg.qps = 5000.0;
+    cfg.count = 2000;
+    cfg.seed = 1234;
+    auto a = serve::makeArrivals(cfg);
+    auto b = serve::makeArrivals(cfg);
+    ASSERT_EQ(a.size(), cfg.count);
+    EXPECT_EQ(a, b); // bit-identical, same seed
+    cfg.seed = 1235;
+    EXPECT_NE(serve::makeArrivals(cfg), a);
+}
+
+TEST(ArrivalTest, PoissonMatchesOfferedRate)
+{
+    serve::ArrivalConfig cfg;
+    cfg.qps = 10000.0;
+    cfg.count = 20000;
+    auto at = serve::makeArrivals(cfg);
+    for (std::size_t i = 1; i < at.size(); ++i)
+        ASSERT_GE(at[i], at[i - 1]);
+    // Mean gap within 5% of 1/qps over 20k draws.
+    double meanGap = at.back() / static_cast<double>(at.size());
+    EXPECT_NEAR(meanGap, 1e6 / cfg.qps, 0.05 * 1e6 / cfg.qps);
+}
+
+TEST(ArrivalTest, BurstyMatchesMeanRateButClumps)
+{
+    serve::ArrivalConfig cfg;
+    cfg.process = serve::ArrivalProcess::Bursty;
+    cfg.qps = 10000.0;
+    cfg.count = 50000;
+    cfg.burst.rateMultiplier = 6.0;
+    cfg.burst.hotFraction = 0.1;
+    // Short dwells give ~1000 regime cycles over the run, so the
+    // time-weighted mean converges; fixed-count sampling of an MMPP
+    // otherwise stops mid-burst often enough to bias the rate high.
+    cfg.burst.hotDwellUs = 500.0;
+    auto at = serve::makeArrivals(cfg);
+    for (std::size_t i = 1; i < at.size(); ++i)
+        ASSERT_GE(at[i], at[i - 1]);
+    double meanGap = at.back() / static_cast<double>(at.size());
+    EXPECT_NEAR(meanGap, 1e6 / cfg.qps, 0.10 * 1e6 / cfg.qps);
+    // Burstiness: the gap distribution has a higher coefficient of
+    // variation than the Poisson baseline (CV 1 for exponential).
+    double mean = meanGap, var = 0.0;
+    for (std::size_t i = 1; i < at.size(); ++i) {
+        double g = at[i] - at[i - 1];
+        var += (g - mean) * (g - mean);
+    }
+    var /= static_cast<double>(at.size() - 1);
+    double cv = std::sqrt(var) / mean;
+    EXPECT_GT(cv, 1.15);
+    // Same seed, same schedule.
+    EXPECT_EQ(serve::makeArrivals(cfg), at);
+}
+
+// ---------------------------------------------------------------
+// Admission queue.
+// ---------------------------------------------------------------
+
+serve::ServeRequest
+req(std::uint64_t id, double deadlineUs =
+                          std::numeric_limits<double>::infinity())
+{
+    serve::ServeRequest r;
+    r.id = id;
+    r.deadlineUs = deadlineUs;
+    return r;
+}
+
+TEST(AdmissionTest, DropTailBoundsDepthAndKeepsFifoOrder)
+{
+    serve::AdmissionQueue q(4, serve::ShedPolicy::DropTail);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        auto adm = q.offer(req(i));
+        EXPECT_LE(q.size(), 4u);
+        if (i < 4)
+            EXPECT_EQ(adm, serve::Admission::Admitted);
+        else
+            EXPECT_EQ(adm, serve::Admission::ShedCapacity);
+    }
+    auto c = q.counters();
+    EXPECT_EQ(c.offered, 10u);
+    EXPECT_EQ(c.admitted, 4u);
+    EXPECT_EQ(c.shedCapacity, 6u);
+    EXPECT_EQ(c.peakDepth, 4u);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        auto r = q.tryPop();
+        ASSERT_TRUE(r.has_value());
+        EXPECT_EQ(r->id, i); // FIFO
+    }
+    EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(AdmissionTest, ShedDecisionsAreDeterministicUnderSeededLoad)
+{
+    // Two identical seeded offer/pop interleavings must shed the
+    // exact same request ids — admission is clock-free, so the
+    // decision depends only on the call sequence.
+    auto run = [](std::uint64_t seed) {
+        Rng rng(seed);
+        serve::AdmissionQueue q(8, serve::ShedPolicy::DropTail);
+        std::vector<std::uint64_t> admitted, popped;
+        for (std::uint64_t i = 0; i < 500; ++i) {
+            if (q.offer(req(i)) == serve::Admission::Admitted)
+                admitted.push_back(i);
+            if (rng.chance(0.4)) {
+                auto r = q.tryPop();
+                if (r.has_value())
+                    popped.push_back(r->id);
+            }
+        }
+        return std::make_pair(admitted, popped);
+    };
+    EXPECT_EQ(run(99), run(99));
+    EXPECT_NE(run(99), run(100));
+}
+
+TEST(AdmissionTest, DropDeadlineEvictsLeastSlackFirst)
+{
+    serve::AdmissionQueue q(2, serve::ShedPolicy::DropDeadline);
+    EXPECT_EQ(q.offer(req(0, 100.0)), serve::Admission::Admitted);
+    EXPECT_EQ(q.offer(req(1, 500.0)), serve::Admission::Admitted);
+
+    // Newcomer with more slack than the earliest deadline in the
+    // queue: evict id 0 and admit.
+    std::optional<serve::ServeRequest> evicted;
+    EXPECT_EQ(q.offer(req(2, 300.0), &evicted),
+              serve::Admission::Admitted);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->id, 0u);
+
+    // Newcomer with the least slack of all: refused, queue intact.
+    evicted.reset();
+    EXPECT_EQ(q.offer(req(3, 200.0), &evicted),
+              serve::Admission::ShedDeadline);
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_EQ(q.size(), 2u);
+
+    // FIFO among survivors (1 admitted before 2).
+    EXPECT_EQ(q.tryPop()->id, 1u);
+    EXPECT_EQ(q.tryPop()->id, 2u);
+    auto c = q.counters();
+    EXPECT_EQ(c.shedDeadline, 2u); // one eviction + one refusal
+}
+
+TEST(AdmissionTest, BlockPolicyWaitsForSpaceAndCloseWakesWaiters)
+{
+    serve::AdmissionQueue q(1, serve::ShedPolicy::Block);
+    EXPECT_EQ(q.offer(req(0)), serve::Admission::Admitted);
+
+    std::atomic<int> state{0};
+    std::thread offerer([&] {
+        state = 1;
+        auto adm = q.offer(req(1)); // full: must wait
+        EXPECT_EQ(adm, serve::Admission::Admitted);
+        state = 2;
+        auto refused = q.offer(req(2)); // will block until close()
+        EXPECT_EQ(refused, serve::Admission::Closed);
+        state = 3;
+    });
+    while (state.load() < 1)
+        std::this_thread::yield();
+    // The blocked offer completes once the consumer makes room.
+    EXPECT_EQ(q.pop()->id, 0u);
+    while (state.load() < 2)
+        std::this_thread::yield();
+    q.close();
+    offerer.join();
+    EXPECT_EQ(state.load(), 3);
+    // close() drains what was admitted, then signals termination.
+    EXPECT_EQ(q.pop()->id, 1u);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+// ---------------------------------------------------------------
+// End-to-end serving against a real index.
+// ---------------------------------------------------------------
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        workload::CorpusConfig cfg;
+        cfg.name = "serve-test";
+        cfg.numDocs = 20'000;
+        cfg.vocabSize = 300;
+        cfg.seed = 91;
+        corpus_ = new workload::Corpus(cfg);
+
+        workload::QueryWorkloadConfig qcfg;
+        qcfg.vocabSize = cfg.vocabSize;
+        qcfg.seed = 17;
+        queries_ = new std::vector<workload::Query>(
+            workload::sampleQueries(qcfg, 24));
+        terms_ = new std::vector<TermId>(
+            workload::collectTerms(*queries_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete corpus_;
+        delete queries_;
+        delete terms_;
+        corpus_ = nullptr;
+        queries_ = nullptr;
+        terms_ = nullptr;
+    }
+
+    void TearDown() override
+    {
+        common::ThreadPool::setGlobalThreads(1);
+    }
+
+    /** A fast serve config: every query admitted and completed. */
+    static serve::ServeConfig
+    lossless(std::size_t count, serve::PipelineMode mode)
+    {
+        serve::ServeConfig cfg;
+        cfg.arrivals.qps = 50'000.0;
+        cfg.arrivals.count = count;
+        cfg.arrivals.seed = 7;
+        cfg.policy = serve::ShedPolicy::Block;
+        cfg.mode = mode;
+        cfg.warmup = 2;
+        return cfg;
+    }
+
+    static workload::Corpus *corpus_;
+    static std::vector<workload::Query> *queries_;
+    static std::vector<TermId> *terms_;
+};
+
+workload::Corpus *ServeTest::corpus_ = nullptr;
+std::vector<workload::Query> *ServeTest::queries_ = nullptr;
+std::vector<TermId> *ServeTest::terms_ = nullptr;
+
+void
+expectSameResults(const std::vector<engine::Result> &a,
+                  const std::vector<engine::Result> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].doc, b[i].doc);
+        EXPECT_EQ(a[i].score, b[i].score); // bit-identical
+    }
+}
+
+TEST_F(ServeTest, ServeMatchesBatchBitExactly)
+{
+    common::ThreadPool::setGlobalThreads(4);
+    accel::Device device;
+    device.loadIndex(corpus_->buildIndex(*terms_));
+    auto batch = device.searchBatch(*queries_);
+
+    serve::DeviceBackend backend(device);
+    serve::Server server(
+        backend, lossless(3 * queries_->size(),
+                          serve::PipelineMode::Pipelined));
+    auto report = server.run(*queries_);
+
+    ASSERT_EQ(report.completed, report.offered);
+    EXPECT_EQ(report.shed, 0u);
+    EXPECT_EQ(report.expired, 0u);
+    EXPECT_EQ(report.good, report.completed);
+    for (const auto &rec : report.records) {
+        ASSERT_EQ(rec.status, serve::QueryStatus::Done);
+        expectSameResults(rec.topk, batch.perQuery[rec.queryIndex]);
+    }
+}
+
+TEST_F(ServeTest, PipelinedAndBarrierModesAgreeBitExactly)
+{
+    common::ThreadPool::setGlobalThreads(4);
+    accel::Device device;
+    device.loadIndex(corpus_->buildIndex(*terms_));
+    serve::DeviceBackend backend(device);
+
+    serve::Server pipelined(
+        backend,
+        lossless(2 * queries_->size(),
+                 serve::PipelineMode::Pipelined));
+    auto a = pipelined.run(*queries_);
+    serve::Server barrier(
+        backend, lossless(2 * queries_->size(),
+                          serve::PipelineMode::Barrier));
+    auto b = barrier.run(*queries_);
+
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i)
+        expectSameResults(a.records[i].topk, b.records[i].topk);
+}
+
+TEST_F(ServeTest, ShardedServeMatchesShardedBatchBitExactly)
+{
+    common::ThreadPool::setGlobalThreads(4);
+    auto global = corpus_->buildIndex(*terms_);
+
+    api::ShardedDeviceConfig scfg;
+    scfg.shards = 2;
+    api::ShardedDevice sharded(scfg);
+    sharded.loadIndex(global);
+    auto batch = sharded.searchBatch(*queries_);
+
+    api::ShardedDevice servedev(scfg);
+    servedev.loadIndex(global);
+    serve::ShardedBackend backend(servedev);
+    serve::Server server(
+        backend, lossless(2 * queries_->size(),
+                          serve::PipelineMode::Pipelined));
+    auto report = server.run(*queries_);
+
+    ASSERT_EQ(report.completed, report.offered);
+    for (const auto &rec : report.records) {
+        ASSERT_EQ(rec.status, serve::QueryStatus::Done);
+        expectSameResults(rec.topk, batch.perQuery[rec.queryIndex]);
+    }
+}
+
+TEST_F(ServeTest, OverlappedShardReplayMatchesSingleDevice)
+{
+    // The pipelined ShardedDevice::searchBatch (replay posted to
+    // pool workers) must stay bit-identical to one device over the
+    // whole corpus, at several thread counts.
+    auto global = corpus_->buildIndex(*terms_);
+    accel::Device single;
+    single.loadIndex(global);
+    auto want = single.searchBatch(*queries_);
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        common::ThreadPool::setGlobalThreads(threads);
+        api::ShardedDeviceConfig scfg;
+        scfg.shards = 3;
+        api::ShardedDevice sharded(scfg);
+        sharded.loadIndex(global);
+        auto got = sharded.searchBatch(*queries_);
+        ASSERT_EQ(got.perQuery.size(), want.perQuery.size());
+        for (std::size_t q = 0; q < want.perQuery.size(); ++q)
+            expectSameResults(got.perQuery[q], want.perQuery[q]);
+    }
+}
+
+TEST_F(ServeTest, ExpiredDeadlinesAreNeverGoodput)
+{
+    common::ThreadPool::setGlobalThreads(2);
+    accel::Device device;
+    device.loadIndex(corpus_->buildIndex(*terms_));
+    serve::DeviceBackend backend(device);
+
+    auto cfg = lossless(50, serve::PipelineMode::Pipelined);
+    // A deadline far below queue + execution time: every query
+    // either expires at dispatch or completes past its deadline —
+    // goodput must be zero either way, and expiry must not crash
+    // the pipeline mid-flight.
+    cfg.deadlineUs = 1e-3;
+    serve::Server server(backend, cfg);
+    auto report = server.run(*queries_);
+
+    EXPECT_EQ(report.good, 0u);
+    EXPECT_EQ(report.shed, 0u); // Block never sheds at admission
+    EXPECT_EQ(report.expired + report.completed, report.offered);
+    for (const auto &rec : report.records) {
+        if (rec.status == serve::QueryStatus::Done) {
+            EXPECT_FALSE(rec.metDeadline);
+        } else {
+            EXPECT_EQ(rec.status, serve::QueryStatus::Expired);
+            EXPECT_TRUE(rec.topk.empty());
+        }
+    }
+}
+
+TEST_F(ServeTest, ServeReportAccountingIsConsistent)
+{
+    common::ThreadPool::setGlobalThreads(2);
+    accel::Device device;
+    device.loadIndex(corpus_->buildIndex(*terms_));
+    serve::DeviceBackend backend(device);
+
+    // Overdrive a tiny queue so shedding actually happens.
+    serve::ServeConfig cfg;
+    cfg.arrivals.qps = 200'000.0;
+    cfg.arrivals.count = 300;
+    cfg.arrivals.seed = 3;
+    cfg.queueCapacity = 4;
+    cfg.policy = serve::ShedPolicy::DropTail;
+    cfg.warmup = 2;
+    serve::Server server(backend, cfg);
+    auto report = server.run(*queries_);
+
+    EXPECT_EQ(report.offered, 300u);
+    EXPECT_EQ(report.completed + report.shed + report.expired,
+              report.offered);
+    EXPECT_EQ(report.admission.offered, 300u);
+    EXPECT_LE(report.admission.peakDepth, 4u);
+    // Every completed query still returns the exact batch answer.
+    auto batch = device.searchBatch(*queries_);
+    for (const auto &rec : report.records) {
+        if (rec.status == serve::QueryStatus::Done)
+            expectSameResults(rec.topk,
+                              batch.perQuery[rec.queryIndex]);
+    }
+}
+
+} // namespace

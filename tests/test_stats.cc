@@ -154,6 +154,81 @@ TEST(GroupTest, DumpJsonHistogramShape)
               std::string::npos);
 }
 
+TEST(HistogramTest, LogBucketsCoverDecadesEvenly)
+{
+    // 3 decades, one bucket per decade.
+    Histogram h(1.0, 1000.0, 3, Scale::Log);
+    h.sample(5.0);    // [1, 10)
+    h.sample(50.0);   // [10, 100)
+    h.sample(500.0);  // [100, 1000)
+    h.sample(0.5);    // below lo -> bucket 0
+    h.sample(2000.0); // overflow
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u); // overflow
+    EXPECT_EQ(h.scale(), Scale::Log);
+}
+
+TEST(HistogramTest, PercentileInterpolatesAndClamps)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 1; i <= 100; ++i)
+        h.sample(static_cast<double>(i) - 0.5); // one per bucket
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.5);    // clamped to min
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 99.5);   // clamped to max
+    EXPECT_NEAR(h.percentile(0.50), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
+}
+
+TEST(HistogramTest, LogPercentileResolvesMicrosecondTail)
+{
+    // Latency-like distribution over 6 decades: p999 must land in
+    // the sparse tail despite 99.9% of mass sitting 1000x lower.
+    Histogram h(1.0, 1e6, 96, Scale::Log);
+    h.sample(100.0, 9980);  // bulk at ~100us
+    h.sample(1e5, 20);      // 0.2% tail at ~100ms
+    double p50 = h.percentile(0.50);
+    double p999 = h.percentile(0.999);
+    EXPECT_GT(p50, 50.0);
+    EXPECT_LT(p50, 200.0);
+    EXPECT_GE(p999, 5e4);
+    EXPECT_LE(p999, 2e5);
+}
+
+TEST(HistogramTest, PercentileWithNoSamplesIsZero)
+{
+    Histogram h(1.0, 1000.0, 10, Scale::Log);
+    EXPECT_DOUBLE_EQ(h.percentile(0.999), 0.0);
+}
+
+TEST(HistogramTest, OverflowPercentileReportsObservedMax)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(500.0);
+    h.sample(700.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 700.0);
+}
+
+TEST(GroupTest, DumpJsonCarriesPercentilesAndScale)
+{
+    Group root("run");
+    Histogram lin(0.0, 4.0, 4);
+    Histogram log(1.0, 1e6, 24, Scale::Log);
+    lin.sample(1.0);
+    log.sample(10.0);
+    root.addHistogram("lat_lin", &lin);
+    root.addHistogram("lat_log", &log);
+    std::ostringstream oss;
+    root.dumpJson(oss);
+    std::string json = oss.str();
+    EXPECT_NE(json.find("\"scale\": \"linear\""), std::string::npos);
+    EXPECT_NE(json.find("\"scale\": \"log\""), std::string::npos);
+    EXPECT_NE(json.find("\"p50\": "), std::string::npos);
+    EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+    EXPECT_NE(json.find("\"p999\": "), std::string::npos);
+}
+
 TEST(GroupTest, OutputFollowsRegistrationOrder)
 {
     Group root("run");

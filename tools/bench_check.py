@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Schema validator for checked-in BENCH_*.json reports.
+
+Every bench binary serializes through stats::Group::dumpJson, so all
+reports share one schema: a group is {"name", "stats", "groups"},
+stats maps leaf names to typed values (scalar / counter / formula /
+histogram), and groups nests recursively. This checker fails CI when
+a checked-in report is malformed — truncated writes, NaNs leaked
+into values, histograms with inconsistent percentiles — instead of
+letting a broken artifact sit in the tree until someone plots it.
+
+Usage:
+    bench_check.py [FILE...]
+
+With no arguments, validates every BENCH_*.json in the repository
+root (the directory two levels up from this script). Exits non-zero
+and prints one line per violation otherwise.
+"""
+
+import glob
+import json
+import os
+import sys
+
+LEAF_TYPES = {"scalar", "counter", "formula", "histogram", "empty"}
+HIST_FIELDS = (
+    "scale",
+    "lo",
+    "hi",
+    "samples",
+    "mean",
+    "min",
+    "max",
+    "p50",
+    "p99",
+    "p999",
+    "buckets",
+)
+
+# Curve-style reports must carry enough points to show a shape: a
+# throughput/latency sweep with fewer than MIN_SWEEP_POINTS load
+# points cannot show the knee it exists to document.
+MIN_SWEEP_POINTS = 5
+SWEEP_RULES = {
+    "BENCH_serving.json": {
+        "curves": ("pipelined", "barrier"),
+        "point_stats": (
+            "offered_qps",
+            "achieved_qps",
+            "goodput_qps",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+        ),
+        "required_groups": ("ablation",),
+    },
+}
+
+
+def is_number(v):
+    """Finite JSON numbers only; dumpJson writes infinities as null."""
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def fail(self, where, message):
+        self.errors.append(f"{self.path}: {where}: {message}")
+
+    def check_histogram(self, where, leaf):
+        for field in HIST_FIELDS:
+            if field not in leaf:
+                self.fail(where, f"histogram missing '{field}'")
+                return
+        if leaf["scale"] not in ("log", "linear"):
+            self.fail(where, f"bad scale {leaf['scale']!r}")
+        if not (is_number(leaf["lo"]) and is_number(leaf["hi"]) and
+                leaf["lo"] < leaf["hi"]):
+            self.fail(where, "needs numeric lo < hi")
+        buckets = leaf["buckets"]
+        if not (isinstance(buckets, list) and buckets and
+                all(isinstance(b, int) and b >= 0 for b in buckets)):
+            self.fail(where, "buckets must be non-negative ints")
+            return
+        samples = leaf["samples"]
+        if not isinstance(samples, int) or samples < 0:
+            self.fail(where, "samples must be a non-negative int")
+            return
+        if sum(buckets) != samples:
+            self.fail(
+                where,
+                f"bucket counts sum to {sum(buckets)}, "
+                f"samples says {samples}",
+            )
+        if samples > 0:
+            pcts = [leaf["p50"], leaf["p99"], leaf["p999"]]
+            if not all(is_number(p) for p in pcts):
+                self.fail(where, "sampled histogram with null percentiles")
+            elif not (pcts[0] <= pcts[1] <= pcts[2]):
+                self.fail(where, f"percentiles not monotone: {pcts}")
+            if not (is_number(leaf["min"]) and is_number(leaf["max"]) and
+                    leaf["min"] <= leaf["max"]):
+                self.fail(where, "sampled histogram needs min <= max")
+
+    def check_leaf(self, where, leaf):
+        if not isinstance(leaf, dict) or "type" not in leaf:
+            self.fail(where, "leaf must be an object with a 'type'")
+            return
+        kind = leaf["type"]
+        if kind not in LEAF_TYPES:
+            self.fail(where, f"unknown leaf type {kind!r}")
+        elif kind == "histogram":
+            self.check_histogram(where, leaf)
+        elif kind != "empty":
+            if "value" not in leaf:
+                self.fail(where, f"{kind} leaf missing 'value'")
+            elif leaf["value"] is not None and not is_number(leaf["value"]):
+                self.fail(where, f"{kind} value must be a number or null")
+
+    def check_group(self, where, group):
+        if not isinstance(group, dict):
+            self.fail(where, "group must be an object")
+            return
+        for key in ("name", "stats", "groups"):
+            if key not in group:
+                self.fail(where, f"group missing '{key}'")
+                return
+        if not isinstance(group["name"], str) or not group["name"]:
+            self.fail(where, "group name must be a non-empty string")
+        if not isinstance(group["stats"], dict):
+            self.fail(where, "'stats' must be an object")
+        else:
+            for name, leaf in group["stats"].items():
+                self.check_leaf(f"{where}/{name}", leaf)
+        if not isinstance(group["groups"], list):
+            self.fail(where, "'groups' must be a list")
+        else:
+            for child in group["groups"]:
+                child_name = (
+                    child.get("name", "?")
+                    if isinstance(child, dict)
+                    else "?"
+                )
+                self.check_group(f"{where}/{child_name}", child)
+
+    def check_sweep_rules(self, root):
+        rules = SWEEP_RULES.get(os.path.basename(self.path))
+        if rules is None:
+            return
+        subgroups = {
+            g["name"]: g
+            for g in root.get("groups", [])
+            if isinstance(g, dict) and "name" in g
+        }
+        for required in rules["required_groups"]:
+            if required not in subgroups:
+                self.fail(root.get("name", "?"),
+                          f"missing required group '{required}'")
+        for curve in rules["curves"]:
+            if curve not in subgroups:
+                self.fail(root.get("name", "?"),
+                          f"missing curve group '{curve}'")
+                continue
+            points = subgroups[curve].get("groups", [])
+            if len(points) < MIN_SWEEP_POINTS:
+                self.fail(
+                    curve,
+                    f"sweep has {len(points)} load points, "
+                    f"need >= {MIN_SWEEP_POINTS}",
+                )
+            for point in points:
+                stats = point.get("stats", {})
+                for stat in rules["point_stats"]:
+                    if stat not in stats:
+                        self.fail(
+                            f"{curve}/{point.get('name', '?')}",
+                            f"missing stat '{stat}'",
+                        )
+
+    def run(self):
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                root = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            self.fail("<file>", f"unreadable or invalid JSON: {err}")
+            return self.errors
+        self.check_group(root.get("name", "?") if isinstance(root, dict)
+                         else "?", root)
+        self.check_sweep_rules(root)
+        return self.errors
+
+
+def main(argv):
+    paths = argv[1:]
+    if not paths:
+        repo = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        paths = sorted(glob.glob(os.path.join(repo, "BENCH_*.json")))
+    if not paths:
+        print("bench_check: no BENCH_*.json files found",
+              file=sys.stderr)
+        return 1
+    failed = False
+    for path in paths:
+        errors = Checker(path).run()
+        if errors:
+            failed = True
+            for line in errors:
+                print(line, file=sys.stderr)
+        else:
+            print(f"bench_check: {path} OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -39,6 +39,18 @@
  *                          the BOSS_KERNELS env var, else auto =
  *                          best supported). Every tier is bit-exact;
  *                          this only changes host-side speed.
+ *   --warmup N             run N unrecorded warmup searches (cycling
+ *                          the given queries) before the session, so
+ *                          the per-worker decode arenas and caches
+ *                          are hot when measurement starts
+ *   --serve                serving mode: drive the given queries as
+ *                          a seeded open-loop stream (see
+ *                          tools/boss_serve for the full-featured
+ *                          harness) and report tail latency
+ *   --qps X                offered load for --serve (default 2000)
+ *   --serve-queries N      offered query count for --serve
+ *                          (default 1000)
+ *   --deadline-us X        per-query SLO for --serve (default none)
  */
 
 #include <cstdio>
@@ -46,9 +58,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "api/sharded_device.h"
 #include "boss/device.h"
@@ -57,6 +72,7 @@
 #include "kernels/kernels.h"
 #include "index/text_builder.h"
 #include "mem/fault_model.h"
+#include "serve/server.h"
 #include "trace/chrome_trace.h"
 #include "trace/summary.h"
 
@@ -70,6 +86,11 @@ struct Options
     std::string querySummaries;
     boss::mem::FaultSpec faults;
     std::uint64_t faultSeed = 0xB055;
+    std::size_t warmup = 0;
+    bool serve = false;
+    double qps = 2000.0;
+    std::size_t serveQueries = 1000;
+    double deadlineUs = std::numeric_limits<double>::infinity();
 };
 
 /** Words without quotes become an OR of quoted terms. */
@@ -208,11 +229,130 @@ printLoaded(boss::api::ShardedDevice &device)
                 device.shard(0).config().cores);
 }
 
+std::unique_ptr<boss::serve::Backend>
+makeBackend(boss::accel::Device &device)
+{
+    return std::make_unique<boss::serve::DeviceBackend>(device);
+}
+
+std::unique_ptr<boss::serve::Backend>
+makeBackend(boss::api::ShardedDevice &device)
+{
+    return std::make_unique<boss::serve::ShardedBackend>(device);
+}
+
+/** Collect the session's queries as normalized expressions. */
+std::vector<std::string>
+collectQueries(int argc, char **argv, int argi)
+{
+    std::vector<std::string> exprs;
+    if (argi < argc) {
+        for (int i = argi; i < argc; ++i) {
+            std::string expr = normalizeQuery(argv[i]);
+            if (!expr.empty())
+                exprs.push_back(std::move(expr));
+        }
+    } else {
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            std::string expr = normalizeQuery(line);
+            if (!expr.empty())
+                exprs.push_back(std::move(expr));
+        }
+    }
+    return exprs;
+}
+
+/**
+ * --serve: drive the given queries as an open-loop stream instead
+ * of one-shot lookups. The serve stats group (not the device stats
+ * tree) backs --stats-json here; --trace-out carries the per-query
+ * queue/serve spans.
+ */
+template <typename Dev>
+int
+runServe(Dev &device, const Options &opts, int argc, char **argv,
+         int argi)
+{
+    std::vector<std::string> exprs =
+        collectQueries(argc, argv, argi);
+    if (exprs.empty()) {
+        std::fprintf(stderr, "--serve needs at least one query\n");
+        return 2;
+    }
+    auto backend = makeBackend(device);
+    boss::serve::ServeConfig scfg;
+    scfg.arrivals.qps = opts.qps;
+    scfg.arrivals.count = opts.serveQueries;
+    scfg.arrivals.seed = boss::splitSeed(opts.faultSeed, 0x5e12e);
+    scfg.deadlineUs = opts.deadlineUs;
+    scfg.warmup = opts.warmup;
+    boss::serve::Server server(*backend, scfg);
+    std::optional<boss::trace::Recorder> recorder;
+    if (!opts.traceOut.empty()) {
+        recorder.emplace();
+        server.setRecorder(&*recorder);
+    }
+
+    auto report = server.run(exprs);
+    double goodPct =
+        report.offered == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(report.good) /
+                  static_cast<double>(report.offered);
+    std::printf("served %llu/%llu queries @ %.1f qps offered "
+                "(%llu shed, %llu expired); goodput %.2f%%\n",
+                static_cast<unsigned long long>(report.completed),
+                static_cast<unsigned long long>(report.offered),
+                report.offeredQps,
+                static_cast<unsigned long long>(report.shed),
+                static_cast<unsigned long long>(report.expired),
+                goodPct);
+    std::printf("latency us: p50 %.1f  p99 %.1f  p999 %.1f  "
+                "max %.1f\n",
+                report.latencyP50Us, report.latencyP99Us,
+                report.latencyP999Us, report.latencyMaxUs);
+    if (!opts.statsJson.empty()) {
+        auto os = openOut(opts.statsJson);
+        boss::stats::Group group("serve");
+        server.registerStats(group);
+        group.dumpJson(os, 0);
+        os << "\n";
+    }
+    if (!opts.traceOut.empty()) {
+        auto os = openOut(opts.traceOut);
+        boss::trace::writeChromeTrace(os, *recorder);
+        std::printf("wrote %zu trace events to %s\n",
+                    recorder->eventCount(), opts.traceOut.c_str());
+    }
+    return 0;
+}
+
 template <typename Dev>
 int
 runSession(Dev &device, const Options &opts, int argc, char **argv,
            int argi)
 {
+    device.loadTextIndexFile(argv[argi]);
+    ++argi;
+    printLoaded(device);
+
+    if (opts.serve)
+        return runServe(device, opts, argc, argv, argi);
+
+    // Warmup before any observability attaches: the warmup searches
+    // heat the per-worker decode arenas without polluting traces,
+    // stats or summaries.
+    if (opts.warmup > 0 && argi < argc) {
+        int nq = argc - argi;
+        for (std::size_t w = 0; w < opts.warmup; ++w) {
+            std::string expr = normalizeQuery(
+                argv[argi + static_cast<int>(w) % nq]);
+            if (!expr.empty())
+                device.search(expr);
+        }
+    }
+
     // The recorder sizes its buffers off the pool, so create it
     // after --threads took effect.
     std::optional<boss::trace::Recorder> recorder;
@@ -227,10 +367,6 @@ runSession(Dev &device, const Options &opts, int argc, char **argv,
         device.enableQuerySummaries(true);
         summariesOut.emplace(openOut(opts.querySummaries));
     }
-
-    device.loadTextIndexFile(argv[argi]);
-    ++argi;
-    printLoaded(device);
 
     if (argi < argc) {
         for (int i = argi; i < argc; ++i) {
@@ -308,6 +444,56 @@ main(int argc, char **argv)
                    matchValueFlag(argv[argi], "--fault-seed", seed)) {
             opts.faultSeed = std::strtoull(seed.c_str(), nullptr, 0);
             ++argi;
+        } else if (arg == "--warmup") {
+            long n = argi + 1 < argc
+                         ? std::strtol(argv[argi + 1], nullptr, 10)
+                         : -1;
+            if (n < 0) {
+                std::fprintf(stderr,
+                             "--warmup wants a non-negative "
+                             "count\n");
+                return 2;
+            }
+            opts.warmup = static_cast<std::size_t>(n);
+            argi += 2;
+        } else if (arg == "--serve") {
+            opts.serve = true;
+            ++argi;
+        } else if (arg == "--qps") {
+            double q = argi + 1 < argc
+                           ? std::strtod(argv[argi + 1], nullptr)
+                           : 0.0;
+            if (q <= 0.0) {
+                std::fprintf(stderr,
+                             "--qps wants a positive rate\n");
+                return 2;
+            }
+            opts.qps = q;
+            argi += 2;
+        } else if (arg == "--serve-queries") {
+            long n = argi + 1 < argc
+                         ? std::strtol(argv[argi + 1], nullptr, 10)
+                         : 0;
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "--serve-queries wants a positive "
+                             "count\n");
+                return 2;
+            }
+            opts.serveQueries = static_cast<std::size_t>(n);
+            argi += 2;
+        } else if (arg == "--deadline-us") {
+            double d = argi + 1 < argc
+                           ? std::strtod(argv[argi + 1], nullptr)
+                           : 0.0;
+            if (d <= 0.0) {
+                std::fprintf(stderr,
+                             "--deadline-us wants a positive "
+                             "deadline\n");
+                return 2;
+            }
+            opts.deadlineUs = d;
+            argi += 2;
         } else if (std::string tier;
                    matchValueFlag(argv[argi], "--kernels", tier)) {
             if (!boss::kernels::setTierByName(tier)) {
@@ -330,7 +516,8 @@ main(int argc, char **argv)
             "usage: %s [--threads N] [--shards N] [--trace-out=FILE] "
             "[--stats-json=FILE] [--query-summaries=FILE] "
             "[--fault-spec=SPEC] [--fault-seed=N] [--kernels=TIER] "
-            "<index.idx> [query...]\n",
+            "[--warmup N] [--serve] [--qps X] [--serve-queries N] "
+            "[--deadline-us X] <index.idx> [query...]\n",
             argv[0]);
         return 2;
     }

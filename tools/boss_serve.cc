@@ -1,0 +1,353 @@
+/**
+ * @file
+ * boss_serve: always-on serving harness over a BOSS text index.
+ *
+ * Drives the simulated accelerator with a deterministic open-loop
+ * query stream (latency is measured from each query's *scheduled*
+ * arrival, so overload shows up as queueing delay instead of being
+ * silently absorbed by a slow generator) and reports tail latency,
+ * shedding and goodput.
+ *
+ * Usage:
+ *   boss_serve [options] <index.idx>
+ *
+ * Options:
+ *   --qps X              offered load in queries/sec (default 2000)
+ *   --queries N          offered query count (default 2000)
+ *   --distinct N         distinct sampled queries cycled through
+ *                        the stream (default 64)
+ *   --seed N             arrival + workload seed (default 42)
+ *   --arrival=PROC       poisson | bursty (MMPP-2; default poisson)
+ *   --queue N            admission queue capacity (default 256)
+ *   --policy=POL         block | drop-tail | drop-deadline
+ *                        (default drop-tail)
+ *   --mode=MODE          pipelined | barrier (default pipelined;
+ *                        barrier is the no-overlap ablation)
+ *   --deadline-us X      per-query SLO from scheduled arrival
+ *                        (default: none; enables goodput/shedding
+ *                        by deadline)
+ *   --warmup N           unrecorded warmup queries (default 32)
+ *   --shards N           serve from N sharded devices (default 1)
+ *   --threads N          host pool size (default: all hardware)
+ *   --stats-json=FILE    serve stats group as JSON (log-bucketed
+ *                        latency histograms with p50/p99/p999)
+ *   --trace-out=FILE     Chrome trace of per-query queue/serve
+ *                        spans (load in Perfetto)
+ *   --kernels=TIER       scalar|sse42|avx2|auto (bit-exact tiers)
+ *
+ * Results are bit-identical to batch searchBatch() for the same
+ * query set — serving changes *when* work happens, never what it
+ * computes.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "api/sharded_device.h"
+#include "boss/device.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "kernels/kernels.h"
+#include "serve/server.h"
+#include "stats/stats.h"
+#include "trace/chrome_trace.h"
+#include "workload/queries.h"
+
+namespace
+{
+
+struct Options
+{
+    double qps = 2000.0;
+    std::size_t queries = 2000;
+    std::size_t distinct = 64;
+    std::uint64_t seed = 42;
+    boss::serve::ArrivalProcess arrival =
+        boss::serve::ArrivalProcess::Poisson;
+    std::size_t queueCapacity = 256;
+    boss::serve::ShedPolicy policy =
+        boss::serve::ShedPolicy::DropTail;
+    boss::serve::PipelineMode mode =
+        boss::serve::PipelineMode::Pipelined;
+    double deadlineUs =
+        std::numeric_limits<double>::infinity();
+    std::size_t warmup = 32;
+    long shards = 1;
+    std::string statsJson;
+    std::string traceOut;
+};
+
+bool
+matchValueFlag(const char *arg, const char *name, std::string &out)
+{
+    std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) != 0 || arg[len] != '=')
+        return false;
+    out = arg + len + 1;
+    return true;
+}
+
+long
+numberAfter(int &argi, int argc, char **argv, const char *flag)
+{
+    long n = argi + 1 < argc
+                 ? std::strtol(argv[argi + 1], nullptr, 10)
+                 : -1;
+    if (n < 0) {
+        std::fprintf(stderr, "%s wants a non-negative number\n",
+                     flag);
+        std::exit(2);
+    }
+    argi += 2;
+    return n;
+}
+
+int
+serveSession(boss::serve::Backend &backend, std::uint32_t vocab,
+             const Options &opts)
+{
+    boss::workload::QueryWorkloadConfig wcfg;
+    wcfg.vocabSize = vocab;
+    wcfg.seed = boss::splitSeed(opts.seed, 7);
+    auto queries =
+        boss::workload::sampleQueries(wcfg, opts.distinct);
+
+    boss::serve::ServeConfig scfg;
+    scfg.arrivals.process = opts.arrival;
+    scfg.arrivals.qps = opts.qps;
+    scfg.arrivals.count = opts.queries;
+    scfg.arrivals.seed = boss::splitSeed(opts.seed, 11);
+    scfg.queueCapacity = opts.queueCapacity;
+    scfg.policy = opts.policy;
+    scfg.mode = opts.mode;
+    scfg.deadlineUs = opts.deadlineUs;
+    scfg.warmup = opts.warmup;
+
+    boss::serve::Server server(backend, scfg);
+    std::optional<boss::trace::Recorder> recorder;
+    if (!opts.traceOut.empty()) {
+        recorder.emplace();
+        server.setRecorder(&*recorder);
+    }
+
+    auto report = server.run(queries);
+
+    std::printf(
+        "offered %llu queries @ %.1f qps (%s, %s, %s), elapsed "
+        "%.1f ms\n",
+        static_cast<unsigned long long>(report.offered),
+        report.offeredQps,
+        opts.arrival == boss::serve::ArrivalProcess::Poisson
+            ? "poisson"
+            : "bursty",
+        opts.mode == boss::serve::PipelineMode::Pipelined
+            ? "pipelined"
+            : "barrier",
+        opts.policy == boss::serve::ShedPolicy::Block ? "block"
+        : opts.policy == boss::serve::ShedPolicy::DropTail
+            ? "drop-tail"
+            : "drop-deadline",
+        report.elapsedUs / 1e3);
+    std::printf("completed %llu, shed %llu, expired %llu; "
+                "achieved %.1f qps\n",
+                static_cast<unsigned long long>(report.completed),
+                static_cast<unsigned long long>(report.shed),
+                static_cast<unsigned long long>(report.expired),
+                report.achievedQps);
+    double goodPct =
+        report.offered == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(report.good) /
+                  static_cast<double>(report.offered);
+    std::printf("goodput: %.2f%% (%llu/%llu within deadline, "
+                "%.1f qps)\n",
+                goodPct,
+                static_cast<unsigned long long>(report.good),
+                static_cast<unsigned long long>(report.offered),
+                report.goodputQps);
+    std::printf("latency us: p50 %.1f  p99 %.1f  p999 %.1f  "
+                "max %.1f  (queue wait p99 %.1f)\n",
+                report.latencyP50Us, report.latencyP99Us,
+                report.latencyP999Us, report.latencyMaxUs,
+                report.queueWaitP99Us);
+
+    if (!opts.statsJson.empty()) {
+        std::ofstream os(opts.statsJson);
+        if (!os)
+            BOSS_FATAL("cannot open '", opts.statsJson,
+                       "' for writing");
+        boss::stats::Group group("serve");
+        server.registerStats(group);
+        group.dumpJson(os, 0);
+        os << "\n";
+    }
+    if (!opts.traceOut.empty()) {
+        std::ofstream os(opts.traceOut);
+        if (!os)
+            BOSS_FATAL("cannot open '", opts.traceOut,
+                       "' for writing");
+        boss::trace::writeChromeTrace(os, *recorder);
+        std::printf("wrote %zu trace events to %s\n",
+                    recorder->eventCount(), opts.traceOut.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    int argi = 1;
+    while (argi < argc && argv[argi][0] == '-') {
+        std::string arg = argv[argi];
+        std::string value;
+        if (arg == "--qps") {
+            double q = argi + 1 < argc
+                           ? std::strtod(argv[argi + 1], nullptr)
+                           : 0.0;
+            if (q <= 0.0) {
+                std::fprintf(stderr, "--qps wants a positive rate\n");
+                return 2;
+            }
+            opts.qps = q;
+            argi += 2;
+        } else if (arg == "--queries") {
+            opts.queries = static_cast<std::size_t>(
+                numberAfter(argi, argc, argv, "--queries"));
+        } else if (arg == "--distinct") {
+            opts.distinct = static_cast<std::size_t>(
+                numberAfter(argi, argc, argv, "--distinct"));
+        } else if (arg == "--seed") {
+            opts.seed = static_cast<std::uint64_t>(
+                numberAfter(argi, argc, argv, "--seed"));
+        } else if (arg == "--queue") {
+            opts.queueCapacity = static_cast<std::size_t>(
+                numberAfter(argi, argc, argv, "--queue"));
+        } else if (arg == "--warmup") {
+            opts.warmup = static_cast<std::size_t>(
+                numberAfter(argi, argc, argv, "--warmup"));
+        } else if (arg == "--shards") {
+            opts.shards = numberAfter(argi, argc, argv, "--shards");
+            if (opts.shards < 1) {
+                std::fprintf(stderr,
+                             "--shards wants a positive count\n");
+                return 2;
+            }
+        } else if (arg == "--threads") {
+            long n = numberAfter(argi, argc, argv, "--threads");
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "--threads wants a positive count\n");
+                return 2;
+            }
+            boss::common::ThreadPool::setGlobalThreads(
+                static_cast<std::size_t>(n));
+        } else if (arg == "--deadline-us") {
+            double d = argi + 1 < argc
+                           ? std::strtod(argv[argi + 1], nullptr)
+                           : 0.0;
+            if (d <= 0.0) {
+                std::fprintf(stderr,
+                             "--deadline-us wants a positive "
+                             "deadline\n");
+                return 2;
+            }
+            opts.deadlineUs = d;
+            argi += 2;
+        } else if (matchValueFlag(argv[argi], "--arrival", value)) {
+            if (value == "poisson") {
+                opts.arrival = boss::serve::ArrivalProcess::Poisson;
+            } else if (value == "bursty") {
+                opts.arrival = boss::serve::ArrivalProcess::Bursty;
+            } else {
+                std::fprintf(stderr,
+                             "--arrival wants poisson|bursty\n");
+                return 2;
+            }
+            ++argi;
+        } else if (matchValueFlag(argv[argi], "--policy", value)) {
+            if (value == "block") {
+                opts.policy = boss::serve::ShedPolicy::Block;
+            } else if (value == "drop-tail") {
+                opts.policy = boss::serve::ShedPolicy::DropTail;
+            } else if (value == "drop-deadline") {
+                opts.policy = boss::serve::ShedPolicy::DropDeadline;
+            } else {
+                std::fprintf(stderr,
+                             "--policy wants block|drop-tail|"
+                             "drop-deadline\n");
+                return 2;
+            }
+            ++argi;
+        } else if (matchValueFlag(argv[argi], "--mode", value)) {
+            if (value == "pipelined") {
+                opts.mode = boss::serve::PipelineMode::Pipelined;
+            } else if (value == "barrier") {
+                opts.mode = boss::serve::PipelineMode::Barrier;
+            } else {
+                std::fprintf(stderr,
+                             "--mode wants pipelined|barrier\n");
+                return 2;
+            }
+            ++argi;
+        } else if (matchValueFlag(argv[argi], "--stats-json",
+                                  opts.statsJson) ||
+                   matchValueFlag(argv[argi], "--trace-out",
+                                  opts.traceOut)) {
+            ++argi;
+        } else if (matchValueFlag(argv[argi], "--kernels", value)) {
+            if (!boss::kernels::setTierByName(value)) {
+                std::fprintf(stderr,
+                             "--kernels wants scalar|sse42|avx2|"
+                             "auto, got '%s'\n",
+                             value.c_str());
+                return 2;
+            }
+            ++argi;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         argv[argi]);
+            return 2;
+        }
+    }
+    if (argi >= argc) {
+        std::fprintf(
+            stderr,
+            "usage: %s [--qps X] [--queries N] [--distinct N] "
+            "[--seed N] [--arrival=poisson|bursty] [--queue N] "
+            "[--policy=block|drop-tail|drop-deadline] "
+            "[--mode=pipelined|barrier] [--deadline-us X] "
+            "[--warmup N] [--shards N] [--threads N] "
+            "[--stats-json=FILE] [--trace-out=FILE] "
+            "[--kernels=TIER] <index.idx>\n",
+            argv[0]);
+        return 2;
+    }
+
+    if (opts.shards > 1) {
+        boss::api::ShardedDeviceConfig cfg;
+        cfg.shards = static_cast<std::uint32_t>(opts.shards);
+        boss::api::ShardedDevice device(cfg);
+        device.loadTextIndexFile(argv[argi]);
+        std::printf("loaded %u docs / %u terms across %u shards\n",
+                    device.map().numDocs(),
+                    device.shard(0).lexicon().size(),
+                    device.numShards());
+        boss::serve::ShardedBackend backend(device);
+        return serveSession(backend,
+                            device.shard(0).lexicon().size(),
+                            opts);
+    }
+    boss::accel::Device device;
+    device.loadTextIndexFile(argv[argi]);
+    std::printf("loaded %u docs / %u terms\n",
+                device.index().numDocs(), device.lexicon().size());
+    boss::serve::DeviceBackend backend(device);
+    return serveSession(backend, device.lexicon().size(), opts);
+}
