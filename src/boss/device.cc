@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "common/buildinfo.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "engine/plan.h"
@@ -292,7 +293,10 @@ Device::writeStatsJson(std::ostream &os) const
 {
     stats::Group poolGroup("host_pool");
     common::ThreadPool::global().registerStats(poolGroup);
-    os << "{\n\"kernels\": \"" << kernels::activeTierName() << "\"";
+    os << "{\n\"build\": {\"git\": \"" << common::buildGitHash()
+       << "\", \"compiler\": \"" << common::buildCompiler()
+       << "\"}";
+    os << ",\n\"kernels\": \"" << kernels::activeTierName() << "\"";
     os << ",\n\"host_pool\":\n";
     poolGroup.dumpJson(os, 0);
     os << ",\n\"resilience\":\n";

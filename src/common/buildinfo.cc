@@ -1,0 +1,42 @@
+#include "common/buildinfo.h"
+
+namespace boss::common
+{
+
+namespace
+{
+
+#ifndef BOSS_GIT_HASH
+#define BOSS_GIT_HASH "unknown"
+#endif
+
+#if defined(__clang__)
+constexpr const char *kCompiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+constexpr const char *kCompiler = "gcc " __VERSION__;
+#else
+constexpr const char *kCompiler = "unknown-compiler";
+#endif
+
+} // namespace
+
+std::string_view
+buildGitHash()
+{
+    return BOSS_GIT_HASH;
+}
+
+std::string_view
+buildCompiler()
+{
+    return kCompiler;
+}
+
+std::string
+buildStamp()
+{
+    return "git " + std::string(buildGitHash()) + ", " +
+           std::string(buildCompiler());
+}
+
+} // namespace boss::common

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Build-identity stamp: which binary produced this artifact?
+ *
+ * Every observability surface (stats JSON, metrics exposition,
+ * serve startup log) carries the git hash and compiler baked in at
+ * configure time, so a checked-in report, a scraped metric or a
+ * pasted log line is attributable to an exact binary. The runtime
+ * kernel tier is deliberately *not* here — it is a runtime dispatch
+ * decision (BOSS_KERNELS / --kernels), so call sites append
+ * kernels::activeTierName() themselves.
+ */
+
+#ifndef BOSS_COMMON_BUILDINFO_H
+#define BOSS_COMMON_BUILDINFO_H
+
+#include <string>
+#include <string_view>
+
+namespace boss::common
+{
+
+/** Short git hash at configure time; "unknown" outside a repo. */
+std::string_view buildGitHash();
+
+/** Compiler id and version the binary was built with. */
+std::string_view buildCompiler();
+
+/** One-line human stamp: "git <hash>, <compiler>". */
+std::string buildStamp();
+
+} // namespace boss::common
+
+#endif // BOSS_COMMON_BUILDINFO_H

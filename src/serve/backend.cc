@@ -18,6 +18,7 @@ DeviceBackend::finish(BuiltHandle built)
     fin.topk = std::move(res.perQuery[0]);
     fin.simSeconds = res.simSeconds;
     fin.deviceBytes = res.deviceBytes;
+    fin.shardSeconds = {res.simSeconds};
     return fin;
 }
 
@@ -32,6 +33,7 @@ ShardedBackend::finish(BuiltHandle built)
     fin.topk = std::move(res.perQuery[0]);
     fin.simSeconds = res.simSeconds;
     fin.deviceBytes = res.deviceBytes;
+    fin.shardSeconds = std::move(res.shardSeconds);
     return fin;
 }
 

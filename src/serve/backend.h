@@ -45,12 +45,21 @@ struct Finished
     std::vector<engine::Result> topk;
     double simSeconds = 0.0;
     std::uint64_t deviceBytes = 0;
+    /**
+     * Per-shard modeled replay seconds for this query (size ==
+     * shards()); the telemetry layer's per-shard breakdown. A
+     * single-device backend reports one entry equal to simSeconds.
+     */
+    std::vector<double> shardSeconds;
 };
 
 class Backend
 {
   public:
     virtual ~Backend() = default;
+
+    /** Shard fan-out of this backend (1 for a single device). */
+    virtual std::uint32_t shards() const = 0;
 
     /** Plan an API expression (serial; lexicon-aware). */
     virtual engine::QueryPlan plan(const std::string &expr) = 0;
@@ -76,6 +85,8 @@ class DeviceBackend final : public Backend
 {
   public:
     explicit DeviceBackend(accel::Device &device) : device_(device) {}
+
+    std::uint32_t shards() const override { return 1; }
 
     engine::QueryPlan plan(const std::string &expr) override
     {
@@ -104,6 +115,11 @@ class ShardedBackend final : public Backend
     explicit ShardedBackend(api::ShardedDevice &device)
         : device_(device)
     {
+    }
+
+    std::uint32_t shards() const override
+    {
+        return device_.numShards();
     }
 
     engine::QueryPlan plan(const std::string &expr) override

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <thread>
 
@@ -25,6 +26,36 @@ percentileSorted(const std::vector<double> &sorted, double q)
     std::size_t hi = std::min(lo + 1, sorted.size() - 1);
     double frac = rank - static_cast<double>(lo);
     return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+telemetry::AdmitOutcome
+admitOutcome(Admission a)
+{
+    switch (a) {
+    case Admission::Admitted:
+        return telemetry::AdmitOutcome::Admitted;
+    case Admission::ShedCapacity:
+        return telemetry::AdmitOutcome::ShedCapacity;
+    case Admission::ShedDeadline:
+        return telemetry::AdmitOutcome::ShedDeadline;
+    case Admission::Closed:
+        break;
+    }
+    return telemetry::AdmitOutcome::Closed;
+}
+
+telemetry::QueryLifecycle::Outcome
+lifecycleOutcome(QueryStatus status)
+{
+    switch (status) {
+    case QueryStatus::Done:
+        return telemetry::QueryLifecycle::Outcome::Done;
+    case QueryStatus::Expired:
+        return telemetry::QueryLifecycle::Outcome::Expired;
+    case QueryStatus::Shed:
+        break;
+    }
+    return telemetry::QueryLifecycle::Outcome::Shed;
 }
 
 } // namespace
@@ -81,10 +112,42 @@ Server::runImpl(const std::vector<Q> &queries)
     // trace emission can translate record timestamps.
     const double recEpochUs =
         recorder_ != nullptr ? recorder_->hostMicros() : 0.0;
+    // Same offset on the telemetry clock: live hooks translate
+    // run-relative timestamps into the metric windows' domain.
+    const double telEpochUs =
+        telemetry_ != nullptr ? telemetry_->nowUs() : 0.0;
     auto nowUs = [t0] {
         return std::chrono::duration<double, std::micro>(
                    std::chrono::steady_clock::now() - t0)
             .count();
+    };
+
+    const std::uint32_t shardCount = backend_.shards();
+    const bool hasDeadline = std::isfinite(config_.deadlineUs);
+    // Terminal record → telemetry lifecycle, shifted into the
+    // telemetry clock domain. Callers invoke it only from the one
+    // thread that owns the record at its terminal transition.
+    auto toLifecycle = [&, telEpochUs](const QueryRecord &rec) {
+        auto shift = [telEpochUs](double t) {
+            return t >= 0.0 ? telEpochUs + t : -1.0;
+        };
+        telemetry::QueryLifecycle q;
+        q.id = rec.id;
+        q.queryIndex = rec.queryIndex;
+        q.outcome = lifecycleOutcome(rec.status);
+        q.metDeadline = rec.metDeadline;
+        q.arrivalUs = telEpochUs + rec.arrivalUs;
+        q.enqueueUs = shift(rec.enqueueUs);
+        q.admitUs = shift(rec.admitUs);
+        q.startUs = shift(rec.startUs);
+        q.buildEndUs = shift(rec.buildEndUs);
+        q.finishUs = shift(rec.finishUs);
+        q.deadlineUs = hasDeadline ? telEpochUs + rec.arrivalUs +
+                                         config_.deadlineUs
+                                   : -1.0;
+        q.shards = shardCount;
+        q.deviceBytes = rec.deviceBytes;
+        return q;
     };
 
     // ---- Open-loop generator: offers on schedule, regardless of
@@ -108,13 +171,27 @@ Server::runImpl(const std::vector<Q> &queries)
             req.deadlineUs = schedule[i] + config_.deadlineUs;
             rec.enqueueUs = req.enqueueUs;
             std::optional<ServeRequest> evicted;
-            queue.offer(std::move(req), &evicted);
+            Admission adm = queue.offer(std::move(req), &evicted);
+            if (telemetry_ != nullptr) {
+                double tTel = telEpochUs + rec.enqueueUs;
+                telemetry_->onOffered(tTel);
+                telemetry_->onAdmission(tTel, admitOutcome(adm),
+                                        queue.size());
+                // A refusal is terminal right here; an admitted
+                // query's terminal comes later from the pipeline.
+                if (adm != Admission::Admitted)
+                    telemetry_->onTerminal(tTel, toLifecycle(rec));
+            }
             // Refusals keep the default Shed status. An eviction
             // victim was admitted earlier but never dispatched, so
             // this thread is its only writer.
-            if (evicted.has_value())
-                report.records[evicted->id].status =
-                    QueryStatus::Shed;
+            if (evicted.has_value()) {
+                QueryRecord &victim = report.records[evicted->id];
+                victim.status = QueryStatus::Shed;
+                if (telemetry_ != nullptr)
+                    telemetry_->onTerminal(telEpochUs + nowUs(),
+                                           toLifecycle(victim));
+            }
         }
         queue.close();
     });
@@ -183,8 +260,19 @@ Server::runImpl(const std::vector<Q> &queries)
                             backend_.finish(std::move(item.built));
                         double f1 = nowUs();
                         finishDurations.push_back(f1 - f0);
+                        if (telemetry_ != nullptr) {
+                            telemetry_->onFinish(telEpochUs + f1,
+                                                 f1 - f0);
+                            for (std::size_t s = 0;
+                                 s < fin.shardSeconds.size(); ++s)
+                                telemetry_->onShard(
+                                    s, fin.shardSeconds[s]);
+                        }
                         recordDone(rec, item.req, std::move(fin),
                                    f1);
+                        if (telemetry_ != nullptr)
+                            telemetry_->onTerminal(
+                                telEpochUs + f1, toLifecycle(rec));
                     } catch (...) {
                         std::lock_guard<std::mutex> lock(pipeMutex);
                         if (pipeError == nullptr)
@@ -236,19 +324,39 @@ Server::runImpl(const std::vector<Q> &queries)
                     rec.admitUs = admitAt;
                     if (admitAt > batch[b].deadlineUs) {
                         rec.status = QueryStatus::Expired;
+                        if (telemetry_ != nullptr)
+                            telemetry_->onTerminal(
+                                telEpochUs + admitAt,
+                                toLifecycle(rec));
                         continue;
                     }
+                    if (telemetry_ != nullptr)
+                        telemetry_->onAdmit(
+                            telEpochUs + admitAt,
+                            admitAt - rec.arrivalUs);
                     rec.startUs = nowUs();
                     built.push_back(backend_.build(*batch[b].plan,
                                                    arenas_[0]));
                     rec.buildEndUs = nowUs();
+                    if (telemetry_ != nullptr)
+                        telemetry_->onBuild(
+                            telEpochUs + rec.buildEndUs,
+                            rec.buildEndUs - rec.startUs);
                     live.push_back(b);
                 }
                 // Stage 2: finish the whole batch.
                 for (BuiltHandle &h : built) {
                     double f0 = nowUs();
                     fins.push_back(backend_.finish(std::move(h)));
-                    finishDurations.push_back(nowUs() - f0);
+                    double f1 = nowUs();
+                    finishDurations.push_back(f1 - f0);
+                    if (telemetry_ != nullptr) {
+                        telemetry_->onFinish(telEpochUs + f1,
+                                             f1 - f0);
+                        const auto &ss = fins.back().shardSeconds;
+                        for (std::size_t s = 0; s < ss.size(); ++s)
+                            telemetry_->onShard(s, ss[s]);
+                    }
                 }
             } catch (...) {
                 if (pipeError == nullptr)
@@ -258,9 +366,13 @@ Server::runImpl(const std::vector<Q> &queries)
             // Barrier: everything completes at the batch boundary.
             double batchEnd = nowUs();
             for (std::size_t i = 0; i < live.size(); ++i) {
-                recordDone(report.records[batch[live[i]].id],
-                           batch[live[i]], std::move(fins[i]),
+                QueryRecord &rec =
+                    report.records[batch[live[i]].id];
+                recordDone(rec, batch[live[i]], std::move(fins[i]),
                            batchEnd);
+                if (telemetry_ != nullptr)
+                    telemetry_->onTerminal(telEpochUs + batchEnd,
+                                           toLifecycle(rec));
             }
         }
     }
@@ -276,8 +388,14 @@ Server::runImpl(const std::vector<Q> &queries)
             // Expired while queued: shed at dispatch, before any
             // work is spent on it.
             rec.status = QueryStatus::Expired;
+            if (telemetry_ != nullptr)
+                telemetry_->onTerminal(telEpochUs + admitAt,
+                                       toLifecycle(rec));
             continue;
         }
+        if (telemetry_ != nullptr)
+            telemetry_->onAdmit(telEpochUs + admitAt,
+                                admitAt - rec.arrivalUs);
 
         std::uint64_t seq;
         {
@@ -299,6 +417,9 @@ Server::runImpl(const std::vector<Q> &queries)
                 item.error = std::current_exception();
             }
             r.buildEndUs = nowUs();
+            if (telemetry_ != nullptr)
+                telemetry_->onBuild(telEpochUs + r.buildEndUs,
+                                    r.buildEndUs - r.startUs);
             item.req = req;
             {
                 // Notify under the lock: pool workers outlive this
@@ -439,6 +560,14 @@ Server::recordRun(const ServeReport &report, double recEpochUs)
             break;
         }
     }
+}
+
+void
+Server::setTelemetry(telemetry::ServeTelemetry *telemetry)
+{
+    telemetry_ = telemetry;
+    if (telemetry_ != nullptr)
+        telemetry_->setShardCount(backend_.shards());
 }
 
 ServeReport

@@ -48,6 +48,7 @@
 #include "serve/arrival.h"
 #include "serve/backend.h"
 #include "stats/stats.h"
+#include "telemetry/serve_telemetry.h"
 #include "trace/recorder.h"
 
 namespace boss::serve
@@ -171,6 +172,18 @@ class Server
         recorder_ = recorder;
     }
 
+    /**
+     * Attach live telemetry: every lifecycle transition then updates
+     * the registry's counters and sliding windows *during* the run —
+     * from the generator, dispatcher, pool-worker and finisher
+     * threads — so an attached snapshotter or /metrics scrape sees
+     * the overload as it happens, not a post-mortem. Also sizes the
+     * per-shard breakdown from the backend; attach before starting
+     * any snapshotter (registration is not render-safe). The
+     * telemetry must outlive the runs; nullptr detaches.
+     */
+    void setTelemetry(telemetry::ServeTelemetry *telemetry);
+
   private:
     template <typename Q>
     ServeReport runImpl(const std::vector<Q> &queries);
@@ -179,6 +192,7 @@ class Server
 
     Backend &backend_;
     ServeConfig config_;
+    telemetry::ServeTelemetry *telemetry_ = nullptr;
     trace::Recorder *recorder_ = nullptr;
     /** Serve lanes, registered once per attached recorder. */
     trace::Recorder *laneOwner_ = nullptr;

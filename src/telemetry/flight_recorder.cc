@@ -1,0 +1,164 @@
+#include "telemetry/flight_recorder.h"
+
+#include <algorithm>
+
+#include "trace/chrome_trace.h"
+#include "trace/recorder.h"
+
+namespace boss::telemetry
+{
+
+namespace
+{
+
+/** Min-heap order: the fastest retained query sits at the front. */
+bool
+slowerFirst(const QueryLifecycle &a, const QueryLifecycle &b)
+{
+    return a.latencyUs() > b.latencyUs();
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder(std::size_t slowCapacity,
+                               std::size_t shedCapacity)
+    : slowCapacity_(slowCapacity), shedCapacity_(shedCapacity)
+{
+    slow_.reserve(slowCapacity_);
+}
+
+void
+FlightRecorder::record(const QueryLifecycle &q)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++recorded_;
+    if (q.outcome == QueryLifecycle::Outcome::Done) {
+        if (slowCapacity_ == 0)
+            return;
+        if (slow_.size() < slowCapacity_) {
+            slow_.push_back(q);
+            std::push_heap(slow_.begin(), slow_.end(), slowerFirst);
+        } else if (q.latencyUs() > slow_.front().latencyUs()) {
+            std::pop_heap(slow_.begin(), slow_.end(), slowerFirst);
+            slow_.back() = q;
+            std::push_heap(slow_.begin(), slow_.end(), slowerFirst);
+        }
+        return;
+    }
+    if (shedCapacity_ == 0)
+        return;
+    if (shed_.size() == shedCapacity_)
+        shed_.pop_front();
+    shed_.push_back(q);
+}
+
+std::uint64_t
+FlightRecorder::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorded_;
+}
+
+std::size_t
+FlightRecorder::slowCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slow_.size();
+}
+
+std::size_t
+FlightRecorder::shedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shed_.size();
+}
+
+double
+FlightRecorder::slowThresholdUs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slow_.empty() ? 0.0 : slow_.front().latencyUs();
+}
+
+std::vector<QueryLifecycle>
+FlightRecorder::entries() const
+{
+    std::vector<QueryLifecycle> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out = slow_;
+        std::sort(out.begin(), out.end(),
+                  [](const QueryLifecycle &a,
+                     const QueryLifecycle &b) {
+                      if (a.latencyUs() != b.latencyUs())
+                          return a.latencyUs() > b.latencyUs();
+                      return a.id < b.id;
+                  });
+        out.insert(out.end(), shed_.begin(), shed_.end());
+    }
+    return out;
+}
+
+void
+FlightRecorder::dumpChromeTrace(std::ostream &os) const
+{
+    std::vector<QueryLifecycle> snap = entries();
+    // A private single-use recorder: one worker buffer (unused —
+    // emission is serial), two host-µs lanes mirroring the serve
+    // trace layout so flight dumps and full traces line up in the
+    // same Perfetto workspace.
+    trace::Recorder rec(1);
+    std::uint16_t qLane =
+        rec.addLane("flight (host us)", "queued",
+                    trace::Domain::HostMicros, 200);
+    std::uint16_t xLane =
+        rec.addLane("flight (host us)", "execution",
+                    trace::Domain::HostMicros, 201);
+    rec.beginPhase();
+    trace::Scope scope = rec.serial();
+    for (const QueryLifecycle &q : snap) {
+        // Slack at finish (or at the terminal instant), in µs,
+        // saturated at 0 — how much deadline budget was left.
+        auto slack = [&](double at) -> std::uint64_t {
+            if (q.deadlineUs < 0.0 || at < 0.0 ||
+                at > q.deadlineUs)
+                return 0;
+            return static_cast<std::uint64_t>(q.deadlineUs - at);
+        };
+        switch (q.outcome) {
+        case QueryLifecycle::Outcome::Done:
+            scope.span(qLane, "queued", q.enqueueUs,
+                       q.admitUs - q.enqueueUs, {{"id", q.id}});
+            scope.span(xLane, "serve", q.startUs,
+                       q.finishUs - q.startUs,
+                       {{"id", q.id},
+                        {"shards", q.shards},
+                        {"met", q.metDeadline ? 1u : 0u},
+                        {"latency_us",
+                         static_cast<std::uint64_t>(
+                             q.latencyUs())},
+                        {"slack_us", slack(q.finishUs)}});
+            break;
+        case QueryLifecycle::Outcome::Expired:
+            if (q.enqueueUs >= 0.0 && q.admitUs >= 0.0) {
+                scope.span(qLane, "queued", q.enqueueUs,
+                           q.admitUs - q.enqueueUs,
+                           {{"id", q.id}});
+            }
+            scope.instant(xLane, "expired",
+                          q.admitUs >= 0.0 ? q.admitUs
+                                           : q.enqueueUs,
+                          {{"id", q.id}});
+            break;
+        case QueryLifecycle::Outcome::Shed:
+            scope.instant(
+                qLane, "shed",
+                q.enqueueUs >= 0.0 ? q.enqueueUs : q.arrivalUs,
+                {{"id", q.id}});
+            break;
+        }
+    }
+    trace::writeChromeTrace(os, rec);
+}
+
+} // namespace boss::telemetry

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Slow-query flight recorder: bounded in-memory evidence for tail
+ * forensics.
+ *
+ * Always-on tracing of a long-running server is unaffordable (and
+ * PR 7 bounds the trace recorder for exactly that reason), but when
+ * an operator asks "what did the p999 look like", the interesting
+ * queries are long gone. The flight recorder keeps just enough: a
+ * bounded set of the *slowest* recently completed queries plus a
+ * ring of the most recent shed/expired ones, each with its full
+ * lifecycle timestamps and shard fan-out. On demand (HTTP /flight,
+ * or --flight-out at exit) the buffer dumps as a Chrome trace
+ * through the existing trace:: exporter — p999 forensics at ring-
+ * buffer cost instead of always-on-tracing cost.
+ */
+
+#ifndef BOSS_TELEMETRY_FLIGHT_RECORDER_H
+#define BOSS_TELEMETRY_FLIGHT_RECORDER_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace boss::telemetry
+{
+
+/**
+ * Terminal lifecycle of one offered query, in the telemetry clock
+ * domain (µs since the ServeTelemetry epoch). Negative timestamps
+ * mean the query never reached that stage — the same convention as
+ * serve::QueryRecord, which this mirrors without depending on the
+ * serve layer.
+ */
+struct QueryLifecycle
+{
+    enum class Outcome : std::uint8_t
+    {
+        Done,
+        Expired,
+        Shed,
+    };
+
+    std::uint64_t id = 0;
+    std::uint64_t queryIndex = 0;
+    Outcome outcome = Outcome::Shed;
+    bool metDeadline = false;
+    double arrivalUs = 0.0;
+    double enqueueUs = -1.0;
+    double admitUs = -1.0;
+    double startUs = -1.0;
+    double buildEndUs = -1.0;
+    double finishUs = -1.0;
+    double deadlineUs = -1.0; ///< absolute; <0 when no SLO is set
+    std::uint32_t shards = 1; ///< fan-out of the executing backend
+    std::uint64_t deviceBytes = 0;
+
+    /** Completion latency from scheduled arrival; 0 if not Done. */
+    double latencyUs() const
+    {
+        return outcome == Outcome::Done ? finishUs - arrivalUs
+                                        : 0.0;
+    }
+};
+
+class FlightRecorder
+{
+  public:
+    /**
+     * @param slowCapacity  completed queries retained (slowest-N)
+     * @param shedCapacity  recent shed/expired queries retained
+     */
+    explicit FlightRecorder(std::size_t slowCapacity = 64,
+                            std::size_t shedCapacity = 64);
+
+    /** Record a terminal lifecycle. Thread-safe. */
+    void record(const QueryLifecycle &q);
+
+    /** Total lifecycles ever offered to record(). */
+    std::uint64_t recorded() const;
+    std::size_t slowCount() const;
+    std::size_t shedCount() const;
+    /** Smallest latency still retained in the slow set (µs). */
+    double slowThresholdUs() const;
+
+    /**
+     * Stable copy of the buffer: slow set sorted by descending
+     * latency, then shed/expired in arrival order.
+     */
+    std::vector<QueryLifecycle> entries() const;
+
+    /**
+     * Dump the buffer as Chrome trace JSON via the trace::
+     * exporter: per-query "queued" and "serve" spans on two host-µs
+     * lanes plus shed/expired instants, each annotated with id,
+     * shard fan-out and deadline slack.
+     */
+    void dumpChromeTrace(std::ostream &os) const;
+
+  private:
+    const std::size_t slowCapacity_;
+    const std::size_t shedCapacity_;
+
+    mutable std::mutex mutex_;
+    /** Min-heap by latency (front = fastest = next eviction). */
+    std::vector<QueryLifecycle> slow_;
+    std::deque<QueryLifecycle> shed_;
+    std::uint64_t recorded_ = 0;
+};
+
+} // namespace boss::telemetry
+
+#endif // BOSS_TELEMETRY_FLIGHT_RECORDER_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal built-in HTTP endpoint for live metrics scraping.
+ *
+ * Serves three read-only routes over HTTP/1.0 (Connection: close):
+ *
+ *   GET /metrics  Prometheus text exposition of the Registry
+ *   GET /flight   flight-recorder dump as Chrome trace JSON
+ *   GET /healthz  liveness probe ("ok")
+ *
+ * One accept thread handles requests serially — a scrape target,
+ * not a web server. Binding port 0 picks an ephemeral port
+ * (reported by port()), which is what the tests use to avoid
+ * fixed-port collisions. The exporter never writes to any metric;
+ * it only renders, so it is safe next to any number of sampler
+ * threads.
+ */
+
+#ifndef BOSS_TELEMETRY_HTTP_EXPORTER_H
+#define BOSS_TELEMETRY_HTTP_EXPORTER_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
+
+namespace boss::telemetry
+{
+
+class HttpExporter
+{
+  public:
+    struct Config
+    {
+        /** TCP port to bind on 0.0.0.0; 0 = ephemeral. */
+        std::uint16_t port = 0;
+    };
+
+    /**
+     * @param flight optional; /flight returns 404 when null.
+     * @param clock  render timestamp source (ServeTelemetry::nowUs).
+     */
+    HttpExporter(const Registry &registry,
+                 const FlightRecorder *flight,
+                 std::function<double()> clock, Config config);
+    ~HttpExporter();
+
+    /**
+     * Bind, listen and start the accept thread. Returns false with
+     * @p error filled on bind/listen failure (port in use, no
+     * socket support) — callers decide whether that is fatal.
+     */
+    bool start(std::string *error = nullptr);
+
+    void stop();
+
+    /** The bound port (after start); 0 if not listening. */
+    std::uint16_t port() const { return boundPort_; }
+
+    std::uint64_t requestsServed() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+
+    const Registry &registry_;
+    const FlightRecorder *flight_;
+    std::function<double()> clock_;
+    Config config_;
+
+    int listenFd_ = -1;
+    std::uint16_t boundPort_ = 0;
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> requests_{0};
+};
+
+} // namespace boss::telemetry
+
+#endif // BOSS_TELEMETRY_HTTP_EXPORTER_H

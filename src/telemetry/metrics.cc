@@ -1,0 +1,242 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace boss::telemetry
+{
+
+namespace
+{
+
+/** Absolute slice index covering time @p tUs (clamped at 0). */
+std::int64_t
+sliceFor(double tUs, double sliceUs)
+{
+    if (tUs <= 0.0)
+        return 0;
+    return static_cast<std::int64_t>(tUs / sliceUs);
+}
+
+void
+atomicAddDouble(std::atomic<double> &a, double d)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + d,
+                                    std::memory_order_relaxed))
+        ;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// WindowedHistogram
+
+WindowedHistogram::WindowedHistogram(Config config)
+    : config_(config),
+      logRatio_(std::log(config.hi / config.lo)),
+      ring_(config.ringSlices)
+{
+    BOSS_ASSERT(config_.lo > 0.0 && config_.hi > config_.lo,
+                "log histogram needs 0 < lo < hi");
+    BOSS_ASSERT(config_.buckets > 0 && config_.ringSlices > 0 &&
+                    config_.sliceUs > 0.0,
+                "degenerate windowed histogram shape");
+    for (Slice &s : ring_) {
+        s.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(
+            config_.buckets + 1);
+        for (std::size_t b = 0; b <= config_.buckets; ++b)
+            s.buckets[b].store(0, std::memory_order_relaxed);
+    }
+}
+
+std::size_t
+WindowedHistogram::bucketIndex(double v) const
+{
+    if (v < config_.lo)
+        return 0;
+    if (v >= config_.hi)
+        return config_.buckets; // overflow
+    auto idx = static_cast<std::size_t>(
+        std::log(v / config_.lo) / logRatio_ *
+        static_cast<double>(config_.buckets));
+    return std::min(idx, config_.buckets - 1);
+}
+
+double
+WindowedHistogram::bucketEdge(std::size_t i) const
+{
+    double t = static_cast<double>(i) /
+               static_cast<double>(config_.buckets);
+    return config_.lo * std::pow(config_.hi / config_.lo, t);
+}
+
+void
+WindowedHistogram::claim(Slice &slice, std::int64_t want)
+{
+    std::int64_t cur = slice.epoch.load(std::memory_order_acquire);
+    for (;;) {
+        if (cur >= want)
+            return; // already current (or newer; caller re-checks)
+        if (cur != -1 &&
+            slice.epoch.compare_exchange_weak(
+                cur, -1, std::memory_order_acq_rel)) {
+            // We own the reset of this recycled slot.
+            for (std::size_t b = 0; b <= config_.buckets; ++b)
+                slice.buckets[b].store(0,
+                                       std::memory_order_relaxed);
+            slice.sum.store(0.0, std::memory_order_relaxed);
+            slice.epoch.store(want, std::memory_order_release);
+            return;
+        }
+        // Lost the race (or a reset is in flight): reload and spin.
+        cur = slice.epoch.load(std::memory_order_acquire);
+    }
+}
+
+void
+WindowedHistogram::sample(double tUs, double v, std::uint64_t count)
+{
+    std::int64_t s = sliceFor(tUs, config_.sliceUs);
+    Slice &slice = ring_[static_cast<std::size_t>(s) % ring_.size()];
+    claim(slice, s);
+    if (slice.epoch.load(std::memory_order_acquire) != s)
+        return; // slot already rotated past us; drop the stale sample
+    slice.buckets[bucketIndex(v)].fetch_add(
+        count, std::memory_order_relaxed);
+    atomicAddDouble(slice.sum, v * static_cast<double>(count));
+}
+
+WindowedHistogram::Snapshot
+WindowedHistogram::snapshot(double tUs,
+                            std::uint64_t windowSlices) const
+{
+    Snapshot snap;
+    snap.lo = config_.lo;
+    snap.hi = config_.hi;
+    snap.buckets.assign(config_.buckets + 1, 0);
+    std::int64_t now = sliceFor(tUs, config_.sliceUs);
+    std::int64_t oldest =
+        now - static_cast<std::int64_t>(windowSlices) + 1;
+    for (const Slice &slice : ring_) {
+        std::int64_t e = slice.epoch.load(std::memory_order_acquire);
+        if (e < oldest || e > now)
+            continue;
+        for (std::size_t b = 0; b <= config_.buckets; ++b) {
+            std::uint64_t n =
+                slice.buckets[b].load(std::memory_order_relaxed);
+            snap.buckets[b] += n;
+            snap.count += n;
+        }
+        snap.sum += slice.sum.load(std::memory_order_relaxed);
+    }
+    return snap;
+}
+
+double
+WindowedHistogram::Snapshot::percentile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    double rank = q * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    std::size_t nb = buckets.size() - 1;
+    // Bucket edges are geometric between lo and hi (same layout the
+    // histogram sampled with), so rebuild them from lo/hi here.
+    auto edge = [&](std::size_t i) {
+        double t =
+            static_cast<double>(i) / static_cast<double>(nb);
+        return lo * std::pow(hi / lo, t);
+    };
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        std::uint64_t n = buckets[i];
+        if (n == 0)
+            continue;
+        if (static_cast<double>(seen + n) >= rank) {
+            if (i == nb)
+                return hi; // overflow bucket has no upper edge
+            double frac = (rank - static_cast<double>(seen)) /
+                          static_cast<double>(n);
+            return edge(i) + (edge(i + 1) - edge(i)) * frac;
+        }
+        seen += n;
+    }
+    return hi;
+}
+
+// ---------------------------------------------------------------
+// WindowedCounter
+
+WindowedCounter::WindowedCounter(Config config)
+    : config_(config), ring_(config.ringSlices)
+{
+    BOSS_ASSERT(config_.ringSlices > 0 && config_.sliceUs > 0.0,
+                "degenerate windowed counter shape");
+}
+
+void
+WindowedCounter::claim(Slice &slice, std::int64_t want)
+{
+    std::int64_t cur = slice.epoch.load(std::memory_order_acquire);
+    for (;;) {
+        if (cur >= want)
+            return;
+        if (cur != -1 &&
+            slice.epoch.compare_exchange_weak(
+                cur, -1, std::memory_order_acq_rel)) {
+            slice.count.store(0, std::memory_order_relaxed);
+            slice.epoch.store(want, std::memory_order_release);
+            return;
+        }
+        cur = slice.epoch.load(std::memory_order_acquire);
+    }
+}
+
+void
+WindowedCounter::add(double tUs, std::uint64_t n)
+{
+    std::int64_t s = sliceFor(tUs, config_.sliceUs);
+    Slice &slice = ring_[static_cast<std::size_t>(s) % ring_.size()];
+    claim(slice, s);
+    if (slice.epoch.load(std::memory_order_acquire) != s)
+        return;
+    slice.count.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t
+WindowedCounter::total(double tUs,
+                       std::uint64_t windowSlices) const
+{
+    std::int64_t now = sliceFor(tUs, config_.sliceUs);
+    std::int64_t oldest =
+        now - static_cast<std::int64_t>(windowSlices) + 1;
+    std::uint64_t total = 0;
+    for (const Slice &slice : ring_) {
+        std::int64_t e = slice.epoch.load(std::memory_order_acquire);
+        if (e < oldest || e > now)
+            continue;
+        total += slice.count.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+// ---------------------------------------------------------------
+// BurnRate
+
+double
+BurnRate::rate(double tUs, std::uint64_t windowSlices) const
+{
+    std::uint64_t good = good_.total(tUs, windowSlices);
+    std::uint64_t bad = bad_.total(tUs, windowSlices);
+    std::uint64_t total = good + bad;
+    if (total == 0)
+        return 0.0;
+    double errFrac =
+        static_cast<double>(bad) / static_cast<double>(total);
+    return errFrac / budget_;
+}
+
+} // namespace boss::telemetry

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Lock-light live metric primitives for the always-on server.
+ *
+ * The stats:: layer (stats/stats.h) is a post-mortem registry: leaf
+ * objects are plain (non-atomic) values sampled by one thread and
+ * dumped once after the run. A serving process needs the opposite
+ * shape — many threads updating on every query lifecycle transition
+ * while a snapshotter thread reads concurrently, continuously, for
+ * the whole process lifetime. Everything here is therefore built
+ * from relaxed atomics:
+ *
+ *  - Counter / Gauge: single atomic words; inc/set from any thread,
+ *    read from any thread, no fences beyond the atomic ops.
+ *  - WindowedHistogram: a ring of time slices, each a fixed-layout
+ *    log-bucket histogram with atomic bucket counts. A sample lands
+ *    in the slice covering its timestamp; a snapshot merges the
+ *    slices covering the last W seconds. Old slices are reclaimed
+ *    lazily when their ring slot is next written, so the structure
+ *    "decays" sliding-window style with zero background work.
+ *  - WindowedCounter: the scalar version of the same ring, backing
+ *    per-window rates (qps) and SLO burn-rate gauges.
+ *
+ * Time is explicit: every sample and snapshot carries a caller
+ * timestamp in microseconds since an arbitrary epoch. The serve
+ * path stamps real wall time; tests drive a virtual clock and get
+ * fully deterministic window arithmetic.
+ *
+ * Consistency model: a sample that races a slice rotation exactly
+ * one ring revolution later can be partially lost (bucket counts
+ * are summed at snapshot time, so a snapshot is always internally
+ * consistent — count == sum of buckets — but may momentarily miss
+ * an in-flight sample). That is the usual sliding-window metrics
+ * contract; the terminal counters, which reconcile exactly, are
+ * plain Counters.
+ */
+
+#ifndef BOSS_TELEMETRY_METRICS_H
+#define BOSS_TELEMETRY_METRICS_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace boss::telemetry
+{
+
+/** Monotone event counter; safe to inc from any thread. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value (queue depth, busy time). */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    void add(double d)
+    {
+        // fetch_add on atomic<double> is C++20; a CAS loop keeps us
+        // portable to toolchains that lowered it late.
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(
+            cur, cur + d, std::memory_order_relaxed))
+            ;
+    }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Sliding-window log-bucket histogram.
+ *
+ * Layout: `ringSlices` slices of `sliceUs` microseconds each; slice
+ * s covers [s*sliceUs, (s+1)*sliceUs) and lives in ring slot
+ * s % ringSlices. Each slice holds `buckets` geometric buckets over
+ * [lo, hi) plus an overflow bucket (values below lo land in bucket
+ * 0, values at or above hi in the overflow bucket) — the same HDR
+ * shape as stats::Histogram, minus min/max tracking (percentiles
+ * clamp to bucket edges instead).
+ *
+ * snapshot(t, W) merges every slice whose epoch lies in the last W
+ * slices ending at t's slice, *including* the current partial slice
+ * — so a "1s" window holds between 0 and 1s of data and converges
+ * as the slice fills, the standard live-dashboard behavior.
+ */
+class WindowedHistogram
+{
+  public:
+    struct Config
+    {
+        double lo = 1.0;
+        double hi = 1e7;
+        std::size_t buckets = 56;
+        double sliceUs = 1e6;
+        /** Ring length; must cover the longest window + 1. */
+        std::size_t ringSlices = 64;
+    };
+
+    explicit WindowedHistogram(Config config);
+
+    /** Record @p v at time @p tUs (since the metric epoch). */
+    void sample(double tUs, double v, std::uint64_t count = 1);
+
+    /** Point-in-time merge of the last @p windowSlices slices. */
+    struct Snapshot
+    {
+        double lo = 0.0;
+        double hi = 0.0;
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        /** buckets + 1 trailing overflow entry. */
+        std::vector<std::uint64_t> buckets;
+
+        double mean() const
+        {
+            return count == 0
+                       ? 0.0
+                       : sum / static_cast<double>(count);
+        }
+        /**
+         * Interpolated quantile over the merged buckets, clamped to
+         * [lo, hi]; the overflow bucket reports hi. 0 if empty.
+         */
+        double percentile(double q) const;
+    };
+
+    Snapshot snapshot(double tUs, std::uint64_t windowSlices) const;
+
+    const Config &config() const { return config_; }
+
+  private:
+    /**
+     * One time slice. epoch is the absolute slice index this slot
+     * currently holds; -1 marks a reset in progress and the initial
+     * "never written" state is kEmpty. All fields are atomics so
+     * sampler/snapshotter races are data-race-free; see the header
+     * comment for the (benign) semantic race on rotation.
+     */
+    struct Slice
+    {
+        static constexpr std::int64_t kEmpty = -2;
+        std::atomic<std::int64_t> epoch{kEmpty};
+        std::atomic<double> sum{0.0};
+        std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    };
+
+    std::size_t bucketIndex(double v) const;
+    double bucketEdge(std::size_t i) const;
+    /** Rotate @p slice to @p want if it holds an older epoch. */
+    void claim(Slice &slice, std::int64_t want);
+
+    Config config_;
+    double logRatio_; ///< precomputed log(hi/lo)
+    std::vector<Slice> ring_;
+};
+
+/**
+ * Sliding-window scalar counter: the same slice ring as
+ * WindowedHistogram with a single value per slice. Backs windowed
+ * rates (events in the last W seconds) and burn-rate ratios.
+ */
+class WindowedCounter
+{
+  public:
+    struct Config
+    {
+        double sliceUs = 1e6;
+        std::size_t ringSlices = 64;
+    };
+
+    explicit WindowedCounter(Config config);
+
+    void add(double tUs, std::uint64_t n = 1);
+
+    /** Events in the last @p windowSlices slices ending at @p tUs. */
+    std::uint64_t total(double tUs,
+                        std::uint64_t windowSlices) const;
+
+  private:
+    struct Slice
+    {
+        static constexpr std::int64_t kEmpty = -2;
+        std::atomic<std::int64_t> epoch{kEmpty};
+        std::atomic<std::uint64_t> count{0};
+    };
+
+    void claim(Slice &slice, std::int64_t want);
+
+    Config config_;
+    std::vector<Slice> ring_;
+};
+
+/**
+ * SLO burn-rate gauge over good/bad windowed counters.
+ *
+ * burn = (bad / (good + bad)) / errorBudget over the window: 1.0
+ * means the service is consuming its error budget exactly at the
+ * sustainable rate; >1 means the budget burns faster than it
+ * accrues (the SRE multi-window alerting quantity). 0 with no
+ * events.
+ */
+class BurnRate
+{
+  public:
+    BurnRate(double errorBudget, WindowedCounter::Config config)
+        : budget_(errorBudget), good_(config), bad_(config)
+    {
+    }
+
+    void record(double tUs, bool good)
+    {
+        (good ? good_ : bad_).add(tUs);
+    }
+
+    double rate(double tUs, std::uint64_t windowSlices) const;
+
+    std::uint64_t goodTotal(double tUs, std::uint64_t w) const
+    {
+        return good_.total(tUs, w);
+    }
+    std::uint64_t badTotal(double tUs, std::uint64_t w) const
+    {
+        return bad_.total(tUs, w);
+    }
+    double errorBudget() const { return budget_; }
+
+  private:
+    double budget_;
+    WindowedCounter good_;
+    WindowedCounter bad_;
+};
+
+} // namespace boss::telemetry
+
+#endif // BOSS_TELEMETRY_METRICS_H

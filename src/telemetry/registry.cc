@@ -1,0 +1,277 @@
+#include "telemetry/registry.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "trace/json.h"
+
+namespace boss::telemetry
+{
+
+namespace
+{
+
+/** %.17g like stats::dumpJson; NaN/inf become 0 (metrics, not math). */
+void
+writeNum(std::ostream &os, double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+void
+writePromLabels(std::ostream &os, const std::vector<Label> &labels,
+                const char *extraKey = nullptr,
+                const std::string &extraValue = {})
+{
+    if (labels.empty() && extraKey == nullptr)
+        return;
+    os << '{';
+    bool first = true;
+    for (const Label &l : labels) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << l.key << "=\"" << l.value << '"';
+    }
+    if (extraKey != nullptr) {
+        if (!first)
+            os << ',';
+        os << extraKey << "=\"" << extraValue << '"';
+    }
+    os << '}';
+}
+
+void
+writePromHeader(std::ostream &os, const std::string &name,
+                const std::string &help, const char *type)
+{
+    if (!help.empty())
+        os << "# HELP " << name << ' ' << help << '\n';
+    os << "# TYPE " << name << ' ' << type << '\n';
+}
+
+/** JSONL counter/gauge keys: name plus {k="v"} when labeled. */
+std::string
+labeledKey(const std::string &name,
+           const std::vector<Label> &labels)
+{
+    if (labels.empty())
+        return name;
+    std::string key = name + '{';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i != 0)
+            key += ',';
+        key += labels[i].key + "=\"" + labels[i].value + '"';
+    }
+    key += '}';
+    return key;
+}
+
+} // namespace
+
+void
+Registry::setWindows(std::vector<WindowSpec> windows)
+{
+    windows_ = std::move(windows);
+}
+
+void
+Registry::setBuildInfo(std::vector<Label> labels)
+{
+    buildInfo_ = std::move(labels);
+}
+
+void
+Registry::addCounter(std::string name, const Counter *c,
+                     std::string help, std::vector<Label> labels)
+{
+    counters_.push_back(CounterEntry{std::move(name),
+                                     std::move(labels), c,
+                                     std::move(help)});
+}
+
+void
+Registry::addGauge(std::string name, const Gauge *g,
+                   std::string help, std::vector<Label> labels)
+{
+    GaugeEntry e;
+    e.name = std::move(name);
+    e.labels = std::move(labels);
+    e.gauge = g;
+    e.help = std::move(help);
+    gauges_.push_back(std::move(e));
+}
+
+void
+Registry::addFormulaGauge(std::string name,
+                          std::function<double()> fn,
+                          std::string help,
+                          std::vector<Label> labels)
+{
+    GaugeEntry e;
+    e.name = std::move(name);
+    e.labels = std::move(labels);
+    e.formula = std::move(fn);
+    e.help = std::move(help);
+    gauges_.push_back(std::move(e));
+}
+
+void
+Registry::addWindowedHistogram(std::string name,
+                               const WindowedHistogram *h,
+                               std::string help)
+{
+    windowed_.push_back(
+        WindowedEntry{std::move(name), h, std::move(help)});
+}
+
+void
+Registry::addWindowedFormula(
+    std::string name,
+    std::function<double(double, std::uint64_t)> fn,
+    std::string help)
+{
+    windowedFormulas_.push_back(WindowedFormulaEntry{
+        std::move(name), std::move(fn), std::move(help)});
+}
+
+void
+Registry::renderPrometheus(std::ostream &os, double tUs) const
+{
+    if (!buildInfo_.empty()) {
+        writePromHeader(os, "boss_build_info",
+                        "build identity of the serving binary",
+                        "gauge");
+        os << "boss_build_info";
+        writePromLabels(os, buildInfo_);
+        os << " 1\n";
+    }
+    // Distinct metric names share one TYPE header; consecutive
+    // entries with the same name are label variants (per-shard).
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+        const CounterEntry &e = counters_[i];
+        if (i == 0 || counters_[i - 1].name != e.name)
+            writePromHeader(os, e.name, e.help, "counter");
+        os << e.name;
+        writePromLabels(os, e.labels);
+        os << ' ' << e.counter->value() << '\n';
+    }
+    for (std::size_t i = 0; i < gauges_.size(); ++i) {
+        const GaugeEntry &e = gauges_[i];
+        if (i == 0 || gauges_[i - 1].name != e.name)
+            writePromHeader(os, e.name, e.help, "gauge");
+        os << e.name;
+        writePromLabels(os, e.labels);
+        os << ' ';
+        writeNum(os, e.gauge != nullptr ? e.gauge->value()
+                                        : e.formula());
+        os << '\n';
+    }
+    static constexpr struct
+    {
+        double q;
+        const char *name;
+    } kQuantiles[] = {{0.50, "0.5"}, {0.99, "0.99"},
+                      {0.999, "0.999"}};
+    for (const WindowedEntry &e : windowed_) {
+        writePromHeader(os, e.name, e.help, "gauge");
+        for (const WindowSpec &w : windows_) {
+            auto snap = e.histogram->snapshot(tUs, w.slices);
+            for (const auto &[q, qname] : kQuantiles) {
+                os << e.name << "{window=\"" << w.name
+                   << "\",quantile=\"" << qname << "\"} ";
+                writeNum(os, snap.percentile(q));
+                os << '\n';
+            }
+            os << e.name << "_count{window=\"" << w.name << "\"} "
+               << snap.count << '\n';
+            os << e.name << "_mean{window=\"" << w.name << "\"} ";
+            writeNum(os, snap.mean());
+            os << '\n';
+        }
+    }
+    for (const WindowedFormulaEntry &e : windowedFormulas_) {
+        writePromHeader(os, e.name, e.help, "gauge");
+        for (const WindowSpec &w : windows_) {
+            os << e.name << "{window=\"" << w.name << "\"} ";
+            writeNum(os, e.fn(tUs, w.slices));
+            os << '\n';
+        }
+    }
+}
+
+void
+Registry::renderJsonLine(std::ostream &os, double tUs) const
+{
+    namespace json = boss::trace::json;
+    os << "{\"t_us\": ";
+    writeNum(os, tUs);
+    os << ", \"build\": {";
+    for (std::size_t i = 0; i < buildInfo_.size(); ++i) {
+        if (i != 0)
+            os << ", ";
+        json::writeString(os, buildInfo_[i].key);
+        os << ": ";
+        json::writeString(os, buildInfo_[i].value);
+    }
+    os << "}, \"counters\": {";
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+        if (i != 0)
+            os << ", ";
+        json::writeString(
+            os, labeledKey(counters_[i].name, counters_[i].labels));
+        os << ": " << counters_[i].counter->value();
+    }
+    os << "}, \"gauges\": {";
+    for (std::size_t i = 0; i < gauges_.size(); ++i) {
+        if (i != 0)
+            os << ", ";
+        json::writeString(
+            os, labeledKey(gauges_[i].name, gauges_[i].labels));
+        os << ": ";
+        writeNum(os, gauges_[i].gauge != nullptr
+                         ? gauges_[i].gauge->value()
+                         : gauges_[i].formula());
+    }
+    os << "}, \"windows\": {";
+    for (std::size_t wi = 0; wi < windows_.size(); ++wi) {
+        const WindowSpec &w = windows_[wi];
+        if (wi != 0)
+            os << ", ";
+        json::writeString(os, w.name);
+        os << ": {";
+        bool first = true;
+        for (const WindowedEntry &e : windowed_) {
+            if (!first)
+                os << ", ";
+            first = false;
+            auto snap = e.histogram->snapshot(tUs, w.slices);
+            json::writeString(os, e.name);
+            os << ": {\"count\": " << snap.count << ", \"mean\": ";
+            writeNum(os, snap.mean());
+            os << ", \"p50\": ";
+            writeNum(os, snap.percentile(0.50));
+            os << ", \"p99\": ";
+            writeNum(os, snap.percentile(0.99));
+            os << ", \"p999\": ";
+            writeNum(os, snap.percentile(0.999));
+            os << '}';
+        }
+        for (const WindowedFormulaEntry &e : windowedFormulas_) {
+            if (!first)
+                os << ", ";
+            first = false;
+            json::writeString(os, e.name);
+            os << ": ";
+            writeNum(os, e.fn(tUs, w.slices));
+        }
+        os << '}';
+    }
+    os << "}}";
+}
+
+} // namespace boss::telemetry

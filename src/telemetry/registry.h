@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Named metric registry with two renderers: Prometheus text
+ * exposition (for the built-in HTTP endpoint) and JSON Lines
+ * time-series snapshots (for --metrics-out, tests, and boss_top).
+ *
+ * Registration is setup-time and single-threaded; rendering reads
+ * only atomics (and render-time formulas), so any number of sampler
+ * threads may update metrics while the snapshotter and the HTTP
+ * exporter render concurrently. The registry never copies metric
+ * state — it holds pointers that must outlive it, the same contract
+ * as stats::Group.
+ *
+ * Window model: the registry owns one global window list (e.g. 1s /
+ * 10s / 60s). Every windowed histogram and windowed formula is
+ * rendered once per window, labeled `window="10s"` in Prometheus
+ * and grouped under `"windows": {"10s": {...}}` in JSONL. One list
+ * for all metrics keeps the exposition regular and lets boss_top
+ * render one line per window.
+ */
+
+#ifndef BOSS_TELEMETRY_REGISTRY_H
+#define BOSS_TELEMETRY_REGISTRY_H
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace boss::telemetry
+{
+
+/** One Prometheus-style key/value label. */
+struct Label
+{
+    std::string key;
+    std::string value;
+};
+
+/** A named aggregation window, in slices of the metric slice size. */
+struct WindowSpec
+{
+    std::string name; ///< e.g. "10s"; used verbatim as the label
+    std::uint64_t slices = 1;
+};
+
+class Registry
+{
+  public:
+    /** Windows every windowed metric is rendered over. */
+    void setWindows(std::vector<WindowSpec> windows);
+    const std::vector<WindowSpec> &windows() const
+    {
+        return windows_;
+    }
+
+    /**
+     * Build-identity labels (git hash, compiler, kernel tier).
+     * Rendered as a `boss_build_info{...} 1` gauge and as a
+     * `"build"` object on every JSONL line, so each scrape and each
+     * snapshot is attributable to a binary on its own.
+     */
+    void setBuildInfo(std::vector<Label> labels);
+
+    void addCounter(std::string name, const Counter *c,
+                    std::string help,
+                    std::vector<Label> labels = {});
+    void addGauge(std::string name, const Gauge *g,
+                  std::string help, std::vector<Label> labels = {});
+    /** A gauge computed at render time (sizes, derived ratios). */
+    void addFormulaGauge(std::string name,
+                         std::function<double()> fn,
+                         std::string help,
+                         std::vector<Label> labels = {});
+    void addWindowedHistogram(std::string name,
+                              const WindowedHistogram *h,
+                              std::string help);
+    /**
+     * A per-window derived gauge; the callback receives the render
+     * timestamp and the window width in slices (burn rates, rates).
+     */
+    void addWindowedFormula(
+        std::string name,
+        std::function<double(double tUs, std::uint64_t slices)> fn,
+        std::string help);
+
+    /** Prometheus text exposition format 0.0.4. */
+    void renderPrometheus(std::ostream &os, double tUs) const;
+
+    /**
+     * One self-contained JSON object on a single line (no trailing
+     * newline): timestamp, build info, counters, gauges, and the
+     * per-window histogram digests. Append one per snapshot period
+     * and the file is a JSONL time series.
+     */
+    void renderJsonLine(std::ostream &os, double tUs) const;
+
+  private:
+    struct CounterEntry
+    {
+        std::string name;
+        std::vector<Label> labels;
+        const Counter *counter;
+        std::string help;
+    };
+    struct GaugeEntry
+    {
+        std::string name;
+        std::vector<Label> labels;
+        const Gauge *gauge = nullptr;
+        std::function<double()> formula;
+        std::string help;
+    };
+    struct WindowedEntry
+    {
+        std::string name;
+        const WindowedHistogram *histogram;
+        std::string help;
+    };
+    struct WindowedFormulaEntry
+    {
+        std::string name;
+        std::function<double(double, std::uint64_t)> fn;
+        std::string help;
+    };
+
+    std::vector<WindowSpec> windows_{{"1s", 1}};
+    std::vector<Label> buildInfo_;
+    std::vector<CounterEntry> counters_;
+    std::vector<GaugeEntry> gauges_;
+    std::vector<WindowedEntry> windowed_;
+    std::vector<WindowedFormulaEntry> windowedFormulas_;
+};
+
+} // namespace boss::telemetry
+
+#endif // BOSS_TELEMETRY_REGISTRY_H

@@ -1,0 +1,275 @@
+#include "telemetry/serve_telemetry.h"
+
+#include <algorithm>
+
+namespace boss::telemetry
+{
+
+namespace
+{
+
+std::uint64_t
+maxWindowSlices(const std::vector<WindowSpec> &windows)
+{
+    std::uint64_t m = 1;
+    for (const WindowSpec &w : windows)
+        m = std::max(m, w.slices);
+    return m;
+}
+
+WindowedHistogram::Config
+histConfig(const ServeTelemetry::Config &cfg, double lo, double hi)
+{
+    WindowedHistogram::Config h;
+    h.lo = lo;
+    h.hi = hi;
+    h.buckets = 56;
+    h.sliceUs = cfg.sliceUs;
+    // One slot per slice in the longest window plus headroom, so a
+    // slice is never recycled while still inside any window.
+    h.ringSlices =
+        static_cast<std::size_t>(maxWindowSlices(cfg.windows)) + 2;
+    return h;
+}
+
+WindowedCounter::Config
+counterConfig(const ServeTelemetry::Config &cfg)
+{
+    WindowedCounter::Config c;
+    c.sliceUs = cfg.sliceUs;
+    c.ringSlices =
+        static_cast<std::size_t>(maxWindowSlices(cfg.windows)) + 2;
+    return c;
+}
+
+} // namespace
+
+ServeTelemetry::ServeTelemetry() : ServeTelemetry(Config()) {}
+
+ServeTelemetry::ServeTelemetry(Config config)
+    : config_(std::move(config)),
+      epoch_(std::chrono::steady_clock::now()),
+      flight_(config_.flightSlowCapacity,
+              config_.flightShedCapacity),
+      latencyUs_(histConfig(config_, 1.0, 1e7)),
+      queueWaitUs_(histConfig(config_, 1.0, 1e7)),
+      buildUs_(histConfig(config_, 1.0, 1e6)),
+      finishUs_(histConfig(config_, 1.0, 1e6)),
+      sloBudget_(histConfig(config_, 1e-3, 1e3)),
+      offeredW_(counterConfig(config_)),
+      completedW_(counterConfig(config_)),
+      burn_(config_.errorBudget, counterConfig(config_))
+{
+    registry_.setWindows(config_.windows);
+
+    registry_.addCounter("boss_serve_offered_total", &offered_,
+                         "queries offered by the load generator");
+    registry_.addCounter("boss_serve_admitted_total", &admitted_,
+                         "queries admitted past the queue");
+    registry_.addCounter("boss_serve_shed_capacity_total",
+                         &shedCapacity_,
+                         "drop-tail refusals at a full queue");
+    registry_.addCounter("boss_serve_shed_deadline_total",
+                         &shedDeadline_,
+                         "deadline-aware refusals and evictions");
+    registry_.addCounter("boss_serve_rejected_closed_total",
+                         &rejectedClosed_,
+                         "offers refused by a closed queue");
+    registry_.addCounter("boss_serve_completed_total", &completed_,
+                         "queries executed to completion");
+    registry_.addCounter("boss_serve_shed_total", &shed_,
+                         "terminal shed outcomes");
+    registry_.addCounter("boss_serve_expired_total", &expired_,
+                         "queries expired before execution");
+    registry_.addCounter("boss_serve_good_total", &good_,
+                         "completions within deadline");
+    registry_.addCounter("boss_serve_deadline_missed_total",
+                         &deadlineMissed_,
+                         "completions past their deadline");
+    registry_.addCounter(
+        "boss_serve_flight_recorded_total", &flightRecorded_,
+        "terminal lifecycles offered to the flight recorder");
+    registry_.addGauge("boss_serve_queue_depth", &queueDepth_,
+                       "admission queue depth at last offer");
+    registry_.addFormulaGauge(
+        "boss_serve_flight_slow_entries",
+        [this] {
+            return static_cast<double>(flight_.slowCount());
+        },
+        "slow-query entries held by the flight recorder");
+    registry_.addFormulaGauge(
+        "boss_serve_flight_shed_entries",
+        [this] {
+            return static_cast<double>(flight_.shedCount());
+        },
+        "shed/expired entries held by the flight recorder");
+
+    registry_.addWindowedHistogram(
+        "boss_serve_latency_us", &latencyUs_,
+        "completion latency from scheduled arrival (us)");
+    registry_.addWindowedHistogram(
+        "boss_serve_queue_wait_us", &queueWaitUs_,
+        "scheduled arrival to dispatch (us)");
+    registry_.addWindowedHistogram(
+        "boss_serve_build_us", &buildUs_,
+        "host build stage wall time (us)");
+    registry_.addWindowedHistogram(
+        "boss_serve_finish_us", &finishUs_,
+        "replay + merge stage wall time (us)");
+    registry_.addWindowedHistogram(
+        "boss_serve_slo_budget", &sloBudget_,
+        "fraction of the deadline budget consumed per completion");
+
+    double sliceSeconds = config_.sliceUs / 1e6;
+    registry_.addWindowedFormula(
+        "boss_serve_offered_qps",
+        [this, sliceSeconds](double tUs, std::uint64_t slices) {
+            return static_cast<double>(
+                       offeredW_.total(tUs, slices)) /
+                   (sliceSeconds * static_cast<double>(slices));
+        },
+        "offered load over the window (queries/sec)");
+    registry_.addWindowedFormula(
+        "boss_serve_completed_qps",
+        [this, sliceSeconds](double tUs, std::uint64_t slices) {
+            return static_cast<double>(
+                       completedW_.total(tUs, slices)) /
+                   (sliceSeconds * static_cast<double>(slices));
+        },
+        "completions over the window (queries/sec)");
+    registry_.addWindowedFormula(
+        "boss_serve_slo_burn_rate",
+        [this](double tUs, std::uint64_t slices) {
+            return burn_.rate(tUs, slices);
+        },
+        "error-budget burn rate over the window (1.0 = budget "
+        "consumed exactly at the sustainable rate)");
+}
+
+double
+ServeTelemetry::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+ServeTelemetry::onOffered(double tUs)
+{
+    offered_.inc();
+    offeredW_.add(tUs);
+}
+
+void
+ServeTelemetry::onAdmission(double tUs, AdmitOutcome outcome,
+                            std::size_t queueDepth)
+{
+    (void)tUs;
+    switch (outcome) {
+    case AdmitOutcome::Admitted:
+        admitted_.inc();
+        break;
+    case AdmitOutcome::ShedCapacity:
+        shedCapacity_.inc();
+        break;
+    case AdmitOutcome::ShedDeadline:
+        shedDeadline_.inc();
+        break;
+    case AdmitOutcome::Closed:
+        rejectedClosed_.inc();
+        break;
+    }
+    queueDepth_.set(static_cast<double>(queueDepth));
+}
+
+void
+ServeTelemetry::onAdmit(double tUs, double waitUs)
+{
+    queueWaitUs_.sample(tUs, waitUs);
+}
+
+void
+ServeTelemetry::onBuild(double tUs, double buildUs)
+{
+    buildUs_.sample(tUs, buildUs);
+}
+
+void
+ServeTelemetry::onFinish(double tUs, double finishUs)
+{
+    finishUs_.sample(tUs, finishUs);
+}
+
+void
+ServeTelemetry::onShard(std::size_t shard, double simSeconds)
+{
+    if (shard >= shards_.size())
+        return; // setShardCount not called (or smaller topology)
+    shards_[shard]->queries.inc();
+    shards_[shard]->busySeconds.add(simSeconds);
+}
+
+void
+ServeTelemetry::onTerminal(double tUs, const QueryLifecycle &q)
+{
+    flightRecorded_.inc();
+    switch (q.outcome) {
+    case QueryLifecycle::Outcome::Done: {
+        completed_.inc();
+        completedW_.add(tUs);
+        double latency = q.latencyUs();
+        latencyUs_.sample(tUs, latency);
+        bool hasDeadline = q.deadlineUs >= 0.0;
+        if (hasDeadline) {
+            double budgetSpan = q.deadlineUs - q.arrivalUs;
+            if (budgetSpan > 0.0)
+                sloBudget_.sample(tUs, latency / budgetSpan);
+        }
+        if (q.metDeadline) {
+            good_.inc();
+        } else {
+            deadlineMissed_.inc();
+        }
+        burn_.record(tUs, q.metDeadline);
+        break;
+    }
+    case QueryLifecycle::Outcome::Expired:
+        expired_.inc();
+        burn_.record(tUs, false);
+        break;
+    case QueryLifecycle::Outcome::Shed:
+        shed_.inc();
+        burn_.record(tUs, false);
+        break;
+    }
+    flight_.record(q);
+}
+
+void
+ServeTelemetry::setShardCount(std::size_t shards)
+{
+    while (shards_.size() < shards) {
+        auto metrics = std::make_unique<ShardMetrics>();
+        std::string shardLabel =
+            std::to_string(shards_.size());
+        registry_.addCounter(
+            "boss_serve_shard_queries_total", &metrics->queries,
+            "completed query replays per shard",
+            {{"shard", shardLabel}});
+        registry_.addGauge(
+            "boss_serve_shard_busy_seconds",
+            &metrics->busySeconds,
+            "cumulative simulated device time per shard",
+            {{"shard", shardLabel}});
+        shards_.push_back(std::move(metrics));
+    }
+}
+
+void
+ServeTelemetry::setBuildInfo(std::vector<Label> labels)
+{
+    registry_.setBuildInfo(std::move(labels));
+}
+
+} // namespace boss::telemetry

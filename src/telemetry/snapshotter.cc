@@ -1,0 +1,80 @@
+#include "telemetry/snapshotter.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace boss::telemetry
+{
+
+Snapshotter::Snapshotter(const Registry &registry,
+                         std::function<double()> clock,
+                         Config config)
+    : registry_(registry), clock_(std::move(clock)),
+      config_(std::move(config))
+{
+    BOSS_ASSERT(config_.periodMs > 0.0,
+                "snapshot period must be positive");
+}
+
+Snapshotter::~Snapshotter()
+{
+    stop();
+}
+
+void
+Snapshotter::start()
+{
+    BOSS_ASSERT(!running_, "snapshotter already started");
+    out_.open(config_.jsonlPath, std::ios::app);
+    if (!out_)
+        BOSS_FATAL("cannot open metrics output '",
+                   config_.jsonlPath, "' for appending");
+    running_ = true;
+    stopRequested_ = false;
+    thread_ = std::thread([this] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            cv_.wait_for(
+                lock,
+                std::chrono::duration<double, std::milli>(
+                    config_.periodMs),
+                [this] { return stopRequested_; });
+            if (stopRequested_)
+                return;
+            writeSnapshot();
+        }
+    });
+}
+
+void
+Snapshotter::stop()
+{
+    if (!running_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopRequested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    // Final snapshot after the loop quiesced: the last line of the
+    // series carries the run's exact terminal accounting.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        writeSnapshot();
+    }
+    out_.close();
+    running_ = false;
+}
+
+void
+Snapshotter::writeSnapshot()
+{
+    registry_.renderJsonLine(out_, clock_());
+    out_ << '\n';
+    out_.flush();
+    snapshots_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace boss::telemetry

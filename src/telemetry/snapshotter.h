@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Periodic metrics snapshotter: renders a Registry to an append-
+ * only JSONL time series while the server runs.
+ *
+ * The JSONL file is the socket-free observability surface — tests
+ * and CI validate live metrics by reading it (tools/
+ * metrics_check.py), and boss_top tails it for a terminal view.
+ * Each line is one self-contained snapshot; the final line is
+ * emitted at stop(), after the serving loop has quiesced, so the
+ * last record reconciles exactly with the run's terminal
+ * accounting.
+ */
+
+#ifndef BOSS_TELEMETRY_SNAPSHOTTER_H
+#define BOSS_TELEMETRY_SNAPSHOTTER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "telemetry/registry.h"
+
+namespace boss::telemetry
+{
+
+class Snapshotter
+{
+  public:
+    struct Config
+    {
+        std::string jsonlPath; ///< appended to; created if absent
+        double periodMs = 500.0;
+    };
+
+    /**
+     * @param clock returns the render timestamp in µs — normally
+     *              ServeTelemetry::nowUs, a virtual clock in tests.
+     */
+    Snapshotter(const Registry &registry,
+                std::function<double()> clock, Config config);
+    ~Snapshotter();
+
+    /** Open the output and start the periodic thread. Fatal on an
+     *  unwritable path. */
+    void start();
+
+    /** Stop the thread and append one final snapshot. Idempotent. */
+    void stop();
+
+    std::uint64_t snapshots() const
+    {
+        return snapshots_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void writeSnapshot();
+
+    const Registry &registry_;
+    std::function<double()> clock_;
+    Config config_;
+
+    std::ofstream out_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::thread thread_;
+    bool running_ = false;
+    bool stopRequested_ = false;
+    std::atomic<std::uint64_t> snapshots_{0};
+};
+
+} // namespace boss::telemetry
+
+#endif // BOSS_TELEMETRY_SNAPSHOTTER_H

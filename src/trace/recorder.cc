@@ -68,24 +68,45 @@ Recorder::hostMicros() const
 }
 
 void
+Recorder::setEventCapacity(std::size_t perBufferEvents)
+{
+    BOSS_ASSERT(eventCount() == 0,
+                "setEventCapacity must precede recording");
+    capacity_ = perBufferEvents;
+}
+
+std::uint64_t
+Recorder::droppedEvents() const
+{
+    std::uint64_t total = 0;
+    for (const auto &buf : buffers_)
+        total += buf.dropped;
+    return total;
+}
+
+void
 Recorder::push(std::size_t buffer, std::uint64_t scope, Event e)
 {
     auto &buf = buffers_[buffer];
     e.scope = scope;
-    e.seq = buf.size();
-    buf.push_back(e);
+    e.seq = buf.nextSeq++;
+    if (capacity_ == 0 || buf.events.size() < capacity_) {
+        buf.events.push_back(e);
+        return;
+    }
+    // Ring-full: overwrite the oldest retained event.
+    buf.events[buf.head] = e;
+    buf.head = (buf.head + 1) % capacity_;
+    ++buf.dropped;
 }
 
 std::vector<Event>
 Recorder::merged() const
 {
     std::vector<Event> all;
-    std::size_t total = 0;
+    all.reserve(eventCount());
     for (const auto &buf : buffers_)
-        total += buf.size();
-    all.reserve(total);
-    for (const auto &buf : buffers_)
-        all.insert(all.end(), buf.begin(), buf.end());
+        all.insert(all.end(), buf.events.begin(), buf.events.end());
     std::stable_sort(all.begin(), all.end(),
                      [](const Event &a, const Event &b) {
                          if (a.scope != b.scope)
@@ -100,7 +121,7 @@ Recorder::eventCount() const
 {
     std::size_t total = 0;
     for (const auto &buf : buffers_)
-        total += buf.size();
+        total += buf.events.size();
     return total;
 }
 

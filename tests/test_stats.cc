@@ -210,6 +210,65 @@ TEST(HistogramTest, OverflowPercentileReportsObservedMax)
     EXPECT_DOUBLE_EQ(h.percentile(0.99), 700.0);
 }
 
+TEST(HistogramTest, PercentileClampsOutOfRangeQuantiles)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 1; i <= 10; ++i)
+        h.sample(static_cast<double>(i) * 10.0 - 5.0);
+    // Quantiles outside [0, 1] clamp to the endpoints rather than
+    // extrapolating past the observed range.
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.percentile(0.0));
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.min());
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), h.max());
+}
+
+TEST(HistogramTest, SingleSampleAnswersEveryQuantile)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.sample(42.0);
+    // One sample pins min == max, so interpolation clamps every
+    // quantile to exactly that value.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+}
+
+TEST(HistogramTest, BelowRangeSampleClampsToObservedMin)
+{
+    // A sample below lo lands in bucket 0, whose lower edge (lo)
+    // exceeds the observed value; the [min, max] clamp keeps the
+    // quantile honest.
+    Histogram h(10.0, 100.0, 9);
+    h.sample(2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(h.min(), 2.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneInQ)
+{
+    Histogram h(1.0, 1e6, 48, Scale::Log);
+    h.sample(10.0, 500);
+    h.sample(1000.0, 90);
+    h.sample(2e6, 10); // overflow tail
+    double prev = h.percentile(0.0);
+    for (double q = 0.05; q <= 1.0; q += 0.05) {
+        double cur = h.percentile(q);
+        EXPECT_GE(cur, prev) << "non-monotone at q=" << q;
+        prev = cur;
+    }
+}
+
+TEST(HistogramTest, ResetClearsPercentileState)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.sample(50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 50.0);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
 TEST(GroupTest, DumpJsonCarriesPercentilesAndScale)
 {
     Group root("run");

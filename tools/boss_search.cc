@@ -51,6 +51,13 @@
  *   --serve-queries N      offered query count for --serve
  *                          (default 1000)
  *   --deadline-us X        per-query SLO for --serve (default none)
+ *   --metrics-out=FILE     --serve only: append one JSONL metrics
+ *                          snapshot per period while serving
+ *   --metrics-period-ms X  snapshot period (default 500)
+ *   --metrics-port N       --serve only: Prometheus /metrics
+ *                          endpoint (0 = ephemeral port)
+ *   --flight-out=FILE      --serve only: flight-recorder Chrome
+ *                          trace dump at exit
  */
 
 #include <cstdio>
@@ -67,13 +74,18 @@
 
 #include "api/sharded_device.h"
 #include "boss/device.h"
+#include "common/buildinfo.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "kernels/kernels.h"
 #include "index/text_builder.h"
 #include "mem/fault_model.h"
 #include "serve/server.h"
+#include "telemetry/http_exporter.h"
+#include "telemetry/serve_telemetry.h"
+#include "telemetry/snapshotter.h"
 #include "trace/chrome_trace.h"
+#include "trace/json.h"
 #include "trace/summary.h"
 
 namespace
@@ -91,7 +103,21 @@ struct Options
     double qps = 2000.0;
     std::size_t serveQueries = 1000;
     double deadlineUs = std::numeric_limits<double>::infinity();
+    std::string metricsOut;
+    double metricsPeriodMs = 500.0;
+    long metricsPort = -1; ///< -1 = no HTTP endpoint
+    std::string flightOut;
 };
+
+/** Build-identity labels every metrics surface carries. */
+std::vector<boss::telemetry::Label>
+buildLabels()
+{
+    return {{"git", std::string(boss::common::buildGitHash())},
+            {"compiler", std::string(boss::common::buildCompiler())},
+            {"kernels",
+             std::string(boss::kernels::activeTierName())}};
+}
 
 /** Words without quotes become an OR of quoted terms. */
 std::string
@@ -291,10 +317,71 @@ runServe(Dev &device, const Options &opts, int argc, char **argv,
     std::optional<boss::trace::Recorder> recorder;
     if (!opts.traceOut.empty()) {
         recorder.emplace();
+        // Serve-mode tracing is bounded: a long stream must not
+        // grow the recorder without limit (boss_serve exposes the
+        // knob as --trace-cap).
+        recorder->setEventCapacity(65536);
         server.setRecorder(&*recorder);
     }
 
+    const bool wantTelemetry = !opts.metricsOut.empty() ||
+                               opts.metricsPort >= 0 ||
+                               !opts.flightOut.empty();
+    std::optional<boss::telemetry::ServeTelemetry> telemetry;
+    std::optional<boss::telemetry::Snapshotter> snapshotter;
+    std::optional<boss::telemetry::HttpExporter> exporter;
+    if (wantTelemetry) {
+        telemetry.emplace();
+        telemetry->setBuildInfo(buildLabels());
+        server.setTelemetry(&*telemetry);
+        auto clock = [tel = &*telemetry] { return tel->nowUs(); };
+        if (!opts.metricsOut.empty()) {
+            boss::telemetry::Snapshotter::Config cfg;
+            cfg.jsonlPath = opts.metricsOut;
+            cfg.periodMs = opts.metricsPeriodMs;
+            snapshotter.emplace(telemetry->registry(), clock, cfg);
+            snapshotter->start();
+        }
+        if (opts.metricsPort >= 0) {
+            boss::telemetry::HttpExporter::Config cfg;
+            cfg.port =
+                static_cast<std::uint16_t>(opts.metricsPort);
+            exporter.emplace(telemetry->registry(),
+                             &telemetry->flight(), clock, cfg);
+            std::string error;
+            if (exporter->start(&error)) {
+                std::printf("metrics endpoint on port %u "
+                            "(/metrics /flight /healthz)\n",
+                            exporter->port());
+            } else {
+                std::fprintf(stderr,
+                             "metrics endpoint disabled: %s\n",
+                             error.c_str());
+                exporter.reset();
+            }
+        }
+    }
+
     auto report = server.run(exprs);
+
+    if (snapshotter.has_value()) {
+        snapshotter->stop();
+        std::printf("wrote %llu metrics snapshots to %s\n",
+                    static_cast<unsigned long long>(
+                        snapshotter->snapshots()),
+                    opts.metricsOut.c_str());
+    }
+    if (exporter.has_value())
+        exporter->stop();
+    if (!opts.flightOut.empty()) {
+        auto os = openOut(opts.flightOut);
+        telemetry->flight().dumpChromeTrace(os);
+        std::printf("wrote flight recorder (%zu slow, %zu shed) "
+                    "to %s\n",
+                    telemetry->flight().slowCount(),
+                    telemetry->flight().shedCount(),
+                    opts.flightOut.c_str());
+    }
     double goodPct =
         report.offered == 0
             ? 0.0
@@ -316,14 +403,30 @@ runServe(Dev &device, const Options &opts, int argc, char **argv,
         auto os = openOut(opts.statsJson);
         boss::stats::Group group("serve");
         server.registerStats(group);
-        group.dumpJson(os, 0);
-        os << "\n";
+        os << "{\n  \"build\": {";
+        bool first = true;
+        for (const auto &label : buildLabels()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            boss::trace::json::writeString(os, label.key);
+            os << ": ";
+            boss::trace::json::writeString(os, label.value);
+        }
+        os << "},\n  \"serve\":\n";
+        group.dumpJson(os, 2);
+        os << "\n}\n";
     }
     if (!opts.traceOut.empty()) {
         auto os = openOut(opts.traceOut);
         boss::trace::writeChromeTrace(os, *recorder);
-        std::printf("wrote %zu trace events to %s\n",
+        std::printf("wrote %zu trace events to %s",
                     recorder->eventCount(), opts.traceOut.c_str());
+        if (recorder->droppedEvents() > 0)
+            std::printf(" (%llu evicted by the serve-mode ring)",
+                        static_cast<unsigned long long>(
+                            recorder->droppedEvents()));
+        std::printf("\n");
     }
     return 0;
 }
@@ -434,8 +537,35 @@ main(int argc, char **argv)
                    matchValueFlag(argv[argi], "--stats-json",
                                   opts.statsJson) ||
                    matchValueFlag(argv[argi], "--query-summaries",
-                                  opts.querySummaries)) {
+                                  opts.querySummaries) ||
+                   matchValueFlag(argv[argi], "--metrics-out",
+                                  opts.metricsOut) ||
+                   matchValueFlag(argv[argi], "--flight-out",
+                                  opts.flightOut)) {
             ++argi;
+        } else if (arg == "--metrics-port") {
+            long n = argi + 1 < argc
+                         ? std::strtol(argv[argi + 1], nullptr, 10)
+                         : -1;
+            if (n < 0 || n > 65535) {
+                std::fprintf(stderr,
+                             "--metrics-port wants 0..65535\n");
+                return 2;
+            }
+            opts.metricsPort = n;
+            argi += 2;
+        } else if (arg == "--metrics-period-ms") {
+            double p = argi + 1 < argc
+                           ? std::strtod(argv[argi + 1], nullptr)
+                           : 0.0;
+            if (p <= 0.0) {
+                std::fprintf(stderr,
+                             "--metrics-period-ms wants a positive "
+                             "period\n");
+                return 2;
+            }
+            opts.metricsPeriodMs = p;
+            argi += 2;
         } else if (std::string spec;
                    matchValueFlag(argv[argi], "--fault-spec", spec)) {
             opts.faults = boss::mem::parseFaultSpec(spec);
@@ -517,7 +647,9 @@ main(int argc, char **argv)
             "[--stats-json=FILE] [--query-summaries=FILE] "
             "[--fault-spec=SPEC] [--fault-seed=N] [--kernels=TIER] "
             "[--warmup N] [--serve] [--qps X] [--serve-queries N] "
-            "[--deadline-us X] <index.idx> [query...]\n",
+            "[--deadline-us X] [--metrics-out=FILE] "
+            "[--metrics-period-ms X] [--metrics-port N] "
+            "[--flight-out=FILE] <index.idx> [query...]\n",
             argv[0]);
         return 2;
     }

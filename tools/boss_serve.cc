@@ -33,6 +33,15 @@
  *                        latency histograms with p50/p99/p999)
  *   --trace-out=FILE     Chrome trace of per-query queue/serve
  *                        spans (load in Perfetto)
+ *   --trace-cap N        per-buffer trace event ring capacity
+ *                        (default 65536; 0 = unbounded)
+ *   --metrics-out=FILE   append one JSONL metrics snapshot per
+ *                        period while serving (see boss_top)
+ *   --metrics-period-ms X  snapshot period (default 500)
+ *   --metrics-port N     serve Prometheus /metrics (plus /flight
+ *                        and /healthz) on this port; 0 = ephemeral
+ *   --flight-out=FILE    flight-recorder dump (slowest + recent
+ *                        shed queries) as Chrome trace at exit
  *   --kernels=TIER       scalar|sse42|avx2|auto (bit-exact tiers)
  *
  * Results are bit-identical to batch searchBatch() for the same
@@ -49,12 +58,17 @@
 
 #include "api/sharded_device.h"
 #include "boss/device.h"
+#include "common/buildinfo.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "kernels/kernels.h"
 #include "serve/server.h"
 #include "stats/stats.h"
+#include "telemetry/http_exporter.h"
+#include "telemetry/serve_telemetry.h"
+#include "telemetry/snapshotter.h"
 #include "trace/chrome_trace.h"
+#include "trace/json.h"
 #include "workload/queries.h"
 
 namespace
@@ -79,7 +93,23 @@ struct Options
     long shards = 1;
     std::string statsJson;
     std::string traceOut;
+    /** Serve-mode trace memory bound; 0 = unbounded (batch-like). */
+    std::size_t traceCap = 65536;
+    std::string metricsOut;
+    double metricsPeriodMs = 500.0;
+    long metricsPort = -1; ///< -1 = no HTTP endpoint
+    std::string flightOut;
 };
+
+/** Build-identity labels every metrics surface carries. */
+std::vector<boss::telemetry::Label>
+buildLabels()
+{
+    return {{"git", std::string(boss::common::buildGitHash())},
+            {"compiler", std::string(boss::common::buildCompiler())},
+            {"kernels",
+             std::string(boss::kernels::activeTierName())}};
+}
 
 bool
 matchValueFlag(const char *arg, const char *name, std::string &out)
@@ -131,10 +161,73 @@ serveSession(boss::serve::Backend &backend, std::uint32_t vocab,
     std::optional<boss::trace::Recorder> recorder;
     if (!opts.traceOut.empty()) {
         recorder.emplace();
+        if (opts.traceCap > 0)
+            recorder->setEventCapacity(opts.traceCap);
         server.setRecorder(&*recorder);
     }
 
+    // Live telemetry: any metrics/flight surface turns it on.
+    const bool wantTelemetry = !opts.metricsOut.empty() ||
+                               opts.metricsPort >= 0 ||
+                               !opts.flightOut.empty();
+    std::optional<boss::telemetry::ServeTelemetry> telemetry;
+    std::optional<boss::telemetry::Snapshotter> snapshotter;
+    std::optional<boss::telemetry::HttpExporter> exporter;
+    if (wantTelemetry) {
+        telemetry.emplace();
+        telemetry->setBuildInfo(buildLabels());
+        server.setTelemetry(&*telemetry);
+        auto clock = [tel = &*telemetry] { return tel->nowUs(); };
+        if (!opts.metricsOut.empty()) {
+            boss::telemetry::Snapshotter::Config cfg;
+            cfg.jsonlPath = opts.metricsOut;
+            cfg.periodMs = opts.metricsPeriodMs;
+            snapshotter.emplace(telemetry->registry(), clock, cfg);
+            snapshotter->start();
+        }
+        if (opts.metricsPort >= 0) {
+            boss::telemetry::HttpExporter::Config cfg;
+            cfg.port =
+                static_cast<std::uint16_t>(opts.metricsPort);
+            exporter.emplace(telemetry->registry(),
+                             &telemetry->flight(), clock, cfg);
+            std::string error;
+            if (exporter->start(&error)) {
+                std::printf("metrics endpoint on port %u "
+                            "(/metrics /flight /healthz)\n",
+                            exporter->port());
+            } else {
+                std::fprintf(stderr,
+                             "metrics endpoint disabled: %s\n",
+                             error.c_str());
+                exporter.reset();
+            }
+        }
+    }
+
     auto report = server.run(queries);
+
+    if (snapshotter.has_value()) {
+        snapshotter->stop();
+        std::printf("wrote %llu metrics snapshots to %s\n",
+                    static_cast<unsigned long long>(
+                        snapshotter->snapshots()),
+                    opts.metricsOut.c_str());
+    }
+    if (exporter.has_value())
+        exporter->stop();
+    if (!opts.flightOut.empty()) {
+        std::ofstream os(opts.flightOut);
+        if (!os)
+            BOSS_FATAL("cannot open '", opts.flightOut,
+                       "' for writing");
+        telemetry->flight().dumpChromeTrace(os);
+        std::printf("wrote flight recorder (%zu slow, %zu shed) "
+                    "to %s\n",
+                    telemetry->flight().slowCount(),
+                    telemetry->flight().shedCount(),
+                    opts.flightOut.c_str());
+    }
 
     std::printf(
         "offered %llu queries @ %.1f qps (%s, %s, %s), elapsed "
@@ -182,8 +275,21 @@ serveSession(boss::serve::Backend &backend, std::uint32_t vocab,
                        "' for writing");
         boss::stats::Group group("serve");
         server.registerStats(group);
-        group.dumpJson(os, 0);
-        os << "\n";
+        // Build stamp first, so any checked-in report names the
+        // binary that produced it.
+        os << "{\n  \"build\": {";
+        bool first = true;
+        for (const auto &label : buildLabels()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            boss::trace::json::writeString(os, label.key);
+            os << ": ";
+            boss::trace::json::writeString(os, label.value);
+        }
+        os << "},\n  \"serve\":\n";
+        group.dumpJson(os, 2);
+        os << "\n}\n";
     }
     if (!opts.traceOut.empty()) {
         std::ofstream os(opts.traceOut);
@@ -191,8 +297,14 @@ serveSession(boss::serve::Backend &backend, std::uint32_t vocab,
             BOSS_FATAL("cannot open '", opts.traceOut,
                        "' for writing");
         boss::trace::writeChromeTrace(os, *recorder);
-        std::printf("wrote %zu trace events to %s\n",
+        std::printf("wrote %zu trace events to %s",
                     recorder->eventCount(), opts.traceOut.c_str());
+        if (recorder->droppedEvents() > 0)
+            std::printf(" (%llu evicted by --trace-cap %zu)",
+                        static_cast<unsigned long long>(
+                            recorder->droppedEvents()),
+                        opts.traceCap);
+        std::printf("\n");
     }
     return 0;
 }
@@ -296,10 +408,37 @@ main(int argc, char **argv)
                 return 2;
             }
             ++argi;
+        } else if (arg == "--trace-cap") {
+            opts.traceCap = static_cast<std::size_t>(
+                numberAfter(argi, argc, argv, "--trace-cap"));
+        } else if (arg == "--metrics-port") {
+            opts.metricsPort =
+                numberAfter(argi, argc, argv, "--metrics-port");
+            if (opts.metricsPort > 65535) {
+                std::fprintf(stderr,
+                             "--metrics-port wants 0..65535\n");
+                return 2;
+            }
+        } else if (arg == "--metrics-period-ms") {
+            double p = argi + 1 < argc
+                           ? std::strtod(argv[argi + 1], nullptr)
+                           : 0.0;
+            if (p <= 0.0) {
+                std::fprintf(stderr,
+                             "--metrics-period-ms wants a positive "
+                             "period\n");
+                return 2;
+            }
+            opts.metricsPeriodMs = p;
+            argi += 2;
         } else if (matchValueFlag(argv[argi], "--stats-json",
                                   opts.statsJson) ||
                    matchValueFlag(argv[argi], "--trace-out",
-                                  opts.traceOut)) {
+                                  opts.traceOut) ||
+                   matchValueFlag(argv[argi], "--metrics-out",
+                                  opts.metricsOut) ||
+                   matchValueFlag(argv[argi], "--flight-out",
+                                  opts.flightOut)) {
             ++argi;
         } else if (matchValueFlag(argv[argi], "--kernels", value)) {
             if (!boss::kernels::setTierByName(value)) {
@@ -325,10 +464,18 @@ main(int argc, char **argv)
             "[--mode=pipelined|barrier] [--deadline-us X] "
             "[--warmup N] [--shards N] [--threads N] "
             "[--stats-json=FILE] [--trace-out=FILE] "
-            "[--kernels=TIER] <index.idx>\n",
+            "[--trace-cap N] [--metrics-out=FILE] "
+            "[--metrics-period-ms X] [--metrics-port N] "
+            "[--flight-out=FILE] [--kernels=TIER] <index.idx>\n",
             argv[0]);
         return 2;
     }
+    // Startup stamp: every serve log names the binary behind it.
+    std::printf("boss_serve %s, kernels %.*s\n",
+                boss::common::buildStamp().c_str(),
+                static_cast<int>(
+                    boss::kernels::activeTierName().size()),
+                boss::kernels::activeTierName().data());
 
     if (opts.shards > 1) {
         boss::api::ShardedDeviceConfig cfg;

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * boss_top: terminal view of a live boss_serve metrics stream.
+ *
+ * Tails the JSONL time series written by --metrics-out and renders
+ * each snapshot as a header line (cumulative counters) plus one
+ * line per window (rates, latency digest, SLO burn) — `top` for the
+ * serving pipeline, with no dependency beyond the filesystem:
+ *
+ *   [  12.5s] offered 25000  completed 23990  shed 910  expired 100
+ *     1s   off  2012.0/s  done  1915.0/s  p50    940us  p99   5.1ms  burn  4.55
+ *     10s  off  2003.4/s  done  1927.1/s  p50    951us  p99   4.9ms  burn  3.90
+ *
+ * Usage:
+ *   boss_top [--follow] [--interval-ms N] <metrics.jsonl>
+ *
+ * Default reads the whole file and exits (the last snapshot is the
+ * run's reconciled final state); --follow keeps polling for
+ * appended lines, ctrl-c to stop. The parser accepts exactly the
+ * schema telemetry::Registry::renderJsonLine emits and is validated
+ * against it by tools/metrics_check.py in CI.
+ */
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace
+{
+
+/**
+ * Minimal JSON value for the flat snapshot schema. Objects keep
+ * insertion order so windows render in the registry's order
+ * (1s, 10s, 60s), not alphabetically.
+ */
+struct Json
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> arr;
+    std::vector<std::pair<std::string, Json>> obj;
+
+    const Json *find(const std::string &key) const
+    {
+        for (const auto &[k, v] : obj)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+    double num(const std::string &key, double fallback = 0.0) const
+    {
+        const Json *v = find(key);
+        return v != nullptr && v->kind == Kind::Number ? v->number
+                                                       : fallback;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    bool parse(Json &out)
+    {
+        pos_ = 0;
+        return value(out) && (skipWs(), pos_ == text_.size());
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+    bool literal(const char *word)
+    {
+        std::size_t len = std::strlen(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+    bool string(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\' && pos_ < text_.size()) {
+                char esc = text_[pos_++];
+                switch (esc) {
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'u':
+                    // Snapshot strings are ASCII; keep the escape
+                    // verbatim rather than decoding.
+                    out += "\\u";
+                    break;
+                default: out += esc; break;
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+    bool value(Json &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = Json::Kind::Object;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_++] != ':')
+                    return false;
+                Json child;
+                if (!value(child))
+                    return false;
+                out.obj.emplace_back(std::move(key),
+                                     std::move(child));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return false;
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = Json::Kind::Array;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                Json child;
+                if (!value(child))
+                    return false;
+                out.arr.push_back(std::move(child));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return false;
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '"') {
+            out.kind = Json::Kind::String;
+            return string(out.str);
+        }
+        if (literal("true")) {
+            out.kind = Json::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (literal("false")) {
+            out.kind = Json::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (literal("null")) {
+            out.kind = Json::Kind::Null;
+            return true;
+        }
+        char *end = nullptr;
+        double n = std::strtod(text_.c_str() + pos_, &end);
+        if (end == text_.c_str() + pos_)
+            return false;
+        pos_ = static_cast<std::size_t>(end - text_.c_str());
+        out.kind = Json::Kind::Number;
+        out.number = n;
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Humanize a µs quantity: 940us / 5.1ms / 2.3s. */
+std::string
+fmtUs(double us)
+{
+    char buf[32];
+    if (us < 1000.0)
+        std::snprintf(buf, sizeof(buf), "%.0fus", us);
+    else if (us < 1e6)
+        std::snprintf(buf, sizeof(buf), "%.1fms", us / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2fs", us / 1e6);
+    return buf;
+}
+
+void
+render(const Json &snap)
+{
+    const Json *counters = snap.find("counters");
+    const Json *gauges = snap.find("gauges");
+    const Json *windows = snap.find("windows");
+    if (counters == nullptr || windows == nullptr) {
+        std::fprintf(stderr, "skipping malformed snapshot line\n");
+        return;
+    }
+    std::printf(
+        "[%7.1fs] offered %.0f  completed %.0f  shed %.0f  "
+        "expired %.0f  queue %.0f\n",
+        snap.num("t_us") / 1e6,
+        counters->num("boss_serve_offered_total"),
+        counters->num("boss_serve_completed_total"),
+        counters->num("boss_serve_shed_total"),
+        counters->num("boss_serve_expired_total"),
+        gauges != nullptr ? gauges->num("boss_serve_queue_depth")
+                          : 0.0);
+    for (const auto &[wname, w] : windows->obj) {
+        const Json *lat = w.find("boss_serve_latency_us");
+        std::printf("  %-4s off %8.1f/s  done %8.1f/s", wname.c_str(),
+                    w.num("boss_serve_offered_qps"),
+                    w.num("boss_serve_completed_qps"));
+        if (lat != nullptr) {
+            std::printf("  p50 %8s  p99 %8s",
+                        fmtUs(lat->num("p50")).c_str(),
+                        fmtUs(lat->num("p99")).c_str());
+        }
+        std::printf("  burn %5.2f\n",
+                    w.num("boss_serve_slo_burn_rate"));
+    }
+}
+
+bool
+renderLine(const std::string &line)
+{
+    if (line.empty())
+        return false;
+    Json snap;
+    Parser parser(line);
+    if (!parser.parse(snap) || snap.kind != Json::Kind::Object) {
+        std::fprintf(stderr, "unparseable snapshot line\n");
+        return false;
+    }
+    render(snap);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool follow = false;
+    long intervalMs = 250;
+    int argi = 1;
+    while (argi < argc && argv[argi][0] == '-') {
+        std::string arg = argv[argi];
+        if (arg == "--follow" || arg == "-f") {
+            follow = true;
+            ++argi;
+        } else if (arg == "--once") {
+            follow = false;
+            ++argi;
+        } else if (arg == "--interval-ms") {
+            intervalMs = argi + 1 < argc
+                             ? std::strtol(argv[argi + 1], nullptr, 10)
+                             : 0;
+            if (intervalMs <= 0) {
+                std::fprintf(stderr,
+                             "--interval-ms wants a positive "
+                             "period\n");
+                return 2;
+            }
+            argi += 2;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         argv[argi]);
+            return 2;
+        }
+    }
+    if (argi + 1 != argc) {
+        std::fprintf(stderr,
+                     "usage: %s [--follow] [--interval-ms N] "
+                     "<metrics.jsonl>\n",
+                     argv[0]);
+        return 2;
+    }
+    const char *path = argv[argi];
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", path);
+        return 1;
+    }
+
+    std::string line;
+    std::size_t rendered = 0;
+    for (;;) {
+        while (std::getline(in, line)) {
+            if (renderLine(line))
+                ++rendered;
+        }
+        if (!follow)
+            break;
+        // Tail: clear EOF and poll for appended lines.
+        in.clear();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(intervalMs));
+    }
+    if (rendered == 0) {
+        std::fprintf(stderr, "no snapshots in '%s'\n", path);
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Schema validator for boss_serve --metrics-out JSONL time series.
+
+Every snapshot line comes from telemetry::Registry::renderJsonLine,
+so the whole file shares one schema: each line is a self-contained
+object with a monotone "t_us" timestamp, a "build" identity stamp,
+cumulative "counters", point-in-time "gauges", and per-window
+histogram digests under "windows". This checker fails CI when a
+live-metrics capture is malformed — truncated lines, non-monotone
+time, negative counts, percentile digests out of order — instead of
+letting a broken observability surface ship.
+
+With --reconcile it additionally asserts that the *final* snapshot's
+terminal accounting closes exactly:
+
+    offered == completed + shed + expired
+
+which is the acceptance bar for the live telemetry path: every
+offered query reaches exactly one terminal counter, no matter how
+the run interleaved its threads.
+
+Usage:
+    metrics_check.py [--reconcile] FILE [FILE...]
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = ("t_us", "build", "counters", "gauges", "windows")
+REQUIRED_COUNTERS = (
+    "boss_serve_offered_total",
+    "boss_serve_admitted_total",
+    "boss_serve_completed_total",
+    "boss_serve_shed_total",
+    "boss_serve_expired_total",
+    "boss_serve_good_total",
+)
+REQUIRED_BUILD = ("git", "compiler", "kernels")
+# Every windowed histogram digest carries these fields.
+DIGEST_FIELDS = ("count", "mean", "p50", "p99", "p999")
+REQUIRED_WINDOW_METRICS = (
+    "boss_serve_latency_us",
+    "boss_serve_offered_qps",
+    "boss_serve_completed_qps",
+    "boss_serve_slo_burn_rate",
+)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+class Checker:
+    def __init__(self, path, reconcile):
+        self.path = path
+        self.reconcile = reconcile
+        self.errors = []
+
+    def fail(self, where, message):
+        self.errors.append(f"{self.path}: {where}: {message}")
+
+    def check_digest(self, where, digest):
+        if not isinstance(digest, dict):
+            self.fail(where, "histogram digest must be an object")
+            return
+        for field in DIGEST_FIELDS:
+            if field not in digest:
+                self.fail(where, f"digest missing '{field}'")
+                return
+        count = digest["count"]
+        if not isinstance(count, int) or count < 0:
+            self.fail(where, "count must be a non-negative int")
+            return
+        if count > 0:
+            pcts = [digest["p50"], digest["p99"], digest["p999"]]
+            if not all(is_number(p) for p in pcts):
+                self.fail(where, "non-numeric percentiles")
+            elif not pcts[0] <= pcts[1] <= pcts[2]:
+                self.fail(where, f"percentiles not monotone: {pcts}")
+
+    def check_line(self, lineno, snap):
+        where = f"line {lineno}"
+        if not isinstance(snap, dict):
+            self.fail(where, "snapshot must be an object")
+            return
+        for key in REQUIRED_TOP:
+            if key not in snap:
+                self.fail(where, f"missing '{key}'")
+                return
+        if not is_number(snap["t_us"]) or snap["t_us"] < 0:
+            self.fail(where, "t_us must be a non-negative number")
+        build = snap["build"]
+        if not isinstance(build, dict):
+            self.fail(where, "'build' must be an object")
+        else:
+            for key in REQUIRED_BUILD:
+                if not isinstance(build.get(key), str) or not build[key]:
+                    self.fail(where, f"build missing '{key}'")
+        counters = snap["counters"]
+        if not isinstance(counters, dict):
+            self.fail(where, "'counters' must be an object")
+            return
+        for name in REQUIRED_COUNTERS:
+            if name not in counters:
+                self.fail(where, f"counters missing '{name}'")
+            elif not isinstance(counters[name], int) or counters[name] < 0:
+                self.fail(where, f"counter '{name}' must be a "
+                                 "non-negative int")
+        for name, value in counters.items():
+            if not isinstance(value, int) or value < 0:
+                self.fail(where, f"counter '{name}' must be a "
+                                 "non-negative int")
+        gauges = snap["gauges"]
+        if not isinstance(gauges, dict):
+            self.fail(where, "'gauges' must be an object")
+        else:
+            for name, value in gauges.items():
+                if not is_number(value):
+                    self.fail(where, f"gauge '{name}' must be a number")
+        windows = snap["windows"]
+        if not isinstance(windows, dict) or not windows:
+            self.fail(where, "'windows' must be a non-empty object")
+            return
+        for wname, metrics in windows.items():
+            wwhere = f"{where}/window {wname}"
+            if not isinstance(metrics, dict):
+                self.fail(wwhere, "window must be an object")
+                continue
+            for name in REQUIRED_WINDOW_METRICS:
+                if name not in metrics:
+                    self.fail(wwhere, f"missing metric '{name}'")
+            for name, value in metrics.items():
+                if isinstance(value, dict):
+                    self.check_digest(f"{wwhere}/{name}", value)
+                elif not is_number(value):
+                    self.fail(wwhere,
+                              f"metric '{name}' must be a number "
+                              "or digest object")
+
+    def check_reconciliation(self, lineno, snap):
+        where = f"line {lineno} (final)"
+        counters = snap.get("counters", {})
+        offered = counters.get("boss_serve_offered_total")
+        terminal = sum(
+            counters.get(name, 0)
+            for name in ("boss_serve_completed_total",
+                         "boss_serve_shed_total",
+                         "boss_serve_expired_total")
+        )
+        if offered != terminal:
+            self.fail(where,
+                      f"offered {offered} != completed+shed+expired "
+                      f"{terminal}")
+        good = counters.get("boss_serve_good_total", 0)
+        missed = counters.get("boss_serve_deadline_missed_total", 0)
+        completed = counters.get("boss_serve_completed_total", 0)
+        if good + missed != completed:
+            self.fail(where,
+                      f"good {good} + missed {missed} != "
+                      f"completed {completed}")
+
+    def run(self):
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError as err:
+            self.fail("<file>", f"unreadable: {err}")
+            return self.errors
+        snaps = []
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                snap = json.loads(line)
+            except json.JSONDecodeError as err:
+                self.fail(f"line {lineno}", f"invalid JSON: {err}")
+                continue
+            self.check_line(lineno, snap)
+            snaps.append((lineno, snap))
+        if not snaps:
+            self.fail("<file>", "no snapshots")
+            return self.errors
+        last_t = None
+        for lineno, snap in snaps:
+            t = snap.get("t_us")
+            if is_number(t):
+                if last_t is not None and t < last_t:
+                    self.fail(f"line {lineno}",
+                              f"t_us {t} went backwards from {last_t}")
+                last_t = t
+        if self.reconcile:
+            self.check_reconciliation(*snaps[-1])
+        return self.errors
+
+
+def main(argv):
+    args = argv[1:]
+    reconcile = False
+    if args and args[0] == "--reconcile":
+        reconcile = True
+        args = args[1:]
+    if not args:
+        print("usage: metrics_check.py [--reconcile] FILE [FILE...]",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in args:
+        errors = Checker(path, reconcile).run()
+        if errors:
+            failed = True
+            for line in errors:
+                print(line, file=sys.stderr)
+        else:
+            print(f"metrics_check: {path} OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
