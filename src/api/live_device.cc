@@ -1,0 +1,139 @@
+#include "api/live_device.h"
+
+#include "common/logging.h"
+#include "engine/topk.h"
+
+namespace boss::api
+{
+
+/**
+ * One published epoch's device set. The Snapshot pins the Version
+ * for as long as any query (or the cache) references this set, so a
+ * retiring epoch's views and tombstones outlive its in-flight
+ * queries.
+ */
+struct LiveDevice::EpochDevices
+{
+    std::uint64_t epoch = 0;
+    index::segments::Snapshot snapshot;
+    std::vector<std::unique_ptr<accel::Device>> devices;
+};
+
+LiveDevice::LiveDevice(LiveDeviceConfig config)
+    : config_(std::move(config)), live_(config_.live)
+{
+}
+
+engine::QueryPlan
+LiveDevice::plan(const std::string &qExpression) const
+{
+    engine::TermResolver resolver;
+    if (lexicon_.has_value()) {
+        resolver = [this](std::string_view name) {
+            auto id = lexicon_->lookup(name);
+            if (!id.has_value())
+                BOSS_FATAL("unknown query term '", std::string(name),
+                           "'");
+            return *id;
+        };
+    } else {
+        resolver = engine::defaultTermResolver;
+    }
+    return engine::planQuery(
+        engine::parseExpression(qExpression, resolver));
+}
+
+std::shared_ptr<LiveDevice::EpochDevices>
+LiveDevice::devicesForCurrentEpoch()
+{
+    index::segments::Snapshot snap = live_.snapshot();
+    BOSS_ASSERT(static_cast<bool>(snap),
+                "live index has no published epoch");
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_ != nullptr && cache_->epoch == snap->epoch())
+        return cache_;
+
+    auto built = std::make_shared<EpochDevices>();
+    built->epoch = snap->epoch();
+    const auto &readers = snap->segments();
+    built->devices.reserve(readers.size());
+    for (std::size_t i = 0; i < readers.size(); ++i) {
+        accel::DeviceConfig dc = config_.device;
+        dc.label = config_.device.label + "/seg" +
+                   std::to_string(readers[i].segment->id());
+        dc.deviceId = static_cast<std::uint32_t>(i);
+        auto dev = std::make_unique<accel::Device>(dc);
+        dev->loadSharedIndex(readers[i].view);
+        dev->setTombstones(readers[i].tombstones);
+        built->devices.push_back(std::move(dev));
+    }
+    built->snapshot = std::move(snap);
+    cache_ = built;
+    return built;
+}
+
+LiveDevice::Built
+LiveDevice::buildQuery(const engine::QueryPlan &plan,
+                       engine::QueryArena &arena)
+{
+    Built built;
+    built.devices = devicesForCurrentEpoch();
+    const auto &version = *built.devices->snapshot;
+    for (TermId t : plan.allTerms) {
+        BOSS_ASSERT(t < version.termBound(), "query term ", t,
+                    " outside epoch term bound ",
+                    version.termBound());
+    }
+    built.perSegment.reserve(built.devices->devices.size());
+    for (auto &dev : built.devices->devices)
+        built.perSegment.push_back(dev->buildQuery(plan, arena));
+    return built;
+}
+
+LiveOutcome
+LiveDevice::finishBuilt(Built built)
+{
+    const auto &version = *built.devices->snapshot;
+    LiveOutcome out;
+    out.epoch = version.epoch();
+
+    std::vector<std::vector<engine::Result>> perSegment;
+    perSegment.reserve(built.perSegment.size());
+    for (std::size_t i = 0; i < built.perSegment.size(); ++i) {
+        accel::Device &dev = *built.devices->devices[i];
+        std::vector<accel::BuiltQuery> one;
+        one.push_back(std::move(built.perSegment[i]));
+        accel::SearchOutcome so = dev.replayBuilt(std::move(one));
+        // One physical device scans its segments serially: times
+        // and traffic sum (unlike the sharded max-over-devices).
+        out.simSeconds += so.simSeconds;
+        out.deviceBytes += so.deviceBytes;
+        out.evaluatedDocs += so.evaluatedDocs;
+        out.skippedDocs += so.skippedDocs;
+
+        const auto &globals =
+            version.segments()[i].segment->source().globalIds;
+        for (engine::Result &r : so.topk)
+            r.doc = globals[r.doc];
+        perSegment.push_back(std::move(so.topk));
+    }
+    out.topk = engine::mergeTopK(perSegment, config_.device.k);
+    return out;
+}
+
+LiveOutcome
+LiveDevice::search(const workload::Query &query)
+{
+    searchArena_.reset();
+    return finishBuilt(buildQuery(plan(query), searchArena_));
+}
+
+LiveOutcome
+LiveDevice::search(const std::string &qExpression)
+{
+    searchArena_.reset();
+    return finishBuilt(buildQuery(plan(qExpression), searchArena_));
+}
+
+} // namespace boss::api

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A mutable-index device: one simulated BOSS accelerator serving an
+ * index::segments::LiveIndex while it ingests.
+ *
+ * Each published epoch gets a lazily-built set of per-segment
+ * accel::Devices sharing that epoch's rebaked views (no index
+ * copies); the set is cached until the epoch advances, and queries
+ * that started on an old epoch keep their devices (and the pinned
+ * Version) alive until they finish — refreshes and merges never
+ * block or corrupt in-flight searches. The segments of one epoch
+ * model a *single* physical device scanning its segments serially,
+ * so modeled times sum over segments while the top-k merge is the
+ * exact segmented merge of engine/segment_search.h.
+ */
+
+#ifndef BOSS_API_LIVE_DEVICE_H
+#define BOSS_API_LIVE_DEVICE_H
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "boss/device.h"
+#include "index/lexicon.h"
+#include "index/segments/live_index.h"
+
+namespace boss::api
+{
+
+struct LiveDeviceConfig
+{
+    /** Template for every per-segment device. */
+    accel::DeviceConfig device;
+    /** Live-index knobs (segment dir, bake threshold, merges...). */
+    index::segments::LiveIndexConfig live;
+};
+
+/** Result of one live search (global docIDs). */
+struct LiveOutcome
+{
+    std::vector<engine::Result> topk;
+    double simSeconds = 0.0;       ///< summed over segments (serial)
+    std::uint64_t deviceBytes = 0; ///< summed over segments
+    std::uint64_t evaluatedDocs = 0;
+    std::uint64_t skippedDocs = 0;
+    /** The epoch this query executed against. */
+    std::uint64_t epoch = 0;
+};
+
+class LiveDevice
+{
+  public:
+    explicit LiveDevice(LiveDeviceConfig config);
+
+    /** The underlying mutable index (ingest side). */
+    index::segments::LiveIndex &live() { return live_; }
+    const index::segments::LiveIndex &live() const { return live_; }
+
+    /**
+     * Attach a lexicon so expression queries resolve words; without
+     * one the synthetic t<N> naming applies.
+     */
+    void setLexicon(index::Lexicon lexicon)
+    {
+        lexicon_.emplace(std::move(lexicon));
+    }
+    bool hasLexicon() const { return lexicon_.has_value(); }
+    index::Lexicon *lexicon()
+    {
+        return lexicon_ ? &*lexicon_ : nullptr;
+    }
+
+    engine::QueryPlan plan(const std::string &qExpression) const;
+    engine::QueryPlan plan(const workload::Query &query) const
+    {
+        return engine::planQuery(query);
+    }
+
+    // ---- Pipelined execution (see boss/device.h) ----
+
+    /** The per-epoch device set; opaque to callers. */
+    struct EpochDevices;
+
+    /**
+     * One query built against a pinned epoch. Holding it keeps that
+     * epoch's devices and Version alive across publishes.
+     */
+    struct Built
+    {
+        std::shared_ptr<EpochDevices> devices;
+        std::vector<accel::BuiltQuery> perSegment;
+    };
+
+    /**
+     * Stage 1 (thread-safe): build the query on the current epoch's
+     * per-segment devices. Concurrent calls need distinct arenas.
+     */
+    Built buildQuery(const engine::QueryPlan &plan,
+                     engine::QueryArena &arena);
+
+    /**
+     * Stage 2 (serial): replay the per-segment builds, rebase local
+     * docIDs to global ones and merge the exact top-k.
+     */
+    LiveOutcome finishBuilt(Built built);
+
+    /** Build + finish in one call. */
+    LiveOutcome search(const workload::Query &query);
+    LiveOutcome search(const std::string &qExpression);
+
+    const LiveDeviceConfig &config() const { return config_; }
+
+  private:
+    std::shared_ptr<EpochDevices> devicesForCurrentEpoch();
+
+    LiveDeviceConfig config_;
+    index::segments::LiveIndex live_;
+    std::optional<index::Lexicon> lexicon_;
+    std::mutex mu_;
+    std::shared_ptr<EpochDevices> cache_;
+    engine::QueryArena searchArena_;
+};
+
+} // namespace boss::api
+
+#endif // BOSS_API_LIVE_DEVICE_H

@@ -54,6 +54,7 @@ ShardedDevice::loadShards(index::IndexShards shards)
                 "shard map / shard count mismatch");
     map_ = shards.map;
     devices_.clear();
+    tombstones_.clear();
     for (std::size_t s = 0; s < shards.shards.size(); ++s) {
         accel::DeviceConfig cfg = config_.device;
         cfg.label = "shard" + std::to_string(s);
@@ -78,6 +79,7 @@ ShardedDevice::loadTextIndex(index::TextIndex ti)
         index::shardIndex(ti.index, config_.shards);
     map_ = shards.map;
     devices_.clear();
+    tombstones_.clear();
     for (std::size_t s = 0; s < shards.shards.size(); ++s) {
         accel::DeviceConfig cfg = config_.device;
         cfg.label = "shard" + std::to_string(s);
@@ -93,6 +95,27 @@ void
 ShardedDevice::loadTextIndexFile(const std::string &path)
 {
     loadTextIndex(index::loadTextIndexFile(path));
+}
+
+void
+ShardedDevice::deleteDocs(const std::vector<DocId> &globalDocs)
+{
+    BOSS_ASSERT(!devices_.empty(), "deleteDocs() before loadShards()");
+    if (tombstones_.size() != devices_.size()) {
+        tombstones_.assign(devices_.size(), nullptr);
+        for (std::size_t s = 0; s < devices_.size(); ++s) {
+            tombstones_[s] = std::make_shared<index::TombstoneSet>(
+                devices_[s]->index().numDocs());
+        }
+    }
+    for (DocId g : globalDocs) {
+        if (g >= map_.numDocs())
+            continue;
+        const std::uint32_t s = map_.shardOf(g);
+        tombstones_[s]->markDeleted(map_.toLocal(s, g));
+    }
+    for (std::size_t s = 0; s < devices_.size(); ++s)
+        devices_[s]->setTombstones(tombstones_[s]);
 }
 
 template <typename Batch>

@@ -95,6 +95,17 @@ class ShardedDevice
     const index::ShardMap &map() const { return map_; }
     accel::Device &shard(std::uint32_t s) { return *devices_[s]; }
 
+    /**
+     * Tombstone-delete documents by global docID across the shard
+     * group: every subsequent query filters them before its top-k.
+     * Lucene-style semantics — the baked BM25 statistics (idf,
+     * norms) are NOT recomputed, so surviving docs keep their
+     * original scores (the live index in index/segments/ is the
+     * restating path). Unknown or already-deleted ids are ignored.
+     * Not thread-safe against in-flight queries: call it quiescent.
+     */
+    void deleteDocs(const std::vector<DocId> &globalDocs);
+
     /** Scatter one query to all shards and merge the top-k. */
     ShardedOutcome search(const workload::Query &query);
     ShardedOutcome search(const std::string &qExpression);
@@ -196,6 +207,8 @@ class ShardedDevice
     ShardedDeviceConfig config_;
     index::ShardMap map_;
     std::vector<std::unique_ptr<accel::Device>> devices_;
+    /** Per-shard delete bitmaps (created on first deleteDocs). */
+    std::vector<std::shared_ptr<index::TombstoneSet>> tombstones_;
     /** Per-worker decode scratch for the pipelined batch path. */
     std::vector<engine::QueryArena> arenas_;
     // Observability settings outlive reloads (and may be set before

@@ -50,7 +50,16 @@ Device::operational() const
 void
 Device::loadIndex(index::InvertedIndex index)
 {
-    index_.emplace(std::move(index));
+    loadSharedIndex(std::make_shared<const index::InvertedIndex>(
+        std::move(index)));
+}
+
+void
+Device::loadSharedIndex(
+    std::shared_ptr<const index::InvertedIndex> index)
+{
+    BOSS_ASSERT(index != nullptr, "loadSharedIndex(nullptr)");
+    index_ = std::move(index);
     layout_.emplace(*index_, kImageBase,
                     config_.mem.timing.granule);
 }
@@ -84,7 +93,7 @@ Device::lexicon() const
 const index::InvertedIndex &
 Device::index() const
 {
-    BOSS_ASSERT(index_.has_value(), "no index loaded");
+    BOSS_ASSERT(index_ != nullptr, "no index loaded");
     return *index_;
 }
 
@@ -132,11 +141,12 @@ Device::buildQuery(const engine::QueryPlan &plan,
                    engine::QueryArena &arena, trace::Scope scope,
                    std::uint16_t lane) const
 {
-    BOSS_ASSERT(index_.has_value(), "search() before loadIndex()");
+    BOSS_ASSERT(index_ != nullptr, "search() before loadIndex()");
 
     model::TraceOptions options =
         model::traceOptionsFor(config_.kind, config_.k);
     options.faults = faultPolicy_.get();
+    options.tombstones = tombstones_.get();
     // Subqueries of host-managed wide unions run without pruning and
     // spill their full scored lists to the host.
     model::TraceOptions wideOptions = options;
@@ -248,7 +258,7 @@ Device::replayBuilt(std::vector<BuiltQuery> built)
 SearchOutcome
 Device::runPlans(const std::vector<engine::QueryPlan> &plans)
 {
-    BOSS_ASSERT(index_.has_value(), "search() before loadIndex()");
+    BOSS_ASSERT(index_ != nullptr, "search() before loadIndex()");
 
     if (!operational()) {
         // A lost device answers nothing; the caller (ShardedDevice)

@@ -102,6 +102,13 @@ class Device
     /** Place an index into the device's memory pool. */
     void loadIndex(index::InvertedIndex index);
 
+    /**
+     * Place a shared immutable index without copying it. The live
+     * index uses this: every per-segment device of an epoch shares
+     * that epoch's rebaked view with the publishing SegmentMap.
+     */
+    void loadSharedIndex(std::shared_ptr<const index::InvertedIndex> index);
+
     /** Load a serialized index file (the init() intrinsic's path). */
     void loadIndexFile(const std::string &path);
 
@@ -117,9 +124,27 @@ class Device
     bool hasLexicon() const { return lexicon_.has_value(); }
     const index::Lexicon &lexicon() const;
 
-    bool hasIndex() const { return index_.has_value(); }
+    bool hasIndex() const { return index_ != nullptr; }
     const index::InvertedIndex &index() const;
     const index::MemoryLayout &layout() const;
+
+    /**
+     * Install (or clear, with nullptr) the delete bitmap applied to
+     * every subsequent query: tombstoned docs are filtered before
+     * the top-k. The set is read concurrently by buildQuery calls —
+     * callers must not mutate it while queries are in flight (the
+     * live index publishes frozen copies; ShardedDevice::deleteDocs
+     * documents its quiescence requirement).
+     */
+    void
+    setTombstones(std::shared_ptr<const index::TombstoneSet> tombstones)
+    {
+        tombstones_ = std::move(tombstones);
+    }
+    const index::TombstoneSet *tombstones() const
+    {
+        return tombstones_.get();
+    }
 
     /** Serve one query given as an API expression string. */
     SearchOutcome search(const std::string &qExpression);
@@ -241,7 +266,9 @@ class Device
     SearchOutcome runPlans(const std::vector<engine::QueryPlan> &plans);
 
     DeviceConfig config_;
-    std::optional<index::InvertedIndex> index_;
+    /** Shared so per-epoch segment devices alias one rebaked view. */
+    std::shared_ptr<const index::InvertedIndex> index_;
+    std::shared_ptr<const index::TombstoneSet> tombstones_;
     std::optional<index::Lexicon> lexicon_;
     std::optional<index::MemoryLayout> layout_;
     /** Set only when config_.faults.enabled(). */

@@ -62,7 +62,8 @@ scoreMatches(const index::InvertedIndex &index, DocId d,
 std::vector<Result>
 unionLoop(const index::InvertedIndex &index, const QueryPlan &plan,
           std::size_t k, const ExecFlags &flags, ExecHooks *hooks,
-          QueryArena *arena, FaultPolicy *faults)
+          QueryArena *arena, FaultPolicy *faults,
+          const index::TombstoneSet *tombstones)
 {
     auto streams = buildStreams(index, plan, hooks, arena, faults);
     TopK topk(k);
@@ -163,6 +164,16 @@ unionLoop(const index::InvertedIndex &index, const QueryPlan &plan,
                 reorderPrefix(q + 1);
                 continue;
             }
+        }
+
+        if (tombstones != nullptr && tombstones->deleted(d)) {
+            // Tombstoned doc: never scored, never offered to the
+            // heap (it must not raise the top-k threshold). Its
+            // streams advance normally so the loop invariants hold.
+            for (std::size_t i = 0; i <= q; ++i)
+                live[i]->next();
+            reorderPrefix(q + 1);
+            continue;
         }
 
         matches.clear();
@@ -364,7 +375,8 @@ iiuDecodeList(const index::InvertedIndex &index, TermId t,
 std::vector<Result>
 iiuIntersectPath(const index::InvertedIndex &index, const QueryPlan &plan,
                  std::size_t k, const ExecFlags &flags, ExecHooks *hooks,
-                 QueryArena *arena, FaultPolicy *faults)
+                 QueryArena *arena, FaultPolicy *faults,
+                 const index::TombstoneSet *tombstones)
 {
     // Determine the conjunction structure: either one pure group, or
     // the factored common ^ (rest1 v rest2 v ...) shape.
@@ -456,6 +468,8 @@ iiuIntersectPath(const index::InvertedIndex &index, const QueryPlan &plan,
     TopK topk(k);
     std::uint64_t resultBytes = 0;
     for (const auto &c : current) {
+        if (tombstones != nullptr && tombstones->deleted(c.doc))
+            continue; // deleted docs never reach the top-k heap
         if (hooks != nullptr) {
             hooks->onNormLoad(c.doc);
             hooks->onScore(c.doc, 1);
@@ -507,20 +521,22 @@ hasConjunctiveCore(const QueryPlan &plan)
 std::vector<Result>
 executeQuery(const index::InvertedIndex &index, const QueryPlan &plan,
              std::size_t k, const ExecFlags &flags, ExecHooks *hooks,
-             QueryArena *arena, FaultPolicy *faults)
+             QueryArena *arena, FaultPolicy *faults,
+             const index::TombstoneSet *tombstones)
 {
     BOSS_ASSERT(!plan.groups.empty(), "empty query plan");
     if (flags.binaryIntersect && !plan.isPureUnion() &&
         hasConjunctiveCore(plan)) {
         return iiuIntersectPath(index, plan, k, flags, hooks, arena,
-                                faults);
+                                faults, tombstones);
     }
-    return unionLoop(index, plan, k, flags, hooks, arena, faults);
+    return unionLoop(index, plan, k, flags, hooks, arena, faults,
+                     tombstones);
 }
 
 std::vector<Result>
 naiveTopK(const index::InvertedIndex &index, const QueryPlan &plan,
-          std::size_t k)
+          std::size_t k, const index::TombstoneSet *tombstones)
 {
     // Decode every term fully.
     std::map<TermId, index::PostingList> decoded;
@@ -546,6 +562,8 @@ naiveTopK(const index::InvertedIndex &index, const QueryPlan &plan,
 
     TopK topk(k);
     for (const auto &[d, terms] : matched) {
+        if (tombstones != nullptr && tombstones->deleted(d))
+            continue;
         Score s = 0.f;
         for (TermId t : terms) {
             const auto &list = decoded[t];

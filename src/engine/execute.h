@@ -24,6 +24,7 @@
 #include "engine/plan.h"
 #include "engine/resilience.h"
 #include "engine/topk.h"
+#include "index/doc_filter.h"
 #include "index/inverted_index.h"
 
 namespace boss::engine
@@ -58,12 +59,19 @@ inline constexpr std::size_t kDefaultTopK = 1000;
  * dropped, degrading scores instead of crashing. A null @p faults is
  * the unchecked fast path with bit-identical results to builds
  * without the resilience layer.
+ * @p tombstones, when non-null, filters deleted documents out before
+ * they can enter the top-k heap (live-index deletes). Pruning bounds
+ * are computed over all postings including tombstoned ones — a valid
+ * over-approximation — so early termination stays lossless: results
+ * are bit-identical to an index rebuilt from the surviving docs with
+ * the same baked statistics.
  */
 std::vector<Result>
 executeQuery(const index::InvertedIndex &index, const QueryPlan &plan,
              std::size_t k, const ExecFlags &flags,
              ExecHooks *hooks = nullptr, QueryArena *arena = nullptr,
-             FaultPolicy *faults = nullptr);
+             FaultPolicy *faults = nullptr,
+             const index::TombstoneSet *tombstones = nullptr);
 
 /**
  * Brute-force oracle: decodes every posting list fully and scores
@@ -71,7 +79,8 @@ executeQuery(const index::InvertedIndex &index, const QueryPlan &plan,
  */
 std::vector<Result>
 naiveTopK(const index::InvertedIndex &index, const QueryPlan &plan,
-          std::size_t k);
+          std::size_t k,
+          const index::TombstoneSet *tombstones = nullptr);
 
 } // namespace boss::engine
 

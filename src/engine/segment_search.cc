@@ -1,0 +1,68 @@
+#include "engine/segment_search.h"
+
+#include "common/logging.h"
+
+namespace boss::engine
+{
+
+namespace
+{
+
+void
+checkTermBound(const QueryPlan &plan,
+               const index::segments::Version &version)
+{
+    for (TermId t : plan.allTerms) {
+        BOSS_ASSERT(t < version.termBound(), "query term ", t,
+                    " outside epoch term bound ",
+                    version.termBound());
+    }
+}
+
+template <typename SegmentFn>
+std::vector<Result>
+mergeOverSegments(const index::segments::Version &version,
+                  std::size_t k, SegmentFn &&runSegment)
+{
+    std::vector<std::vector<Result>> perSegment;
+    perSegment.reserve(version.segments().size());
+    for (const auto &reader : version.segments()) {
+        std::vector<Result> local = runSegment(reader);
+        // Rebase to global docIDs before the merge so the shared
+        // ranksAbove tie-break matches an unsegmented index.
+        for (Result &r : local)
+            r.doc = reader.segment->source().globalIds[r.doc];
+        perSegment.push_back(std::move(local));
+    }
+    return mergeTopK(perSegment, k);
+}
+
+} // namespace
+
+std::vector<Result>
+searchSegments(const index::segments::Version &version,
+               const QueryPlan &plan, std::size_t k,
+               const ExecFlags &flags)
+{
+    checkTermBound(plan, version);
+    return mergeOverSegments(
+        version, k, [&](const index::segments::SegmentReader &reader) {
+            return executeQuery(*reader.view, plan, k, flags, nullptr,
+                                nullptr, nullptr,
+                                reader.tombstones.get());
+        });
+}
+
+std::vector<Result>
+naiveSearchSegments(const index::segments::Version &version,
+                    const QueryPlan &plan, std::size_t k)
+{
+    checkTermBound(plan, version);
+    return mergeOverSegments(
+        version, k, [&](const index::segments::SegmentReader &reader) {
+            return naiveTopK(*reader.view, plan, k,
+                             reader.tombstones.get());
+        });
+}
+
+} // namespace boss::engine

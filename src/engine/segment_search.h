@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Query execution over a live-index epoch (a pinned SegmentMap
+ * Version): run the plan on every segment's rebaked view with its
+ * frozen tombstones, rebase local docIDs to global ones, and merge
+ * the per-segment top-k lists exactly.
+ *
+ * Exactness mirrors the sharded argument (engine/topk.h): every
+ * segment runs the same k, scores are globally comparable because
+ * each view is rebaked against the epoch's survivor statistics, and
+ * a segment's local docID order equals its global order (globalIds
+ * are strictly ascending), so local tie-breaks agree with global
+ * ones. The merged result is bit-identical to a from-scratch rebuild
+ * of the surviving documents.
+ *
+ * This lives in the engine layer (not index/segments) because it
+ * drives executeQuery; boss_index cannot link boss_engine.
+ */
+
+#ifndef BOSS_ENGINE_SEGMENT_SEARCH_H
+#define BOSS_ENGINE_SEGMENT_SEARCH_H
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/execute.h"
+#include "index/segments/segment_map.h"
+
+namespace boss::engine
+{
+
+/**
+ * Top-k of @p plan over every segment of @p version, in rank order
+ * with global docIDs. Every term in the plan must be below
+ * version.termBound().
+ */
+std::vector<Result>
+searchSegments(const index::segments::Version &version,
+               const QueryPlan &plan, std::size_t k,
+               const ExecFlags &flags);
+
+/** naiveTopK analogue over a version (test oracle). */
+std::vector<Result>
+naiveSearchSegments(const index::segments::Version &version,
+                    const QueryPlan &plan, std::size_t k);
+
+} // namespace boss::engine
+
+#endif // BOSS_ENGINE_SEGMENT_SEARCH_H

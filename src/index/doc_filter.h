@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tombstone delete filter: a bitmap over one index's local docID
+ * space.
+ *
+ * Live-index deletes are out-of-place (Lucene-style): the immutable
+ * posting lists keep the deleted document's postings, and the engine
+ * filters tombstoned docIDs out *before* they can enter the top-k
+ * heap (a deleted doc must never raise the selection threshold).
+ * Merges later drop the postings for real (segments/live_index.h).
+ */
+
+#ifndef BOSS_INDEX_DOC_FILTER_H
+#define BOSS_INDEX_DOC_FILTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace boss::index
+{
+
+/**
+ * A fixed-size delete bitmap over local docIDs [0, numDocs).
+ *
+ * Mutation (markDeleted) is single-writer; concurrent readers must
+ * hold an immutable copy (the live index publishes a frozen copy
+ * into every SegmentMap version for exactly this reason).
+ */
+class TombstoneSet
+{
+  public:
+    TombstoneSet() = default;
+    explicit TombstoneSet(std::uint32_t numDocs)
+        : numDocs_(numDocs), words_((numDocs + 63) / 64, 0)
+    {
+    }
+
+    std::uint32_t numDocs() const { return numDocs_; }
+    std::uint32_t deletedCount() const { return deleted_; }
+    std::uint32_t liveCount() const { return numDocs_ - deleted_; }
+    bool any() const { return deleted_ != 0; }
+
+    /** Tombstone @p d. Returns false if it was already deleted. */
+    bool
+    markDeleted(DocId d)
+    {
+        std::uint64_t &w = words_[d >> 6];
+        const std::uint64_t bit = 1ull << (d & 63);
+        if ((w & bit) != 0)
+            return false;
+        w |= bit;
+        ++deleted_;
+        return true;
+    }
+
+    /** Is @p d tombstoned? Precondition: d < numDocs(). */
+    bool
+    deleted(DocId d) const
+    {
+        return ((words_[d >> 6] >> (d & 63)) & 1u) != 0;
+    }
+
+    /** All tombstoned docIDs in ascending order (manifest format). */
+    std::vector<std::uint32_t>
+    deletedIds() const
+    {
+        std::vector<std::uint32_t> out;
+        out.reserve(deleted_);
+        for (std::uint32_t d = 0; d < numDocs_; ++d) {
+            if (deleted(d))
+                out.push_back(d);
+        }
+        return out;
+    }
+
+  private:
+    std::uint32_t numDocs_ = 0;
+    std::uint32_t deleted_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace boss::index
+
+#endif // BOSS_INDEX_DOC_FILTER_H

@@ -139,6 +139,58 @@ IndexBuilder::compressList(TermId term, const PostingList &postings,
     return out;
 }
 
+CompressedPostingList
+IndexBuilder::buildList(TermId term, const PostingList &postings,
+                        std::optional<compress::Scheme> forced,
+                        const Bm25 &bm25,
+                        const std::vector<DocInfo> &docs,
+                        std::optional<std::uint32_t> dfOverride)
+{
+    if (postings.empty()) {
+        CompressedPostingList out;
+        out.term = term;
+        // A term with postings elsewhere in the corpus still
+        // carries its global idf; a corpus-wide empty term keeps
+        // the default 0 like an unsharded build.
+        if (dfOverride && *dfOverride > 0)
+            out.idf = static_cast<float>(bm25.idf(*dfOverride));
+        return out;
+    }
+    if (forced.has_value())
+        return compressList(term, postings, *forced, bm25, docs,
+                            dfOverride);
+
+    // Hybrid: smallest total size wins (paper Fig. 3 "Hybrid").
+    CompressedPostingList best;
+    bool first = true;
+    for (compress::Scheme s : compress::kAllSchemes) {
+        if (s == compress::Scheme::PFD)
+            continue; // same format as OptPFD, never smaller
+        // Skip schemes that cannot represent some block; S16 is
+        // the only candidate (gaps >= 2^28).
+        if (s == compress::Scheme::S16) {
+            bool ok = true;
+            DocId prev = 0;
+            for (const auto &p : postings) {
+                if (p.doc - prev >= (1u << 28) || p.tf >= (1u << 28)) {
+                    ok = false;
+                    break;
+                }
+                prev = p.doc;
+            }
+            if (!ok)
+                continue;
+        }
+        CompressedPostingList trial =
+            compressList(term, postings, s, bm25, docs, dfOverride);
+        if (first || trial.sizeBytes() < best.sizeBytes()) {
+            best = std::move(trial);
+            first = false;
+        }
+    }
+    return best;
+}
+
 InvertedIndex
 IndexBuilder::build()
 {
@@ -172,51 +224,9 @@ IndexBuilder::build()
         pending_.empty() ? 0 : maxTerm + 1);
 
     for (auto &entry : pending_) {
-        const TermId term = entry.term;
-        const PostingList &postings = entry.postings;
-        if (postings.empty()) {
-            lists[term].term = term;
-            // A term with postings elsewhere in the corpus still
-            // carries its global idf; a corpus-wide empty term keeps
-            // the default 0 like an unsharded build.
-            if (entry.scoredDf && *entry.scoredDf > 0)
-                lists[term].idf =
-                    static_cast<float>(bm25.idf(*entry.scoredDf));
-            continue;
-        }
-        if (forced_.has_value()) {
-            lists[term] = compressList(term, postings, *forced_, bm25,
-                                       docs, entry.scoredDf);
-            continue;
-        }
-        // Hybrid: smallest total size wins (paper Fig. 3 "Hybrid").
-        bool first = true;
-        for (compress::Scheme s : compress::kAllSchemes) {
-            if (s == compress::Scheme::PFD)
-                continue; // same format as OptPFD, never smaller
-            // Skip schemes that cannot represent some block; S16 is
-            // the only candidate (gaps >= 2^28).
-            if (s == compress::Scheme::S16) {
-                bool ok = true;
-                DocId prev = 0;
-                for (const auto &p : postings) {
-                    if (p.doc - prev >= (1u << 28) ||
-                        p.tf >= (1u << 28)) {
-                        ok = false;
-                        break;
-                    }
-                    prev = p.doc;
-                }
-                if (!ok)
-                    continue;
-            }
-            CompressedPostingList trial = compressList(
-                term, postings, s, bm25, docs, entry.scoredDf);
-            if (first || trial.sizeBytes() < lists[term].sizeBytes()) {
-                lists[term] = std::move(trial);
-                first = false;
-            }
-        }
+        lists[entry.term] = buildList(entry.term, entry.postings,
+                                      forced_, bm25, docs,
+                                      entry.scoredDf);
     }
 
     return InvertedIndex(params_, std::move(docs), scoredAvgLen,

@@ -132,6 +132,21 @@ class IndexBuilder
                  const std::vector<DocInfo> &docs,
                  std::optional<std::uint32_t> dfOverride = {});
 
+    /**
+     * Produce one term's final stored list: the forced scheme when
+     * given, otherwise hybrid smallest-encoding-wins over every
+     * representable scheme. This is the single codepath shared by
+     * build() and the live-index segment rebake (which re-encodes
+     * per-segment views against live survivor statistics), so both
+     * make identical scheme choices and produce identical payloads
+     * for identical inputs.
+     */
+    static CompressedPostingList
+    buildList(TermId term, const PostingList &postings,
+              std::optional<compress::Scheme> forced, const Bm25 &bm25,
+              const std::vector<DocInfo> &docs,
+              std::optional<std::uint32_t> dfOverride = {});
+
   private:
     struct PendingList
     {

@@ -1,0 +1,550 @@
+#include "index/segments/live_index.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "common/logging.h"
+#include "index/inverted_index.h"
+#include "index/segments/manifest.h"
+
+namespace boss::index::segments
+{
+
+namespace
+{
+
+/**
+ * Re-encode one segment's view against this epoch's live survivor
+ * statistics. Lists are sized to the epoch's term bound (the engine
+ * indexes them unchecked) and every term carries its live idf, so a
+ * per-segment search scores exactly as a clean rebuild would.
+ */
+std::shared_ptr<const InvertedIndex>
+rebakeView(const BakedSegment &seg, const Bm25Params &params,
+           std::optional<compress::Scheme> forced, const Bm25 &bm25,
+           const std::vector<std::uint32_t> &liveDf, TermId termBound)
+{
+    std::vector<DocInfo> docs(seg.numDocs());
+    for (std::uint32_t d = 0; d < seg.numDocs(); ++d) {
+        docs[d].length = seg.source().docLengths[d];
+        docs[d].norm = bm25.docNorm(docs[d].length);
+    }
+
+    std::vector<CompressedPostingList> lists(termBound);
+    for (TermId t = 0; t < termBound; ++t) {
+        lists[t].term = t;
+        if (liveDf[t] > 0)
+            lists[t].idf = static_cast<float>(bm25.idf(liveDf[t]));
+    }
+    for (const auto &[t, pl] : seg.source().postings) {
+        lists[t] = IndexBuilder::buildList(t, pl, forced, bm25, docs,
+                                           liveDf[t]);
+    }
+    return std::make_shared<const InvertedIndex>(
+        params, std::move(docs), bm25.avgDocLen(), std::move(lists));
+}
+
+} // namespace
+
+LiveIndex::LiveIndex(LiveIndexConfig config) : config_(std::move(config))
+{
+    termBound_ = config_.termBoundHint;
+    liveDf_.assign(termBound_, 0);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    bool recovered = false;
+    if (!config_.dir.empty()) {
+        std::filesystem::create_directories(config_.dir);
+        recovered = recoverLocked();
+    }
+    if (!recovered)
+        publishLocked(1, !config_.dir.empty());
+}
+
+LiveIndex::~LiveIndex() { stopMerger(); }
+
+DocId
+LiveIndex::append(const std::vector<TermId> &tokens)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+
+    BufferedDoc doc;
+    doc.global = nextGlobal_++;
+    doc.length = static_cast<std::uint32_t>(tokens.size());
+    std::vector<TermId> sorted = tokens;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size();) {
+        std::size_t j = i;
+        while (j < sorted.size() && sorted[j] == sorted[i])
+            ++j;
+        doc.bag.emplace_back(sorted[i],
+                             static_cast<TermFreq>(j - i));
+        i = j;
+    }
+
+    if (!doc.bag.empty()) {
+        const TermId needed = doc.bag.back().first + 1;
+        if (needed > termBound_) {
+            termBound_ = needed;
+            liveDf_.resize(termBound_, 0);
+        }
+    }
+    for (const auto &[t, tf] : doc.bag)
+        ++liveDf_[t];
+
+    const DocId global = doc.global;
+    buffer_.push_back(std::move(doc));
+    dirty_ = true;
+    counters_.appended.fetch_add(1, std::memory_order_relaxed);
+    if (buffer_.size() >= config_.maxBufferedDocs)
+        bakeBufferLocked();
+    return global;
+}
+
+bool
+LiveIndex::erase(DocId globalId)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (globalId >= nextGlobal_)
+        return false;
+
+    // Buffered docs hold the highest contiguous global range.
+    if (!buffer_.empty() && globalId >= buffer_.front().global) {
+        const std::size_t idx = globalId - buffer_.front().global;
+        BOSS_ASSERT(idx < buffer_.size(),
+                    "buffer global range not contiguous");
+        BufferedDoc &doc = buffer_[idx];
+        if (doc.dead)
+            return false;
+        doc.dead = true;
+        for (const auto &[t, tf] : doc.bag)
+            --liveDf_[t];
+        dirty_ = true;
+        counters_.erased.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    for (Entry &entry : segments_) {
+        if (globalId < entry.segment->firstGlobal() ||
+            globalId > entry.segment->lastGlobal())
+            continue;
+        const auto local = entry.segment->localOf(globalId);
+        if (!local.has_value())
+            return false;
+        if (!entry.tombstones->markDeleted(*local))
+            return false;
+        --entry.liveDocs;
+        for (TermId t : entry.segment->docTerms(*local))
+            --liveDf_[t];
+        dirty_ = true;
+        counters_.erased.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    // Already compacted away by a merge (it was dead) or in a
+    // global-id gap: nothing to do.
+    return false;
+}
+
+void
+LiveIndex::bakeBufferLocked()
+{
+    if (buffer_.empty())
+        return;
+
+    SegmentSource src;
+    src.docLengths.reserve(buffer_.size());
+    src.globalIds.reserve(buffer_.size());
+    std::map<TermId, PostingList> byTerm;
+    std::uint32_t live = 0;
+    std::vector<std::uint32_t> deadLocals;
+    for (std::uint32_t local = 0; local < buffer_.size(); ++local) {
+        const BufferedDoc &doc = buffer_[local];
+        src.docLengths.push_back(doc.length);
+        src.globalIds.push_back(doc.global);
+        for (const auto &[t, tf] : doc.bag)
+            byTerm[t].push_back({local, tf});
+        // A doc appended and erased within one buffer window is
+        // baked anyway and tombstoned immediately: one uniform
+        // delete path, and the stats folds skip it like any other
+        // dead doc.
+        if (doc.dead)
+            deadLocals.push_back(local);
+        else
+            ++live;
+    }
+    for (auto &[t, pl] : byTerm)
+        src.postings.emplace_back(t, std::move(pl));
+
+    Entry entry;
+    entry.segment = BakedSegment::bake(nextSegmentId_++,
+                                       std::move(src));
+    entry.tombstones =
+        std::make_shared<TombstoneSet>(entry.segment->numDocs());
+    for (std::uint32_t d : deadLocals)
+        entry.tombstones->markDeleted(d);
+    entry.liveDocs = live;
+
+    if (!config_.dir.empty())
+        writeSegmentFile(*entry.segment);
+    segments_.push_back(std::move(entry));
+    buffer_.clear();
+    counters_.segmentsBaked.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+LiveIndex::refresh()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!dirty_ && buffer_.empty())
+        return;
+    bakeBufferLocked();
+    publishLocked(map_.epoch() + 1, !config_.dir.empty());
+    dirty_ = false;
+    counters_.refreshes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+LiveIndex::publishLocked(std::uint64_t epoch, bool writeManifest)
+{
+    // Live average document length as the exact left-fold a clean
+    // IndexBuilder::build over the survivors would compute: segments
+    // ascend in global-docID order (appends are contiguous, merges
+    // fuse adjacent runs), so this addition order matches
+    // std::accumulate over the compacted survivor array.
+    double lenSum = 0.0;
+    std::uint64_t liveCount = 0;
+    for (const Entry &entry : segments_) {
+        const auto &lengths = entry.segment->source().docLengths;
+        for (std::uint32_t d = 0; d < lengths.size(); ++d) {
+            if (entry.tombstones->deleted(d))
+                continue;
+            lenSum += static_cast<double>(lengths[d]);
+            ++liveCount;
+        }
+    }
+    const double avgLen =
+        liveCount > 0 ? lenSum / static_cast<double>(liveCount) : 1.0;
+    const Bm25 bm25(config_.bm25,
+                    static_cast<std::uint32_t>(liveCount), avgLen);
+
+    std::vector<SegmentReader> readers;
+    readers.reserve(segments_.size());
+    for (const Entry &entry : segments_) {
+        SegmentReader reader;
+        reader.segment = entry.segment;
+        if (entry.tombstones->any()) {
+            // Freeze a copy: the working bitmap keeps mutating
+            // under erase() while queries hold this version.
+            reader.tombstones =
+                std::make_shared<const TombstoneSet>(*entry.tombstones);
+        }
+        reader.view = rebakeView(*entry.segment, config_.bm25,
+                                 config_.forcedScheme, bm25, liveDf_,
+                                 termBound_);
+        reader.liveDocs = entry.liveDocs;
+        readers.push_back(std::move(reader));
+    }
+
+    map_.publish(std::make_shared<const Version>(
+        epoch, std::move(readers),
+        static_cast<std::uint32_t>(liveCount), avgLen, termBound_));
+
+    if (writeManifest) {
+        Manifest m;
+        m.epoch = epoch;
+        m.nextGlobalId = nextGlobal_;
+        m.nextSegmentId = nextSegmentId_;
+        for (const Entry &entry : segments_) {
+            ManifestSegment seg;
+            seg.id = entry.segment->id();
+            seg.file = segmentFileName(seg.id);
+            seg.deletedLocals = entry.tombstones->deletedIds();
+            m.segments.push_back(std::move(seg));
+        }
+        writeManifestFile(config_.dir, m);
+        collectGarbage(config_.dir);
+    }
+}
+
+bool
+LiveIndex::mergeOnce()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (mergeInFlight_)
+        return false;
+    if (segments_.size() <= config_.maxSegments)
+        return false;
+    const std::size_t fanIn =
+        std::min<std::size_t>(std::max<std::uint32_t>(
+                                  config_.mergeFanIn, 2),
+                              segments_.size());
+
+    // Adjacent-only merge window (keeps segment order == global-id
+    // order); pick the run with the fewest live docs so compaction
+    // chases garbage first.
+    std::size_t best = 0;
+    std::uint64_t bestLive = ~std::uint64_t{0};
+    for (std::size_t i = 0; i + fanIn <= segments_.size(); ++i) {
+        std::uint64_t liveHere = 0;
+        for (std::size_t j = i; j < i + fanIn; ++j)
+            liveHere += segments_[j].liveDocs;
+        if (liveHere < bestLive) {
+            bestLive = liveHere;
+            best = i;
+        }
+    }
+
+    // Phase 1 (locked): snapshot the window's sources and delete
+    // bitmaps, reserve the merged segment id.
+    std::vector<std::shared_ptr<const BakedSegment>> srcs;
+    std::vector<TombstoneSet> snapTombs;
+    for (std::size_t j = best; j < best + fanIn; ++j) {
+        srcs.push_back(segments_[j].segment);
+        snapTombs.push_back(*segments_[j].tombstones);
+    }
+    const std::uint64_t mergedId = nextSegmentId_++;
+    mergeInFlight_ = true;
+    lock.unlock();
+
+    // Phase 2 (unlocked): build the compacted segment. Queries,
+    // appends and erases proceed concurrently; the window itself is
+    // immutable except its tombstone bitmaps, which phase 3 diffs.
+    SegmentSource merged;
+    std::vector<std::vector<std::optional<std::uint32_t>>> remap(
+        srcs.size());
+    std::map<TermId, PostingList> byTerm;
+    for (std::size_t s = 0; s < srcs.size(); ++s) {
+        const SegmentSource &src = srcs[s]->source();
+        remap[s].assign(src.numDocs(), std::nullopt);
+        for (std::uint32_t d = 0; d < src.numDocs(); ++d) {
+            if (snapTombs[s].deleted(d))
+                continue;
+            remap[s][d] = static_cast<std::uint32_t>(
+                merged.docLengths.size());
+            merged.docLengths.push_back(src.docLengths[d]);
+            merged.globalIds.push_back(src.globalIds[d]);
+        }
+        for (const auto &[t, pl] : src.postings) {
+            for (const Posting &p : pl) {
+                if (remap[s][p.doc].has_value())
+                    byTerm[t].push_back({*remap[s][p.doc], p.tf});
+            }
+        }
+    }
+    for (auto &[t, pl] : byTerm)
+        merged.postings.emplace_back(t, std::move(pl));
+
+    std::shared_ptr<const BakedSegment> mergedSeg;
+    if (merged.numDocs() > 0) {
+        mergedSeg = BakedSegment::bake(mergedId, std::move(merged));
+        if (!config_.dir.empty())
+            writeSegmentFile(*mergedSeg);
+    }
+
+    // Phase 3 (locked): carry over deletes that landed in the window
+    // during the build, splice the merged entry in, publish. Window
+    // indices are stable: bakes only append at the back and merges
+    // are serialized by mergeInFlight_.
+    lock.lock();
+    Entry entry;
+    std::uint32_t mergedLive = 0;
+    if (mergedSeg != nullptr) {
+        entry.segment = mergedSeg;
+        entry.tombstones =
+            std::make_shared<TombstoneSet>(mergedSeg->numDocs());
+        mergedLive = mergedSeg->numDocs();
+        for (std::size_t s = 0; s < srcs.size(); ++s) {
+            const TombstoneSet &now =
+                *segments_[best + s].tombstones;
+            for (std::uint32_t d = 0; d < srcs[s]->numDocs(); ++d) {
+                if (!now.deleted(d) || snapTombs[s].deleted(d))
+                    continue;
+                BOSS_ASSERT(remap[s][d].has_value(),
+                            "mid-merge delete of a compacted doc");
+                entry.tombstones->markDeleted(*remap[s][d]);
+                --mergedLive;
+            }
+        }
+        entry.liveDocs = mergedLive;
+    }
+
+    const auto first = segments_.begin() +
+                       static_cast<std::ptrdiff_t>(best);
+    segments_.erase(first,
+                    first + static_cast<std::ptrdiff_t>(fanIn));
+    if (mergedSeg != nullptr) {
+        segments_.insert(segments_.begin() +
+                             static_cast<std::ptrdiff_t>(best),
+                         std::move(entry));
+    }
+    mergeInFlight_ = false;
+    counters_.merges.fetch_add(1, std::memory_order_relaxed);
+    publishLocked(map_.epoch() + 1, !config_.dir.empty());
+    // Pending erases are now visible; buffered appends are not.
+    dirty_ = !buffer_.empty();
+    return true;
+}
+
+void
+LiveIndex::startMerger()
+{
+    if (merger_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mergerMu_);
+        stopMerger_ = false;
+    }
+    merger_ = std::thread([this] {
+        std::unique_lock<std::mutex> lk(mergerMu_);
+        while (!stopMerger_) {
+            lk.unlock();
+            const bool didWork = mergeOnce();
+            map_.drainRetired();
+            lk.lock();
+            if (!didWork && !stopMerger_) {
+                mergerCv_.wait_for(
+                    lk,
+                    std::chrono::milliseconds(config_.mergerPollMs));
+            }
+        }
+    });
+}
+
+void
+LiveIndex::stopMerger()
+{
+    {
+        std::lock_guard<std::mutex> lock(mergerMu_);
+        stopMerger_ = true;
+    }
+    mergerCv_.notify_all();
+    if (merger_.joinable())
+        merger_.join();
+}
+
+void
+LiveIndex::writeSegmentFile(const BakedSegment &segment) const
+{
+    const std::filesystem::path path =
+        std::filesystem::path(config_.dir) /
+        segmentFileName(segment.id());
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    BOSS_ASSERT(os.good(), "cannot write segment ", path.string());
+    segment.save(os, config_.bm25, config_.forcedScheme);
+    os.flush();
+    BOSS_ASSERT(os.good(), "short segment write ", path.string());
+}
+
+bool
+LiveIndex::recoverLocked()
+{
+    for (const auto &[epoch, path] : listManifests(config_.dir)) {
+        std::ifstream is(path, std::ios::binary);
+        if (!is.good())
+            continue;
+        const auto m = tryLoadManifest(is);
+        if (!m.has_value())
+            continue;
+
+        std::vector<Entry> entries;
+        bool ok = true;
+        for (const ManifestSegment &seg : m->segments) {
+            std::ifstream ss(std::filesystem::path(config_.dir) /
+                                 seg.file,
+                             std::ios::binary);
+            auto baked =
+                ss.good() ? BakedSegment::tryLoad(ss) : nullptr;
+            if (baked == nullptr || baked->id() != seg.id) {
+                ok = false;
+                break;
+            }
+            Entry entry;
+            entry.tombstones =
+                std::make_shared<TombstoneSet>(baked->numDocs());
+            for (std::uint32_t d : seg.deletedLocals) {
+                if (d >= baked->numDocs()) {
+                    ok = false;
+                    break;
+                }
+                entry.tombstones->markDeleted(d);
+            }
+            if (!ok)
+                break;
+            entry.liveDocs = entry.tombstones->liveCount();
+            entry.segment = std::move(baked);
+            entries.push_back(std::move(entry));
+        }
+        if (!ok)
+            continue; // torn epoch: fall back to the previous one
+
+        segments_ = std::move(entries);
+        nextGlobal_ = static_cast<DocId>(m->nextGlobalId);
+        nextSegmentId_ = m->nextSegmentId;
+        for (const Entry &entry : segments_) {
+            termBound_ =
+                std::max(termBound_, entry.segment->termBound());
+        }
+        liveDf_.assign(termBound_, 0);
+        for (const Entry &entry : segments_) {
+            for (const auto &[t, pl] :
+                 entry.segment->source().postings) {
+                for (const Posting &p : pl) {
+                    if (!entry.tombstones->deleted(p.doc))
+                        ++liveDf_[t];
+                }
+            }
+        }
+        // Re-expose the recovered epoch as-is; its manifest on disk
+        // is already the committed truth, so nothing is rewritten.
+        publishLocked(m->epoch, false);
+        return true;
+    }
+    return false;
+}
+
+DocId
+LiveIndex::nextGlobalId() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return nextGlobal_;
+}
+
+std::uint32_t
+LiveIndex::liveDocs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint32_t live = 0;
+    for (const Entry &entry : segments_)
+        live += entry.liveDocs;
+    for (const BufferedDoc &doc : buffer_) {
+        if (!doc.dead)
+            ++live;
+    }
+    return live;
+}
+
+std::uint32_t
+LiveIndex::bufferedDocs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::uint32_t>(buffer_.size());
+}
+
+std::uint32_t
+LiveIndex::segmentCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::uint32_t>(segments_.size());
+}
+
+TermId
+LiveIndex::termBound() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return termBound_;
+}
+
+} // namespace boss::index::segments

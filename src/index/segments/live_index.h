@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The live (mutable) index: append-only ingest into immutable
+ * segments, tombstone deletes, and background merges, all behind a
+ * versioned epoch-refcounted SegmentMap (readers never block).
+ *
+ * ## Bit-identity to a clean rebuild
+ *
+ * Baked BM25 floats (per-list idf, per-doc norm) depend on corpus
+ * statistics, so naively stacking segments baked at different times
+ * would drift from an index rebuilt over the survivors. The live
+ * index instead *rebakes at publish*: every refresh recomputes each
+ * segment's InvertedIndex view from its raw source postings using
+ * the exact survivor statistics of that epoch —
+ *
+ *  - live avgDocLen as the same left-fold sum IndexBuilder::build
+ *    uses, iterating segments in ascending global-docID order
+ *    (appends allocate contiguous ranges and merges only fuse
+ *    adjacent segments, so global order == segment order);
+ *  - per-term live df (maintained incrementally on append/erase via
+ *    each segment's forward table) as the idf override;
+ *  - the same shared IndexBuilder::buildList hybrid scheme
+ *    selection.
+ *
+ * Per-segment search with tombstone filtering then merges per-epoch
+ * top-k lists exactly (same k everywhere, globally comparable
+ * scores, local order == global order within a segment), making the
+ * result byte-identical to executing on an index rebuilt from
+ * scratch over the surviving docs. test_segments asserts this
+ * differentially; the cost is that rebake is O(index) per publish,
+ * paid on the ingest/merge thread, never the query path (Lucene
+ * instead accepts stats drift; we buy exactness with publish-time
+ * work).
+ *
+ * ## Constraints
+ *
+ * Queries must only use term ids below the snapshot's termBound()
+ * (views size their list tables to it; the engine's list lookup is
+ * unchecked by design).
+ */
+
+#ifndef BOSS_INDEX_SEGMENTS_LIVE_INDEX_H
+#define BOSS_INDEX_SEGMENTS_LIVE_INDEX_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compress/scheme.h"
+#include "index/bm25.h"
+#include "index/segments/segment_map.h"
+
+namespace boss::index::segments
+{
+
+struct LiveIndexConfig
+{
+    /**
+     * Segment directory for durability (empty: in-memory only).
+     * When it holds committed manifests, construction recovers the
+     * highest fully-valid epoch (see manifest.h).
+     */
+    std::string dir;
+    Bm25Params bm25;
+    /** Forced codec for ablations; hybrid selection if unset. */
+    std::optional<compress::Scheme> forcedScheme;
+    /** Buffered docs baked into a segment when reached. */
+    std::uint32_t maxBufferedDocs = 1024;
+    /** Lower bound on the term-id space (grows with ingest). */
+    TermId termBoundHint = 0;
+    /** Background merges trigger above this many segments. */
+    std::uint32_t maxSegments = 8;
+    /** Adjacent segments fused per merge. */
+    std::uint32_t mergeFanIn = 4;
+    /** Merger thread poll period when idle. */
+    std::uint32_t mergerPollMs = 5;
+};
+
+/** Monotonic ingest counters (telemetry surface). */
+struct IngestCounters
+{
+    std::atomic<std::uint64_t> appended{0};
+    std::atomic<std::uint64_t> erased{0};
+    std::atomic<std::uint64_t> segmentsBaked{0};
+    std::atomic<std::uint64_t> merges{0};
+    std::atomic<std::uint64_t> refreshes{0};
+};
+
+class LiveIndex
+{
+  public:
+    explicit LiveIndex(LiveIndexConfig config);
+    ~LiveIndex();
+
+    LiveIndex(const LiveIndex &) = delete;
+    LiveIndex &operator=(const LiveIndex &) = delete;
+
+    /**
+     * Append one document (token sequence; repeats become tf) and
+     * return its global docID. Bakes a segment when the buffer
+     * fills; the new segment becomes visible at the next refresh().
+     */
+    DocId append(const std::vector<TermId> &tokens);
+
+    /**
+     * Tombstone one global docID. Returns false when unknown,
+     * already deleted, or already merged away. Visible to queries
+     * at the next refresh().
+     */
+    bool erase(DocId globalId);
+
+    /**
+     * Bake any buffered docs and publish a new epoch exposing all
+     * appends/erases so far (writing a manifest when durable).
+     * No-op when nothing changed since the last publish.
+     */
+    void refresh();
+
+    /**
+     * Run one merge compaction if the policy fires (more than
+     * maxSegments segments): fuses the adjacent run of mergeFanIn
+     * segments with the fewest live docs, dropping tombstoned
+     * postings, and publishes the result. Concurrent appends,
+     * erases and queries proceed throughout; deletes landing in a
+     * source segment mid-merge are carried over at swap time.
+     * Returns true when a merge ran.
+     */
+    bool mergeOnce();
+
+    /** Start/stop the background merge thread. */
+    void startMerger();
+    void stopMerger();
+
+    /** Pin the current epoch for searching. */
+    Snapshot snapshot() const { return map_.acquire(); }
+
+    SegmentMap &map() { return map_; }
+    const SegmentMap &map() const { return map_; }
+
+    const IngestCounters &counters() const { return counters_; }
+
+    std::uint64_t epoch() const { return map_.epoch(); }
+    DocId nextGlobalId() const;
+    std::uint32_t liveDocs() const;
+    std::uint32_t bufferedDocs() const;
+    std::uint32_t segmentCount() const;
+    /** One past the largest term id ever appended (or the hint). */
+    TermId termBound() const;
+
+    const LiveIndexConfig &config() const { return config_; }
+
+  private:
+    struct BufferedDoc
+    {
+        DocId global = 0;
+        std::uint32_t length = 0;
+        /** (term, tf), sorted by term, distinct. */
+        std::vector<std::pair<TermId, TermFreq>> bag;
+        bool dead = false;
+    };
+
+    /** One segment's mutable bookkeeping (guarded by mu_). */
+    struct Entry
+    {
+        std::shared_ptr<const BakedSegment> segment;
+        /** Working delete bitmap; frozen copies are published. */
+        std::shared_ptr<TombstoneSet> tombstones;
+        std::uint32_t liveDocs = 0;
+    };
+
+    void bakeBufferLocked();
+    void publishLocked(std::uint64_t epoch, bool writeManifest);
+    void writeSegmentFile(const BakedSegment &segment) const;
+    bool recoverLocked();
+
+    LiveIndexConfig config_;
+    SegmentMap map_;
+    IngestCounters counters_;
+
+    mutable std::mutex mu_;
+    std::vector<Entry> segments_;
+    std::vector<BufferedDoc> buffer_;
+    /** Live document frequency per term (buffer included). */
+    std::vector<std::uint32_t> liveDf_;
+    DocId nextGlobal_ = 0;
+    std::uint64_t nextSegmentId_ = 0;
+    TermId termBound_ = 0;
+    bool dirty_ = false;
+    bool mergeInFlight_ = false;
+
+    std::thread merger_;
+    std::mutex mergerMu_;
+    std::condition_variable mergerCv_;
+    bool stopMerger_ = false;
+};
+
+} // namespace boss::index::segments
+
+#endif // BOSS_INDEX_SEGMENTS_LIVE_INDEX_H

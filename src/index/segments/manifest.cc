@@ -1,0 +1,226 @@
+#include "index/segments/manifest.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace boss::index::segments
+{
+
+namespace
+{
+
+constexpr std::uint32_t kManifestMagic = 0xB0555EAF;
+constexpr std::uint32_t kManifestVersion = 1;
+constexpr std::size_t kMaxName = 4096;
+
+template <typename T>
+void
+put(std::string &out, T v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+get(const std::string &in, std::size_t &cursor, T &v)
+{
+    if (in.size() - cursor < sizeof(T))
+        return false;
+    std::copy_n(in.data() + cursor, sizeof(T),
+                reinterpret_cast<char *>(&v));
+    cursor += sizeof(T);
+    return true;
+}
+
+} // namespace
+
+void
+saveManifest(const Manifest &m, std::ostream &os)
+{
+    std::string body;
+    put(body, kManifestMagic);
+    put(body, kManifestVersion);
+    put(body, m.epoch);
+    put(body, m.nextGlobalId);
+    put(body, m.nextSegmentId);
+    put(body, static_cast<std::uint32_t>(m.segments.size()));
+    for (const auto &seg : m.segments) {
+        put(body, seg.id);
+        put(body, static_cast<std::uint32_t>(seg.file.size()));
+        body.append(seg.file);
+        put(body,
+            static_cast<std::uint32_t>(seg.deletedLocals.size()));
+        for (std::uint32_t d : seg.deletedLocals)
+            put(body, d);
+    }
+    const std::uint32_t crc = crc32(body.data(), body.size());
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+    os.write(reinterpret_cast<const char *>(&crc), sizeof(crc));
+}
+
+std::optional<Manifest>
+tryLoadManifest(std::istream &is, std::string *error)
+{
+    auto fail = [error](const std::string &msg)
+        -> std::optional<Manifest> {
+        if (error != nullptr)
+            *error = msg;
+        return std::nullopt;
+    };
+
+    std::string body;
+    {
+        std::ostringstream all;
+        all << is.rdbuf();
+        body = all.str();
+    }
+    if (body.size() < sizeof(std::uint32_t))
+        return fail("manifest truncated");
+    std::uint32_t storedCrc = 0;
+    std::copy_n(body.data() + body.size() - sizeof(storedCrc),
+                sizeof(storedCrc),
+                reinterpret_cast<char *>(&storedCrc));
+    body.resize(body.size() - sizeof(storedCrc));
+    // CRC first: no length field of a torn write is ever trusted.
+    if (crc32(body.data(), body.size()) != storedCrc)
+        return fail("manifest CRC mismatch");
+
+    std::size_t cursor = 0;
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    if (!get(body, cursor, magic) || magic != kManifestMagic)
+        return fail("manifest bad magic");
+    if (!get(body, cursor, version) || version != kManifestVersion)
+        return fail("manifest bad version");
+
+    Manifest m;
+    std::uint32_t segCount = 0;
+    if (!get(body, cursor, m.epoch) ||
+        !get(body, cursor, m.nextGlobalId) ||
+        !get(body, cursor, m.nextSegmentId) ||
+        !get(body, cursor, segCount))
+        return fail("manifest truncated");
+    for (std::uint32_t i = 0; i < segCount; ++i) {
+        ManifestSegment seg;
+        std::uint32_t nameLen = 0;
+        if (!get(body, cursor, seg.id) || !get(body, cursor, nameLen))
+            return fail("manifest truncated");
+        if (nameLen > kMaxName || body.size() - cursor < nameLen)
+            return fail("manifest bad name length");
+        seg.file.assign(body, cursor, nameLen);
+        cursor += nameLen;
+        std::uint32_t delCount = 0;
+        if (!get(body, cursor, delCount))
+            return fail("manifest truncated");
+        if (body.size() - cursor < delCount * sizeof(std::uint32_t))
+            return fail("manifest bad delete count");
+        seg.deletedLocals.reserve(delCount);
+        std::uint32_t prev = 0;
+        for (std::uint32_t d = 0; d < delCount; ++d) {
+            std::uint32_t v = 0;
+            get(body, cursor, v);
+            if (d > 0 && v <= prev)
+                return fail("manifest deletes not ascending");
+            prev = v;
+            seg.deletedLocals.push_back(v);
+        }
+        m.segments.push_back(std::move(seg));
+    }
+    if (cursor != body.size())
+        return fail("manifest trailing bytes");
+    return m;
+}
+
+std::string
+segmentFileName(std::uint64_t id)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "seg-%010llu.boss",
+                  static_cast<unsigned long long>(id));
+    return buf;
+}
+
+std::string
+manifestFileName(std::uint64_t epoch)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "manifest-%010llu",
+                  static_cast<unsigned long long>(epoch));
+    return buf;
+}
+
+std::vector<std::pair<std::uint64_t, std::filesystem::path>>
+listManifests(const std::filesystem::path &dir)
+{
+    std::vector<std::pair<std::uint64_t, std::filesystem::path>> out;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("manifest-", 0) != 0)
+            continue;
+        const std::string digits = name.substr(9);
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos)
+            continue;
+        out.emplace_back(std::stoull(digits), entry.path());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first > b.first;
+              });
+    return out;
+}
+
+void
+writeManifestFile(const std::filesystem::path &dir, const Manifest &m)
+{
+    const std::filesystem::path path = dir / manifestFileName(m.epoch);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    BOSS_ASSERT(os.good(), "cannot write manifest ", path.string());
+    saveManifest(m, os);
+    os.flush();
+    BOSS_ASSERT(os.good(), "short manifest write ", path.string());
+}
+
+void
+collectGarbage(const std::filesystem::path &dir)
+{
+    auto manifests = listManifests(dir);
+    std::set<std::string> referenced;
+    std::size_t kept = 0;
+    for (const auto &[epoch, path] : manifests) {
+        if (kept < 2) {
+            std::ifstream is(path, std::ios::binary);
+            if (auto m = tryLoadManifest(is)) {
+                for (const auto &seg : m->segments)
+                    referenced.insert(seg.file);
+            }
+            ++kept;
+            continue;
+        }
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("seg-", 0) != 0)
+            continue;
+        if (referenced.count(name) == 0) {
+            std::error_code rec;
+            std::filesystem::remove(entry.path(), rec);
+        }
+    }
+}
+
+} // namespace boss::index::segments

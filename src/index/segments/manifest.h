@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The segment-directory manifest: one CRC'd file per committed
+ * epoch naming every live segment file and its tombstoned docs.
+ *
+ * Commit protocol (crash consistency):
+ *   1. every referenced segment file is fully written and closed
+ *      *before* its manifest is written;
+ *   2. the manifest body carries a trailing CRC32, so a torn write
+ *      is detected as reliably as a missing file;
+ *   3. recovery scans manifests highest-epoch-first and adopts the
+ *      first one whose body AND referenced segment files all
+ *      validate — a half-written segment or manifest simply falls
+ *      back to the previous committed epoch, never a partial view;
+ *   4. the two most recent manifests (and the files they reference)
+ *      are retained; everything older is garbage-collected.
+ */
+
+#ifndef BOSS_INDEX_SEGMENTS_MANIFEST_H
+#define BOSS_INDEX_SEGMENTS_MANIFEST_H
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace boss::index::segments
+{
+
+/** One segment's entry in a manifest. */
+struct ManifestSegment
+{
+    std::uint64_t id = 0;
+    /** File name relative to the segment directory. */
+    std::string file;
+    /** Tombstoned local docIDs, ascending. */
+    std::vector<std::uint32_t> deletedLocals;
+};
+
+/** A committed epoch's full segment set. */
+struct Manifest
+{
+    std::uint64_t epoch = 0;
+    std::uint64_t nextGlobalId = 0;
+    std::uint64_t nextSegmentId = 0;
+    /** In ascending global-docID order. */
+    std::vector<ManifestSegment> segments;
+};
+
+void saveManifest(const Manifest &m, std::ostream &os);
+
+/**
+ * Parse a manifest; nullopt (filling @p error) on truncation,
+ * corruption, or CRC mismatch. The CRC is verified before any
+ * length field is trusted.
+ */
+std::optional<Manifest> tryLoadManifest(std::istream &is,
+                                        std::string *error = nullptr);
+
+/** Canonical file names inside a segment directory. */
+std::string segmentFileName(std::uint64_t id);
+std::string manifestFileName(std::uint64_t epoch);
+
+/**
+ * All manifest files in @p dir as (epoch, path), highest epoch
+ * first (the recovery scan order).
+ */
+std::vector<std::pair<std::uint64_t, std::filesystem::path>>
+listManifests(const std::filesystem::path &dir);
+
+/** Write manifest @p m to its canonical path under @p dir. */
+void writeManifestFile(const std::filesystem::path &dir,
+                       const Manifest &m);
+
+/**
+ * Drop manifests older than the newest two, and any segment file
+ * referenced by none of the retained manifests.
+ */
+void collectGarbage(const std::filesystem::path &dir);
+
+} // namespace boss::index::segments
+
+#endif // BOSS_INDEX_SEGMENTS_MANIFEST_H

@@ -1,0 +1,190 @@
+#include "index/segments/segment.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "index/block_decoder.h"
+#include "index/inverted_index.h"
+#include "index/serialize.h"
+
+namespace boss::index::segments
+{
+
+namespace
+{
+
+/** Footer magic ("BOSS SEGment"): follows the embedded v2 index. */
+constexpr std::uint32_t kFooterMagic = 0xB0555E67;
+
+template <typename T>
+void
+put(std::string &out, T v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+get(const std::string &in, std::size_t &cursor, T &v)
+{
+    if (in.size() - cursor < sizeof(T))
+        return false;
+    std::copy_n(in.data() + cursor, sizeof(T),
+                reinterpret_cast<char *>(&v));
+    cursor += sizeof(T);
+    return true;
+}
+
+} // namespace
+
+std::shared_ptr<const BakedSegment>
+BakedSegment::bake(std::uint64_t id, SegmentSource source)
+{
+    BOSS_ASSERT(source.docLengths.size() == source.globalIds.size(),
+                "segment doc-length / global-id size mismatch");
+    for (std::size_t i = 1; i < source.globalIds.size(); ++i) {
+        BOSS_ASSERT(source.globalIds[i] > source.globalIds[i - 1],
+                    "segment global ids must be strictly ascending");
+    }
+
+    auto seg = std::shared_ptr<BakedSegment>(new BakedSegment());
+    seg->id_ = id;
+    seg->forward_.resize(source.docLengths.size());
+    TermId bound = 0;
+    TermId prevTerm = 0;
+    bool firstTerm = true;
+    for (const auto &[t, pl] : source.postings) {
+        BOSS_ASSERT(firstTerm || t > prevTerm,
+                    "segment postings must be sorted by term");
+        firstTerm = false;
+        prevTerm = t;
+        bound = std::max(bound, t + 1);
+        BOSS_ASSERT(isValidPostingList(pl), "term ", t,
+                    ": segment postings not sorted/unique");
+        for (const auto &p : pl) {
+            BOSS_ASSERT(p.doc < source.docLengths.size(),
+                        "segment posting references unknown doc");
+            seg->forward_[p.doc].push_back(t);
+        }
+    }
+    seg->termBound_ = bound;
+    seg->source_ = std::move(source);
+    return seg;
+}
+
+std::optional<std::uint32_t>
+BakedSegment::localOf(DocId global) const
+{
+    const auto &ids = source_.globalIds;
+    auto it = std::lower_bound(ids.begin(), ids.end(), global);
+    if (it == ids.end() || *it != global)
+        return std::nullopt;
+    return static_cast<std::uint32_t>(it - ids.begin());
+}
+
+void
+BakedSegment::save(std::ostream &os, const Bm25Params &params,
+                   std::optional<compress::Scheme> forced) const
+{
+    BOSS_ASSERT(numDocs() > 0, "cannot save an empty segment");
+    // The embedded index is baked with *local* stats purely as a
+    // carrier: tryLoad() decodes the postings back out and the live
+    // index rebakes views against live stats at publish time.
+    IndexBuilder builder(params);
+    if (forced.has_value())
+        builder.forceScheme(*forced);
+    builder.setDocLengths(source_.docLengths);
+    for (const auto &[t, pl] : source_.postings)
+        builder.addTerm(t, pl);
+    InvertedIndex baked = builder.build();
+    saveIndex(baked, os);
+
+    std::string footer;
+    put(footer, kFooterMagic);
+    put(footer, id_);
+    put(footer, static_cast<std::uint32_t>(source_.globalIds.size()));
+    DocId prev = 0;
+    for (DocId g : source_.globalIds) {
+        put(footer, static_cast<std::uint32_t>(g - prev));
+        prev = g;
+    }
+    const std::uint32_t crc = crc32(footer.data(), footer.size());
+    os.write(footer.data(),
+             static_cast<std::streamsize>(footer.size()));
+    os.write(reinterpret_cast<const char *>(&crc), sizeof(crc));
+}
+
+std::shared_ptr<const BakedSegment>
+BakedSegment::tryLoad(std::istream &is, std::string *error)
+{
+    auto fail = [error](const std::string &msg)
+        -> std::shared_ptr<const BakedSegment> {
+        if (error != nullptr)
+            *error = msg;
+        return nullptr;
+    };
+
+    std::optional<InvertedIndex> baked = tryLoadIndex(is, error);
+    if (!baked.has_value())
+        return nullptr;
+
+    // Footer: everything that remains in the stream.
+    std::string footer;
+    {
+        std::ostringstream rest;
+        rest << is.rdbuf();
+        footer = rest.str();
+    }
+    if (footer.size() < 2 * sizeof(std::uint32_t))
+        return fail("segment footer truncated");
+    std::uint32_t storedCrc = 0;
+    std::copy_n(footer.data() + footer.size() - sizeof(storedCrc),
+                sizeof(storedCrc),
+                reinterpret_cast<char *>(&storedCrc));
+    footer.resize(footer.size() - sizeof(storedCrc));
+    if (crc32(footer.data(), footer.size()) != storedCrc)
+        return fail("segment footer CRC mismatch");
+
+    std::size_t cursor = 0;
+    std::uint32_t magic = 0;
+    std::uint64_t id = 0;
+    std::uint32_t count = 0;
+    if (!get(footer, cursor, magic) || magic != kFooterMagic)
+        return fail("segment footer bad magic");
+    if (!get(footer, cursor, id) || !get(footer, cursor, count))
+        return fail("segment footer truncated");
+    if (count != baked->numDocs())
+        return fail("segment footer doc count mismatch");
+
+    SegmentSource src;
+    src.globalIds.reserve(count);
+    DocId prev = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t delta = 0;
+        if (!get(footer, cursor, delta))
+            return fail("segment footer truncated");
+        if (i > 0 && delta == 0)
+            return fail("segment footer ids not ascending");
+        prev += delta;
+        src.globalIds.push_back(prev);
+    }
+    if (cursor != footer.size())
+        return fail("segment footer trailing bytes");
+
+    src.docLengths.reserve(count);
+    for (std::uint32_t d = 0; d < count; ++d)
+        src.docLengths.push_back(baked->doc(d).length);
+    for (TermId t = 0; t < baked->numTerms(); ++t) {
+        const CompressedPostingList &list = baked->list(t);
+        if (list.docCount == 0)
+            continue;
+        src.postings.emplace_back(t, decodeAll(list));
+    }
+    return bake(id, std::move(src));
+}
+
+} // namespace boss::index::segments

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Immutable index segments: the unit of the live-index ingest path.
+ *
+ * A segment is a small bundle of documents baked once and never
+ * modified (Lucene-style). It keeps its *source* postings in raw
+ * form — the live index re-encodes ("rebakes") a per-epoch
+ * InvertedIndex view against the current cross-segment survivor
+ * statistics at every publish, which is what makes segmented search
+ * results bit-identical to a from-scratch rebuild of the surviving
+ * docs (see live_index.h for the full argument).
+ *
+ * On-disk format: a locally-baked v2 index file (the CRC'd format
+ * from index/serialize.h, reused verbatim) followed by a CRC'd
+ * footer carrying the segment id and the local→global docID map.
+ * The baked local stats in the file are a carrier only; load
+ * reconstructs the raw source from the decoded postings.
+ */
+
+#ifndef BOSS_INDEX_SEGMENTS_SEGMENT_H
+#define BOSS_INDEX_SEGMENTS_SEGMENT_H
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compress/scheme.h"
+#include "index/bm25.h"
+#include "index/posting_list.h"
+
+namespace boss::index::segments
+{
+
+/** Raw, re-bakeable content of one immutable segment. */
+struct SegmentSource
+{
+    /** Local docID → token count. */
+    std::vector<std::uint32_t> docLengths;
+    /** Local docID → global docID; strictly ascending. */
+    std::vector<DocId> globalIds;
+    /** (term, postings in local docIDs), sorted by term. */
+    std::vector<std::pair<TermId, PostingList>> postings;
+
+    std::uint32_t
+    numDocs() const
+    {
+        return static_cast<std::uint32_t>(docLengths.size());
+    }
+};
+
+/**
+ * One baked immutable segment. The forward view (distinct terms per
+ * document) is derived at bake time so deletes can decrement live
+ * document frequencies in O(|doc terms|).
+ */
+class BakedSegment
+{
+  public:
+    static std::shared_ptr<const BakedSegment>
+    bake(std::uint64_t id, SegmentSource source);
+
+    std::uint64_t id() const { return id_; }
+    const SegmentSource &source() const { return source_; }
+    std::uint32_t numDocs() const { return source_.numDocs(); }
+
+    /** One past the largest term id present (0 for empty). */
+    TermId termBound() const { return termBound_; }
+
+    DocId firstGlobal() const { return source_.globalIds.front(); }
+    DocId lastGlobal() const { return source_.globalIds.back(); }
+
+    /** Distinct terms of one document, ascending. */
+    const std::vector<TermId> &
+    docTerms(std::uint32_t local) const
+    {
+        return forward_[local];
+    }
+
+    /**
+     * Local id of @p global, or nullopt when this segment does not
+     * hold it (binary search over the ascending globalIds).
+     */
+    std::optional<std::uint32_t> localOf(DocId global) const;
+
+    /**
+     * Serialize: bake a local-stats v2 index over the source and
+     * append the CRC'd global-id footer. The file is self-contained
+     * and loadIndex()-compatible up to the footer.
+     */
+    void save(std::ostream &os, const Bm25Params &params,
+              std::optional<compress::Scheme> forced) const;
+
+    /**
+     * Load a segment written by save(). Returns nullptr (filling
+     * @p error) on any truncation, corruption, or CRC mismatch —
+     * recovery then falls back to an older manifest epoch.
+     */
+    static std::shared_ptr<const BakedSegment>
+    tryLoad(std::istream &is, std::string *error = nullptr);
+
+  private:
+    BakedSegment() = default;
+
+    std::uint64_t id_ = 0;
+    SegmentSource source_;
+    std::vector<std::vector<TermId>> forward_;
+    TermId termBound_ = 0;
+};
+
+} // namespace boss::index::segments
+
+#endif // BOSS_INDEX_SEGMENTS_SEGMENT_H

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The versioned, epoch-refcounted segment map readers search against.
+ *
+ * Every publish (buffer bake, delete batch, merge) installs a new
+ * immutable Version; queries pin the current Version with an RAII
+ * Snapshot and keep using it for their whole lifetime, so readers
+ * never block on writers and never observe a half-updated segment
+ * set. A retired Version stays alive exactly as long as snapshots
+ * (or per-epoch device caches) reference it; its destructor asserts
+ * the pin count drained to zero — the invariant the TSan merge-race
+ * test hammers.
+ */
+
+#ifndef BOSS_INDEX_SEGMENTS_SEGMENT_MAP_H
+#define BOSS_INDEX_SEGMENTS_SEGMENT_MAP_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.h"
+#include "index/doc_filter.h"
+#include "index/inverted_index.h"
+#include "index/segments/segment.h"
+
+namespace boss::index::segments
+{
+
+/**
+ * One segment as a version exposes it to readers: the immutable
+ * core, a frozen tombstone snapshot (nullptr: nothing deleted), and
+ * the per-epoch InvertedIndex view rebaked against this version's
+ * live cross-segment statistics.
+ */
+struct SegmentReader
+{
+    std::shared_ptr<const BakedSegment> segment;
+    std::shared_ptr<const TombstoneSet> tombstones;
+    std::shared_ptr<const InvertedIndex> view;
+    std::uint32_t liveDocs = 0;
+};
+
+/** An immutable published epoch of the segment set. */
+class Version
+{
+  public:
+    Version(std::uint64_t epoch, std::vector<SegmentReader> segments,
+            std::uint32_t liveDocs, double avgDocLen, TermId termBound)
+        : epoch_(epoch), segments_(std::move(segments)),
+          liveDocs_(liveDocs), avgDocLen_(avgDocLen),
+          termBound_(termBound)
+    {
+    }
+
+    ~Version()
+    {
+        BOSS_ASSERT(pins_.load(std::memory_order_acquire) == 0,
+                    "version ", epoch_, " destroyed with ",
+                    pins_.load(std::memory_order_acquire),
+                    " snapshots still pinned");
+    }
+
+    Version(const Version &) = delete;
+    Version &operator=(const Version &) = delete;
+
+    std::uint64_t epoch() const { return epoch_; }
+    const std::vector<SegmentReader> &segments() const
+    {
+        return segments_;
+    }
+    std::uint32_t liveDocs() const { return liveDocs_; }
+    double avgDocLen() const { return avgDocLen_; }
+    /** One past the largest queryable term id in this epoch. */
+    TermId termBound() const { return termBound_; }
+
+    void pin() const
+    {
+        pins_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    void unpin() const
+    {
+        pins_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    std::uint64_t pins() const
+    {
+        return pins_.load(std::memory_order_acquire);
+    }
+
+  private:
+    const std::uint64_t epoch_;
+    const std::vector<SegmentReader> segments_;
+    const std::uint32_t liveDocs_;
+    const double avgDocLen_;
+    const TermId termBound_;
+    mutable std::atomic<std::uint64_t> pins_{0};
+};
+
+/** RAII pin on one Version (copy re-pins, move transfers). */
+class Snapshot
+{
+  public:
+    Snapshot() = default;
+    explicit Snapshot(std::shared_ptr<const Version> v)
+        : v_(std::move(v))
+    {
+        if (v_ != nullptr)
+            v_->pin();
+    }
+    Snapshot(const Snapshot &o) : v_(o.v_)
+    {
+        if (v_ != nullptr)
+            v_->pin();
+    }
+    Snapshot(Snapshot &&o) noexcept : v_(std::move(o.v_)) {}
+    Snapshot &
+    operator=(const Snapshot &o)
+    {
+        if (this != &o) {
+            release();
+            v_ = o.v_;
+            if (v_ != nullptr)
+                v_->pin();
+        }
+        return *this;
+    }
+    Snapshot &
+    operator=(Snapshot &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            v_ = std::move(o.v_);
+        }
+        return *this;
+    }
+    ~Snapshot() { release(); }
+
+    explicit operator bool() const { return v_ != nullptr; }
+    const Version &operator*() const { return *v_; }
+    const Version *operator->() const { return v_.get(); }
+
+  private:
+    void
+    release()
+    {
+        if (v_ != nullptr) {
+            v_->unpin();
+            v_.reset();
+        }
+    }
+
+    std::shared_ptr<const Version> v_;
+};
+
+/**
+ * The mutable head pointer: publish() swaps in a new Version and
+ * retires the old one (tracked weakly so tests can observe that
+ * retired epochs actually drain and free).
+ */
+class SegmentMap
+{
+  public:
+    /** Pin and return the current version. */
+    Snapshot
+    acquire() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return Snapshot(current_);
+    }
+
+    std::uint64_t
+    epoch() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return current_ != nullptr ? current_->epoch() : 0;
+    }
+
+    void
+    publish(std::shared_ptr<const Version> next)
+    {
+        BOSS_ASSERT(next != nullptr, "publish(nullptr)");
+        std::lock_guard<std::mutex> lock(mu_);
+        BOSS_ASSERT(current_ == nullptr ||
+                        next->epoch() > current_->epoch(),
+                    "epochs must advance monotonically");
+        if (current_ != nullptr)
+            retired_.push_back(current_);
+        current_ = std::move(next);
+    }
+
+    /**
+     * Drop retired versions whose last reference is gone; returns
+     * how many are still alive (pinned snapshots or cached epoch
+     * devices keep them).
+     */
+    std::size_t
+    drainRetired()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::size_t alive = 0;
+        std::vector<std::weak_ptr<const Version>> keep;
+        for (auto &w : retired_) {
+            if (!w.expired()) {
+                keep.push_back(std::move(w));
+                ++alive;
+            }
+        }
+        retired_ = std::move(keep);
+        return alive;
+    }
+
+    std::size_t
+    retiredCount() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return retired_.size();
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::shared_ptr<const Version> current_;
+    std::vector<std::weak_ptr<const Version>> retired_;
+};
+
+} // namespace boss::index::segments
+
+#endif // BOSS_INDEX_SEGMENTS_SEGMENT_MAP_H

@@ -345,7 +345,8 @@ buildTrace(const index::InvertedIndex &index,
     TraceBuilder builder(index, layout, options, trace, scope, lane);
     auto topk =
         engine::executeQuery(index, plan, options.k, options.flags,
-                             &builder, arena, options.faults);
+                             &builder, arena, options.faults,
+                             options.tombstones);
     // The winning top-k list itself crosses the link to the host.
     if (!options.flags.storeAllResults)
         trace.resultStoreBytes += topk.size() * 8;

@@ -141,6 +141,11 @@ struct TraceOptions
      * requests, so replay charges the extra SCM traffic.
      */
     engine::FaultPolicy *faults = nullptr;
+    /**
+     * Live-index delete bitmap (nullptr: nothing deleted). Deleted
+     * docs are filtered before the top-k heap; see executeQuery().
+     */
+    const index::TombstoneSet *tombstones = nullptr;
 };
 
 /**

@@ -44,6 +44,31 @@ counterConfig(const ServeTelemetry::Config &cfg)
 
 } // namespace
 
+void
+IngestMetrics::registerInto(Registry &registry)
+{
+    registry.addCounter("boss_ingest_docs_appended_total",
+                        &docsAppended,
+                        "documents appended to the live index");
+    registry.addCounter("boss_ingest_docs_deleted_total",
+                        &docsDeleted, "documents tombstone-deleted");
+    registry.addCounter("boss_ingest_segments_baked_total",
+                        &segmentsBaked,
+                        "immutable segments baked from the buffer");
+    registry.addCounter("boss_ingest_merges_total", &merges,
+                        "background merge compactions completed");
+    registry.addCounter("boss_ingest_refreshes_total", &refreshes,
+                        "epoch publishes making ingest visible");
+    registry.addGauge("boss_ingest_live_docs", &liveDocs,
+                      "surviving (non-deleted) documents");
+    registry.addGauge("boss_ingest_segments", &segments,
+                      "segments in the current epoch");
+    registry.addGauge("boss_ingest_epoch", &epoch,
+                      "current published epoch");
+    registry.addGauge("boss_ingest_buffered_docs", &bufferedDocs,
+                      "appended docs not yet baked to a segment");
+}
+
 ServeTelemetry::ServeTelemetry() : ServeTelemetry(Config()) {}
 
 ServeTelemetry::ServeTelemetry(Config config)

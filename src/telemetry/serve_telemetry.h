@@ -43,6 +43,32 @@ enum class AdmitOutcome : std::uint8_t
     Closed,
 };
 
+/**
+ * Ingest-side metrics for mixed read/write serving: monotonic
+ * counters mirroring index::segments::IngestCounters plus gauges of
+ * the current segment topology. The ingest loop polls the live
+ * index's counters and applies deltas here (the telemetry layer
+ * stays free of index/ includes, matching this file's dependency
+ * rule), so the /metrics surface gains an ingest section without
+ * the serve hooks changing shape.
+ */
+class IngestMetrics
+{
+  public:
+    /** Register every metric into @p registry (setup-time only). */
+    void registerInto(Registry &registry);
+
+    Counter docsAppended;
+    Counter docsDeleted;
+    Counter segmentsBaked;
+    Counter merges;
+    Counter refreshes;
+    Gauge liveDocs;
+    Gauge segments;
+    Gauge epoch;
+    Gauge bufferedDocs;
+};
+
 class ServeTelemetry
 {
   public:

@@ -18,7 +18,10 @@
 
 #include "common/rng.h"
 #include "compress/codec.h"
+#include "engine/execute.h"
+#include "engine/plan.h"
 #include "index/block_decoder.h"
+#include "index/doc_filter.h"
 #include "index/inverted_index.h"
 #include "kernels/kernels.h"
 
@@ -353,6 +356,113 @@ TEST(CodecFuzzTest, ListsAtBlockBoundaries)
         for (Scheme s : compress::kAllSchemes) {
             listRoundTrip(count, s, 40, 0xF00D);
             listRoundTrip(count, s, 5000, 0xF00E);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Tombstone interaction: fuzzed delete bitmaps against every codec.
+// The tombstone filter sits between block decode and the top-k
+// heap, so pruning decisions are made over bounds that include
+// deleted postings; whatever the codec and however dense the
+// deletes, the executed results must equal the brute-force oracle
+// over the same bitmap.
+// ---------------------------------------------------------------
+
+/** A small multi-term index, every list forced to @p scheme. */
+index::InvertedIndex
+tombstoneIndex(Scheme scheme, std::uint32_t numDocs,
+               std::uint64_t seed)
+{
+    constexpr TermId kTerms = 8;
+    index::IndexBuilder builder;
+    builder.forceScheme(scheme);
+    std::vector<std::uint32_t> lengths(numDocs);
+    Rng lenRng(splitSeed(seed, 999));
+    for (auto &l : lengths)
+        l = 20 + static_cast<std::uint32_t>(lenRng.below(400));
+    builder.setDocLengths(std::move(lengths));
+    for (TermId t = 0; t < kTerms; ++t) {
+        Rng rng(splitSeed(seed, t));
+        index::PostingList postings;
+        // Density varies per term: dense lists exercise block
+        // skipping, sparse ones the patch/exception paths.
+        const std::uint64_t stride = 1 + (t % 4) * 7;
+        DocId doc = static_cast<DocId>(rng.below(3));
+        while (doc < numDocs) {
+            postings.push_back(
+                {doc,
+                 static_cast<TermFreq>(1 + rng.below(50))});
+            doc += 1 + static_cast<DocId>(rng.below(stride));
+        }
+        builder.addTerm(t, std::move(postings));
+    }
+    return builder.build();
+}
+
+TEST(CodecFuzzTest, TombstoneBitmapSweepAllCodecs)
+{
+    constexpr std::uint32_t kDocs = 4000;
+    const double densities[] = {0.0, 0.01, 0.3, 0.9, 1.0};
+
+    std::vector<engine::QueryPlan> plans;
+    {
+        engine::QueryPlan p;
+        p.groups = {{0}};
+        p.allTerms = {0};
+        plans.push_back(p);
+        p.groups = {{1}, {4}}; // union
+        p.allTerms = {1, 4};
+        plans.push_back(p);
+        p.groups = {{2, 6}}; // intersection
+        p.allTerms = {2, 6};
+        plans.push_back(p);
+        p.groups = {{3, 5}, {7}}; // mixed DNF
+        p.allTerms = {3, 5, 7};
+        plans.push_back(p);
+    }
+
+    engine::ExecFlags boss;
+    engine::ExecFlags exhaustive;
+    exhaustive.blockSkip = false;
+    exhaustive.wandSkip = false;
+
+    for (Scheme scheme : compress::kAllSchemes) {
+        const auto index = tombstoneIndex(scheme, kDocs, 0x70FB);
+        for (double density : densities) {
+            for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+                index::TombstoneSet tombs(kDocs);
+                Rng rng(splitSeed(
+                    seed ^ 0x70FB,
+                    static_cast<std::uint64_t>(scheme)));
+                const auto cut =
+                    static_cast<std::uint64_t>(density * 1000);
+                for (DocId d = 0; d < kDocs; ++d) {
+                    if (rng.below(1000) < cut)
+                        tombs.markDeleted(d);
+                }
+                for (const auto &plan : plans) {
+                    const auto oracle = engine::naiveTopK(
+                        index, plan, 50, &tombs);
+                    const auto fast = engine::executeQuery(
+                        index, plan, 50, boss, nullptr, nullptr,
+                        nullptr, &tombs);
+                    EXPECT_EQ(fast, oracle)
+                        << schemeName(scheme) << " density "
+                        << density << " seed " << seed;
+                    EXPECT_EQ(
+                        engine::executeQuery(index, plan, 50,
+                                             exhaustive, nullptr,
+                                             nullptr, nullptr,
+                                             &tombs),
+                        oracle)
+                        << schemeName(scheme)
+                        << " (exhaustive) density " << density
+                        << " seed " << seed;
+                    for (const auto &r : fast)
+                        EXPECT_FALSE(tombs.deleted(r.doc));
+                }
+            }
         }
     }
 }

@@ -22,8 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "api/live_device.h"
 #include "api/sharded_device.h"
 #include "boss/device.h"
+#include "common/rng.h"
 #include "common/thread_pool.h"
 #include "workload/corpus.h"
 #include "workload/queries.h"
@@ -136,6 +138,79 @@ TEST(GoldenTest, ResultsAreThreadCountInvariant)
     std::string parallel = formatResults(runGoldenBatch());
     common::ThreadPool::setGlobalThreads(1);
     EXPECT_EQ(serial, parallel);
+}
+
+/**
+ * Segmented-index fixture: one fixed mutation history — build,
+ * append, delete, merge — pinned byte-for-byte. Covers the live
+ * path end to end (rebake-at-publish, tombstone filtering, merge
+ * compaction, per-segment replay + global merge); any drift in the
+ * segment lifecycle's scoring shows up as a diff in the top-50.
+ */
+std::string
+segmentedGoldenPath()
+{
+    return std::string(BOSS_GOLDEN_DIR) + "/topk50_segments.txt";
+}
+
+std::vector<TermId>
+segmentedGoldenDoc(std::uint32_t d, std::uint32_t vocab)
+{
+    Rng rng(splitSeed(0x5E60D, d));
+    const auto len = 6 + static_cast<std::uint32_t>(rng.below(40));
+    std::vector<TermId> tokens;
+    tokens.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i)
+        tokens.push_back(static_cast<TermId>(rng.below(vocab)));
+    return tokens;
+}
+
+TEST(GoldenTest, SegmentedLifecycleMatchesFixture)
+{
+    const auto vocab = goldenCorpus().config().vocabSize;
+    api::LiveDeviceConfig cfg;
+    cfg.device.k = 50;
+    cfg.live.termBoundHint = vocab;
+    cfg.live.maxBufferedDocs = 512;
+    cfg.live.maxSegments = 2;
+    cfg.live.mergeFanIn = 3;
+    api::LiveDevice device(cfg);
+    auto &live = device.live();
+
+    // Build, append, delete, merge — a fixed mutation history.
+    for (std::uint32_t d = 0; d < 3000; ++d)
+        live.append(segmentedGoldenDoc(d, vocab));
+    live.refresh();
+    for (DocId d = 0; d < 3000; d += 7)
+        ASSERT_TRUE(live.erase(d));
+    for (std::uint32_t d = 3000; d < 4000; ++d)
+        live.append(segmentedGoldenDoc(d, vocab));
+    live.refresh();
+    while (live.mergeOnce()) {
+    }
+
+    std::vector<std::vector<engine::Result>> perQuery;
+    for (const auto &q : goldenQueries())
+        perQuery.push_back(device.search(q).topk);
+    std::string actual = formatResults(perQuery);
+
+    if (std::getenv("BOSS_GOLDEN_REGEN") != nullptr) {
+        std::ofstream os(segmentedGoldenPath(), std::ios::binary);
+        ASSERT_TRUE(os) << "cannot write " << segmentedGoldenPath();
+        os << actual;
+        GTEST_SKIP() << "regenerated " << segmentedGoldenPath()
+                     << " — commit it with an explanation";
+    }
+
+    std::ifstream is(segmentedGoldenPath(), std::ios::binary);
+    ASSERT_TRUE(is) << "missing fixture " << segmentedGoldenPath()
+                    << " (run with BOSS_GOLDEN_REGEN=1 once)";
+    std::stringstream expected;
+    expected << is.rdbuf();
+    EXPECT_EQ(expected.str(), actual)
+        << "segmented golden results moved; if intended, "
+           "regenerate with BOSS_GOLDEN_REGEN=1 and commit the "
+           "new fixture";
 }
 
 TEST(GoldenTest, ShardingPreservesGoldenResults)

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Concurrency hammer for the live index: searchers, a writer and
+ * the background merger all share one SegmentMap while epochs
+ * churn. Built into the CI ThreadSanitizer matrix — the point is
+ * the interleavings, not the assertions alone.
+ *
+ * Invariants checked while the hammer runs:
+ *   - every snapshot is internally consistent (per-reader liveDocs
+ *     sum to the version's, results reference docs below the
+ *     global id watermark, epochs observed by one searcher never
+ *     go backwards);
+ *   - queries pinned to an old epoch keep working after merges
+ *     retire its segments (refcounts keep them alive);
+ *   - after quiescing, every retired version drains to zero pins
+ *     and the final accounting matches the writer's ledger.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/segment_search.h"
+#include "index/segments/live_index.h"
+
+namespace
+{
+
+using namespace boss;
+using index::segments::LiveIndex;
+using index::segments::LiveIndexConfig;
+
+constexpr std::uint32_t kVocab = 32;
+constexpr std::size_t kTopK = 20;
+
+engine::QueryPlan
+probePlan(std::uint64_t pick)
+{
+    engine::QueryPlan p;
+    switch (pick % 3) {
+    case 0:
+        p.groups = {{TermId(pick % kVocab)}};
+        break;
+    case 1: // union
+        p.groups = {{TermId(pick % kVocab)},
+                    {TermId((pick / 3) % kVocab)}};
+        break;
+    default: // intersection
+        p.groups = {{TermId(pick % kVocab),
+                     TermId((pick / 5) % kVocab)}};
+        break;
+    }
+    for (const auto &g : p.groups)
+        for (TermId t : g)
+            p.allTerms.push_back(t);
+    return p;
+}
+
+TEST(MergeRace, SearchAppendMergeHammer)
+{
+    LiveIndexConfig cfg;
+    cfg.termBoundHint = kVocab;
+    cfg.maxBufferedDocs = 16; // bake often
+    cfg.maxSegments = 3;      // merge often
+    cfg.mergeFanIn = 3;
+    cfg.mergerPollMs = 1;
+    LiveIndex live(cfg);
+
+    // Seed a few segments so searchers have work immediately.
+    {
+        Rng rng(1);
+        for (int d = 0; d < 64; ++d) {
+            std::vector<TermId> tokens;
+            for (int i = 0; i < 6; ++i)
+                tokens.push_back(TermId(rng.below(kVocab)));
+            live.append(tokens);
+        }
+        live.refresh();
+    }
+
+    live.startMerger();
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> appends{0};
+    std::atomic<std::uint64_t> erases{0};
+    std::atomic<std::uint64_t> searches{0};
+    std::atomic<std::uint64_t> failures{0};
+
+    auto searcher = [&](std::uint64_t seed) {
+        Rng rng(splitSeed(seed, 42));
+        std::uint64_t lastEpoch = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            auto snap = live.snapshot();
+            if (!snap) {
+                failures.fetch_add(1);
+                continue;
+            }
+            // Epochs move forward only.
+            if (snap->epoch() < lastEpoch)
+                failures.fetch_add(1);
+            lastEpoch = snap->epoch();
+
+            // Per-reader accounting sums to the version total.
+            std::uint32_t sum = 0;
+            for (const auto &r : snap->segments())
+                sum += r.liveDocs;
+            if (sum != snap->liveDocs())
+                failures.fetch_add(1);
+
+            const auto plan = probePlan(rng.next());
+            const auto res = engine::searchSegments(
+                *snap, plan, kTopK, {});
+            // The watermark only grows, so any result doc must sit
+            // below it even when read after the search.
+            const DocId watermark = live.nextGlobalId();
+            for (const auto &r : res) {
+                if (r.doc >= watermark)
+                    failures.fetch_add(1);
+                if (!(r.score > 0.0f))
+                    failures.fetch_add(1);
+            }
+            searches.fetch_add(1);
+        }
+    };
+
+    auto writer = [&] {
+        Rng rng(7);
+        while (!stop.load(std::memory_order_relaxed)) {
+            std::vector<TermId> tokens;
+            const auto len = 4 + rng.below(8);
+            for (std::uint64_t i = 0; i < len; ++i)
+                tokens.push_back(TermId(rng.below(kVocab)));
+            live.append(tokens);
+            appends.fetch_add(1);
+            if (rng.below(4) == 0) {
+                const DocId watermark = live.nextGlobalId();
+                if (watermark > 0 &&
+                    live.erase(DocId(rng.below(watermark))))
+                    erases.fetch_add(1);
+            }
+            if (rng.below(16) == 0)
+                live.refresh();
+        }
+    };
+
+    // A long-lived pin: grab one snapshot up front and query it
+    // throughout; merges must not invalidate it.
+    auto pinned = live.snapshot();
+    const auto pinnedEpoch = pinned->epoch();
+    const auto pinnedBaseline =
+        engine::searchSegments(*pinned, probePlan(3), kTopK, {});
+
+    std::vector<std::thread> threads;
+    threads.emplace_back(searcher, 1);
+    threads.emplace_back(searcher, 2);
+    threads.emplace_back(writer);
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(1500);
+    while (std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20));
+    stop.store(true);
+    for (auto &t : threads)
+        t.join();
+    live.stopMerger();
+    live.refresh();
+
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_GT(searches.load(), 0u);
+    EXPECT_GT(appends.load(), 0u);
+    EXPECT_GT(live.counters().merges.load(), 0u)
+        << "hammer never merged; raise the duration";
+
+    // The pinned epoch survived every merge with identical results.
+    EXPECT_EQ(pinned->epoch(), pinnedEpoch);
+    EXPECT_EQ(engine::searchSegments(*pinned, probePlan(3), kTopK,
+                                     {}),
+              pinnedBaseline);
+
+    // Ledger: every appended doc is live unless we erased it.
+    EXPECT_EQ(live.liveDocs(),
+              64 + appends.load() - erases.load());
+    EXPECT_EQ(live.counters().appended.load(),
+              64 + appends.load());
+    EXPECT_EQ(live.counters().erased.load(), erases.load());
+
+    // Quiesce: the pinned (long-retired) epoch is the only thing
+    // keeping an old version alive; once the pin drops, every
+    // retired version drains. Nothing leaks.
+    EXPECT_EQ(live.map().drainRetired(), 1u);
+    pinned = {};
+    EXPECT_EQ(live.map().drainRetired(), 0u);
+    EXPECT_EQ(live.snapshot()->pins(), 1u);
+}
+
+TEST(MergeRace, DeletesDuringMergeCarryOver)
+{
+    // Single-threaded but timing-shaped: interleave erase() with
+    // the merger thread's window by running many short rounds.
+    LiveIndexConfig cfg;
+    cfg.termBoundHint = kVocab;
+    cfg.maxBufferedDocs = 8;
+    cfg.maxSegments = 2;
+    cfg.mergeFanIn = 2;
+    cfg.mergerPollMs = 0;
+    LiveIndex live(cfg);
+    live.startMerger();
+
+    Rng rng(11);
+    std::uint64_t appended = 0, erased = 0;
+    for (int round = 0; round < 200; ++round) {
+        std::vector<DocId> mine;
+        for (int d = 0; d < 12; ++d) {
+            mine.push_back(live.append(
+                {TermId(rng.below(kVocab)),
+                 TermId(rng.below(kVocab)),
+                 TermId(rng.below(kVocab))}));
+            ++appended;
+        }
+        // Erase while merges are racing in the background.
+        for (DocId id : mine) {
+            if (rng.below(2) == 0 && live.erase(id))
+                ++erased;
+        }
+        if (round % 8 == 0)
+            live.refresh();
+    }
+    live.stopMerger();
+    live.refresh();
+
+    EXPECT_EQ(live.liveDocs(), appended - erased);
+    EXPECT_GT(live.counters().merges.load(), 0u);
+
+    // Erased docs never come back: all survivors are queryable,
+    // and the per-reader tombstone accounting is exact.
+    auto snap = live.snapshot();
+    std::uint32_t sum = 0;
+    for (const auto &r : snap->segments())
+        sum += r.liveDocs;
+    EXPECT_EQ(sum, snap->liveDocs());
+    EXPECT_EQ(snap->liveDocs(), appended - erased);
+    // `snap` pins the *current* epoch; every retired one is gone.
+    EXPECT_EQ(live.map().drainRetired(), 0u);
+}
+
+} // namespace

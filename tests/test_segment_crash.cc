@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Segment-directory crash tests: a publish that dies half-written
+ * must be invisible after recovery.
+ *
+ * The harness commits epoch A, stages epoch B (new segment + new
+ * manifest + tombstones on old docs), then replays every possible
+ * crash point by truncating each newly written file at every byte
+ * boundary — and separately flipping every byte — before
+ * recovering. Recovery must land on exactly epoch A's or epoch B's
+ * committed state (a byte flip that misses every checksummed range,
+ * e.g. in unused padding, legitimately leaves B intact); a partial
+ * segment or torn manifest must never surface as a third state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/segment_search.h"
+#include "index/segments/live_index.h"
+
+namespace
+{
+
+using namespace boss;
+using index::segments::LiveIndex;
+using index::segments::LiveIndexConfig;
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kTopK = 50;
+
+/** Everything observable about a committed directory state. */
+struct CommittedState
+{
+    std::uint64_t epoch = 0;
+    std::uint32_t liveDocs = 0;
+    std::uint32_t segments = 0;
+    std::vector<std::vector<engine::Result>> results;
+
+    bool
+    operator==(const CommittedState &o) const
+    {
+        return epoch == o.epoch && liveDocs == o.liveDocs &&
+               segments == o.segments && results == o.results;
+    }
+};
+
+std::vector<engine::QueryPlan>
+probePlans()
+{
+    std::vector<engine::QueryPlan> plans;
+    {
+        engine::QueryPlan p;
+        p.groups = {{1}};
+        p.allTerms = {1};
+        plans.push_back(p);
+    }
+    {
+        engine::QueryPlan p; // union
+        p.groups = {{2}, {5}};
+        p.allTerms = {2, 5};
+        plans.push_back(p);
+    }
+    {
+        engine::QueryPlan p; // intersection
+        p.groups = {{3, 7}};
+        p.allTerms = {3, 7};
+        plans.push_back(p);
+    }
+    return plans;
+}
+
+CommittedState
+observe(LiveIndex &live)
+{
+    CommittedState st;
+    st.epoch = live.epoch();
+    st.liveDocs = live.liveDocs();
+    st.segments = live.segmentCount();
+    auto snap = live.snapshot();
+    for (const auto &plan : probePlans())
+        st.results.push_back(
+            engine::searchSegments(*snap, plan, kTopK, {}));
+    return st;
+}
+
+LiveIndexConfig
+dirConfig(const fs::path &dir)
+{
+    LiveIndexConfig cfg;
+    cfg.dir = dir.string();
+    cfg.termBoundHint = 16;
+    cfg.maxBufferedDocs = 4; // several segments per epoch
+    return cfg;
+}
+
+/** Recover the directory and return what became visible. */
+CommittedState
+recoverAndObserve(const fs::path &dir)
+{
+    LiveIndex live(dirConfig(dir));
+    return observe(live);
+}
+
+std::map<std::string, std::vector<char>>
+readDir(const fs::path &dir)
+{
+    std::map<std::string, std::vector<char>> files;
+    for (const auto &e : fs::directory_iterator(dir)) {
+        std::ifstream in(e.path(), std::ios::binary);
+        files[e.path().filename().string()] = {
+            std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+    }
+    return files;
+}
+
+void
+restoreDir(const fs::path &dir,
+           const std::map<std::string, std::vector<char>> &files)
+{
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    for (const auto &[name, bytes] : files) {
+        std::ofstream out(dir / name, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+}
+
+void
+writeFile(const fs::path &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path,
+                      std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+struct Fixture
+{
+    fs::path dir;
+    std::map<std::string, std::vector<char>> afterA;
+    std::map<std::string, std::vector<char>> afterB;
+    std::vector<std::string> newFiles; ///< written by the B publish
+    CommittedState stateA;
+    CommittedState stateB;
+};
+
+/** Commit epoch A, then stage epoch B on top of it. */
+Fixture
+makeFixture(const std::string &name)
+{
+    Fixture fx;
+    fx.dir = fs::temp_directory_path() / name;
+    fs::remove_all(fx.dir);
+
+    {
+        LiveIndex live(dirConfig(fx.dir));
+        for (std::uint32_t d = 0; d < 10; ++d)
+            live.append({1, 2, TermId(3 + d % 5), TermId(d % 8)});
+        live.refresh();
+        fx.stateA = observe(live);
+    }
+    fx.afterA = readDir(fx.dir);
+
+    {
+        LiveIndex live(dirConfig(fx.dir));
+        EXPECT_EQ(observe(live), fx.stateA); // clean recovery first
+        for (std::uint32_t d = 0; d < 6; ++d)
+            live.append({1, 5, TermId(2 + d % 6)});
+        EXPECT_TRUE(live.erase(0)); // tombstone an epoch-A doc
+        EXPECT_TRUE(live.erase(7));
+        live.refresh();
+        fx.stateB = observe(live);
+    }
+    fx.afterB = readDir(fx.dir);
+
+    for (const auto &[fname, bytes] : fx.afterB) {
+        auto it = fx.afterA.find(fname);
+        if (it == fx.afterA.end() || it->second != bytes)
+            fx.newFiles.push_back(fname);
+    }
+    EXPECT_GE(fx.newFiles.size(), 2u); // >=1 segment + manifest
+    EXPECT_NE(fx.stateA, fx.stateB);
+    return fx;
+}
+
+void
+expectCommittedState(const Fixture &fx, const CommittedState &got,
+                     const std::string &what)
+{
+    EXPECT_TRUE(got == fx.stateA || got == fx.stateB)
+        << what << ": recovered epoch " << got.epoch << " with "
+        << got.liveDocs << " live docs in " << got.segments
+        << " segments is neither committed state (A epoch "
+        << fx.stateA.epoch << ", B epoch " << fx.stateB.epoch
+        << ")";
+}
+
+TEST(SegmentCrash, TruncationAtEveryByteBoundary)
+{
+    const Fixture fx = makeFixture("boss_crash_trunc");
+    for (const std::string &victim : fx.newFiles) {
+        const auto &full = fx.afterB.at(victim);
+        for (std::size_t len = 0; len < full.size(); ++len) {
+            restoreDir(fx.dir, fx.afterB);
+            writeFile(fx.dir / victim,
+                      {full.begin(),
+                       full.begin() + static_cast<long>(len)});
+            expectCommittedState(
+                fx, recoverAndObserve(fx.dir),
+                victim + " truncated to " + std::to_string(len));
+        }
+    }
+    fs::remove_all(fx.dir);
+}
+
+TEST(SegmentCrash, SingleByteCorruption)
+{
+    const Fixture fx = makeFixture("boss_crash_flip");
+    for (const std::string &victim : fx.newFiles) {
+        const auto &full = fx.afterB.at(victim);
+        for (std::size_t pos = 0; pos < full.size(); ++pos) {
+            restoreDir(fx.dir, fx.afterB);
+            auto damaged = full;
+            damaged[pos] = static_cast<char>(damaged[pos] ^ 0x5A);
+            writeFile(fx.dir / victim, damaged);
+            expectCommittedState(fx, recoverAndObserve(fx.dir),
+                                 victim + " byte " +
+                                     std::to_string(pos) +
+                                     " flipped");
+        }
+    }
+    fs::remove_all(fx.dir);
+}
+
+TEST(SegmentCrash, MissingSegmentFileFallsBackToPriorEpoch)
+{
+    const Fixture fx = makeFixture("boss_crash_missing");
+    for (const std::string &victim : fx.newFiles) {
+        restoreDir(fx.dir, fx.afterB);
+        fs::remove(fx.dir / victim);
+        const auto got = recoverAndObserve(fx.dir);
+        expectCommittedState(fx, got, victim + " removed");
+        EXPECT_EQ(got, fx.stateA); // a whole missing file can
+                                   // never pass validation
+    }
+    fs::remove_all(fx.dir);
+}
+
+TEST(SegmentCrash, StrayFilesAreIgnored)
+{
+    const Fixture fx = makeFixture("boss_crash_stray");
+    restoreDir(fx.dir, fx.afterB);
+    writeFile(fx.dir / "seg-9999999999.boss",
+              {'j', 'u', 'n', 'k'});
+    writeFile(fx.dir / "manifest-9999999999",
+              {'j', 'u', 'n', 'k'});
+    writeFile(fx.dir / "unrelated.tmp", {'x'});
+    expectCommittedState(fx, recoverAndObserve(fx.dir),
+                         "stray files present");
+    fs::remove_all(fx.dir);
+}
+
+TEST(SegmentCrash, NoManifestMeansEmptyIndex)
+{
+    const Fixture fx = makeFixture("boss_crash_nomanifest");
+    restoreDir(fx.dir, fx.afterB);
+    for (const auto &e : fs::directory_iterator(fx.dir)) {
+        if (e.path().filename().string().rfind("manifest-", 0) ==
+            0)
+            fs::remove(e.path());
+    }
+    LiveIndex live(dirConfig(fx.dir));
+    EXPECT_EQ(live.liveDocs(), 0u);
+    EXPECT_EQ(live.segmentCount(), 0u);
+    // The directory is usable again: append + refresh republishes.
+    live.append({1, 2, 3});
+    live.refresh();
+    EXPECT_EQ(live.liveDocs(), 1u);
+    fs::remove_all(fx.dir);
+}
+
+TEST(SegmentCrash, RecoveredDirectoryKeepsIngesting)
+{
+    const Fixture fx = makeFixture("boss_crash_continue");
+    // Damage the B manifest so recovery lands on A, then confirm
+    // the fallen-back directory accepts new commits.
+    restoreDir(fx.dir, fx.afterB);
+    for (const std::string &victim : fx.newFiles) {
+        const auto &full = fx.afterB.at(victim);
+        writeFile(fx.dir / victim,
+                  {full.begin(),
+                   full.begin() + static_cast<long>(
+                                      full.size() / 2)});
+    }
+    {
+        LiveIndex live(dirConfig(fx.dir));
+        const auto got = observe(live);
+        EXPECT_EQ(got, fx.stateA);
+        live.append({9, 10, 11});
+        live.refresh();
+        EXPECT_EQ(live.liveDocs(), fx.stateA.liveDocs + 1);
+    }
+    // And the new commit is durable.
+    {
+        LiveIndex live(dirConfig(fx.dir));
+        EXPECT_EQ(live.liveDocs(), fx.stateA.liveDocs + 1);
+    }
+    fs::remove_all(fx.dir);
+}
+
+} // namespace

@@ -42,6 +42,20 @@ HIST_FIELDS = (
 # points cannot show the knee it exists to document.
 MIN_SWEEP_POINTS = 5
 SWEEP_RULES = {
+    "BENCH_ingest.json": {
+        "curves": ("merges_on", "merges_off"),
+        "point_stats": (
+            "ingest_rate_dps",
+            "offered_qps",
+            "achieved_qps",
+            "p50_us",
+            "p99_us",
+            "appended",
+            "merges",
+            "segments_final",
+        ),
+        "required_groups": (),
+    },
     "BENCH_serving.json": {
         "curves": ("pipelined", "barrier"),
         "point_stats": (

@@ -4,10 +4,20 @@
  *
  * Usage:
  *   boss_indexer [--progress] <documents.txt> <output.idx>
+ *   boss_indexer --append [--progress] <documents.txt> <segment-dir>
  *
- * The input holds one document per line. The output file contains
- * the hybrid-compressed inverted index plus the lexicon and can be
- * served with boss_search or Device::loadTextIndexFile().
+ * The input holds one document per line. The default mode writes a
+ * monolithic index file containing the hybrid-compressed inverted
+ * index plus the lexicon, servable with boss_search or
+ * Device::loadTextIndexFile().
+ *
+ * --append feeds the documents into a live segment directory
+ * instead: existing segments are recovered from the directory's
+ * committed manifest, the new docs are baked into fresh immutable
+ * segments, and one refresh publishes the combined epoch. The
+ * directory's lexicon (at <segment-dir>/lexicon) grows in place, so
+ * repeated --append runs build one corpus incrementally; the result
+ * is served with boss_serve <segment-dir>.
  *
  * --progress reports ingest rate (docs/sec, MB read) on stderr while
  * indexing and dumps the final ingest counters.
@@ -16,11 +26,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "common/logging.h"
+#include "index/segments/live_index.h"
 #include "index/text_builder.h"
 #include "stats/stats.h"
 
@@ -88,25 +100,110 @@ class Progress
     std::chrono::steady_clock::time_point start_;
 };
 
+/** --append mode: grow a live segment directory. */
+int
+appendMode(const char *inPath, const char *dirPath, bool progress)
+{
+    namespace seg = boss::index::segments;
+
+    std::ifstream in(inPath);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", inPath);
+        return 1;
+    }
+
+    std::filesystem::create_directories(dirPath);
+    const std::filesystem::path lexPath =
+        std::filesystem::path(dirPath) / "lexicon";
+    boss::index::Lexicon lexicon;
+    if (std::filesystem::exists(lexPath)) {
+        std::ifstream ls(lexPath, std::ios::binary);
+        if (!ls) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         lexPath.string().c_str());
+            return 1;
+        }
+        lexicon = boss::index::Lexicon::load(ls);
+    }
+
+    seg::LiveIndexConfig cfg;
+    cfg.dir = dirPath;
+    cfg.termBoundHint = lexicon.size();
+    seg::LiveIndex live(cfg);
+    const std::uint32_t before = live.liveDocs();
+
+    Progress prog(progress);
+    std::string line;
+    std::uint64_t skipped = 0;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            ++skipped;
+            prog.emptyLine();
+            continue;
+        }
+        std::vector<boss::TermId> ids;
+        for (const std::string &tok : boss::index::tokenize(line))
+            ids.push_back(lexicon.addTerm(tok));
+        live.append(ids);
+        prog.doc(line.size());
+    }
+    prog.finish();
+
+    // Lexicon before the publishing refresh: a crash between the
+    // two leaves extra lexicon entries (harmless; ids are stable)
+    // rather than committed segments referencing unknown terms.
+    {
+        std::ofstream ls(lexPath, std::ios::binary | std::ios::trunc);
+        BOSS_ASSERT(ls.good(), "cannot write ", lexPath.string());
+        lexicon.save(ls);
+        ls.flush();
+        BOSS_ASSERT(ls.good(), "short write ", lexPath.string());
+    }
+    live.refresh();
+    while (live.mergeOnce()) {
+    }
+
+    std::printf("appended %u documents (%llu empty lines skipped)\n",
+                live.liveDocs() - before,
+                static_cast<unsigned long long>(skipped));
+    std::printf("segment dir: %s -- %u docs, %u segments, epoch %llu,"
+                " %u distinct terms\n",
+                dirPath, live.liveDocs(), live.segmentCount(),
+                static_cast<unsigned long long>(live.epoch()),
+                lexicon.size());
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool progress = false;
+    bool append = false;
     int argi = 1;
-    if (argi < argc && std::strcmp(argv[argi], "--progress") == 0) {
-        progress = true;
+    while (argi < argc && argv[argi][0] == '-') {
+        if (std::strcmp(argv[argi], "--progress") == 0) {
+            progress = true;
+        } else if (std::strcmp(argv[argi], "--append") == 0) {
+            append = true;
+        } else {
+            break;
+        }
         ++argi;
     }
     if (argc - argi != 2) {
         std::fprintf(stderr,
                      "usage: %s [--progress] <documents.txt> "
                      "<output.idx>\n"
+                     "       %s --append [--progress] "
+                     "<documents.txt> <segment-dir>\n"
                      "  documents.txt: one document per line\n",
-                     argv[0]);
+                     argv[0], argv[0]);
         return 2;
     }
+    if (append)
+        return appendMode(argv[argi], argv[argi + 1], progress);
     const char *inPath = argv[argi];
     const char *outPath = argv[argi + 1];
 

@@ -10,6 +10,17 @@
  *
  * Usage:
  *   boss_serve [options] <index.idx>
+ *   boss_serve [options] <segment-dir>
+ *
+ * Passing a segment directory (built with boss_indexer --append)
+ * serves the live index inside it and enables mixed read/write
+ * mode: an ingest thread appends synthetic documents at
+ * --ingest-rate while the open-loop query stream runs, deleting a
+ * --delete-fraction of them, refreshing every --refresh-ms, and
+ * compacting with the background merger unless --no-merge. The
+ * ingest counters land on the telemetry surface (boss_ingest_* on
+ * /metrics and in --metrics-out snapshots) and a final "ingest:"
+ * summary line reports totals.
  *
  * Options:
  *   --qps X              offered load in queries/sec (default 2000)
@@ -43,21 +54,31 @@
  *   --flight-out=FILE    flight-recorder dump (slowest + recent
  *                        shed queries) as Chrome trace at exit
  *   --kernels=TIER       scalar|sse42|avx2|auto (bit-exact tiers)
+ *   --ingest-rate X      live mode: appended docs/sec (default 0)
+ *   --delete-fraction F  live mode: deletes per append (default 0.1)
+ *   --refresh-ms X       live mode: publish period (default 50)
+ *   --no-merge           live mode: disable background merges
  *
  * Results are bit-identical to batch searchBatch() for the same
  * query set — serving changes *when* work happens, never what it
  * computes.
  */
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <string>
+#include <thread>
 
+#include "api/live_device.h"
 #include "api/sharded_device.h"
 #include "boss/device.h"
+#include "common/rng.h"
 #include "common/buildinfo.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -99,6 +120,173 @@ struct Options
     double metricsPeriodMs = 500.0;
     long metricsPort = -1; ///< -1 = no HTTP endpoint
     std::string flightOut;
+    // Live (segment-dir) mode.
+    double ingestRate = 0.0;
+    double deleteFraction = 0.1;
+    double refreshMs = 50.0;
+    bool noMerge = false;
+};
+
+/**
+ * The write side of mixed read/write serving: a thread appending
+ * synthetic documents (and deleting a fraction of the corpus) into
+ * the LiveDevice's index at a paced rate, publishing on a refresh
+ * timer, while the server hammers the read side.
+ */
+class IngestDriver
+{
+  public:
+    IngestDriver(boss::api::LiveDevice &device, const Options &opts)
+        : device_(device), rate_(opts.ingestRate),
+          deleteFraction_(opts.deleteFraction),
+          refreshMs_(opts.refreshMs), merge_(!opts.noMerge),
+          rng_(boss::splitSeed(opts.seed, 13))
+    {
+    }
+
+    /** Expose boss_ingest_* metrics (before rendering starts). */
+    void
+    registerMetrics(boss::telemetry::Registry &registry)
+    {
+        metrics_.registerInto(registry);
+    }
+
+    void
+    start()
+    {
+        if (merge_)
+            device_.live().startMerger();
+        syncMetrics();
+        thread_ = std::thread([this] { run(); });
+    }
+
+    void
+    stop()
+    {
+        stop_.store(true, std::memory_order_relaxed);
+        if (thread_.joinable())
+            thread_.join();
+        device_.live().refresh();
+        if (merge_)
+            device_.live().stopMerger();
+        syncMetrics();
+    }
+
+    void
+    printSummary() const
+    {
+        const auto &c = device_.live().counters();
+        std::printf(
+            "ingest: appended %llu, deleted %llu, baked %llu "
+            "segments, %llu merges, %llu refreshes; final epoch "
+            "%llu, %u live docs in %u segments\n",
+            static_cast<unsigned long long>(c.appended.load()),
+            static_cast<unsigned long long>(c.erased.load()),
+            static_cast<unsigned long long>(c.segmentsBaked.load()),
+            static_cast<unsigned long long>(c.merges.load()),
+            static_cast<unsigned long long>(c.refreshes.load()),
+            static_cast<unsigned long long>(device_.live().epoch()),
+            device_.live().liveDocs(),
+            device_.live().segmentCount());
+    }
+
+  private:
+    void
+    run()
+    {
+        auto &live = device_.live();
+        const std::uint32_t vocab = live.termBound();
+        const auto t0 = std::chrono::steady_clock::now();
+        auto lastRefresh = t0;
+        std::uint64_t appended = 0;
+        while (!stop_.load(std::memory_order_relaxed)) {
+            const auto now = std::chrono::steady_clock::now();
+            const double secs =
+                std::chrono::duration<double>(now - t0).count();
+            const auto owed =
+                static_cast<std::uint64_t>(secs * rate_);
+            while (appended < owed &&
+                   !stop_.load(std::memory_order_relaxed)) {
+                appendOne(vocab);
+                ++appended;
+            }
+            if (std::chrono::duration<double, std::milli>(
+                    now - lastRefresh)
+                    .count() >= refreshMs_) {
+                live.refresh();
+                lastRefresh = now;
+                syncMetrics();
+            }
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(500));
+        }
+    }
+
+    void
+    appendOne(std::uint32_t vocab)
+    {
+        auto &live = device_.live();
+        const auto len =
+            8 + static_cast<std::uint32_t>(rng_.below(56));
+        std::vector<boss::TermId> tokens(len);
+        for (auto &t : tokens)
+            t = static_cast<boss::TermId>(rng_.below(vocab));
+        live.append(tokens);
+        constexpr std::uint64_t kScale = 1u << 20;
+        if (rng_.below(kScale) <
+            static_cast<std::uint64_t>(deleteFraction_ * kScale)) {
+            // A random victim may already be deleted or merged
+            // away; a few retries keep the realized delete rate
+            // close to the requested fraction.
+            for (int tries = 0; tries < 4; ++tries) {
+                const auto victim = static_cast<boss::DocId>(
+                    rng_.below(live.nextGlobalId()));
+                if (live.erase(victim))
+                    break;
+            }
+        }
+    }
+
+    void
+    syncMetrics()
+    {
+        const auto &c = device_.live().counters();
+        auto delta = [](boss::telemetry::Counter &counter,
+                        const std::atomic<std::uint64_t> &source,
+                        std::uint64_t &last) {
+            const std::uint64_t now = source.load();
+            counter.inc(now - last);
+            last = now;
+        };
+        delta(metrics_.docsAppended, c.appended, lastAppended_);
+        delta(metrics_.docsDeleted, c.erased, lastErased_);
+        delta(metrics_.segmentsBaked, c.segmentsBaked, lastBaked_);
+        delta(metrics_.merges, c.merges, lastMerges_);
+        delta(metrics_.refreshes, c.refreshes, lastRefreshes_);
+        metrics_.liveDocs.set(
+            static_cast<double>(device_.live().liveDocs()));
+        metrics_.segments.set(
+            static_cast<double>(device_.live().segmentCount()));
+        metrics_.epoch.set(
+            static_cast<double>(device_.live().epoch()));
+        metrics_.bufferedDocs.set(
+            static_cast<double>(device_.live().bufferedDocs()));
+    }
+
+    boss::api::LiveDevice &device_;
+    double rate_;
+    double deleteFraction_;
+    double refreshMs_;
+    bool merge_;
+    boss::Rng rng_;
+    boss::telemetry::IngestMetrics metrics_;
+    std::uint64_t lastAppended_ = 0;
+    std::uint64_t lastErased_ = 0;
+    std::uint64_t lastBaked_ = 0;
+    std::uint64_t lastMerges_ = 0;
+    std::uint64_t lastRefreshes_ = 0;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
 };
 
 /** Build-identity labels every metrics surface carries. */
@@ -138,7 +326,7 @@ numberAfter(int &argi, int argc, char **argv, const char *flag)
 
 int
 serveSession(boss::serve::Backend &backend, std::uint32_t vocab,
-             const Options &opts)
+             const Options &opts, IngestDriver *ingest = nullptr)
 {
     boss::workload::QueryWorkloadConfig wcfg;
     wcfg.vocabSize = vocab;
@@ -177,6 +365,8 @@ serveSession(boss::serve::Backend &backend, std::uint32_t vocab,
         telemetry.emplace();
         telemetry->setBuildInfo(buildLabels());
         server.setTelemetry(&*telemetry);
+        if (ingest != nullptr)
+            ingest->registerMetrics(telemetry->registry());
         auto clock = [tel = &*telemetry] { return tel->nowUs(); };
         if (!opts.metricsOut.empty()) {
             boss::telemetry::Snapshotter::Config cfg;
@@ -205,7 +395,13 @@ serveSession(boss::serve::Backend &backend, std::uint32_t vocab,
         }
     }
 
+    if (ingest != nullptr)
+        ingest->start();
     auto report = server.run(queries);
+    if (ingest != nullptr) {
+        ingest->stop();
+        ingest->printSummary();
+    }
 
     if (snapshotter.has_value()) {
         snapshotter->stop();
@@ -440,6 +636,44 @@ main(int argc, char **argv)
                    matchValueFlag(argv[argi], "--flight-out",
                                   opts.flightOut)) {
             ++argi;
+        } else if (arg == "--ingest-rate") {
+            double r = argi + 1 < argc
+                           ? std::strtod(argv[argi + 1], nullptr)
+                           : -1.0;
+            if (r < 0.0) {
+                std::fprintf(stderr,
+                             "--ingest-rate wants a non-negative "
+                             "rate\n");
+                return 2;
+            }
+            opts.ingestRate = r;
+            argi += 2;
+        } else if (arg == "--delete-fraction") {
+            double f = argi + 1 < argc
+                           ? std::strtod(argv[argi + 1], nullptr)
+                           : -1.0;
+            if (f < 0.0 || f > 1.0) {
+                std::fprintf(stderr,
+                             "--delete-fraction wants 0..1\n");
+                return 2;
+            }
+            opts.deleteFraction = f;
+            argi += 2;
+        } else if (arg == "--refresh-ms") {
+            double p = argi + 1 < argc
+                           ? std::strtod(argv[argi + 1], nullptr)
+                           : 0.0;
+            if (p <= 0.0) {
+                std::fprintf(stderr,
+                             "--refresh-ms wants a positive "
+                             "period\n");
+                return 2;
+            }
+            opts.refreshMs = p;
+            argi += 2;
+        } else if (arg == "--no-merge") {
+            opts.noMerge = true;
+            ++argi;
         } else if (matchValueFlag(argv[argi], "--kernels", value)) {
             if (!boss::kernels::setTierByName(value)) {
                 std::fprintf(stderr,
@@ -466,7 +700,10 @@ main(int argc, char **argv)
             "[--stats-json=FILE] [--trace-out=FILE] "
             "[--trace-cap N] [--metrics-out=FILE] "
             "[--metrics-period-ms X] [--metrics-port N] "
-            "[--flight-out=FILE] [--kernels=TIER] <index.idx>\n",
+            "[--flight-out=FILE] [--kernels=TIER] "
+            "[--ingest-rate X] [--delete-fraction F] "
+            "[--refresh-ms X] [--no-merge] "
+            "<index.idx | segment-dir>\n",
             argv[0]);
         return 2;
     }
@@ -477,6 +714,41 @@ main(int argc, char **argv)
                     boss::kernels::activeTierName().size()),
                 boss::kernels::activeTierName().data());
 
+    if (std::filesystem::is_directory(argv[argi])) {
+        // Live mode: serve the segment directory while ingesting.
+        const std::filesystem::path dir = argv[argi];
+        std::ifstream ls(dir / "lexicon", std::ios::binary);
+        if (!ls) {
+            std::fprintf(stderr,
+                         "'%s' has no lexicon; build it with "
+                         "boss_indexer --append\n",
+                         argv[argi]);
+            return 1;
+        }
+        boss::index::Lexicon lexicon =
+            boss::index::Lexicon::load(ls);
+        if (lexicon.size() == 0) {
+            std::fprintf(stderr, "empty lexicon in '%s'\n",
+                         argv[argi]);
+            return 1;
+        }
+        boss::api::LiveDeviceConfig cfg;
+        cfg.live.dir = dir.string();
+        cfg.live.termBoundHint = lexicon.size();
+        boss::api::LiveDevice device(cfg);
+        const std::uint32_t vocab = lexicon.size();
+        device.setLexicon(std::move(lexicon));
+        std::printf("loaded live index: %u docs in %u segments, "
+                    "epoch %llu, %u terms\n",
+                    device.live().liveDocs(),
+                    device.live().segmentCount(),
+                    static_cast<unsigned long long>(
+                        device.live().epoch()),
+                    vocab);
+        boss::serve::LiveBackend backend(device);
+        IngestDriver ingest(device, opts);
+        return serveSession(backend, vocab, opts, &ingest);
+    }
     if (opts.shards > 1) {
         boss::api::ShardedDeviceConfig cfg;
         cfg.shards = static_cast<std::uint32_t>(opts.shards);
