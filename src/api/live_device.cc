@@ -46,11 +46,13 @@ LiveDevice::plan(const std::string &qExpression) const
 std::shared_ptr<LiveDevice::EpochDevices>
 LiveDevice::devicesForCurrentEpoch()
 {
+    // Pin the snapshot under mu_: taken outside, a thread that
+    // raced with a publish could overwrite a newer cached set with
+    // an older epoch's and force a needless rebuild.
+    std::lock_guard<std::mutex> lock(mu_);
     index::segments::Snapshot snap = live_.snapshot();
     BOSS_ASSERT(static_cast<bool>(snap),
                 "live index has no published epoch");
-
-    std::lock_guard<std::mutex> lock(mu_);
     if (cache_ != nullptr && cache_->epoch == snap->epoch())
         return cache_;
 

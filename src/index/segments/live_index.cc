@@ -338,17 +338,19 @@ LiveIndex::mergeOnce()
         merged.postings.emplace_back(t, std::move(pl));
 
     std::shared_ptr<const BakedSegment> mergedSeg;
-    if (merged.numDocs() > 0) {
+    if (merged.numDocs() > 0)
         mergedSeg = BakedSegment::bake(mergedId, std::move(merged));
-        if (!config_.dir.empty())
-            writeSegmentFile(*mergedSeg);
-    }
 
     // Phase 3 (locked): carry over deletes that landed in the window
     // during the build, splice the merged entry in, publish. Window
     // indices are stable: bakes only append at the back and merges
-    // are serialized by mergeInFlight_.
+    // are serialized by mergeInFlight_. The merged segment file is
+    // written here, under mu_, never in phase 2: a concurrent
+    // refresh() runs collectGarbage under this same lock and would
+    // delete an on-disk segment no manifest references yet.
     lock.lock();
+    if (mergedSeg != nullptr && !config_.dir.empty())
+        writeSegmentFile(*mergedSeg);
     Entry entry;
     std::uint32_t mergedLive = 0;
     if (mergedSeg != nullptr) {
@@ -382,9 +384,12 @@ LiveIndex::mergeOnce()
     }
     mergeInFlight_ = false;
     counters_.merges.fetch_add(1, std::memory_order_relaxed);
+    // Bake buffered appends before publishing: liveDf_ counts them,
+    // so publishing around them would bake idfs over docs the epoch
+    // cannot see. A merge publish is therefore a full refresh.
+    bakeBufferLocked();
     publishLocked(map_.epoch() + 1, !config_.dir.empty());
-    // Pending erases are now visible; buffered appends are not.
-    dirty_ = !buffer_.empty();
+    dirty_ = false;
     return true;
 }
 
@@ -431,11 +436,17 @@ LiveIndex::writeSegmentFile(const BakedSegment &segment) const
     const std::filesystem::path path =
         std::filesystem::path(config_.dir) /
         segmentFileName(segment.id());
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    BOSS_ASSERT(os.good(), "cannot write segment ", path.string());
-    segment.save(os, config_.bm25, config_.forcedScheme);
-    os.flush();
-    BOSS_ASSERT(os.good(), "short segment write ", path.string());
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        BOSS_ASSERT(os.good(), "cannot write segment ",
+                    path.string());
+        segment.save(os, config_.bm25, config_.forcedScheme);
+        os.flush();
+        BOSS_ASSERT(os.good(), "short segment write ", path.string());
+    }
+    // Durable before any manifest references it (commit protocol
+    // step 1, manifest.h).
+    syncPath(path);
 }
 
 bool

@@ -126,7 +126,9 @@ class LiveIndex
      * Run one merge compaction if the policy fires (more than
      * maxSegments segments): fuses the adjacent run of mergeFanIn
      * segments with the fewest live docs, dropping tombstoned
-     * postings, and publishes the result. Concurrent appends,
+     * postings, and publishes the result. The publish bakes any
+     * buffered appends first (it is a full refresh), so epoch stats
+     * always match the visible survivor set. Concurrent appends,
      * erases and queries proceed throughout; deletes landing in a
      * source segment mid-merge are carried over at swap time.
      * Returns true when a merge ran.

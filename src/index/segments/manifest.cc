@@ -8,6 +8,11 @@
 #include <set>
 #include <sstream>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "common/crc32.h"
 #include "common/logging.h"
 
@@ -181,14 +186,35 @@ listManifests(const std::filesystem::path &dir)
 }
 
 void
+syncPath(const std::filesystem::path &path)
+{
+#ifndef _WIN32
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    BOSS_ASSERT(fd >= 0, "cannot open for fsync ", path.string());
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    BOSS_ASSERT(rc == 0, "fsync failed ", path.string());
+#else
+    (void)path;
+#endif
+}
+
+void
 writeManifestFile(const std::filesystem::path &dir, const Manifest &m)
 {
     const std::filesystem::path path = dir / manifestFileName(m.epoch);
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    BOSS_ASSERT(os.good(), "cannot write manifest ", path.string());
-    saveManifest(m, os);
-    os.flush();
-    BOSS_ASSERT(os.good(), "short manifest write ", path.string());
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        BOSS_ASSERT(os.good(), "cannot write manifest ",
+                    path.string());
+        saveManifest(m, os);
+        os.flush();
+        BOSS_ASSERT(os.good(), "short manifest write ", path.string());
+    }
+    // Segment files were synced at write time; the epoch commits
+    // only once the manifest and its directory entry are durable.
+    syncPath(path);
+    syncPath(dir);
 }
 
 void

@@ -4,8 +4,11 @@
  * epoch naming every live segment file and its tombstoned docs.
  *
  * Commit protocol (crash consistency):
- *   1. every referenced segment file is fully written and closed
- *      *before* its manifest is written;
+ *   1. every referenced segment file is fully written, closed and
+ *      fsync'd *before* its manifest is written; the manifest and
+ *      its directory are fsync'd before the epoch counts as
+ *      committed, so the ordering holds across power loss, not
+ *      just process crashes;
  *   2. the manifest body carries a trailing CRC32, so a torn write
  *      is detected as reliably as a missing file;
  *   3. recovery scans manifests highest-epoch-first and adopts the
@@ -70,7 +73,17 @@ std::string manifestFileName(std::uint64_t epoch);
 std::vector<std::pair<std::uint64_t, std::filesystem::path>>
 listManifests(const std::filesystem::path &dir);
 
-/** Write manifest @p m to its canonical path under @p dir. */
+/**
+ * Durability barrier: fsync @p path (a regular file or a
+ * directory). The commit protocol uses it to order segment writes
+ * before the manifest across power loss.
+ */
+void syncPath(const std::filesystem::path &path);
+
+/**
+ * Write manifest @p m to its canonical path under @p dir and fsync
+ * it (plus the directory entry) before returning.
+ */
 void writeManifestFile(const std::filesystem::path &dir,
                        const Manifest &m);
 
