@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Out-of-core sweep: hit rate and throughput vs DRAM block-cache
+ * size on a corpus several times larger than the cache.
+ *
+ * The experiment BonsaiKV-style tiering exists for: the index image
+ * lives in SCM, a DRAM block cache fronts it, and the question is
+ * how much cache buys how much throughput. Three measurements over
+ * one corpus and one query mix:
+ *
+ *  1. Cold baseline: no cache at all — every block fetch pays SCM
+ *     timing. This is the floor.
+ *  2. Warm ceiling: a cache larger than the whole working set,
+ *     measured on the second pass so every cacheable read hits and
+ *     is serviced at DRAM timing. The cold-vs-warm ratio is the
+ *     headline tiering win (acceptance bar: >= 1.3x).
+ *  3. The sweep: cache capacities stepping up a geometric ladder
+ *     that keeps the corpus >= 4x the cache at every point, each
+ *     point warmed by one full pass and measured on the next. Hit
+ *     rate must grow monotonically with capacity.
+ *
+ * Output: a table on stdout and BENCH_oocore.json with a
+ * "cache_sweep" curve (one subgroup per capacity point) and an
+ * "ablation" group holding the cold/warm comparison
+ * (tools/bench_check.py validates the shape in CI).
+ */
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "benchutil.h"
+#include "boss/device.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace
+{
+
+using namespace boss;
+
+struct Measurement
+{
+    double cacheMb = 0.0;
+    double qps = 0.0;
+    double hitRate = 0.0;
+    accel::SearchOutcome outcome;
+};
+
+double
+toQps(std::size_t queries, const accel::SearchOutcome &outcome)
+{
+    BOSS_ASSERT(outcome.simSeconds > 0.0, "zero simulated time");
+    return static_cast<double>(queries) / outcome.simSeconds;
+}
+
+/**
+ * Fresh device at @p cacheMb over the shared index; one fill pass
+ * (when warmed) then one measured pass. A single cache lock shard
+ * keeps CLOCK replacement deterministic, so the checked-in numbers
+ * reproduce exactly.
+ */
+Measurement
+measure(const std::shared_ptr<const index::InvertedIndex> &index,
+        const std::vector<workload::Query> &queries, double cacheMb,
+        bool warmed)
+{
+    accel::DeviceConfig cfg;
+    cfg.cacheMB = cacheMb;
+    cfg.cacheShards = 1;
+    accel::Device device(cfg);
+    device.loadSharedIndex(index);
+    if (warmed)
+        device.searchBatch(queries);
+    Measurement m;
+    m.cacheMb = cacheMb;
+    m.outcome = device.searchBatch(queries);
+    m.qps = toQps(queries.size(), m.outcome);
+    if (m.outcome.cacheLookups > 0)
+        m.hitRate = static_cast<double>(m.outcome.cacheHits) /
+                    static_cast<double>(m.outcome.cacheLookups);
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    common::ThreadPool::setGlobalThreads(
+        std::max(1u, std::thread::hardware_concurrency()));
+
+    workload::CorpusConfig cfg;
+    cfg.name = "oocore-sweep";
+    cfg.numDocs = 120'000;
+    cfg.vocabSize = 1'000;
+    cfg.seed = 42;
+    workload::Corpus corpus(cfg);
+
+    workload::QueryWorkloadConfig qcfg;
+    qcfg.vocabSize = cfg.vocabSize;
+    qcfg.seed = 7;
+    auto queries = workload::sampleQueries(qcfg, 96);
+    auto terms = workload::collectTerms(queries);
+
+    auto index = std::make_shared<const index::InvertedIndex>(
+        corpus.buildIndex(terms));
+
+    // The image size is the "corpus" side of the corpus-to-cache
+    // ratio: everything a cacheable read can touch lives in it.
+    double indexMb;
+    {
+        accel::Device probe;
+        probe.loadSharedIndex(index);
+        indexMb = static_cast<double>(probe.layout().sizeBytes()) /
+                  (1 << 20);
+    }
+    std::printf("corpus: %u docs, vocab %u; index image %.2f MB; "
+                "%zu distinct queries\n",
+                cfg.numDocs, cfg.vocabSize, indexMb, queries.size());
+
+    // --- Cold floor and warm ceiling.
+    Measurement cold =
+        measure(index, queries, /*cacheMb=*/0.0, /*warmed=*/false);
+    // Over-provisioned cache: nothing evicts, so the second pass
+    // hits on every cacheable read and its resident bytes measure
+    // the working set.
+    Measurement warm =
+        measure(index, queries, 2.0 * indexMb, /*warmed=*/true);
+    BOSS_ASSERT(warm.outcome.cacheEvictions == 0,
+                "warm ceiling evicted despite 2x headroom");
+    double gap = warm.qps / cold.qps;
+    std::printf("cold %.0f qps (no cache) vs warm %.0f qps "
+                "(%.1f%% hits) -> %.2fx tiering win\n",
+                cold.qps, warm.qps, 100.0 * warm.hitRate, gap);
+    BOSS_ASSERT(gap >= 1.3,
+                "cold-vs-warm qps gap below the 1.3x acceptance bar");
+
+    // --- The capacity sweep: corpus >= 4x cache at every point.
+    const std::vector<double> fractions = {1.0 / 64, 1.0 / 32,
+                                           1.0 / 16, 1.0 / 8,
+                                           1.0 / 4};
+    std::vector<Measurement> sweep;
+    std::printf("\n%-10s %8s %8s %10s %12s %12s %10s\n", "cache MB",
+                "corpus/x", "hit %", "qps", "DRAM KB", "SCM KB",
+                "evict");
+    for (double f : fractions) {
+        Measurement m =
+            measure(index, queries, f * indexMb, /*warmed=*/true);
+        std::printf(
+            "%-10.2f %8.1f %8.1f %10.0f %12.1f %12.1f %10llu\n",
+            m.cacheMb, indexMb / m.cacheMb, 100.0 * m.hitRate,
+            m.qps, m.outcome.dramBytes / 1024.0,
+            m.outcome.deviceBytes / 1024.0,
+            static_cast<unsigned long long>(
+                m.outcome.cacheEvictions));
+        sweep.push_back(std::move(m));
+    }
+    for (std::size_t i = 1; i < sweep.size(); ++i)
+        BOSS_ASSERT(sweep[i].hitRate >= sweep[i - 1].hitRate,
+                    "hit rate not monotone in cache capacity");
+    BOSS_ASSERT(sweep.back().qps <= warm.qps,
+                "capacity-constrained point beat the warm ceiling");
+
+    // --- JSON report.
+    bench::JsonReport report("oocore");
+    report.set(report.root(), "num_docs",
+               static_cast<double>(cfg.numDocs), "corpus documents");
+    report.set(report.root(), "distinct_queries",
+               static_cast<double>(queries.size()),
+               "distinct queries in the replayed batch");
+    report.set(report.root(), "index_mb", indexMb,
+               "index image size (the SCM-resident corpus)");
+
+    auto &ablation = report.root().subgroup("ablation");
+    report.set(ablation, "cold_qps", cold.qps,
+               "throughput with no cache (every read pays SCM)");
+    report.set(ablation, "warm_qps", warm.qps,
+               "second-pass throughput, cache >= working set");
+    report.set(ablation, "warm_cold_gap", gap,
+               "warm / cold qps (acceptance bar >= 1.3x)");
+    report.set(ablation, "warm_cache_mb", warm.cacheMb,
+               "over-provisioned warm-ceiling capacity");
+    report.set(ablation, "warm_hit_rate", warm.hitRate,
+               "warm-pass hit fraction (1.0 = fully resident)");
+    report.set(ablation, "working_set_mb",
+               static_cast<double>(warm.outcome.cacheLookups
+                                       ? warm.outcome.dramBytes
+                                       : 0) /
+                   (1 << 20),
+               "bytes served from DRAM on the fully warm pass");
+
+    auto &curve = report.root().subgroup("cache_sweep");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const Measurement &m = sweep[i];
+        auto &g = curve.subgroup("point" + std::to_string(i));
+        report.set(g, "cache_mb", m.cacheMb, "cache capacity");
+        report.set(g, "corpus_to_cache_ratio", indexMb / m.cacheMb,
+                   "index image / cache capacity (>= 4 by design)");
+        report.set(g, "hit_rate", m.hitRate,
+                   "measured-pass cache hit fraction");
+        report.set(g, "qps", m.qps,
+                   "measured-pass simulated throughput");
+        report.set(g, "dram_bytes",
+                   static_cast<double>(m.outcome.dramBytes),
+                   "bytes served at DRAM timing");
+        report.set(g, "scm_bytes",
+                   static_cast<double>(m.outcome.deviceBytes),
+                   "bytes served by the SCM device");
+        report.set(g, "evictions",
+                   static_cast<double>(m.outcome.cacheEvictions),
+                   "CLOCK evictions during the measured pass");
+    }
+    report.write("BENCH_oocore.json");
+    return 0;
+}

@@ -37,6 +37,13 @@ Device::Device(DeviceConfig config) : config_(std::move(config))
         faultPolicy_ =
             std::make_unique<engine::FaultPolicy>(*faultModel_);
     }
+    if (config_.cacheMB > 0) {
+        mem::BlockCacheConfig cc;
+        cc.capacityBytes = static_cast<std::uint64_t>(
+            config_.cacheMB * (1 << 20));
+        cc.shards = config_.cacheShards;
+        cache_ = std::make_unique<mem::BlockCache>(cc);
+    }
 }
 
 Device::~Device() = default;
@@ -81,6 +88,31 @@ void
 Device::loadTextIndexFile(const std::string &path)
 {
     loadTextIndex(index::loadTextIndexFile(path));
+}
+
+void
+Device::loadMappedTextIndexFile(const std::string &path)
+{
+    auto mapped = index::MappedIndex::open(path);
+    BOSS_ASSERT(mapped->hasLexicon(),
+                "'", path, "' has no lexicon section (not a text "
+                "index file)");
+    lexicon_.emplace(mapped->loadLexicon());
+    loadSharedIndex(index::MappedIndex::share(mapped));
+
+    // Mapped payloads skip the load-time whole-file CRC, so decode
+    // under a fault policy that checks each block's CRC on first
+    // touch. Without configured faults the model is benign: no
+    // injection, clean blocks verify once and then memoize, and
+    // at-rest corruption in the mapping still hits the retry/drop
+    // degrade path instead of crashing the process.
+    if (faultPolicy_ == nullptr) {
+        faultModel_ = std::make_unique<mem::FaultModel>(
+            mem::FaultSpec{}, config_.faultSeed, config_.deviceId);
+        faultPolicy_ =
+            std::make_unique<engine::FaultPolicy>(*faultModel_);
+    }
+    faultPolicy_->enableVerifyOnce(*index_);
 }
 
 const index::Lexicon &
@@ -224,6 +256,8 @@ Device::replayBuilt(std::vector<BuiltQuery> built)
     sys.link = config_.link;
     sys.label = config_.label;
     sys.faults = faultModel_.get();
+    sys.cache = cache_.get();
+    sys.cacheMem = config_.cacheMem;
     model::ReplayObservers observers;
     observers.recorder = recorder_;
     std::vector<model::QueryTiming> timings;
@@ -238,6 +272,13 @@ Device::replayBuilt(std::vector<BuiltQuery> built)
     auto metrics = model::replayTraces(traces, sys, observers);
     outcome.simSeconds = metrics.run.seconds;
     outcome.deviceBytes = metrics.run.deviceBytes;
+    outcome.dramBytes = metrics.run.dramBytes;
+    outcome.cacheLookups = metrics.run.cacheLookups;
+    outcome.cacheHits = metrics.run.cacheHits;
+    outcome.cacheMisses = metrics.run.cacheMisses;
+    outcome.cacheEvictions = metrics.run.cacheEvictions;
+    totalScmBytes_ += metrics.run.deviceBytes;
+    totalDramBytes_ += metrics.run.dramBytes;
     if (statsCaptureEnabled_)
         lastRunStatsJson_ = statsCapture.str();
     if (summariesEnabled_) {

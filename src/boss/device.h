@@ -50,6 +50,17 @@ struct DeviceConfig
     std::uint64_t faultSeed = 0xB055;
     /** Shard index; per-device fault schedules key on it. */
     std::uint32_t deviceId = 0;
+    /**
+     * DRAM block-cache tier capacity in MiB (0 disables). When set,
+     * index reads that hit the cache are serviced at DRAM timing and
+     * only misses touch the SCM device; residency persists across
+     * searches, so a warmed cache keeps paying off.
+     */
+    double cacheMB = 0.0;
+    /** Timing of the DRAM device behind the cache tier. */
+    mem::MemConfig cacheMem = mem::dramConfig();
+    /** Cache lock shards (1 => deterministic replacement). */
+    std::uint32_t cacheShards = 8;
 };
 
 /**
@@ -84,6 +95,14 @@ struct SearchOutcome
     bool deviceFailed = false;
     std::uint64_t crcRetries = 0;    ///< payload re-reads this search
     std::uint64_t blocksDropped = 0; ///< payloads degraded away
+    // DRAM block-cache tier, this search only (zero without a
+    // cache). deviceBytes stays SCM traffic, so deviceBytes +
+    // dramBytes splits the served bandwidth by tier.
+    std::uint64_t dramBytes = 0;
+    std::uint64_t cacheLookups = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheEvictions = 0;
     /**
      * Per-query top-k lists, one per submitted query in submission
      * order (topk is a copy of the last entry). simSeconds is the
@@ -120,6 +139,17 @@ class Device
 
     /** Load a text-index file written by saveTextIndexFile(). */
     void loadTextIndexFile(const std::string &path);
+
+    /**
+     * mmap a text-index file instead of copying it to the heap:
+     * payloads stay views into the mapping and startup is
+     * O(metadata). Integrity moves from load time to first touch --
+     * the device arms a verify-once fault policy (a benign fault
+     * model when none is configured), so each block's CRC is checked
+     * on its first decode and corrupted blocks follow the normal
+     * retry/drop degrade path instead of failing the load.
+     */
+    void loadMappedTextIndexFile(const std::string &path);
 
     bool hasLexicon() const { return lexicon_.has_value(); }
     const index::Lexicon &lexicon() const;
@@ -218,6 +248,13 @@ class Device
         return faultPolicy_.get();
     }
 
+    /** The DRAM block cache (nullptr unless config.cacheMB > 0). */
+    const mem::BlockCache *blockCache() const { return cache_.get(); }
+
+    /** Cumulative traffic split across searches (SCM vs cache DRAM). */
+    std::uint64_t totalScmBytes() const { return totalScmBytes_; }
+    std::uint64_t totalDramBytes() const { return totalDramBytes_; }
+
     // ---- Observability ----
 
     /**
@@ -271,11 +308,16 @@ class Device
     std::shared_ptr<const index::TombstoneSet> tombstones_;
     std::optional<index::Lexicon> lexicon_;
     std::optional<index::MemoryLayout> layout_;
-    /** Set only when config_.faults.enabled(). */
+    /** Set when config_.faults.enabled() or a mapped index is
+     *  loaded (benign model, CRC verify only). */
     std::unique_ptr<mem::FaultModel> faultModel_;
     std::unique_ptr<engine::FaultPolicy> faultPolicy_;
+    /** Set only when config_.cacheMB > 0. */
+    std::unique_ptr<mem::BlockCache> cache_;
     double totalSeconds_ = 0.0;
     std::uint64_t totalQueries_ = 0;
+    std::uint64_t totalScmBytes_ = 0;
+    std::uint64_t totalDramBytes_ = 0;
 
     /**
      * Per-worker decode scratch, sized to the pool on first use and

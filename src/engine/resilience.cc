@@ -1,17 +1,41 @@
 #include "engine/resilience.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/crc32.h"
+#include "index/inverted_index.h"
 
 namespace boss::engine
 {
+
+void
+FaultPolicy::enableVerifyOnce(const index::InvertedIndex &index)
+{
+    blockBase_.assign(index.numTerms() + 1, 0);
+    for (TermId t = 0; t < index.numTerms(); ++t) {
+        blockBase_[t + 1] =
+            blockBase_[t] + index.list(t).blocks.size();
+    }
+    std::uint64_t words = (blockBase_.back() * 2 + 63) / 64;
+    verified_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        std::max<std::uint64_t>(words, 1));
+    for (std::uint64_t w = 0; w < std::max<std::uint64_t>(words, 1);
+         ++w)
+        verified_[w].store(0, std::memory_order_relaxed);
+}
 
 bool
 FaultPolicy::verifyBlock(const index::CompressedPostingList &list,
                          std::uint32_t b, bool tfPayload,
                          ExecHooks *hooks)
 {
+    if (verified_ != nullptr) {
+        std::uint64_t slot = memoSlot(list.term, b, tfPayload);
+        if (verified_[slot / 64].load(std::memory_order_acquire) &
+            (1ull << (slot % 64)))
+            return true;
+    }
     const index::BlockMeta &meta = list.blocks[b];
     const std::uint8_t *payload =
         tfPayload ? list.tfPayload.data() + meta.tfOffset
@@ -44,8 +68,14 @@ FaultPolicy::verifyBlock(const index::CompressedPostingList &list,
             // on-disk corruption that slipped past load-time checks.
             ok = crc32(payload, bytes) == expect;
         }
-        if (ok)
+        if (ok) {
+            if (verified_ != nullptr) {
+                std::uint64_t slot = memoSlot(list.term, b, tfPayload);
+                verified_[slot / 64].fetch_or(
+                    1ull << (slot % 64), std::memory_order_release);
+            }
             return true;
+        }
 
         failures_.fetch_add(1, std::memory_order_relaxed);
         if (attempt >= model_.maxRetries())

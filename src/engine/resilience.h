@@ -25,10 +25,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "engine/hooks.h"
 #include "index/compressed_list.h"
 #include "mem/fault_model.h"
+
+namespace boss::index
+{
+class InvertedIndex;
+}
 
 namespace boss::engine
 {
@@ -51,6 +58,19 @@ class FaultPolicy
     bool verifyBlock(const index::CompressedPostingList &list,
                      std::uint32_t b, bool tfPayload, ExecHooks *hooks);
 
+    /**
+     * Memoize successful verifies per payload of @p index: a block
+     * that passed its CRC once is not re-checked on later touches.
+     * This is the lazy-integrity half of the mmap load path -- a
+     * mapped index skips the load-time whole-file CRC, so its first
+     * decode of each block runs the full verify (catching at-rest
+     * corruption on first touch), and re-touches cost O(1). Failed
+     * verifies are never memoized: the deterministic fault schedule
+     * replays them identically. Call again to re-arm for a new index;
+     * only lists of @p index may be verified afterwards.
+     */
+    void enableVerifyOnce(const index::InvertedIndex &index);
+
     const mem::FaultModel &model() const { return model_; }
 
     // Cumulative event counters (across all queries and threads).
@@ -60,7 +80,18 @@ class FaultPolicy
     std::uint64_t blocksDropped() const { return dropped_.load(); }
 
   private:
+    /** Bit slot of one payload: 2 per block (doc, tf). */
+    std::uint64_t memoSlot(TermId term, std::uint32_t b,
+                           bool tfPayload) const
+    {
+        return (blockBase_[term] + b) * 2 + (tfPayload ? 1 : 0);
+    }
+
     const mem::FaultModel &model_;
+    /** Per-term base into the verified-bit space (prefix sums). */
+    std::vector<std::uint64_t> blockBase_;
+    /** One bit per payload, set after a successful verify. */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> verified_;
     std::atomic<std::uint64_t> checks_{0};
     std::atomic<std::uint64_t> failures_{0};
     std::atomic<std::uint64_t> retries_{0};

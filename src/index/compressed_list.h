@@ -9,6 +9,7 @@
 #define BOSS_INDEX_COMPRESSED_LIST_H
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/aligned.h"
@@ -18,6 +19,82 @@
 
 namespace boss::index
 {
+
+/**
+ * A compressed payload: either owned bytes (heap-loaded or
+ * builder-produced lists) or a non-owning view into an mmap'd index
+ * file (MappedIndex). The engine only ever reads payloads through
+ * data()/size(), so the two representations are interchangeable on
+ * the read path; append() is builder-side only and asserts the
+ * payload is owned. Whoever hands out views is responsible for
+ * keeping the mapping alive (MappedIndex shares itself into every
+ * consumer via shared_ptr aliasing).
+ *
+ * Owned storage stays cache-line aligned (AlignedVec) for the SIMD
+ * kernels; views inherit the file layout's arbitrary alignment,
+ * which is fine -- decode kernels only require aligned *scratch*
+ * buffers, payload bases are read via unaligned loads.
+ */
+class PayloadBytes
+{
+  public:
+    PayloadBytes() = default;
+
+    /** A non-owning view of @p n bytes at @p p (caller keeps alive). */
+    static PayloadBytes
+    view(const std::uint8_t *p, std::size_t n)
+    {
+        PayloadBytes b;
+        b.viewData_ = p;
+        b.viewSize_ = n;
+        return b;
+    }
+
+    /** Adopt owned storage (the deserializer's path). */
+    static PayloadBytes
+    owned(AlignedVec<std::uint8_t> bytes)
+    {
+        PayloadBytes b;
+        b.owned_ = std::move(bytes);
+        return b;
+    }
+
+    const std::uint8_t *
+    data() const
+    {
+        return viewData_ != nullptr ? viewData_ : owned_.data();
+    }
+
+    std::size_t
+    size() const
+    {
+        return viewData_ != nullptr ? viewSize_ : owned_.size();
+    }
+
+    bool empty() const { return size() == 0; }
+    bool isView() const { return viewData_ != nullptr; }
+
+    /** Append @p n bytes (builder-side; owned payloads only). */
+    void
+    append(const std::uint8_t *p, std::size_t n)
+    {
+        owned_.insert(owned_.end(), p, p + n);
+    }
+
+    bool
+    operator==(const PayloadBytes &o) const
+    {
+        return size() == o.size() &&
+               (size() == 0 ||
+                std::memcmp(data(), o.data(), size()) == 0);
+    }
+    bool operator!=(const PayloadBytes &o) const { return !(*this == o); }
+
+  private:
+    AlignedVec<std::uint8_t> owned_;
+    const std::uint8_t *viewData_ = nullptr;
+    std::size_t viewSize_ = 0;
+};
 
 /**
  * Per-block metadata record.
@@ -70,12 +147,11 @@ struct CompressedPostingList
 
     std::vector<BlockMeta> blocks;
     /**
-     * Concatenated doc/tf blocks. Cache-line-aligned so the SIMD
-     * decode kernels load from aligned payload bases (block offsets
-     * within the payload remain arbitrary).
+     * Concatenated doc/tf blocks: owned bytes (builder/heap load,
+     * cache-line aligned) or mmap views (MappedIndex).
      */
-    AlignedVec<std::uint8_t> docPayload;
-    AlignedVec<std::uint8_t> tfPayload;
+    PayloadBytes docPayload;
+    PayloadBytes tfPayload;
 
     std::uint32_t numBlocks() const
     {

@@ -1,0 +1,359 @@
+#include "index/external_build.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "index/inverted_index.h"
+#include "index/serialize.h"
+
+namespace boss::index
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kRunMagic = 0xB0555C11;
+
+static_assert(sizeof(Posting) == 2 * sizeof(std::uint32_t),
+              "spill format writes raw Posting arrays");
+
+/**
+ * Approximate resident cost of one buffered term entry beyond its
+ * postings (map node, PostingList header). Accounting only shapes
+ * where spills land, never the output, so a rough constant is fine.
+ */
+constexpr std::uint64_t kTermOverheadBytes = 64;
+
+/** CRC-accumulating writer for one spill run. */
+class RunWriter
+{
+  public:
+    explicit RunWriter(const std::string &path)
+        : path_(path), os_(path, std::ios::binary | std::ios::trunc)
+    {
+        BOSS_ASSERT(os_.good(), "cannot open spill run '", path,
+                    "' for writing");
+    }
+
+    void
+    write(const void *src, std::size_t n)
+    {
+        os_.write(static_cast<const char *>(src),
+                  static_cast<std::streamsize>(n));
+        crc_.update(src, n);
+        bytes_ += n;
+    }
+
+    template <typename T>
+    void
+    writePod(const T &v)
+    {
+        write(&v, sizeof(T));
+    }
+
+    std::uint64_t
+    close()
+    {
+        std::uint32_t crc = crc_.value();
+        os_.write(reinterpret_cast<const char *>(&crc), sizeof(crc));
+        bytes_ += sizeof(crc);
+        os_.flush();
+        BOSS_ASSERT(os_.good(), "short write on spill run '", path_,
+                    "'");
+        return bytes_;
+    }
+
+  private:
+    std::string path_;
+    std::ofstream os_;
+    Crc32 crc_;
+    std::uint64_t bytes_ = 0;
+};
+
+/**
+ * Sequential reader over one spill run: current() exposes the run's
+ * next (term, postings) entry until exhausted. The trailing CRC is
+ * checked once the last entry is consumed — a torn or corrupted
+ * spill (run files live on scratch storage) fails the build rather
+ * than silently merging garbage.
+ */
+class RunReader
+{
+  public:
+    explicit RunReader(const std::string &path)
+        : path_(path), is_(path, std::ios::binary)
+    {
+        BOSS_ASSERT(is_.good(), "cannot open spill run '", path, "'");
+        BOSS_ASSERT(readPod<std::uint32_t>() == kRunMagic,
+                    "'", path, "' is not a spill run (bad magic)");
+        numTerms_ = readPod<std::uint32_t>();
+        advance();
+    }
+
+    bool exhausted() const { return exhausted_; }
+    TermId term() const { return term_; }
+    PostingList &postings() { return postings_; }
+
+    void
+    advance()
+    {
+        if (termsRead_ == numTerms_) {
+            // Past the last entry: verify the run's CRC (readPod of
+            // the stored value must not fold into the accumulator).
+            std::uint32_t expect = crc_.value();
+            std::uint32_t stored = 0;
+            is_.read(reinterpret_cast<char *>(&stored),
+                     sizeof(stored));
+            BOSS_ASSERT(is_.good(), "spill run '", path_,
+                        "' truncated");
+            BOSS_ASSERT(stored == expect, "spill run '", path_,
+                        "' corrupt (checksum mismatch)");
+            exhausted_ = true;
+            return;
+        }
+        term_ = readPod<TermId>();
+        auto count = readPod<std::uint32_t>();
+        postings_.resize(count);
+        read(postings_.data(), count * sizeof(Posting));
+        ++termsRead_;
+    }
+
+  private:
+    void
+    read(void *dst, std::size_t n)
+    {
+        is_.read(static_cast<char *>(dst),
+                 static_cast<std::streamsize>(n));
+        BOSS_ASSERT(is_.good(), "spill run '", path_, "' truncated");
+        crc_.update(dst, n);
+    }
+
+    template <typename T>
+    T
+    readPod()
+    {
+        T v{};
+        read(&v, sizeof(T));
+        return v;
+    }
+
+    std::string path_;
+    std::ifstream is_;
+    Crc32 crc_;
+    std::uint32_t numTerms_ = 0;
+    std::uint32_t termsRead_ = 0;
+    TermId term_ = 0;
+    PostingList postings_;
+    bool exhausted_ = false;
+};
+
+} // namespace
+
+ExternalTextIndexer::ExternalTextIndexer(ExternalBuildConfig config)
+    : config_(std::move(config))
+{
+    BOSS_ASSERT(config_.memoryBudgetBytes > 0,
+                "memory budget must be positive");
+}
+
+DocId
+ExternalTextIndexer::addDocument(std::string_view text)
+{
+    BOSS_ASSERT(!finished_, "addDocument() after finish()");
+    // Mirrors TextIndexBuilder::addDocument exactly: same tokenizer,
+    // same lexicon id assignment (token order), same max(1, len)
+    // document length, postings appended in dense docID order.
+    DocId doc = static_cast<DocId>(docLengths_.size());
+    auto tokens = tokenize(text, config_.tokenizer);
+
+    std::unordered_map<TermId, TermFreq> counts;
+    for (const auto &tok : tokens)
+        ++counts[lexicon_.addTerm(tok)];
+
+    docLengths_.push_back(
+        std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                       tokens.size())));
+    for (const auto &[term, tf] : counts) {
+        PostingList &list = buffer_[term];
+        if (list.empty())
+            bufferedBytes_ += kTermOverheadBytes;
+        list.push_back({doc, tf});
+        bufferedBytes_ += sizeof(Posting);
+    }
+
+    // Spill only between documents: every run then covers a disjoint
+    // ascending docID range per term, which is what lets the merge
+    // concatenate run entries instead of re-sorting.
+    if (bufferedBytes_ >= config_.memoryBudgetBytes)
+        spill();
+    return doc;
+}
+
+void
+ExternalTextIndexer::spill()
+{
+    if (buffer_.empty())
+        return;
+    if (config_.spillDir.empty())
+        config_.spillDir = "boss-external.spill";
+    fs::create_directories(config_.spillDir);
+    std::string path =
+        (fs::path(config_.spillDir) /
+         ("run-" + std::to_string(runPaths_.size()) + ".spill"))
+            .string();
+
+    RunWriter w(path);
+    w.writePod(kRunMagic);
+    w.writePod(static_cast<std::uint32_t>(buffer_.size()));
+    for (const auto &[term, postings] : buffer_) {
+        w.writePod(term);
+        w.writePod(static_cast<std::uint32_t>(postings.size()));
+        w.write(postings.data(), postings.size() * sizeof(Posting));
+        stats_.postingsSpilled += postings.size();
+    }
+    stats_.spillBytes += w.close();
+
+    runPaths_.push_back(std::move(path));
+    buffer_.clear();
+    bufferedBytes_ = 0;
+}
+
+ExternalBuildStats
+ExternalTextIndexer::finish(const std::string &outPath)
+{
+    BOSS_ASSERT(!finished_, "finish() called twice");
+    BOSS_ASSERT(!docLengths_.empty(),
+                "finish() before any addDocument()");
+    finished_ = true;
+
+    if (config_.spillDir.empty())
+        config_.spillDir = outPath + ".spill";
+    // A build that never hit the budget merges straight from the
+    // in-memory buffer -- no scratch I/O at all. Otherwise the
+    // residual buffer becomes the final run and the merge consumes
+    // runs only.
+    if (!runPaths_.empty())
+        spill();
+
+    // Document statistics, computed exactly as IndexBuilder::build()
+    // does (same accumulation order => bit-identical doubles).
+    double avgDocLen =
+        std::accumulate(docLengths_.begin(), docLengths_.end(), 0.0) /
+        static_cast<double>(docLengths_.size());
+    Bm25 bm25(config_.bm25,
+              static_cast<std::uint32_t>(docLengths_.size()),
+              avgDocLen);
+    std::vector<DocInfo> docs(docLengths_.size());
+    for (std::size_t d = 0; d < docLengths_.size(); ++d) {
+        docs[d].length = docLengths_[d];
+        docs[d].norm = bm25.docNorm(docLengths_[d]);
+    }
+
+    // Every lexicon term owns at least one posting (ids are only
+    // assigned to occurring tokens), so the list table is dense:
+    // numTerms == lexicon size, no trailing gap slots.
+    auto numTerms = lexicon_.size();
+
+    std::ofstream os(outPath, std::ios::binary | std::ios::trunc);
+    BOSS_ASSERT(os.good(), "cannot open '", outPath,
+                "' for writing");
+    IndexFileWriter writer(os, config_.bm25, avgDocLen, docs,
+                           numTerms);
+
+    std::vector<std::unique_ptr<RunReader>> runs;
+    runs.reserve(runPaths_.size());
+    for (const auto &path : runPaths_)
+        runs.push_back(std::make_unique<RunReader>(path));
+
+    if (runs.empty()) {
+        // Spill-free path: buffer_ is a std::map, already in
+        // ascending TermId order.
+        TermId next = 0;
+        for (const auto &[term, postings] : buffer_) {
+            for (; next < term; ++next)
+                writer.writeList(CompressedPostingList{});
+            writer.writeList(IndexBuilder::buildList(
+                term, postings, std::nullopt, bm25, docs));
+            ++next;
+        }
+        for (; next < numTerms; ++next)
+            writer.writeList(CompressedPostingList{});
+        buffer_.clear();
+        bufferedBytes_ = 0;
+        writer.finish();
+        lexicon_.save(os);
+        os.flush();
+        BOSS_ASSERT(os.good(), "error writing '", outPath, "'");
+        stats_.numDocs =
+            static_cast<std::uint32_t>(docLengths_.size());
+        stats_.numTerms = numTerms;
+        return stats_;
+    }
+
+    PostingList merged;
+    TermId nextTerm = 0;
+    for (;;) {
+        // Smallest un-consumed term across runs.
+        bool any = false;
+        TermId minTerm = 0;
+        for (const auto &r : runs) {
+            if (!r->exhausted() &&
+                (!any || r->term() < minTerm)) {
+                minTerm = r->term();
+                any = true;
+            }
+        }
+        if (!any)
+            break;
+
+        // A term absent from every run would leave a default slot,
+        // exactly like IndexBuilder::build()'s gap lists. The text
+        // path never produces gaps (dense lexicon ids), but the
+        // writer must not desynchronize if one ever appears.
+        for (; nextTerm < minTerm; ++nextTerm)
+            writer.writeList(CompressedPostingList{});
+
+        // Concatenate the term's postings in run order: runs are cut
+        // at document boundaries, so ranges are disjoint ascending.
+        merged.clear();
+        for (auto &r : runs) {
+            if (!r->exhausted() && r->term() == minTerm) {
+                merged.insert(merged.end(), r->postings().begin(),
+                              r->postings().end());
+                r->advance();
+            }
+        }
+        BOSS_DEBUG_ASSERT(isValidPostingList(merged),
+                          "merged postings unsorted for term ",
+                          minTerm);
+        writer.writeList(IndexBuilder::buildList(
+            minTerm, merged, std::nullopt, bm25, docs));
+        ++nextTerm;
+    }
+    for (; nextTerm < numTerms; ++nextTerm)
+        writer.writeList(CompressedPostingList{});
+    writer.finish();
+    lexicon_.save(os);
+    os.flush();
+    BOSS_ASSERT(os.good(), "error writing '", outPath, "'");
+
+    runs.clear();
+    for (const auto &path : runPaths_)
+        fs::remove(path);
+    std::error_code ec;
+    fs::remove(config_.spillDir, ec); // only when empty; best-effort
+
+    stats_.spillRuns = static_cast<std::uint32_t>(runPaths_.size());
+    stats_.numDocs = static_cast<std::uint32_t>(docLengths_.size());
+    stats_.numTerms = numTerms;
+    return stats_;
+}
+
+} // namespace boss::index

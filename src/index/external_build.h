@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bounded-memory external-merge text index build.
+ *
+ * The in-memory TextIndexBuilder holds every posting of the corpus
+ * until build() — fine for corpora that fit in RAM, a hard wall for
+ * the 10-100M-doc targets of the out-of-core tier. This builder
+ * keeps the same ingest interface but buffers postings under a byte
+ * budget: when the buffer fills, it is spilled to a sorted,
+ * CRC-trailed run file, and finish() k-way-merges the runs straight
+ * into the v2 index format through IndexFileWriter, one term at a
+ * time.
+ *
+ * Output is byte-identical to TextIndexBuilder + saveTextIndexFile
+ * on the same document stream at ANY budget: spills happen only at
+ * document boundaries (so each term's postings are split across runs
+ * in disjoint, ascending docID ranges and the merge is pure
+ * concatenation), document statistics (lengths, BM25 norms, avgdl)
+ * are kept in memory and computed with the identical summation
+ * order, and every merged term goes through the same
+ * IndexBuilder::buildList codepath the in-memory build uses. The
+ * differential test in tests/test_oocore.cc enforces this across a
+ * budget sweep.
+ *
+ * Peak memory is O(budget + docs + lexicon + largest single merged
+ * list): per-doc and per-term metadata stay resident (they are what
+ * "metadata uploading" keeps in DRAM in the tiering literature), and
+ * the largest posting list must fit in memory once at merge time.
+ *
+ * Spill run format (little-endian, one file per spill):
+ *   u32 magic 0xB0555C11
+ *   u32 numTerms
+ *   numTerms x { u32 term, u32 count, count x { u32 doc, u32 tf } }
+ *   u32 crc32 of everything above
+ * Terms ascend within a run; docIDs ascend within a term entry.
+ */
+
+#ifndef BOSS_INDEX_EXTERNAL_BUILD_H
+#define BOSS_INDEX_EXTERNAL_BUILD_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/bm25.h"
+#include "index/lexicon.h"
+#include "index/posting_list.h"
+#include "index/text_builder.h"
+
+namespace boss::index
+{
+
+/** Configuration of one external build. */
+struct ExternalBuildConfig
+{
+    /** Posting-buffer budget; a spill is cut when it fills. */
+    std::uint64_t memoryBudgetBytes = 256ull << 20;
+    /**
+     * Directory for spill runs (created on first spill, removed by
+     * finish()). Empty: defaulted at the first spill -- to
+     * "<outPath>.spill" when that happens inside finish(), or to
+     * "boss-external.spill" in the working directory when the budget
+     * forces a spill mid-ingest (outPath is unknown then). CLIs set
+     * this explicitly.
+     */
+    std::string spillDir;
+    TokenizerConfig tokenizer;
+    Bm25Params bm25;
+};
+
+/** What the build did (the CLI reports these). */
+struct ExternalBuildStats
+{
+    std::uint32_t spillRuns = 0;       ///< run files merged
+    std::uint64_t postingsSpilled = 0; ///< postings written to runs
+    std::uint64_t spillBytes = 0;      ///< run-file bytes written
+    std::uint32_t numDocs = 0;
+    std::uint32_t numTerms = 0;
+};
+
+class ExternalTextIndexer
+{
+  public:
+    explicit ExternalTextIndexer(ExternalBuildConfig config = {});
+
+    /** Ingest one document (same semantics as TextIndexBuilder). */
+    DocId addDocument(std::string_view text);
+
+    std::uint32_t
+    numDocs() const
+    {
+        return static_cast<std::uint32_t>(docLengths_.size());
+    }
+
+    /**
+     * Spill the remaining buffer, merge every run, and write the
+     * final text-index file (index + lexicon) to @p outPath.
+     * Consumes the builder; run files are deleted on success.
+     */
+    ExternalBuildStats finish(const std::string &outPath);
+
+  private:
+    void spill();
+
+    ExternalBuildConfig config_;
+    Lexicon lexicon_;
+    std::vector<std::uint32_t> docLengths_;
+    /** term -> postings buffered since the last spill. */
+    std::map<TermId, PostingList> buffer_;
+    std::uint64_t bufferedBytes_ = 0;
+    std::vector<std::string> runPaths_;
+    ExternalBuildStats stats_;
+    bool finished_ = false;
+};
+
+} // namespace boss::index
+
+#endif // BOSS_INDEX_EXTERNAL_BUILD_H

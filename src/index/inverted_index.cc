@@ -119,8 +119,7 @@ IndexBuilder::compressList(TermId term, const PostingList &postings,
         meta.docCrc = crc32(enc.bytes.data(), enc.bytes.size());
         meta.bitWidth = enc.bitWidth;
         meta.exceptionInfo = enc.exceptionCount;
-        out.docPayload.insert(out.docPayload.end(), enc.bytes.begin(),
-                              enc.bytes.end());
+        out.docPayload.append(enc.bytes.data(), enc.bytes.size());
 
         if (!codec.encode(tfs, enc)) {
             BOSS_FATAL("scheme ", schemeName(scheme),
@@ -129,8 +128,7 @@ IndexBuilder::compressList(TermId term, const PostingList &postings,
         meta.tfOffset = static_cast<std::uint32_t>(out.tfPayload.size());
         meta.tfBytes = static_cast<std::uint32_t>(enc.bytes.size());
         meta.tfCrc = crc32(enc.bytes.data(), enc.bytes.size());
-        out.tfPayload.insert(out.tfPayload.end(), enc.bytes.begin(),
-                             enc.bytes.end());
+        out.tfPayload.append(enc.bytes.data(), enc.bytes.size());
 
         out.blocks.push_back(meta);
         out.maxTermScore = std::max(out.maxTermScore, maxScore);

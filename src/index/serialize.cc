@@ -5,7 +5,13 @@
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "common/crc32.h"
 #include "common/logging.h"
@@ -158,6 +164,27 @@ writeVec(CrcWriter &w, const std::vector<T, Alloc> &v)
     w.write(v.data(), v.size() * sizeof(T));
 }
 
+void
+writeVec(CrcWriter &w, const PayloadBytes &v)
+{
+    writePod<std::uint64_t>(w, v.size());
+    w.write(v.data(), v.size());
+}
+
+/** One list's on-disk record (shared by saveIndex and the writer). */
+void
+writeListBody(CrcWriter &w, const CompressedPostingList &list)
+{
+    writePod(w, list.term);
+    writePod(w, static_cast<std::uint8_t>(list.scheme));
+    writePod(w, list.docCount);
+    writePod(w, list.idf);
+    writePod(w, list.maxTermScore);
+    writeVec(w, list.blocks);
+    writeVec(w, list.docPayload);
+    writeVec(w, list.tfPayload);
+}
+
 template <typename T, typename Alloc = std::allocator<T>>
 std::vector<T, Alloc>
 readVec(CrcReader &r, const char *what)
@@ -261,12 +288,12 @@ loadIndexImpl(std::istream &is)
         list.idf = readPod<float>(r);
         list.maxTermScore = readPod<float>(r);
         list.blocks = readVec<BlockMeta>(r, "block metadata");
-        list.docPayload =
+        list.docPayload = PayloadBytes::owned(
             readVec<std::uint8_t, AlignedAllocator<std::uint8_t>>(
-                r, "doc payload");
-        list.tfPayload =
+                r, "doc payload"));
+        list.tfPayload = PayloadBytes::owned(
             readVec<std::uint8_t, AlignedAllocator<std::uint8_t>>(
-                r, "tf payload");
+                r, "tf payload"));
         validateList(list, t);
     }
 
@@ -283,17 +310,26 @@ loadIndexImpl(std::istream &is)
 
 } // namespace
 
-void
-saveIndex(const InvertedIndex &index, std::ostream &os)
+struct IndexFileWriter::Impl
 {
-    CrcWriter w(os);
+    explicit Impl(std::ostream &os) : w(os) {}
+    CrcWriter w;
+};
+
+IndexFileWriter::IndexFileWriter(std::ostream &os,
+                                 const Bm25Params &params,
+                                 double avgDocLen,
+                                 const std::vector<DocInfo> &docs,
+                                 std::uint32_t numTerms)
+    : impl_(std::make_unique<Impl>(os)), declaredTerms_(numTerms)
+{
+    CrcWriter &w = impl_->w;
     writePod(w, kMagic);
     writePod(w, kVersion);
 
     Crc32 headerCrc;
-    double k1 = index.scorer().params().k1;
-    double b = index.scorer().params().b;
-    double avgDocLen = index.avgDocLen();
+    double k1 = params.k1;
+    double b = params.b;
     writePod(w, k1);
     writePod(w, b);
     writePod(w, avgDocLen);
@@ -302,21 +338,47 @@ saveIndex(const InvertedIndex &index, std::ostream &os)
     headerCrc.update(&avgDocLen, sizeof(avgDocLen));
     writePod(w, headerCrc.value());
 
-    writeVec(w, index.docs());
+    writeVec(w, docs);
+    writePod<std::uint32_t>(w, numTerms);
+}
 
-    writePod<std::uint32_t>(w, index.numTerms());
-    for (TermId t = 0; t < index.numTerms(); ++t) {
-        const CompressedPostingList &list = index.list(t);
-        writePod(w, list.term);
-        writePod(w, static_cast<std::uint8_t>(list.scheme));
-        writePod(w, list.docCount);
-        writePod(w, list.idf);
-        writePod(w, list.maxTermScore);
-        writeVec(w, list.blocks);
-        writeVec(w, list.docPayload);
-        writeVec(w, list.tfPayload);
-    }
-    w.writeRaw(w.crc());
+IndexFileWriter::~IndexFileWriter()
+{
+    BOSS_ASSERT(finished_,
+                "IndexFileWriter destroyed before finish()");
+}
+
+void
+IndexFileWriter::writeList(const CompressedPostingList &list)
+{
+    BOSS_ASSERT(!finished_, "writeList() after finish()");
+    BOSS_ASSERT(writtenTerms_ < declaredTerms_,
+                "more lists than the declared term count ",
+                declaredTerms_);
+    writeListBody(impl_->w, list);
+    ++writtenTerms_;
+}
+
+void
+IndexFileWriter::finish()
+{
+    BOSS_ASSERT(!finished_, "finish() called twice");
+    BOSS_ASSERT(writtenTerms_ == declaredTerms_,
+                "finish() after ", writtenTerms_, " of ",
+                declaredTerms_, " declared lists");
+    impl_->w.writeRaw(impl_->w.crc());
+    finished_ = true;
+}
+
+void
+saveIndex(const InvertedIndex &index, std::ostream &os)
+{
+    IndexFileWriter writer(os, index.scorer().params(),
+                           index.avgDocLen(), index.docs(),
+                           index.numTerms());
+    for (TermId t = 0; t < index.numTerms(); ++t)
+        writer.writeList(index.list(t));
+    writer.finish();
 }
 
 InvertedIndex
@@ -368,6 +430,228 @@ loadIndexFile(const std::string &path)
         BOSS_FATAL("index file '", path,
                    "' has trailing garbage after the checksum");
     return index;
+}
+
+// ---------------------------------------------------------------
+// MappedIndex: parse metadata out of a mapping, leave payloads as
+// views. Shares LoadError/validateList with the stream loader; the
+// whole-file CRC is deliberately not scanned (see header comment).
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** Bounds-checked cursor over the mapped bytes. */
+class SpanReader
+{
+  public:
+    SpanReader(const std::uint8_t *base, std::size_t size)
+        : p_(base), end_(base + size)
+    {}
+
+    void
+    read(void *dst, std::size_t n)
+    {
+        ensure(n);
+        std::memcpy(dst, p_, n);
+        p_ += n;
+    }
+
+    template <typename T>
+    T
+    readPod()
+    {
+        T v{};
+        read(&v, sizeof(T));
+        return v;
+    }
+
+    /** Advance past @p n bytes, returning their mapped address. */
+    const std::uint8_t *
+    view(std::size_t n)
+    {
+        ensure(n);
+        const std::uint8_t *v = p_;
+        p_ += n;
+        return v;
+    }
+
+    std::uint64_t
+    remaining() const
+    {
+        return static_cast<std::uint64_t>(end_ - p_);
+    }
+
+    const std::uint8_t *pos() const { return p_; }
+
+  private:
+    void
+    ensure(std::size_t n)
+    {
+        if (n > remaining())
+            loadFail("index file truncated");
+    }
+
+    const std::uint8_t *p_;
+    const std::uint8_t *end_;
+};
+
+template <typename T>
+std::vector<T>
+readVecCopy(SpanReader &r, const char *what)
+{
+    auto n = r.readPod<std::uint64_t>();
+    if (n > r.remaining() / sizeof(T))
+        loadFail(detail::concat("index file truncated (", what,
+                                " length ", n,
+                                " exceeds remaining file size)"));
+    std::vector<T> v(static_cast<std::size_t>(n));
+    r.read(v.data(), v.size() * sizeof(T));
+    return v;
+}
+
+PayloadBytes
+readPayloadView(SpanReader &r, const char *what)
+{
+    auto n = r.readPod<std::uint64_t>();
+    if (n > r.remaining())
+        loadFail(detail::concat("index file truncated (", what,
+                                " length ", n,
+                                " exceeds remaining file size)"));
+    std::size_t bytes = static_cast<std::size_t>(n);
+    return PayloadBytes::view(r.view(bytes), bytes);
+}
+
+/** Parse the index section; returns the offset one past its CRC. */
+std::unique_ptr<InvertedIndex>
+parseMapped(const std::uint8_t *base, std::size_t size,
+            std::size_t &indexEnd)
+{
+    SpanReader r(base, size);
+    if (r.readPod<std::uint32_t>() != kMagic)
+        loadFail("not a BOSS index file (bad magic)");
+    if (r.readPod<std::uint32_t>() != kVersion)
+        loadFail("unsupported index file version");
+
+    Bm25Params params;
+    Crc32 headerCrc;
+    params.k1 = r.readPod<double>();
+    params.b = r.readPod<double>();
+    auto avgDocLen = r.readPod<double>();
+    headerCrc.update(&params.k1, sizeof(params.k1));
+    headerCrc.update(&params.b, sizeof(params.b));
+    headerCrc.update(&avgDocLen, sizeof(avgDocLen));
+    if (r.readPod<std::uint32_t>() != headerCrc.value())
+        loadFail("index file corrupt: header checksum mismatch");
+
+    auto docs = readVecCopy<DocInfo>(r, "doc table");
+
+    auto numTerms = r.readPod<std::uint32_t>();
+    constexpr std::uint64_t kMinListBytes =
+        sizeof(TermId) + sizeof(std::uint8_t) +
+        sizeof(std::uint32_t) + 2 * sizeof(float) +
+        3 * sizeof(std::uint64_t);
+    if (numTerms > r.remaining() / kMinListBytes)
+        loadFail(detail::concat(
+            "index file truncated (term count ", numTerms,
+            " exceeds remaining file size)"));
+    std::vector<CompressedPostingList> lists(numTerms);
+    for (std::uint32_t t = 0; t < numTerms; ++t) {
+        CompressedPostingList &list = lists[t];
+        list.term = r.readPod<TermId>();
+        list.scheme =
+            static_cast<compress::Scheme>(r.readPod<std::uint8_t>());
+        list.docCount = r.readPod<std::uint32_t>();
+        list.idf = r.readPod<float>();
+        list.maxTermScore = r.readPod<float>();
+        list.blocks = readVecCopy<BlockMeta>(r, "block metadata");
+        list.docPayload = readPayloadView(r, "doc payload");
+        list.tfPayload = readPayloadView(r, "tf payload");
+        validateList(list, t);
+    }
+
+    // The trailing whole-file CRC must exist, but scanning the
+    // payload bytes it covers would defeat the O(metadata) open;
+    // the per-block CRCs own payload integrity on this path.
+    (void)r.readPod<std::uint32_t>();
+    indexEnd = static_cast<std::size_t>(r.pos() - base);
+
+    return std::make_unique<InvertedIndex>(
+        params, std::move(docs), avgDocLen, std::move(lists));
+}
+
+} // namespace
+
+std::shared_ptr<MappedIndex>
+MappedIndex::tryOpen(const std::string &path, std::string *error)
+{
+    auto fail = [&](std::string message) -> std::shared_ptr<MappedIndex> {
+        if (error != nullptr)
+            *error = std::move(message);
+        return nullptr;
+    };
+
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return fail(detail::concat("cannot open '", path,
+                                   "' for reading"));
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+        ::close(fd);
+        return fail(detail::concat("cannot stat '", path,
+                                   "' (or file is empty)"));
+    }
+    auto size = static_cast<std::size_t>(st.st_size);
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping holds its own reference to the file; the
+    // descriptor is not needed past this point.
+    ::close(fd);
+    if (map == MAP_FAILED)
+        return fail(detail::concat("cannot mmap '", path, "'"));
+
+    std::shared_ptr<MappedIndex> mi(new MappedIndex());
+    mi->base_ = static_cast<const std::uint8_t *>(map);
+    mi->size_ = size;
+    try {
+        mi->index_ = parseMapped(mi->base_, mi->size_, mi->indexEnd_);
+    } catch (const LoadError &e) {
+        return fail(e.message); // dtor unmaps
+    }
+    return mi;
+}
+
+std::shared_ptr<MappedIndex>
+MappedIndex::open(const std::string &path)
+{
+    std::string error;
+    auto mi = tryOpen(path, &error);
+    if (mi == nullptr)
+        BOSS_FATAL(error);
+    return mi;
+}
+
+MappedIndex::~MappedIndex()
+{
+    if (base_ != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(base_), size_);
+}
+
+bool
+MappedIndex::hasLexicon() const
+{
+    return indexEnd_ < size_;
+}
+
+Lexicon
+MappedIndex::loadLexicon() const
+{
+    BOSS_ASSERT(hasLexicon(), "index file carries no lexicon section");
+    // The lexicon is metadata-sized; a stream copy keeps Lexicon's
+    // single (istream) load path.
+    std::istringstream is(std::string(
+        reinterpret_cast<const char *>(base_) + indexEnd_,
+        size_ - indexEnd_));
+    return Lexicon::load(is);
 }
 
 } // namespace boss::index

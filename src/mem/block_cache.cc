@@ -1,0 +1,157 @@
+#include "mem/block_cache.h"
+
+#include "common/logging.h"
+
+namespace boss::mem
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: spreads block addresses across shards. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+BlockCache::BlockCache(BlockCacheConfig config) : config_(config)
+{
+    BOSS_ASSERT(config_.shards > 0, "block cache needs >= 1 shard");
+    BOSS_ASSERT(config_.capacityBytes > 0,
+                "block cache needs a positive capacity");
+    shards_ = std::vector<Shard>(config_.shards);
+    shardCapacity_ = config_.capacityBytes / config_.shards;
+    BOSS_ASSERT(shardCapacity_ > 0,
+                "capacity ", config_.capacityBytes,
+                " too small for ", config_.shards, " shards");
+}
+
+BlockCache::Shard &
+BlockCache::shardFor(Addr addr)
+{
+    return shards_[mix(addr) % shards_.size()];
+}
+
+const BlockCache::Shard &
+BlockCache::shardFor(Addr addr) const
+{
+    return shards_[mix(addr) % shards_.size()];
+}
+
+BlockCache::Outcome
+BlockCache::access(Addr addr, std::uint32_t bytes)
+{
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    Shard &s = shardFor(addr);
+    std::lock_guard<std::mutex> lock(s.mu);
+
+    auto it = s.map.find(addr);
+    if (it != s.map.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        it->second.ref = true;
+        ++it->second.pins;
+        return Outcome::Hit;
+    }
+
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (bytes == 0 || bytes > shardCapacity_) {
+        bypasses_.fetch_add(1, std::memory_order_relaxed);
+        return Outcome::Bypass;
+    }
+
+    // CLOCK sweep until the block fits. Bounded at two full passes:
+    // the first may only clear reference bits, the second must then
+    // find a victim unless everything left is pinned.
+    std::size_t sweepBudget = 2 * s.ring.size();
+    std::uint64_t evicted = 0;
+    while (s.used + bytes > shardCapacity_) {
+        if (sweepBudget == 0 || s.ring.empty()) {
+            // Every resident block is pinned (in-flight): do not
+            // admit, the requestor just reads through to SCM.
+            bypasses_.fetch_add(1, std::memory_order_relaxed);
+            if (evicted != 0)
+                evictions_.fetch_add(evicted,
+                                     std::memory_order_relaxed);
+            return Outcome::Bypass;
+        }
+        --sweepBudget;
+        if (s.hand == s.ring.end())
+            s.hand = s.ring.begin();
+        Addr victim = *s.hand;
+        Entry &e = s.map.at(victim);
+        if (e.pins > 0 || e.ref) {
+            e.ref = false;
+            ++s.hand;
+            continue;
+        }
+        s.used -= e.bytes;
+        s.hand = s.ring.erase(s.hand);
+        s.map.erase(victim);
+        ++evicted;
+    }
+    if (evicted != 0)
+        evictions_.fetch_add(evicted, std::memory_order_relaxed);
+
+    // Admit just behind the hand: a fresh block gets a full sweep
+    // before it is considered for eviction.
+    auto pos = s.ring.insert(s.hand, addr);
+    Entry e;
+    e.bytes = bytes;
+    e.pins = 1;
+    e.ref = true;
+    e.pos = pos;
+    s.map.emplace(addr, e);
+    s.used += bytes;
+    return Outcome::Inserted;
+}
+
+void
+BlockCache::unpin(Addr addr)
+{
+    Shard &s = shardFor(addr);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(addr);
+    BOSS_ASSERT(it != s.map.end(),
+                "unpin of non-resident block ", addr);
+    BOSS_ASSERT(it->second.pins > 0, "unpin without pin on ", addr);
+    --it->second.pins;
+}
+
+bool
+BlockCache::contains(Addr addr) const
+{
+    const Shard &s = shardFor(addr);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.map.count(addr) != 0;
+}
+
+BlockCache::Stats
+BlockCache::stats() const
+{
+    Stats st;
+    st.lookups = lookups_.load(std::memory_order_relaxed);
+    st.hits = hits_.load(std::memory_order_relaxed);
+    st.misses = misses_.load(std::memory_order_relaxed);
+    st.evictions = evictions_.load(std::memory_order_relaxed);
+    st.bypasses = bypasses_.load(std::memory_order_relaxed);
+    return st;
+}
+
+std::uint64_t
+BlockCache::usedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        total += s.used;
+    }
+    return total;
+}
+
+} // namespace boss::mem

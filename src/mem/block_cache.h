@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Sharded DRAM block cache over the SCM pool.
+ *
+ * The out-of-core tier keeps the index resident in (modeled) SCM and
+ * interposes a small DRAM cache of hot posting blocks: a lookup that
+ * hits is serviced at DRAM bandwidth/latency, a miss is serviced by
+ * the SCM device and the block is admitted. The cache holds block
+ * *placement* only -- payload bytes stay where the engine already
+ * reads them (heap or mmap); what is cached is the decision of which
+ * memory device services a block's traffic, which is all the timing
+ * model needs.
+ *
+ * Replacement is CLOCK (second-chance) per shard: a hit sets the
+ * entry's reference bit; eviction sweeps a ring, clearing reference
+ * bits until it finds an unreferenced, unpinned victim. Entries are
+ * pinned for the duration of the modeled fetch (access() pins,
+ * unpin() releases) so an in-flight block can never be evicted under
+ * the requestor. With one shard the policy is fully deterministic,
+ * which the replacement tests rely on.
+ *
+ * Thread safety: each shard has its own mutex; global counters are
+ * atomic. hits + misses == lookups holds at any quiescent point
+ * (bypasses are a subset of misses), which the telemetry reconcile
+ * check (tools/metrics_check.py) enforces end to end.
+ */
+
+#ifndef BOSS_MEM_BLOCK_CACHE_H
+#define BOSS_MEM_BLOCK_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace boss::mem
+{
+
+struct BlockCacheConfig
+{
+    /** Total DRAM budget across all shards. */
+    std::uint64_t capacityBytes = 64ull << 20;
+    /** Lock shards (1 => fully deterministic replacement). */
+    std::uint32_t shards = 8;
+};
+
+class BlockCache
+{
+  public:
+    enum class Outcome : std::uint8_t
+    {
+        Hit,      ///< block cached; serve from DRAM (pinned)
+        Inserted, ///< miss; fetch from SCM, now admitted (pinned)
+        Bypass,   ///< miss; not admitted (too large / all pinned)
+    };
+
+    /** Counter snapshot. hits + misses == lookups; bypasses <= misses. */
+    struct Stats
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t bypasses = 0;
+    };
+
+    explicit BlockCache(BlockCacheConfig config);
+
+    /**
+     * Look up the block at @p addr (@p bytes long). Hit and Inserted
+     * leave the entry pinned: call unpin(addr) once the modeled
+     * fetch completes. Bypass pins nothing.
+     */
+    Outcome access(Addr addr, std::uint32_t bytes);
+
+    /** Release one pin taken by access(). */
+    void unpin(Addr addr);
+
+    /** Is the block resident? (test/introspection; takes the lock) */
+    bool contains(Addr addr) const;
+
+    Stats stats() const;
+    std::uint64_t capacityBytes() const { return config_.capacityBytes; }
+    std::uint32_t numShards() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+    /** Resident bytes across shards (racy snapshot under load). */
+    std::uint64_t usedBytes() const;
+
+  private:
+    struct Entry
+    {
+        std::uint32_t bytes = 0;
+        std::uint32_t pins = 0;
+        bool ref = false;
+        std::list<Addr>::iterator pos;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<Addr, Entry> map;
+        /** CLOCK ring; hand is the next sweep position. */
+        std::list<Addr> ring;
+        std::list<Addr>::iterator hand = ring.end();
+        std::uint64_t used = 0;
+    };
+
+    Shard &shardFor(Addr addr);
+    const Shard &shardFor(Addr addr) const;
+
+    BlockCacheConfig config_;
+    std::uint64_t shardCapacity_ = 0;
+    std::vector<Shard> shards_;
+
+    std::atomic<std::uint64_t> lookups_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> bypasses_{0};
+};
+
+} // namespace boss::mem
+
+#endif // BOSS_MEM_BLOCK_CACHE_H

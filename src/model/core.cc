@@ -88,8 +88,32 @@ Core::tryIssue()
     req.requestor = requestorId_;
     req.stream = traceReq->stream;
     req.category = traceReq->category;
-    memory_.access(req,
-                   [this, flatIdx] { onRequestComplete(flatIdx); });
+
+    // DRAM block-cache tier: reads of immutable index-resident data
+    // (metadata, doc/tf payloads, norm sidecar) consult the cache.
+    // A hit is serviced by the DRAM model; a miss reads SCM and
+    // admits the block. Intermediate scratch (write-then-read, no
+    // invalidation modeled) and result writes always go to SCM. The
+    // entry stays pinned until the modeled fetch completes so
+    // replacement can never pull an in-flight block.
+    bool cacheable =
+        cache_ != nullptr && !req.write &&
+        (req.stream >> 5) <=
+            static_cast<std::uint8_t>(StreamClass::NormSidecar);
+    bool pinned = false;
+    mem::MemorySystem *target = &memory_;
+    if (cacheable) {
+        auto outcome = cache_->access(req.addr, req.bytes);
+        pinned = outcome != mem::BlockCache::Outcome::Bypass;
+        if (outcome == mem::BlockCache::Outcome::Hit)
+            target = cacheMem_;
+    }
+    Addr addr = req.addr;
+    target->access(req, [this, flatIdx, pinned, addr] {
+        if (pinned)
+            cache_->unpin(addr);
+        onRequestComplete(flatIdx);
+    });
 
     if (nextIssue_ < flat_.size() && outstanding_ < window) {
         issuePending_ = true;

@@ -19,6 +19,7 @@
 
 #include <functional>
 
+#include "mem/block_cache.h"
 #include "mem/memory_system.h"
 #include "mem/tlb.h"
 #include "model/cost.h"
@@ -64,6 +65,19 @@ class Core : public sim::SimObject
         traceLane_ = lane;
     }
 
+    /**
+     * Attach the DRAM block-cache tier: cacheable reads (metadata,
+     * doc payload, tf payload streams) that hit in @p cache are
+     * serviced by @p cacheMem instead of the SCM device. Both must
+     * outlive the core; pass nullptrs to detach.
+     */
+    void
+    setBlockCache(mem::BlockCache *cache, mem::MemorySystem *cacheMem)
+    {
+        cache_ = cache;
+        cacheMem_ = cacheMem;
+    }
+
     std::uint64_t queriesExecuted() const { return queries_.value(); }
     Cycles busyCycles() const
     {
@@ -78,6 +92,8 @@ class Core : public sim::SimObject
 
     const CostModel &costs_;
     mem::MemorySystem &memory_;
+    mem::BlockCache *cache_ = nullptr;
+    mem::MemorySystem *cacheMem_ = nullptr;
     mem::HostLink *resultLink_;
     mem::Tlb tlb_;
     std::uint32_t requestorId_;

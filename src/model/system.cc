@@ -65,11 +65,19 @@ SystemModel::SystemModel(const SystemConfig &config,
         isHostSide(config_.kind) ? link_.get() : nullptr);
     if (config_.faults != nullptr)
         memory_->setFaults(config_.faults);
+    if (config_.cache != nullptr && !isHostSide(config_.kind)) {
+        cacheMemory_ = std::make_unique<mem::MemorySystem>(
+            "dram", eq_, statsRoot_, config_.cacheMem, nullptr);
+        cacheStart_ = config_.cache->stats();
+    }
     for (std::uint32_t c = 0; c < config_.cores; ++c) {
         cores_.push_back(std::make_unique<Core>(
             "core" + std::to_string(c), eq_, statsRoot_, *costs_,
             *memory_,
             isHostSide(config_.kind) ? nullptr : link_.get(), c));
+        if (cacheMemory_ != nullptr)
+            cores_.back()->setBlockCache(config_.cache,
+                                         cacheMemory_.get());
     }
     stats::Group &sched = statsRoot_.subgroup("sched");
     sched.addHistogram("query_latency_us", &latencyUs_,
@@ -209,6 +217,14 @@ SystemModel::run(const std::vector<const QueryTrace *> &traces,
     stats.linkBytes = link_->bytesTransferred();
     stats.seqAccesses = memory_->sequentialAccesses();
     stats.randAccesses = memory_->randomAccesses();
+    if (cacheMemory_ != nullptr) {
+        stats.dramBytes = cacheMemory_->totalBytes();
+        mem::BlockCache::Stats cs = config_.cache->stats();
+        stats.cacheLookups = cs.lookups - cacheStart_.lookups;
+        stats.cacheHits = cs.hits - cacheStart_.hits;
+        stats.cacheMisses = cs.misses - cacheStart_.misses;
+        stats.cacheEvictions = cs.evictions - cacheStart_.evictions;
+    }
     if (!latencies.empty()) {
         std::sort(latencies.begin(), latencies.end());
         double sum = 0.0;

@@ -84,6 +84,16 @@ struct SystemConfig
      * SystemModel. nullptr models perfect media.
      */
     const mem::FaultModel *faults = nullptr;
+    /**
+     * Optional DRAM block-cache tier in front of the SCM device
+     * (near-data systems only; host-side systems ignore it). The
+     * cache must outlive the SystemModel -- the owning Device keeps
+     * one instance so residency (warmth) carries across replay
+     * batches even though each batch builds a fresh SystemModel.
+     */
+    mem::BlockCache *cache = nullptr;
+    /** Timing of the DRAM device the cache tier is built from. */
+    mem::MemConfig cacheMem = mem::dramConfig();
 };
 
 /** Aggregate outcome of one simulation run. */
@@ -99,6 +109,15 @@ struct RunStats
     std::uint64_t linkBytes = 0;
     std::uint64_t seqAccesses = 0;
     std::uint64_t randAccesses = 0;
+
+    // DRAM block-cache tier, this run only (all zero when no cache
+    // is attached). deviceBytes above stays SCM-only, so the pair
+    // gives the DRAM-vs-SCM bandwidth split.
+    std::uint64_t dramBytes = 0; ///< bytes served by the cache tier
+    std::uint64_t cacheLookups = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheEvictions = 0;
 
     // Per-query latency distribution (seconds, queueing included).
     double latencyMean = 0.0;
@@ -148,6 +167,11 @@ class SystemModel
     std::unique_ptr<CostModel> costs_;
     std::unique_ptr<mem::HostLink> link_;
     std::unique_ptr<mem::MemorySystem> memory_;
+    /** DRAM device serving cache hits (only when config.cache set). */
+    std::unique_ptr<mem::MemorySystem> cacheMemory_;
+    /** Cache counters at construction: run() reports deltas, since
+     *  the Device-owned cache persists across replay batches. */
+    mem::BlockCache::Stats cacheStart_;
     std::vector<std::unique_ptr<Core>> cores_;
     trace::Recorder *recorder_ = nullptr;
 

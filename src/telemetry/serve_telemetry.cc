@@ -69,6 +69,23 @@ IngestMetrics::registerInto(Registry &registry)
                       "appended docs not yet baked to a segment");
 }
 
+void
+CacheMetrics::registerInto(Registry &registry)
+{
+    registry.addCounter("boss_cache_fetches_total", &fetches,
+                        "block-cache lookups (cacheable reads)");
+    registry.addCounter("boss_cache_hits_total", &hits,
+                        "block-cache hits served at DRAM timing");
+    registry.addCounter("boss_cache_misses_total", &misses,
+                        "block-cache misses served by SCM");
+    registry.addCounter("boss_cache_evictions_total", &evictions,
+                        "blocks evicted by CLOCK replacement");
+    registry.addCounter("boss_cache_dram_bytes_total", &dramBytes,
+                        "bytes served by the DRAM cache tier");
+    registry.addCounter("boss_cache_scm_bytes_total", &scmBytes,
+                        "bytes served by the SCM device");
+}
+
 ServeTelemetry::ServeTelemetry() : ServeTelemetry(Config()) {}
 
 ServeTelemetry::ServeTelemetry(Config config)

@@ -69,6 +69,28 @@ class IngestMetrics
     Gauge bufferedDocs;
 };
 
+/**
+ * DRAM block-cache tier metrics (the out-of-core serving path).
+ * Monotonic counters; the serve layer polls the device's cache and
+ * traffic counters and applies deltas here, keeping this layer free
+ * of mem/ includes like IngestMetrics does for index/. Invariant at
+ * quiescent points: hits + misses == fetches (metrics_check.py
+ * verifies it on every scraped snapshot).
+ */
+class CacheMetrics
+{
+  public:
+    /** Register every metric into @p registry (setup-time only). */
+    void registerInto(Registry &registry);
+
+    Counter fetches;
+    Counter hits;
+    Counter misses;
+    Counter evictions;
+    Counter dramBytes;
+    Counter scmBytes;
+};
+
 class ServeTelemetry
 {
   public:

@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "api/sharded_device.h"
@@ -21,6 +23,7 @@
 #include "common/thread_pool.h"
 #include "index/block_decoder.h"
 #include "index/serialize.h"
+#include "index/text_builder.h"
 #include "mem/fault_model.h"
 #include "workload/corpus.h"
 #include "workload/queries.h"
@@ -484,6 +487,86 @@ TEST_F(FaultE2ETest, DeadShardStatsAndSummariesStayCoherent)
     EXPECT_NE(os.str().find("\"dead_shards\": [0]"),
               std::string::npos)
         << os.str();
+}
+
+// ---------------------------------------------------------------
+// Lazy CRC under MappedIndex: at-rest corruption is caught on
+// first touch and degrades, never crashes.
+// ---------------------------------------------------------------
+
+TEST(MappedFaultTest, CorruptedPayloadDegradesOnFirstTouch)
+{
+    // A small text index with one heavily repeated word, saved to
+    // disk and then damaged in that word's doc payload.
+    const std::string cleanPath =
+        testing::TempDir() + "fault_mapped_clean.idx";
+    const std::string badPath =
+        testing::TempDir() + "fault_mapped_bad.idx";
+    {
+        index::TextIndexBuilder builder;
+        for (int d = 0; d < 3000; ++d) {
+            std::string doc = "storage media block ";
+            doc += (d % 2 ? "bandwidth search" : "latency decode");
+            doc += d % 3 ? " channel" : " kernel";
+            builder.addDocument(doc);
+        }
+        index::saveTextIndexFile(builder.build(), cleanPath);
+    }
+
+    // Locate one byte inside "storage"'s doc payload through the
+    // mapping itself: payloads are views, so their file offsets are
+    // directly computable.
+    std::size_t payloadOffset = 0;
+    {
+        auto mapped = index::MappedIndex::open(cleanPath);
+        auto lexicon = mapped->loadLexicon();
+        auto term = lexicon.lookup("storage");
+        ASSERT_TRUE(term.has_value());
+        const auto &list = mapped->index().list(*term);
+        ASSERT_FALSE(list.docPayload.empty());
+        payloadOffset = mapped->fileOffset(list.docPayload.data());
+    }
+    {
+        std::filesystem::copy_file(
+            cleanPath, badPath,
+            std::filesystem::copy_options::overwrite_existing);
+        std::fstream f(badPath,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekg(static_cast<std::streamoff>(payloadOffset));
+        char byte = 0;
+        f.get(byte);
+        f.seekp(static_cast<std::streamoff>(payloadOffset));
+        f.put(static_cast<char>(byte ^ 0xFF));
+    }
+
+    // The heap loader refuses the file outright (whole-file CRC).
+    EXPECT_EXIT(
+        {
+            accel::Device heap;
+            heap.loadTextIndexFile(badPath);
+        },
+        ::testing::ExitedWithCode(1), "");
+
+    // The mapped loader starts fine -- integrity is lazy -- and the
+    // first decode of the damaged block catches it via its per-block
+    // CRC, burns the retry budget (the media really is corrupt, so
+    // every re-read fails) and drops the block. Queries complete.
+    accel::Device dev;
+    dev.loadMappedTextIndexFile(badPath);
+    EXPECT_TRUE(dev.operational());
+    auto out = dev.search("\"storage\" AND \"media\"");
+    EXPECT_GT(out.crcRetries, 0u);
+    EXPECT_GT(out.blocksDropped, 0u);
+    ASSERT_NE(dev.faultPolicy(), nullptr);
+    EXPECT_EQ(dev.faultPolicy()->blocksDropped(), out.blocksDropped);
+
+    // An untouched term serves cleanly from the same damaged file.
+    auto clean = dev.search("\"bandwidth\"");
+    EXPECT_FALSE(clean.topk.empty());
+    EXPECT_EQ(clean.blocksDropped, 0u);
+
+    std::filesystem::remove(cleanPath);
+    std::filesystem::remove(badPath);
 }
 
 TEST_F(FaultE2ETest, AllShardsDeadIsFatal)

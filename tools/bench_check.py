@@ -56,6 +56,19 @@ SWEEP_RULES = {
         ),
         "required_groups": (),
     },
+    "BENCH_oocore.json": {
+        "curves": ("cache_sweep",),
+        "point_stats": (
+            "cache_mb",
+            "corpus_to_cache_ratio",
+            "hit_rate",
+            "qps",
+            "dram_bytes",
+            "scm_bytes",
+            "evictions",
+        ),
+        "required_groups": ("ablation",),
+    },
     "BENCH_serving.json": {
         "curves": ("pipelined", "barrier"),
         "point_stats": (

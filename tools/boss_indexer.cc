@@ -3,13 +3,20 @@
  * boss_indexer: build a BOSS text index from a document file.
  *
  * Usage:
- *   boss_indexer [--progress] <documents.txt> <output.idx>
+ *   boss_indexer [--progress] [--memory-budget MB] <documents.txt>
+ *                <output.idx>
  *   boss_indexer --append [--progress] <documents.txt> <segment-dir>
  *
  * The input holds one document per line. The default mode writes a
  * monolithic index file containing the hybrid-compressed inverted
  * index plus the lexicon, servable with boss_search or
  * Device::loadTextIndexFile().
+ *
+ * --memory-budget MB caps the posting buffer: when it fills, sorted
+ * runs are spilled to <output.idx>.spill/ and merged into the final
+ * file at the end (external_build.h). The output is byte-identical
+ * to the unbounded build, so the flag only trades ingest RAM for
+ * scratch I/O.
  *
  * --append feeds the documents into a live segment directory
  * instead: existing segments are recovered from the directory's
@@ -25,6 +32,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -32,6 +40,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "index/external_build.h"
 #include "index/segments/live_index.h"
 #include "index/text_builder.h"
 #include "stats/stats.h"
@@ -174,6 +183,51 @@ appendMode(const char *inPath, const char *dirPath, bool progress)
     return 0;
 }
 
+/** --memory-budget mode: bounded-RAM external-merge build. */
+int
+externalMode(std::ifstream &in, const char *inPath,
+             const char *outPath, double budgetMb, bool progress)
+{
+    boss::index::ExternalBuildConfig cfg;
+    cfg.memoryBudgetBytes =
+        static_cast<std::uint64_t>(budgetMb * (1 << 20));
+    if (cfg.memoryBudgetBytes == 0)
+        cfg.memoryBudgetBytes = 1;
+    cfg.spillDir = std::string(outPath) + ".spill";
+    boss::index::ExternalTextIndexer indexer(std::move(cfg));
+
+    Progress prog(progress);
+    std::string line;
+    std::uint64_t skipped = 0;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            ++skipped;
+            prog.emptyLine();
+            continue;
+        }
+        indexer.addDocument(line);
+        prog.doc(line.size());
+    }
+    if (indexer.numDocs() == 0) {
+        std::fprintf(stderr, "no documents in '%s'\n", inPath);
+        return 1;
+    }
+    prog.finish();
+
+    auto stats = indexer.finish(outPath);
+    std::printf("indexed %u documents (%u distinct terms, %llu empty "
+                "lines skipped)\n",
+                stats.numDocs, stats.numTerms,
+                static_cast<unsigned long long>(skipped));
+    std::printf("spill runs: %u (%llu postings, %.2f MB scratch, "
+                "budget %.1f MB)\n",
+                stats.spillRuns,
+                static_cast<unsigned long long>(stats.postingsSpilled),
+                static_cast<double>(stats.spillBytes) / 1e6, budgetMb);
+    std::printf("index -> %s\n", outPath);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -181,12 +235,22 @@ main(int argc, char **argv)
 {
     bool progress = false;
     bool append = false;
+    double budgetMb = 0.0;
     int argi = 1;
     while (argi < argc && argv[argi][0] == '-') {
         if (std::strcmp(argv[argi], "--progress") == 0) {
             progress = true;
         } else if (std::strcmp(argv[argi], "--append") == 0) {
             append = true;
+        } else if (std::strcmp(argv[argi], "--memory-budget") == 0 &&
+                   argi + 1 < argc) {
+            budgetMb = std::atof(argv[++argi]);
+            if (!(budgetMb > 0)) {
+                std::fprintf(stderr,
+                             "--memory-budget needs a positive MB "
+                             "value\n");
+                return 2;
+            }
         } else {
             break;
         }
@@ -194,16 +258,22 @@ main(int argc, char **argv)
     }
     if (argc - argi != 2) {
         std::fprintf(stderr,
-                     "usage: %s [--progress] <documents.txt> "
-                     "<output.idx>\n"
+                     "usage: %s [--progress] [--memory-budget MB] "
+                     "<documents.txt> <output.idx>\n"
                      "       %s --append [--progress] "
                      "<documents.txt> <segment-dir>\n"
                      "  documents.txt: one document per line\n",
                      argv[0], argv[0]);
         return 2;
     }
-    if (append)
+    if (append) {
+        if (budgetMb > 0) {
+            std::fprintf(stderr, "--memory-budget does not apply to "
+                                 "--append mode\n");
+            return 2;
+        }
         return appendMode(argv[argi], argv[argi + 1], progress);
+    }
     const char *inPath = argv[argi];
     const char *outPath = argv[argi + 1];
 
@@ -212,6 +282,9 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cannot open '%s'\n", inPath);
         return 1;
     }
+
+    if (budgetMb > 0)
+        return externalMode(in, inPath, outPath, budgetMb, progress);
 
     boss::index::TextIndexBuilder builder;
     Progress prog(progress);

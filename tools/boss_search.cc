@@ -34,6 +34,16 @@
  *   --fault-seed=N         base seed of the fault schedule (default
  *                          0xB055); same spec + seed => identical
  *                          faults at any thread or shard count
+ *   --cache-mb N           DRAM block-cache tier of N MiB in front
+ *                          of the SCM device (single device only):
+ *                          hot posting blocks are served at DRAM
+ *                          timing, misses at SCM timing; per-query
+ *                          output reports the hit rate and the
+ *                          DRAM/SCM traffic split
+ *   --mmap                 mmap the index file instead of copying it
+ *                          to the heap (single device only): startup
+ *                          is O(metadata) and block CRCs are
+ *                          verified lazily on first decode
  *   --kernels=TIER         host SIMD kernel tier for block decode /
  *                          scoring: scalar|sse42|avx2|auto (default:
  *                          the BOSS_KERNELS env var, else auto =
@@ -107,6 +117,8 @@ struct Options
     double metricsPeriodMs = 500.0;
     long metricsPort = -1; ///< -1 = no HTTP endpoint
     std::string flightOut;
+    double cacheMb = 0.0; ///< DRAM block-cache tier (0 = off)
+    bool mmap = false;    ///< mmap the index instead of heap load
 };
 
 /** Build-identity labels every metrics surface carries. */
@@ -148,6 +160,32 @@ summariesOf(boss::api::ShardedDevice &device)
     // Host-level view: work summed over shards, latency from the
     // slowest shard.
     return device.aggregatedSummaries();
+}
+
+/** Per-query cache line for a single device (silent without one). */
+void
+printCache(const boss::accel::Device &device,
+           const boss::accel::SearchOutcome &outcome)
+{
+    if (device.blockCache() == nullptr || outcome.cacheLookups == 0)
+        return;
+    double hitPct = 100.0 * static_cast<double>(outcome.cacheHits) /
+                    static_cast<double>(outcome.cacheLookups);
+    std::printf("  cache: %llu/%llu hits (%.1f%%), %.1f KB DRAM / "
+                "%.1f KB SCM, %llu evictions\n",
+                static_cast<unsigned long long>(outcome.cacheHits),
+                static_cast<unsigned long long>(outcome.cacheLookups),
+                hitPct, static_cast<double>(outcome.dramBytes) / 1e3,
+                static_cast<double>(outcome.deviceBytes) / 1e3,
+                static_cast<unsigned long long>(
+                    outcome.cacheEvictions));
+}
+
+/** Sharded devices run without the cache tier (no-op). */
+void
+printCache(const boss::api::ShardedDevice &,
+           const boss::api::ShardedOutcome &)
+{
 }
 
 /** Per-query resilience line for a single device. */
@@ -204,6 +242,7 @@ runQuery(Dev &device, const std::string &raw,
                 outcome.topk.size(), outcome.simSeconds * 1e6,
                 static_cast<double>(outcome.deviceBytes) / 1e3,
                 static_cast<unsigned long long>(outcome.evaluatedDocs));
+    printCache(device, outcome);
     printResilience(device, outcome);
     std::size_t show = std::min<std::size_t>(10, outcome.topk.size());
     for (std::size_t i = 0; i < show; ++i) {
@@ -253,6 +292,23 @@ printLoaded(boss::api::ShardedDevice &device)
                 device.map().numDocs(),
                 device.shard(0).lexicon().size(), device.numShards(),
                 device.shard(0).config().cores);
+}
+
+void
+loadIndexFor(boss::accel::Device &device, const char *path, bool mmap)
+{
+    if (mmap)
+        device.loadMappedTextIndexFile(path);
+    else
+        device.loadTextIndexFile(path);
+}
+
+void
+loadIndexFor(boss::api::ShardedDevice &device, const char *path,
+             bool mmap)
+{
+    BOSS_ASSERT(!mmap, "--mmap is single-device only");
+    device.loadTextIndexFile(path);
 }
 
 std::unique_ptr<boss::serve::Backend>
@@ -436,7 +492,7 @@ int
 runSession(Dev &device, const Options &opts, int argc, char **argv,
            int argi)
 {
-    device.loadTextIndexFile(argv[argi]);
+    loadIndexFor(device, argv[argi], opts.mmap);
     ++argi;
     printLoaded(device);
 
@@ -586,6 +642,20 @@ main(int argc, char **argv)
             }
             opts.warmup = static_cast<std::size_t>(n);
             argi += 2;
+        } else if (arg == "--cache-mb") {
+            double mb = argi + 1 < argc
+                            ? std::strtod(argv[argi + 1], nullptr)
+                            : 0.0;
+            if (mb <= 0.0) {
+                std::fprintf(stderr,
+                             "--cache-mb wants a positive size\n");
+                return 2;
+            }
+            opts.cacheMb = mb;
+            argi += 2;
+        } else if (arg == "--mmap") {
+            opts.mmap = true;
+            ++argi;
         } else if (arg == "--serve") {
             opts.serve = true;
             ++argi;
@@ -649,11 +719,17 @@ main(int argc, char **argv)
             "[--warmup N] [--serve] [--qps X] [--serve-queries N] "
             "[--deadline-us X] [--metrics-out=FILE] "
             "[--metrics-period-ms X] [--metrics-port N] "
-            "[--flight-out=FILE] <index.idx> [query...]\n",
+            "[--flight-out=FILE] [--cache-mb N] [--mmap] "
+            "<index.idx> [query...]\n",
             argv[0]);
         return 2;
     }
 
+    if (shards > 1 && (opts.cacheMb > 0 || opts.mmap)) {
+        std::fprintf(stderr, "--cache-mb and --mmap are single-device "
+                             "options (no --shards)\n");
+        return 2;
+    }
     if (shards > 1) {
         boss::api::ShardedDeviceConfig cfg;
         cfg.shards = static_cast<std::uint32_t>(shards);
@@ -665,6 +741,7 @@ main(int argc, char **argv)
     boss::accel::DeviceConfig cfg;
     cfg.faults = opts.faults;
     cfg.faultSeed = opts.faultSeed;
+    cfg.cacheMB = opts.cacheMb;
     boss::accel::Device device(cfg);
     return runSession(device, opts, argc, argv, argi);
 }

@@ -54,6 +54,12 @@
  *   --flight-out=FILE    flight-recorder dump (slowest + recent
  *                        shed queries) as Chrome trace at exit
  *   --kernels=TIER       scalar|sse42|avx2|auto (bit-exact tiers)
+ *   --cache-mb N         DRAM block-cache tier of N MiB in front of
+ *                        the SCM device (single index-file device
+ *                        only); exports boss_cache_* counters on the
+ *                        telemetry surface
+ *   --mmap               mmap the index file (O(metadata) startup,
+ *                        lazy per-block CRC; single device only)
  *   --ingest-rate X      live mode: appended docs/sec (default 0)
  *   --delete-fraction F  live mode: deletes per append (default 0.1)
  *   --refresh-ms X       live mode: publish period (default 50)
@@ -125,6 +131,61 @@ struct Options
     double deleteFraction = 0.1;
     double refreshMs = 50.0;
     bool noMerge = false;
+    // Out-of-core tier (single index-file device only).
+    double cacheMb = 0.0;
+    bool mmap = false;
+};
+
+/**
+ * Bridges the device's block-cache counters onto the telemetry
+ * surface: sync() polls the cache and traffic totals and applies
+ * deltas to the boss_cache_* counters (same poll-and-delta shape as
+ * IngestDriver::syncMetrics, keeping telemetry free of mem/ types).
+ */
+class CacheSync
+{
+  public:
+    explicit CacheSync(const boss::accel::Device &device)
+        : device_(device)
+    {
+    }
+
+    void
+    registerMetrics(boss::telemetry::Registry &registry)
+    {
+        metrics_.registerInto(registry);
+    }
+
+    void
+    sync()
+    {
+        const boss::mem::BlockCache *cache = device_.blockCache();
+        if (cache == nullptr)
+            return;
+        auto st = cache->stats();
+        auto delta = [](boss::telemetry::Counter &counter,
+                        std::uint64_t now, std::uint64_t &last) {
+            counter.inc(now - last);
+            last = now;
+        };
+        delta(metrics_.fetches, st.lookups, lastLookups_);
+        delta(metrics_.hits, st.hits, lastHits_);
+        delta(metrics_.misses, st.misses, lastMisses_);
+        delta(metrics_.evictions, st.evictions, lastEvictions_);
+        delta(metrics_.dramBytes, device_.totalDramBytes(),
+              lastDram_);
+        delta(metrics_.scmBytes, device_.totalScmBytes(), lastScm_);
+    }
+
+  private:
+    const boss::accel::Device &device_;
+    boss::telemetry::CacheMetrics metrics_;
+    std::uint64_t lastLookups_ = 0;
+    std::uint64_t lastHits_ = 0;
+    std::uint64_t lastMisses_ = 0;
+    std::uint64_t lastEvictions_ = 0;
+    std::uint64_t lastDram_ = 0;
+    std::uint64_t lastScm_ = 0;
 };
 
 /**
@@ -326,7 +387,8 @@ numberAfter(int &argi, int argc, char **argv, const char *flag)
 
 int
 serveSession(boss::serve::Backend &backend, std::uint32_t vocab,
-             const Options &opts, IngestDriver *ingest = nullptr)
+             const Options &opts, IngestDriver *ingest = nullptr,
+             CacheSync *cacheSync = nullptr)
 {
     boss::workload::QueryWorkloadConfig wcfg;
     wcfg.vocabSize = vocab;
@@ -367,6 +429,8 @@ serveSession(boss::serve::Backend &backend, std::uint32_t vocab,
         server.setTelemetry(&*telemetry);
         if (ingest != nullptr)
             ingest->registerMetrics(telemetry->registry());
+        if (cacheSync != nullptr)
+            cacheSync->registerMetrics(telemetry->registry());
         auto clock = [tel = &*telemetry] { return tel->nowUs(); };
         if (!opts.metricsOut.empty()) {
             boss::telemetry::Snapshotter::Config cfg;
@@ -402,6 +466,10 @@ serveSession(boss::serve::Backend &backend, std::uint32_t vocab,
         ingest->stop();
         ingest->printSummary();
     }
+    // Final cache-counter sync before the snapshotter drains: the
+    // last snapshot (the one CI reconciles) carries the totals.
+    if (cacheSync != nullptr)
+        cacheSync->sync();
 
     if (snapshotter.has_value()) {
         snapshotter->stop();
@@ -674,6 +742,20 @@ main(int argc, char **argv)
         } else if (arg == "--no-merge") {
             opts.noMerge = true;
             ++argi;
+        } else if (arg == "--cache-mb") {
+            double mb = argi + 1 < argc
+                            ? std::strtod(argv[argi + 1], nullptr)
+                            : 0.0;
+            if (mb <= 0.0) {
+                std::fprintf(stderr,
+                             "--cache-mb wants a positive size\n");
+                return 2;
+            }
+            opts.cacheMb = mb;
+            argi += 2;
+        } else if (arg == "--mmap") {
+            opts.mmap = true;
+            ++argi;
         } else if (matchValueFlag(argv[argi], "--kernels", value)) {
             if (!boss::kernels::setTierByName(value)) {
                 std::fprintf(stderr,
@@ -702,7 +784,7 @@ main(int argc, char **argv)
             "[--metrics-period-ms X] [--metrics-port N] "
             "[--flight-out=FILE] [--kernels=TIER] "
             "[--ingest-rate X] [--delete-fraction F] "
-            "[--refresh-ms X] [--no-merge] "
+            "[--refresh-ms X] [--no-merge] [--cache-mb N] [--mmap] "
             "<index.idx | segment-dir>\n",
             argv[0]);
         return 2;
@@ -714,6 +796,15 @@ main(int argc, char **argv)
                     boss::kernels::activeTierName().size()),
                 boss::kernels::activeTierName().data());
 
+    if ((opts.cacheMb > 0 || opts.mmap) &&
+        (opts.shards > 1 ||
+         std::filesystem::is_directory(argv[argi]))) {
+        std::fprintf(stderr,
+                     "--cache-mb and --mmap serve a single "
+                     "index-file device (no --shards, no live "
+                     "segment dir)\n");
+        return 2;
+    }
     if (std::filesystem::is_directory(argv[argi])) {
         // Live mode: serve the segment directory while ingesting.
         const std::filesystem::path dir = argv[argi];
@@ -763,10 +854,20 @@ main(int argc, char **argv)
                             device.shard(0).lexicon().size(),
                             opts);
     }
-    boss::accel::Device device;
-    device.loadTextIndexFile(argv[argi]);
-    std::printf("loaded %u docs / %u terms\n",
-                device.index().numDocs(), device.lexicon().size());
+    boss::accel::DeviceConfig dcfg;
+    dcfg.cacheMB = opts.cacheMb;
+    boss::accel::Device device(dcfg);
+    if (opts.mmap)
+        device.loadMappedTextIndexFile(argv[argi]);
+    else
+        device.loadTextIndexFile(argv[argi]);
+    std::printf("loaded %u docs / %u terms%s%s\n",
+                device.index().numDocs(), device.lexicon().size(),
+                opts.mmap ? " (mmap)" : "",
+                opts.cacheMb > 0 ? ", DRAM block cache on" : "");
     boss::serve::DeviceBackend backend(device);
-    return serveSession(backend, device.lexicon().size(), opts);
+    CacheSync cacheSync(device);
+    return serveSession(backend, device.lexicon().size(), opts,
+                        nullptr,
+                        opts.cacheMb > 0 ? &cacheSync : nullptr);
 }

@@ -17,7 +17,15 @@ terminal accounting closes exactly:
 
 which is the acceptance bar for the live telemetry path: every
 offered query reaches exactly one terminal counter, no matter how
-the run interleaved its threads.
+the run interleaved its threads. When the snapshot carries the DRAM
+block-cache section (boss_cache_fetches_total present, i.e. the run
+served with --cache-mb), the cache ledger must close the same way:
+
+    hits + misses == fetches
+
+on every snapshot, not just the final one — the serve layer applies
+whole deltas, so a line where the two sides disagree means a torn
+poll, not timing skew.
 
 Usage:
     metrics_check.py [--reconcile] FILE [FILE...]
@@ -137,6 +145,19 @@ class Checker:
                               f"metric '{name}' must be a number "
                               "or digest object")
 
+    def check_cache_ledger(self, lineno, snap):
+        counters = snap.get("counters", {})
+        if "boss_cache_fetches_total" not in counters:
+            return
+        where = f"line {lineno}"
+        fetches = counters["boss_cache_fetches_total"]
+        hits = counters.get("boss_cache_hits_total", 0)
+        misses = counters.get("boss_cache_misses_total", 0)
+        if hits + misses != fetches:
+            self.fail(where,
+                      f"cache hits {hits} + misses {misses} != "
+                      f"fetches {fetches}")
+
     def check_reconciliation(self, lineno, snap):
         where = f"line {lineno} (final)"
         counters = snap.get("counters", {})
@@ -176,6 +197,7 @@ class Checker:
                 self.fail(f"line {lineno}", f"invalid JSON: {err}")
                 continue
             self.check_line(lineno, snap)
+            self.check_cache_ledger(lineno, snap)
             snaps.append((lineno, snap))
         if not snaps:
             self.fail("<file>", "no snapshots")
